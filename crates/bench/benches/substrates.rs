@@ -1,0 +1,175 @@
+//! Criterion microbenchmarks for every substrate on the pipeline's hot
+//! path: feature generation, densification, itemset mining, label-model
+//! fitting, LF application, graph construction, propagation, and model
+//! training.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cm_featurespace::{FeatureSet, ModalityKind, SimilarityConfig};
+use cm_labelmodel::{AnchoredModel, GenerativeConfig, GenerativeModel, LabelMatrix};
+use cm_mining::{mine_itemsets, MiningConfig};
+use cm_models::{LogisticRegression, Mlp, MlpEpochConfig};
+use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
+use cm_pipeline::{curate, CurationConfig, DenseView, TaskData};
+use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
+
+fn world() -> World {
+    World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct1).scaled(0.05), 7))
+}
+
+fn bench_feature_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("featuregen");
+    group.sample_size(20);
+    let w = world();
+    group.bench_function("generate_1k_image_rows", |b| {
+        b.iter(|| w.generate(ModalityKind::Image, 1000, 3))
+    });
+
+    let data = w.generate(ModalityKind::Image, 2000, 4);
+    let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, true);
+    group.bench_function("dense_fit_2k", |b| {
+        b.iter(|| DenseView::fit(&[&data.table], cols.clone()))
+    });
+    let view = DenseView::fit(&[&data.table], cols);
+    group.bench_function("dense_encode_2k", |b| b.iter(|| view.encode(&data.table)));
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(20);
+    let w = world();
+    let data = w.generate(ModalityKind::Text, 5000, 5);
+    let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    for order in [1usize, 2] {
+        let cfg = MiningConfig { max_order: order, ..MiningConfig::default() };
+        group.bench_function(format!("apriori_5k_order{order}"), |b| {
+            b.iter(|| mine_itemsets(&data.table, &data.labels, &cols, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn synthetic_matrix(n: usize, n_lfs: usize) -> (LabelMatrix, Vec<cm_featurespace::Label>) {
+    use cm_featurespace::Label;
+    let mut votes = Vec::with_capacity(n * n_lfs);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let pos = i % 20 == 0;
+        labels.push(if pos { Label::Positive } else { Label::Negative });
+        for j in 0..n_lfs {
+            let fires = (i * 31 + j * 7) % 10 < 3;
+            votes.push(if !fires {
+                0
+            } else if pos == (j % 2 == 0) {
+                1
+            } else {
+                -1
+            });
+        }
+    }
+    let names = (0..n_lfs).map(|j| format!("lf{j}")).collect();
+    (LabelMatrix::from_votes(n, n_lfs, votes, names), labels)
+}
+
+fn bench_label_model(c: &mut Criterion) {
+    let mut c = c.benchmark_group("labelmodel");
+    c.sample_size(20);
+    let (m, labels) = synthetic_matrix(20_000, 40);
+    c.bench_function("anchored_fit_predict_20k_x40", |b| {
+        b.iter(|| {
+            let model = AnchoredModel::fit(&m, &labels, None);
+            model.predict(&m)
+        })
+    });
+    c.bench_function("em_fit_20k_x40", |b| {
+        b.iter(|| {
+            GenerativeModel::fit(
+                &m,
+                &GenerativeConfig { max_iters: 20, ..GenerativeConfig::default() },
+            )
+        })
+    });
+    c.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut c = c.benchmark_group("propagation");
+    c.sample_size(10);
+    let w = world();
+    let mut combined = w.generate(ModalityKind::Text, 1500, 8).table;
+    combined.extend_from(&w.generate(ModalityKind::Image, 1500, 9).table);
+    let mut cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    cols.push(w.schema().column("img_embedding").unwrap());
+    let sim = SimilarityConfig::uniform(cols).fit_scales(&combined);
+
+    c.bench_function("knn_graph_3k_anchors", |b| {
+        b.iter(|| GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 1))
+    });
+    let graph = GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 1);
+    let seeds: Vec<(usize, f64)> = (0..1000).map(|v| (v, (v % 20 == 0) as u8 as f64)).collect();
+    let cfg = PropagationConfig::default();
+    c.bench_function("jacobi_3k", |b| b.iter(|| propagate(&graph, &seeds, &cfg)));
+    c.bench_function("gauss_seidel_3k", |b| {
+        b.iter(|| propagate_streaming(&graph, &seeds, &cfg))
+    });
+    c.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut c = c.benchmark_group("training");
+    c.sample_size(10);
+    let w = world();
+    let data = w.generate(ModalityKind::Image, 4000, 11);
+    let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, true);
+    let view = DenseView::fit(&[&data.table], cols);
+    let x = view.encode(&data.table);
+    let y = data.labels_f64();
+
+    c.bench_function("logistic_fit_4k", |b| {
+        b.iter(|| {
+            LogisticRegression::fit(
+                &x,
+                &y,
+                None,
+                &cm_models::logistic::LogisticConfig { epochs: 3, ..Default::default() },
+            )
+        })
+    });
+    c.bench_function("mlp_epoch_4k_h32", |b| {
+        b.iter_batched(
+            || Mlp::new(x.cols(), &[32], 0.01, 1),
+            |mut mlp| {
+                mlp.train_epoch(
+                    &x,
+                    &y,
+                    None,
+                    &MlpEpochConfig { batch_size: 128, l2: 1e-4, shuffle_seed: 0 },
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.finish();
+}
+
+fn bench_end_to_end_curation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("curate_ct1_tiny", |b| {
+        let data = TaskData::generate(TaskConfig::paper(TaskId::Ct1).scaled(0.02), 3, Some(64));
+        let cfg = CurationConfig { prop_max_seeds: 500, ..CurationConfig::default() };
+        b.iter(|| curate(&data, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_generation,
+    bench_mining,
+    bench_label_model,
+    bench_propagation,
+    bench_training,
+    bench_end_to_end_curation
+);
+criterion_main!(benches);

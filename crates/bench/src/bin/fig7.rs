@@ -1,0 +1,66 @@
+//! Regenerates **Figure 7**: the multi-modal training lesion study for
+//! CT 1 — text-only, image-only (weakly supervised), and combined models at
+//! each feature-set ladder rung {A, AB, ABC, ABCD}, relative to the
+//! embedding baseline.
+//!
+//! Expected shape (paper): combining modalities is best at every rung, and
+//! every model improves as sets accumulate.
+//!
+//! Env: `CM_SCALE` (default 1.0), `CM_SEEDS` (default 3), `CM_JSON`.
+
+use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
+use cm_featurespace::FeatureSet;
+use cm_orgsim::TaskId;
+use cm_pipeline::{curate, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Rung {
+    sets: String,
+    text_rel: f64,
+    image_rel: f64,
+    combined_rel: f64,
+}
+
+fn main() {
+    let scale = env_scale(1.0);
+    let seeds = env_seeds(3);
+    println!("Figure 7 (CT 1 lesion study, scale {scale}, {} seed(s))", seeds.len());
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "services", "Text (T)", "Image (I)", "Text+Image"
+    );
+
+    let rungs = ["A", "AB", "ABC", "ABCD"];
+    let mut acc: Vec<[Vec<f64>; 3]> =
+        (0..rungs.len()).map(|_| [Vec::new(), Vec::new(), Vec::new()]).collect();
+    let mut baselines = Vec::new();
+    for &seed in &seeds {
+        let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+        let runner = run.runner();
+        let curation = curate(&run.data, &run.curation_config(seed));
+        baselines.push(runner.baseline_auprc());
+        for (i, rung) in rungs.iter().enumerate() {
+            let sets = FeatureSet::parse_ladder(rung);
+            acc[i][0].push(runner.run(&Scenario::text_only(&sets), None).auprc);
+            acc[i][1].push(runner.run(&Scenario::image_only(&sets), Some(&curation)).auprc);
+            acc[i][2].push(runner.run(&Scenario::cross_modal(&sets), Some(&curation)).auprc);
+        }
+    }
+    let baseline = mean(&baselines);
+    let mut out = Vec::new();
+    for (i, rung) in rungs.iter().enumerate() {
+        let r = Rung {
+            sets: (*rung).to_owned(),
+            text_rel: mean(&acc[i][0]) / baseline,
+            image_rel: mean(&acc[i][1]) / baseline,
+            combined_rel: mean(&acc[i][2]) / baseline,
+        };
+        println!(
+            "{:<10} {:>9.2}x {:>9.2}x {:>11.2}x",
+            r.sets, r.text_rel, r.image_rel, r.combined_rel
+        );
+        out.push(r);
+    }
+    maybe_write_json(&out);
+}

@@ -1,0 +1,116 @@
+//! Regenerates the **§6.6 training-method comparison**: early fusion vs
+//! intermediate fusion vs the adapted DeViSE, per task, plus the
+//! "materialized CNN features" comparison — our service features vs the raw
+//! pre-trained embedding under identical (weak) supervision.
+//!
+//! Expected shape (paper): early fusion wins — up to 1.22x (avg 1.08x) over
+//! intermediate fusion and up to 5.52x (avg 2.21x) over DeViSE; service
+//! features beat the raw embedding by up to 1.54x.
+//!
+//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 3), `CM_TASK`,
+//! `CM_JSON`.
+
+use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
+use cm_featurespace::FeatureSet;
+use cm_orgsim::TaskId;
+use cm_pipeline::{curate, FusionStrategy, LabelSource, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    early_auprc: f64,
+    early_vs_intermediate: f64,
+    early_vs_devise: f64,
+    features_vs_raw_embedding: f64,
+}
+
+fn main() {
+    let scale = env_scale(0.5);
+    let seeds = env_seeds(3);
+    let sets = FeatureSet::SHARED;
+    println!(
+        "Fusion comparison (§6.6) (scale {scale}, {} seed(s))",
+        seeds.len()
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>14}",
+        "Task", "early", "vs interm.", "vs DeViSE", "feat vs raw"
+    );
+
+    let mut rows = Vec::new();
+    for id in TaskId::ALL {
+        if !task_selected(id) {
+            continue;
+        }
+        let mut early_v = Vec::new();
+        let mut vs_int = Vec::new();
+        let mut vs_dev = Vec::new();
+        let mut feat_raw = Vec::new();
+        for &seed in &seeds {
+            let run = TaskRun::new(id, scale, seed, Some((4_000.0 * scale) as usize));
+            let runner = run.runner();
+            let curation = curate(&run.data, &run.curation_config(seed));
+
+            let mut early = Scenario::cross_modal(&sets);
+            early.strategy = FusionStrategy::Early;
+            let mut inter = Scenario::cross_modal(&sets);
+            inter.strategy = FusionStrategy::Intermediate;
+            inter.name = "intermediate".into();
+            let mut devise = Scenario::cross_modal(&sets);
+            devise.strategy = FusionStrategy::DeVise;
+            devise.name = "devise".into();
+
+            let e = runner.run(&early, Some(&curation)).auprc;
+            let i = runner.run(&inter, Some(&curation)).auprc;
+            let d = runner.run(&devise, Some(&curation)).auprc;
+            early_v.push(e);
+            if i > 1e-9 {
+                vs_int.push(e / i);
+            }
+            if d > 1e-9 {
+                vs_dev.push(e / d);
+            }
+
+            // Features vs raw embedding, same weak labels: image-only with
+            // shared feature sets vs image-only with only the
+            // modality-specific features (embedding and friends).
+            let feats = runner.run(&Scenario::image_only(&sets), Some(&curation)).auprc;
+            let raw = Scenario {
+                name: "raw embedding (weak)".into(),
+                text_sets: Vec::new(),
+                image_sets: Vec::new(),
+                image_labels: Some(LabelSource::Weak),
+                include_modality_specific: true,
+                strategy: FusionStrategy::Early,
+            };
+            let raw_ap = runner.run(&raw, Some(&curation)).auprc;
+            if raw_ap > 1e-9 {
+                feat_raw.push(feats / raw_ap);
+            }
+        }
+        let row = Row {
+            task: id.name().to_owned(),
+            early_auprc: mean(&early_v),
+            early_vs_intermediate: mean(&vs_int),
+            early_vs_devise: mean(&vs_dev),
+            features_vs_raw_embedding: mean(&feat_raw),
+        };
+        println!(
+            "{:<6} {:>10.4} {:>12} {:>12} {:>14}",
+            row.task,
+            row.early_auprc,
+            fmt_ratio(row.early_vs_intermediate),
+            fmt_ratio(row.early_vs_devise),
+            fmt_ratio(row.features_vs_raw_embedding),
+        );
+        rows.push(row);
+    }
+    if !rows.is_empty() {
+        let avg_i = mean(&rows.iter().map(|r| r.early_vs_intermediate).collect::<Vec<_>>());
+        let avg_d = mean(&rows.iter().map(|r| r.early_vs_devise).collect::<Vec<_>>());
+        println!("\nearly fusion vs intermediate: avg {}", fmt_ratio(avg_i));
+        println!("early fusion vs DeViSE:       avg {}", fmt_ratio(avg_d));
+    }
+    maybe_write_json(&rows);
+}

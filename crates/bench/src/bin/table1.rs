@@ -1,0 +1,48 @@
+//! Regenerates **Table 1**: per-task dataset sizes and test-set positive
+//! rates, at the configured synthetic scale (default 1/1000 of the paper).
+
+use cm_bench::{env_scale, env_seed, maybe_write_json};
+use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    n_labeled_text: usize,
+    n_unlabeled_image: usize,
+    n_labeled_image_test: usize,
+    test_positive_rate: f64,
+}
+
+fn main() {
+    let scale = env_scale(1.0);
+    let seed = env_seed();
+    println!("Table 1 (synthetic scale {scale} of the 1/1000-paper sizes, seed {seed})");
+    println!(
+        "{:<6} {:>14} {:>18} {:>14} {:>8}",
+        "Task", "n_lbld_text", "n_unlbld_image", "n_lbld_image", "% Pos"
+    );
+    let mut rows = Vec::new();
+    for id in TaskId::ALL {
+        let task = TaskConfig::paper(id).scaled(scale);
+        let world = World::build(WorldConfig::new(task.clone(), seed));
+        let (text, pool, test) = world.generate_task_datasets(seed);
+        let row = Row {
+            task: id.name().to_owned(),
+            n_labeled_text: text.len(),
+            n_unlabeled_image: pool.len(),
+            n_labeled_image_test: test.len(),
+            test_positive_rate: test.positive_rate(),
+        };
+        println!(
+            "{:<6} {:>14} {:>18} {:>14} {:>7.1}%",
+            row.task,
+            row.n_labeled_text,
+            row.n_unlabeled_image,
+            row.n_labeled_image_test,
+            row.test_positive_rate * 100.0
+        );
+        rows.push(row);
+    }
+    maybe_write_json(&rows);
+}

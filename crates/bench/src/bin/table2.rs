@@ -1,0 +1,117 @@
+//! Regenerates **Table 2**: relative AUPRC of the fully supervised text
+//! model (`T + ABCD`), the weakly supervised image model (`I + ABCD`), and
+//! the cross-modal model (`T, I + ABCD`), plus the cross-over point — the
+//! number of hand-labeled images a fully supervised model needs to match
+//! the cross-modal pipeline.
+//!
+//! Expected shape (paper): the cross-modal and weakly supervised image
+//! models beat text transfer; cross-over points span orders of magnitude
+//! across tasks (CT 3/CT 4 small, CT 5 extreme).
+//!
+//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 3), `CM_TASK=CT3`
+//! to restrict, `CM_JSON=path` for a JSON report.
+
+use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
+use cm_eval::{find_crossover, CrossoverSeries};
+use cm_featurespace::FeatureSet;
+use cm_orgsim::TaskId;
+use cm_pipeline::{curate, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    baseline_auprc: f64,
+    text_rel: f64,
+    image_rel: f64,
+    cross_modal_rel: f64,
+    cross_over: Option<f64>,
+    max_swept: f64,
+    supervised_curve: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let scale = env_scale(0.5);
+    let seeds = env_seeds(3);
+    let sets = FeatureSet::SHARED;
+
+    println!(
+        "Table 2 (scale {scale}, {} seed(s)) — AUPRC relative to the embedding baseline",
+        seeds.len()
+    );
+    println!(
+        "{:<6} {:>8} {:>8} {:>12} {:>12}",
+        "Task", "Text", "Image", "Cross-Modal", "Cross-Over"
+    );
+    let mut rows = Vec::new();
+    for id in TaskId::ALL {
+        if !task_selected(id) {
+            continue;
+        }
+        let mut text_rels = Vec::new();
+        let mut image_rels = Vec::new();
+        let mut cross_rels = Vec::new();
+        let mut baselines = Vec::new();
+        let mut crossovers: Vec<f64> = Vec::new();
+        let mut curve_acc: Vec<(f64, Vec<f64>)> = Vec::new();
+        let mut max_swept = 0.0f64;
+        for &seed in &seeds {
+            let run = TaskRun::new(id, scale, seed, Some((16_000.0 * scale) as usize));
+            let runner = run.runner();
+            let curation = curate(&run.data, &run.curation_config(seed));
+            let baseline = runner.baseline_auprc();
+            baselines.push(baseline);
+
+            let text = runner.run_relative(&Scenario::text_only(&sets), None, baseline);
+            let image =
+                runner.run_relative(&Scenario::image_only(&sets), Some(&curation), baseline);
+            let cross =
+                runner.run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline);
+            text_rels.push(text.relative_auprc.unwrap_or(0.0));
+            image_rels.push(image.relative_auprc.unwrap_or(0.0));
+            cross_rels.push(cross.relative_auprc.unwrap_or(0.0));
+
+            let reservoir = run.data.labeled_image.len();
+            let mut curve = Vec::new();
+            for &n in &[500.0f64, 1000.0, 2000.0, 4000.0, 8000.0, 16_000.0] {
+                let n = (n * scale) as usize;
+                if n < 32 || n > reservoir {
+                    continue;
+                }
+                let eval = runner.run(&Scenario::fully_supervised(&sets, n), None);
+                curve.push((n as f64, eval.auprc));
+                max_swept = max_swept.max(n as f64);
+            }
+            if let Some(c) = find_crossover(&CrossoverSeries::new(curve.clone()), cross.auprc) {
+                crossovers.push(c);
+            }
+            for (i, &(n, a)) in curve.iter().enumerate() {
+                if curve_acc.len() <= i {
+                    curve_acc.push((n, Vec::new()));
+                }
+                curve_acc[i].1.push(a);
+            }
+        }
+        let row = Row {
+            task: id.name().to_owned(),
+            baseline_auprc: mean(&baselines),
+            text_rel: mean(&text_rels),
+            image_rel: mean(&image_rels),
+            cross_modal_rel: mean(&cross_rels),
+            cross_over: (!crossovers.is_empty()).then(|| mean(&crossovers)),
+            max_swept,
+            supervised_curve: curve_acc.iter().map(|(n, a)| (*n, mean(a))).collect(),
+        };
+        println!(
+            "{:<6} {:>8} {:>8} {:>12} {:>12}",
+            row.task,
+            fmt_ratio(row.text_rel),
+            fmt_ratio(row.image_rel),
+            fmt_ratio(row.cross_modal_rel),
+            row.cross_over
+                .map_or_else(|| format!(">{max_swept:.0}"), |c| format!("{c:.0}")),
+        );
+        rows.push(row);
+    }
+    maybe_write_json(&rows);
+}

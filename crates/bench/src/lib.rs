@@ -1,0 +1,147 @@
+//! Shared harness for the table/figure regenerator binaries.
+//!
+//! Every binary accepts two environment knobs:
+//!
+//! - `CM_SCALE` — multiplier on the default 1/1000-of-paper dataset sizes
+//!   (default varies per binary; larger = slower, closer to paper shape);
+//! - `CM_SEED` — master seed (default 42).
+//!
+//! Binaries print a fixed-width table to stdout and, when `CM_JSON` is set,
+//! a JSON report to the path it names (consumed when updating
+//! EXPERIMENTS.md).
+
+use cm_models::{ModelKind, TrainConfig};
+use cm_orgsim::{TaskConfig, TaskId};
+use cm_pipeline::{CurationConfig, ScenarioRunner, TaskData};
+
+/// A prepared run of one task: data plus the paper's per-task model choice.
+pub struct TaskRun {
+    /// Task identity.
+    pub id: TaskId,
+    /// Generated datasets.
+    pub data: TaskData,
+    /// Model family (the paper deploys neural networks for CT 1–4 and
+    /// logistic regression for CT 5, §6.3).
+    pub model: ModelKind,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl TaskRun {
+    /// Generates a task run at `scale` (multiplier on the 1/1000-of-paper
+    /// sizes). `n_labeled_image` sizes the fully supervised reservoir.
+    pub fn new(id: TaskId, scale: f64, seed: u64, n_labeled_image: Option<usize>) -> Self {
+        let task = TaskConfig::paper(id).scaled(scale);
+        let data = TaskData::generate(task, seed, n_labeled_image);
+        let model = match id {
+            TaskId::Ct5 => ModelKind::Logistic,
+            _ => ModelKind::Mlp { hidden: vec![32] },
+        };
+        let train = TrainConfig {
+            epochs: 15,
+            batch_size: 128,
+            lr: 0.01,
+            l2: 1e-4,
+            seed,
+            patience: None,
+            class_balance: true,
+        };
+        Self { id, data, model, train }
+    }
+
+    /// A scenario runner over this run's data.
+    pub fn runner(&self) -> ScenarioRunner<'_> {
+        ScenarioRunner { data: &self.data, model: self.model.clone(), train: self.train.clone() }
+    }
+
+    /// Default curation configuration for this run.
+    pub fn curation_config(&self, seed: u64) -> CurationConfig {
+        CurationConfig { seed, ..CurationConfig::default() }
+    }
+}
+
+/// Reads `CM_SCALE`, falling back to `default`.
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("CM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads `CM_SEED`, falling back to 42.
+pub fn env_seed() -> u64 {
+    std::env::var("CM_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// Seeds to average over: `CM_SEEDS` consecutive seeds (default `default`)
+/// starting at [`env_seed`]. At 1/1000 of the paper's data volumes,
+/// single-seed AUPRCs carry visible variance; every reported cell is a mean
+/// over these seeds.
+pub fn env_seeds(default: usize) -> Vec<u64> {
+    let n = std::env::var("CM_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
+    let base = env_seed();
+    (0..n as u64).map(|i| base + i * 1000).collect()
+}
+
+/// Arithmetic mean; 0.0 on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Parses a `CM_TASK` filter (e.g. `CT3`) against a task id.
+pub fn task_selected(id: TaskId) -> bool {
+    match std::env::var("CM_TASK") {
+        Ok(f) => id.name().replace(' ', "").eq_ignore_ascii_case(&f),
+        Err(_) => true,
+    }
+}
+
+/// Writes a JSON report to the path named by `CM_JSON`, if set.
+pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
+    if let Ok(path) = std::env::var("CM_JSON") {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote JSON report to {path}");
+    }
+}
+
+/// Formats a ratio as the paper prints them (`1.52x`, `162x`).
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else if r >= 10.0 {
+        format!("{r:.1}x")
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_run_uses_paper_model_families() {
+        let run = TaskRun::new(TaskId::Ct5, 0.005, 1, Some(64));
+        assert_eq!(run.model, ModelKind::Logistic);
+        let run = TaskRun::new(TaskId::Ct1, 0.005, 1, Some(64));
+        assert!(matches!(run.model, ModelKind::Mlp { .. }));
+    }
+
+    #[test]
+    fn ratio_formatting_matches_paper_style() {
+        assert_eq!(fmt_ratio(1.52), "1.52x");
+        assert_eq!(fmt_ratio(44.0), "44.0x");
+        assert_eq!(fmt_ratio(162.0), "162x");
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        std::env::remove_var("CM_SCALE");
+        assert_eq!(env_scale(0.3), 0.3);
+    }
+}

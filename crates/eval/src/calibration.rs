@@ -1,0 +1,126 @@
+//! Calibration diagnostics for probabilistic labels.
+//!
+//! The noise-aware loss (§5) treats the label model's posteriors as soft
+//! targets, which is only sound if they are *calibrated*: among points
+//! labeled `q ≈ 0.8`, about 80 % should be true positives. This module
+//! measures that with a reliability curve and the expected calibration
+//! error (ECE).
+
+/// One bin of a reliability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Mean predicted probability of the bin's points.
+    pub mean_predicted: f64,
+    /// Observed positive fraction.
+    pub observed_rate: f64,
+    /// Points in the bin.
+    pub count: usize,
+}
+
+/// Equal-width reliability curve over `[0, 1]`; empty bins are omitted.
+///
+/// # Panics
+/// Panics on length mismatch or `n_bins == 0`.
+pub fn reliability_curve(probs: &[f64], positives: &[bool], n_bins: usize) -> Vec<ReliabilityBin> {
+    assert_eq!(probs.len(), positives.len(), "prob/label length mismatch");
+    assert!(n_bins > 0, "need at least one bin");
+    let mut sums = vec![0.0f64; n_bins];
+    let mut hits = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for (&p, &y) in probs.iter().zip(positives) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b] += p;
+        counts[b] += 1;
+        hits[b] += usize::from(y);
+    }
+    (0..n_bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| ReliabilityBin {
+            mean_predicted: sums[b] / counts[b] as f64,
+            observed_rate: hits[b] as f64 / counts[b] as f64,
+            count: counts[b],
+        })
+        .collect()
+}
+
+/// Expected calibration error: count-weighted mean absolute gap between
+/// predicted and observed rates across bins. 0 = perfectly calibrated.
+pub fn expected_calibration_error(probs: &[f64], positives: &[bool], n_bins: usize) -> f64 {
+    let curve = reliability_curve(probs, positives, n_bins);
+    let total: usize = curve.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    curve
+        .iter()
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_predicted - b.observed_rate).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfectly calibrated source: q of each point equals its true
+    /// positive frequency by construction.
+    fn calibrated(n: usize) -> (Vec<f64>, Vec<bool>) {
+        let mut probs = Vec::with_capacity(n);
+        let mut pos = Vec::with_capacity(n);
+        for i in 0..n {
+            let q = (i % 10) as f64 / 10.0 + 0.05;
+            probs.push(q);
+            // Deterministic "coin": positive for the first q-fraction of
+            // each residue class.
+            pos.push(((i / 10) % 100) as f64 / 100.0 < q);
+        }
+        (probs, pos)
+    }
+
+    #[test]
+    fn calibrated_source_has_low_ece() {
+        let (p, y) = calibrated(20_000);
+        let ece = expected_calibration_error(&p, &y, 10);
+        assert!(ece < 0.02, "ECE {ece} on a calibrated source");
+    }
+
+    #[test]
+    fn overconfident_source_has_high_ece() {
+        // Predicts 0.95 while the truth rate is 0.5.
+        let probs = vec![0.95; 1000];
+        let pos: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&probs, &pos, 10);
+        assert!((ece - 0.45).abs() < 0.01, "ECE {ece}");
+    }
+
+    #[test]
+    fn curve_bins_cover_all_points() {
+        let (p, y) = calibrated(500);
+        let curve = reliability_curve(&p, &y, 10);
+        let total: usize = curve.iter().map(|b| b.count).sum();
+        assert_eq!(total, 500);
+        for b in &curve {
+            assert!((0.0..=1.0).contains(&b.mean_predicted));
+            assert!((0.0..=1.0).contains(&b.observed_rate));
+        }
+    }
+
+    #[test]
+    fn boundary_probability_goes_to_last_bin() {
+        let curve = reliability_curve(&[1.0, 0.0], &[true, false], 4);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].observed_rate, 0.0);
+        assert_eq!(curve[1].observed_rate, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero_error() {
+        assert_eq!(expected_calibration_error(&[], &[], 5), 0.0);
+        assert!(reliability_curve(&[], &[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_input() {
+        reliability_curve(&[0.5], &[], 5);
+    }
+}

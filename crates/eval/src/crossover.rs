@@ -1,0 +1,98 @@
+//! Cross-over analysis (paper §6.4, Figure 5, Table 2): how many
+//! hand-labeled examples does a fully supervised model need before it
+//! overtakes the cross-modal pipeline?
+
+/// A fully-supervised learning curve: `(n_labeled, auprc)` samples in
+/// increasing `n_labeled` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverSeries {
+    /// `(labeled-set size, AUPRC)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CrossoverSeries {
+    /// Builds a series, sorting by size.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN size"));
+        Self { points }
+    }
+}
+
+/// Finds the smallest labeled-set size at which the supervised curve
+/// reaches `target` AUPRC, linearly interpolating between measured sizes.
+///
+/// Returns `None` if the curve never reaches the target within the measured
+/// range (the paper reports such tasks with their largest measured
+/// cross-over bound, e.g. CT 5's 750 k).
+pub fn find_crossover(series: &CrossoverSeries, target: f64) -> Option<f64> {
+    let pts = &series.points;
+    if pts.is_empty() {
+        return None;
+    }
+    if pts[0].1 >= target {
+        return Some(pts[0].0);
+    }
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y1 >= target {
+            if (y1 - y0).abs() < 1e-12 {
+                return Some(x1);
+            }
+            let t = (target - y0) / (y1 - y0);
+            return Some(x0 + t.clamp(0.0, 1.0) * (x1 - x0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> CrossoverSeries {
+        CrossoverSeries::new(vec![
+            (1_000.0, 0.3),
+            (10_000.0, 0.5),
+            (50_000.0, 0.7),
+            (100_000.0, 0.8),
+        ])
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let x = find_crossover(&series(), 0.6).unwrap();
+        assert!((x - 30_000.0).abs() < 1.0, "x = {x}");
+    }
+
+    #[test]
+    fn exact_point_hits() {
+        assert_eq!(find_crossover(&series(), 0.5), Some(10_000.0));
+    }
+
+    #[test]
+    fn below_first_point_returns_first_size() {
+        assert_eq!(find_crossover(&series(), 0.1), Some(1_000.0));
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        assert_eq!(find_crossover(&series(), 0.95), None);
+        assert_eq!(find_crossover(&CrossoverSeries::new(vec![]), 0.5), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let s = CrossoverSeries::new(vec![(100.0, 0.9), (10.0, 0.1)]);
+        assert_eq!(s.points[0].0, 10.0);
+        let x = find_crossover(&s, 0.5).unwrap();
+        assert!((x - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotone_curve_takes_first_crossing() {
+        let s = CrossoverSeries::new(vec![(10.0, 0.2), (20.0, 0.6), (30.0, 0.4), (40.0, 0.9)]);
+        let x = find_crossover(&s, 0.5).unwrap();
+        assert!(x > 10.0 && x < 20.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Thresholded binary metrics and ROC-AUC.
+
+/// Confusion-matrix-derived metrics at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// `tp / (tp + fp)` (0 when undefined).
+    pub precision: f64,
+    /// `tp / (tp + fn)` (0 when undefined).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when undefined).
+    pub f1: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes metrics of `scores >= threshold` against ground truth.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn at_threshold(scores: &[f64], positives: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), positives.len(), "score/label length mismatch");
+        let (mut tp, mut fp, mut tn, mut fn_) = (0usize, 0usize, 0usize, 0usize);
+        for (&s, &p) in scores.iter().zip(positives) {
+            match (s >= threshold, p) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fn_ += 1,
+            }
+        }
+        Self::from_counts(tp, fp, tn, fn_)
+    }
+
+    /// Builds metrics from raw confusion counts.
+    pub fn from_counts(tp: usize, fp: usize, tn: usize, fn_: usize) -> Self {
+        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+        let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        let total = tp + fp + tn + fn_;
+        let accuracy = if total > 0 { (tp + tn) as f64 / total as f64 } else { 0.0 };
+        Self { tp, fp, tn, fn_, precision, recall, f1, accuracy }
+    }
+}
+
+/// ROC-AUC via the rank statistic (Mann–Whitney), with tie correction.
+/// Returns 0.5 when either class is absent.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn roc_auc(scores: &[f64], positives: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positives.len(), "score/label length mismatch");
+    let n_pos = positives.iter().filter(|&&p| p).count();
+    let n_neg = scores.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j) as f64) / 2.0; // ranks are 1-based
+        for &idx in &order[i..j] {
+            if positives[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let pos = [true, false, true, false];
+        let m = BinaryMetrics::at_threshold(&scores, &pos, 0.5);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (1, 1, 1, 1));
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.f1, 0.5);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = BinaryMetrics::at_threshold(&[0.1], &[true], 0.5);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+        let empty = BinaryMetrics::from_counts(0, 0, 0, 0);
+        assert_eq!(empty.accuracy, 0.0);
+    }
+
+    #[test]
+    fn perfect_separation_auc_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let pos = [true, true, false, false];
+        assert!((roc_auc(&scores, &pos) - 1.0).abs() < 1e-12);
+        let inverted = [0.1, 0.2, 0.8, 0.9];
+        assert!(roc_auc(&inverted, &pos).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_give_half_auc() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let pos = [true, true, false, false];
+        assert!((roc_auc(&scores, &pos) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(roc_auc(&[0.5, 0.6], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_pair_counting() {
+        let scores = [0.9, 0.4, 0.6, 0.3, 0.8];
+        let pos = [true, false, true, false, false];
+        // Count concordant pairs by brute force.
+        let mut concordant = 0.0;
+        let mut total = 0.0;
+        for (i, &pi) in pos.iter().enumerate() {
+            for (j, &pj) in pos.iter().enumerate() {
+                if pi && !pj {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        concordant += 1.0;
+                    } else if scores[i] == scores[j] {
+                        concordant += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((roc_auc(&scores, &pos) - concordant / total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Precision-recall curves and AUPRC (average precision).
+
+/// One point on a PR curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold producing this point.
+    pub threshold: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+}
+
+/// The PR curve swept over descending score thresholds, with tied scores
+/// collapsed into single points.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn pr_curve(scores: &[f64], positives: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), positives.len(), "score/label length mismatch");
+    let n_pos = positives.iter().filter(|&&p| p).count();
+    if n_pos == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut curve = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if positives[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(PrPoint {
+            threshold,
+            recall: tp as f64 / n_pos as f64,
+            precision: tp as f64 / (tp + fp) as f64,
+        });
+    }
+    curve
+}
+
+/// Average-precision AUPRC: `Σ (R_k - R_{k-1}) · P_k` over the descending
+/// sweep. Returns 0.0 when there are no positives.
+///
+/// ```
+/// use cm_eval::auprc;
+/// let scores = [0.9, 0.8, 0.3, 0.1];
+/// let truth  = [true, true, false, false];
+/// assert!((auprc(&scores, &truth) - 1.0).abs() < 1e-12);
+/// ```
+pub fn auprc(scores: &[f64], positives: &[bool]) -> f64 {
+    let curve = pr_curve(scores, positives);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_auprc() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let pos = [true, true, false, false];
+        assert!((auprc(&scores, &pos) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_is_poor() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let pos = [true, true, false, false];
+        let ap = auprc(&scores, &pos);
+        assert!(ap < 0.5, "ap = {ap}");
+    }
+
+    #[test]
+    fn random_scores_approach_positive_rate() {
+        // Deterministic pseudo-random permutation.
+        let n = 20_000;
+        let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761_usize) % n) as f64).collect();
+        let pos: Vec<bool> = (0..n).map(|i| i % 10 == 0).collect();
+        let ap = auprc(&scores, &pos);
+        assert!((ap - 0.1).abs() < 0.02, "ap = {ap}");
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        // All scores equal: single PR point at recall 1, precision = rate.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let pos = [true, false, false, false];
+        let curve = pr_curve(&scores, &pos);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].recall, 1.0);
+        assert_eq!(curve[0].precision, 0.25);
+        assert_eq!(auprc(&scores, &pos), 0.25);
+    }
+
+    #[test]
+    fn no_positives_yields_empty_curve() {
+        assert!(pr_curve(&[0.5], &[false]).is_empty());
+        assert_eq!(auprc(&[0.5], &[false]), 0.0);
+        assert_eq!(auprc(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let scores = [0.9, 0.7, 0.6, 0.5, 0.4, 0.2];
+        let pos = [true, false, true, false, true, false];
+        let curve = pr_curve(&scores, &pos);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold < w[0].threshold);
+        }
+        assert_eq!(curve.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    fn auprc_matches_hand_computation() {
+        // Descending: pos(1/1, R=1/2) then neg(...) then pos(2/3, R=1).
+        let scores = [0.9, 0.8, 0.7];
+        let pos = [true, false, true];
+        let expected = 0.5 * 1.0 + 0.5 * (2.0 / 3.0);
+        assert!((auprc(&scores, &pos) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_input() {
+        auprc(&[0.5], &[]);
+    }
+}

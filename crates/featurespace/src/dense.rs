@@ -1,0 +1,288 @@
+//! Densification of the common feature space into model-ready matrices.
+//!
+//! The discriminative models (§5) consume plain dense matrices. The encoder
+//! is *fitted* on a training table (to learn numeric standardization
+//! statistics and categorical widths) and then applied to any table with the
+//! same schema, so train/validation/test and old/new-modality tables share
+//! one layout — the mechanical core of early fusion.
+
+use cm_linalg::Matrix;
+
+use crate::table::FeatureTable;
+use crate::value::FeatureKind;
+
+/// Per-source-column slice of the dense layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseSlot {
+    /// Source column in the [`FeatureTable`].
+    pub source_column: usize,
+    /// First dense output column.
+    pub offset: usize,
+    /// Number of dense value columns (excluding the missing indicator).
+    pub width: usize,
+    /// Dense column holding the missing indicator (1.0 = missing).
+    pub missing_indicator: usize,
+}
+
+/// The fitted mapping from table columns to dense matrix columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayout {
+    slots: Vec<DenseSlot>,
+    total_width: usize,
+}
+
+impl DenseLayout {
+    /// Total dense width.
+    pub fn width(&self) -> usize {
+        self.total_width
+    }
+
+    /// Slot metadata per encoded source column.
+    pub fn slots(&self) -> &[DenseSlot] {
+        &self.slots
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SlotCodec {
+    /// mean/std fitted over *present* training values.
+    Numeric { mean: f64, std: f64 },
+    /// Multi-hot over `width` category ids; ids >= width are dropped.
+    Categorical { width: usize },
+    /// Raw embedding of width `dim`.
+    Embedding { dim: usize },
+}
+
+/// Fitted dense encoder; see the module docs.
+#[derive(Debug, Clone)]
+pub struct DenseEncoder {
+    layout: DenseLayout,
+    codecs: Vec<SlotCodec>,
+}
+
+impl DenseEncoder {
+    /// Fits an encoder over the selected `columns` of `train`.
+    ///
+    /// Numeric columns are standardized with statistics of their present
+    /// values; categorical widths come from the schema vocabulary, widened if
+    /// the training data contains larger ids (the simulator interns ids lazily).
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range for the schema.
+    pub fn fit(train: &FeatureTable, columns: &[usize]) -> Self {
+        let schema = train.schema();
+        let mut codecs = Vec::with_capacity(columns.len());
+        let mut slots = Vec::with_capacity(columns.len());
+        let mut offset = 0usize;
+        for &col in columns {
+            let def = schema.def(col);
+            let (codec, width) = match def.kind {
+                FeatureKind::Numeric => {
+                    let mut n = 0usize;
+                    let mut sum = 0.0f64;
+                    for r in 0..train.len() {
+                        if let Some(v) = train.numeric(r, col) {
+                            n += 1;
+                            sum += v;
+                        }
+                    }
+                    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+                    let mut var = 0.0f64;
+                    for r in 0..train.len() {
+                        if let Some(v) = train.numeric(r, col) {
+                            var += (v - mean).powi(2);
+                        }
+                    }
+                    let std = if n > 1 { (var / n as f64).sqrt() } else { 0.0 };
+                    let std = if std < 1e-9 { 1.0 } else { std };
+                    (SlotCodec::Numeric { mean, std }, 1)
+                }
+                FeatureKind::Categorical => {
+                    let mut width = def.vocab.len();
+                    for r in 0..train.len() {
+                        if let Some(ids) = train.categorical(r, col) {
+                            if let Some(&max) = ids.last() {
+                                width = width.max(max as usize + 1);
+                            }
+                        }
+                    }
+                    (SlotCodec::Categorical { width }, width)
+                }
+                FeatureKind::Embedding { dim } => (SlotCodec::Embedding { dim }, dim),
+            };
+            slots.push(DenseSlot {
+                source_column: col,
+                offset,
+                width,
+                missing_indicator: offset + width,
+            });
+            offset += width + 1;
+            codecs.push(codec);
+        }
+        Self { layout: DenseLayout { slots, total_width: offset }, codecs }
+    }
+
+    /// The fitted layout.
+    pub fn layout(&self) -> &DenseLayout {
+        &self.layout
+    }
+
+    /// Encodes a table into a dense matrix with the fitted layout.
+    pub fn transform(&self, table: &FeatureTable) -> Matrix {
+        let mut out = Matrix::zeros(table.len(), self.layout.total_width);
+        for r in 0..table.len() {
+            let row = out.row_mut(r);
+            for (slot, codec) in self.layout.slots.iter().zip(&self.codecs) {
+                let col = slot.source_column;
+                match codec {
+                    SlotCodec::Numeric { mean, std } => match table.numeric(r, col) {
+                        Some(v) => row[slot.offset] = ((v - mean) / std) as f32,
+                        None => row[slot.missing_indicator] = 1.0,
+                    },
+                    SlotCodec::Categorical { width } => match table.categorical(r, col) {
+                        Some(ids) => {
+                            for &id in ids {
+                                if (id as usize) < *width {
+                                    row[slot.offset + id as usize] = 1.0;
+                                }
+                            }
+                        }
+                        None => row[slot.missing_indicator] = 1.0,
+                    },
+                    SlotCodec::Embedding { dim } => match table.embedding(r, col) {
+                        Some(e) => row[slot.offset..slot.offset + dim].copy_from_slice(e),
+                        None => row[slot.missing_indicator] = 1.0,
+                    },
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
+    use crate::value::{CatSet, FeatureValue};
+    use crate::vocab::Vocabulary;
+
+    fn table() -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::numeric("n", FeatureSet::A, ServingMode::Servable),
+            FeatureDef::categorical(
+                "c",
+                FeatureSet::B,
+                ServingMode::Servable,
+                Vocabulary::from_names(["x", "y", "z"]),
+            ),
+            FeatureDef::embedding("e", 2, FeatureSet::ModalitySpecific, ServingMode::Servable),
+        ]));
+        let mut t = FeatureTable::new(schema);
+        t.push_row(&[
+            FeatureValue::Numeric(1.0),
+            FeatureValue::Categorical(CatSet::from_ids(vec![0, 2])),
+            FeatureValue::Embedding(vec![0.5, -0.5]),
+        ]);
+        t.push_row(&[
+            FeatureValue::Numeric(3.0),
+            FeatureValue::Missing,
+            FeatureValue::Missing,
+        ]);
+        t
+    }
+
+    #[test]
+    fn layout_has_expected_widths() {
+        let t = table();
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        // numeric: 1+1, categorical: 3+1, embedding: 2+1
+        assert_eq!(enc.layout().width(), 2 + 4 + 3);
+        let slots = enc.layout().slots();
+        assert_eq!(slots[0].width, 1);
+        assert_eq!(slots[1].width, 3);
+        assert_eq!(slots[2].width, 2);
+        assert_eq!(slots[1].offset, 2);
+        assert_eq!(slots[1].missing_indicator, 5);
+    }
+
+    #[test]
+    fn numeric_is_standardized_and_missing_flagged() {
+        let t = table();
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let m = enc.transform(&t);
+        // mean 2, std 1 -> values -1 and 1
+        assert!((m[(0, 0)] + 1.0).abs() < 1e-6);
+        assert!((m[(1, 0)] - 1.0).abs() < 1e-6);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m[(1, 1)], 0.0); // numeric present in both rows
+    }
+
+    #[test]
+    fn categorical_multi_hot_and_missing() {
+        let t = table();
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let m = enc.transform(&t);
+        // row 0: ids {0,2} -> columns 2 and 4 hot, 3 cold
+        assert_eq!(m[(0, 2)], 1.0);
+        assert_eq!(m[(0, 3)], 0.0);
+        assert_eq!(m[(0, 4)], 1.0);
+        assert_eq!(m[(0, 5)], 0.0);
+        // row 1: missing -> all cold, indicator hot
+        assert_eq!(m[(1, 2)], 0.0);
+        assert_eq!(m[(1, 5)], 1.0);
+    }
+
+    #[test]
+    fn embedding_copied_and_missing_zeroed() {
+        let t = table();
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let m = enc.transform(&t);
+        assert_eq!(m[(0, 6)], 0.5);
+        assert_eq!(m[(0, 7)], -0.5);
+        assert_eq!(m[(0, 8)], 0.0);
+        assert_eq!(m[(1, 6)], 0.0);
+        assert_eq!(m[(1, 8)], 1.0);
+    }
+
+    #[test]
+    fn column_subset_changes_layout() {
+        let t = table();
+        let enc = DenseEncoder::fit(&t, &[1]);
+        assert_eq!(enc.layout().width(), 4);
+        let m = enc.transform(&t);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn transform_applies_train_stats_to_new_table() {
+        let train = table();
+        let enc = DenseEncoder::fit(&train, &[0]);
+        let mut test = FeatureTable::new(Arc::clone(train.schema()));
+        test.push_row(&[
+            FeatureValue::Numeric(2.0),
+            FeatureValue::Missing,
+            FeatureValue::Missing,
+        ]);
+        let m = enc.transform(&test);
+        assert!((m[(0, 0)]).abs() < 1e-6); // (2-2)/1
+    }
+
+    #[test]
+    fn out_of_vocab_ids_are_dropped() {
+        let train = table();
+        let enc = DenseEncoder::fit(&train, &[1]);
+        let mut test = FeatureTable::new(Arc::clone(train.schema()));
+        test.push_row(&[
+            FeatureValue::Missing,
+            FeatureValue::Categorical(CatSet::from_ids(vec![7])),
+            FeatureValue::Missing,
+        ]);
+        let m = enc.transform(&test);
+        assert!(m.row(0)[..3].iter().all(|&v| v == 0.0));
+        assert_eq!(m[(0, 3)], 0.0); // present, so no missing flag
+    }
+}

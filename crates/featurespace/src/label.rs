@@ -1,0 +1,91 @@
+//! Core label and modality vocabulary shared across the pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary classification label. The paper evaluates binary topic/object
+/// classification tasks (§6.1); multi-class is future work there and here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The entity exhibits the task's topic/object of interest.
+    Positive,
+    /// It does not.
+    Negative,
+}
+
+impl Label {
+    /// `1.0` for positive, `0.0` for negative — the soft-label encoding the
+    /// noise-aware loss consumes.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Label::Positive => 1.0,
+            Label::Negative => 0.0,
+        }
+    }
+
+    /// Converts a probability into a hard label at threshold 0.5.
+    #[inline]
+    pub fn from_prob(p: f64) -> Self {
+        if p >= 0.5 {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// Whether the label is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Label::Positive)
+    }
+}
+
+/// Data modality of an entity. The case study adapts text-trained tasks to
+/// image (§6.1); `Video` exercises the "richer still" modality the
+/// introduction motivates (frame-split into image features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModalityKind {
+    /// Text posts: the old, label-rich modality.
+    Text,
+    /// Image posts: the new, unlabeled modality under adaptation.
+    Image,
+    /// Video posts: an even richer modality, featurized via frame splitting.
+    Video,
+}
+
+impl ModalityKind {
+    /// Short display name.
+    pub fn short(self) -> &'static str {
+        match self {
+            ModalityKind::Text => "T",
+            ModalityKind::Image => "I",
+            ModalityKind::Video => "V",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_float_round_trip() {
+        assert_eq!(Label::Positive.as_f64(), 1.0);
+        assert_eq!(Label::Negative.as_f64(), 0.0);
+        assert_eq!(Label::from_prob(0.9), Label::Positive);
+        assert_eq!(Label::from_prob(0.5), Label::Positive);
+        assert_eq!(Label::from_prob(0.49), Label::Negative);
+    }
+
+    #[test]
+    fn is_positive_matches_variant() {
+        assert!(Label::Positive.is_positive());
+        assert!(!Label::Negative.is_positive());
+    }
+
+    #[test]
+    fn modality_short_names_unique() {
+        let names = [ModalityKind::Text.short(), ModalityKind::Image.short(), ModalityKind::Video.short()];
+        assert_eq!(names, ["T", "I", "V"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! The *common feature space* at the heart of the paper (§3).
+//!
+//! Organizational resources transform data points of any modality into
+//! structured outputs — numeric values, multivalent categorical sets, or
+//! pre-trained embeddings. This crate provides the shared vocabulary for the
+//! whole pipeline:
+//!
+//! - [`FeatureValue`] / [`FeatureKind`] — the structured output types
+//!   services produce;
+//! - [`FeatureSchema`] / [`FeatureDef`] — which features exist, which of the
+//!   paper's service groups (sets A–D, §6.2) they belong to, and whether they
+//!   are *servable* at inference time (§2.3, §6.4);
+//! - [`FeatureTable`] — a columnar store of feature vectors with explicit
+//!   missingness (the modality gap means not every feature exists for every
+//!   modality);
+//! - [`DenseEncoder`] — one-hot / standardized densification so the model
+//!   substrate sees plain matrices;
+//! - [`similarity`] — Algorithm 1 graph weights used by label propagation.
+
+pub mod dense;
+pub mod label;
+pub mod schema;
+pub mod similarity;
+pub mod table;
+pub mod value;
+pub mod vocab;
+
+pub use dense::{DenseEncoder, DenseLayout};
+pub use label::{Label, ModalityKind};
+pub use schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
+pub use similarity::{algorithm1_weight, normalized_similarity, SimilarityConfig};
+pub use table::{Column, FeatureTable};
+pub use value::{CatSet, FeatureKind, FeatureValue};
+pub use vocab::Vocabulary;

@@ -1,0 +1,273 @@
+//! Feature schemas: definitions, service groups, and servability.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::FeatureKind;
+use crate::vocab::Vocabulary;
+
+/// The paper's four groups of services (§6.2): URL-based (A), keyword-based
+/// (B), topic-model-based (C), page-content-based (D). Features that exist
+/// for only one modality (e.g. a pre-trained image embedding) are
+/// `ModalitySpecific`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// URL-based metadata services.
+    A,
+    /// Keyword-based metadata services.
+    B,
+    /// Topic-model-based services.
+    C,
+    /// Page-content-based services.
+    D,
+    /// Features specific to one modality (not produced by a shared service).
+    ModalitySpecific,
+}
+
+impl FeatureSet {
+    /// The four shared service groups in paper order.
+    pub const SHARED: [FeatureSet; 4] = [FeatureSet::A, FeatureSet::B, FeatureSet::C, FeatureSet::D];
+
+    /// Parses a ladder spec like `"ABC"` into the prefix of shared sets.
+    ///
+    /// # Panics
+    /// Panics on characters outside `A`–`D`.
+    pub fn parse_ladder(spec: &str) -> Vec<FeatureSet> {
+        spec.chars()
+            .map(|c| match c {
+                'A' => FeatureSet::A,
+                'B' => FeatureSet::B,
+                'C' => FeatureSet::C,
+                'D' => FeatureSet::D,
+                other => panic!("unknown feature set {other:?}"),
+            })
+            .collect()
+    }
+}
+
+/// Whether a feature can be computed at model-serving time.
+///
+/// Nonservable features (§4.1, §6.4) are too expensive to extract in the
+/// serving path; they may still feed labeling functions because weak
+/// supervision is entirely offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServingMode {
+    /// Available both for training-data curation and at inference time.
+    Servable,
+    /// Available only offline (LF development, label propagation).
+    Nonservable,
+}
+
+/// Definition of one feature in the common space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// Unique feature name (e.g. `"topic"`, `"user_reports"`).
+    pub name: String,
+    /// Value kind.
+    pub kind: FeatureKind,
+    /// Which service group produces it.
+    pub set: FeatureSet,
+    /// Servability at inference time.
+    pub serving: ServingMode,
+    /// Category vocabulary (categorical features only).
+    pub vocab: Vocabulary,
+}
+
+impl FeatureDef {
+    /// A numeric feature.
+    pub fn numeric(name: &str, set: FeatureSet, serving: ServingMode) -> Self {
+        Self {
+            name: name.to_owned(),
+            kind: FeatureKind::Numeric,
+            set,
+            serving,
+            vocab: Vocabulary::new(),
+        }
+    }
+
+    /// A categorical feature with the given vocabulary.
+    pub fn categorical(name: &str, set: FeatureSet, serving: ServingMode, vocab: Vocabulary) -> Self {
+        Self { name: name.to_owned(), kind: FeatureKind::Categorical, set, serving, vocab }
+    }
+
+    /// An embedding feature of width `dim`.
+    pub fn embedding(name: &str, dim: usize, set: FeatureSet, serving: ServingMode) -> Self {
+        Self {
+            name: name.to_owned(),
+            kind: FeatureKind::Embedding { dim },
+            set,
+            serving,
+            vocab: Vocabulary::new(),
+        }
+    }
+}
+
+/// An ordered collection of feature definitions with name lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeatureSchema {
+    defs: Vec<FeatureDef>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl FeatureSchema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from definitions.
+    ///
+    /// # Panics
+    /// Panics on duplicate feature names.
+    pub fn from_defs(defs: Vec<FeatureDef>) -> Self {
+        let mut schema = Self::new();
+        for def in defs {
+            schema.push(def);
+        }
+        schema
+    }
+
+    /// Appends a feature definition, returning its column index.
+    ///
+    /// # Panics
+    /// Panics if the name is already present.
+    pub fn push(&mut self, def: FeatureDef) -> usize {
+        assert!(
+            !self.index.contains_key(&def.name),
+            "duplicate feature name {:?}",
+            def.name
+        );
+        let idx = self.defs.len();
+        self.index.insert(def.name.clone(), idx);
+        self.defs.push(def);
+        idx
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the schema has no features.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition at column `idx`.
+    pub fn def(&self, idx: usize) -> &FeatureDef {
+        &self.defs[idx]
+    }
+
+    /// All definitions in column order.
+    pub fn defs(&self) -> &[FeatureDef] {
+        &self.defs
+    }
+
+    /// Column index of a feature by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Column indices whose feature set is in `sets` (plus, optionally,
+    /// modality-specific columns).
+    pub fn columns_in_sets(&self, sets: &[FeatureSet], include_specific: bool) -> Vec<usize> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                sets.contains(&d.set)
+                    || (include_specific && d.set == FeatureSet::ModalitySpecific)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Column indices of servable features only.
+    pub fn servable_columns(&self) -> Vec<usize> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.serving == ServingMode::Servable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebuilds the name index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        for def in &mut self.defs {
+            def.vocab.rebuild_index();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> FeatureSchema {
+        FeatureSchema::from_defs(vec![
+            FeatureDef::categorical(
+                "topic",
+                FeatureSet::C,
+                ServingMode::Servable,
+                Vocabulary::from_names(["sports", "news"]),
+            ),
+            FeatureDef::numeric("user_reports", FeatureSet::A, ServingMode::Servable),
+            FeatureDef::numeric("share_velocity", FeatureSet::D, ServingMode::Nonservable),
+            FeatureDef::embedding("img_emb", 8, FeatureSet::ModalitySpecific, ServingMode::Servable),
+        ])
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = sample_schema();
+        assert_eq!(s.column("topic"), Some(0));
+        assert_eq!(s.column("img_emb"), Some(3));
+        assert_eq!(s.column("nope"), None);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature name")]
+    fn duplicate_names_rejected() {
+        let mut s = sample_schema();
+        s.push(FeatureDef::numeric("topic", FeatureSet::A, ServingMode::Servable));
+    }
+
+    #[test]
+    fn columns_in_sets_filters() {
+        let s = sample_schema();
+        assert_eq!(s.columns_in_sets(&[FeatureSet::A], false), vec![1]);
+        assert_eq!(s.columns_in_sets(&[FeatureSet::A, FeatureSet::C], false), vec![0, 1]);
+        assert_eq!(s.columns_in_sets(&[FeatureSet::A], true), vec![1, 3]);
+    }
+
+    #[test]
+    fn servable_columns_excludes_nonservable() {
+        let s = sample_schema();
+        assert_eq!(s.servable_columns(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn parse_ladder_maps_letters() {
+        assert_eq!(
+            FeatureSet::parse_ladder("ABCD"),
+            vec![FeatureSet::A, FeatureSet::B, FeatureSet::C, FeatureSet::D]
+        );
+        assert_eq!(FeatureSet::parse_ladder("AB"), vec![FeatureSet::A, FeatureSet::B]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature set")]
+    fn parse_ladder_rejects_unknown() {
+        FeatureSet::parse_ladder("AX");
+    }
+}

@@ -1,0 +1,322 @@
+//! Pairwise similarity over the common feature space (paper §4.4,
+//! Algorithm 1).
+//!
+//! Algorithm 1 as printed accumulates a numeric *distance* (any norm of the
+//! difference) and a categorical Jaccard *similarity* into one weight, with
+//! the text noting "each feature's contribution is normalized in lines 5 and
+//! 7, which we omit for simplicity." We provide both:
+//!
+//! - [`algorithm1_weight`] — the literal pseudocode, for fidelity and tests;
+//! - [`normalized_similarity`] — the normalized form used by the propagation
+//!   graph: each shared, present feature contributes a value in `[0, 1]`
+//!   (numeric via a scaled RBF of the absolute difference, categorical via
+//!   Jaccard, embeddings via shifted cosine), averaged over contributing
+//!   features.
+
+use crate::table::FeatureTable;
+use crate::value::FeatureKind;
+
+/// Configuration for [`normalized_similarity`].
+#[derive(Debug, Clone)]
+pub struct SimilarityConfig {
+    /// Per-numeric-feature scale: `sim = exp(-|a - b| / scale)`. Defaults to
+    /// 1.0 per feature; fit from data with [`SimilarityConfig::fit_scales`].
+    pub numeric_scales: Vec<(usize, f64)>,
+    /// Columns to compare. Pairs with no shared present feature get weight 0.
+    pub columns: Vec<usize>,
+}
+
+impl SimilarityConfig {
+    /// Uses the given columns with unit numeric scales.
+    pub fn uniform(columns: Vec<usize>) -> Self {
+        Self { numeric_scales: Vec::new(), columns }
+    }
+
+    /// Fits per-column numeric scales to the mean absolute deviation of each
+    /// numeric column in `table`, so one wide-ranged statistic (e.g. view
+    /// counts) cannot dominate the weight — the normalization Algorithm 1
+    /// alludes to.
+    pub fn fit_scales(mut self, table: &FeatureTable) -> Self {
+        let schema = table.schema();
+        self.numeric_scales.clear();
+        for &col in &self.columns {
+            if schema.def(col).kind != FeatureKind::Numeric {
+                continue;
+            }
+            let mut values = Vec::new();
+            for r in 0..table.len() {
+                if let Some(v) = table.numeric(r, col) {
+                    values.push(v);
+                }
+            }
+            if values.is_empty() {
+                continue;
+            }
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let mad = values.iter().map(|v| (v - mean).abs()).sum::<f64>() / values.len() as f64;
+            self.numeric_scales.push((col, mad.max(1e-9)));
+        }
+        self
+    }
+
+    fn scale_for(&self, col: usize) -> f64 {
+        self.numeric_scales
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map_or(1.0, |(_, s)| *s)
+    }
+}
+
+/// The literal Algorithm 1 weight: sum of `|a - b|` over shared numeric
+/// features and Jaccard over shared categorical features. Embedding and
+/// missing features are skipped (the paper's F is "the set of all features
+/// instantiated by F_i, F_j").
+pub fn algorithm1_weight(
+    a: (&FeatureTable, usize),
+    b: (&FeatureTable, usize),
+    columns: &[usize],
+) -> f64 {
+    let (ta, ra) = a;
+    let (tb, rb) = b;
+    debug_assert_eq!(ta.schema().len(), tb.schema().len(), "schema mismatch");
+    let mut w = 0.0;
+    for &col in columns {
+        match ta.schema().def(col).kind {
+            FeatureKind::Numeric => {
+                if let (Some(x), Some(y)) = (ta.numeric(ra, col), tb.numeric(rb, col)) {
+                    w += (x - y).abs();
+                }
+            }
+            FeatureKind::Categorical => {
+                if let (Some(x), Some(y)) = (ta.categorical(ra, col), tb.categorical(rb, col)) {
+                    w += jaccard_ids(x, y);
+                }
+            }
+            FeatureKind::Embedding { .. } => {}
+        }
+    }
+    w
+}
+
+/// Normalized similarity in `[0, 1]`: the mean per-feature similarity over
+/// features present in *both* rows. Returns 0.0 when no feature is shared.
+pub fn normalized_similarity(
+    a: (&FeatureTable, usize),
+    b: (&FeatureTable, usize),
+    config: &SimilarityConfig,
+) -> f64 {
+    let (ta, ra) = a;
+    let (tb, rb) = b;
+    debug_assert_eq!(ta.schema().len(), tb.schema().len(), "schema mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &col in &config.columns {
+        match ta.schema().def(col).kind {
+            FeatureKind::Numeric => {
+                if let (Some(x), Some(y)) = (ta.numeric(ra, col), tb.numeric(rb, col)) {
+                    let scale = config.scale_for(col);
+                    total += (-(x - y).abs() / scale).exp();
+                    count += 1;
+                }
+            }
+            FeatureKind::Categorical => {
+                if let (Some(x), Some(y)) = (ta.categorical(ra, col), tb.categorical(rb, col)) {
+                    total += jaccard_ids(x, y);
+                    count += 1;
+                }
+            }
+            FeatureKind::Embedding { .. } => {
+                if let (Some(x), Some(y)) = (ta.embedding(ra, col), tb.embedding(rb, col)) {
+                    total += 0.5 * (cosine(x, y) + 1.0);
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Jaccard similarity over two sorted id slices; both empty counts as 1.0.
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    let (mut i, mut j, mut inter) = (0, 0, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    let denom = (na * nb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (dot / denom).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
+    use crate::value::{CatSet, FeatureValue};
+    use crate::vocab::Vocabulary;
+
+    fn table() -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::numeric("n", FeatureSet::A, ServingMode::Servable),
+            FeatureDef::categorical(
+                "c",
+                FeatureSet::C,
+                ServingMode::Servable,
+                Vocabulary::from_names(["a", "b", "c"]),
+            ),
+            FeatureDef::embedding("e", 2, FeatureSet::ModalitySpecific, ServingMode::Servable),
+        ]));
+        let mut t = FeatureTable::new(schema);
+        // row 0 and 1: identical; row 2: different everywhere; row 3: mostly missing
+        t.push_row(&[
+            FeatureValue::Numeric(1.0),
+            FeatureValue::Categorical(CatSet::from_ids(vec![0, 1])),
+            FeatureValue::Embedding(vec![1.0, 0.0]),
+        ]);
+        t.push_row(&[
+            FeatureValue::Numeric(1.0),
+            FeatureValue::Categorical(CatSet::from_ids(vec![0, 1])),
+            FeatureValue::Embedding(vec![1.0, 0.0]),
+        ]);
+        t.push_row(&[
+            FeatureValue::Numeric(10.0),
+            FeatureValue::Categorical(CatSet::single(2)),
+            FeatureValue::Embedding(vec![-1.0, 0.0]),
+        ]);
+        t.push_row(&[FeatureValue::Missing, FeatureValue::Missing, FeatureValue::Missing]);
+        t
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper §4.4: F_t = (True, outdoor), F_i = (False, outdoor) gives
+        // weight 1 (jaccard(True,False)=0 + jaccard(outdoor,outdoor)=1).
+        let schema = Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::categorical(
+                "profanity",
+                FeatureSet::A,
+                ServingMode::Servable,
+                Vocabulary::from_names(["false", "true"]),
+            ),
+            FeatureDef::categorical(
+                "setting",
+                FeatureSet::A,
+                ServingMode::Servable,
+                Vocabulary::from_names(["outdoor", "indoor"]),
+            ),
+        ]));
+        let mut t = FeatureTable::new(schema);
+        t.push_row(&[
+            FeatureValue::Categorical(CatSet::single(1)),
+            FeatureValue::Categorical(CatSet::single(0)),
+        ]);
+        t.push_row(&[
+            FeatureValue::Categorical(CatSet::single(0)),
+            FeatureValue::Categorical(CatSet::single(0)),
+        ]);
+        let w = algorithm1_weight((&t, 0), (&t, 1), &[0, 1]);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_rows_have_max_normalized_similarity() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]);
+        let s = normalized_similarity((&t, 0), (&t, 1), &cfg);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn dissimilar_rows_score_lower() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]);
+        let close = normalized_similarity((&t, 0), (&t, 1), &cfg);
+        let far = normalized_similarity((&t, 0), (&t, 2), &cfg);
+        assert!(far < close);
+        assert!(far >= 0.0);
+    }
+
+    #[test]
+    fn all_missing_pair_scores_zero() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]);
+        assert_eq!(normalized_similarity((&t, 0), (&t, 3), &cfg), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                let ij = normalized_similarity((&t, i), (&t, j), &cfg);
+                let ji = normalized_similarity((&t, j), (&t, i), &cfg);
+                assert!((ij - ji).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_scales_tame_wide_numerics() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0]).fit_scales(&t);
+        // With MAD-fitted scale, |1-10| should not drive similarity to ~0
+        // as hard as with unit scale.
+        let unit = SimilarityConfig::uniform(vec![0]);
+        let s_fit = normalized_similarity((&t, 0), (&t, 2), &cfg);
+        let s_unit = normalized_similarity((&t, 0), (&t, 2), &unit);
+        assert!(s_fit > s_unit);
+    }
+
+    #[test]
+    fn similarity_bounded_in_unit_interval() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]).fit_scales(&t);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                let s = normalized_similarity((&t, i), (&t, j), &cfg);
+                assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_ids_edge_cases() {
+        assert_eq!(jaccard_ids(&[], &[]), 1.0);
+        assert_eq!(jaccard_ids(&[1], &[]), 0.0);
+        assert_eq!(jaccard_ids(&[1, 2], &[2, 3]), 1.0 / 3.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Feature values and kinds.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a feature, fixed by the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A quantitative value (aggregate statistic, count, score).
+    Numeric,
+    /// A multivalent categorical value: a *set* of category ids drawn from a
+    /// per-feature vocabulary (e.g. the objects detected in an image).
+    Categorical,
+    /// A fixed-dimension dense embedding (e.g. a pre-trained image
+    /// embedding). The dimension is part of the schema.
+    Embedding {
+        /// Embedding width.
+        dim: usize,
+    },
+}
+
+/// A sorted, deduplicated set of category ids.
+///
+/// Multivalent categorical features (14 of the paper's 15 services emit
+/// these) are stored as sorted `u32` sets so Jaccard similarity and itemset
+/// mining run over them with merge-style passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CatSet(Vec<u32>);
+
+impl CatSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Builds a set from arbitrary ids (sorted and deduplicated).
+    pub fn from_ids(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self(ids)
+    }
+
+    /// A single-element set.
+    pub fn single(id: u32) -> Self {
+        Self(vec![id])
+    }
+
+    /// The sorted ids.
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of categories present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search over the sorted ids).
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+
+    /// Inserts an id, keeping sortedness; no-op if already present.
+    pub fn insert(&mut self, id: u32) {
+        if let Err(pos) = self.0.binary_search(&id) {
+            self.0.insert(pos, id);
+        }
+    }
+
+    /// Size of the intersection with `other` (merge pass, O(n+m)).
+    pub fn intersection_len(&self, other: &CatSet) -> usize {
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Jaccard similarity `|A ∩ B| / |A ∪ B|`; two empty sets are defined to
+    /// be identical (1.0).
+    pub fn jaccard(&self, other: &CatSet) -> f64 {
+        let inter = self.intersection_len(other);
+        let union = self.0.len() + other.0.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Iterates over the ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl FromIterator<u32> for CatSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::from_ids(iter.into_iter().collect())
+    }
+}
+
+/// A single feature value as produced by an organizational resource.
+///
+/// `Missing` is first-class: the modality gap means a service may not apply
+/// to a data point at all (e.g. word count for an image post).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// Quantitative value.
+    Numeric(f64),
+    /// Multivalent categorical set.
+    Categorical(CatSet),
+    /// Dense embedding.
+    Embedding(Vec<f32>),
+    /// The feature does not exist for this data point.
+    Missing,
+}
+
+impl FeatureValue {
+    /// The kind this value conforms to, or `None` for `Missing` (which
+    /// conforms to every kind).
+    pub fn kind(&self) -> Option<FeatureKind> {
+        match self {
+            FeatureValue::Numeric(_) => Some(FeatureKind::Numeric),
+            FeatureValue::Categorical(_) => Some(FeatureKind::Categorical),
+            FeatureValue::Embedding(e) => Some(FeatureKind::Embedding { dim: e.len() }),
+            FeatureValue::Missing => None,
+        }
+    }
+
+    /// Whether this value is `Missing`.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, FeatureValue::Missing)
+    }
+
+    /// The numeric payload, if any.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            FeatureValue::Numeric(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The categorical payload, if any.
+    pub fn as_categorical(&self) -> Option<&CatSet> {
+        match self {
+            FeatureValue::Categorical(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The embedding payload, if any.
+    pub fn as_embedding(&self) -> Option<&[f32]> {
+        match self {
+            FeatureValue::Embedding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catset_sorts_and_dedups() {
+        let s = CatSet::from_ids(vec![3, 1, 3, 2, 1]);
+        assert_eq!(s.ids(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn catset_contains_and_insert() {
+        let mut s = CatSet::from_ids(vec![5, 10]);
+        assert!(s.contains(5));
+        assert!(!s.contains(7));
+        s.insert(7);
+        assert_eq!(s.ids(), &[5, 7, 10]);
+        s.insert(7);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn jaccard_identical_disjoint_partial() {
+        let a = CatSet::from_ids(vec![1, 2, 3]);
+        let b = CatSet::from_ids(vec![1, 2, 3]);
+        let c = CatSet::from_ids(vec![4, 5]);
+        let d = CatSet::from_ids(vec![2, 3, 4]);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.jaccard(&c), 0.0);
+        assert!((a.jaccard(&d) - 0.5).abs() < 1e-12); // |{2,3}| / |{1,2,3,4}|
+    }
+
+    #[test]
+    fn jaccard_of_empty_sets_is_one() {
+        assert_eq!(CatSet::new().jaccard(&CatSet::new()), 1.0);
+        assert_eq!(CatSet::new().jaccard(&CatSet::single(1)), 0.0);
+    }
+
+    #[test]
+    fn intersection_len_merge() {
+        let a = CatSet::from_ids(vec![1, 3, 5, 7]);
+        let b = CatSet::from_ids(vec![2, 3, 4, 7, 9]);
+        assert_eq!(a.intersection_len(&b), 2);
+    }
+
+    #[test]
+    fn value_kind_and_accessors() {
+        assert_eq!(FeatureValue::Numeric(1.5).kind(), Some(FeatureKind::Numeric));
+        assert_eq!(FeatureValue::Numeric(1.5).as_numeric(), Some(1.5));
+        assert_eq!(
+            FeatureValue::Embedding(vec![0.0; 4]).kind(),
+            Some(FeatureKind::Embedding { dim: 4 })
+        );
+        assert!(FeatureValue::Missing.is_missing());
+        assert_eq!(FeatureValue::Missing.kind(), None);
+        assert_eq!(FeatureValue::Numeric(1.0).as_categorical(), None);
+    }
+
+    #[test]
+    fn catset_from_iterator() {
+        let s: CatSet = [9u32, 1, 9].into_iter().collect();
+        assert_eq!(s.ids(), &[1, 9]);
+    }
+}

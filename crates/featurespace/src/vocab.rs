@@ -1,0 +1,141 @@
+//! Per-feature category vocabularies (string <-> id dictionary encoding).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Interned category vocabulary for one categorical feature.
+///
+/// The paper's services emit multivalent categorical features "with
+/// vocabularies of up to several thousand categories" (§6.2); dictionary
+/// encoding keeps the columnar store and itemset miner working over dense
+/// `u32` ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vocabulary from a list of distinct names.
+    ///
+    /// # Panics
+    /// Panics if a name appears twice.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v = Self::new();
+        for n in names {
+            let n = n.into();
+            assert!(!v.index.contains_key(&n), "duplicate vocabulary entry {n:?}");
+            v.intern(&n);
+        }
+        v
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("vocabulary overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing id.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned categories.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the reverse index (needed after deserialization, where the
+    /// map is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("dog");
+        let b = v.intern("park");
+        let a2 = v.intern("dog");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_name_and_id() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("outdoor");
+        assert_eq!(v.name(id), Some("outdoor"));
+        assert_eq!(v.get("outdoor"), Some(id));
+        assert_eq!(v.get("indoor"), None);
+        assert_eq!(v.name(99), None);
+    }
+
+    #[test]
+    fn from_names_assigns_sequential_ids() {
+        let v = Vocabulary::from_names(["a", "b", "c"]);
+        assert_eq!(v.get("a"), Some(0));
+        assert_eq!(v.get("c"), Some(2));
+        let collected: Vec<_> = v.iter().collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vocabulary entry")]
+    fn from_names_rejects_duplicates() {
+        Vocabulary::from_names(["x", "x"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut v = Vocabulary::from_names(["p", "q"]);
+        v.index.clear();
+        assert_eq!(v.get("p"), None);
+        v.rebuild_index();
+        assert_eq!(v.get("p"), Some(0));
+        assert_eq!(v.get("q"), Some(1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Serialization round-trips for the schema layer (schemas are the contract
+//! between feature-generation jobs and training jobs; they must survive
+//! persistence).
+
+use cm_featurespace::{
+    CatSet, FeatureDef, FeatureKind, FeatureSchema, FeatureSet, FeatureValue, ServingMode,
+    Vocabulary,
+};
+
+fn sample_schema() -> FeatureSchema {
+    FeatureSchema::from_defs(vec![
+        FeatureDef::categorical(
+            "topics",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names(["sports", "news", "pets"]),
+        ),
+        FeatureDef::numeric("user_reports", FeatureSet::D, ServingMode::Nonservable),
+        FeatureDef::embedding("img_embedding", 16, FeatureSet::ModalitySpecific, ServingMode::Servable),
+    ])
+}
+
+#[test]
+fn schema_round_trips_through_json() {
+    let schema = sample_schema();
+    let json = serde_json::to_string(&schema).expect("schema serializes");
+    let mut back: FeatureSchema = serde_json::from_str(&json).expect("schema deserializes");
+    // Lookup indices are skipped during serialization and must be rebuilt.
+    assert_eq!(back.column("topics"), None);
+    back.rebuild_index();
+    assert_eq!(back.column("topics"), Some(0));
+    assert_eq!(back.column("user_reports"), Some(1));
+    assert_eq!(back.def(0).vocab.get("news"), Some(1));
+    assert_eq!(back.def(1).serving, ServingMode::Nonservable);
+    assert_eq!(back.def(2).kind, FeatureKind::Embedding { dim: 16 });
+    assert_eq!(back.len(), schema.len());
+}
+
+#[test]
+fn feature_values_round_trip_through_json() {
+    let values = vec![
+        FeatureValue::Numeric(3.25),
+        FeatureValue::Categorical(CatSet::from_ids(vec![5, 1, 1])),
+        FeatureValue::Embedding(vec![0.5, -0.5]),
+        FeatureValue::Missing,
+    ];
+    let json = serde_json::to_string(&values).unwrap();
+    let back: Vec<FeatureValue> = serde_json::from_str(&json).unwrap();
+    assert_eq!(values, back);
+}
+
+#[test]
+fn vocabulary_preserves_id_order_across_serde() {
+    let v = Vocabulary::from_names(["z", "a", "m"]);
+    let json = serde_json::to_string(&v).unwrap();
+    let mut back: Vocabulary = serde_json::from_str(&json).unwrap();
+    back.rebuild_index();
+    // Ids are positional, not alphabetical.
+    assert_eq!(back.get("z"), Some(0));
+    assert_eq!(back.get("a"), Some(1));
+    assert_eq!(back.name(2), Some("m"));
+}

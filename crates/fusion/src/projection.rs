@@ -1,0 +1,169 @@
+//! Linear projection between embedding spaces (the "P" layer of DeViSE).
+
+use cm_linalg::{xavier_uniform, Matrix};
+use cm_models::{Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A linear map `y = W x + b` trained by mini-batch MSE regression.
+#[derive(Debug, Clone)]
+pub struct LinearProjection {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+/// Hyperparameters for [`LinearProjection::fit`].
+#[derive(Debug, Clone)]
+pub struct ProjectionConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> Self {
+        Self { epochs: 40, batch_size: 32, lr: 0.01, seed: 0 }
+    }
+}
+
+impl LinearProjection {
+    /// Fits the projection mapping rows of `src` to rows of `dst`.
+    ///
+    /// # Panics
+    /// Panics if row counts differ or the input is empty.
+    pub fn fit(src: &Matrix, dst: &Matrix, config: &ProjectionConfig) -> Self {
+        assert_eq!(src.rows(), dst.rows(), "row count mismatch");
+        assert!(src.rows() > 0, "empty projection training set");
+        let (d_in, d_out) = (src.cols(), dst.cols());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut w = xavier_uniform(&mut rng, d_in, d_out);
+        let mut b = vec![0.0f32; d_out];
+        let mut opt_w = Adam::new(config.lr, d_out * d_in);
+        let mut opt_b = Adam::new(config.lr, d_out);
+        let mut order: Vec<usize> = (0..src.rows()).collect();
+        let mut grad_w = Matrix::zeros(d_out, d_in);
+        let mut grad_b = vec![0.0f32; d_out];
+        for epoch in 0..config.epochs {
+            let mut epoch_rng = StdRng::seed_from_u64(config.seed ^ (epoch as u64 + 1));
+            order.shuffle(&mut epoch_rng);
+            for batch in order.chunks(config.batch_size) {
+                grad_w.fill_zero();
+                grad_b.fill(0.0);
+                for &i in batch {
+                    let x = src.row(i);
+                    let y = dst.row(i);
+                    for o in 0..d_out {
+                        let pred = cm_linalg::dot(w.row(o), x) + b[o];
+                        let err = 2.0 * (pred - y[o]) / batch.len() as f32;
+                        cm_linalg::axpy(err, x, grad_w.row_mut(o));
+                        grad_b[o] += err;
+                    }
+                }
+                opt_w.step(w.as_mut_slice(), grad_w.as_slice());
+                opt_b.step(&mut b, &grad_b);
+            }
+        }
+        Self { w, b }
+    }
+
+    /// Projects rows of `x`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn project(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.w.cols(), "projection width mismatch");
+        let mut out = Matrix::zeros(x.rows(), self.w.rows());
+        for r in 0..x.rows() {
+            let y = self.w.matvec(x.row(r));
+            let row = out.row_mut(r);
+            for (o, (v, &bias)) in y.iter().zip(&self.b).enumerate() {
+                row[o] = v + bias;
+            }
+        }
+        out
+    }
+
+    /// Mean squared error of the projection on a paired set.
+    pub fn mse(&self, src: &Matrix, dst: &Matrix) -> f64 {
+        assert_eq!(src.rows(), dst.rows(), "row count mismatch");
+        let proj = self.project(src);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for r in 0..src.rows() {
+            for (a, b) in proj.row(r).iter().zip(dst.row(r)) {
+                total += f64::from(a - b).powi(2);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            total / count as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds y = A x + c data.
+    fn linear_data(n: usize) -> (Matrix, Matrix) {
+        let a = [[1.0f32, -2.0], [0.5, 0.5], [3.0, 0.0]];
+        let c = [0.1f32, -0.2, 0.3];
+        let mut src = Vec::with_capacity(n);
+        let mut dst = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = ((i * 31 % 97) as f32) / 97.0 - 0.5;
+            let x1 = ((i * 57 % 89) as f32) / 89.0 - 0.5;
+            src.push(vec![x0, x1]);
+            dst.push((0..3).map(|o| a[o][0] * x0 + a[o][1] * x1 + c[o]).collect());
+        }
+        (Matrix::from_rows(&src), Matrix::from_rows(&dst))
+    }
+
+    #[test]
+    fn recovers_linear_map() {
+        let (src, dst) = linear_data(300);
+        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig::default());
+        let mse = p.mse(&src, &dst);
+        assert!(mse < 5e-3, "mse = {mse}");
+    }
+
+    #[test]
+    fn project_shape() {
+        let (src, dst) = linear_data(50);
+        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig { epochs: 2, ..Default::default() });
+        assert_eq!(p.project(&src).shape(), (50, 3));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (src, dst) = linear_data(100);
+        let cfg = ProjectionConfig::default();
+        let a = LinearProjection::fit(&src, &dst, &cfg);
+        let b = LinearProjection::fit(&src, &dst, &cfg);
+        assert_eq!(a.project(&src).as_slice(), b.project(&src).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn rejects_unpaired_data() {
+        let (src, _) = linear_data(10);
+        LinearProjection::fit(&src, &Matrix::zeros(5, 3), &ProjectionConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "projection width mismatch")]
+    fn project_rejects_wrong_width() {
+        let (src, dst) = linear_data(10);
+        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig { epochs: 1, ..Default::default() });
+        p.project(&Matrix::zeros(1, 5));
+    }
+}

@@ -1,0 +1,285 @@
+//! Dev-set-anchored label model.
+//!
+//! The paper's central trick (§4.2) is that the labeled old-modality corpus
+//! serves as a development set for LFs that transfer to the new modality
+//! through the common feature space. This model exploits that directly:
+//! each LF's *class-conditional vote rates* — `P(vote | y)` for votes in
+//! `{+1, -1, 0}` — are estimated on the labeled dev matrix with Laplace
+//! smoothing, and posteriors on the unlabeled target matrix follow from
+//! Bayes' rule under conditional independence.
+//!
+//! Compared to the EM-fitted [`crate::GenerativeModel`], anchoring is the
+//! right tool under heavy class imbalance: EM with a small fixed prior
+//! collapses precision-oriented LF accuracies toward the better-than-random
+//! floor (a positive vote can then never overcome the prior), whereas
+//! dev-measured rates keep the full likelihood ratio.
+
+use cm_featurespace::Label;
+
+use crate::matrix::LabelMatrix;
+
+/// Class-conditional vote rates of one LF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LfRates {
+    /// `P(vote = +1 | y = 1)`.
+    pub pos_given_pos: f64,
+    /// `P(vote = -1 | y = 1)`.
+    pub neg_given_pos: f64,
+    /// `P(vote = +1 | y = 0)`.
+    pub pos_given_neg: f64,
+    /// `P(vote = -1 | y = 0)`.
+    pub neg_given_neg: f64,
+}
+
+impl LfRates {
+    /// Estimates rates from one LF's votes against ground truth, with
+    /// Laplace smoothing. Used when an LF's dev evidence lives on a
+    /// different slice than the rest (e.g. the label-propagation LF, whose
+    /// scores exist only for the held-out tuning slice).
+    ///
+    /// # Panics
+    /// Panics on size mismatch or a single-class label set.
+    pub fn estimate(votes: &[i8], labels: &[Label]) -> Self {
+        assert_eq!(votes.len(), labels.len(), "vote/label count mismatch");
+        let n_pos = labels.iter().filter(|l| l.is_positive()).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "dev set must contain both classes");
+        let mut counts = [[0usize; 2]; 2];
+        for (&v, label) in votes.iter().zip(labels) {
+            if v == 0 {
+                continue;
+            }
+            counts[usize::from(label.is_positive())][usize::from(v > 0)] += 1;
+        }
+        let smooth = |c: usize, n: usize| (c as f64 + 0.5) / (n as f64 + 1.5);
+        Self {
+            pos_given_pos: smooth(counts[1][1], n_pos),
+            neg_given_pos: smooth(counts[1][0], n_pos),
+            pos_given_neg: smooth(counts[0][1], n_neg),
+            neg_given_neg: smooth(counts[0][0], n_neg),
+        }
+    }
+
+    /// `P(vote | y)` for an encoded vote.
+    fn likelihood(&self, vote: i8, positive: bool) -> f64 {
+        let (p, n) = if positive {
+            (self.pos_given_pos, self.neg_given_pos)
+        } else {
+            (self.pos_given_neg, self.neg_given_neg)
+        };
+        match vote {
+            1 => p,
+            -1 => n,
+            _ => (1.0 - p - n).max(1e-9),
+        }
+    }
+}
+
+/// A label model anchored on a labeled development matrix.
+///
+/// ```
+/// use cm_featurespace::Label;
+/// use cm_labelmodel::{AnchoredModel, LabelMatrix};
+/// // One LF that fires on 3 of 4 dev positives and 1 of 12 dev negatives.
+/// let votes = vec![1, 1, 1, 0,  1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+/// let dev = LabelMatrix::from_votes(16, 1, votes, vec!["lf".into()]);
+/// let labels: Vec<Label> = (0..16)
+///     .map(|i| if i < 4 { Label::Positive } else { Label::Negative })
+///     .collect();
+/// let model = AnchoredModel::fit(&dev, &labels, None);
+/// // On a new point the LF fires on, the posterior beats the 25% prior.
+/// let target = LabelMatrix::from_votes(1, 1, vec![1], vec!["lf".into()]);
+/// assert!(model.predict(&target)[0] > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnchoredModel {
+    rates: Vec<LfRates>,
+    class_prior: f64,
+}
+
+impl AnchoredModel {
+    /// Estimates vote rates from a dev label matrix and its ground truth.
+    /// `class_prior` overrides the dev positive rate when given (e.g. when
+    /// the target modality's prior is known to differ).
+    ///
+    /// # Panics
+    /// Panics on size mismatch or an empty/single-class dev set.
+    pub fn fit(dev: &LabelMatrix, labels: &[Label], class_prior: Option<f64>) -> Self {
+        assert_eq!(dev.n_rows(), labels.len(), "dev label count mismatch");
+        let n_pos = labels.iter().filter(|l| l.is_positive()).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "dev set must contain both classes");
+
+        let mut rates = Vec::with_capacity(dev.n_lfs());
+        for j in 0..dev.n_lfs() {
+            let mut counts = [[0usize; 2]; 2]; // [class][vote sign]
+            for (r, label) in labels.iter().enumerate() {
+                let v = dev.row(r)[j];
+                if v == 0 {
+                    continue;
+                }
+                let cls = usize::from(label.is_positive());
+                let sign = usize::from(v > 0);
+                counts[cls][sign] += 1;
+            }
+            // Laplace smoothing over the three outcomes (+1, -1, abstain).
+            let smooth = |c: usize, n: usize| (c as f64 + 0.5) / (n as f64 + 1.5);
+            rates.push(LfRates {
+                pos_given_pos: smooth(counts[1][1], n_pos),
+                neg_given_pos: smooth(counts[1][0], n_pos),
+                pos_given_neg: smooth(counts[0][1], n_neg),
+                neg_given_neg: smooth(counts[0][0], n_neg),
+            });
+        }
+        let prior = class_prior
+            .unwrap_or(n_pos as f64 / labels.len() as f64)
+            .clamp(1e-4, 1.0 - 1e-4);
+        Self { rates, class_prior: prior }
+    }
+
+    /// Builds a model from externally estimated rates.
+    ///
+    /// # Panics
+    /// Panics if `class_prior` is outside `(0, 1)`.
+    pub fn from_rates(rates: Vec<LfRates>, class_prior: f64) -> Self {
+        assert!(class_prior > 0.0 && class_prior < 1.0, "invalid class prior");
+        Self { rates, class_prior }
+    }
+
+    /// The per-LF rates.
+    pub fn rates(&self) -> &[LfRates] {
+        &self.rates
+    }
+
+    /// The class prior in use.
+    pub fn class_prior(&self) -> f64 {
+        self.class_prior
+    }
+
+    /// Probabilistic labels for a target matrix. Abstains carry their own
+    /// (class-conditional) evidence; rows where every LF abstains still move
+    /// off the prior only as far as the abstain rates warrant.
+    ///
+    /// # Panics
+    /// Panics if the LF count differs from the dev matrix.
+    pub fn predict(&self, matrix: &LabelMatrix) -> Vec<f64> {
+        assert_eq!(matrix.n_lfs(), self.rates.len(), "LF count mismatch");
+        (0..matrix.n_rows())
+            .map(|r| {
+                let mut log_pos = self.class_prior.ln();
+                let mut log_neg = (1.0 - self.class_prior).ln();
+                for (&v, rates) in matrix.row(r).iter().zip(&self.rates) {
+                    log_pos += rates.likelihood(v, true).ln();
+                    log_neg += rates.likelihood(v, false).ln();
+                }
+                let m = log_pos.max(log_neg);
+                let p = (log_pos - m).exp();
+                let n = (log_neg - m).exp();
+                p / (p + n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dev matrix: LF0 fires + on 80% of positives and 2% of negatives;
+    /// LF1 fires - on 60% of negatives and 5% of positives.
+    fn dev_fixture(n_pos: usize, n_neg: usize) -> (LabelMatrix, Vec<Label>) {
+        let mut votes = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            votes.push(if i % 10 < 8 { 1 } else { 0 });
+            votes.push(if i % 20 == 0 { -1 } else { 0 });
+            labels.push(Label::Positive);
+        }
+        for i in 0..n_neg {
+            votes.push(if i % 50 == 0 { 1 } else { 0 });
+            votes.push(if i % 10 < 6 { -1 } else { 0 });
+            labels.push(Label::Negative);
+        }
+        (
+            LabelMatrix::from_votes(n_pos + n_neg, 2, votes, vec!["p".into(), "n".into()]),
+            labels,
+        )
+    }
+
+    #[test]
+    fn rates_match_dev_frequencies() {
+        let (m, labels) = dev_fixture(100, 900);
+        let model = AnchoredModel::fit(&m, &labels, None);
+        let r = &model.rates()[0];
+        assert!((r.pos_given_pos - 0.8).abs() < 0.02, "{r:?}");
+        assert!((r.pos_given_neg - 0.02).abs() < 0.01, "{r:?}");
+        assert!((model.class_prior() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_vote_overcomes_small_prior() {
+        // The failure mode that motivates anchoring: with a 4% prior, a
+        // high-precision LF firing must push the posterior above 0.5.
+        let (m, labels) = dev_fixture(200, 4800);
+        let model = AnchoredModel::fit(&m, &labels, None);
+        let target = LabelMatrix::from_votes(
+            3,
+            2,
+            vec![1, 0, 0, -1, 0, 0],
+            vec!["p".into(), "n".into()],
+        );
+        let probs = model.predict(&target);
+        assert!(probs[0] > 0.5, "positive vote posterior {}", probs[0]);
+        assert!(probs[1] < model.class_prior(), "negative vote must lower the prior");
+        // All-abstain row stays near the prior (abstain carries weak
+        // evidence, so "near", not "equal").
+        assert!((probs[2] - model.class_prior()).abs() < 0.05);
+    }
+
+    #[test]
+    fn agreeing_lfs_compound() {
+        let (m, labels) = dev_fixture(100, 900);
+        let model = AnchoredModel::fit(&m, &labels, None);
+        let target = LabelMatrix::from_votes(
+            2,
+            2,
+            vec![1, 0, 1, -1],
+            vec!["p".into(), "n".into()],
+        );
+        let probs = model.predict(&target);
+        // A contradicting negative vote must lower the posterior.
+        assert!(probs[0] > probs[1]);
+    }
+
+    #[test]
+    fn prior_override_is_used() {
+        let (m, labels) = dev_fixture(100, 900);
+        let model = AnchoredModel::fit(&m, &labels, Some(0.3));
+        assert_eq!(model.class_prior(), 0.3);
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let (m, labels) = dev_fixture(100, 900);
+        let model = AnchoredModel::fit(&m, &labels, None);
+        for p in model.predict(&m) {
+            assert!((0.0..=1.0).contains(&p) && !p.is_nan());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class_dev() {
+        let m = LabelMatrix::from_votes(2, 1, vec![1, 0], vec!["a".into()]);
+        AnchoredModel::fit(&m, &[Label::Positive, Label::Positive], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "LF count mismatch")]
+    fn predict_checks_width() {
+        let (m, labels) = dev_fixture(50, 450);
+        let model = AnchoredModel::fit(&m, &labels, None);
+        let other = LabelMatrix::from_votes(1, 1, vec![1], vec!["x".into()]);
+        model.predict(&other);
+    }
+}

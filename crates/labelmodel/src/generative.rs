@@ -1,0 +1,335 @@
+//! The generative label model: estimates LF accuracies from agreement
+//! structure and produces probabilistic labels (§4.1, step 3).
+//!
+//! This is the conditionally-independent Snorkel model (the one Snorkel
+//! Drybell deploys): each LF has an abstain propensity and an accuracy;
+//! given the true label, votes are independent. Parameters are fitted with
+//! EM; probabilistic labels are the E-step posteriors at convergence.
+
+use crate::matrix::LabelMatrix;
+
+/// Configuration for [`GenerativeModel::fit`].
+#[derive(Debug, Clone)]
+pub struct GenerativeConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on mean absolute posterior change.
+    pub tol: f64,
+    /// Class prior `P(y = 1)`. `Some(p)` keeps it fixed (the paper knows
+    /// task positive rates from the old modality); `None` re-estimates it
+    /// each M-step.
+    pub class_prior: Option<f64>,
+    /// Initial LF accuracy.
+    pub init_accuracy: f64,
+    /// Accuracy clamp range, enforcing Snorkel's better-than-random
+    /// assumption and numeric safety.
+    pub accuracy_bounds: (f64, f64),
+}
+
+impl Default for GenerativeConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+            class_prior: None,
+            init_accuracy: 0.7,
+            accuracy_bounds: (0.55, 0.995),
+        }
+    }
+}
+
+/// A fitted generative label model.
+#[derive(Debug, Clone)]
+pub struct GenerativeModel {
+    accuracies: Vec<f64>,
+    class_prior: f64,
+    iterations: usize,
+}
+
+impl GenerativeModel {
+    /// Fits the model on a label matrix with EM.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no LFs.
+    #[allow(clippy::needless_range_loop)] // parallel matrix/posterior indexing
+    pub fn fit(matrix: &LabelMatrix, config: &GenerativeConfig) -> Self {
+        assert!(matrix.n_lfs() > 0, "cannot fit a generative model with zero LFs");
+        let (lo, hi) = config.accuracy_bounds;
+        assert!(lo > 0.5 && hi < 1.0 && lo < hi, "invalid accuracy bounds");
+        let mut accuracies = vec![config.init_accuracy.clamp(lo, hi); matrix.n_lfs()];
+        let mut prior = config.class_prior.unwrap_or(0.5).clamp(1e-4, 1.0 - 1e-4);
+
+        let mut posteriors = vec![0.5f64; matrix.n_rows()];
+        let mut iterations = 0;
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // E-step.
+            let mut delta = 0.0;
+            for r in 0..matrix.n_rows() {
+                let q = posterior_for_row(matrix.row(r), &accuracies, prior);
+                delta += (q - posteriors[r]).abs();
+                posteriors[r] = q;
+            }
+            delta /= matrix.n_rows().max(1) as f64;
+
+            // M-step: accuracies.
+            for j in 0..matrix.n_lfs() {
+                let mut agree = 0.0f64;
+                let mut total = 0.0f64;
+                for r in 0..matrix.n_rows() {
+                    let v = matrix.row(r)[j];
+                    if v == 0 {
+                        continue;
+                    }
+                    total += 1.0;
+                    if v > 0 {
+                        agree += posteriors[r];
+                    } else {
+                        agree += 1.0 - posteriors[r];
+                    }
+                }
+                if total > 0.0 {
+                    accuracies[j] = (agree / total).clamp(lo, hi);
+                }
+            }
+            // M-step: prior.
+            if config.class_prior.is_none() && matrix.n_rows() > 0 {
+                prior = (posteriors.iter().sum::<f64>() / matrix.n_rows() as f64)
+                    .clamp(1e-4, 1.0 - 1e-4);
+            }
+            if delta < config.tol && iter > 0 {
+                break;
+            }
+        }
+        Self { accuracies, class_prior: prior, iterations }
+    }
+
+    /// Estimated LF accuracies.
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Estimated (or fixed) class prior.
+    pub fn class_prior(&self) -> f64 {
+        self.class_prior
+    }
+
+    /// EM iterations run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Probabilistic labels for a (possibly different) label matrix.
+    ///
+    /// Rows where every LF abstains get the class prior.
+    ///
+    /// # Panics
+    /// Panics if the LF count differs from the fitted matrix.
+    pub fn predict(&self, matrix: &LabelMatrix) -> Vec<f64> {
+        assert_eq!(matrix.n_lfs(), self.accuracies.len(), "LF count mismatch");
+        (0..matrix.n_rows())
+            .map(|r| posterior_for_row(matrix.row(r), &self.accuracies, self.class_prior))
+            .collect()
+    }
+}
+
+/// `P(y = 1 | votes)` under the independent model.
+fn posterior_for_row(votes: &[i8], accuracies: &[f64], prior: f64) -> f64 {
+    let mut log_pos = prior.ln();
+    let mut log_neg = (1.0 - prior).ln();
+    let mut any = false;
+    for (&v, &a) in votes.iter().zip(accuracies) {
+        match v {
+            1 => {
+                any = true;
+                log_pos += a.ln();
+                log_neg += (1.0 - a).ln();
+            }
+            -1 => {
+                any = true;
+                log_pos += (1.0 - a).ln();
+                log_neg += a.ln();
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        return prior;
+    }
+    let m = log_pos.max(log_neg);
+    let pos = (log_pos - m).exp();
+    let neg = (log_neg - m).exp();
+    pos / (pos + neg)
+}
+
+/// Majority-vote baseline: mean of non-abstain votes mapped to `[0, 1]`;
+/// rows with no votes get 0.5.
+pub fn majority_vote(matrix: &LabelMatrix) -> Vec<f64> {
+    (0..matrix.n_rows())
+        .map(|r| {
+            let row = matrix.row(r);
+            let n = row.iter().filter(|&&v| v != 0).count();
+            if n == 0 {
+                return 0.5;
+            }
+            let sum: i32 = row.iter().map(|&v| i32::from(v)).sum();
+            if sum > 0 {
+                1.0
+            } else if sum < 0 {
+                0.0
+            } else {
+                0.5
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    /// Builds a synthetic label matrix: `n` rows with true labels at the
+    /// given positive rate, and LFs with the given accuracies/propensities.
+    fn synthetic(
+        n: usize,
+        pos_rate: f64,
+        lf_specs: &[(f64, f64)], // (accuracy, propensity)
+        seed: u64,
+    ) -> (LabelMatrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut votes = Vec::with_capacity(n * lf_specs.len());
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.gen::<f64>() < pos_rate;
+            truth.push(y);
+            for &(acc, prop) in lf_specs {
+                let v = if rng.gen::<f64>() >= prop {
+                    0
+                } else {
+                    let correct = rng.gen::<f64>() < acc;
+                    match (y, correct) {
+                        (true, true) | (false, false) => 1,
+                        _ => -1,
+                    }
+                };
+                votes.push(v);
+            }
+        }
+        let names = (0..lf_specs.len()).map(|i| format!("lf{i}")).collect();
+        (LabelMatrix::from_votes(n, lf_specs.len(), votes, names), truth)
+    }
+
+    #[test]
+    fn em_recovers_accuracy_ordering() {
+        let (m, _) = synthetic(5000, 0.3, &[(0.95, 0.8), (0.7, 0.8), (0.6, 0.8)], 1);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let acc = model.accuracies();
+        assert!(acc[0] > acc[1], "acc {acc:?}");
+        assert!(acc[1] > acc[2], "acc {acc:?}");
+        assert!((acc[0] - 0.95).abs() < 0.08, "acc0 {}", acc[0]);
+    }
+
+    #[test]
+    fn posterior_beats_majority_vote_with_unequal_lfs() {
+        let (m, truth) = synthetic(8000, 0.4, &[(0.95, 0.9), (0.56, 0.9), (0.56, 0.9)], 2);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let probs = model.predict(&m);
+        let mv = majority_vote(&m);
+        let err = |pred: &[f64]| -> f64 {
+            pred.iter()
+                .zip(&truth)
+                .filter(|(p, _)| **p != 0.5)
+                .map(|(p, &t)| if (*p >= 0.5) == t { 0.0 } else { 1.0 })
+                .sum::<f64>()
+        };
+        assert!(
+            err(&probs) < err(&mv),
+            "generative err {} !< majority err {}",
+            err(&probs),
+            err(&mv)
+        );
+    }
+
+    #[test]
+    fn prior_estimation_tracks_true_rate() {
+        let (m, truth) = synthetic(10_000, 0.15, &[(0.9, 0.9), (0.85, 0.9)], 3);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let true_rate = truth.iter().filter(|&&t| t).count() as f64 / truth.len() as f64;
+        assert!(
+            (model.class_prior() - true_rate).abs() < 0.05,
+            "prior {} vs true {}",
+            model.class_prior(),
+            true_rate
+        );
+    }
+
+    #[test]
+    fn fixed_prior_is_respected() {
+        let (m, _) = synthetic(1000, 0.3, &[(0.9, 0.9)], 4);
+        let cfg = GenerativeConfig { class_prior: Some(0.2), ..Default::default() };
+        let model = GenerativeModel::fit(&m, &cfg);
+        assert_eq!(model.class_prior(), 0.2);
+    }
+
+    #[test]
+    fn all_abstain_rows_get_prior() {
+        let m = LabelMatrix::from_votes(2, 1, vec![0, 1], vec!["a".into()]);
+        let cfg = GenerativeConfig { class_prior: Some(0.25), ..Default::default() };
+        let model = GenerativeModel::fit(&m, &cfg);
+        let probs = model.predict(&m);
+        assert_eq!(probs[0], 0.25);
+        // A single positive vote lifts the posterior above the prior (the
+        // degenerate 2-row matrix can't push it past 0.5).
+        assert!(probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn majority_vote_ties_and_empty() {
+        let m = LabelMatrix::from_votes(
+            3,
+            2,
+            vec![1, -1, 1, 0, 0, 0],
+            vec!["a".into(), "b".into()],
+        );
+        let mv = majority_vote(&m);
+        assert_eq!(mv, vec![0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (m, _) = synthetic(2000, 0.3, &[(0.9, 0.8), (0.7, 0.8)], 5);
+        let a = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let b = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        assert_eq!(a.accuracies(), b.accuracies());
+        assert_eq!(a.predict(&m), b.predict(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero LFs")]
+    fn fit_rejects_empty_lf_set() {
+        let m = LabelMatrix::from_votes(1, 0, vec![], vec![]);
+        GenerativeModel::fit(&m, &GenerativeConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "LF count mismatch")]
+    fn predict_rejects_mismatched_matrix() {
+        let (m, _) = synthetic(100, 0.3, &[(0.9, 0.9)], 6);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let (m2, _) = synthetic(100, 0.3, &[(0.9, 0.9), (0.8, 0.9)], 7);
+        model.predict(&m2);
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let (m, _) = synthetic(3000, 0.2, &[(0.9, 0.7), (0.8, 0.5), (0.6, 0.3)], 8);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        for p in model.predict(&m) {
+            assert!((0.0..=1.0).contains(&p), "posterior {p} out of range");
+            assert!(!p.is_nan());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The label matrix: LF votes over a dataset, plus aggregate vote
+//! statistics (coverage, overlap, conflict — Snorkel's standard
+//! diagnostics).
+
+use cm_featurespace::FeatureTable;
+
+use crate::lf::{LabelingFunction, Vote};
+
+/// Dense `n_rows x n_lfs` matrix of vote encodings (`+1/-1/0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelMatrix {
+    n_rows: usize,
+    n_lfs: usize,
+    votes: Vec<i8>,
+    names: Vec<String>,
+}
+
+impl LabelMatrix {
+    /// Applies every LF to every row of `table`.
+    ///
+    /// LF application parallelizes across row chunks with scoped threads
+    /// when the workload is large enough to pay for it; the paper applies
+    /// LFs with MapReduce for the same reason (§6.3).
+    pub fn apply(table: &FeatureTable, lfs: &[Box<dyn LabelingFunction>]) -> Self {
+        let n_rows = table.len();
+        let n_lfs = lfs.len();
+        let names = lfs.iter().map(|lf| lf.name().to_owned()).collect();
+        let mut votes = vec![0i8; n_rows * n_lfs];
+
+        const PAR_THRESHOLD: usize = 50_000;
+        let work = n_rows.saturating_mul(n_lfs);
+        if work < PAR_THRESHOLD || n_rows < 2 {
+            fill_votes(table, lfs, &mut votes, 0, n_rows);
+        } else {
+            let n_threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(8);
+            let chunk_rows = n_rows.div_ceil(n_threads);
+            crossbeam::thread::scope(|scope| {
+                for (i, chunk) in votes.chunks_mut(chunk_rows * n_lfs).enumerate() {
+                    let start = i * chunk_rows;
+                    let end = (start + chunk.len() / n_lfs).min(n_rows);
+                    scope.spawn(move |_| {
+                        let mut local = vec![0i8; chunk.len()];
+                        fill_votes_into(table, lfs, &mut local, start, end);
+                        chunk.copy_from_slice(&local);
+                    });
+                }
+            })
+            .expect("LF application worker panicked");
+        }
+        Self { n_rows, n_lfs, votes, names }
+    }
+
+    /// Builds a matrix from raw encodings (row-major).
+    ///
+    /// # Panics
+    /// Panics if the data length or any encoding is invalid.
+    pub fn from_votes(n_rows: usize, n_lfs: usize, votes: Vec<i8>, names: Vec<String>) -> Self {
+        assert_eq!(votes.len(), n_rows * n_lfs, "vote matrix shape mismatch");
+        assert_eq!(names.len(), n_lfs, "LF name count mismatch");
+        assert!(
+            votes.iter().all(|v| (-1..=1).contains(v)),
+            "votes must be in {{-1, 0, 1}}"
+        );
+        Self { n_rows, n_lfs, votes, names }
+    }
+
+    /// Number of data points.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of labeling functions.
+    pub fn n_lfs(&self) -> usize {
+        self.n_lfs
+    }
+
+    /// LF names in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The vote of LF `lf` on row `row`.
+    #[inline]
+    pub fn vote(&self, row: usize, lf: usize) -> Vote {
+        Vote::from_i8(self.votes[row * self.n_lfs + lf])
+    }
+
+    /// Raw encoded votes of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[i8] {
+        &self.votes[row * self.n_lfs..(row + 1) * self.n_lfs]
+    }
+
+    /// Fraction of rows where at least one LF does not abstain.
+    pub fn coverage(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let covered = (0..self.n_rows)
+            .filter(|&r| self.row(r).iter().any(|&v| v != 0))
+            .count();
+        covered as f64 / self.n_rows as f64
+    }
+
+    /// Per-LF coverage: fraction of rows the LF labels.
+    pub fn lf_coverage(&self, lf: usize) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let n = (0..self.n_rows).filter(|&r| self.row(r)[lf] != 0).count();
+        n as f64 / self.n_rows as f64
+    }
+
+    /// Fraction of rows labeled by two or more LFs.
+    pub fn overlap(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let n = (0..self.n_rows)
+            .filter(|&r| self.row(r).iter().filter(|&&v| v != 0).count() >= 2)
+            .count();
+        n as f64 / self.n_rows as f64
+    }
+
+    /// Fraction of rows with at least one positive and one negative vote.
+    pub fn conflict(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let n = (0..self.n_rows)
+            .filter(|&r| {
+                let row = self.row(r);
+                row.iter().any(|&v| v > 0) && row.iter().any(|&v| v < 0)
+            })
+            .count();
+        n as f64 / self.n_rows as f64
+    }
+
+    /// Rows labeled by at least one LF (the trainable subset).
+    pub fn covered_rows(&self) -> Vec<usize> {
+        (0..self.n_rows)
+            .filter(|&r| self.row(r).iter().any(|&v| v != 0))
+            .collect()
+    }
+}
+
+fn fill_votes(
+    table: &FeatureTable,
+    lfs: &[Box<dyn LabelingFunction>],
+    votes: &mut [i8],
+    start: usize,
+    end: usize,
+) {
+    let n_lfs = lfs.len();
+    for r in start..end {
+        for (j, lf) in lfs.iter().enumerate() {
+            votes[r * n_lfs + j] = lf.vote(table, r).as_i8();
+        }
+    }
+}
+
+fn fill_votes_into(
+    table: &FeatureTable,
+    lfs: &[Box<dyn LabelingFunction>],
+    local: &mut [i8],
+    start: usize,
+    end: usize,
+) {
+    let n_lfs = lfs.len();
+    for (i, r) in (start..end).enumerate() {
+        for (j, lf) in lfs.iter().enumerate() {
+            local[i * n_lfs + j] = lf.vote(table, r).as_i8();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cm_featurespace::{
+        CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, ServingMode,
+        Vocabulary,
+    };
+
+    use super::*;
+    use crate::lf::CategoricalContainsLf;
+
+    fn table(n: usize) -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::categorical(
+            "c",
+            FeatureSet::A,
+            ServingMode::Servable,
+            Vocabulary::from_names(["x", "y"]),
+        )]));
+        let mut t = FeatureTable::new(schema);
+        for i in 0..n {
+            t.push_row(&[FeatureValue::Categorical(CatSet::single((i % 2) as u32))]);
+        }
+        t
+    }
+
+    fn lfs() -> Vec<Box<dyn LabelingFunction>> {
+        vec![
+            Box::new(CategoricalContainsLf::new(0, vec![0], false, Vote::Positive)),
+            Box::new(CategoricalContainsLf::new(0, vec![1], false, Vote::Negative)),
+        ]
+    }
+
+    #[test]
+    fn apply_collects_votes() {
+        let t = table(4);
+        let m = LabelMatrix::apply(&t, &lfs());
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_lfs(), 2);
+        assert_eq!(m.vote(0, 0), Vote::Positive);
+        assert_eq!(m.vote(0, 1), Vote::Abstain);
+        assert_eq!(m.vote(1, 0), Vote::Abstain);
+        assert_eq!(m.vote(1, 1), Vote::Negative);
+    }
+
+    #[test]
+    fn coverage_overlap_conflict() {
+        // LF0 labels even rows +, LF1 labels odd rows -: full coverage,
+        // no overlap, no conflict.
+        let m = LabelMatrix::apply(&table(10), &lfs());
+        assert_eq!(m.coverage(), 1.0);
+        assert_eq!(m.overlap(), 0.0);
+        assert_eq!(m.conflict(), 0.0);
+        assert_eq!(m.lf_coverage(0), 0.5);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let m = LabelMatrix::from_votes(
+            2,
+            2,
+            vec![1, -1, 0, 0],
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(m.conflict(), 0.5);
+        assert_eq!(m.overlap(), 0.5);
+        assert_eq!(m.coverage(), 0.5);
+        assert_eq!(m.covered_rows(), vec![0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // 30k rows x 2 LFs crosses the parallel threshold.
+        let t = table(30_000);
+        let m_par = LabelMatrix::apply(&t, &lfs());
+        let serial = {
+            let mut votes = vec![0i8; 30_000 * 2];
+            fill_votes(&t, &lfs(), &mut votes, 0, 30_000);
+            LabelMatrix::from_votes(30_000, 2, votes, vec!["a".into(), "b".into()])
+        };
+        assert_eq!(m_par.votes, serial.votes);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_votes_checks_shape() {
+        LabelMatrix::from_votes(2, 2, vec![0; 3], vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "votes must be in")]
+    fn from_votes_checks_encoding() {
+        LabelMatrix::from_votes(1, 1, vec![5], vec!["a".into()]);
+    }
+
+    #[test]
+    fn empty_matrix_statistics() {
+        let m = LabelMatrix::from_votes(0, 1, vec![], vec!["a".into()]);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.overlap(), 0.0);
+        assert_eq!(m.conflict(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Seeded parameter initializers.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suitable for sigmoid/tanh layers.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    let dist = Uniform::new_inclusive(-a, a);
+    Matrix::from_fn(fan_out, fan_in, |_, _| dist.sample(rng))
+}
+
+/// He normal initialization: `N(0, sqrt(2 / fan_in))`. Suitable for ReLU
+/// layers. Uses a Box-Muller transform so only `rand`'s uniform source is
+/// needed.
+pub fn he_normal(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| (standard_normal(rng) * std) as f32)
+}
+
+/// One standard-normal sample via Box-Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid log(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 100, 50);
+        let a = (6.0f64 / 150.0).sqrt() as f32;
+        assert_eq!(m.shape(), (50, 100));
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = he_normal(&mut rng, 400, 100);
+        let n = m.as_slice().len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let var: f64 =
+            m.as_slice().iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+        let expected = 2.0 / 400.0;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs expected {expected}");
+    }
+
+    #[test]
+    fn initializers_are_deterministic_per_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 10, 10);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 10, 10);
+        assert_eq!(a, b);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(4), 10, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn standard_normal_never_nan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Summary statistics and feature standardization.
+
+use crate::Matrix;
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(x: &[f32]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|&v| f64::from(v)).sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(x: &[f32]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (f64::from(v) - m).powi(2)).sum::<f64>() / x.len() as f64
+}
+
+/// Per-column mean and standard deviation, fitted on a training matrix so the
+/// same transform can later be applied to validation/test matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl ColumnStats {
+    /// Fits per-column statistics. Columns with (near-)zero variance get a
+    /// standard deviation of 1.0 so standardization leaves them centered but
+    /// unscaled.
+    pub fn fit(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut means = vec![0.0f64; cols];
+        for row in m.rows_iter() {
+            for (acc, &v) in means.iter_mut().zip(row) {
+                *acc += f64::from(v);
+            }
+        }
+        let n = rows.max(1) as f64;
+        for v in &mut means {
+            *v /= n;
+        }
+        let mut vars = vec![0.0f64; cols];
+        for row in m.rows_iter() {
+            for ((acc, &mu), &v) in vars.iter_mut().zip(&means).zip(row) {
+                let d = f64::from(v) - mu;
+                *acc += d * d;
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-9 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self { means: means.into_iter().map(|v| v as f32).collect(), stds }
+    }
+
+    /// Applies `(x - mean) / std` column-wise in place.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted matrix.
+    pub fn transform(&self, m: &mut Matrix) {
+        assert_eq!(m.cols(), self.means.len(), "ColumnStats column mismatch");
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            for ((v, &mu), &sd) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - mu) / sd;
+            }
+        }
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations.
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+}
+
+/// Convenience: fit on `train`, transform both `train` and `rest` in place.
+pub fn standardize_columns(train: &mut Matrix, rest: &mut [&mut Matrix]) -> ColumnStats {
+    let stats = ColumnStats::fit(train);
+    stats.transform(train);
+    for m in rest {
+        stats.transform(m);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_constant() {
+        let x = [2.0f32; 10];
+        assert_eq!(mean(&x), 2.0);
+        assert_eq!(variance(&x), 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_value() {
+        let x = [1.0f32, 3.0];
+        assert_eq!(variance(&x), 1.0);
+    }
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_std() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]);
+        standardize_columns(&mut m, &mut []);
+        for c in 0..2 {
+            let col: Vec<f32> = (0..3).map(|r| m[(r, c)]).collect();
+            assert!(mean(&col).abs() < 1e-6);
+            assert!((variance(&col) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_scaled() {
+        let mut m = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        standardize_columns(&mut m, &mut []);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_test() {
+        let mut train = Matrix::from_rows(&[vec![0.0], vec![2.0]]);
+        let mut test = Matrix::from_rows(&[vec![1.0]]);
+        let stats = standardize_columns(&mut train, &mut [&mut test]);
+        // train mean 1, std 1 -> test value (1-1)/1 = 0
+        assert_eq!(test[(0, 0)], 0.0);
+        assert_eq!(stats.means(), &[1.0]);
+        assert_eq!(stats.stds(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn transform_rejects_wrong_width() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![2.0]]);
+        let stats = ColumnStats::fit(&train);
+        let mut bad = Matrix::zeros(1, 2);
+        stats.transform(&mut bad);
+    }
+}

@@ -1,0 +1,168 @@
+//! Vector kernels with `f64` accumulation for numerically stable reductions.
+
+/// Dot product with `f64` accumulation.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += f64::from(x) * f64::from(y);
+    }
+    acc as f32
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a += b` elementwise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign length mismatch");
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        *ai += bi;
+    }
+}
+
+/// Scales `a` in place by `s`.
+#[inline]
+pub fn scale(a: &mut [f32], s: f32) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Euclidean norm with `f64` accumulation.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    let acc: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    acc.sqrt() as f32
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// In-place softmax (max-shifted for stability). No-op on an empty slice.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f64;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += f64::from(*v);
+    }
+    let inv = (1.0 / sum) as f32;
+    scale(x, inv);
+}
+
+/// Index of the maximum element; `None` on an empty slice. Ties break low.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_value() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_length_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn l2_norm_345() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_limits() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(10.0) + sigmoid(-10.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        // Extreme inputs must not produce NaN.
+        assert!(!sigmoid(1e30).is_nan());
+        assert!(!sigmoid(-1e30).is_nan());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax_in_place(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-5);
+        assert!(!x.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax_in_place(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+}

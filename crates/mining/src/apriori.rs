@@ -1,0 +1,457 @@
+//! Apriori-style itemset mining over the labeled development corpus.
+
+use std::collections::HashMap;
+
+use cm_featurespace::{FeatureKind, FeatureTable, Label};
+
+use crate::discretize::Discretizer;
+
+/// An atomic item: one feature value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Item {
+    /// Source column.
+    pub column: usize,
+    /// The value.
+    pub value: ItemValue,
+}
+
+/// The value part of an [`Item`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ItemValue {
+    /// A category id of a categorical feature.
+    Cat(u32),
+    /// A quantile bin of a numeric feature.
+    NumBin(u32),
+}
+
+/// Support/precision statistics of a mined itemset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemStats {
+    /// The items (all share one column; length = order).
+    pub items: Vec<Item>,
+    /// Rows matching among positives.
+    pub pos_support: usize,
+    /// Rows matching among negatives.
+    pub neg_support: usize,
+    /// `P(y = + | itemset present)` on the dev set.
+    pub precision: f64,
+    /// `P(itemset present | y = +)` on the dev set.
+    pub recall: f64,
+}
+
+/// Mining thresholds (§4.3: itemsets are kept when they meet pre-specified
+/// precision and recall thresholds over the development set).
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// Minimum precision for positive itemsets.
+    pub min_precision: f64,
+    /// Minimum recall (within the positive class) for positive itemsets.
+    pub min_recall: f64,
+    /// Minimum "negative precision" (`P(y = - | present)`) for negative
+    /// itemsets.
+    pub min_neg_precision: f64,
+    /// Minimum support within the negative class for negative itemsets.
+    pub min_neg_recall: f64,
+    /// Maximum itemset order (1 = single values; the paper found order 1
+    /// sufficient in practice).
+    pub max_order: usize,
+    /// Quantile bins for numeric features.
+    pub numeric_bins: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        Self {
+            min_precision: 0.8,
+            min_recall: 0.02,
+            min_neg_precision: 0.995,
+            min_neg_recall: 0.05,
+            max_order: 1,
+            numeric_bins: 8,
+        }
+    }
+}
+
+/// Result of a mining run.
+#[derive(Debug, Clone)]
+pub struct MinedItemsets {
+    /// Positive-indicative itemsets.
+    pub positive: Vec<ItemStats>,
+    /// Negative-indicative itemsets.
+    pub negative: Vec<ItemStats>,
+    /// Fitted numeric discretizers (needed to turn bins back into ranges).
+    pub discretizers: Vec<Discretizer>,
+    /// Number of order-1 candidates considered.
+    pub n_candidates: usize,
+}
+
+/// Mines positive- and negative-indicative itemsets from a labeled table.
+///
+/// Implements the paper's class-imbalance optimization: candidate items are
+/// first counted over the positive examples only; only survivors are counted
+/// over the negatives. Higher orders join items *within one column*.
+///
+/// # Panics
+/// Panics if `labels.len() != table.len()`.
+pub fn mine_itemsets(
+    table: &FeatureTable,
+    labels: &[Label],
+    columns: &[usize],
+    config: &MiningConfig,
+) -> MinedItemsets {
+    assert_eq!(table.len(), labels.len(), "label count mismatch");
+    let schema = table.schema();
+    let discretizers: Vec<Discretizer> = columns
+        .iter()
+        .filter(|&&c| schema.def(c).kind == FeatureKind::Numeric)
+        .filter_map(|&c| Discretizer::fit(table, c, config.numeric_bins))
+        .collect();
+
+    let n_pos = labels.iter().filter(|l| l.is_positive()).count();
+    let n_neg = labels.len() - n_pos;
+
+    // Pass 1: count order-1 items over positive rows only.
+    let mut pos_counts: HashMap<Item, usize> = HashMap::new();
+    for (r, label) in labels.iter().enumerate() {
+        if !label.is_positive() {
+            continue;
+        }
+        for item in row_items(table, r, columns, &discretizers) {
+            *pos_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let n_candidates = pos_counts.len();
+
+    // Keep candidates that could still clear the recall bar.
+    let min_pos_support = ((config.min_recall * n_pos as f64).ceil() as usize).max(1);
+    let candidates: Vec<Item> = pos_counts
+        .iter()
+        .filter(|(_, &c)| c >= min_pos_support)
+        .map(|(&i, _)| i)
+        .collect();
+
+    // Pass 2: count those candidates over negative rows.
+    let mut neg_counts: HashMap<Item, usize> = candidates.iter().map(|&i| (i, 0)).collect();
+    // Also count *negative-indicative* candidates: any item frequent in
+    // negatives. One pass over negatives covers both needs.
+    let mut neg_all_counts: HashMap<Item, usize> = HashMap::new();
+    for (r, label) in labels.iter().enumerate() {
+        if label.is_positive() {
+            continue;
+        }
+        for item in row_items(table, r, columns, &discretizers) {
+            if let Some(c) = neg_counts.get_mut(&item) {
+                *c += 1;
+            }
+            *neg_all_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+
+    let make_stats = |items: Vec<Item>, pos: usize, neg: usize| ItemStats {
+        items,
+        pos_support: pos,
+        neg_support: neg,
+        precision: if pos + neg > 0 { pos as f64 / (pos + neg) as f64 } else { 0.0 },
+        recall: if n_pos > 0 { pos as f64 / n_pos as f64 } else { 0.0 },
+    };
+
+    // Order-1 positive itemsets.
+    let mut positive: Vec<ItemStats> = Vec::new();
+    let mut frontier: Vec<Vec<Item>> = Vec::new();
+    for &item in &candidates {
+        let pos = pos_counts[&item];
+        let neg = neg_counts[&item];
+        let stats = make_stats(vec![item], pos, neg);
+        if stats.precision >= config.min_precision && stats.recall >= config.min_recall {
+            positive.push(stats);
+        } else if stats.recall >= config.min_recall {
+            // High-recall but low-precision items seed higher orders.
+            frontier.push(vec![item]);
+        }
+    }
+
+    // Higher orders: join frontier itemsets with candidate items of the
+    // same column (Apriori join with the single-feature constraint).
+    for _order in 2..=config.max_order {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next_sets: Vec<Vec<Item>> = Vec::new();
+        let mut seen: HashMap<Vec<Item>, ()> = HashMap::new();
+        for base in &frontier {
+            let col = base[0].column;
+            let last = *base.last().expect("nonempty itemset");
+            for &item in candidates.iter().filter(|i| i.column == col && **i > last) {
+                let mut joined = base.clone();
+                joined.push(item);
+                if seen.insert(joined.clone(), ()).is_none() {
+                    next_sets.push(joined);
+                }
+            }
+        }
+        // Count joined itemsets: positives first, then negatives.
+        let mut pos_c: HashMap<&[Item], usize> = HashMap::new();
+        let mut neg_c: HashMap<&[Item], usize> = HashMap::new();
+        for (r, label) in labels.iter().enumerate() {
+            let items: Vec<Item> = row_items(table, r, columns, &discretizers).collect();
+            for set in &next_sets {
+                if set.iter().all(|i| items.contains(i)) {
+                    if label.is_positive() {
+                        *pos_c.entry(set.as_slice()).or_insert(0) += 1;
+                    } else {
+                        *neg_c.entry(set.as_slice()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut new_frontier = Vec::new();
+        for set in &next_sets {
+            let pos = pos_c.get(set.as_slice()).copied().unwrap_or(0);
+            let neg = neg_c.get(set.as_slice()).copied().unwrap_or(0);
+            let stats = make_stats(set.clone(), pos, neg);
+            if stats.recall < config.min_recall {
+                continue; // anti-monotone prune
+            }
+            if stats.precision >= config.min_precision {
+                positive.push(stats);
+            } else {
+                new_frontier.push(set.clone());
+            }
+        }
+        frontier = new_frontier;
+    }
+
+    // Negative itemsets (order 1 only: the negative class is diffuse and
+    // higher orders add nothing but runtime).
+    let min_neg_support = ((config.min_neg_recall * n_neg as f64).ceil() as usize).max(1);
+    let mut negative: Vec<ItemStats> = Vec::new();
+    for (&item, &neg) in &neg_all_counts {
+        if neg < min_neg_support {
+            continue;
+        }
+        let pos = pos_counts.get(&item).copied().unwrap_or(0);
+        let neg_precision = neg as f64 / (pos + neg) as f64;
+        if neg_precision >= config.min_neg_precision {
+            negative.push(make_stats(vec![item], pos, neg));
+        }
+    }
+
+    sort_stats(&mut positive);
+    sort_stats(&mut negative);
+    MinedItemsets { positive, negative, discretizers, n_candidates }
+}
+
+fn sort_stats(stats: &mut [ItemStats]) {
+    stats.sort_by(|a, b| {
+        b.recall
+            .partial_cmp(&a.recall)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.items.cmp(&b.items))
+    });
+}
+
+/// Iterates the items present in one row.
+fn row_items<'a>(
+    table: &'a FeatureTable,
+    row: usize,
+    columns: &'a [usize],
+    discretizers: &'a [Discretizer],
+) -> impl Iterator<Item = Item> + 'a {
+    columns.iter().flat_map(move |&col| {
+        let schema = table.schema();
+        let mut out: Vec<Item> = Vec::new();
+        match schema.def(col).kind {
+            FeatureKind::Categorical => {
+                if let Some(ids) = table.categorical(row, col) {
+                    out.extend(ids.iter().map(|&id| Item { column: col, value: ItemValue::Cat(id) }));
+                }
+            }
+            FeatureKind::Numeric => {
+                if let (Some(v), Some(d)) = (
+                    table.numeric(row, col),
+                    discretizers.iter().find(|d| d.column == col),
+                ) {
+                    out.push(Item { column: col, value: ItemValue::NumBin(d.bin(v)) });
+                }
+            }
+            FeatureKind::Embedding { .. } => {}
+        }
+        out.into_iter()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cm_featurespace::{
+        CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureValue, ServingMode, Vocabulary,
+    };
+
+    use super::*;
+
+    /// Dev set: id 0 is a near-perfect positive indicator, id 1 appears in
+    /// both classes, id 2 is a near-perfect negative indicator. The numeric
+    /// column is high for positives.
+    fn dev(n_pos: usize, n_neg: usize) -> (FeatureTable, Vec<Label>) {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::categorical(
+                "c",
+                FeatureSet::C,
+                ServingMode::Servable,
+                Vocabulary::from_names(["p", "mix", "n"]),
+            ),
+            FeatureDef::numeric("score", FeatureSet::A, ServingMode::Servable),
+        ]));
+        let mut t = FeatureTable::new(schema);
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            let ids = if i % 10 == 0 { vec![1] } else { vec![0, 1] };
+            t.push_row(&[
+                FeatureValue::Categorical(CatSet::from_ids(ids)),
+                FeatureValue::Numeric(10.0 + (i % 3) as f64),
+            ]);
+            labels.push(Label::Positive);
+        }
+        for i in 0..n_neg {
+            let ids = if i % 60 == 0 { vec![0, 2] } else { vec![1, 2] };
+            t.push_row(&[
+                FeatureValue::Categorical(CatSet::from_ids(ids)),
+                FeatureValue::Numeric(i as f64 * 0.01),
+            ]);
+            labels.push(Label::Negative);
+        }
+        (t, labels)
+    }
+
+    #[test]
+    fn finds_positive_indicator() {
+        let (t, labels) = dev(100, 900);
+        let mined = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
+        let found = mined.positive.iter().any(|s| {
+            s.items == vec![Item { column: 0, value: ItemValue::Cat(0) }]
+        });
+        assert!(found, "positive itemsets: {:?}", mined.positive);
+    }
+
+    #[test]
+    fn finds_numeric_bin_indicator() {
+        let (t, labels) = dev(100, 900);
+        let mined = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
+        let found = mined
+            .positive
+            .iter()
+            .any(|s| matches!(s.items[0].value, ItemValue::NumBin(_)) && s.items[0].column == 1);
+        assert!(found, "expected a numeric-bin itemset: {:?}", mined.positive);
+    }
+
+    #[test]
+    fn finds_negative_indicator() {
+        let (t, labels) = dev(100, 900);
+        let cfg = MiningConfig { min_neg_precision: 0.95, ..Default::default() };
+        let mined = mine_itemsets(&t, &labels, &[0], &cfg);
+        let found = mined.negative.iter().any(|s| {
+            s.items == vec![Item { column: 0, value: ItemValue::Cat(2) }]
+        });
+        assert!(found, "negative itemsets: {:?}", mined.negative);
+    }
+
+    #[test]
+    fn ambiguous_value_excluded_from_positives() {
+        let (t, labels) = dev(100, 900);
+        let mined = mine_itemsets(&t, &labels, &[0], &MiningConfig::default());
+        assert!(
+            !mined
+                .positive
+                .iter()
+                .any(|s| s.items.contains(&Item { column: 0, value: ItemValue::Cat(1) })),
+            "id 1 appears everywhere and must not become a positive LF"
+        );
+    }
+
+    #[test]
+    fn precision_and_recall_are_exact() {
+        let (t, labels) = dev(100, 900);
+        let mined = mine_itemsets(&t, &labels, &[0], &MiningConfig::default());
+        let s = mined
+            .positive
+            .iter()
+            .find(|s| s.items == vec![Item { column: 0, value: ItemValue::Cat(0) }])
+            .unwrap();
+        // id 0: 90 positives (i%10 != 0) and 15 negatives (i%60 == 0).
+        assert_eq!(s.pos_support, 90);
+        assert_eq!(s.neg_support, 15);
+        assert!((s.recall - 0.9).abs() < 1e-12);
+        assert!((s.precision - 90.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_filter_results() {
+        let (t, labels) = dev(100, 900);
+        let strict = MiningConfig { min_precision: 0.99, ..Default::default() };
+        let mined = mine_itemsets(&t, &labels, &[0], &strict);
+        assert!(
+            !mined
+                .positive
+                .iter()
+                .any(|s| s.items == vec![Item { column: 0, value: ItemValue::Cat(0) }]),
+            "precision 0.857 item must not pass a 0.99 bar"
+        );
+    }
+
+    #[test]
+    fn order2_conjunction_rescues_low_precision_items() {
+        // Two ids that are individually weak but jointly pure.
+        let schema = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::categorical(
+            "c",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names(["a", "b", "z"]),
+        )]));
+        let mut t = FeatureTable::new(schema);
+        let mut labels = Vec::new();
+        for _ in 0..50 {
+            t.push_row(&[FeatureValue::Categorical(CatSet::from_ids(vec![0, 1]))]);
+            labels.push(Label::Positive);
+        }
+        for i in 0..300 {
+            // Negatives carry a XOR b, never both.
+            let id = if i % 2 == 0 { 0 } else { 1 };
+            t.push_row(&[FeatureValue::Categorical(CatSet::from_ids(vec![id, 2]))]);
+            labels.push(Label::Negative);
+        }
+        let cfg = MiningConfig { min_precision: 0.9, max_order: 2, ..Default::default() };
+        let mined = mine_itemsets(&t, &labels, &[0], &cfg);
+        let pair = mined.positive.iter().find(|s| s.items.len() == 2);
+        let pair = pair.expect("order-2 itemset {a,b} should be mined");
+        assert_eq!(pair.pos_support, 50);
+        assert_eq!(pair.neg_support, 0);
+        assert_eq!(pair.precision, 1.0);
+    }
+
+    #[test]
+    fn empty_positive_class_yields_nothing() {
+        let (t, mut labels) = dev(10, 90);
+        labels.fill(Label::Negative);
+        let mined = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
+        assert!(mined.positive.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn rejects_mismatched_labels() {
+        let (t, _) = dev(5, 5);
+        mine_itemsets(&t, &[Label::Positive], &[0], &MiningConfig::default());
+    }
+
+    #[test]
+    fn results_are_deterministic_and_sorted_by_recall() {
+        let (t, labels) = dev(100, 900);
+        let a = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
+        let b = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
+        assert_eq!(a.positive, b.positive);
+        for w in a.positive.windows(2) {
+            assert!(w[0].recall >= w[1].recall);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for discretization and itemset mining.
+
+use std::sync::Arc;
+
+use cm_featurespace::{
+    CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, Label,
+    ServingMode, Vocabulary,
+};
+use cm_mining::{mine_itemsets, Discretizer, MiningConfig};
+use proptest::prelude::*;
+
+fn schema() -> Arc<FeatureSchema> {
+    Arc::new(FeatureSchema::from_defs(vec![
+        FeatureDef::numeric("n", FeatureSet::A, ServingMode::Servable),
+        FeatureDef::categorical(
+            "c",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names((0..6).map(|i| format!("v{i}"))),
+        ),
+    ]))
+}
+
+fn labeled_table() -> impl Strategy<Value = (FeatureTable, Vec<Label>)> {
+    prop::collection::vec(
+        (
+            -50.0f64..50.0,
+            prop::collection::vec(0u32..6, 0..4),
+            prop::bool::weighted(0.25),
+        ),
+        8..60,
+    )
+    .prop_map(|rows| {
+        let mut t = FeatureTable::new(schema());
+        let mut labels = Vec::new();
+        for (num, cats, pos) in rows {
+            t.push_row(&[
+                FeatureValue::Numeric(num),
+                FeatureValue::Categorical(CatSet::from_ids(cats)),
+            ]);
+            labels.push(if pos { Label::Positive } else { Label::Negative });
+        }
+        (t, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every value maps to exactly one bin, bins are monotone in the value,
+    /// and each value lies inside its bin's reported range.
+    #[test]
+    fn discretizer_bins_partition(values in prop::collection::vec(-100.0f64..100.0, 4..50)) {
+        let mut t = FeatureTable::new(schema());
+        for &v in &values {
+            t.push_row(&[FeatureValue::Numeric(v), FeatureValue::Missing]);
+        }
+        let d = Discretizer::fit(&t, 0, 4).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev_bin = 0;
+        for &v in &sorted {
+            let b = d.bin(v);
+            prop_assert!(b >= prev_bin, "bins must be monotone in the value");
+            prop_assert!((b as usize) < d.n_bins());
+            let (lo, hi) = d.bin_range(b);
+            if let Some(lo) = lo {
+                prop_assert!(v >= lo, "{v} below bin floor {lo}");
+            }
+            if let Some(hi) = hi {
+                prop_assert!(v <= hi, "{v} above bin ceiling {hi}");
+            }
+            prev_bin = b;
+        }
+    }
+
+    /// Mined statistics are internally consistent: precision/recall in
+    /// [0,1], supports bounded by class sizes, and every reported itemset
+    /// actually clears the configured thresholds.
+    #[test]
+    fn mined_stats_respect_thresholds((t, labels) in labeled_table()) {
+        let cfg = MiningConfig {
+            min_precision: 0.6,
+            min_recall: 0.05,
+            ..MiningConfig::default()
+        };
+        let mined = mine_itemsets(&t, &labels, &[0, 1], &cfg);
+        let n_pos = labels.iter().filter(|l| l.is_positive()).count();
+        let n_neg = labels.len() - n_pos;
+        for s in &mined.positive {
+            prop_assert!(s.pos_support <= n_pos);
+            prop_assert!(s.neg_support <= n_neg);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!(s.precision >= cfg.min_precision - 1e-12);
+            prop_assert!(s.recall >= cfg.min_recall - 1e-12);
+        }
+        for s in &mined.negative {
+            let neg_precision =
+                s.neg_support as f64 / (s.pos_support + s.neg_support).max(1) as f64;
+            prop_assert!(neg_precision >= cfg.min_neg_precision - 1e-12);
+        }
+    }
+
+    /// Anti-monotonicity: an order-2 itemset's support never exceeds the
+    /// positive support of either member.
+    #[test]
+    fn order2_support_is_anti_monotone((t, labels) in labeled_table()) {
+        let cfg = MiningConfig {
+            min_precision: 0.99, // push singles into the frontier
+            min_recall: 0.02,
+            max_order: 2,
+            ..MiningConfig::default()
+        };
+        let mined = mine_itemsets(&t, &labels, &[1], &cfg);
+        // Recompute single-item supports directly.
+        let single_support = |item: cm_mining::Item| {
+            labels
+                .iter()
+                .enumerate()
+                .filter(|(r, l)| {
+                    l.is_positive()
+                        && matches!(item.value, cm_mining::ItemValue::Cat(id)
+                            if t.categorical(*r, item.column)
+                                .is_some_and(|ids| ids.binary_search(&id).is_ok()))
+                })
+                .count()
+        };
+        for s in mined.positive.iter().filter(|s| s.items.len() == 2) {
+            for &item in &s.items {
+                prop_assert!(
+                    s.pos_support <= single_support(item),
+                    "pair support {} exceeds member support",
+                    s.pos_support
+                );
+            }
+        }
+    }
+
+    /// Mining is deterministic.
+    #[test]
+    fn mining_is_deterministic((t, labels) in labeled_table()) {
+        let cfg = MiningConfig::default();
+        let a = mine_itemsets(&t, &labels, &[0, 1], &cfg);
+        let b = mine_itemsets(&t, &labels, &[0, 1], &cfg);
+        prop_assert_eq!(a.positive, b.positive);
+        prop_assert_eq!(a.negative, b.negative);
+    }
+}

@@ -1,0 +1,373 @@
+//! Fully-connected ReLU network with a single-logit sigmoid head.
+
+use cm_linalg::{dot, sigmoid, xavier_uniform, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::loss::bce_grad;
+use crate::optim::{Adam, Optimizer};
+
+#[derive(Clone)]
+struct DenseLayer {
+    /// `out x in` weights.
+    w: Matrix,
+    b: Vec<f32>,
+    opt_w: Adam,
+    opt_b: Adam,
+}
+
+/// A fully-connected binary classifier: ReLU hidden layers, sigmoid output.
+///
+/// Exposes [`Mlp::embed`] — the activation before the final prediction
+/// layer — which intermediate fusion concatenates and DeViSE projects (§5).
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    dims: Vec<usize>,
+}
+
+/// Hyperparameters for one [`Mlp::train_epoch`] call.
+#[derive(Debug, Clone)]
+pub struct MlpEpochConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 penalty on weights.
+    pub l2: f32,
+    /// Epoch shuffle seed (vary per epoch).
+    pub shuffle_seed: u64,
+}
+
+impl Mlp {
+    /// Creates a network `input_dim -> hidden... -> 1` with Xavier-uniform
+    /// init and per-layer Adam optimizers.
+    ///
+    /// # Panics
+    /// Panics if `input_dim == 0` or any hidden width is 0.
+    pub fn new(input_dim: usize, hidden: &[usize], lr: f32, seed: u64) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for win in dims.windows(2) {
+            let (fan_in, fan_out) = (win[0], win[1]);
+            let w = xavier_uniform(&mut rng, fan_in, fan_out);
+            layers.push(DenseLayer {
+                w,
+                b: vec![0.0; fan_out],
+                opt_w: Adam::new(lr, fan_out * fan_in),
+                opt_b: Adam::new(lr, fan_out),
+            });
+        }
+        Self { layers, dims }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Width of the penultimate activation returned by [`Mlp::embed`].
+    pub fn embed_dim(&self) -> usize {
+        self.dims[self.dims.len() - 2]
+    }
+
+    /// Runs one epoch of mini-batch training on soft targets; returns the
+    /// mean training loss.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn train_epoch(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        sample_weights: Option<&[f64]>,
+        config: &MlpEpochConfig,
+    ) -> f64 {
+        assert_eq!(x.rows(), targets.len(), "target count mismatch");
+        assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
+        if let Some(w) = sample_weights {
+            assert_eq!(w.len(), targets.len(), "sample weight count mismatch");
+        }
+        let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        order.shuffle(&mut rng);
+
+        let n_layers = self.layers.len();
+        let mut grad_w: Vec<Matrix> =
+            self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
+        let mut grad_b: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        // Per-sample activation and delta buffers.
+        let mut acts: Vec<Vec<f32>> = self.dims.iter().map(|&d| vec![0.0; d]).collect();
+        let mut deltas: Vec<Vec<f32>> = self.dims[1..].iter().map(|&d| vec![0.0; d]).collect();
+
+        let mut total_loss = 0.0f64;
+        let mut total_weight = 0.0f64;
+        for batch in order.chunks(config.batch_size) {
+            for g in &mut grad_w {
+                g.fill_zero();
+            }
+            for g in &mut grad_b {
+                g.fill(0.0);
+            }
+            let mut batch_weight = 0.0f32;
+            for &i in batch {
+                acts[0].copy_from_slice(x.row(i));
+                // Forward.
+                for (l, layer) in self.layers.iter().enumerate() {
+                    let (prev, rest) = acts.split_at_mut(l + 1);
+                    let a_in = &prev[l];
+                    let a_out = &mut rest[0];
+                    for (o, out) in a_out.iter_mut().enumerate() {
+                        let z = dot(layer.w.row(o), a_in) + layer.b[o];
+                        *out = if l + 1 == n_layers { z } else { z.max(0.0) };
+                    }
+                }
+                let z = acts[n_layers][0];
+                let w = sample_weights.map_or(1.0, |w| w[i]) as f32;
+                total_loss += f64::from(w) * crate::loss::bce_with_logit(z, targets[i]);
+                total_weight += f64::from(w);
+                batch_weight += w;
+
+                // Backward.
+                deltas[n_layers - 1][0] = bce_grad(z, targets[i]) * w;
+                for l in (0..n_layers).rev() {
+                    // Accumulate gradients for layer l.
+                    for o in 0..self.layers[l].w.rows() {
+                        let d = deltas[l][o];
+                        if d != 0.0 {
+                            cm_linalg::axpy(d, &acts[l], grad_w[l].row_mut(o));
+                            grad_b[l][o] += d;
+                        }
+                    }
+                    if l > 0 {
+                        // delta_{l-1} = W_l^T delta_l ∘ relu'(act_l)
+                        let (d_prev, d_cur) = deltas.split_at_mut(l);
+                        let d_prev = &mut d_prev[l - 1];
+                        let d_cur = &d_cur[0];
+                        d_prev.fill(0.0);
+                        for (o, &d) in d_cur.iter().enumerate() {
+                            if d != 0.0 {
+                                cm_linalg::axpy(d, self.layers[l].w.row(o), d_prev);
+                            }
+                        }
+                        for (dp, &a) in d_prev.iter_mut().zip(&acts[l]) {
+                            if a <= 0.0 {
+                                *dp = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+            if batch_weight > 0.0 {
+                let inv = 1.0 / batch_weight;
+                for (l, layer) in self.layers.iter_mut().enumerate() {
+                    grad_w[l].scale(inv);
+                    grad_w[l].axpy(config.l2, &layer.w);
+                    cm_linalg::scale(&mut grad_b[l], inv);
+                    layer.opt_w.step(layer.w.as_mut_slice(), grad_w[l].as_slice());
+                    layer.opt_b.step(&mut layer.b, &grad_b[l]);
+                }
+            }
+        }
+        if total_weight > 0.0 {
+            total_loss / total_weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn logits(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
+        let mut out = Vec::with_capacity(x.rows());
+        let mut buf_a: Vec<f32> = Vec::new();
+        let mut buf_b: Vec<f32> = Vec::new();
+        for r in 0..x.rows() {
+            buf_a.clear();
+            buf_a.extend_from_slice(x.row(r));
+            for (l, layer) in self.layers.iter().enumerate() {
+                buf_b.clear();
+                for o in 0..layer.w.rows() {
+                    let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
+                    buf_b.push(if l + 1 == self.layers.len() { z } else { z.max(0.0) });
+                }
+                std::mem::swap(&mut buf_a, &mut buf_b);
+            }
+            out.push(buf_a[0]);
+        }
+        out
+    }
+
+    /// Positive-class probabilities.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.logits(x).into_iter().map(|z| f64::from(sigmoid(z))).collect()
+    }
+
+    /// The activation before the final prediction layer, per row.
+    pub fn embed(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
+        let mut out = Matrix::zeros(x.rows(), self.embed_dim());
+        let mut buf_a: Vec<f32> = Vec::new();
+        let mut buf_b: Vec<f32> = Vec::new();
+        for r in 0..x.rows() {
+            buf_a.clear();
+            buf_a.extend_from_slice(x.row(r));
+            for layer in &self.layers[..self.layers.len() - 1] {
+                buf_b.clear();
+                for o in 0..layer.w.rows() {
+                    let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
+                    buf_b.push(z.max(0.0));
+                }
+                std::mem::swap(&mut buf_a, &mut buf_b);
+            }
+            out.row_mut(r).copy_from_slice(&buf_a);
+        }
+        out
+    }
+
+    /// Replaces the final prediction layer's input by re-wiring: returns the
+    /// final layer's weights (used by DeViSE, which freezes model A and
+    /// reuses its head).
+    pub fn head_weights(&self) -> (&[f32], f32) {
+        let last = self.layers.last().expect("network has layers");
+        (last.w.row(0), last.b[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish dataset a linear model cannot fit.
+    fn xor(n: usize) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i % 2) as f32;
+            let b = ((i / 2) % 2) as f32;
+            let jitter = ((i * 13 % 50) as f32) / 500.0;
+            rows.push(vec![a * 2.0 - 1.0 + jitter, b * 2.0 - 1.0 - jitter]);
+            y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn train(mlp: &mut Mlp, x: &Matrix, y: &[f64], epochs: usize) {
+        for e in 0..epochs {
+            mlp.train_epoch(
+                x,
+                y,
+                None,
+                &MlpEpochConfig { batch_size: 16, l2: 0.0, shuffle_seed: e as u64 },
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor(200);
+        let mut mlp = Mlp::new(2, &[16], 0.05, 3);
+        train(&mut mlp, &x, &y, 120);
+        let p = mlp.predict_proba(&x);
+        let correct = p.iter().zip(&y).filter(|(p, &t)| (**p >= 0.5) == (t >= 0.5)).count();
+        assert!(correct >= 190, "{correct}/200 correct on XOR");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (x, y) = xor(200);
+        let mut mlp = Mlp::new(2, &[8], 0.05, 1);
+        let first = mlp.train_epoch(
+            &x,
+            &y,
+            None,
+            &MlpEpochConfig { batch_size: 16, l2: 0.0, shuffle_seed: 0 },
+        );
+        train(&mut mlp, &x, &y, 60);
+        let last = mlp.train_epoch(
+            &x,
+            &y,
+            None,
+            &MlpEpochConfig { batch_size: 16, l2: 0.0, shuffle_seed: 99 },
+        );
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn embed_has_declared_shape_and_feeds_head() {
+        let (x, y) = xor(40);
+        let mut mlp = Mlp::new(2, &[8, 4], 0.05, 2);
+        train(&mut mlp, &x, &y, 10);
+        let e = mlp.embed(&x);
+        assert_eq!(e.shape(), (40, 4));
+        assert_eq!(mlp.embed_dim(), 4);
+        // Head applied to embed must reproduce logits.
+        let (hw, hb) = mlp.head_weights();
+        let via_head: Vec<f32> = e.rows_iter().map(|r| dot(r, hw) + hb).collect();
+        let direct = mlp.logits(&x);
+        for (a, b) in via_head.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (x, y) = xor(60);
+        let run = || {
+            let mut m = Mlp::new(2, &[6], 0.05, 7);
+            train(&mut m, &x, &y, 5);
+            m.predict_proba(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_hidden_layer_reduces_to_linear() {
+        let mut mlp = Mlp::new(3, &[], 0.05, 0);
+        assert_eq!(mlp.embed_dim(), 3);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]);
+        // embed of a layerless body is the input itself.
+        let e = mlp.embed(&x);
+        assert_eq!(e.row(0), x.row(0));
+        let y = [1.0];
+        let l = mlp.train_epoch(
+            &x,
+            &y,
+            None,
+            &MlpEpochConfig { batch_size: 1, l2: 0.0, shuffle_seed: 0 },
+        );
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn logits_reject_wrong_width() {
+        let mlp = Mlp::new(4, &[2], 0.05, 0);
+        mlp.logits(&Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden widths must be positive")]
+    fn rejects_zero_width_hidden() {
+        Mlp::new(4, &[0], 0.05, 0);
+    }
+
+    #[test]
+    fn sample_weights_affect_training() {
+        let (x, y) = xor(100);
+        let w: Vec<f64> = y.iter().map(|&t| if t >= 0.5 { 5.0 } else { 0.2 }).collect();
+        let mut a = Mlp::new(2, &[8], 0.05, 5);
+        let mut b = Mlp::new(2, &[8], 0.05, 5);
+        for e in 0..20 {
+            let cfg = MlpEpochConfig { batch_size: 16, l2: 0.0, shuffle_seed: e };
+            a.train_epoch(&x, &y, None, &cfg);
+            b.train_epoch(&x, &y, Some(&w), &cfg);
+        }
+        let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(b.predict_proba(&x)) > mean(a.predict_proba(&x)));
+    }
+}

@@ -1,0 +1,136 @@
+//! First-order optimizers over flat parameter slices.
+
+/// A stateful first-order optimizer. One instance per parameter tensor.
+pub trait Optimizer {
+    /// Applies one update: `params -= f(grads)`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+}
+
+/// SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for a tensor of `n` parameters.
+    pub fn new(lr: f32, momentum: f32, n: usize) -> Self {
+        Self { lr, momentum, velocity: vec![0.0; n] }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "sgd parameter count changed");
+        assert_eq!(params.len(), grads.len(), "gradient length mismatch");
+        if self.momentum == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+        } else {
+            for ((p, v), &g) in params.iter_mut().zip(&mut self.velocity).zip(grads) {
+                *v = self.momentum * *v + g;
+                *p -= self.lr * *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator epsilon.
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `n` parameters with standard betas.
+    pub fn new(lr: f32, n: usize) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "adam parameter count changed");
+        assert_eq!(params.len(), grads.len(), "gradient length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 and returns the final x.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 1);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01, 0.0, 1);
+        let mut heavy = Sgd::new(0.01, 0.9, 1);
+        let x_plain = minimize(&mut plain, 50);
+        let x_heavy = minimize(&mut heavy, 50);
+        assert!((x_heavy - 3.0).abs() < (x_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3, 1);
+        let x = minimize(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step is ~lr * sign(grad).
+        let mut opt = Adam::new(0.1, 1);
+        let mut x = [0.0f32];
+        opt.step(&mut x, &[5.0]);
+        assert!((x[0] + 0.1).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn sgd_checks_lengths() {
+        let mut opt = Sgd::new(0.1, 0.0, 2);
+        let mut p = [0.0f32, 0.0];
+        opt.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for losses and model behaviour.
+
+use cm_linalg::Matrix;
+use cm_models::loss::{bce_grad, bce_with_logit, class_balance_weights, mean_bce};
+use cm_models::{LogisticConfig, LogisticRegression};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// BCE is non-negative, finite, and zero only at perfect confidence.
+    #[test]
+    fn bce_is_nonnegative(z in -80.0f32..80.0, q in 0.0f64..1.0) {
+        let l = bce_with_logit(z, q);
+        prop_assert!(l >= -1e-12);
+        prop_assert!(l.is_finite());
+    }
+
+    /// Gradient matches central finite differences.
+    #[test]
+    fn bce_grad_matches_finite_difference(z in -8.0f32..8.0, q in 0.0f64..1.0) {
+        let eps = 1e-3f32;
+        let fd = (bce_with_logit(z + eps, q) - bce_with_logit(z - eps, q))
+            / (2.0 * f64::from(eps));
+        prop_assert!((f64::from(bce_grad(z, q)) - fd).abs() < 1e-4);
+    }
+
+    /// BCE is convex in the logit: midpoint below the chord.
+    #[test]
+    fn bce_is_convex(z1 in -20.0f32..20.0, z2 in -20.0f32..20.0, q in 0.0f64..1.0) {
+        let mid = bce_with_logit((z1 + z2) / 2.0, q);
+        let chord = (bce_with_logit(z1, q) + bce_with_logit(z2, q)) / 2.0;
+        // In the saturated (affine) regimes mid == chord up to f32
+        // rounding of the logit, so the tolerance scales with the loss.
+        prop_assert!(mid <= chord + 1e-6 * (1.0 + mid.abs()));
+    }
+
+    /// Class-balance weights equalize total class mass whenever both
+    /// classes exist.
+    #[test]
+    fn class_balance_equalizes_mass(targets in prop::collection::vec(0.0f64..1.0, 2..50)) {
+        let w = class_balance_weights(&targets);
+        prop_assert_eq!(w.len(), targets.len());
+        let pos_mass: f64 =
+            w.iter().zip(&targets).filter(|(_, &t)| t >= 0.5).map(|(w, _)| w).sum();
+        let neg_mass: f64 =
+            w.iter().zip(&targets).filter(|(_, &t)| t < 0.5).map(|(w, _)| w).sum();
+        if pos_mass > 0.0 && neg_mass > 0.0 {
+            prop_assert!((pos_mass - neg_mass).abs() < 1e-6 * (pos_mass + neg_mass));
+        }
+    }
+
+    /// Zero-weighted samples do not influence the mean loss.
+    #[test]
+    fn zero_weight_samples_are_ignored(
+        logits in prop::collection::vec(-5.0f32..5.0, 2..20),
+        targets in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let n = logits.len().min(targets.len());
+        let logits = &logits[..n];
+        let targets = &targets[..n];
+        // Weight only the first sample.
+        let mut w = vec![0.0; n];
+        w[0] = 1.0;
+        let weighted = mean_bce(logits, targets, Some(&w));
+        let single = bce_with_logit(logits[0], targets[0]);
+        prop_assert!((weighted - single).abs() < 1e-12);
+    }
+
+    /// Logistic regression on a constant-label problem predicts that label
+    /// confidently.
+    #[test]
+    fn logistic_fits_constant_labels(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f32..2.0, 3), 8..24),
+        positive in any::<bool>(),
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let y = vec![if positive { 1.0 } else { 0.0 }; rows.len()];
+        let model = LogisticRegression::fit(
+            &x,
+            &y,
+            None,
+            &LogisticConfig { epochs: 200, lr: 0.1, ..LogisticConfig::default() },
+        );
+        for p in model.predict_proba(&x) {
+            if positive {
+                prop_assert!(p > 0.6, "p = {p}");
+            } else {
+                prop_assert!(p < 0.4, "p = {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Materialized per-modality datasets.
+
+use cm_featurespace::{FeatureTable, Label, ModalityKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::world::World;
+
+/// A featurized sample of one modality's population.
+///
+/// Ground-truth labels are always carried; whether they are *visible* to the
+/// pipeline (labeled corpus vs unlabeled pool vs held-out test set) is the
+/// pipeline's decision, mirroring how the paper samples live traffic for the
+/// unlabeled pool and human-curated data for training/test (§6.1).
+#[derive(Debug, Clone)]
+pub struct ModalityDataset {
+    /// Modality of every row.
+    pub modality: ModalityKind,
+    /// Featurized rows in the common feature space.
+    pub table: FeatureTable,
+    /// Ground-truth labels, parallel to the table rows.
+    pub labels: Vec<Label>,
+    /// Whether each row's entity belongs to a borderline archetype
+    /// (diagnostics for the label-propagation experiments).
+    pub borderline: Vec<bool>,
+}
+
+impl ModalityDataset {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Empirical positive rate.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|l| l.is_positive()).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Ground-truth labels as 0/1 floats.
+    pub fn labels_f64(&self) -> Vec<f64> {
+        self.labels.iter().map(|l| l.as_f64()).collect()
+    }
+
+    /// Gathers a subset of rows into a new dataset.
+    pub fn gather(&self, rows: &[usize]) -> ModalityDataset {
+        ModalityDataset {
+            modality: self.modality,
+            table: self.table.gather(rows),
+            labels: rows.iter().map(|&r| self.labels[r]).collect(),
+            borderline: rows.iter().map(|&r| self.borderline[r]).collect(),
+        }
+    }
+
+    /// Splits into `(first, second)` with `first` getting `fraction` of the
+    /// rows, after a seeded shuffle.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn split(&self, fraction: f64, seed: u64) -> (ModalityDataset, ModalityDataset) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} out of range");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        (self.gather(&idx[..cut]), self.gather(&idx[cut..]))
+    }
+
+    /// A seeded uniform subsample of `n` rows (all rows if `n >= len`).
+    pub fn subsample(&self, n: usize, seed: u64) -> ModalityDataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        idx.truncate(n);
+        self.gather(&idx)
+    }
+}
+
+impl World {
+    /// Generates `n` featurized data points of `modality`.
+    pub fn generate(&self, modality: ModalityKind, n: usize, seed: u64) -> ModalityDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = FeatureTable::new(std::sync::Arc::clone(self.schema()));
+        table.reserve(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut borderline = Vec::with_capacity(n);
+        for _ in 0..n {
+            let entity = self.sample_entity(modality, &mut rng);
+            let row = self.featurize(&entity, modality, &mut rng);
+            table.push_row(&row);
+            labels.push(entity.label);
+            borderline.push(entity.borderline);
+        }
+        ModalityDataset { modality, table, labels, borderline }
+    }
+
+    /// Generates the paper's three datasets for this task: the labeled text
+    /// corpus, the unlabeled image pool, and the labeled image test set —
+    /// the Table 1 workload at this world's configured scale.
+    pub fn generate_task_datasets(
+        &self,
+        seed: u64,
+    ) -> (ModalityDataset, ModalityDataset, ModalityDataset) {
+        let task = &self.config().task;
+        let text = self.generate(ModalityKind::Text, task.n_text_labeled, seed ^ 0x1);
+        let pool = self.generate(ModalityKind::Image, task.n_image_unlabeled, seed ^ 0x2);
+        let test = self.generate(ModalityKind::Image, task.n_image_test, seed ^ 0x3);
+        (text, pool, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{TaskConfig, TaskId};
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct2).scaled(0.02), 11))
+    }
+
+    #[test]
+    fn generate_produces_requested_rows() {
+        let w = world();
+        let d = w.generate(ModalityKind::Image, 500, 1);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.labels.len(), 500);
+        assert_eq!(d.borderline.len(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let a = w.generate(ModalityKind::Text, 100, 9);
+        let b = w.generate(ModalityKind::Text, 100, 9);
+        assert_eq!(a.labels, b.labels);
+        for r in 0..100 {
+            assert_eq!(a.table.row(r), b.table.row(r));
+        }
+        let c = w.generate(ModalityKind::Text, 100, 10);
+        assert!(
+            (0..100).any(|r| a.table.row(r) != c.table.row(r)),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn positive_rate_tracks_profile() {
+        let w = world();
+        let d = w.generate(ModalityKind::Image, 10_000, 2);
+        let target = w.config().task.profile.positive_rate;
+        assert!((d.positive_rate() - target).abs() < 0.015);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let w = world();
+        let d = w.generate(ModalityKind::Text, 200, 3);
+        let (a, b) = d.split(0.25, 5);
+        assert_eq!(a.len(), 50);
+        assert_eq!(b.len(), 150);
+        let total_pos = a.labels.iter().chain(&b.labels).filter(|l| l.is_positive()).count();
+        let orig_pos = d.labels.iter().filter(|l| l.is_positive()).count();
+        assert_eq!(total_pos, orig_pos);
+    }
+
+    #[test]
+    fn subsample_caps_at_len() {
+        let w = world();
+        let d = w.generate(ModalityKind::Text, 50, 4);
+        assert_eq!(d.subsample(500, 0).len(), 50);
+        assert_eq!(d.subsample(10, 0).len(), 10);
+    }
+
+    #[test]
+    fn task_datasets_have_configured_sizes() {
+        let w = world();
+        let (text, pool, test) = w.generate_task_datasets(77);
+        let task = &w.config().task;
+        assert_eq!(text.len(), task.n_text_labeled);
+        assert_eq!(pool.len(), task.n_image_unlabeled);
+        assert_eq!(test.len(), task.n_image_test);
+        assert_eq!(text.modality, ModalityKind::Text);
+        assert_eq!(pool.modality, ModalityKind::Image);
+    }
+
+    #[test]
+    fn labels_f64_encoding() {
+        let w = world();
+        let d = w.generate(ModalityKind::Text, 100, 5);
+        let f = d.labels_f64();
+        for (l, v) in d.labels.iter().zip(&f) {
+            assert_eq!(l.as_f64(), *v);
+        }
+    }
+}

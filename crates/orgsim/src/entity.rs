@@ -1,0 +1,84 @@
+//! Latent entities: the hidden state a data point carries before any
+//! modality observes it.
+
+use cm_featurespace::{CatSet, Label};
+
+/// Numeric latents an entity carries. Aggregate-statistic services read
+/// these; they stand in for the paper's organization-wide metadata joins
+//  (user id -> report counts, URL -> reputation, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericLatents {
+    /// How often this entity's author gets reported (drives `user_reports`).
+    pub report_propensity: f64,
+    /// How quickly the entity's content spreads (drives `share_velocity`).
+    pub virality: f64,
+    /// Reputation of the linked URL/domain (drives `url_reputation`).
+    pub url_reputation: f64,
+    /// Quality score of the linked page (drives `page_quality`).
+    pub page_quality: f64,
+    /// Density of extractable text (drives `ocr_density` on images).
+    pub ocr_density: f64,
+    /// Age of the linked domain in days (drives `domain_age`; deliberately
+    /// label-uninformative, exercising the paper's "no gain" feature case).
+    pub domain_age: f64,
+    /// Length of the textual content (text-specific `word_count`).
+    pub word_count: f64,
+}
+
+/// A latent entity. One entity corresponds to one data point of one
+/// modality; the modality gap is modeled by sampling *disjoint* entity
+/// populations per modality (no shared ids, captions, or links).
+#[derive(Debug, Clone)]
+pub struct LatentEntity {
+    /// Hidden ground-truth label for the task under study.
+    pub label: Label,
+    /// Behavioral archetype. Positives are a mixture of archetypes; some are
+    /// *borderline* (weak categorical signal), which is what label
+    /// propagation exists to recover (§4.4). Negatives use archetype
+    /// `usize::MAX`.
+    pub archetype: usize,
+    /// Whether the archetype is a borderline mode.
+    pub borderline: bool,
+    /// Latent categorical attributes, one [`CatSet`] per attribute space
+    /// (topics, objects, keywords, URL categories, ...).
+    pub cats: Vec<CatSet>,
+    /// Numeric latents.
+    pub numerics: NumericLatents,
+    /// Latent style vector; modality-specific embedding services observe a
+    /// random projection of it. Archetype-clustered, which gives the
+    /// propagation graph its signal.
+    pub style: Vec<f32>,
+}
+
+impl LatentEntity {
+    /// Whether the entity is a ground-truth positive.
+    pub fn is_positive(&self) -> bool {
+        self.label.is_positive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_positive_reflects_label() {
+        let e = LatentEntity {
+            label: Label::Positive,
+            archetype: 0,
+            borderline: false,
+            cats: vec![],
+            numerics: NumericLatents {
+                report_propensity: 0.0,
+                virality: 0.0,
+                url_reputation: 0.0,
+                page_quality: 0.0,
+                ocr_density: 0.0,
+                domain_age: 0.0,
+                word_count: 0.0,
+            },
+            style: vec![],
+        };
+        assert!(e.is_positive());
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic organizational world — the substitution substrate for the
+//! paper's proprietary Google environment.
+//!
+//! The paper's evaluation (§6) runs over five production classification
+//! tasks with tens of millions of proprietary text/image posts, featurized by
+//! fifteen internal services. None of that is available, so this crate builds
+//! the closest synthetic equivalent that exercises identical code paths:
+//!
+//! - [`entity`] — latent entities: each data point has a hidden task label,
+//!   a *behavioral archetype* (the paper's "behavioral modes", §4.4), latent
+//!   categorical attributes, numeric propensities, and a latent style vector;
+//! - [`world`] — the seeded generative world: class-conditional attribute
+//!   distributions, per-modality observation noise and *distribution shift*
+//!   (the modality gap: each modality has its own entity population, no
+//!   one-to-one links), and the service registry;
+//! - [`services`] — organizational resources as noisy channels: model-based
+//!   services (topic models, object detectors, knowledge-graph entities),
+//!   aggregate statistics (user reports, share velocity), and rule-based
+//!   services, grouped into the paper's feature sets A–D (§6.2) with
+//!   servable/nonservable flags;
+//! - [`tasks`] — the five classification-task profiles CT1–CT5, calibrated
+//!   to reproduce the qualitative shapes of Tables 1–3;
+//! - [`dataset`] — materialized [`ModalityDataset`]s: labeled old-modality
+//!   corpora, unlabeled new-modality pools, and held-out test sets.
+
+pub mod dataset;
+pub mod entity;
+pub mod services;
+pub mod tasks;
+pub mod world;
+
+pub use dataset::ModalityDataset;
+pub use entity::{LatentEntity, NumericLatents};
+pub use services::{PerModality, ServiceKind, ServiceSpec};
+pub use tasks::{TaskConfig, TaskId, TaskProfile};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,386 @@
+//! Organizational resources as service specifications.
+//!
+//! A production service is, from the pipeline's point of view, a black box
+//! that maps a data point to a structured output with some fidelity. Each
+//! [`ServiceSpec`] describes one such box: what latent state it reads, how
+//! accurately it observes it per modality, and how often it applies at all
+//! (coverage). The [`standard_registry`] mirrors the paper's deployment
+//! (§6.2): 15 shared services across sets A–D (3 + 2 + 5 + 5 features, two
+//! of them nonservable) plus 3 image-specific features and 1 text-specific
+//! feature.
+
+use cm_featurespace::{FeatureSet, ModalityKind, ServingMode};
+
+/// A value carried per modality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerModality<T> {
+    /// Value for text.
+    pub text: T,
+    /// Value for image.
+    pub image: T,
+    /// Value for video.
+    pub video: T,
+}
+
+impl<T: Copy> PerModality<T> {
+    /// Same value for every modality.
+    pub fn uniform(v: T) -> Self {
+        Self { text: v, image: v, video: v }
+    }
+
+    /// Value for `m`.
+    pub fn get(&self, m: ModalityKind) -> T {
+        match m {
+            ModalityKind::Text => self.text,
+            ModalityKind::Image => self.image,
+            ModalityKind::Video => self.video,
+        }
+    }
+}
+
+/// Which numeric latent a numeric service reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericSource {
+    /// Aggregate statistic: author report count.
+    UserReports,
+    /// Aggregate statistic: share velocity (nonservable in the registry).
+    ShareVelocity,
+    /// URL reputation score.
+    UrlReputation,
+    /// Domain age (label-uninformative by construction).
+    DomainAge,
+    /// Page quality score.
+    PageQuality,
+    /// Text length (text-specific).
+    WordCount,
+    /// Image capture quality (image-specific, uninformative).
+    ImgQuality,
+    /// OCR text density (image-specific, mildly informative).
+    OcrDensity,
+}
+
+/// What a service computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceKind {
+    /// Model-based categorical service reading latent attribute space
+    /// `attr`: each latent category is reported with per-modality
+    /// probability `accuracy`, and `noise_cats` spurious background
+    /// categories are added.
+    Categorical {
+        /// Index into the world's attribute spaces.
+        attr: usize,
+        /// Per-modality detection probability.
+        accuracy: PerModality<f64>,
+        /// Max spurious categories added per observation.
+        noise_cats: u32,
+    },
+    /// Aggregate-statistic / metadata service reading a numeric latent.
+    Numeric {
+        /// Which latent to read.
+        source: NumericSource,
+        /// Gaussian observation noise.
+        noise_sd: f64,
+    },
+    /// Pre-trained embedding service: a fixed random projection of the
+    /// latent style vector plus weak label signal (see `WorldConfig`).
+    Embedding {
+        /// Output dimensionality.
+        dim: usize,
+    },
+}
+
+/// One organizational resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Feature name this service emits.
+    pub name: String,
+    /// Which of the paper's service groups it belongs to.
+    pub set: FeatureSet,
+    /// Servability at inference time.
+    pub serving: ServingMode,
+    /// What it computes.
+    pub kind: ServiceKind,
+    /// Per-modality probability that the service applies at all; `0.0`
+    /// means the feature does not exist for that modality.
+    pub coverage: PerModality<f64>,
+}
+
+/// Attribute-space indices used by the standard registry, in the order the
+/// world allocates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attr {
+    /// Topic-model categories.
+    Topics = 0,
+    /// Finer-grained subtopics.
+    Subtopics = 1,
+    /// Knowledge-graph entities.
+    Entities = 2,
+    /// Sentiment buckets.
+    Sentiment = 3,
+    /// Detected objects.
+    Objects = 4,
+    /// Extracted keywords.
+    Keywords = 5,
+    /// Rule-based heuristic flags.
+    RuleFlags = 6,
+    /// URL categories.
+    UrlCategory = 7,
+    /// Page-content topics.
+    PageTopics = 8,
+    /// Page-content keywords.
+    PageKeywords = 9,
+}
+
+/// Number of attribute spaces the standard registry reads.
+pub const N_ATTRS: usize = 10;
+
+/// Vocabulary sizes per attribute space (indexable by `Attr as usize`).
+pub const ATTR_VOCAB_SIZES: [u32; N_ATTRS] = [40, 60, 80, 4, 50, 100, 6, 30, 40, 80];
+
+/// Count of positive-indicative category ids reserved at the bottom of each
+/// attribute vocabulary.
+pub const ATTR_INDICATIVE: [u32; N_ATTRS] = [12, 18, 24, 1, 15, 30, 3, 9, 12, 24];
+
+/// The paper-shaped service registry: sets A (3 features), B (2), C (5),
+/// D (5) shared across modalities, plus 3 image-specific and 1 text-specific
+/// features. `share_velocity` is nonservable (the second nonservable
+/// feature, the label-propagation score, is added by the pipeline at
+/// curation time, exactly as in §6.2).
+pub fn standard_registry() -> Vec<ServiceSpec> {
+    use FeatureSet as FS;
+    use ServingMode::{Nonservable, Servable};
+    let cat = |name: &str, set: FS, attr: Attr, acc: PerModality<f64>, noise: u32, cov: PerModality<f64>| {
+        ServiceSpec {
+            name: name.to_owned(),
+            set,
+            serving: Servable,
+            kind: ServiceKind::Categorical { attr: attr as usize, accuracy: acc, noise_cats: noise },
+            coverage: cov,
+        }
+    };
+    let num = |name: &str, set: FS, serving: ServingMode, source: NumericSource, sd: f64, cov: PerModality<f64>| {
+        ServiceSpec {
+            name: name.to_owned(),
+            set,
+            serving,
+            kind: ServiceKind::Numeric { source, noise_sd: sd },
+            coverage: cov,
+        }
+    };
+    vec![
+        // ---- Set A: URL-based metadata services (3) ----
+        cat(
+            "url_category",
+            FS::A,
+            Attr::UrlCategory,
+            PerModality { text: 0.9, image: 0.85, video: 0.8 },
+            1,
+            PerModality { text: 0.85, image: 0.8, video: 0.75 },
+        ),
+        num(
+            "url_reputation",
+            FS::A,
+            Servable,
+            NumericSource::UrlReputation,
+            0.05,
+            PerModality { text: 0.85, image: 0.8, video: 0.75 },
+        ),
+        num(
+            "domain_age",
+            FS::A,
+            Servable,
+            NumericSource::DomainAge,
+            30.0,
+            PerModality { text: 0.8, image: 0.8, video: 0.8 },
+        ),
+        // ---- Set B: keyword-based metadata services (2) ----
+        cat(
+            "keywords",
+            FS::B,
+            Attr::Keywords,
+            PerModality { text: 0.92, image: 0.55, video: 0.45 },
+            2,
+            PerModality { text: 0.95, image: 0.65, video: 0.55 },
+        ),
+        cat(
+            "rule_flags",
+            FS::B,
+            Attr::RuleFlags,
+            PerModality { text: 0.95, image: 0.7, video: 0.6 },
+            0,
+            PerModality { text: 0.9, image: 0.75, video: 0.65 },
+        ),
+        // ---- Set C: topic-model-based services (5) ----
+        cat(
+            "topics",
+            FS::C,
+            Attr::Topics,
+            PerModality { text: 0.9, image: 0.8, video: 0.7 },
+            1,
+            PerModality { text: 0.95, image: 0.9, video: 0.85 },
+        ),
+        cat(
+            "subtopics",
+            FS::C,
+            Attr::Subtopics,
+            PerModality { text: 0.85, image: 0.7, video: 0.6 },
+            2,
+            PerModality { text: 0.9, image: 0.85, video: 0.8 },
+        ),
+        cat(
+            "kg_entities",
+            FS::C,
+            Attr::Entities,
+            PerModality { text: 0.85, image: 0.65, video: 0.55 },
+            2,
+            PerModality { text: 0.9, image: 0.8, video: 0.7 },
+        ),
+        cat(
+            "sentiment",
+            FS::C,
+            Attr::Sentiment,
+            PerModality { text: 0.9, image: 0.75, video: 0.7 },
+            0,
+            PerModality { text: 0.95, image: 0.9, video: 0.85 },
+        ),
+        cat(
+            "objects",
+            FS::C,
+            Attr::Objects,
+            PerModality { text: 0.6, image: 0.9, video: 0.8 },
+            2,
+            PerModality { text: 0.7, image: 0.95, video: 0.9 },
+        ),
+        // ---- Set D: page-content-based services (5) ----
+        cat(
+            "page_topics",
+            FS::D,
+            Attr::PageTopics,
+            PerModality { text: 0.85, image: 0.8, video: 0.75 },
+            1,
+            PerModality { text: 0.8, image: 0.8, video: 0.75 },
+        ),
+        cat(
+            "page_keywords",
+            FS::D,
+            Attr::PageKeywords,
+            PerModality { text: 0.85, image: 0.75, video: 0.65 },
+            2,
+            PerModality { text: 0.8, image: 0.75, video: 0.7 },
+        ),
+        num(
+            "user_reports",
+            FS::D,
+            Servable,
+            NumericSource::UserReports,
+            1.0,
+            PerModality::uniform(0.9),
+        ),
+        num(
+            "share_velocity",
+            FS::D,
+            Nonservable,
+            NumericSource::ShareVelocity,
+            0.5,
+            PerModality::uniform(0.85),
+        ),
+        num(
+            "page_quality",
+            FS::D,
+            Servable,
+            NumericSource::PageQuality,
+            0.08,
+            PerModality::uniform(0.8),
+        ),
+        // ---- Image-specific features (3) ----
+        ServiceSpec {
+            name: "img_embedding".to_owned(),
+            set: FS::ModalitySpecific,
+            serving: Servable,
+            kind: ServiceKind::Embedding { dim: 16 },
+            coverage: PerModality { text: 0.0, image: 1.0, video: 1.0 },
+        },
+        num(
+            "img_quality",
+            FS::ModalitySpecific,
+            Servable,
+            NumericSource::ImgQuality,
+            0.1,
+            PerModality { text: 0.0, image: 0.95, video: 0.9 },
+        ),
+        num(
+            "ocr_density",
+            FS::ModalitySpecific,
+            Servable,
+            NumericSource::OcrDensity,
+            0.1,
+            PerModality { text: 0.0, image: 0.9, video: 0.85 },
+        ),
+        // ---- Text-specific feature (1) ----
+        num(
+            "word_count",
+            FS::ModalitySpecific,
+            Servable,
+            NumericSource::WordCount,
+            2.0,
+            PerModality { text: 1.0, image: 0.0, video: 0.0 },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_paper_shape() {
+        let reg = standard_registry();
+        let count = |set: FeatureSet| reg.iter().filter(|s| s.set == set).count();
+        assert_eq!(count(FeatureSet::A), 3);
+        assert_eq!(count(FeatureSet::B), 2);
+        assert_eq!(count(FeatureSet::C), 5);
+        assert_eq!(count(FeatureSet::D), 5);
+        assert_eq!(count(FeatureSet::ModalitySpecific), 4);
+        // 15 shared services, exactly as in §6.2.
+        assert_eq!(reg.len() - count(FeatureSet::ModalitySpecific), 15);
+    }
+
+    #[test]
+    fn one_registry_nonservable_feature() {
+        let reg = standard_registry();
+        let nonservable: Vec<_> = reg
+            .iter()
+            .filter(|s| s.serving == ServingMode::Nonservable)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(nonservable, vec!["share_velocity"]);
+    }
+
+    #[test]
+    fn modality_specific_coverage_is_zero_elsewhere() {
+        let reg = standard_registry();
+        let img = reg.iter().find(|s| s.name == "img_embedding").unwrap();
+        assert_eq!(img.coverage.get(ModalityKind::Text), 0.0);
+        assert!(img.coverage.get(ModalityKind::Image) > 0.0);
+        let wc = reg.iter().find(|s| s.name == "word_count").unwrap();
+        assert_eq!(wc.coverage.get(ModalityKind::Image), 0.0);
+        assert!(wc.coverage.get(ModalityKind::Text) > 0.0);
+    }
+
+    #[test]
+    fn per_modality_uniform_and_get() {
+        let p = PerModality::uniform(0.5);
+        assert_eq!(p.get(ModalityKind::Text), 0.5);
+        assert_eq!(p.get(ModalityKind::Video), 0.5);
+    }
+
+    #[test]
+    fn attr_indices_are_in_range() {
+        for spec in standard_registry() {
+            if let ServiceKind::Categorical { attr, .. } = spec.kind {
+                assert!(attr < N_ATTRS);
+                assert!(ATTR_INDICATIVE[attr] < ATTR_VOCAB_SIZES[attr]);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The five classification tasks of the Google case study (§6.1, Table 1).
+//!
+//! Each task is a *profile* of the generative world: how strongly each
+//! feature set discriminates positives, how many behavioral archetypes the
+//! positive class has (and how many are borderline modes with weak
+//! categorical signal — label propagation's target), how severe the
+//! modality shift is, and how informative the raw pre-trained embedding is
+//! (the paper's evaluation baseline).
+//!
+//! Dataset sizes default to 1/1000 of Table 1 for the corpus and pool;
+//! test sets are fixed at a few thousand points so AUPRC estimates stay
+//! stable at this scale (the paper's 17 k–203 k human-labeled test sets have
+//! no synthetic-budget analogue).
+
+use serde::{Deserialize, Serialize};
+
+/// Task identifier, CT 1–CT 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskId {
+    /// Topic classification; moderate features, mild borderline modes.
+    Ct1,
+    /// Object classification; easy positives (LP adds nothing — Table 3).
+    Ct2,
+    /// Topic classification; weak features, heavy modality shift
+    /// (text transfer lands *below* the embedding baseline — Table 2).
+    Ct3,
+    /// Rare-event classification (0.9 % positive); most positive mass in
+    /// borderline modes (LP recall 162× — Table 3).
+    Ct4,
+    /// Topic classification; strong features, many borderline modes,
+    /// extreme cross-over (750 k — Table 2).
+    Ct5,
+}
+
+impl TaskId {
+    /// All tasks in paper order.
+    pub const ALL: [TaskId; 5] = [TaskId::Ct1, TaskId::Ct2, TaskId::Ct3, TaskId::Ct4, TaskId::Ct5];
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskId::Ct1 => "CT 1",
+            TaskId::Ct2 => "CT 2",
+            TaskId::Ct3 => "CT 3",
+            TaskId::Ct4 => "CT 4",
+            TaskId::Ct5 => "CT 5",
+        }
+    }
+}
+
+/// Generative knobs defining a task's difficulty shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// Base positive rate (Table 1 "% Pos").
+    pub positive_rate: f64,
+    /// Number of positive behavioral archetypes.
+    pub n_archetypes: usize,
+    /// How many of those archetypes are borderline modes.
+    pub n_borderline: usize,
+    /// Multiplier on categorical signal for borderline archetypes.
+    pub borderline_signal_discount: f64,
+    /// Probability a positive entity expresses archetype-indicative
+    /// categories, per feature set `[A, B, C, D]`.
+    pub set_signal: [f64; 4],
+    /// Probability a negative entity expresses an indicative category per
+    /// attribute (caps LF precision below 1).
+    pub contamination: f64,
+    /// Magnitude of per-modality background-distribution shift in `[0, 1]`.
+    pub modality_shift: f64,
+    /// Strength of the label direction mixed into the pre-trained image
+    /// embedding (controls the strength of the paper's baseline model).
+    pub embedding_label_signal: f64,
+    /// Within-archetype style spread (lower = tighter propagation clusters).
+    pub style_noise: f64,
+    /// Separation of positive vs negative numeric latents in `[0, 1]`.
+    pub numeric_signal: f64,
+    /// Label noise in the old (text) modality's curated corpus: years of
+    /// human labels under drifting task definitions mean a fraction of the
+    /// old labels no longer match the live task (§6.1 samples old curated
+    /// data; §7.4 discusses offline/online drift).
+    pub old_label_noise: f64,
+}
+
+/// A fully specified task: profile plus dataset sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskConfig {
+    /// Which task.
+    pub id: TaskId,
+    /// Generative profile.
+    pub profile: TaskProfile,
+    /// Labeled old-modality (text) corpus size.
+    pub n_text_labeled: usize,
+    /// Unlabeled new-modality (image) pool size.
+    pub n_image_unlabeled: usize,
+    /// Held-out labeled image test-set size.
+    pub n_image_test: usize,
+}
+
+impl TaskConfig {
+    /// Paper-calibrated configuration at the default 1/1000 scale.
+    pub fn paper(id: TaskId) -> Self {
+        let (profile, n_text, n_unlabeled, n_test) = match id {
+            TaskId::Ct1 => (
+                TaskProfile {
+                    positive_rate: 0.041,
+                    n_archetypes: 6,
+                    n_borderline: 2,
+                    borderline_signal_discount: 0.30,
+                    set_signal: [0.35, 0.40, 0.75, 0.70],
+                    contamination: 0.040,
+                    modality_shift: 0.35,
+                    embedding_label_signal: 0.80,
+                    style_noise: 0.35,
+                    numeric_signal: 0.60,
+                    old_label_noise: 0.05,
+                },
+                18_000,
+                7_200,
+                4_000,
+            ),
+            TaskId::Ct2 => (
+                TaskProfile {
+                    positive_rate: 0.093,
+                    n_archetypes: 4,
+                    n_borderline: 0,
+                    borderline_signal_discount: 1.0,
+                    set_signal: [0.50, 0.50, 0.85, 0.80],
+                    contamination: 0.020,
+                    modality_shift: 0.30,
+                    embedding_label_signal: 0.70,
+                    style_noise: 0.35,
+                    numeric_signal: 0.70,
+                    old_label_noise: 0.08,
+                },
+                26_000,
+                7_400,
+                4_000,
+            ),
+            TaskId::Ct3 => (
+                TaskProfile {
+                    positive_rate: 0.032,
+                    n_archetypes: 6,
+                    n_borderline: 2,
+                    borderline_signal_discount: 0.35,
+                    set_signal: [0.38, 0.42, 0.68, 0.62],
+                    contamination: 0.040,
+                    modality_shift: 0.45,
+                    embedding_label_signal: 0.95,
+                    style_noise: 0.45,
+                    numeric_signal: 0.35,
+                    old_label_noise: 0.06,
+                },
+                19_000,
+                7_400,
+                4_000,
+            ),
+            TaskId::Ct4 => (
+                TaskProfile {
+                    positive_rate: 0.009,
+                    n_archetypes: 8,
+                    n_borderline: 5,
+                    borderline_signal_discount: 0.35,
+                    set_signal: [0.50, 0.45, 0.80, 0.75],
+                    contamination: 0.015,
+                    modality_shift: 0.35,
+                    embedding_label_signal: 0.70,
+                    style_noise: 0.30,
+                    numeric_signal: 0.80,
+                    old_label_noise: 0.08,
+                },
+                25_000,
+                7_300,
+                8_000,
+            ),
+            TaskId::Ct5 => (
+                TaskProfile {
+                    positive_rate: 0.069,
+                    n_archetypes: 7,
+                    n_borderline: 4,
+                    borderline_signal_discount: 0.35,
+                    set_signal: [0.45, 0.50, 0.80, 0.75],
+                    contamination: 0.025,
+                    modality_shift: 0.30,
+                    embedding_label_signal: 0.65,
+                    style_noise: 0.30,
+                    numeric_signal: 0.70,
+                    old_label_noise: 0.05,
+                },
+                25_000,
+                7_400,
+                4_000,
+            ),
+        };
+        Self { id, profile, n_text_labeled: n_text, n_image_unlabeled: n_unlabeled, n_image_test: n_test }
+    }
+
+    /// Scales every dataset size by `factor` (minimum 64 rows each), for
+    /// fast tests or larger benchmark runs.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let scale = |n: usize| (((n as f64) * factor) as usize).max(64);
+        self.n_text_labeled = scale(self.n_text_labeled);
+        self.n_image_unlabeled = scale(self.n_image_unlabeled);
+        self.n_image_test = scale(self.n_image_test);
+        self
+    }
+
+    /// Expected positive count in the test set (for sanity checks).
+    pub fn expected_test_positives(&self) -> f64 {
+        self.profile.positive_rate * self.n_image_test as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table1_rates() {
+        assert_eq!(TaskConfig::paper(TaskId::Ct1).profile.positive_rate, 0.041);
+        assert_eq!(TaskConfig::paper(TaskId::Ct2).profile.positive_rate, 0.093);
+        assert_eq!(TaskConfig::paper(TaskId::Ct3).profile.positive_rate, 0.032);
+        assert_eq!(TaskConfig::paper(TaskId::Ct4).profile.positive_rate, 0.009);
+        assert_eq!(TaskConfig::paper(TaskId::Ct5).profile.positive_rate, 0.069);
+    }
+
+    #[test]
+    fn ct2_has_no_borderline_modes() {
+        // Table 3: label propagation gains exactly 1.0x on CT2.
+        assert_eq!(TaskConfig::paper(TaskId::Ct2).profile.n_borderline, 0);
+    }
+
+    #[test]
+    fn ct4_is_rarest_and_most_borderline() {
+        let ct4 = TaskConfig::paper(TaskId::Ct4).profile;
+        for id in TaskId::ALL {
+            let p = TaskConfig::paper(id).profile;
+            assert!(ct4.positive_rate <= p.positive_rate);
+        }
+        assert!(ct4.n_borderline * 2 > ct4.n_archetypes);
+    }
+
+    #[test]
+    fn scaled_respects_floor() {
+        let c = TaskConfig::paper(TaskId::Ct1).scaled(0.0001);
+        assert_eq!(c.n_text_labeled, 64);
+        assert_eq!(c.n_image_test, 64);
+        let big = TaskConfig::paper(TaskId::Ct1).scaled(2.0);
+        assert_eq!(big.n_text_labeled, 36_000);
+    }
+
+    #[test]
+    fn borderline_never_exceeds_archetypes() {
+        for id in TaskId::ALL {
+            let p = TaskConfig::paper(id).profile;
+            assert!(p.n_borderline <= p.n_archetypes);
+            assert!(p.positive_rate > 0.0 && p.positive_rate < 0.5);
+            for s in p.set_signal {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn task_names_are_paper_style() {
+        assert_eq!(TaskId::Ct1.name(), "CT 1");
+        assert_eq!(TaskId::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,717 @@
+//! The seeded generative world.
+//!
+//! A [`World`] fixes everything that is "the organization" for one task:
+//! the service registry and its schema, the class-conditional latent
+//! attribute distributions, per-modality background shift (the modality
+//! gap), archetype style geometry, and the random projection behind the
+//! pre-trained embedding service. Entities and datasets are then sampled
+//! from it deterministically given a seed.
+
+use std::sync::Arc;
+
+use cm_featurespace::{
+    CatSet, FeatureDef, FeatureSchema, FeatureValue, Label, ModalityKind, Vocabulary,
+};
+use cm_linalg::init::standard_normal;
+use cm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::entity::{LatentEntity, NumericLatents};
+use crate::services::{
+    standard_registry, NumericSource, ServiceKind, ServiceSpec, ATTR_INDICATIVE, ATTR_VOCAB_SIZES,
+    N_ATTRS,
+};
+use crate::tasks::TaskConfig;
+
+/// Configuration of a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Task profile and dataset sizes.
+    pub task: TaskConfig,
+    /// Master seed; all world structure derives from it.
+    pub seed: u64,
+    /// Latent style dimensionality.
+    pub style_dim: usize,
+    /// Number of background (negative) style clusters.
+    pub n_negative_clusters: usize,
+}
+
+impl WorldConfig {
+    /// Default geometry for a task.
+    pub fn new(task: TaskConfig, seed: u64) -> Self {
+        Self { task, seed, style_dim: 8, n_negative_clusters: 24 }
+    }
+}
+
+/// Zipf-like exponent for background category draws.
+const BACKGROUND_ZIPF: f64 = 1.1;
+
+/// A fully instantiated generative world for one task.
+pub struct World {
+    config: WorldConfig,
+    services: Vec<ServiceSpec>,
+    schema: Arc<FeatureSchema>,
+    /// `[attr][archetype] -> indicative ids` for positive entities.
+    arch_indicative: Vec<Vec<Vec<u32>>>,
+    /// Cumulative background-rank distribution per attribute.
+    background_cdf: Vec<Vec<f64>>,
+    /// Style centers for positive archetypes.
+    archetype_centers: Vec<Vec<f32>>,
+    /// Style centers for the negative background mixture.
+    negative_centers: Vec<Vec<f32>>,
+    /// Random projection style -> embedding space.
+    projection: Matrix,
+    /// Unit label direction in embedding space.
+    label_direction: Vec<f32>,
+}
+
+impl World {
+    /// Builds the world structure from the config (deterministic in the
+    /// seed).
+    #[allow(clippy::needless_range_loop)] // indexes parallel const arrays
+    pub fn build(config: WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let services = standard_registry();
+        let schema = Arc::new(build_schema(&services));
+
+        let profile = &config.task.profile;
+        let n_arch = profile.n_archetypes;
+
+        // Partition each attribute's indicative ids across archetypes
+        // (wrapping, so small vocabularies still give every archetype
+        // signal, at the cost of some overlap).
+        let mut arch_indicative = Vec::with_capacity(N_ATTRS);
+        for attr in 0..N_ATTRS {
+            let n_ind = ATTR_INDICATIVE[attr];
+            let per_arch = (n_ind as usize / n_arch).max(1);
+            let mut per_attr = Vec::with_capacity(n_arch);
+            for k in 0..n_arch {
+                let ids = (0..per_arch)
+                    .map(|j| ((k * per_arch + j) % n_ind as usize) as u32)
+                    .collect();
+                per_attr.push(ids);
+            }
+            arch_indicative.push(per_attr);
+        }
+
+        // Background rank CDF per attribute (shared across modalities; the
+        // shift is applied as an id offset at sampling time).
+        let mut background_cdf = Vec::with_capacity(N_ATTRS);
+        for attr in 0..N_ATTRS {
+            let n = (ATTR_VOCAB_SIZES[attr] - ATTR_INDICATIVE[attr]) as usize;
+            let mut cdf = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for r in 0..n {
+                acc += 1.0 / ((r + 1) as f64).powf(BACKGROUND_ZIPF);
+                cdf.push(acc);
+            }
+            let total = acc.max(f64::MIN_POSITIVE);
+            for v in &mut cdf {
+                *v /= total;
+            }
+            background_cdf.push(cdf);
+        }
+
+        let sample_center = |rng: &mut StdRng, dim: usize| -> Vec<f32> {
+            (0..dim).map(|_| (standard_normal(rng) * 1.5) as f32).collect()
+        };
+        let negative_centers: Vec<Vec<f32>> = (0..config.n_negative_clusters)
+            .map(|_| sample_center(&mut rng, config.style_dim))
+            .collect();
+        // Positive archetypes sit *inside* the negative style mixture — a
+        // modest offset from an existing negative cluster — so the global
+        // embedding signal is weak (the paper's baseline is beatable) while
+        // local structure (tight positive sub-clusters) remains for label
+        // propagation to exploit.
+        let offset_scale = profile.style_noise;
+        let archetype_centers: Vec<Vec<f32>> = (0..n_arch)
+            .map(|k| {
+                let base = &negative_centers[k % config.n_negative_clusters];
+                base.iter()
+                    .map(|&c| c + (standard_normal(&mut rng) * offset_scale) as f32)
+                    .collect()
+            })
+            .collect();
+
+        let emb_dim = services
+            .iter()
+            .find_map(|s| match s.kind {
+                ServiceKind::Embedding { dim } => Some(dim),
+                _ => None,
+            })
+            .expect("registry has an embedding service");
+        let projection = Matrix::from_fn(emb_dim, config.style_dim, |_, _| {
+            (standard_normal(&mut rng) / (config.style_dim as f64).sqrt()) as f32
+        });
+        let mut label_direction: Vec<f32> =
+            (0..emb_dim).map(|_| standard_normal(&mut rng) as f32).collect();
+        let norm = cm_linalg::l2_norm(&label_direction).max(1e-6);
+        for v in &mut label_direction {
+            *v /= norm;
+        }
+
+        Self {
+            config,
+            services,
+            schema,
+            arch_indicative,
+            background_cdf,
+            archetype_centers,
+            negative_centers,
+            projection,
+            label_direction,
+        }
+    }
+
+    /// The feature schema induced by the service registry.
+    pub fn schema(&self) -> &Arc<FeatureSchema> {
+        &self.schema
+    }
+
+    /// The service registry.
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Samples one latent entity for `modality`.
+    #[allow(clippy::needless_range_loop)] // indexes parallel const arrays
+    pub fn sample_entity(&self, modality: ModalityKind, rng: &mut StdRng) -> LatentEntity {
+        let profile = &self.config.task.profile;
+        let positive = rng.gen::<f64>() < profile.positive_rate;
+        let n_arch = profile.n_archetypes;
+        let archetype = if positive { rng.gen_range(0..n_arch) } else { usize::MAX };
+        let borderline = positive && archetype >= n_arch - profile.n_borderline;
+
+        let mut cats = Vec::with_capacity(N_ATTRS);
+        for attr in 0..N_ATTRS {
+            let mut set = CatSet::new();
+            // Background draws (modality-shifted Zipf).
+            let n_background = rng.gen_range(1..=3);
+            for _ in 0..n_background {
+                set.insert(self.sample_background(attr, modality, rng));
+            }
+            if positive {
+                let set_idx = attr_feature_set_index(attr);
+                let discount =
+                    if borderline { profile.borderline_signal_discount } else { 1.0 };
+                let signal = profile.set_signal[set_idx]
+                    * discount
+                    * attr_modality_signal(attr, modality, profile.modality_shift);
+                if rng.gen::<f64>() < signal {
+                    for &id in &self.arch_indicative[attr][archetype] {
+                        set.insert(id);
+                    }
+                }
+            } else if rng.gen::<f64>() < profile.contamination {
+                set.insert(rng.gen_range(0..ATTR_INDICATIVE[attr]));
+            }
+            cats.push(set);
+        }
+
+        let s = profile.numeric_signal;
+        let n = |rng: &mut StdRng, mu: f64, sd: f64| standard_normal(rng) * sd + mu;
+        // Mild population selection effect: authors posting rich media are
+        // reported/shared slightly more across both classes, so thresholds
+        // learned on text miscalibrate on the new modality while
+        // within-modality separation is untouched.
+        let pop = match modality {
+            ModalityKind::Text => 0.0,
+            ModalityKind::Image => 0.6 * profile.modality_shift * (1.0 + s),
+            ModalityKind::Video => 0.9 * profile.modality_shift * (1.0 + s),
+        };
+        let numerics = if positive {
+            NumericLatents {
+                report_propensity: (n(rng, 1.0 + 3.0 * s + pop, 0.8)).max(0.0),
+                virality: (n(rng, 1.0 + 2.0 * s + 0.5 * pop, 0.6)).max(0.0),
+                url_reputation: (n(rng, 0.75 - 0.3 * s, 0.1)).clamp(0.0, 1.0),
+                page_quality: (n(rng, 0.7 - 0.25 * s, 0.1)).clamp(0.0, 1.0),
+                ocr_density: (n(rng, 0.5 + 0.2 * s, 0.15)).clamp(0.0, 1.0),
+                domain_age: (n(rng, 1000.0, 300.0)).max(1.0),
+                word_count: (n(rng, 20.0, 8.0)).max(1.0),
+            }
+        } else {
+            NumericLatents {
+                report_propensity: (n(rng, 1.0 + pop, 0.8)).max(0.0),
+                virality: (n(rng, 1.0 + 0.5 * pop, 0.6)).max(0.0),
+                url_reputation: (n(rng, 0.75, 0.1)).clamp(0.0, 1.0),
+                page_quality: (n(rng, 0.7, 0.1)).clamp(0.0, 1.0),
+                ocr_density: (n(rng, 0.5, 0.15)).clamp(0.0, 1.0),
+                domain_age: (n(rng, 1000.0, 300.0)).max(1.0),
+                word_count: (n(rng, 20.0, 8.0)).max(1.0),
+            }
+        };
+
+        let center = if positive {
+            &self.archetype_centers[archetype]
+        } else {
+            &self.negative_centers[rng.gen_range(0..self.negative_centers.len())]
+        };
+        let spread = if positive { profile.style_noise } else { profile.style_noise * 1.6 };
+        let style = center
+            .iter()
+            .map(|&c| c + (standard_normal(rng) * spread) as f32)
+            .collect();
+
+        // Old-modality label drift: the curated text corpus's labels are
+        // noisy relative to the live task definition. Noise is
+        // class-asymmetric: a `old_label_noise` fraction of true positives
+        // were missed by reviewers, and false positives occur at a rate
+        // proportional to the class prior (human labels are precise but
+        // definitions drift).
+        let visible_positive = if modality == ModalityKind::Text {
+            let flip = if positive {
+                rng.gen::<f64>() < profile.old_label_noise
+            } else {
+                rng.gen::<f64>() < profile.old_label_noise * profile.positive_rate
+            };
+            positive != flip
+        } else {
+            positive
+        };
+        LatentEntity {
+            label: if visible_positive { Label::Positive } else { Label::Negative },
+            archetype,
+            borderline,
+            cats,
+            numerics,
+            style,
+        }
+    }
+
+    /// Applies every service to an entity, producing a schema-shaped row.
+    pub fn featurize(
+        &self,
+        entity: &LatentEntity,
+        modality: ModalityKind,
+        rng: &mut StdRng,
+    ) -> Vec<FeatureValue> {
+        self.services
+            .iter()
+            .map(|spec| self.apply_service(spec, entity, modality, rng))
+            .collect()
+    }
+
+    fn apply_service(
+        &self,
+        spec: &ServiceSpec,
+        entity: &LatentEntity,
+        modality: ModalityKind,
+        rng: &mut StdRng,
+    ) -> FeatureValue {
+        let coverage = spec.coverage.get(modality);
+        if coverage <= 0.0 || rng.gen::<f64>() >= coverage {
+            return FeatureValue::Missing;
+        }
+        match &spec.kind {
+            ServiceKind::Categorical { attr, accuracy, noise_cats } => {
+                let acc = accuracy.get(modality);
+                let shift = self.config.task.profile.modality_shift;
+                // Vocabulary drift: a non-text service sometimes reports an
+                // indicative category under a different (aliased) id — the
+                // image topic model's taxonomy is not the text model's.
+                // This is the class-conditional half of the modality gap:
+                // a text-trained model keyed on the canonical ids misses
+                // the aliased occurrences.
+                let remap_prob = match modality {
+                    ModalityKind::Text => 0.0,
+                    ModalityKind::Image => (0.55 * shift).min(0.9),
+                    ModalityKind::Video => (0.6 * shift).min(0.9),
+                };
+                let n_ind = ATTR_INDICATIVE[*attr];
+                let vocab = ATTR_VOCAB_SIZES[*attr];
+                let mut observed = CatSet::new();
+                for id in entity.cats[*attr].iter() {
+                    if rng.gen::<f64>() < acc {
+                        if id < n_ind && rng.gen::<f64>() < remap_prob {
+                            observed.insert(vocab - 1 - id);
+                        } else {
+                            observed.insert(id);
+                        }
+                    }
+                }
+                if *noise_cats > 0 {
+                    let n_noise = rng.gen_range(0..=*noise_cats);
+                    for _ in 0..n_noise {
+                        observed.insert(self.sample_background(*attr, modality, rng));
+                    }
+                }
+                FeatureValue::Categorical(observed)
+            }
+            ServiceKind::Numeric { source, noise_sd } => {
+                let base = match source {
+                    NumericSource::UserReports => entity.numerics.report_propensity * 4.0,
+                    NumericSource::ShareVelocity => entity.numerics.virality,
+                    NumericSource::UrlReputation => entity.numerics.url_reputation,
+                    NumericSource::DomainAge => entity.numerics.domain_age,
+                    NumericSource::PageQuality => entity.numerics.page_quality,
+                    NumericSource::WordCount => entity.numerics.word_count,
+                    NumericSource::ImgQuality => 0.6 + 0.2 * entity.numerics.page_quality,
+                    NumericSource::OcrDensity => entity.numerics.ocr_density,
+                };
+                // Content-model-based scores shift across modalities (the
+                // model observing an image scores differently than the one
+                // observing text); aggregate statistics are metadata joins
+                // and do not shift.
+                let (scale, offset) = numeric_modality_shift(
+                    *source,
+                    modality,
+                    self.config.task.profile.modality_shift,
+                );
+                FeatureValue::Numeric(base * scale + offset + standard_normal(rng) * noise_sd)
+            }
+            ServiceKind::Embedding { dim } => {
+                let mut emb = self.projection.matvec(&entity.style);
+                debug_assert_eq!(emb.len(), *dim);
+                let signal = self.config.task.profile.embedding_label_signal as f32;
+                if entity.is_positive() {
+                    cm_linalg::axpy(signal, &self.label_direction, &mut emb);
+                }
+                for v in &mut emb {
+                    *v += (standard_normal(rng) * 0.6) as f32;
+                }
+                FeatureValue::Embedding(emb)
+            }
+        }
+    }
+
+    /// Samples a background category id for `attr`, shifted per modality so
+    /// the marginal category distributions differ across modalities.
+    ///
+    /// Besides the Zipf-offset shift, non-text modalities suffer *indicative
+    /// collisions*: a slice of the indicative vocabulary (ids ≡ 1 mod 3) is
+    /// also ordinary background content there (a topic that flags text posts
+    /// may be everyday imagery in photos). A text-trained model keyed on
+    /// those ids drowns in false positives on the new modality; a model
+    /// trained in-modality learns to discount them.
+    fn sample_background(&self, attr: usize, modality: ModalityKind, rng: &mut StdRng) -> u32 {
+        let shift = self.config.task.profile.modality_shift;
+        let collide_prob = match modality {
+            ModalityKind::Text => 0.0,
+            ModalityKind::Image => 0.15 * shift,
+            ModalityKind::Video => 0.25 * shift,
+        };
+        let n_ind = ATTR_INDICATIVE[attr];
+        if n_ind >= 3 && rng.gen::<f64>() < collide_prob {
+            let slice_len = n_ind.div_ceil(3);
+            let id = 1 + 3 * rng.gen_range(0..slice_len);
+            if id < n_ind {
+                return id;
+            }
+        }
+        let cdf = &self.background_cdf[attr];
+        let n = cdf.len() as u32;
+        if n == 0 {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let rank = cdf.partition_point(|&c| c < u) as u32;
+        let shift = self.config.task.profile.modality_shift;
+        let offset = match modality {
+            ModalityKind::Text => 0,
+            ModalityKind::Image => (shift * f64::from(n) * 0.5) as u32,
+            ModalityKind::Video => (shift * f64::from(n)) as u32,
+        };
+        ATTR_INDICATIVE[attr] + (rank.min(n - 1) + offset) % n
+    }
+}
+
+/// Per-modality `(scale, offset)` applied to content-model-based numeric
+/// observations. Aggregate statistics (`UserReports`, `ShareVelocity`,
+/// `DomainAge`, `WordCount`) are keyed on metadata and identical across
+/// modalities; model-derived scores drift with the modality, proportional
+/// to the task's `modality_shift`.
+fn numeric_modality_shift(
+    source: NumericSource,
+    modality: ModalityKind,
+    shift: f64,
+) -> (f64, f64) {
+    let model_based = matches!(
+        source,
+        NumericSource::UrlReputation
+            | NumericSource::PageQuality
+            | NumericSource::ImgQuality
+            | NumericSource::OcrDensity
+    );
+    if !model_based {
+        return (1.0, 0.0);
+    }
+    match modality {
+        ModalityKind::Text => (1.0, 0.0),
+        ModalityKind::Image => (1.0 - 0.8 * shift, 0.30 * shift),
+        ModalityKind::Video => (1.0 - 1.0 * shift, 0.45 * shift),
+    }
+}
+
+/// How strongly positives *express* each attribute per modality.
+///
+/// The paper's motivation: "direct translations of policy violations are
+/// unclear when moving from a static to sequential modality" — a violation
+/// shows up as keywords and phrasing in text but as depicted objects and
+/// page context in images. Text-leaning attributes (keywords, rule flags,
+/// subtopics) lose expression on richer modalities proportionally to the
+/// task's modality shift; image-leaning attributes (objects, page topics,
+/// sentiment) lose expression on text. This is what makes a text-trained
+/// model miss new-modality positives that an in-modality weakly supervised
+/// model catches (§6.6).
+fn attr_modality_signal(attr: usize, modality: ModalityKind, shift: f64) -> f64 {
+    use crate::services::Attr::*;
+    let text_leaning = attr == Keywords as usize
+        || attr == RuleFlags as usize
+        || attr == Subtopics as usize
+        || attr == UrlCategory as usize;
+    let image_leaning = attr == Objects as usize
+        || attr == PageTopics as usize
+        || attr == Sentiment as usize
+        || attr == PageKeywords as usize;
+    match modality {
+        ModalityKind::Text => {
+            if image_leaning {
+                (1.0 - 1.8 * shift).max(0.12)
+            } else {
+                1.0
+            }
+        }
+        ModalityKind::Image => {
+            if text_leaning {
+                (1.0 - 1.0 * shift).max(0.20)
+            } else {
+                1.0
+            }
+        }
+        ModalityKind::Video => {
+            if text_leaning {
+                (1.0 - 1.6 * shift).max(0.10)
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Maps an attribute-space index to its owning feature-set index `[A..D]`.
+fn attr_feature_set_index(attr: usize) -> usize {
+    use crate::services::Attr::*;
+    match attr {
+        a if a == UrlCategory as usize => 0,
+        a if a == Keywords as usize || a == RuleFlags as usize => 1,
+        a if a == Topics as usize
+            || a == Subtopics as usize
+            || a == Entities as usize
+            || a == Sentiment as usize
+            || a == Objects as usize =>
+        {
+            2
+        }
+        a if a == PageTopics as usize || a == PageKeywords as usize => 3,
+        _ => unreachable!("unknown attribute index {attr}"),
+    }
+}
+
+fn build_schema(services: &[ServiceSpec]) -> FeatureSchema {
+    let mut defs = Vec::with_capacity(services.len());
+    for spec in services {
+        let def = match &spec.kind {
+            ServiceKind::Categorical { attr, .. } => {
+                let vocab = Vocabulary::from_names(
+                    (0..ATTR_VOCAB_SIZES[*attr]).map(|i| format!("{}:{i}", spec.name)),
+                );
+                FeatureDef::categorical(&spec.name, spec.set, spec.serving, vocab)
+            }
+            ServiceKind::Numeric { .. } => FeatureDef::numeric(&spec.name, spec.set, spec.serving),
+            ServiceKind::Embedding { dim } => {
+                FeatureDef::embedding(&spec.name, *dim, spec.set, spec.serving)
+            }
+        };
+        defs.push(def);
+    }
+    FeatureSchema::from_defs(defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{TaskConfig, TaskId};
+
+    fn world() -> World {
+        World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct1).scaled(0.01), 7))
+    }
+
+    #[test]
+    fn schema_matches_registry() {
+        let w = world();
+        assert_eq!(w.schema().len(), w.services().len());
+        assert_eq!(w.schema().column("topics"), Some(5));
+        assert!(w.schema().column("img_embedding").is_some());
+    }
+
+    #[test]
+    fn entity_sampling_is_seed_deterministic() {
+        let w = world();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = w.sample_entity(ModalityKind::Text, &mut r1);
+        let b = w.sample_entity(ModalityKind::Text, &mut r2);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.cats, b.cats);
+        assert_eq!(a.style, b.style);
+    }
+
+    #[test]
+    fn positive_rate_is_approximately_calibrated() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let pos = (0..n)
+            .filter(|_| w.sample_entity(ModalityKind::Image, &mut rng).is_positive())
+            .count();
+        let rate = pos as f64 / n as f64;
+        let target = w.config().task.profile.positive_rate;
+        assert!((rate - target).abs() < 0.01, "rate {rate} vs target {target}");
+    }
+
+    #[test]
+    fn positives_express_more_indicative_categories() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pos_hits = 0usize;
+        let mut neg_hits = 0usize;
+        let (mut n_pos, mut n_neg) = (0usize, 0usize);
+        let topics = crate::services::Attr::Topics as usize;
+        for _ in 0..30_000 {
+            let e = w.sample_entity(ModalityKind::Text, &mut rng);
+            let hit = e.cats[topics].iter().any(|id| id < ATTR_INDICATIVE[topics]);
+            if e.is_positive() {
+                n_pos += 1;
+                pos_hits += usize::from(hit);
+            } else {
+                n_neg += 1;
+                neg_hits += usize::from(hit);
+            }
+        }
+        let pos_rate = pos_hits as f64 / n_pos.max(1) as f64;
+        let neg_rate = neg_hits as f64 / n_neg.max(1) as f64;
+        assert!(
+            pos_rate > neg_rate * 3.0,
+            "indicative rate pos {pos_rate} vs neg {neg_rate}"
+        );
+    }
+
+    #[test]
+    fn borderline_positives_have_weaker_signal() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let topics = crate::services::Attr::Topics as usize;
+        let (mut head_hits, mut head_n, mut bord_hits, mut bord_n) = (0usize, 0, 0usize, 0);
+        for _ in 0..200_000 {
+            let e = w.sample_entity(ModalityKind::Text, &mut rng);
+            if !e.is_positive() {
+                continue;
+            }
+            let hit = e.cats[topics].iter().any(|id| id < ATTR_INDICATIVE[topics]);
+            if e.borderline {
+                bord_n += 1;
+                bord_hits += usize::from(hit);
+            } else {
+                head_n += 1;
+                head_hits += usize::from(hit);
+            }
+        }
+        assert!(head_n > 100 && bord_n > 100);
+        let head_rate = head_hits as f64 / head_n as f64;
+        let bord_rate = bord_hits as f64 / bord_n as f64;
+        assert!(head_rate > bord_rate * 1.5, "head {head_rate} vs borderline {bord_rate}");
+    }
+
+    #[test]
+    fn featurize_respects_modality_applicability() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = w.sample_entity(ModalityKind::Text, &mut rng);
+        let row = w.featurize(&e, ModalityKind::Text, &mut rng);
+        let emb_col = w.schema().column("img_embedding").unwrap();
+        let wc_col = w.schema().column("word_count").unwrap();
+        assert!(row[emb_col].is_missing(), "text rows must not get image embeddings");
+        assert!(!row[wc_col].is_missing() || w.services()[wc_col].coverage.text < 1.0);
+
+        let e = w.sample_entity(ModalityKind::Image, &mut rng);
+        let row = w.featurize(&e, ModalityKind::Image, &mut rng);
+        assert!(row[wc_col].is_missing(), "image rows must not get word counts");
+    }
+
+    #[test]
+    fn modality_shift_changes_background_marginals() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        let attr = crate::services::Attr::Topics as usize;
+        let mut text_counts = vec![0u32; ATTR_VOCAB_SIZES[attr] as usize];
+        let mut image_counts = vec![0u32; ATTR_VOCAB_SIZES[attr] as usize];
+        for _ in 0..20_000 {
+            text_counts[w.sample_background(attr, ModalityKind::Text, &mut rng) as usize] += 1;
+            image_counts[w.sample_background(attr, ModalityKind::Image, &mut rng) as usize] += 1;
+        }
+        // Total-variation distance between the two marginals should be
+        // clearly positive under a 0.35 shift.
+        let n = 20_000f64;
+        let tv: f64 = text_counts
+            .iter()
+            .zip(&image_counts)
+            .map(|(&a, &b)| (f64::from(a) / n - f64::from(b) / n).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv > 0.1, "total variation {tv} too small for shift");
+    }
+
+    #[test]
+    fn embedding_encodes_label_signal() {
+        // Paired test: two entities identical except for the label must
+        // differ in embedding space by exactly `embedding_label_signal`
+        // along the (unit) label direction, given identical observation
+        // noise (same rng seed).
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut pos = w.sample_entity(ModalityKind::Image, &mut rng);
+        pos.label = Label::Positive;
+        let mut neg = pos.clone();
+        neg.label = Label::Negative;
+        let emb_col = w.schema().column("img_embedding").unwrap();
+        let get = |e: &LatentEntity| loop {
+            // Coverage is stochastic; retry until the embedding is present.
+            let mut r = StdRng::seed_from_u64(99);
+            let row = w.featurize(e, ModalityKind::Image, &mut r);
+            if let FeatureValue::Embedding(v) = &row[emb_col] {
+                break v.clone();
+            }
+        };
+        let ep = get(&pos);
+        let en = get(&neg);
+        let diff: Vec<f32> = ep.iter().zip(&en).map(|(a, b)| a - b).collect();
+        let gap = f64::from(cm_linalg::l2_norm(&diff));
+        let signal = w.config().task.profile.embedding_label_signal;
+        assert!(
+            (gap - signal).abs() < 1e-4,
+            "embedding label gap {gap} vs configured signal {signal}"
+        );
+    }
+
+    #[test]
+    fn sentiment_ids_stay_in_vocab() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(8);
+        let col = w.schema().column("sentiment").unwrap();
+        for _ in 0..500 {
+            let e = w.sample_entity(ModalityKind::Image, &mut rng);
+            let row = w.featurize(&e, ModalityKind::Image, &mut rng);
+            if let FeatureValue::Categorical(set) = &row[col] {
+                for id in set.iter() {
+                    assert!(id < ATTR_VOCAB_SIZES[crate::services::Attr::Sentiment as usize]);
+                }
+            }
+        }
+    }
+}

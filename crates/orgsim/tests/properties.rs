@@ -1,0 +1,115 @@
+//! Property-based tests for the generative world: the statistical
+//! guarantees downstream crates rely on must hold for arbitrary seeds and
+//! task profiles.
+
+use cm_featurespace::ModalityKind;
+use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
+use proptest::prelude::*;
+
+fn any_task() -> impl Strategy<Value = TaskConfig> {
+    prop::sample::select(TaskId::ALL.to_vec())
+        .prop_map(|id| TaskConfig::paper(id).scaled(0.005))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Schema and registry invariants hold for every world.
+    #[test]
+    fn schema_matches_registry(task in any_task(), seed in 0u64..1000) {
+        let w = World::build(WorldConfig::new(task, seed));
+        prop_assert_eq!(w.schema().len(), w.services().len());
+        for (i, spec) in w.services().iter().enumerate() {
+            prop_assert_eq!(&w.schema().def(i).name, &spec.name);
+            prop_assert_eq!(w.schema().def(i).set, spec.set);
+        }
+    }
+
+    /// Generated rows always conform to the schema: categorical ids stay
+    /// inside their vocabulary, embeddings have the declared width, and
+    /// modality-inapplicable features are missing.
+    #[test]
+    fn generated_rows_conform(
+        task in any_task(),
+        seed in 0u64..1000,
+        modality in prop::sample::select(vec![
+            ModalityKind::Text,
+            ModalityKind::Image,
+            ModalityKind::Video,
+        ]),
+    ) {
+        let w = World::build(WorldConfig::new(task, seed));
+        let d = w.generate(modality, 100, seed ^ 1);
+        let schema = w.schema();
+        for r in 0..d.len() {
+            for (c, def) in schema.defs().iter().enumerate() {
+                match def.kind {
+                    cm_featurespace::FeatureKind::Categorical => {
+                        if let Some(ids) = d.table.categorical(r, c) {
+                            for &id in ids {
+                                prop_assert!((id as usize) < def.vocab.len(),
+                                    "{}: id {id} outside vocab {}", def.name, def.vocab.len());
+                            }
+                        }
+                    }
+                    cm_featurespace::FeatureKind::Embedding { dim } => {
+                        if let Some(e) = d.table.embedding(r, c) {
+                            prop_assert_eq!(e.len(), dim);
+                            prop_assert!(e.iter().all(|v| v.is_finite()));
+                        }
+                    }
+                    cm_featurespace::FeatureKind::Numeric => {
+                        if let Some(v) = d.table.numeric(r, c) {
+                            prop_assert!(v.is_finite());
+                        }
+                    }
+                }
+                // Zero-coverage features must be missing.
+                let spec = &w.services()[c];
+                if spec.coverage.get(modality) == 0.0 {
+                    prop_assert!(!d.table.is_present(r, c),
+                        "{} present on {:?}", def.name, modality);
+                }
+            }
+        }
+    }
+
+    /// The generator is deterministic and label-consistent: labels,
+    /// borderline flags, and rows all reproduce under the same seed.
+    #[test]
+    fn generation_is_reproducible(task in any_task(), seed in 0u64..500) {
+        let w = World::build(WorldConfig::new(task, seed));
+        let a = w.generate(ModalityKind::Image, 64, 7);
+        let b = w.generate(ModalityKind::Image, 64, 7);
+        prop_assert_eq!(&a.labels, &b.labels);
+        prop_assert_eq!(&a.borderline, &b.borderline);
+        for r in 0..a.len() {
+            prop_assert_eq!(a.table.row(r), b.table.row(r));
+        }
+    }
+
+    /// Borderline flags only appear on positives.
+    #[test]
+    fn borderline_implies_positive(task in any_task(), seed in 0u64..500) {
+        let w = World::build(WorldConfig::new(task, seed));
+        let d = w.generate(ModalityKind::Image, 400, seed ^ 3);
+        for (label, &b) in d.labels.iter().zip(&d.borderline) {
+            if b {
+                prop_assert!(label.is_positive());
+            }
+        }
+    }
+
+    /// Dataset split conserves rows and labels.
+    #[test]
+    fn split_conserves(task in any_task(), seed in 0u64..200, frac in 0.1f64..0.9) {
+        let w = World::build(WorldConfig::new(task, seed));
+        let d = w.generate(ModalityKind::Text, 150, 1);
+        let (a, b) = d.split(frac, seed);
+        prop_assert_eq!(a.len() + b.len(), d.len());
+        let pos = |m: &cm_orgsim::ModalityDataset| {
+            m.labels.iter().filter(|l| l.is_positive()).count()
+        };
+        prop_assert_eq!(pos(&a) + pos(&b), pos(&d));
+    }
+}

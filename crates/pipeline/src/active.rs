@@ -1,0 +1,177 @@
+//! Active-learning review selection (paper §6.4, §7.2).
+//!
+//! The paper ships the cross-modal model immediately and then improves it
+//! "via techniques for active learning or self-training on the order of
+//! days". This module selects which pool points to send to human review,
+//! and folds the resulting labels back into the training targets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use cm_featurespace::Label;
+
+use crate::curation::CurationOutput;
+
+/// Review-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReviewStrategy {
+    /// Points whose probabilistic label is closest to 0.5 — the label
+    /// model is most unsure about them.
+    Uncertainty,
+    /// Points the LFs *disagree* on (conflicting votes produce mid-range
+    /// posteriors) plus uncovered points, interleaved — the paper's "data
+    /// slices the experts should explore".
+    DisagreementFirst,
+    /// Uniform random (baseline).
+    Random,
+}
+
+/// Selects up to `budget` pool rows for human review.
+///
+/// Returns row indices in review-priority order, deduplicated.
+pub fn select_for_review(
+    curation: &CurationOutput,
+    strategy: ReviewStrategy,
+    budget: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let n = curation.probabilistic_labels.len();
+    let budget = budget.min(n);
+    match strategy {
+        ReviewStrategy::Random => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(&mut StdRng::seed_from_u64(seed));
+            idx.truncate(budget);
+            idx
+        }
+        ReviewStrategy::Uncertainty => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                let ua = (curation.probabilistic_labels[a] - 0.5).abs();
+                let ub = (curation.probabilistic_labels[b] - 0.5).abs();
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            idx.truncate(budget);
+            idx
+        }
+        ReviewStrategy::DisagreementFirst => {
+            // Covered-but-uncertain rows first (LF conflict shows up as
+            // mid-range posteriors), then uncovered rows shuffled.
+            let mut covered_uncertain: Vec<usize> =
+                (0..n).filter(|&r| curation.covered[r]).collect();
+            covered_uncertain.sort_by(|&a, &b| {
+                let ua = (curation.probabilistic_labels[a] - 0.5).abs();
+                let ub = (curation.probabilistic_labels[b] - 0.5).abs();
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut uncovered: Vec<usize> = (0..n).filter(|&r| !curation.covered[r]).collect();
+            uncovered.shuffle(&mut StdRng::seed_from_u64(seed));
+            let take_cov = budget.div_ceil(2).min(covered_uncertain.len());
+            let mut out: Vec<usize> = covered_uncertain[..take_cov].to_vec();
+            for r in uncovered {
+                if out.len() >= budget {
+                    break;
+                }
+                out.push(r);
+            }
+            // Top up from the remaining covered rows if uncovered ran dry.
+            for &r in &covered_uncertain[take_cov..] {
+                if out.len() >= budget {
+                    break;
+                }
+                out.push(r);
+            }
+            out
+        }
+    }
+}
+
+/// Folds human review results back into the probabilistic labels: reviewed
+/// rows become hard 0/1 targets and count as covered.
+pub fn apply_review(
+    curation: &mut CurationOutput,
+    reviews: impl IntoIterator<Item = (usize, Label)>,
+) {
+    for (row, label) in reviews {
+        assert!(
+            row < curation.probabilistic_labels.len(),
+            "review row {row} out of range"
+        );
+        curation.probabilistic_labels[row] = label.as_f64();
+        curation.covered[row] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::curation::{CurationOutput, WsQuality};
+
+    fn fake_curation(probs: Vec<f64>, covered: Vec<bool>) -> CurationOutput {
+        CurationOutput {
+            probabilistic_labels: probs,
+            covered,
+            lf_names: vec!["lf".into()],
+            ws_quality: WsQuality { precision: 0.0, recall: 0.0, f1: 0.0, coverage: 0.0 },
+            mining_time: Duration::ZERO,
+            propagation_time: None,
+            conflict: 0.0,
+        }
+    }
+
+    #[test]
+    fn uncertainty_picks_mid_range_posteriors() {
+        let cur = fake_curation(vec![0.95, 0.52, 0.05, 0.48, 0.9], vec![true; 5]);
+        let picks = select_for_review(&cur, ReviewStrategy::Uncertainty, 2, 0);
+        assert_eq!(picks.len(), 2);
+        assert!(picks.contains(&1) && picks.contains(&3), "{picks:?}");
+    }
+
+    #[test]
+    fn disagreement_first_mixes_uncertain_and_uncovered() {
+        let cur = fake_curation(
+            vec![0.5, 0.9, 0.1, 0.04, 0.04, 0.04],
+            vec![true, true, true, false, false, false],
+        );
+        let picks = select_for_review(&cur, ReviewStrategy::DisagreementFirst, 4, 1);
+        assert_eq!(picks.len(), 4);
+        assert!(picks.contains(&0), "most conflicted covered row must be reviewed");
+        assert!(
+            picks.iter().any(|&r| !cur.covered[r]),
+            "some uncovered rows must be reviewed: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn budgets_and_dedup_are_respected() {
+        let cur = fake_curation(vec![0.5; 10], vec![true; 10]);
+        for strategy in
+            [ReviewStrategy::Random, ReviewStrategy::Uncertainty, ReviewStrategy::DisagreementFirst]
+        {
+            let picks = select_for_review(&cur, strategy, 25, 2);
+            assert!(picks.len() <= 10);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picks.len(), "{strategy:?} produced duplicates");
+        }
+    }
+
+    #[test]
+    fn apply_review_hardens_labels() {
+        let mut cur = fake_curation(vec![0.5, 0.5], vec![false, true]);
+        apply_review(&mut cur, [(0, Label::Positive), (1, Label::Negative)]);
+        assert_eq!(cur.probabilistic_labels, vec![1.0, 0.0]);
+        assert!(cur.covered[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_review_checks_bounds() {
+        let mut cur = fake_curation(vec![0.5], vec![true]);
+        apply_review(&mut cur, [(7, Label::Positive)]);
+    }
+}

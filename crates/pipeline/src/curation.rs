@@ -1,0 +1,456 @@
+//! Training-data curation (pipeline step B, §4): automatic LF mining,
+//! optional label propagation, and the label model.
+//!
+//! The label model defaults to the dev-anchored variant: LF vote rates are
+//! measured on the labeled old-modality corpus (§4.2's "use labeled data of
+//! existing modalities as a development set") and posteriors on the
+//! unlabeled pool follow from Bayes' rule. The EM generative model and
+//! majority vote remain available for the ablation benches.
+
+use std::time::{Duration, Instant};
+
+use cm_featurespace::{FeatureSet, Label, ServingMode, SimilarityConfig};
+use cm_labelmodel::{
+    majority_vote, AnchoredModel, BoundScoreLf, GenerativeConfig, GenerativeModel, LabelMatrix,
+    LabelingFunction, LfRates,
+};
+use cm_mining::{mine_lfs, MiningConfig};
+use cm_propagation::{propagate, tune_score_thresholds, GraphBuilder, PropagationConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::TaskData;
+
+/// Which label model combines LF votes into probabilistic labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelModelKind {
+    /// Dev-set-anchored class-conditional model (default; §4.2).
+    Anchored,
+    /// EM-fitted conditionally-independent generative model (Snorkel's).
+    Em,
+    /// Unweighted majority vote (ablation baseline).
+    MajorityVote,
+}
+
+/// Configuration of the curation step.
+#[derive(Debug, Clone)]
+pub struct CurationConfig {
+    /// Feature sets whose (shared) features feed LF mining.
+    pub lf_sets: Vec<FeatureSet>,
+    /// Whether nonservable features may feed LFs (§4.1: weak supervision is
+    /// offline, so they may — unless ablating).
+    pub include_nonservable: bool,
+    /// Itemset-mining thresholds.
+    pub mining: MiningConfig,
+    /// Cap on mined positive LFs.
+    pub max_positive_lfs: usize,
+    /// Cap on mined negative LFs.
+    pub max_negative_lfs: usize,
+    /// Whether to add the label-propagation LF (§4.4).
+    pub use_label_propagation: bool,
+    /// k-NN degree of the propagation graph.
+    pub prop_k: usize,
+    /// Max old-modality seed vertices (all positives are always kept).
+    pub prop_max_seeds: usize,
+    /// Dev-set precision floor for the propagation LF's positive side.
+    pub prop_min_precision: f64,
+    /// Max fraction of dev positives the negative side may swallow.
+    pub prop_max_leakage: f64,
+    /// Label-model choice.
+    pub label_model: LabelModelKind,
+    /// EM settings (used when `label_model` is [`LabelModelKind::Em`]).
+    pub generative: GenerativeConfig,
+    /// Seed for splits and graph construction.
+    pub seed: u64,
+}
+
+impl Default for CurationConfig {
+    fn default() -> Self {
+        Self {
+            lf_sets: FeatureSet::SHARED.to_vec(),
+            include_nonservable: true,
+            mining: MiningConfig { min_precision: 0.55, min_neg_precision: 0.985, ..MiningConfig::default() },
+            max_positive_lfs: 80,
+            max_negative_lfs: 30,
+            use_label_propagation: true,
+            prop_k: 15,
+            prop_max_seeds: 5000,
+            prop_min_precision: 0.45,
+            prop_max_leakage: 0.05,
+            label_model: LabelModelKind::Anchored,
+            generative: GenerativeConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Quality of the curated labels against the pool's hidden ground truth
+/// (a diagnostic the paper measures with its labeled test sets, §6.7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsQuality {
+    /// Precision of hard-thresholded probabilistic labels on covered rows.
+    pub precision: f64,
+    /// Recall over all pool positives.
+    pub recall: f64,
+    /// F1 of the above.
+    pub f1: f64,
+    /// Fraction of pool rows labeled by at least one LF.
+    pub coverage: f64,
+}
+
+/// Result of curation over the unlabeled pool.
+pub struct CurationOutput {
+    /// Probabilistic label per pool row.
+    pub probabilistic_labels: Vec<f64>,
+    /// Whether each pool row was covered by at least one LF.
+    pub covered: Vec<bool>,
+    /// Names of the LFs used.
+    pub lf_names: Vec<String>,
+    /// Label quality vs ground truth.
+    pub ws_quality: WsQuality,
+    /// Wall-clock of LF mining (or expert authoring time when provided).
+    pub mining_time: Duration,
+    /// Wall-clock of graph build + propagation, when used.
+    pub propagation_time: Option<Duration>,
+    /// Label-matrix conflict rate (Snorkel diagnostic).
+    pub conflict: f64,
+}
+
+/// Runs curation with automatically mined LFs (§4.3 + §4.4).
+pub fn curate(data: &TaskData, config: &CurationConfig) -> CurationOutput {
+    let mining_start = Instant::now();
+    let columns = lf_columns(data, config);
+    let mined = mine_lfs(
+        &data.text.table,
+        &data.text.labels,
+        &columns,
+        &config.mining,
+        config.max_positive_lfs,
+        config.max_negative_lfs,
+    );
+    let mining_time = mining_start.elapsed();
+    curate_with_lfs(data, config, mined.lfs, mining_time)
+}
+
+/// Runs curation with a caller-provided LF suite (e.g. the hand-written
+/// expert LFs of §6.7.1). `authoring_time` is recorded as the mining time.
+pub fn curate_with_lfs(
+    data: &TaskData,
+    config: &CurationConfig,
+    lfs: Vec<Box<dyn LabelingFunction>>,
+    authoring_time: Duration,
+) -> CurationOutput {
+    // Dev evidence for the base LFs: the whole labeled text corpus.
+    let dev_matrix = LabelMatrix::apply(&data.text.table, &lfs);
+    let prior = data.text.positive_rate().clamp(1e-4, 0.5);
+
+    // Optional propagation LF, with its own dev slice.
+    let mut propagation_time = None;
+    let mut prop = None;
+    if config.use_label_propagation {
+        let start = Instant::now();
+        prop = propagation_artifacts(data, config);
+        propagation_time = Some(start.elapsed());
+    }
+
+    let mut lf_names: Vec<String> = lfs.iter().map(|l| l.name().to_owned()).collect();
+    let mut pool_matrix = LabelMatrix::apply(&data.pool.table, &lfs);
+    let mut prop_rates: Option<LfRates> = None;
+    if let Some(p) = &prop {
+        lf_names.push("label_propagation".to_owned());
+        prop_rates = Some(LfRates::estimate(&p.dev_votes, &p.dev_labels));
+        // Extend the pool matrix with the propagation column.
+        let n = pool_matrix.n_rows();
+        let mut votes = Vec::with_capacity(n * (pool_matrix.n_lfs() + 1));
+        for r in 0..n {
+            votes.extend_from_slice(pool_matrix.row(r));
+            votes.push(p.pool_lf.vote(&data.pool.table, r).as_i8());
+        }
+        pool_matrix = LabelMatrix::from_votes(n, lf_names.len(), votes, lf_names.clone());
+    }
+
+    let covered: Vec<bool> = (0..pool_matrix.n_rows())
+        .map(|r| pool_matrix.row(r).iter().any(|&v| v != 0))
+        .collect();
+
+    let probabilistic_labels = if pool_matrix.n_lfs() == 0 {
+        vec![prior; pool_matrix.n_rows()]
+    } else {
+        match config.label_model {
+            LabelModelKind::Anchored => {
+                let mut rates =
+                    AnchoredModel::fit(&dev_matrix, &data.text.labels, Some(prior))
+                        .rates()
+                        .to_vec();
+                if let Some(r) = prop_rates {
+                    rates.push(r);
+                }
+                AnchoredModel::from_rates(rates, prior).predict(&pool_matrix)
+            }
+            LabelModelKind::Em => {
+                let gen_cfg =
+                    GenerativeConfig { class_prior: Some(prior), ..config.generative.clone() };
+                GenerativeModel::fit(&pool_matrix, &gen_cfg).predict(&pool_matrix)
+            }
+            LabelModelKind::MajorityVote => majority_vote(&pool_matrix),
+        }
+    };
+
+    let ws_quality = ws_quality(&probabilistic_labels, &covered, &data.pool.labels);
+    CurationOutput {
+        probabilistic_labels,
+        covered,
+        lf_names,
+        ws_quality,
+        mining_time: authoring_time,
+        propagation_time,
+        conflict: pool_matrix.conflict(),
+    }
+}
+
+/// The columns LFs may reference: shared features of the configured sets,
+/// optionally filtered to servable ones.
+fn lf_columns(data: &TaskData, config: &CurationConfig) -> Vec<usize> {
+    let schema = data.world.schema();
+    schema
+        .columns_in_sets(&config.lf_sets, false)
+        .into_iter()
+        .filter(|&c| config.include_nonservable || schema.def(c).serving == ServingMode::Servable)
+        .collect()
+}
+
+struct PropagationArtifacts {
+    pool_lf: BoundScoreLf,
+    dev_votes: Vec<i8>,
+    dev_labels: Vec<Label>,
+}
+
+/// Builds the label-propagation LF (§4.4): seeds from the old modality,
+/// thresholds tuned on a held-out old-modality dev slice, scores bound to
+/// the pool rows. Also returns the dev slice's votes so the anchored label
+/// model can estimate the LF's class-conditional rates.
+fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<PropagationArtifacts> {
+    let schema = data.world.schema();
+    // Similarity columns: LF columns plus modality-specific embeddings —
+    // "we use features specific to the new modality to construct edges,
+    // including unstructured features such as image embeddings".
+    let mut sim_columns = lf_columns(data, config);
+    sim_columns.extend(
+        schema
+            .defs()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                d.set == FeatureSet::ModalitySpecific
+                    && matches!(d.kind, cm_featurespace::FeatureKind::Embedding { .. })
+            })
+            .map(|(i, _)| i),
+    );
+
+    // Split text rows: seeds (clamped) vs dev (for threshold tuning).
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+    let mut idx: Vec<usize> = (0..data.text.len()).collect();
+    idx.shuffle(&mut rng);
+    let dev_len = (data.text.len() / 5).max(1);
+    let (dev_idx, rest) = idx.split_at(dev_len.min(idx.len()));
+    // Seeds: every positive plus a sample of negatives up to the cap.
+    let mut seed_idx: Vec<usize> = rest
+        .iter()
+        .copied()
+        .filter(|&r| data.text.labels[r].is_positive())
+        .collect();
+    let mut neg_budget = config.prop_max_seeds.saturating_sub(seed_idx.len());
+    for &r in rest {
+        if neg_budget == 0 {
+            break;
+        }
+        if !data.text.labels[r].is_positive() {
+            seed_idx.push(r);
+            neg_budget -= 1;
+        }
+    }
+    if seed_idx.is_empty() {
+        return None;
+    }
+
+    // Combined table: [seeds | dev | pool].
+    let seed_table = data.text.table.gather(&seed_idx);
+    let dev_table = data.text.table.gather(dev_idx);
+    let mut combined = seed_table.clone();
+    combined.extend_from(&dev_table);
+    combined.extend_from(&data.pool.table);
+
+    let sim = SimilarityConfig::uniform(sim_columns).fit_scales(&combined);
+    let builder = GraphBuilder::approximate(config.prop_k, combined.len());
+    let graph = builder.build(&combined, &sim, config.seed ^ 0x6EA9);
+
+    let seeds: Vec<(usize, f64)> = seed_idx
+        .iter()
+        .enumerate()
+        .map(|(v, &r)| (v, data.text.labels[r].as_f64()))
+        .collect();
+    let prop_cfg = PropagationConfig {
+        max_iters: 50,
+        tol: 1e-4,
+        prior: data.text.positive_rate().clamp(1e-4, 0.5),
+    };
+    let scores = propagate(&graph, &seeds, &prop_cfg);
+
+    let dev_scores = &scores[seed_idx.len()..seed_idx.len() + dev_table.len()];
+    let dev_labels: Vec<Label> = dev_idx.iter().map(|&r| data.text.labels[r]).collect();
+    let tuned = tune_score_thresholds(
+        dev_scores,
+        &dev_labels,
+        config.prop_min_precision,
+        config.prop_max_leakage,
+    )?;
+    let dev_votes: Vec<i8> = dev_scores
+        .iter()
+        .map(|&s| {
+            if s >= tuned.positive {
+                1
+            } else if s <= tuned.negative {
+                -1
+            } else {
+                0
+            }
+        })
+        .collect();
+    let pool_scores = scores[seed_idx.len() + dev_table.len()..].to_vec();
+    Some(PropagationArtifacts {
+        pool_lf: BoundScoreLf::new("label_propagation", pool_scores, tuned.positive, tuned.negative),
+        dev_votes,
+        dev_labels,
+    })
+}
+
+fn ws_quality(probs: &[f64], covered: &[bool], truth: &[Label]) -> WsQuality {
+    let n_pos = truth.iter().filter(|l| l.is_positive()).count();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for ((&q, &cov), label) in probs.iter().zip(covered).zip(truth) {
+        if cov && q >= 0.5 {
+            if label.is_positive() {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+    let recall = if n_pos > 0 { tp as f64 / n_pos as f64 } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    let coverage = covered.iter().filter(|&&c| c).count() as f64 / covered.len().max(1) as f64;
+    WsQuality { precision, recall, f1, coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use cm_orgsim::{TaskConfig, TaskId};
+
+    use super::*;
+
+    fn data() -> TaskData {
+        TaskData::generate(TaskConfig::paper(TaskId::Ct2).scaled(0.04), 5, Some(64))
+    }
+
+    fn fast_config() -> CurationConfig {
+        CurationConfig {
+            prop_max_seeds: 400,
+            mining: MiningConfig { min_recall: 0.05, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn curate_produces_useful_labels() {
+        let d = data();
+        let cfg = CurationConfig { use_label_propagation: false, ..fast_config() };
+        let out = curate(&d, &cfg);
+        assert_eq!(out.probabilistic_labels.len(), d.pool.len());
+        assert!(!out.lf_names.is_empty(), "no LFs mined");
+        assert!(out.ws_quality.precision > 0.5, "precision {:?}", out.ws_quality);
+        assert!(out.ws_quality.recall > 0.2, "recall {:?}", out.ws_quality);
+        assert!(out.ws_quality.coverage > 0.1);
+        for p in &out.probabilistic_labels {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn propagation_adds_an_lf_and_recall() {
+        let d = data();
+        let without = curate(&d, &CurationConfig { use_label_propagation: false, ..fast_config() });
+        let with = curate(&d, &fast_config());
+        if with.lf_names.iter().any(|n| n == "label_propagation") {
+            assert!(with.propagation_time.is_some());
+            assert!(
+                with.ws_quality.recall >= without.ws_quality.recall * 0.9,
+                "LP should not collapse recall: {:?} vs {:?}",
+                with.ws_quality,
+                without.ws_quality
+            );
+        }
+    }
+
+    #[test]
+    fn curate_with_provided_lfs_uses_them() {
+        let d = data();
+        let cfg = CurationConfig { use_label_propagation: false, ..fast_config() };
+        let lfs = crate::expert::expert_lfs(d.world.schema());
+        let n = lfs.len();
+        let out = curate_with_lfs(&d, &cfg, lfs, Duration::from_secs(7 * 3600));
+        assert_eq!(out.lf_names.len(), n);
+        assert_eq!(out.mining_time, Duration::from_secs(7 * 3600));
+    }
+
+    #[test]
+    fn covered_flags_match_labels() {
+        let d = data();
+        let out = curate(&d, &CurationConfig { use_label_propagation: false, ..fast_config() });
+        assert_eq!(out.covered.len(), d.pool.len());
+        let n_cov = out.covered.iter().filter(|&&c| c).count();
+        assert!(n_cov > 0);
+        assert!((out.ws_quality.coverage - n_cov as f64 / d.pool.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchored_beats_majority_vote_on_f1() {
+        let d = data();
+        let base = fast_config();
+        let anchored = curate(&d, &CurationConfig { use_label_propagation: false, ..base.clone() });
+        let mv = curate(
+            &d,
+            &CurationConfig {
+                use_label_propagation: false,
+                label_model: LabelModelKind::MajorityVote,
+                ..base
+            },
+        );
+        assert!(
+            anchored.ws_quality.f1 >= mv.ws_quality.f1 * 0.9,
+            "anchored {:?} vs majority {:?}",
+            anchored.ws_quality,
+            mv.ws_quality
+        );
+    }
+
+    #[test]
+    fn em_label_model_still_runs() {
+        let d = data();
+        let out = curate(
+            &d,
+            &CurationConfig {
+                use_label_propagation: false,
+                label_model: LabelModelKind::Em,
+                ..fast_config()
+            },
+        );
+        assert_eq!(out.probabilistic_labels.len(), d.pool.len());
+    }
+}

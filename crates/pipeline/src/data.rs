@@ -1,0 +1,179 @@
+//! Task data bundles and the shared dense view (pipeline step A, §3).
+
+use std::collections::HashSet;
+
+use cm_featurespace::{DenseEncoder, FeatureSet, FeatureTable, ModalityKind};
+use cm_linalg::Matrix;
+use cm_orgsim::{ModalityDataset, TaskConfig, World, WorldConfig};
+
+/// Everything one task run needs: the world, the Table-1 datasets, and a
+/// reservoir of labeled image data for fully supervised comparisons
+/// (standing in for the paper's human-curated image labels).
+pub struct TaskData {
+    /// The generative world.
+    pub world: World,
+    /// Labeled old-modality corpus.
+    pub text: ModalityDataset,
+    /// Unlabeled new-modality pool (ground truth retained for diagnostics
+    /// only).
+    pub pool: ModalityDataset,
+    /// Held-out labeled image test set.
+    pub test: ModalityDataset,
+    /// Labeled image reservoir for fully supervised baselines and Figure 5
+    /// sweeps.
+    pub labeled_image: ModalityDataset,
+}
+
+impl TaskData {
+    /// Generates a task's datasets. `n_labeled_image` sizes the fully
+    /// supervised reservoir (defaults to the pool size when `None`).
+    pub fn generate(task: TaskConfig, seed: u64, n_labeled_image: Option<usize>) -> Self {
+        let n_labeled = n_labeled_image.unwrap_or(task.n_image_unlabeled);
+        let world = World::build(WorldConfig::new(task, seed));
+        let (text, pool, test) = world.generate_task_datasets(seed ^ 0xD1CE);
+        let labeled_image = world.generate(ModalityKind::Image, n_labeled, seed ^ 0xBEEF);
+        Self { world, text, pool, test, labeled_image }
+    }
+
+    /// Columns of the shared feature sets in `sets`, in schema order.
+    pub fn shared_columns(&self, sets: &[FeatureSet]) -> Vec<usize> {
+        self.world.schema().columns_in_sets(sets, false)
+    }
+}
+
+/// A dense view: an encoder fitted over training tables for a fixed column
+/// selection, so every dataset (train, pool, test) is encoded into one
+/// layout.
+pub struct DenseView {
+    encoder: DenseEncoder,
+    columns: Vec<usize>,
+}
+
+impl DenseView {
+    /// Fits the view on the concatenation of `fit_tables` restricted to
+    /// `columns`.
+    ///
+    /// # Panics
+    /// Panics if `fit_tables` is empty.
+    pub fn fit(fit_tables: &[&FeatureTable], columns: Vec<usize>) -> Self {
+        assert!(!fit_tables.is_empty(), "need at least one table to fit on");
+        let mut combined = FeatureTable::new(std::sync::Arc::clone(fit_tables[0].schema()));
+        for t in fit_tables {
+            combined.extend_from(t);
+        }
+        let encoder = DenseEncoder::fit(&combined, &columns);
+        Self { encoder, columns }
+    }
+
+    /// Encodes a table.
+    pub fn encode(&self, table: &FeatureTable) -> Matrix {
+        self.encoder.transform(table)
+    }
+
+    /// The fitted encoder.
+    pub fn encoder(&self) -> &DenseEncoder {
+        &self.encoder
+    }
+
+    /// The source columns this view encodes.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+}
+
+/// Masks (marks missing) every dense slot whose source column's feature set
+/// is not allowed — how a single shared layout serves scenarios where text
+/// and image use different feature-set ladders (Figure 6's `T + ABC`,
+/// `I + AB` steps).
+pub fn mask_disallowed_sets(
+    m: &mut Matrix,
+    view: &DenseView,
+    schema: &cm_featurespace::FeatureSchema,
+    allowed: &[FeatureSet],
+) {
+    let allowed: HashSet<FeatureSet> = allowed.iter().copied().collect();
+    for slot in view.encoder().layout().slots() {
+        let set = schema.def(slot.source_column).set;
+        if allowed.contains(&set) {
+            continue;
+        }
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            row[slot.offset..slot.offset + slot.width].fill(0.0);
+            row[slot.missing_indicator] = 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cm_orgsim::TaskId;
+
+    use super::*;
+
+    fn data() -> TaskData {
+        TaskData::generate(cm_orgsim::TaskConfig::paper(TaskId::Ct1).scaled(0.01), 3, Some(100))
+    }
+
+    #[test]
+    fn generate_builds_all_datasets() {
+        let d = data();
+        assert!(d.text.len() >= 64);
+        assert!(d.pool.len() >= 64);
+        assert!(d.test.len() >= 64);
+        assert_eq!(d.labeled_image.len(), 100);
+        assert_eq!(d.text.modality, ModalityKind::Text);
+        assert_eq!(d.labeled_image.modality, ModalityKind::Image);
+    }
+
+    #[test]
+    fn shared_columns_exclude_modality_specific() {
+        let d = data();
+        let cols = d.shared_columns(&FeatureSet::SHARED);
+        assert_eq!(cols.len(), 15);
+        let emb = d.world.schema().column("img_embedding").unwrap();
+        assert!(!cols.contains(&emb));
+    }
+
+    #[test]
+    fn dense_view_round_trip() {
+        let d = data();
+        let cols = d.shared_columns(&[FeatureSet::A]);
+        let view = DenseView::fit(&[&d.text.table, &d.pool.table], cols.clone());
+        let xt = view.encode(&d.text.table);
+        let xi = view.encode(&d.pool.table);
+        assert_eq!(xt.cols(), xi.cols());
+        assert_eq!(xt.rows(), d.text.len());
+        assert_eq!(view.columns(), &cols[..]);
+    }
+
+    #[test]
+    fn masking_blanks_disallowed_sets() {
+        let d = data();
+        let cols = d.shared_columns(&[FeatureSet::A, FeatureSet::B]);
+        let view = DenseView::fit(&[&d.text.table], cols);
+        let mut m = view.encode(&d.text.table);
+        let before = m.clone();
+        mask_disallowed_sets(&mut m, &view, d.world.schema(), &[FeatureSet::A]);
+        // Set-B slots must now be all-missing.
+        let schema = d.world.schema();
+        let mut changed = false;
+        for slot in view.encoder().layout().slots() {
+            let set = schema.def(slot.source_column).set;
+            for r in 0..m.rows() {
+                if set == FeatureSet::B {
+                    assert_eq!(m[(r, slot.missing_indicator)], 1.0);
+                    for c in slot.offset..slot.offset + slot.width {
+                        assert_eq!(m[(r, c)], 0.0);
+                    }
+                } else {
+                    for c in slot.offset..=slot.missing_indicator {
+                        assert_eq!(m[(r, c)], before[(r, c)]);
+                    }
+                }
+            }
+            changed |= set == FeatureSet::B;
+        }
+        assert!(changed, "fixture must contain set-B columns");
+    }
+}

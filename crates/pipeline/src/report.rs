@@ -1,0 +1,92 @@
+//! Serializable experiment outputs consumed by the bench binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// One trained-and-evaluated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEval {
+    /// Scenario display name.
+    pub scenario: String,
+    /// Absolute AUPRC on the image test set.
+    pub auprc: f64,
+    /// AUPRC relative to the embedding baseline, when computed.
+    pub relative_auprc: Option<f64>,
+    /// Training rows the model saw.
+    pub n_train_rows: usize,
+}
+
+/// A group of evaluations for one task (one table row / figure panel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Task display name (e.g. `"CT 1"`).
+    pub task: String,
+    /// Baseline absolute AUPRC all relative values divide by.
+    pub baseline_auprc: f64,
+    /// Evaluations.
+    pub rows: Vec<ModelEval>,
+}
+
+impl ScenarioReport {
+    /// Renders a compact fixed-width table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{}  (baseline AUPRC {:.4})\n{:<42} {:>8} {:>9} {:>9}\n",
+            self.task, self.baseline_auprc, "scenario", "AUPRC", "relative", "n_train"
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<42} {:>8.4} {:>9} {:>9}\n",
+                row.scenario,
+                row.auprc,
+                row.relative_auprc
+                    .map_or_else(|| "-".to_owned(), |r| format!("{r:.2}x")),
+                row.n_train_rows
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let report = ScenarioReport {
+            task: "CT 1".into(),
+            baseline_auprc: 0.25,
+            rows: vec![
+                ModelEval {
+                    scenario: "cross-modal".into(),
+                    auprc: 0.38,
+                    relative_auprc: Some(1.52),
+                    n_train_rows: 25_000,
+                },
+                ModelEval {
+                    scenario: "text-only".into(),
+                    auprc: 0.28,
+                    relative_auprc: None,
+                    n_train_rows: 18_000,
+                },
+            ],
+        };
+        let t = report.to_table();
+        assert!(t.contains("CT 1"));
+        assert!(t.contains("1.52x"));
+        assert!(t.contains("text-only"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = ScenarioReport {
+            task: "CT 2".into(),
+            baseline_auprc: 0.1,
+            rows: vec![],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,234 @@
+//! Zhu–Ghahramani label propagation with clamped seeds.
+
+use crate::graph::SparseGraph;
+
+/// Configuration for [`propagate`] / [`propagate_streaming`].
+#[derive(Debug, Clone)]
+pub struct PropagationConfig {
+    /// Maximum iterations (full sweeps).
+    pub max_iters: usize,
+    /// Convergence tolerance on the maximum absolute score change.
+    pub tol: f64,
+    /// Initial score for unlabeled vertices (typically the class prior).
+    pub prior: f64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        Self { max_iters: 100, tol: 1e-4, prior: 0.05 }
+    }
+}
+
+/// Synchronous (Jacobi) label propagation.
+///
+/// `seeds` are `(vertex, score)` pairs clamped throughout; every other
+/// vertex is repeatedly replaced by the weighted mean of its neighbors.
+/// Returns per-vertex scores in `[0, 1]`. Unreachable vertices keep the
+/// prior.
+///
+/// ```
+/// use cm_propagation::{propagate, PropagationConfig, SparseGraph};
+/// // Path 0-1-2 with a positive seed at 0 and a negative seed at 2.
+/// let g = SparseGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+/// let scores = propagate(&g, &[(0, 1.0), (2, 0.0)], &PropagationConfig::default());
+/// assert!((scores[1] - 0.5).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+/// Panics if a seed vertex is out of range or its score outside `[0, 1]`.
+pub fn propagate(graph: &SparseGraph, seeds: &[(usize, f64)], config: &PropagationConfig) -> Vec<f64> {
+    let n = graph.n_vertices();
+    let mut scores = vec![config.prior; n];
+    let mut clamped = vec![false; n];
+    for &(v, s) in seeds {
+        assert!(v < n, "seed vertex {v} out of range");
+        assert!((0.0..=1.0).contains(&s), "seed score {s} out of range");
+        scores[v] = s;
+        clamped[v] = true;
+    }
+    let mut next = scores.clone();
+    for _ in 0..config.max_iters {
+        let mut max_delta = 0.0f64;
+        for v in 0..n {
+            if clamped[v] {
+                continue;
+            }
+            let (neigh, weights) = graph.neighbors(v);
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for (&u, &w) in neigh.iter().zip(weights) {
+                num += f64::from(w) * scores[u as usize];
+                den += f64::from(w);
+            }
+            let new = if den > 0.0 { num / den } else { scores[v] };
+            max_delta = max_delta.max((new - scores[v]).abs());
+            next[v] = new;
+        }
+        for v in 0..n {
+            if !clamped[v] {
+                scores[v] = next[v];
+            }
+        }
+        if max_delta < config.tol {
+            break;
+        }
+    }
+    scores
+}
+
+/// Streaming (Gauss–Seidel, in-place) propagation — the Expander-flavored
+/// approximation (§6.3): each vertex is updated immediately from the most
+/// recent scores of its neighbors in a fixed number of ordered sweeps, using
+/// constant extra memory. Converges to the same fixed point as
+/// [`propagate`], usually in fewer sweeps, at the cost of order dependence.
+///
+/// # Panics
+/// Panics on invalid seeds, as [`propagate`] does.
+pub fn propagate_streaming(
+    graph: &SparseGraph,
+    seeds: &[(usize, f64)],
+    config: &PropagationConfig,
+) -> Vec<f64> {
+    let n = graph.n_vertices();
+    let mut scores = vec![config.prior; n];
+    let mut clamped = vec![false; n];
+    for &(v, s) in seeds {
+        assert!(v < n, "seed vertex {v} out of range");
+        assert!((0.0..=1.0).contains(&s), "seed score {s} out of range");
+        scores[v] = s;
+        clamped[v] = true;
+    }
+    for _ in 0..config.max_iters {
+        let mut max_delta = 0.0f64;
+        for v in 0..n {
+            if clamped[v] {
+                continue;
+            }
+            let (neigh, weights) = graph.neighbors(v);
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for (&u, &w) in neigh.iter().zip(weights) {
+                num += f64::from(w) * scores[u as usize];
+                den += f64::from(w);
+            }
+            if den > 0.0 {
+                let new = num / den;
+                max_delta = max_delta.max((new - scores[v]).abs());
+                scores[v] = new;
+            }
+        }
+        if max_delta < config.tol {
+            break;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3-4 with unit weights.
+    fn path(n: usize) -> SparseGraph {
+        let edges: Vec<(u32, u32, f32)> =
+            (0..n - 1).map(|i| (i as u32, (i + 1) as u32, 1.0)).collect();
+        SparseGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn interpolates_between_seeds() {
+        let g = path(5);
+        let cfg = PropagationConfig { max_iters: 1000, tol: 1e-9, prior: 0.5 };
+        let scores = propagate(&g, &[(0, 1.0), (4, 0.0)], &cfg);
+        // Harmonic solution on a path: linear interpolation.
+        for (i, expected) in [1.0, 0.75, 0.5, 0.25, 0.0].iter().enumerate() {
+            assert!((scores[i] - expected).abs() < 1e-4, "vertex {i}: {}", scores[i]);
+        }
+    }
+
+    #[test]
+    fn seeds_stay_clamped() {
+        let g = path(3);
+        let scores = propagate(&g, &[(0, 1.0), (2, 0.0)], &PropagationConfig::default());
+        assert_eq!(scores[0], 1.0);
+        assert_eq!(scores[2], 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_prior() {
+        let g = SparseGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let cfg = PropagationConfig { prior: 0.1, ..Default::default() };
+        let scores = propagate(&g, &[(0, 1.0)], &cfg);
+        assert_eq!(scores[2], 0.1);
+        assert!((scores[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_spread_through_clusters() {
+        // Two triangles joined by nothing; one seed per triangle.
+        let edges = [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (0, 2, 1.0),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+            (3, 5, 1.0),
+        ];
+        let g = SparseGraph::from_edges(6, &edges);
+        let scores = propagate(&g, &[(0, 1.0), (3, 0.0)], &PropagationConfig::default());
+        assert!(scores[1] > 0.9 && scores[2] > 0.9);
+        assert!(scores[4] < 0.1 && scores[5] < 0.1);
+    }
+
+    #[test]
+    fn streaming_matches_synchronous_fixed_point() {
+        let g = path(7);
+        let cfg = PropagationConfig { max_iters: 5000, tol: 1e-10, prior: 0.5 };
+        let sync = propagate(&g, &[(0, 1.0), (6, 0.0)], &cfg);
+        let stream = propagate_streaming(&g, &[(0, 1.0), (6, 0.0)], &cfg);
+        for (a, b) in sync.iter().zip(&stream) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn streaming_converges_at_least_as_fast() {
+        // On a path with both ends seeded, Gauss–Seidel should reach the
+        // tolerance within the same iteration budget that Jacobi needs.
+        let g = path(20);
+        let tight = PropagationConfig { max_iters: 40, tol: 1e-6, prior: 0.5 };
+        let seeds = [(0usize, 1.0f64), (19, 0.0)];
+        let stream = propagate_streaming(&g, &seeds, &tight);
+        let expected: Vec<f64> = (0..20).map(|i| 1.0 - i as f64 / 19.0).collect();
+        let stream_err: f64 = stream
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let sync = propagate(&g, &seeds, &tight);
+        let sync_err: f64 =
+            sync.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(stream_err <= sync_err + 1e-9, "stream {stream_err} vs sync {sync_err}");
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let g = path(10);
+        let scores = propagate(&g, &[(0, 1.0)], &PropagationConfig::default());
+        for s in scores {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed vertex")]
+    fn rejects_out_of_range_seed() {
+        propagate(&path(3), &[(9, 1.0)], &PropagationConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed score")]
+    fn rejects_invalid_seed_score() {
+        propagate(&path(3), &[(0, 1.5)], &PropagationConfig::default());
+    }
+}

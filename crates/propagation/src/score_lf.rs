@@ -1,0 +1,177 @@
+//! Turning propagation scores into a labeling function (§4.4): "this score
+//! is used to construct a threshold-based LF", with the threshold tuned on
+//! the labeled development set of existing modalities.
+
+use cm_featurespace::Label;
+
+/// Thresholds tuned on a dev set, with the achieved dev metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedThresholds {
+    /// Scores at or above this vote positive.
+    pub positive: f64,
+    /// Scores at or below this vote negative.
+    pub negative: f64,
+    /// Dev precision of the positive side.
+    pub positive_precision: f64,
+    /// Dev recall of the positive side.
+    pub positive_recall: f64,
+    /// Dev fraction of true positives wrongly caught by the negative side.
+    pub negative_leakage: f64,
+}
+
+/// Tunes positive/negative thresholds over `(score, label)` dev pairs.
+///
+/// The positive threshold maximizes recall subject to `min_precision`; the
+/// negative threshold is the largest score such that at most
+/// `max_negative_leakage` of true positives fall at or below it. Returns
+/// `None` when the dev set has no positives or no scores.
+pub fn tune_score_thresholds(
+    scores: &[f64],
+    labels: &[Label],
+    min_precision: f64,
+    max_negative_leakage: f64,
+) -> Option<TunedThresholds> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let n_pos = labels.iter().filter(|l| l.is_positive()).count();
+    if scores.is_empty() || n_pos == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Sweep descending: positive threshold.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut best: Option<(f64, f64, f64)> = None; // (threshold, precision, recall)
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tie group.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]].is_positive() {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / n_pos as f64;
+        if precision >= min_precision {
+            match best {
+                Some((_, _, r)) if recall <= r => {}
+                _ => best = Some((threshold, precision, recall)),
+            }
+        }
+    }
+    let (positive, positive_precision, positive_recall) = best?;
+
+    // Sweep ascending: negative threshold.
+    let mut pos_below = 0usize;
+    let mut negative = f64::NEG_INFINITY;
+    let mut negative_leakage = 0.0;
+    let mut j = order.len();
+    while j > 0 {
+        // Walk ascending by consuming tie groups from the back.
+        let group_end = j;
+        let threshold = scores[order[j - 1]];
+        while j > 0 && scores[order[j - 1]] == threshold {
+            j -= 1;
+        }
+        let group_pos = (j..group_end).filter(|&k| labels[order[k]].is_positive()).count();
+        let leakage = (pos_below + group_pos) as f64 / n_pos as f64;
+        if leakage <= max_negative_leakage && threshold < positive {
+            negative = threshold;
+            negative_leakage = leakage;
+            pos_below += group_pos;
+        } else {
+            break;
+        }
+    }
+    if negative == f64::NEG_INFINITY {
+        // No admissible negative threshold: vote negative on nothing by
+        // placing the threshold below every score.
+        negative = scores.iter().copied().fold(f64::INFINITY, f64::min) - 1.0;
+        negative_leakage = 0.0;
+    }
+    Some(TunedThresholds {
+        positive,
+        negative,
+        positive_precision,
+        positive_recall,
+        negative_leakage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(spec: &[bool]) -> Vec<Label> {
+        spec.iter().map(|&p| if p { Label::Positive } else { Label::Negative }).collect()
+    }
+
+    #[test]
+    fn separable_scores_get_clean_thresholds() {
+        let scores = [0.9, 0.8, 0.85, 0.1, 0.2, 0.15];
+        let l = labels(&[true, true, true, false, false, false]);
+        let t = tune_score_thresholds(&scores, &l, 0.95, 0.0).unwrap();
+        assert!(t.positive <= 0.8 && t.positive > 0.2);
+        assert_eq!(t.positive_precision, 1.0);
+        assert_eq!(t.positive_recall, 1.0);
+        assert!(t.negative >= 0.2 && t.negative < t.positive);
+        assert_eq!(t.negative_leakage, 0.0);
+    }
+
+    #[test]
+    fn precision_floor_is_respected() {
+        // One high-scoring negative poisons the top.
+        let scores = [0.95, 0.9, 0.8, 0.1];
+        let l = labels(&[false, true, true, false]);
+        let t = tune_score_thresholds(&scores, &l, 0.6, 0.0).unwrap();
+        // Taking all three top scores gives precision 2/3 >= 0.6.
+        assert!(t.positive <= 0.8);
+        assert!(t.positive_precision >= 0.6);
+        // A 0.9 floor is unreachable except... 2/3 < 0.9, 1/2 < 0.9, 0/1 —
+        // no threshold qualifies.
+        assert!(tune_score_thresholds(&scores, &l, 0.9, 0.0).is_none());
+    }
+
+    #[test]
+    fn leakage_budget_moves_negative_threshold() {
+        let scores = [0.9, 0.5, 0.05, 0.04, 0.03];
+        let l = labels(&[true, true, false, true, false]);
+        // With zero leakage the negative threshold must sit below 0.04.
+        let strict = tune_score_thresholds(&scores, &l, 0.9, 0.0).unwrap();
+        assert!(strict.negative < 0.04);
+        // Allowing half the positives to leak admits 0.05.
+        let loose = tune_score_thresholds(&scores, &l, 0.9, 0.5).unwrap();
+        assert!(loose.negative >= 0.04);
+        assert!(loose.negative_leakage <= 0.5);
+    }
+
+    #[test]
+    fn no_positives_yields_none() {
+        assert!(tune_score_thresholds(&[0.5], &labels(&[false]), 0.5, 0.0).is_none());
+        assert!(tune_score_thresholds(&[], &[], 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn tied_scores_are_handled_as_groups() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let l = labels(&[true, true, false, false]);
+        // All ties: the only threshold is 0.5 with precision 0.5.
+        assert!(tune_score_thresholds(&scores, &l, 0.6, 0.0).is_none());
+        let t = tune_score_thresholds(&scores, &l, 0.5, 0.0).unwrap();
+        assert_eq!(t.positive, 0.5);
+        // Negative threshold cannot sit at 0.5 (would swallow positives);
+        // it must fall below all scores.
+        assert!(t.negative < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_input() {
+        tune_score_thresholds(&[0.5], &[], 0.5, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+#!/bin/bash
+# Regenerates every table and figure; writes stdout + JSON to results/.
+# Budgets are sized for a single-core box; raise CM_SCALE/CM_SEEDS on
+# bigger hardware.
+set -u
+cd "$(dirname "$0")"
+BIN=target/release
+run() {
+  name=$1; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  env "$@" CM_JSON=results/$name.json $BIN/$name > results/$name.txt 2>&1
+  echo "--- done $name ($(date +%H:%M:%S))"
+}
+run table1 CM_SCALE=1.0
+run table3 CM_SCALE=0.5 CM_SEEDS=3
+run lf_auto_vs_manual CM_SCALE=0.7 CM_SEEDS=3
+run fig6   CM_SCALE=0.7 CM_SEEDS=3
+run fig7   CM_SCALE=0.7 CM_SEEDS=3
+run ablations CM_SCALE=0.5 CM_SEEDS=2
+run fig5   CM_SCALE=0.7 CM_SEEDS=2
+run table2 CM_SCALE=0.5 CM_SEEDS=2
+run fusion_compare CM_SCALE=0.35 CM_SEEDS=2
+# CT3/CT4 have 0.9-3.9% positive rates; re-measure their Table-2 rows at
+# full 1/1000 scale where the test sets hold enough positives.
+for t in CT4 CT3; do
+  echo "=== table2 $t @ scale 1.0 ($(date +%H:%M:%S)) ==="
+  CM_TASK=$t CM_SCALE=1.0 CM_SEEDS=2 CM_JSON=results/table2_$t.json \
+    $BIN/table2 > results/table2_$t.txt 2>&1
+  echo "--- done table2 $t ($(date +%H:%M:%S))"
+done
+echo "ALL EXPERIMENTS COMPLETE"

@@ -1,0 +1,102 @@
+//! Integration of the propagation stack (similarity -> graph -> scores ->
+//! threshold LF) over world-generated data, including the paper's §4.4
+//! claim: propagation recovers borderline positives that itemset mining
+//! misses.
+
+use cross_modal::featurespace::SimilarityConfig;
+use cross_modal::prelude::*;
+use cross_modal::propagation::{propagate, GraphBuilder, PropagationConfig};
+
+#[test]
+fn propagation_scores_rank_pool_positives() {
+    // CT 5 has strong borderline structure; scores over the pool should
+    // rank true positives far above the base rate.
+    let task = TaskConfig::paper(TaskId::Ct5).scaled(0.04);
+    let world = World::build(WorldConfig::new(task.clone(), 3));
+    let text = world.generate(ModalityKind::Text, 2_000, 1);
+    let pool = world.generate(ModalityKind::Image, 800, 2);
+
+    let mut columns = world.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    columns.push(world.schema().column("img_embedding").unwrap());
+    let mut combined = text.table.clone();
+    combined.extend_from(&pool.table);
+    let sim = SimilarityConfig::uniform(columns).fit_scales(&combined);
+    let graph = GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 7);
+
+    let seeds: Vec<(usize, f64)> =
+        (0..text.len()).map(|r| (r, text.labels[r].as_f64())).collect();
+    let cfg = PropagationConfig { max_iters: 50, tol: 1e-4, prior: 0.07 };
+    let scores = propagate(&graph, &seeds, &cfg);
+    let pool_scores = &scores[text.len()..];
+
+    let truth: Vec<bool> = pool.labels.iter().map(|l| l.is_positive()).collect();
+    let ap = auprc(pool_scores, &truth);
+    let rate = pool.positive_rate();
+    assert!(
+        ap > rate * 2.5,
+        "propagation AUPRC {ap:.3} should clearly beat the base rate {rate:.3}"
+    );
+}
+
+#[test]
+fn propagation_lifts_borderline_recall_in_curation() {
+    // CT 4: most positives are borderline. Compare curated recall over
+    // *borderline* pool positives with and without the propagation LF.
+    let data = TaskData::generate(TaskConfig::paper(TaskId::Ct4).scaled(0.08), 5, Some(64));
+    let base = CurationConfig::default();
+    let without = curate(&data, &CurationConfig { use_label_propagation: false, ..base.clone() });
+    let with = curate(&data, &base);
+
+    let borderline_recall = |out: &CurationOutput| {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for r in 0..data.pool.len() {
+            if data.pool.labels[r].is_positive() && data.pool.borderline[r] {
+                total += 1;
+                if out.covered[r] && out.probabilistic_labels[r] >= 0.5 {
+                    hit += 1;
+                }
+            }
+        }
+        (hit, total)
+    };
+    let (hit_wo, total) = borderline_recall(&without);
+    let (hit_w, _) = borderline_recall(&with);
+    assert!(total > 0, "fixture must contain borderline positives");
+    assert!(
+        hit_w >= hit_wo,
+        "propagation must not lose borderline positives: {hit_w} vs {hit_wo} of {total}"
+    );
+    // And overall recall must not degrade materially.
+    assert!(
+        with.ws_quality.recall >= without.ws_quality.recall * 0.85,
+        "with LP {:?} vs without {:?}",
+        with.ws_quality,
+        without.ws_quality
+    );
+}
+
+#[test]
+fn graph_connects_across_modalities() {
+    // Text and image rows must end up in one connected similarity
+    // structure (that is how labels travel across the gap).
+    let task = TaskConfig::paper(TaskId::Ct1).scaled(0.02);
+    let world = World::build(WorldConfig::new(task, 9));
+    let text = world.generate(ModalityKind::Text, 300, 1);
+    let pool = world.generate(ModalityKind::Image, 300, 2);
+    let columns = world.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    let mut combined = text.table.clone();
+    combined.extend_from(&pool.table);
+    let sim = SimilarityConfig::uniform(columns).fit_scales(&combined);
+    let graph = GraphBuilder::exact(8).build(&combined, &sim, 0);
+
+    let mut cross_edges = 0usize;
+    for v in 0..text.len() {
+        let (neigh, _) = graph.neighbors(v);
+        cross_edges += neigh.iter().filter(|&&u| (u as usize) >= text.len()).count();
+    }
+    assert!(
+        cross_edges > 50,
+        "only {cross_edges} text->image edges; the modalities are disconnected"
+    );
+}

@@ -1,0 +1,143 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use cross_modal::eval::{auprc, roc_auc};
+use cross_modal::featurespace::{
+    normalized_similarity, CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable,
+    FeatureValue, ServingMode, SimilarityConfig, Vocabulary,
+};
+use cross_modal::labelmodel::{majority_vote, LabelMatrix};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<FeatureSchema> {
+    Arc::new(FeatureSchema::from_defs(vec![
+        FeatureDef::numeric("n", FeatureSet::A, ServingMode::Servable),
+        FeatureDef::categorical(
+            "c",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names((0..8).map(|i| format!("v{i}"))),
+        ),
+    ]))
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<FeatureValue>> {
+    (
+        prop::option::of(-100.0f64..100.0),
+        prop::option::of(prop::collection::vec(0u32..8, 0..5)),
+    )
+        .prop_map(|(num, cats)| {
+            vec![
+                num.map_or(FeatureValue::Missing, FeatureValue::Numeric),
+                cats.map_or(FeatureValue::Missing, |ids| {
+                    FeatureValue::Categorical(CatSet::from_ids(ids))
+                }),
+            ]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip: rows pushed into a table come back value-identical.
+    #[test]
+    fn table_round_trips_rows(rows in prop::collection::vec(row_strategy(), 1..20)) {
+        let mut table = FeatureTable::new(schema());
+        for row in &rows {
+            table.push_row(row);
+        }
+        for (r, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&table.row(r), row);
+        }
+    }
+
+    /// gather is a projection: gathering all indices reproduces the table.
+    #[test]
+    fn gather_identity(rows in prop::collection::vec(row_strategy(), 1..15)) {
+        let mut table = FeatureTable::new(schema());
+        for row in &rows {
+            table.push_row(row);
+        }
+        let all: Vec<usize> = (0..table.len()).collect();
+        let g = table.gather(&all);
+        for r in 0..table.len() {
+            prop_assert_eq!(table.row(r), g.row(r));
+        }
+    }
+
+    /// Similarity is symmetric, bounded, and maximal on identical rows.
+    #[test]
+    fn similarity_axioms(rows in prop::collection::vec(row_strategy(), 2..12)) {
+        let mut table = FeatureTable::new(schema());
+        for row in &rows {
+            table.push_row(row);
+        }
+        let cfg = SimilarityConfig::uniform(vec![0, 1]);
+        for i in 0..table.len() {
+            for j in 0..table.len() {
+                let a = normalized_similarity((&table, i), (&table, j), &cfg);
+                let b = normalized_similarity((&table, j), (&table, i), &cfg);
+                prop_assert!((a - b).abs() < 1e-12);
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+            let present = table.is_present(i, 0) || table.is_present(i, 1);
+            if present {
+                let self_sim = normalized_similarity((&table, i), (&table, i), &cfg);
+                prop_assert!((self_sim - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// AUPRC is invariant under strictly monotone score transforms and
+    /// bounded by [0, 1]; ROC-AUC of complemented labels mirrors around 0.5.
+    #[test]
+    fn ranking_metric_invariants(
+        scores in prop::collection::vec(-50.0f64..50.0, 3..40),
+        flips in prop::collection::vec(any::<bool>(), 3..40),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels = &flips[..n];
+        let ap = auprc(scores, labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        // Monotone transform: exp(x/25) keeps the order (and stays finite).
+        let transformed: Vec<f64> = scores.iter().map(|&s| (s / 25.0).exp()).collect();
+        let ap_t = auprc(&transformed, labels);
+        prop_assert!((ap - ap_t).abs() < 1e-9, "{} vs {}", ap, ap_t);
+
+        let auc = roc_auc(scores, labels);
+        let inverted: Vec<f64> = scores.iter().map(|&s| -s).collect();
+        let auc_inv = roc_auc(&inverted, labels);
+        let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+        if has_both {
+            prop_assert!((auc + auc_inv - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Majority vote respects unanimity: rows where all non-abstain votes
+    /// agree get the extreme label.
+    #[test]
+    fn majority_vote_unanimity(
+        votes in prop::collection::vec(prop::sample::select(vec![-1i8, 0, 1]), 4..60),
+    ) {
+        let n_lfs = 4;
+        let n_rows = votes.len() / n_lfs;
+        let votes = &votes[..n_rows * n_lfs];
+        let names = (0..n_lfs).map(|i| format!("lf{i}")).collect();
+        let m = LabelMatrix::from_votes(n_rows, n_lfs, votes.to_vec(), names);
+        let mv = majority_vote(&m);
+        for (r, &value) in mv.iter().enumerate() {
+            let row = m.row(r);
+            let pos = row.iter().filter(|&&v| v > 0).count();
+            let neg = row.iter().filter(|&&v| v < 0).count();
+            if pos > 0 && neg == 0 {
+                prop_assert_eq!(value, 1.0);
+            } else if neg > 0 && pos == 0 {
+                prop_assert_eq!(value, 0.0);
+            } else if pos == 0 && neg == 0 {
+                prop_assert_eq!(value, 0.5);
+            }
+            prop_assert!((0.0..=1.0).contains(&value));
+        }
+    }
+}
