@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks for every substrate on the pipeline's hot
-//! path: feature generation, densification, itemset mining, label-model
-//! fitting, LF application, graph construction, propagation, and model
-//! training.
+//! Microbenchmarks for every substrate on the pipeline's hot path:
+//! feature generation, densification, itemset mining, label-model
+//! fitting, graph construction, propagation, and model training.
+//!
+//! Uses a small in-tree timing harness (`harness = false`) so the
+//! workspace builds with zero registry access. Each benchmark warms up,
+//! then reports the median and minimum wall time over a fixed number of
+//! samples. Filter by substring: `cargo bench --bench substrates -- mining`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
 use cm_featurespace::{FeatureSet, ModalityKind, SimilarityConfig};
 use cm_labelmodel::{AnchoredModel, GenerativeConfig, GenerativeModel, LabelMatrix};
 use cm_mining::{mine_itemsets, MiningConfig};
@@ -12,38 +18,111 @@ use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
 use cm_pipeline::{curate, CurationConfig, DenseView, TaskData};
 use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
 
+/// Minimal stand-in for a criterion benchmark group: warmup + sampled
+/// median/min timings, with substring filtering from the command line.
+struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn from_args() -> Self {
+        // `cargo bench -- <substring>`; ignore harness-style flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+
+    fn group(&self, name: &'static str) -> Group<'_> {
+        Group { harness: self, group: name, sample_size: 20 }
+    }
+}
+
+struct Group<'a> {
+    harness: &'a Harness,
+    group: &'static str,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        let full = format!("{}/{}", self.group, name);
+        self.harness.filter.as_deref().is_none_or(|f| full.contains(f))
+    }
+
+    /// Time `f` directly: one warmup call, then `sample_size` timed calls.
+    fn bench_function<T>(&mut self, name: impl AsRef<str>, mut f: impl FnMut() -> T) -> &mut Self {
+        self.bench_batched(name, || (), move |()| f())
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    fn bench_batched<I, T>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+    ) -> &mut Self {
+        let name = name.as_ref();
+        if !self.enabled(name) {
+            return self;
+        }
+        black_box(routine(setup()));
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{}/{:<32} median {:>12?}  min {:>12?}  ({} samples)",
+            self.group,
+            name,
+            median,
+            min,
+            samples.len()
+        );
+        self
+    }
+
+    fn finish(&mut self) {}
+}
+
 fn world() -> World {
     World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct1).scaled(0.05), 7))
 }
 
-fn bench_feature_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("featuregen");
+fn bench_feature_generation(c: &Harness) {
+    let mut group = c.group("featuregen");
     group.sample_size(20);
     let w = world();
-    group.bench_function("generate_1k_image_rows", |b| {
-        b.iter(|| w.generate(ModalityKind::Image, 1000, 3))
-    });
+    group.bench_function("generate_1k_image_rows", || w.generate(ModalityKind::Image, 1000, 3));
 
     let data = w.generate(ModalityKind::Image, 2000, 4);
     let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, true);
-    group.bench_function("dense_fit_2k", |b| {
-        b.iter(|| DenseView::fit(&[&data.table], cols.clone()))
-    });
-    let view = DenseView::fit(&[&data.table], cols);
-    group.bench_function("dense_encode_2k", |b| b.iter(|| view.encode(&data.table)));
+    group.bench_function("dense_fit_2k", || DenseView::fit(&[&data.table], cols.clone()).unwrap());
+    let view = DenseView::fit(&[&data.table], cols).unwrap();
+    group.bench_function("dense_encode_2k", || view.encode(&data.table));
     group.finish();
 }
 
-fn bench_mining(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mining");
+fn bench_mining(c: &Harness) {
+    let mut group = c.group("mining");
     group.sample_size(20);
     let w = world();
     let data = w.generate(ModalityKind::Text, 5000, 5);
     let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
     for order in [1usize, 2] {
         let cfg = MiningConfig { max_order: order, ..MiningConfig::default() };
-        group.bench_function(format!("apriori_5k_order{order}"), |b| {
-            b.iter(|| mine_itemsets(&data.table, &data.labels, &cols, &cfg))
+        group.bench_function(format!("apriori_5k_order{order}"), || {
+            mine_itemsets(&data.table, &data.labels, &cols, &cfg)
         });
     }
     group.finish();
@@ -71,29 +150,22 @@ fn synthetic_matrix(n: usize, n_lfs: usize) -> (LabelMatrix, Vec<cm_featurespace
     (LabelMatrix::from_votes(n, n_lfs, votes, names), labels)
 }
 
-fn bench_label_model(c: &mut Criterion) {
-    let mut c = c.benchmark_group("labelmodel");
+fn bench_label_model(c: &Harness) {
+    let mut c = c.group("labelmodel");
     c.sample_size(20);
     let (m, labels) = synthetic_matrix(20_000, 40);
-    c.bench_function("anchored_fit_predict_20k_x40", |b| {
-        b.iter(|| {
-            let model = AnchoredModel::fit(&m, &labels, None);
-            model.predict(&m)
-        })
+    c.bench_function("anchored_fit_predict_20k_x40", || {
+        let model = AnchoredModel::fit(&m, &labels, None);
+        model.predict(&m)
     });
-    c.bench_function("em_fit_20k_x40", |b| {
-        b.iter(|| {
-            GenerativeModel::fit(
-                &m,
-                &GenerativeConfig { max_iters: 20, ..GenerativeConfig::default() },
-            )
-        })
+    c.bench_function("em_fit_20k_x40", || {
+        GenerativeModel::fit(&m, &GenerativeConfig { max_iters: 20, ..GenerativeConfig::default() })
     });
     c.finish();
 }
 
-fn bench_propagation(c: &mut Criterion) {
-    let mut c = c.benchmark_group("propagation");
+fn bench_propagation(c: &Harness) {
+    let mut c = c.group("propagation");
     c.sample_size(10);
     let w = world();
     let mut combined = w.generate(ModalityKind::Text, 1500, 8).table;
@@ -102,74 +174,65 @@ fn bench_propagation(c: &mut Criterion) {
     cols.push(w.schema().column("img_embedding").unwrap());
     let sim = SimilarityConfig::uniform(cols).fit_scales(&combined);
 
-    c.bench_function("knn_graph_3k_anchors", |b| {
-        b.iter(|| GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 1))
+    c.bench_function("knn_graph_3k_anchors", || {
+        GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 1)
     });
     let graph = GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 1);
     let seeds: Vec<(usize, f64)> = (0..1000).map(|v| (v, (v % 20 == 0) as u8 as f64)).collect();
     let cfg = PropagationConfig::default();
-    c.bench_function("jacobi_3k", |b| b.iter(|| propagate(&graph, &seeds, &cfg)));
-    c.bench_function("gauss_seidel_3k", |b| {
-        b.iter(|| propagate_streaming(&graph, &seeds, &cfg))
-    });
+    c.bench_function("jacobi_3k", || propagate(&graph, &seeds, &cfg));
+    c.bench_function("gauss_seidel_3k", || propagate_streaming(&graph, &seeds, &cfg));
     c.finish();
 }
 
-fn bench_training(c: &mut Criterion) {
-    let mut c = c.benchmark_group("training");
+fn bench_training(c: &Harness) {
+    let mut c = c.group("training");
     c.sample_size(10);
     let w = world();
     let data = w.generate(ModalityKind::Image, 4000, 11);
     let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, true);
-    let view = DenseView::fit(&[&data.table], cols);
+    let view = DenseView::fit(&[&data.table], cols).unwrap();
     let x = view.encode(&data.table);
     let y = data.labels_f64();
 
-    c.bench_function("logistic_fit_4k", |b| {
-        b.iter(|| {
-            LogisticRegression::fit(
+    c.bench_function("logistic_fit_4k", || {
+        LogisticRegression::fit(
+            &x,
+            &y,
+            None,
+            &cm_models::logistic::LogisticConfig { epochs: 3, ..Default::default() },
+        )
+    });
+    c.bench_batched(
+        "mlp_epoch_4k_h32",
+        || Mlp::new(x.cols(), &[32], 0.01, 1),
+        |mut mlp| {
+            mlp.train_epoch(
                 &x,
                 &y,
                 None,
-                &cm_models::logistic::LogisticConfig { epochs: 3, ..Default::default() },
+                &MlpEpochConfig { batch_size: 128, l2: 1e-4, shuffle_seed: 0 },
             )
-        })
-    });
-    c.bench_function("mlp_epoch_4k_h32", |b| {
-        b.iter_batched(
-            || Mlp::new(x.cols(), &[32], 0.01, 1),
-            |mut mlp| {
-                mlp.train_epoch(
-                    &x,
-                    &y,
-                    None,
-                    &MlpEpochConfig { batch_size: 128, l2: 1e-4, shuffle_seed: 0 },
-                )
-            },
-            BatchSize::LargeInput,
-        )
-    });
+        },
+    );
     c.finish();
 }
 
-fn bench_end_to_end_curation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
+fn bench_end_to_end_curation(c: &Harness) {
+    let mut group = c.group("pipeline");
     group.sample_size(10);
-    group.bench_function("curate_ct1_tiny", |b| {
-        let data = TaskData::generate(TaskConfig::paper(TaskId::Ct1).scaled(0.02), 3, Some(64));
-        let cfg = CurationConfig { prop_max_seeds: 500, ..CurationConfig::default() };
-        b.iter(|| curate(&data, &cfg))
-    });
+    let data = TaskData::generate(TaskConfig::paper(TaskId::Ct1).scaled(0.02), 3, Some(64));
+    let cfg = CurationConfig { prop_max_seeds: 500, ..CurationConfig::default() };
+    group.bench_function("curate_ct1_tiny", || curate(&data, &cfg));
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_feature_generation,
-    bench_mining,
-    bench_label_model,
-    bench_propagation,
-    bench_training,
-    bench_end_to_end_curation
-);
-criterion_main!(benches);
+fn main() {
+    let harness = Harness::from_args();
+    bench_feature_generation(&harness);
+    bench_mining(&harness);
+    bench_label_model(&harness);
+    bench_propagation(&harness);
+    bench_training(&harness);
+    bench_end_to_end_curation(&harness);
+}

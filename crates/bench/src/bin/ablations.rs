@@ -14,18 +14,29 @@ use std::time::Instant;
 
 use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
 use cm_featurespace::{FeatureSet, SimilarityConfig};
+use cm_json::{Json, ToJson};
 use cm_mining::MiningConfig;
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, CurationConfig, LabelModelKind, Scenario};
 use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
-use serde::Serialize;
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Report {
     label_model: Vec<(String, f64, f64)>, // (name, ws_f1, end auprc)
     mining_order: Vec<(String, f64, f64, f64)>, // (name, ws_f1, coverage, seconds)
     propagation: Vec<(String, f64, f64)>, // (name, seconds, score agreement)
     nonservable: Vec<(String, f64)>,      // (name, end auprc)
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label_model", self.label_model.to_json()),
+            ("mining_order", self.mining_order.to_json()),
+            ("propagation", self.propagation.to_json()),
+            ("nonservable", self.nonservable.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -49,7 +60,7 @@ fn main() {
             let cfg = CurationConfig { label_model: kind, ..run.curation_config(seed) };
             let out = curate(&run.data, &cfg);
             f1s.push(out.ws_quality.f1);
-            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).auprc);
+            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).unwrap().auprc);
         }
         println!("{name:<18} {:>7.3} {:>11.4}", mean(&f1s), mean(&aps));
         report.label_model.push((name.into(), mean(&f1s), mean(&aps)));
@@ -87,11 +98,7 @@ fn main() {
             let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
             let base = run.curation_config(seed);
             let cfg = cm_pipeline::CurationConfig { use_label_propagation: false, ..base };
-            let columns = run
-                .data
-                .world
-                .schema()
-                .columns_in_sets(&FeatureSet::SHARED, false);
+            let columns = run.data.world.schema().columns_in_sets(&FeatureSet::SHARED, false);
             let t = Instant::now();
             let lfs = cm_mining::generate_stump_lfs(
                 &run.data.text.table,
@@ -125,9 +132,8 @@ fn main() {
         let mut combined = d.text.table.gather(&(0..d.text.len().min(2000)).collect::<Vec<_>>());
         combined.extend_from(&d.pool.table);
         let sim = SimilarityConfig::uniform(columns).fit_scales(&combined);
-        let seeds_lp: Vec<(usize, f64)> = (0..2000.min(d.text.len()))
-            .map(|r| (r, d.text.labels[r].as_f64()))
-            .collect();
+        let seeds_lp: Vec<(usize, f64)> =
+            (0..2000.min(d.text.len())).map(|r| (r, d.text.labels[r].as_f64())).collect();
         let prop_cfg = PropagationConfig { max_iters: 50, tol: 1e-5, prior: 0.05 };
         let mut reference: Option<Vec<f64>> = None;
         for (name, k, streaming) in [
@@ -149,11 +155,7 @@ fn main() {
                     reference = Some(scores);
                     0.0
                 }
-                Some(r) => r
-                    .iter()
-                    .zip(&scores)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f64, f64::max),
+                Some(r) => r.iter().zip(&scores).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max),
             };
             println!("{name:<18} {secs:>9.2} {delta:>12.4}");
             report.propagation.push((name.into(), secs, delta));
@@ -166,12 +168,10 @@ fn main() {
         let mut aps = Vec::new();
         for &seed in &seeds {
             let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
-            let cfg = CurationConfig {
-                include_nonservable: nonservable,
-                ..run.curation_config(seed)
-            };
+            let cfg =
+                CurationConfig { include_nonservable: nonservable, ..run.curation_config(seed) };
             let out = curate(&run.data, &cfg);
-            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).auprc);
+            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).unwrap().auprc);
         }
         println!("{name:<24} {:>10.4}", mean(&aps));
         report.nonservable.push((name.into(), mean(&aps)));

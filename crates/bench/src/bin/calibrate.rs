@@ -47,7 +47,7 @@ fn main() {
     }
 
     let runner = run.runner();
-    let baseline = runner.baseline_auprc();
+    let baseline = runner.baseline_auprc().unwrap();
     println!("baseline (embeddings only, fully supervised) AUPRC = {baseline:.4}");
 
     let curation = curate(d, &run.curation_config(seed));
@@ -65,6 +65,7 @@ fn main() {
             runner.run(&Scenario::fully_supervised(&sets, d.labeled_image.len()), None),
         ),
     ] {
+        let eval = eval.unwrap();
         println!(
             "{name:<18} AUPRC={:.4} rel={:.2}x n_train={}",
             eval.auprc,

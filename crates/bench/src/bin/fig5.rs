@@ -17,17 +17,28 @@
 use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
 use cm_eval::{find_crossover, CrossoverSeries};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Panel {
     feature_sets: String,
     cross_modal_auprc: f64,
     cross_modal_rel: f64,
     supervised: Vec<(f64, f64, f64)>, // (n, auprc, relative)
     cross_over: Option<f64>,
+}
+
+impl ToJson for Panel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("feature_sets", self.feature_sets.to_json()),
+            ("cross_modal_auprc", self.cross_modal_auprc.to_json()),
+            ("cross_modal_rel", self.cross_modal_rel.to_json()),
+            ("supervised", self.supervised.to_json()),
+            ("cross_over", self.cross_over.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -37,10 +48,9 @@ fn main() {
     println!("Figure 5 (CT 1, scale {scale}, {} seed(s))", seeds.len());
 
     let mut panels = Vec::new();
-    for (label, end_sets) in [
-        ("ABCD", FeatureSet::SHARED.to_vec()),
-        ("AB", vec![FeatureSet::A, FeatureSet::B]),
-    ] {
+    for (label, end_sets) in
+        [("ABCD", FeatureSet::SHARED.to_vec()), ("AB", vec![FeatureSet::A, FeatureSet::B])]
+    {
         let mut cross_aps = Vec::new();
         let mut baselines = Vec::new();
         let mut curve_acc: Vec<(f64, Vec<f64>)> = Vec::new();
@@ -50,24 +60,23 @@ fn main() {
             // LFs always use all four sets (+ nonservable features); only
             // the end model is restricted.
             let curation = curate(&run.data, &run.curation_config(seed));
-            let baseline = runner.baseline_auprc();
+            let baseline = runner.baseline_auprc().unwrap();
             baselines.push(baseline);
 
             let mut cross = Scenario::cross_modal(&FeatureSet::SHARED);
             cross.text_sets = end_sets.clone();
             cross.image_sets = end_sets.clone();
             cross.name = format!("cross-modal T,I+{label}");
-            cross_aps.push(runner.run(&cross, Some(&curation)).auprc);
+            cross_aps.push(runner.run(&cross, Some(&curation)).unwrap().auprc);
 
-            for (i, &n) in [250.0f64, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16_000.0]
-                .iter()
-                .enumerate()
+            for (i, &n) in
+                [250.0f64, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16_000.0].iter().enumerate()
             {
                 let n = (n * scale) as usize;
                 if n < 32 || n > run.data.labeled_image.len() {
                     continue;
                 }
-                let eval = runner.run(&Scenario::fully_supervised(&end_sets, n), None);
+                let eval = runner.run(&Scenario::fully_supervised(&end_sets, n), None).unwrap();
                 if curve_acc.len() <= i {
                     curve_acc.push((n as f64, Vec::new()));
                 }
@@ -79,14 +88,18 @@ fn main() {
         let curve: Vec<(f64, f64)> = curve_acc.iter().map(|(n, a)| (*n, mean(a))).collect();
         let cross_over = find_crossover(&CrossoverSeries::new(curve.clone()), cross_ap);
 
-        println!("\npanel +{label}: cross-modal AUPRC {cross_ap:.4} ({:.2}x baseline)", cross_ap / baseline);
+        println!(
+            "\npanel +{label}: cross-modal AUPRC {cross_ap:.4} ({:.2}x baseline)",
+            cross_ap / baseline
+        );
         println!("{:>10} {:>10} {:>10}", "n_labeled", "AUPRC", "relative");
         for &(n, a) in &curve {
             println!("{n:>10.0} {a:>10.4} {:>9.2}x", a / baseline);
         }
         println!(
             "cross-over: {}",
-            cross_over.map_or_else(|| "not reached".into(), |c| format!("{c:.0} hand-labeled images"))
+            cross_over
+                .map_or_else(|| "not reached".into(), |c| format!("{c:.0} hand-labeled images"))
         );
         panels.push(Panel {
             feature_sets: label.to_owned(),

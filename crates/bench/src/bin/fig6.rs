@@ -11,15 +11,24 @@
 
 use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, LabelSource, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Step {
     label: String,
     relative_auprc: f64,
     auprc: f64,
+}
+
+impl ToJson for Step {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("relative_auprc", self.relative_auprc.to_json()),
+            ("auprc", self.auprc.to_json()),
+        ])
+    }
 }
 
 fn ladder() -> Vec<(&'static str, &'static str, &'static str)> {
@@ -48,13 +57,13 @@ fn main() {
         let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
         let runner = run.runner();
         let curation = curate(&run.data, &run.curation_config(seed));
-        baselines.push(runner.baseline_auprc());
+        baselines.push(runner.baseline_auprc().unwrap());
         for (i, (label, text, image)) in ladder().into_iter().enumerate() {
-            let text_sets = FeatureSet::parse_ladder(text);
+            let text_sets = FeatureSet::parse_ladder(text).unwrap();
             let image_sets = if image.is_empty() {
                 text_sets.clone() // test encoding still needs sets
             } else {
-                FeatureSet::parse_ladder(image)
+                FeatureSet::parse_ladder(image).unwrap()
             };
             let scenario = Scenario {
                 name: label.to_owned(),
@@ -64,7 +73,7 @@ fn main() {
                 include_modality_specific: !image.is_empty(),
                 strategy: cm_pipeline::FusionStrategy::Early,
             };
-            acc[i].push(runner.run(&scenario, Some(&curation)).auprc);
+            acc[i].push(runner.run(&scenario, Some(&curation)).unwrap().auprc);
         }
     }
     let baseline = mean(&baselines);
@@ -72,11 +81,7 @@ fn main() {
     for (i, (label, _, _)) in ladder().into_iter().enumerate() {
         let auprc = mean(&acc[i]);
         println!("{label:<18} {auprc:>10.4} {:>9.2}x", auprc / baseline);
-        steps.push(Step {
-            label: label.to_owned(),
-            relative_auprc: auprc / baseline,
-            auprc,
-        });
+        steps.push(Step { label: label.to_owned(), relative_auprc: auprc / baseline, auprc });
     }
 
     // The paper's headline: average gain from adding a feature set vs

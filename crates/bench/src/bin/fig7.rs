@@ -10,11 +10,10 @@
 
 use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Rung {
     sets: String,
     text_rel: f64,
@@ -22,14 +21,22 @@ struct Rung {
     combined_rel: f64,
 }
 
+impl ToJson for Rung {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sets", self.sets.to_json()),
+            ("text_rel", self.text_rel.to_json()),
+            ("image_rel", self.image_rel.to_json()),
+            ("combined_rel", self.combined_rel.to_json()),
+        ])
+    }
+}
+
 fn main() {
     let scale = env_scale(1.0);
     let seeds = env_seeds(3);
     println!("Figure 7 (CT 1 lesion study, scale {scale}, {} seed(s))", seeds.len());
-    println!(
-        "{:<10} {:>10} {:>10} {:>12}",
-        "services", "Text (T)", "Image (I)", "Text+Image"
-    );
+    println!("{:<10} {:>10} {:>10} {:>12}", "services", "Text (T)", "Image (I)", "Text+Image");
 
     let rungs = ["A", "AB", "ABC", "ABCD"];
     let mut acc: Vec<[Vec<f64>; 3]> =
@@ -39,12 +46,14 @@ fn main() {
         let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
         let runner = run.runner();
         let curation = curate(&run.data, &run.curation_config(seed));
-        baselines.push(runner.baseline_auprc());
+        baselines.push(runner.baseline_auprc().unwrap());
         for (i, rung) in rungs.iter().enumerate() {
-            let sets = FeatureSet::parse_ladder(rung);
-            acc[i][0].push(runner.run(&Scenario::text_only(&sets), None).auprc);
-            acc[i][1].push(runner.run(&Scenario::image_only(&sets), Some(&curation)).auprc);
-            acc[i][2].push(runner.run(&Scenario::cross_modal(&sets), Some(&curation)).auprc);
+            let sets = FeatureSet::parse_ladder(rung).unwrap();
+            acc[i][0].push(runner.run(&Scenario::text_only(&sets), None).unwrap().auprc);
+            acc[i][1]
+                .push(runner.run(&Scenario::image_only(&sets), Some(&curation)).unwrap().auprc);
+            acc[i][2]
+                .push(runner.run(&Scenario::cross_modal(&sets), Some(&curation)).unwrap().auprc);
         }
     }
     let baseline = mean(&baselines);

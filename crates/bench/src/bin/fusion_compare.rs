@@ -12,11 +12,10 @@
 
 use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, FusionStrategy, LabelSource, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     task: String,
     early_auprc: f64,
@@ -25,14 +24,23 @@ struct Row {
     features_vs_raw_embedding: f64,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("early_auprc", self.early_auprc.to_json()),
+            ("early_vs_intermediate", self.early_vs_intermediate.to_json()),
+            ("early_vs_devise", self.early_vs_devise.to_json()),
+            ("features_vs_raw_embedding", self.features_vs_raw_embedding.to_json()),
+        ])
+    }
+}
+
 fn main() {
     let scale = env_scale(0.5);
     let seeds = env_seeds(3);
     let sets = FeatureSet::SHARED;
-    println!(
-        "Fusion comparison (§6.6) (scale {scale}, {} seed(s))",
-        seeds.len()
-    );
+    println!("Fusion comparison (§6.6) (scale {scale}, {} seed(s))", seeds.len());
     println!(
         "{:<6} {:>10} {:>12} {:>12} {:>14}",
         "Task", "early", "vs interm.", "vs DeViSE", "feat vs raw"
@@ -61,9 +69,9 @@ fn main() {
             devise.strategy = FusionStrategy::DeVise;
             devise.name = "devise".into();
 
-            let e = runner.run(&early, Some(&curation)).auprc;
-            let i = runner.run(&inter, Some(&curation)).auprc;
-            let d = runner.run(&devise, Some(&curation)).auprc;
+            let e = runner.run(&early, Some(&curation)).unwrap().auprc;
+            let i = runner.run(&inter, Some(&curation)).unwrap().auprc;
+            let d = runner.run(&devise, Some(&curation)).unwrap().auprc;
             early_v.push(e);
             if i > 1e-9 {
                 vs_int.push(e / i);
@@ -75,7 +83,7 @@ fn main() {
             // Features vs raw embedding, same weak labels: image-only with
             // shared feature sets vs image-only with only the
             // modality-specific features (embedding and friends).
-            let feats = runner.run(&Scenario::image_only(&sets), Some(&curation)).auprc;
+            let feats = runner.run(&Scenario::image_only(&sets), Some(&curation)).unwrap().auprc;
             let raw = Scenario {
                 name: "raw embedding (weak)".into(),
                 text_sets: Vec::new(),
@@ -84,7 +92,7 @@ fn main() {
                 include_modality_specific: true,
                 strategy: FusionStrategy::Early,
             };
-            let raw_ap = runner.run(&raw, Some(&curation)).auprc;
+            let raw_ap = runner.run(&raw, Some(&curation)).unwrap().auprc;
             if raw_ap > 1e-9 {
                 feat_raw.push(feats / raw_ap);
             }

@@ -16,11 +16,10 @@ use std::time::Duration;
 
 use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, curate_with_lfs, expert_lfs, Scenario, EXPERT_AUTHORING};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Side {
     label: String,
     authoring_seconds: f64,
@@ -30,6 +29,21 @@ struct Side {
     f1: f64,
     coverage: f64,
     end_model_auprc: f64,
+}
+
+impl ToJson for Side {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("authoring_seconds", self.authoring_seconds.to_json()),
+            ("n_lfs", self.n_lfs.to_json()),
+            ("precision", self.precision.to_json()),
+            ("recall", self.recall.to_json()),
+            ("f1", self.f1.to_json()),
+            ("coverage", self.coverage.to_json()),
+            ("end_model_auprc", self.end_model_auprc.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -49,7 +63,7 @@ fn main() {
 
         let mined = curate(&run.data, &cfg);
         let mined_time = mined.mining_time + mined.propagation_time.unwrap_or(Duration::ZERO);
-        let mined_auprc = runner.run(&Scenario::image_only(&sets), Some(&mined)).auprc;
+        let mined_auprc = runner.run(&Scenario::image_only(&sets), Some(&mined)).unwrap().auprc;
         acc[0].push([
             mined_time.as_secs_f64(),
             (mined.lf_names.len()) as f64,
@@ -60,13 +74,12 @@ fn main() {
             mined_auprc,
         ]);
 
-        let lfs = expert_lfs(run.data.world.schema());
+        let lfs = expert_lfs(run.data.world.schema()).unwrap();
         let expert = curate_with_lfs(&run.data, &cfg, lfs, EXPERT_AUTHORING);
         // The expert's clock is authoring time; propagation (if used) runs
         // for both sides.
-        let expert_time =
-            EXPERT_AUTHORING + expert.propagation_time.unwrap_or(Duration::ZERO);
-        let expert_auprc = runner.run(&Scenario::image_only(&sets), Some(&expert)).auprc;
+        let expert_time = EXPERT_AUTHORING + expert.propagation_time.unwrap_or(Duration::ZERO);
+        let expert_auprc = runner.run(&Scenario::image_only(&sets), Some(&expert)).unwrap().auprc;
         acc[1].push([
             expert_time.as_secs_f64(),
             (expert.lf_names.len()) as f64,
@@ -79,9 +92,8 @@ fn main() {
     }
 
     let mut sides = Vec::new();
-    for (i, label) in ["mined (itemset + propagation)", "expert (hand-written)"]
-        .into_iter()
-        .enumerate()
+    for (i, label) in
+        ["mined (itemset + propagation)", "expert (hand-written)"].into_iter().enumerate()
     {
         let col = |j: usize| mean(&acc[i].iter().map(|r| r[j]).collect::<Vec<_>>());
         sides.push(Side {
@@ -102,12 +114,20 @@ fn main() {
     for s in &sides {
         println!(
             "{:<30} {:>11.1}s {:>6.0} {:>8.3} {:>8.3} {:>8.3} {:>9.3} {:>10.4}",
-            s.label, s.authoring_seconds, s.n_lfs, s.precision, s.recall, s.f1, s.coverage,
+            s.label,
+            s.authoring_seconds,
+            s.n_lfs,
+            s.precision,
+            s.recall,
+            s.f1,
+            s.coverage,
             s.end_model_auprc
         );
     }
     let speedup = sides[1].authoring_seconds / sides[0].authoring_seconds.max(1e-9);
-    println!("\nautomatic generation is {speedup:.1}x faster; F1 {:+.1} points vs expert",
-        (sides[0].f1 - sides[1].f1) * 100.0);
+    println!(
+        "\nautomatic generation is {speedup:.1}x faster; F1 {:+.1} points vs expert",
+        (sides[0].f1 - sides[1].f1) * 100.0
+    );
     maybe_write_json(&sides);
 }

@@ -2,16 +2,27 @@
 //! rates, at the configured synthetic scale (default 1/1000 of the paper).
 
 use cm_bench::{env_scale, env_seed, maybe_write_json};
+use cm_json::{Json, ToJson};
 use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     task: String,
     n_labeled_text: usize,
     n_unlabeled_image: usize,
     n_labeled_image_test: usize,
     test_positive_rate: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("n_labeled_text", self.n_labeled_text.to_json()),
+            ("n_unlabeled_image", self.n_unlabeled_image.to_json()),
+            ("n_labeled_image_test", self.n_labeled_image_test.to_json()),
+            ("test_positive_rate", self.test_positive_rate.to_json()),
+        ])
+    }
 }
 
 fn main() {

@@ -14,11 +14,10 @@
 use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
 use cm_eval::{find_crossover, CrossoverSeries};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     task: String,
     baseline_auprc: f64,
@@ -28,6 +27,21 @@ struct Row {
     cross_over: Option<f64>,
     max_swept: f64,
     supervised_curve: Vec<(f64, f64)>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("baseline_auprc", self.baseline_auprc.to_json()),
+            ("text_rel", self.text_rel.to_json()),
+            ("image_rel", self.image_rel.to_json()),
+            ("cross_modal_rel", self.cross_modal_rel.to_json()),
+            ("cross_over", self.cross_over.to_json()),
+            ("max_swept", self.max_swept.to_json()),
+            ("supervised_curve", self.supervised_curve.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -59,14 +73,16 @@ fn main() {
             let run = TaskRun::new(id, scale, seed, Some((16_000.0 * scale) as usize));
             let runner = run.runner();
             let curation = curate(&run.data, &run.curation_config(seed));
-            let baseline = runner.baseline_auprc();
+            let baseline = runner.baseline_auprc().unwrap();
             baselines.push(baseline);
 
-            let text = runner.run_relative(&Scenario::text_only(&sets), None, baseline);
-            let image =
-                runner.run_relative(&Scenario::image_only(&sets), Some(&curation), baseline);
-            let cross =
-                runner.run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline);
+            let text = runner.run_relative(&Scenario::text_only(&sets), None, baseline).unwrap();
+            let image = runner
+                .run_relative(&Scenario::image_only(&sets), Some(&curation), baseline)
+                .unwrap();
+            let cross = runner
+                .run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline)
+                .unwrap();
             text_rels.push(text.relative_auprc.unwrap_or(0.0));
             image_rels.push(image.relative_auprc.unwrap_or(0.0));
             cross_rels.push(cross.relative_auprc.unwrap_or(0.0));
@@ -78,7 +94,7 @@ fn main() {
                 if n < 32 || n > reservoir {
                     continue;
                 }
-                let eval = runner.run(&Scenario::fully_supervised(&sets, n), None);
+                let eval = runner.run(&Scenario::fully_supervised(&sets, n), None).unwrap();
                 curve.push((n as f64, eval.auprc));
                 max_swept = max_swept.max(n as f64);
             }
@@ -108,8 +124,7 @@ fn main() {
             fmt_ratio(row.text_rel),
             fmt_ratio(row.image_rel),
             fmt_ratio(row.cross_modal_rel),
-            row.cross_over
-                .map_or_else(|| format!(">{max_swept:.0}"), |c| format!("{c:.0}")),
+            row.cross_over.map_or_else(|| format!(">{max_swept:.0}"), |c| format!("{c:.0}")),
         );
         rows.push(row);
     }

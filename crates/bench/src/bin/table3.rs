@@ -13,11 +13,10 @@
 
 use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
 use cm_featurespace::FeatureSet;
+use cm_json::{Json, ToJson};
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, CurationConfig, Scenario};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     task: String,
     precision_ratio: f64,
@@ -26,6 +25,20 @@ struct Row {
     auprc_ratio: f64,
     without_lp: (f64, f64, f64),
     with_lp: (f64, f64, f64),
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("precision_ratio", self.precision_ratio.to_json()),
+            ("recall_ratio", self.recall_ratio.to_json()),
+            ("f1_ratio", self.f1_ratio.to_json()),
+            ("auprc_ratio", self.auprc_ratio.to_json()),
+            ("without_lp", self.without_lp.to_json()),
+            ("with_lp", self.with_lp.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -37,10 +50,7 @@ fn main() {
         "Table 3 (scale {scale}, {} seed(s)) — relative gain from label propagation",
         seeds.len()
     );
-    println!(
-        "{:<6} {:>10} {:>10} {:>10} {:>10}",
-        "Task", "Precision", "Recall", "F1", "AUPRC"
-    );
+    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "Task", "Precision", "Recall", "F1", "AUPRC");
     let mut rows = Vec::new();
     for id in TaskId::ALL {
         if !task_selected(id) {
@@ -60,8 +70,8 @@ fn main() {
             let with = curate(&run.data, &base_cfg);
 
             let scenario = Scenario::image_only(&sets);
-            let auprc_without = runner.run(&scenario, Some(&without)).auprc;
-            let auprc_with = runner.run(&scenario, Some(&with)).auprc;
+            let auprc_without = runner.run(&scenario, Some(&without)).unwrap().auprc;
+            let auprc_with = runner.run(&scenario, Some(&with)).unwrap().auprc;
 
             let ratio = |a: f64, b: f64| if b > 1e-9 { a / b } else { 0.0 };
             ratios.push([

@@ -62,10 +62,7 @@ impl TaskRun {
 
 /// Reads `CM_SCALE`, falling back to `default`.
 pub fn env_scale(default: f64) -> f64 {
-    std::env::var("CM_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("CM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads `CM_SEED`, falling back to 42.
@@ -101,11 +98,13 @@ pub fn task_selected(id: TaskId) -> bool {
 }
 
 /// Writes a JSON report to the path named by `CM_JSON`, if set.
-pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
+pub fn maybe_write_json<T: cm_json::ToJson>(report: &T) {
     if let Ok(path) = std::env::var("CM_JSON") {
-        let json = serde_json::to_string_pretty(report).expect("report serializes");
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        eprintln!("wrote JSON report to {path}");
+        let json = report.to_json().to_string_pretty();
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote JSON report to {path}"),
+            Err(e) => eprintln!("failed to write JSON report to {path}: {e}"),
+        }
     }
 }
 

@@ -1,0 +1,243 @@
+//! Validator tests: positive paths on well-formed artifacts, and negative
+//! fixtures asserting the *exact* violations each corruption produces.
+
+use std::sync::Arc;
+
+use cm_check::{
+    check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix, CheckRule,
+    FusionKind, FusionPlan, Violation,
+};
+use cm_featurespace::{
+    CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, ServingMode,
+    Vocabulary,
+};
+use cm_labelmodel::LabelMatrix;
+use cm_propagation::SparseGraph;
+
+fn schema() -> Arc<FeatureSchema> {
+    Arc::new(FeatureSchema::from_defs(vec![
+        FeatureDef::numeric("score", FeatureSet::A, ServingMode::Servable),
+        FeatureDef::categorical(
+            "topic",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names((0..4).map(|i| format!("t{i}"))),
+        ),
+        FeatureDef::embedding("emb", 3, FeatureSet::D, ServingMode::Servable),
+    ]))
+}
+
+fn good_row() -> Vec<FeatureValue> {
+    vec![
+        FeatureValue::Numeric(0.5),
+        FeatureValue::Categorical(CatSet::from_ids(vec![1, 3])),
+        FeatureValue::Embedding(vec![0.1, 0.2, 0.3]),
+    ]
+}
+
+#[test]
+fn conforming_table_is_clean() {
+    let s = schema();
+    let mut t = FeatureTable::new(s.clone());
+    for _ in 0..5 {
+        t.push_row(&good_row());
+    }
+    t.push_row(&[FeatureValue::Missing, FeatureValue::Missing, FeatureValue::Missing]);
+    assert_eq!(check_table(&t, &s, "t"), Vec::new());
+}
+
+#[test]
+fn column_count_mismatch_is_exactly_reported() {
+    let narrow = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::numeric(
+        "score",
+        FeatureSet::A,
+        ServingMode::Servable,
+    )]));
+    let mut t = FeatureTable::new(narrow);
+    t.push_row(&[FeatureValue::Numeric(1.0)]);
+    let violations = check_table(&t, &schema(), "neg.table");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::SchemaTableMismatch,
+            "neg.table",
+            "table has 1 columns, registry schema has 3",
+        )]
+    );
+}
+
+#[test]
+fn out_of_vocab_id_is_exactly_reported() {
+    let s = schema();
+    let mut t = FeatureTable::new(s.clone());
+    t.push_row(&good_row());
+    t.push_row(&[
+        FeatureValue::Numeric(0.0),
+        FeatureValue::Categorical(CatSet::from_ids(vec![9])),
+        FeatureValue::Missing,
+    ]);
+    let violations = check_table(&t, &s, "neg.table");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::VocabIndexOutOfBounds,
+            "neg.table[col topic, row 1]",
+            "id 9 >= vocabulary size 4",
+        )]
+    );
+}
+
+#[test]
+fn non_finite_numeric_is_flagged() {
+    let s = schema();
+    let mut t = FeatureTable::new(s.clone());
+    t.push_row(&[FeatureValue::Numeric(f64::NAN), FeatureValue::Missing, FeatureValue::Missing]);
+    let violations = check_table(&t, &s, "t");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, CheckRule::NonFiniteNumeric);
+    assert_eq!(violations[0].location, "t[col score, row 0]");
+}
+
+#[test]
+fn healthy_vote_matrix_is_clean() {
+    let names = vec!["a".to_owned(), "b".to_owned()];
+    let m = LabelMatrix::from_votes(3, 2, vec![1, 0, -1, 1, 0, -1], names.clone());
+    assert_eq!(check_vote_matrix(&m, &names, 3, "votes"), Vec::new());
+    assert_eq!(check_lf_degeneracy(&m, "votes"), Vec::new());
+}
+
+#[test]
+fn constant_lf_is_exactly_reported() {
+    let names = vec!["always_pos".to_owned(), "varied".to_owned()];
+    let m = LabelMatrix::from_votes(3, 2, vec![1, 1, 1, -1, 1, 0], names);
+    let violations = check_lf_degeneracy(&m, "votes");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::DegenerateLf,
+            "votes[lf always_pos]",
+            "votes +1 on every row (constant; carries no evidence)",
+        )]
+    );
+}
+
+#[test]
+fn all_abstain_lf_is_exactly_reported() {
+    let names = vec!["silent".to_owned(), "varied".to_owned()];
+    let m = LabelMatrix::from_votes(2, 2, vec![0, 1, 0, -1], names);
+    let violations = check_lf_degeneracy(&m, "votes");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::DegenerateLf,
+            "votes[lf silent]",
+            "abstains on every row (zero coverage)",
+        )]
+    );
+}
+
+#[test]
+fn vote_matrix_shape_mismatches_are_reported() {
+    let names = vec!["a".to_owned(), "b".to_owned()];
+    let m = LabelMatrix::from_votes(2, 2, vec![1, 0, 0, -1], names.clone());
+    // Wrong registry size short-circuits.
+    let violations = check_vote_matrix(&m, &["a".to_owned()], 2, "votes");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, CheckRule::VoteMatrixShape);
+    // Wrong row count.
+    let violations = check_vote_matrix(&m, &names, 7, "votes");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::VoteMatrixShape,
+            "votes",
+            "matrix covers 2 rows, pool has 7",
+        )]
+    );
+    // Wrong LF name.
+    let violations = check_vote_matrix(&m, &["a".to_owned(), "z".to_owned()], 2, "votes");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].location, "votes[lf 1]");
+}
+
+#[test]
+fn consistent_fusion_plans_are_clean() {
+    let early = FusionPlan {
+        kind: FusionKind::Early,
+        part_dims: vec![24, 24],
+        embedding_dims: None,
+        projection: None,
+    };
+    assert_eq!(check_fusion_plan(&early, "early"), Vec::new());
+    let intermediate = FusionPlan {
+        kind: FusionKind::Intermediate,
+        part_dims: vec![24, 10],
+        embedding_dims: None,
+        projection: None,
+    };
+    assert_eq!(check_fusion_plan(&intermediate, "mid"), Vec::new());
+    let devise = FusionPlan {
+        kind: FusionKind::DeVise,
+        part_dims: vec![24, 24],
+        embedding_dims: Some((16, 12)),
+        projection: Some((12, 16)),
+    };
+    assert_eq!(check_fusion_plan(&devise, "devise"), Vec::new());
+}
+
+#[test]
+fn wrong_devise_projection_dim_is_exactly_reported() {
+    let plan = FusionPlan {
+        kind: FusionKind::DeVise,
+        part_dims: vec![24, 24],
+        embedding_dims: Some((16, 12)),
+        projection: Some((12, 8)),
+    };
+    let violations = check_fusion_plan(&plan, "neg.devise");
+    assert_eq!(
+        violations,
+        vec![Violation::new(
+            CheckRule::FusionDimChain,
+            "neg.devise[projection]",
+            "projection target width 8 != old-model embedding width 16",
+        )]
+    );
+}
+
+#[test]
+fn early_fusion_width_mismatch_is_reported() {
+    let plan = FusionPlan {
+        kind: FusionKind::Early,
+        part_dims: vec![24, 30],
+        embedding_dims: None,
+        projection: None,
+    };
+    let violations = check_fusion_plan(&plan, "neg.early");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, CheckRule::FusionDimChain);
+    assert_eq!(violations[0].location, "neg.early[part 1]");
+}
+
+#[test]
+fn symmetric_graph_is_clean() {
+    let g = SparseGraph::from_edges(4, &[(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.0)]);
+    assert_eq!(check_graph(&g, "g"), Vec::new());
+}
+
+#[test]
+fn nan_edge_weight_is_flagged_in_both_directions() {
+    let g = SparseGraph::from_edges(3, &[(0, 1, f32::NAN), (1, 2, 0.5)]);
+    let violations = check_graph(&g, "g");
+    // The CSR stores both directions of the NaN edge.
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().all(|v| v.rule == CheckRule::GraphNonFiniteWeight));
+    assert_eq!(violations[0].location, "g[edge 0->1]");
+}
+
+#[test]
+fn nonpositive_edge_weight_is_flagged() {
+    let g = SparseGraph::from_edges(2, &[(0, 1, 0.0)]);
+    let violations = check_graph(&g, "g");
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().all(|v| v.rule == CheckRule::GraphInvalidWeight));
+}

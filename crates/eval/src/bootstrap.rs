@@ -1,7 +1,7 @@
 //! Seeded bootstrap confidence intervals for AUPRC.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cm_linalg::rng::Rng;
+use cm_linalg::rng::StdRng;
 
 use crate::pr::auprc;
 
@@ -50,7 +50,7 @@ pub fn bootstrap_auprc_ci(
         }
         stats.push(if ok { auprc(&s_buf, &p_buf) } else { 0.0 });
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN AUPRC"));
+    stats.sort_by(f64::total_cmp);
     let lo_idx = ((alpha / 2.0) * n_resamples as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * n_resamples as f64) as usize).min(n_resamples - 1);
     (stats[lo_idx], stats[hi_idx])

@@ -13,7 +13,7 @@ pub struct CrossoverSeries {
 impl CrossoverSeries {
     /// Builds a series, sorting by size.
     pub fn new(mut points: Vec<(f64, f64)>) -> Self {
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN size"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         Self { points }
     }
 }

@@ -8,8 +8,8 @@
 //! (efficient coverage of the rare predicted positives); precision and
 //! recall are estimated with Horvitz–Thompson inverse-probability weights.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cm_linalg::rng::Rng;
+use cm_linalg::rng::StdRng;
 
 /// A live-metric estimate from a reviewed sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,8 +50,7 @@ pub fn estimate_live_metrics(
     // "with replacement" draws, then weight reviews by 1/p.
     let total_score: f64 = scores.iter().map(|&s| s.max(1e-9)).sum();
     let p_uniform = uniform_budget as f64 / n as f64;
-    let p_importance =
-        |s: f64| importance_budget as f64 * (s.max(1e-9) / total_score);
+    let p_importance = |s: f64| importance_budget as f64 * (s.max(1e-9) / total_score);
     // P(reviewed at least once) ~= min(1, p_u + p_i) for small p.
     let inclusion = |i: usize| (p_uniform + p_importance(scores[i])).min(1.0);
 
@@ -113,20 +112,13 @@ mod tests {
     /// imperfect but strongly score-correlated.
     fn stream(n: usize) -> (Vec<f64>, Vec<bool>) {
         let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect();
-        let truth: Vec<bool> = scores
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s > 0.5) != (i % 7 == 0))
-            .collect();
+        let truth: Vec<bool> =
+            scores.iter().enumerate().map(|(i, &s)| (s > 0.5) != (i % 7 == 0)).collect();
         (scores, truth)
     }
 
     fn exact_metrics(scores: &[f64], truth: &[bool], thr: f64) -> (f64, f64) {
-        let tp = scores
-            .iter()
-            .zip(truth)
-            .filter(|(&s, &t)| s >= thr && t)
-            .count() as f64;
+        let tp = scores.iter().zip(truth).filter(|(&s, &t)| s >= thr && t).count() as f64;
         let flagged = scores.iter().filter(|&&s| s >= thr).count() as f64;
         let pos = truth.iter().filter(|&&t| t).count() as f64;
         (tp / flagged.max(1.0), tp / pos.max(1.0))

@@ -8,6 +8,7 @@
 
 use cm_linalg::Matrix;
 
+use crate::error::{CmError, CmResult, ErrorKind};
 use crate::table::FeatureTable;
 use crate::value::FeatureKind;
 
@@ -67,15 +68,22 @@ impl DenseEncoder {
     /// values; categorical widths come from the schema vocabulary, widened if
     /// the training data contains larger ids (the simulator interns ids lazily).
     ///
-    /// # Panics
-    /// Panics if a column index is out of range for the schema.
-    pub fn fit(train: &FeatureTable, columns: &[usize]) -> Self {
+    /// # Errors
+    /// Returns [`ErrorKind::OutOfBounds`] if a column index is out of range
+    /// for the schema (previously this indexed directly and panicked).
+    pub fn fit(train: &FeatureTable, columns: &[usize]) -> CmResult<Self> {
         let schema = train.schema();
         let mut codecs = Vec::with_capacity(columns.len());
         let mut slots = Vec::with_capacity(columns.len());
         let mut offset = 0usize;
         for &col in columns {
-            let def = schema.def(col);
+            let def = schema.def(col).ok_or_else(|| {
+                CmError::new(
+                    ErrorKind::OutOfBounds,
+                    "DenseEncoder::fit",
+                    format!("column {col} out of range for schema of width {}", schema.len()),
+                )
+            })?;
             let (codec, width) = match def.kind {
                 FeatureKind::Numeric => {
                     let mut n = 0usize;
@@ -119,7 +127,7 @@ impl DenseEncoder {
             offset += width + 1;
             codecs.push(codec);
         }
-        Self { layout: DenseLayout { slots, total_width: offset }, codecs }
+        Ok(Self { layout: DenseLayout { slots, total_width: offset }, codecs })
     }
 
     /// The fitted layout.
@@ -186,18 +194,14 @@ mod tests {
             FeatureValue::Categorical(CatSet::from_ids(vec![0, 2])),
             FeatureValue::Embedding(vec![0.5, -0.5]),
         ]);
-        t.push_row(&[
-            FeatureValue::Numeric(3.0),
-            FeatureValue::Missing,
-            FeatureValue::Missing,
-        ]);
+        t.push_row(&[FeatureValue::Numeric(3.0), FeatureValue::Missing, FeatureValue::Missing]);
         t
     }
 
     #[test]
     fn layout_has_expected_widths() {
         let t = table();
-        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]).unwrap();
         // numeric: 1+1, categorical: 3+1, embedding: 2+1
         assert_eq!(enc.layout().width(), 2 + 4 + 3);
         let slots = enc.layout().slots();
@@ -211,7 +215,7 @@ mod tests {
     #[test]
     fn numeric_is_standardized_and_missing_flagged() {
         let t = table();
-        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]).unwrap();
         let m = enc.transform(&t);
         // mean 2, std 1 -> values -1 and 1
         assert!((m[(0, 0)] + 1.0).abs() < 1e-6);
@@ -223,7 +227,7 @@ mod tests {
     #[test]
     fn categorical_multi_hot_and_missing() {
         let t = table();
-        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]).unwrap();
         let m = enc.transform(&t);
         // row 0: ids {0,2} -> columns 2 and 4 hot, 3 cold
         assert_eq!(m[(0, 2)], 1.0);
@@ -238,7 +242,7 @@ mod tests {
     #[test]
     fn embedding_copied_and_missing_zeroed() {
         let t = table();
-        let enc = DenseEncoder::fit(&t, &[0, 1, 2]);
+        let enc = DenseEncoder::fit(&t, &[0, 1, 2]).unwrap();
         let m = enc.transform(&t);
         assert_eq!(m[(0, 6)], 0.5);
         assert_eq!(m[(0, 7)], -0.5);
@@ -250,7 +254,7 @@ mod tests {
     #[test]
     fn column_subset_changes_layout() {
         let t = table();
-        let enc = DenseEncoder::fit(&t, &[1]);
+        let enc = DenseEncoder::fit(&t, &[1]).unwrap();
         assert_eq!(enc.layout().width(), 4);
         let m = enc.transform(&t);
         assert_eq!(m.cols(), 4);
@@ -260,13 +264,9 @@ mod tests {
     #[test]
     fn transform_applies_train_stats_to_new_table() {
         let train = table();
-        let enc = DenseEncoder::fit(&train, &[0]);
+        let enc = DenseEncoder::fit(&train, &[0]).unwrap();
         let mut test = FeatureTable::new(Arc::clone(train.schema()));
-        test.push_row(&[
-            FeatureValue::Numeric(2.0),
-            FeatureValue::Missing,
-            FeatureValue::Missing,
-        ]);
+        test.push_row(&[FeatureValue::Numeric(2.0), FeatureValue::Missing, FeatureValue::Missing]);
         let m = enc.transform(&test);
         assert!((m[(0, 0)]).abs() < 1e-6); // (2-2)/1
     }
@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn out_of_vocab_ids_are_dropped() {
         let train = table();
-        let enc = DenseEncoder::fit(&train, &[1]);
+        let enc = DenseEncoder::fit(&train, &[1]).unwrap();
         let mut test = FeatureTable::new(Arc::clone(train.schema()));
         test.push_row(&[
             FeatureValue::Missing,

@@ -1,0 +1,225 @@
+//! JSON persistence for the schema layer.
+//!
+//! Schemas are the contract between feature-generation jobs and training
+//! jobs, so they must survive persistence. The workspace builds without
+//! registry access, so instead of serde derives this module hand-rolls the
+//! encoding on top of [`cm_json`]. Lookup indices (schema name index,
+//! vocabulary reverse map) are not encoded; decoding rebuilds them.
+
+use cm_json::{Json, JsonError, ToJson};
+
+use crate::schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
+use crate::value::{CatSet, FeatureKind, FeatureValue};
+use crate::vocab::Vocabulary;
+
+fn bad(what: &str) -> JsonError {
+    JsonError { message: format!("invalid or missing {what}"), offset: 0 }
+}
+
+impl ToJson for FeatureSet {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            FeatureSet::A => "A",
+            FeatureSet::B => "B",
+            FeatureSet::C => "C",
+            FeatureSet::D => "D",
+            FeatureSet::ModalitySpecific => "ModalitySpecific",
+        };
+        Json::Str(name.to_owned())
+    }
+}
+
+impl FeatureSet {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("A") => Ok(FeatureSet::A),
+            Some("B") => Ok(FeatureSet::B),
+            Some("C") => Ok(FeatureSet::C),
+            Some("D") => Ok(FeatureSet::D),
+            Some("ModalitySpecific") => Ok(FeatureSet::ModalitySpecific),
+            _ => Err(bad("FeatureSet")),
+        }
+    }
+}
+
+impl ToJson for ServingMode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ServingMode::Servable => "Servable",
+                ServingMode::Nonservable => "Nonservable",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ServingMode {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Servable") => Ok(ServingMode::Servable),
+            Some("Nonservable") => Ok(ServingMode::Nonservable),
+            _ => Err(bad("ServingMode")),
+        }
+    }
+}
+
+impl ToJson for FeatureKind {
+    fn to_json(&self) -> Json {
+        match self {
+            FeatureKind::Numeric => Json::Str("Numeric".to_owned()),
+            FeatureKind::Categorical => Json::Str("Categorical".to_owned()),
+            FeatureKind::Embedding { dim } => {
+                Json::obj([("Embedding", Json::obj([("dim", dim.to_json())]))])
+            }
+        }
+    }
+}
+
+impl FeatureKind {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "Numeric" => Ok(FeatureKind::Numeric),
+            Json::Str(s) if s == "Categorical" => Ok(FeatureKind::Categorical),
+            _ => {
+                let dim = v
+                    .get("Embedding")
+                    .and_then(|e| e.get("dim"))
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| bad("FeatureKind"))?;
+                Ok(FeatureKind::Embedding { dim })
+            }
+        }
+    }
+}
+
+impl ToJson for Vocabulary {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|(_, name)| Json::Str(name.to_owned())).collect())
+    }
+}
+
+impl Vocabulary {
+    /// Parses the encoding produced by [`ToJson`], rebuilding the reverse
+    /// index (ids are positional).
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let names = v.as_arr().ok_or_else(|| bad("Vocabulary"))?;
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            out.push(n.as_str().ok_or_else(|| bad("Vocabulary entry"))?.to_owned());
+        }
+        let distinct: std::collections::HashSet<&str> = out.iter().map(String::as_str).collect();
+        if distinct.len() != out.len() {
+            return Err(bad("Vocabulary (duplicate entry)"));
+        }
+        Ok(Vocabulary::from_names(out))
+    }
+}
+
+impl ToJson for CatSet {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|id| Json::Num(f64::from(id))).collect())
+    }
+}
+
+impl CatSet {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.as_arr().ok_or_else(|| bad("CatSet"))?;
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item.as_usize().ok_or_else(|| bad("CatSet id"))?;
+            ids.push(u32::try_from(id).map_err(|_| bad("CatSet id range"))?);
+        }
+        Ok(CatSet::from_ids(ids))
+    }
+}
+
+impl ToJson for FeatureValue {
+    fn to_json(&self) -> Json {
+        match self {
+            FeatureValue::Numeric(x) => Json::obj([("Numeric", x.to_json())]),
+            FeatureValue::Categorical(set) => Json::obj([("Categorical", set.to_json())]),
+            FeatureValue::Embedding(e) => Json::obj([("Embedding", e.to_json())]),
+            FeatureValue::Missing => Json::Str("Missing".to_owned()),
+        }
+    }
+}
+
+impl FeatureValue {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("Missing") {
+            return Ok(FeatureValue::Missing);
+        }
+        if let Some(x) = v.get("Numeric") {
+            return Ok(FeatureValue::Numeric(x.as_f64().ok_or_else(|| bad("Numeric value"))?));
+        }
+        if let Some(set) = v.get("Categorical") {
+            return Ok(FeatureValue::Categorical(CatSet::from_json(set)?));
+        }
+        if let Some(e) = v.get("Embedding") {
+            let items = e.as_arr().ok_or_else(|| bad("Embedding value"))?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(item.as_f64().ok_or_else(|| bad("Embedding element"))? as f32);
+            }
+            return Ok(FeatureValue::Embedding(out));
+        }
+        Err(bad("FeatureValue"))
+    }
+}
+
+impl ToJson for FeatureDef {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("kind", self.kind.to_json()),
+            ("set", self.set.to_json()),
+            ("serving", self.serving.to_json()),
+            ("vocab", self.vocab.to_json()),
+        ])
+    }
+}
+
+impl FeatureDef {
+    /// Parses the encoding produced by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FeatureDef {
+            name: v.get("name").and_then(Json::as_str).ok_or_else(|| bad("name"))?.to_owned(),
+            kind: FeatureKind::from_json(v.get("kind").ok_or_else(|| bad("kind"))?)?,
+            set: FeatureSet::from_json(v.get("set").ok_or_else(|| bad("set"))?)?,
+            serving: ServingMode::from_json(v.get("serving").ok_or_else(|| bad("serving"))?)?,
+            vocab: Vocabulary::from_json(v.get("vocab").ok_or_else(|| bad("vocab"))?)?,
+        })
+    }
+}
+
+impl ToJson for FeatureSchema {
+    fn to_json(&self) -> Json {
+        Json::obj([("defs", Json::Arr(self.defs().iter().map(ToJson::to_json).collect()))])
+    }
+}
+
+impl FeatureSchema {
+    /// Parses the encoding produced by [`ToJson`]. The name index is
+    /// rebuilt, so lookups work immediately on the result.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let defs = v
+            .get("defs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("defs"))?
+            .iter()
+            .map(FeatureDef::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let distinct: std::collections::HashSet<&str> =
+            defs.iter().map(|d| d.name.as_str()).collect();
+        if distinct.len() != defs.len() {
+            return Err(bad("defs (duplicate feature name)"));
+        }
+        Ok(FeatureSchema::from_defs(defs))
+    }
+}

@@ -1,10 +1,8 @@
 //! Core label and modality vocabulary shared across the pipeline.
 
-use serde::{Deserialize, Serialize};
-
 /// Binary classification label. The paper evaluates binary topic/object
 /// classification tasks (§6.1); multi-class is future work there and here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
     /// The entity exhibits the task's topic/object of interest.
     Positive,
@@ -43,7 +41,7 @@ impl Label {
 /// Data modality of an entity. The case study adapts text-trained tasks to
 /// image (§6.1); `Video` exercises the "richer still" modality the
 /// introduction motivates (frame-split into image features).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModalityKind {
     /// Text posts: the old, label-rich modality.
     Text,
@@ -85,7 +83,8 @@ mod tests {
 
     #[test]
     fn modality_short_names_unique() {
-        let names = [ModalityKind::Text.short(), ModalityKind::Image.short(), ModalityKind::Video.short()];
+        let names =
+            [ModalityKind::Text.short(), ModalityKind::Image.short(), ModalityKind::Video.short()];
         assert_eq!(names, ["T", "I", "V"]);
     }
 }

@@ -18,6 +18,8 @@
 //! - [`similarity`] — Algorithm 1 graph weights used by label propagation.
 
 pub mod dense;
+pub mod error;
+pub mod jsonio;
 pub mod label;
 pub mod schema;
 pub mod similarity;
@@ -26,6 +28,7 @@ pub mod value;
 pub mod vocab;
 
 pub use dense::{DenseEncoder, DenseLayout};
+pub use error::{CmError, CmResult, ErrorKind};
 pub use label::{Label, ModalityKind};
 pub use schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
 pub use similarity::{algorithm1_weight, normalized_similarity, SimilarityConfig};

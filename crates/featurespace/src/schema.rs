@@ -2,8 +2,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
+use crate::error::{CmError, CmResult, ErrorKind};
 use crate::value::FeatureKind;
 use crate::vocab::Vocabulary;
 
@@ -11,7 +10,7 @@ use crate::vocab::Vocabulary;
 /// (B), topic-model-based (C), page-content-based (D). Features that exist
 /// for only one modality (e.g. a pre-trained image embedding) are
 /// `ModalitySpecific`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FeatureSet {
     /// URL-based metadata services.
     A,
@@ -27,20 +26,25 @@ pub enum FeatureSet {
 
 impl FeatureSet {
     /// The four shared service groups in paper order.
-    pub const SHARED: [FeatureSet; 4] = [FeatureSet::A, FeatureSet::B, FeatureSet::C, FeatureSet::D];
+    pub const SHARED: [FeatureSet; 4] =
+        [FeatureSet::A, FeatureSet::B, FeatureSet::C, FeatureSet::D];
 
     /// Parses a ladder spec like `"ABC"` into the prefix of shared sets.
     ///
-    /// # Panics
-    /// Panics on characters outside `A`–`D`.
-    pub fn parse_ladder(spec: &str) -> Vec<FeatureSet> {
+    /// # Errors
+    /// Returns [`ErrorKind::InvalidConfig`] on characters outside `A`–`D`.
+    pub fn parse_ladder(spec: &str) -> CmResult<Vec<FeatureSet>> {
         spec.chars()
             .map(|c| match c {
-                'A' => FeatureSet::A,
-                'B' => FeatureSet::B,
-                'C' => FeatureSet::C,
-                'D' => FeatureSet::D,
-                other => panic!("unknown feature set {other:?}"),
+                'A' => Ok(FeatureSet::A),
+                'B' => Ok(FeatureSet::B),
+                'C' => Ok(FeatureSet::C),
+                'D' => Ok(FeatureSet::D),
+                other => Err(CmError::new(
+                    ErrorKind::InvalidConfig,
+                    "FeatureSet::parse_ladder",
+                    format!("unknown feature set {other:?} in spec {spec:?}"),
+                )),
             })
             .collect()
     }
@@ -51,7 +55,7 @@ impl FeatureSet {
 /// Nonservable features (§4.1, §6.4) are too expensive to extract in the
 /// serving path; they may still feed labeling functions because weak
 /// supervision is entirely offline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServingMode {
     /// Available both for training-data curation and at inference time.
     Servable,
@@ -60,7 +64,7 @@ pub enum ServingMode {
 }
 
 /// Definition of one feature in the common space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FeatureDef {
     /// Unique feature name (e.g. `"topic"`, `"user_reports"`).
     pub name: String,
@@ -87,7 +91,12 @@ impl FeatureDef {
     }
 
     /// A categorical feature with the given vocabulary.
-    pub fn categorical(name: &str, set: FeatureSet, serving: ServingMode, vocab: Vocabulary) -> Self {
+    pub fn categorical(
+        name: &str,
+        set: FeatureSet,
+        serving: ServingMode,
+        vocab: Vocabulary,
+    ) -> Self {
         Self { name: name.to_owned(), kind: FeatureKind::Categorical, set, serving, vocab }
     }
 
@@ -104,10 +113,9 @@ impl FeatureDef {
 }
 
 /// An ordered collection of feature definitions with name lookup.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FeatureSchema {
     defs: Vec<FeatureDef>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
 }
 
@@ -134,11 +142,7 @@ impl FeatureSchema {
     /// # Panics
     /// Panics if the name is already present.
     pub fn push(&mut self, def: FeatureDef) -> usize {
-        assert!(
-            !self.index.contains_key(&def.name),
-            "duplicate feature name {:?}",
-            def.name
-        );
+        assert!(!self.index.contains_key(&def.name), "duplicate feature name {:?}", def.name);
         let idx = self.defs.len();
         self.index.insert(def.name.clone(), idx);
         self.defs.push(def);
@@ -155,9 +159,13 @@ impl FeatureSchema {
         self.defs.is_empty()
     }
 
-    /// The definition at column `idx`.
-    pub fn def(&self, idx: usize) -> &FeatureDef {
-        &self.defs[idx]
+    /// The definition at column `idx`, `None` if out of range.
+    ///
+    /// Callers that hold schema-derived column lists can rely on `Some`;
+    /// anything taking externally supplied indices must handle `None`
+    /// (previously this indexed directly and panicked).
+    pub fn def(&self, idx: usize) -> Option<&FeatureDef> {
+        self.defs.get(idx)
     }
 
     /// All definitions in column order.
@@ -177,8 +185,7 @@ impl FeatureSchema {
             .iter()
             .enumerate()
             .filter(|(_, d)| {
-                sets.contains(&d.set)
-                    || (include_specific && d.set == FeatureSet::ModalitySpecific)
+                sets.contains(&d.set) || (include_specific && d.set == FeatureSet::ModalitySpecific)
             })
             .map(|(i, _)| i)
             .collect()
@@ -196,12 +203,7 @@ impl FeatureSchema {
 
     /// Rebuilds the name index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .defs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (d.name.clone(), i))
-            .collect();
+        self.index = self.defs.iter().enumerate().map(|(i, d)| (d.name.clone(), i)).collect();
         for def in &mut self.defs {
             def.vocab.rebuild_index();
         }
@@ -222,7 +224,12 @@ mod tests {
             ),
             FeatureDef::numeric("user_reports", FeatureSet::A, ServingMode::Servable),
             FeatureDef::numeric("share_velocity", FeatureSet::D, ServingMode::Nonservable),
-            FeatureDef::embedding("img_emb", 8, FeatureSet::ModalitySpecific, ServingMode::Servable),
+            FeatureDef::embedding(
+                "img_emb",
+                8,
+                FeatureSet::ModalitySpecific,
+                ServingMode::Servable,
+            ),
         ])
     }
 
@@ -259,15 +266,24 @@ mod tests {
     #[test]
     fn parse_ladder_maps_letters() {
         assert_eq!(
-            FeatureSet::parse_ladder("ABCD"),
+            FeatureSet::parse_ladder("ABCD").unwrap(),
             vec![FeatureSet::A, FeatureSet::B, FeatureSet::C, FeatureSet::D]
         );
-        assert_eq!(FeatureSet::parse_ladder("AB"), vec![FeatureSet::A, FeatureSet::B]);
+        assert_eq!(FeatureSet::parse_ladder("AB").unwrap(), vec![FeatureSet::A, FeatureSet::B]);
     }
 
     #[test]
-    #[should_panic(expected = "unknown feature set")]
     fn parse_ladder_rejects_unknown() {
-        FeatureSet::parse_ladder("AX");
+        let err = FeatureSet::parse_ladder("AX").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidConfig);
+        assert!(err.message.contains("'X'"), "unexpected message {:?}", err.message);
+    }
+
+    #[test]
+    fn def_is_none_out_of_range() {
+        let s = sample_schema();
+        assert_eq!(s.def(0).map(|d| d.name.as_str()), Some("topic"));
+        assert!(s.def(4).is_none());
+        assert!(s.def(usize::MAX).is_none());
     }
 }

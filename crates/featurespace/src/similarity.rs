@@ -40,7 +40,9 @@ impl SimilarityConfig {
         let schema = table.schema();
         self.numeric_scales.clear();
         for &col in &self.columns {
-            if schema.def(col).kind != FeatureKind::Numeric {
+            // Out-of-range columns are skipped here; `cm-check` validates
+            // column lists against the schema before execution.
+            if schema.def(col).map(|d| d.kind) != Some(FeatureKind::Numeric) {
                 continue;
             }
             let mut values = Vec::new();
@@ -60,10 +62,7 @@ impl SimilarityConfig {
     }
 
     fn scale_for(&self, col: usize) -> f64 {
-        self.numeric_scales
-            .iter()
-            .find(|(c, _)| *c == col)
-            .map_or(1.0, |(_, s)| *s)
+        self.numeric_scales.iter().find(|(c, _)| *c == col).map_or(1.0, |(_, s)| *s)
     }
 }
 
@@ -81,7 +80,12 @@ pub fn algorithm1_weight(
     debug_assert_eq!(ta.schema().len(), tb.schema().len(), "schema mismatch");
     let mut w = 0.0;
     for &col in columns {
-        match ta.schema().def(col).kind {
+        let Some(def) = ta.schema().def(col) else {
+            // Out-of-range columns are skipped; `cm-check` validates column
+            // lists against the schema before execution.
+            continue;
+        };
+        match def.kind {
             FeatureKind::Numeric => {
                 if let (Some(x), Some(y)) = (ta.numeric(ra, col), tb.numeric(rb, col)) {
                     w += (x - y).abs();
@@ -111,7 +115,10 @@ pub fn normalized_similarity(
     let mut total = 0.0;
     let mut count = 0usize;
     for &col in &config.columns {
-        match ta.schema().def(col).kind {
+        let Some(def) = ta.schema().def(col) else {
+            continue;
+        };
+        match def.kind {
             FeatureKind::Numeric => {
                 if let (Some(x), Some(y)) = (ta.numeric(ra, col), tb.numeric(rb, col)) {
                     let scale = config.scale_for(col);

@@ -43,11 +43,9 @@ impl Column {
     fn for_kind(kind: FeatureKind) -> Self {
         match kind {
             FeatureKind::Numeric => Column::Numeric { values: Vec::new(), present: Vec::new() },
-            FeatureKind::Categorical => Column::Categorical {
-                offsets: vec![0],
-                ids: Vec::new(),
-                present: Vec::new(),
-            },
+            FeatureKind::Categorical => {
+                Column::Categorical { offsets: vec![0], ids: Vec::new(), present: Vec::new() }
+            }
             FeatureKind::Embedding { dim } => {
                 Column::Embedding { dim, data: Vec::new(), present: Vec::new() }
             }
@@ -66,10 +64,13 @@ impl Column {
             }
             (Column::Categorical { offsets, ids, present }, FeatureValue::Categorical(set)) => {
                 ids.extend(set.iter());
+                // A u32 id stream overflows only past 4B stored ids.
+                // lint: allow(expect)
                 offsets.push(u32::try_from(ids.len()).expect("categorical column overflow"));
                 present.push(true);
             }
             (Column::Categorical { offsets, ids, present }, FeatureValue::Missing) => {
+                // lint: allow(expect)
                 offsets.push(u32::try_from(ids.len()).expect("categorical column overflow"));
                 present.push(false);
             }
@@ -87,6 +88,9 @@ impl Column {
                 data.extend(std::iter::repeat_n(0.0, *dim));
                 present.push(false);
             }
+            // Write-path contract: push_row's documented panic on a
+            // kind-mismatched value, same class as its row-length assert.
+            // lint: allow(panic)
             (col, val) => panic!(
                 "feature {feature_name:?}: value {val:?} does not match column kind {:?}",
                 std::mem::discriminant(col)
@@ -174,21 +178,18 @@ impl FeatureTable {
         }
     }
 
-    /// Numeric value at `(row, col)`, `None` if missing.
-    ///
-    /// # Panics
-    /// Panics if the column is not numeric.
+    /// Numeric value at `(row, col)`; `None` if missing or if the column
+    /// is not numeric (`cm-check` validates column kinds pre-execution).
     pub fn numeric(&self, row: usize, col: usize) -> Option<f64> {
         match &self.columns[col] {
             Column::Numeric { values, present } => present[row].then(|| values[row]),
-            _ => panic!("column {col} is not numeric"),
+            _ => None,
         }
     }
 
-    /// Sorted category ids at `(row, col)`, `None` if missing.
-    ///
-    /// # Panics
-    /// Panics if the column is not categorical.
+    /// Sorted category ids at `(row, col)`; `None` if missing or if the
+    /// column is not categorical (`cm-check` validates kinds
+    /// pre-execution).
     pub fn categorical(&self, row: usize, col: usize) -> Option<&[u32]> {
         match &self.columns[col] {
             Column::Categorical { offsets, ids, present } => present[row].then(|| {
@@ -196,33 +197,32 @@ impl FeatureTable {
                 let end = offsets[row + 1] as usize;
                 &ids[start..end]
             }),
-            _ => panic!("column {col} is not categorical"),
+            _ => None,
         }
     }
 
-    /// Embedding at `(row, col)`, `None` if missing.
-    ///
-    /// # Panics
-    /// Panics if the column is not an embedding.
+    /// Embedding at `(row, col)`; `None` if missing or if the column is
+    /// not an embedding (`cm-check` validates kinds pre-execution).
     pub fn embedding(&self, row: usize, col: usize) -> Option<&[f32]> {
         match &self.columns[col] {
             Column::Embedding { dim, data, present } => {
                 present[row].then(|| &data[row * dim..(row + 1) * dim])
             }
-            _ => panic!("column {col} is not an embedding"),
+            _ => None,
         }
     }
 
     /// Materializes the value at `(row, col)`.
     pub fn value(&self, row: usize, col: usize) -> FeatureValue {
         match &self.columns[col] {
-            Column::Numeric { .. } => self
-                .numeric(row, col)
-                .map_or(FeatureValue::Missing, FeatureValue::Numeric),
-            Column::Categorical { .. } => self.categorical(row, col).map_or(
-                FeatureValue::Missing,
-                |ids| FeatureValue::Categorical(CatSet::from_ids(ids.to_vec())),
-            ),
+            Column::Numeric { .. } => {
+                self.numeric(row, col).map_or(FeatureValue::Missing, FeatureValue::Numeric)
+            }
+            Column::Categorical { .. } => {
+                self.categorical(row, col).map_or(FeatureValue::Missing, |ids| {
+                    FeatureValue::Categorical(CatSet::from_ids(ids.to_vec()))
+                })
+            }
             Column::Embedding { .. } => self
                 .embedding(row, col)
                 .map_or(FeatureValue::Missing, |e| FeatureValue::Embedding(e.to_vec())),
@@ -256,11 +256,7 @@ impl FeatureTable {
     /// Panics if the schemas differ (pointer or length inequality is treated
     /// as a schema mismatch).
     pub fn extend_from(&mut self, other: &FeatureTable) {
-        assert_eq!(
-            self.schema.len(),
-            other.schema.len(),
-            "extend_from schema width mismatch"
-        );
+        assert_eq!(self.schema.len(), other.schema.len(), "extend_from schema width mismatch");
         self.reserve(other.len());
         for r in 0..other.len() {
             self.push_row(&other.row(r));

@@ -1,9 +1,7 @@
 //! Feature values and kinds.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a feature, fixed by the schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FeatureKind {
     /// A quantitative value (aggregate statistic, count, score).
     Numeric,
@@ -23,7 +21,7 @@ pub enum FeatureKind {
 /// Multivalent categorical features (14 of the paper's 15 services emit
 /// these) are stored as sorted `u32` sets so Jaccard similarity and itemset
 /// mining run over them with merge-style passes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct CatSet(Vec<u32>);
 
 impl CatSet {
@@ -120,7 +118,7 @@ impl FromIterator<u32> for CatSet {
 ///
 /// `Missing` is first-class: the modality gap means a service may not apply
 /// to a data point at all (e.g. word count for an image post).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FeatureValue {
     /// Quantitative value.
     Numeric(f64),

@@ -2,18 +2,15 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Interned category vocabulary for one categorical feature.
 ///
 /// The paper's services emit multivalent categorical features "with
 /// vocabularies of up to several thousand categories" (§6.2); dictionary
 /// encoding keeps the columnar store and itemset miner working over dense
 /// `u32` ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, u32>,
 }
 
@@ -46,6 +43,8 @@ impl Vocabulary {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
+        // Vocabularies are bounded by the registry; 4B names cannot occur.
+        // lint: allow(expect)
         let id = u32::try_from(self.names.len()).expect("vocabulary overflow");
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
@@ -75,12 +74,7 @@ impl Vocabulary {
     /// Rebuilds the reverse index (needed after deserialization, where the
     /// map is skipped).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), i as u32))
-            .collect();
+        self.index = self.names.iter().enumerate().map(|(i, n)| (n.clone(), i as u32)).collect();
     }
 
     /// Iterates `(id, name)` pairs in id order.

@@ -1,11 +1,13 @@
 //! Serialization round-trips for the schema layer (schemas are the contract
 //! between feature-generation jobs and training jobs; they must survive
-//! persistence).
+//! persistence). Encoding is the in-tree `cm-json` one; see
+//! `src/jsonio.rs`.
 
 use cm_featurespace::{
     CatSet, FeatureDef, FeatureKind, FeatureSchema, FeatureSet, FeatureValue, ServingMode,
     Vocabulary,
 };
+use cm_json::{Json, ToJson};
 
 fn sample_schema() -> FeatureSchema {
     FeatureSchema::from_defs(vec![
@@ -16,23 +18,27 @@ fn sample_schema() -> FeatureSchema {
             Vocabulary::from_names(["sports", "news", "pets"]),
         ),
         FeatureDef::numeric("user_reports", FeatureSet::D, ServingMode::Nonservable),
-        FeatureDef::embedding("img_embedding", 16, FeatureSet::ModalitySpecific, ServingMode::Servable),
+        FeatureDef::embedding(
+            "img_embedding",
+            16,
+            FeatureSet::ModalitySpecific,
+            ServingMode::Servable,
+        ),
     ])
 }
 
 #[test]
 fn schema_round_trips_through_json() {
     let schema = sample_schema();
-    let json = serde_json::to_string(&schema).expect("schema serializes");
-    let mut back: FeatureSchema = serde_json::from_str(&json).expect("schema deserializes");
-    // Lookup indices are skipped during serialization and must be rebuilt.
-    assert_eq!(back.column("topics"), None);
-    back.rebuild_index();
+    let json = schema.to_json().to_string_pretty();
+    let back = FeatureSchema::from_json(&Json::parse(&json).expect("schema reparses"))
+        .expect("schema decodes");
+    // Lookup indices are not persisted; decoding rebuilds them.
     assert_eq!(back.column("topics"), Some(0));
     assert_eq!(back.column("user_reports"), Some(1));
-    assert_eq!(back.def(0).vocab.get("news"), Some(1));
-    assert_eq!(back.def(1).serving, ServingMode::Nonservable);
-    assert_eq!(back.def(2).kind, FeatureKind::Embedding { dim: 16 });
+    assert_eq!(back.def(0).expect("col 0").vocab.get("news"), Some(1));
+    assert_eq!(back.def(1).expect("col 1").serving, ServingMode::Nonservable);
+    assert_eq!(back.def(2).expect("col 2").kind, FeatureKind::Embedding { dim: 16 });
     assert_eq!(back.len(), schema.len());
 }
 
@@ -44,19 +50,38 @@ fn feature_values_round_trip_through_json() {
         FeatureValue::Embedding(vec![0.5, -0.5]),
         FeatureValue::Missing,
     ];
-    let json = serde_json::to_string(&values).unwrap();
-    let back: Vec<FeatureValue> = serde_json::from_str(&json).unwrap();
+    let json = values.to_json().to_string_compact();
+    let parsed = Json::parse(&json).unwrap();
+    let back: Vec<FeatureValue> =
+        parsed.as_arr().unwrap().iter().map(|v| FeatureValue::from_json(v).unwrap()).collect();
     assert_eq!(values, back);
 }
 
 #[test]
-fn vocabulary_preserves_id_order_across_serde() {
+fn vocabulary_preserves_id_order_across_json() {
     let v = Vocabulary::from_names(["z", "a", "m"]);
-    let json = serde_json::to_string(&v).unwrap();
-    let mut back: Vocabulary = serde_json::from_str(&json).unwrap();
-    back.rebuild_index();
+    let json = v.to_json().to_string_compact();
+    let back = Vocabulary::from_json(&Json::parse(&json).unwrap()).unwrap();
     // Ids are positional, not alphabetical.
     assert_eq!(back.get("z"), Some(0));
     assert_eq!(back.get("a"), Some(1));
     assert_eq!(back.name(2), Some("m"));
+}
+
+#[test]
+fn corrupt_documents_decode_to_errors_not_panics() {
+    for text in [
+        "{}",
+        r#"{"defs": 3}"#,
+        r#"{"defs": [{"name": "x"}]}"#,
+        // Duplicate feature names must be a decode error, not a panic.
+        r#"{"defs": [
+            {"name": "x", "kind": "Numeric", "set": "A", "serving": "Servable", "vocab": []},
+            {"name": "x", "kind": "Numeric", "set": "A", "serving": "Servable", "vocab": []}
+        ]}"#,
+    ] {
+        let parsed = Json::parse(text).unwrap();
+        assert!(FeatureSchema::from_json(&parsed).is_err(), "accepted corrupt doc {text}");
+    }
+    assert!(Vocabulary::from_json(&Json::parse(r#"["x", "x"]"#).unwrap()).is_err());
 }

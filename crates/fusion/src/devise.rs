@@ -62,10 +62,7 @@ impl DeViseModel {
     pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert_eq!(x.cols(), self.input_dim, "feature width mismatch");
         let projected = self.projection.project(&self.model_b.embed(x));
-        projected
-            .rows_iter()
-            .map(|row| f64::from(sigmoid(self.model_a.head_logit(row))))
-            .collect()
+        projected.rows_iter().map(|row| f64::from(sigmoid(self.model_a.head_logit(row)))).collect()
     }
 
     /// The frozen old-modality model.
@@ -96,8 +93,7 @@ mod tests {
 
         let devise = DeViseModel::train(&old, &new, &kind, &cfg);
         let ap_devise = auprc(&devise.predict_proba(&xt), &pos);
-        let early =
-            crate::EarlyFusionModel::train(&[old.clone(), new.clone()], &kind, &cfg, None);
+        let early = crate::EarlyFusionModel::train(&[old.clone(), new.clone()], &kind, &cfg, None);
         let ap_early = auprc(&early.predict_proba(&xt), &pos);
 
         assert!(ap_devise > 0.35, "DeViSE must still learn: {ap_devise}");

@@ -57,10 +57,7 @@ mod tests {
         let ap_old = auprc(&old_only.predict_proba(&xt), &pos);
         // Test rows are new-modality; the old-only model never saw the
         // new modality's specific feature and should do worse.
-        assert!(
-            ap_both > ap_old,
-            "early fusion {ap_both} should beat old-only {ap_old}"
-        );
+        assert!(ap_both > ap_old, "early fusion {ap_both} should beat old-only {ap_old}");
         assert!(ap_both > 0.6, "combined AUPRC too low: {ap_both}");
     }
 

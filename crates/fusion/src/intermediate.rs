@@ -39,7 +39,8 @@ impl IntermediateFusionModel {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let cfg = TrainConfig { seed: config.seed.wrapping_add(i as u64), ..config.clone() };
+                let cfg =
+                    TrainConfig { seed: config.seed.wrapping_add(i as u64), ..config.clone() };
                 train_model(kind, &p.x, &p.targets, &cfg, None)
             })
             .collect();

@@ -84,9 +84,12 @@ pub(crate) mod testutil {
     /// cols 0-1 shared signal, col 2 modality-A-specific, col 3
     /// modality-B-specific, cols 4-5 noise. Returns (old, new, test_x,
     /// test_y); the new modality's targets are noisy (weak labels).
-    pub fn two_modality_task(n: usize, seed: u64) -> (ModalityData, ModalityData, Matrix, Vec<f64>) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+    pub fn two_modality_task(
+        n: usize,
+        seed: u64,
+    ) -> (ModalityData, ModalityData, Matrix, Vec<f64>) {
+        use cm_linalg::rng::Rng;
+        use cm_linalg::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gen = |modality: u8, n: usize, noisy: bool| {
             let mut rows = Vec::with_capacity(n);
@@ -144,10 +147,8 @@ mod tests {
     #[test]
     fn concat_stacks_rows_in_order() {
         let a = ModalityData::new(Matrix::from_rows(&[vec![1.0, 2.0]]), vec![1.0]);
-        let b = ModalityData::new(
-            Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]),
-            vec![0.0, 1.0],
-        );
+        let b =
+            ModalityData::new(Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]), vec![0.0, 1.0]);
         let (x, y) = concat_parts(&[a, b]);
         assert_eq!(x.rows(), 3);
         assert_eq!(x.row(0), &[1.0, 2.0]);

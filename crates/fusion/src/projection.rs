@@ -1,10 +1,9 @@
 //! Linear projection between embedding spaces (the "P" layer of DeViSE).
 
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 use cm_linalg::{xavier_uniform, Matrix};
 use cm_models::{Adam, Optimizer};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// A linear map `y = W x + b` trained by mini-batch MSE regression.
 #[derive(Debug, Clone)]
@@ -131,7 +130,8 @@ mod tests {
     #[test]
     fn recovers_linear_map() {
         let (src, dst) = linear_data(300);
-        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig::default());
+        let cfg = ProjectionConfig { epochs: 120, ..ProjectionConfig::default() };
+        let p = LinearProjection::fit(&src, &dst, &cfg);
         let mse = p.mse(&src, &dst);
         assert!(mse < 5e-3, "mse = {mse}");
     }
@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn project_shape() {
         let (src, dst) = linear_data(50);
-        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig { epochs: 2, ..Default::default() });
+        let p = LinearProjection::fit(
+            &src,
+            &dst,
+            &ProjectionConfig { epochs: 2, ..Default::default() },
+        );
         assert_eq!(p.project(&src).shape(), (50, 3));
     }
 
@@ -163,7 +167,11 @@ mod tests {
     #[should_panic(expected = "projection width mismatch")]
     fn project_rejects_wrong_width() {
         let (src, dst) = linear_data(10);
-        let p = LinearProjection::fit(&src, &dst, &ProjectionConfig { epochs: 1, ..Default::default() });
+        let p = LinearProjection::fit(
+            &src,
+            &dst,
+            &ProjectionConfig { epochs: 1, ..Default::default() },
+        );
         p.project(&Matrix::zeros(1, 5));
     }
 }

@@ -49,10 +49,7 @@ pub fn reweighted_early_fusion(
     validation: (&Matrix, &[bool]),
 ) -> ReweightedModel {
     assert!(!alphas.is_empty(), "need at least one alpha candidate");
-    assert!(
-        alphas.iter().all(|a| (0.0..=1.0).contains(a)),
-        "alpha must be in [0, 1]"
-    );
+    assert!(alphas.iter().all(|a| (0.0..=1.0).contains(a)), "alpha must be in [0, 1]");
     let (vx, vy) = validation;
     assert!(vy.iter().any(|&p| p), "validation slice has no positives");
     let (x, targets) = concat_parts(&[old.clone(), new.clone()]);
@@ -65,9 +62,8 @@ pub fn reweighted_early_fusion(
         // between the modalities), keeping the learning rate comparable.
         let w_old = 2.0 * alpha;
         let w_new = 2.0 * (1.0 - alpha);
-        let weights: Vec<f64> = (0..x.rows())
-            .map(|r| if r < n_old { w_old } else { w_new })
-            .collect();
+        let weights: Vec<f64> =
+            (0..x.rows()).map(|r| if r < n_old { w_old } else { w_new }).collect();
         let model = train_model_with_weights(kind, &x, &targets, Some(&weights), config, None);
         let auprc = cm_eval::auprc(&model.predict_proba(vx), vy);
         sweep.push((alpha, auprc));
@@ -76,6 +72,7 @@ pub fn reweighted_early_fusion(
             best = Some((auprc, alpha, model));
         }
     }
+    // lint: allow(expect) — the assert above guarantees a winner exists
     let (_, alpha, model) = best.expect("alphas is nonempty");
     ReweightedModel { model, alpha, sweep }
 }
@@ -101,11 +98,8 @@ mod tests {
             (&xt, &pos),
         );
         assert_eq!(out.sweep.len(), 3);
-        let best_in_sweep = out
-            .sweep
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, |acc, (_, a)| acc.max(a));
+        let best_in_sweep =
+            out.sweep.iter().cloned().fold(f64::NEG_INFINITY, |acc, (_, a)| acc.max(a));
         let winner = out.sweep.iter().find(|(a, _)| *a == out.alpha).unwrap();
         assert_eq!(winner.1, best_in_sweep);
     }

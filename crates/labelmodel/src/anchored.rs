@@ -131,9 +131,8 @@ impl AnchoredModel {
                 neg_given_neg: smooth(counts[0][0], n_neg),
             });
         }
-        let prior = class_prior
-            .unwrap_or(n_pos as f64 / labels.len() as f64)
-            .clamp(1e-4, 1.0 - 1e-4);
+        let prior =
+            class_prior.unwrap_or(n_pos as f64 / labels.len() as f64).clamp(1e-4, 1.0 - 1e-4);
         Self { rates, class_prior: prior }
     }
 
@@ -200,10 +199,7 @@ mod tests {
             votes.push(if i % 10 < 6 { -1 } else { 0 });
             labels.push(Label::Negative);
         }
-        (
-            LabelMatrix::from_votes(n_pos + n_neg, 2, votes, vec!["p".into(), "n".into()]),
-            labels,
-        )
+        (LabelMatrix::from_votes(n_pos + n_neg, 2, votes, vec!["p".into(), "n".into()]), labels)
     }
 
     #[test]
@@ -222,12 +218,8 @@ mod tests {
         // high-precision LF firing must push the posterior above 0.5.
         let (m, labels) = dev_fixture(200, 4800);
         let model = AnchoredModel::fit(&m, &labels, None);
-        let target = LabelMatrix::from_votes(
-            3,
-            2,
-            vec![1, 0, 0, -1, 0, 0],
-            vec!["p".into(), "n".into()],
-        );
+        let target =
+            LabelMatrix::from_votes(3, 2, vec![1, 0, 0, -1, 0, 0], vec!["p".into(), "n".into()]);
         let probs = model.predict(&target);
         assert!(probs[0] > 0.5, "positive vote posterior {}", probs[0]);
         assert!(probs[1] < model.class_prior(), "negative vote must lower the prior");
@@ -240,12 +232,7 @@ mod tests {
     fn agreeing_lfs_compound() {
         let (m, labels) = dev_fixture(100, 900);
         let model = AnchoredModel::fit(&m, &labels, None);
-        let target = LabelMatrix::from_votes(
-            2,
-            2,
-            vec![1, 0, 1, -1],
-            vec!["p".into(), "n".into()],
-        );
+        let target = LabelMatrix::from_votes(2, 2, vec![1, 0, 1, -1], vec!["p".into(), "n".into()]);
         let probs = model.predict(&target);
         // A contradicting negative vote must lower the posterior.
         assert!(probs[0] > probs[1]);

@@ -98,11 +98,8 @@ pub fn evaluate_lfs(
         });
     }
 
-    let pooled_tp = labels
-        .iter()
-        .enumerate()
-        .filter(|(r, l)| pooled_pos[*r] && l.is_positive())
-        .count();
+    let pooled_tp =
+        labels.iter().enumerate().filter(|(r, l)| pooled_pos[*r] && l.is_positive()).count();
     let pooled_pred = pooled_pos.iter().filter(|&&p| p).count();
     let precision = if pooled_pred > 0 { pooled_tp as f64 / pooled_pred as f64 } else { 0.0 };
     let recall = if total_pos > 0 { pooled_tp as f64 / total_pos as f64 } else { 0.0 };
@@ -202,10 +199,8 @@ mod tests {
     #[test]
     fn pooled_metrics_combine_lfs() {
         let (t, labels) = dev();
-        let lfs: Vec<Box<dyn LabelingFunction>> = vec![
-            lf0(),
-            Box::new(CategoricalContainsLf::new(0, vec![1], false, Vote::Positive)),
-        ];
+        let lfs: Vec<Box<dyn LabelingFunction>> =
+            vec![lf0(), Box::new(CategoricalContainsLf::new(0, vec![1], false, Vote::Positive))];
         let summary = evaluate_lfs(&t, &labels, &lfs);
         // Pooled positives: rows 0-4 (all 5 TP) + row 5 (FP).
         assert!((summary.pooled_precision - 5.0 / 6.0).abs() < 1e-12);
@@ -218,7 +213,7 @@ mod tests {
     fn filter_drops_low_precision_lfs() {
         let (t, labels) = dev();
         let lfs: Vec<Box<dyn LabelingFunction>> = vec![
-            lf0(), // precision 0.75
+            lf0(),                                                                   // precision 0.75
             Box::new(CategoricalContainsLf::new(0, vec![2], false, Vote::Positive)), // precision 1/6
         ];
         let kept = filter_lfs(&t, &labels, lfs, 0.7, 0.05);

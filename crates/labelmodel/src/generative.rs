@@ -186,8 +186,8 @@ pub fn majority_vote(matrix: &LabelMatrix) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cm_linalg::rng::Rng;
+    use cm_linalg::rng::StdRng;
 
     use super::*;
 
@@ -288,12 +288,8 @@ mod tests {
 
     #[test]
     fn majority_vote_ties_and_empty() {
-        let m = LabelMatrix::from_votes(
-            3,
-            2,
-            vec![1, -1, 1, 0, 0, 0],
-            vec!["a".into(), "b".into()],
-        );
+        let m =
+            LabelMatrix::from_votes(3, 2, vec![1, -1, 1, 0, 0, 0], vec!["a".into(), "b".into()]);
         let mv = majority_vote(&m);
         assert_eq!(mv, vec![0.5, 1.0, 0.5]);
     }

@@ -39,6 +39,9 @@ impl Vote {
             1 => Vote::Positive,
             -1 => Vote::Negative,
             0 => Vote::Abstain,
+            // Encodings come from Vote::as_i8; cm-check validates any
+            // externally built matrix before use.
+            // lint: allow(panic)
             other => panic!("invalid vote encoding {other}"),
         }
     }
@@ -129,7 +132,12 @@ pub struct NumericThresholdLf {
 
 impl NumericThresholdLf {
     /// Creates the LF with a generated name.
-    pub fn new(column: usize, threshold: f64, direction: ThresholdDirection, on_match: Vote) -> Self {
+    pub fn new(
+        column: usize,
+        threshold: f64,
+        direction: ThresholdDirection,
+        on_match: Vote,
+    ) -> Self {
         let op = match direction {
             ThresholdDirection::Above => ">=",
             ThresholdDirection::Below => "<=",
@@ -189,9 +197,9 @@ pub enum Predicate {
 impl Predicate {
     fn holds(&self, table: &FeatureTable, row: usize) -> Option<bool> {
         match *self {
-            Predicate::CatContains { column, id } => table
-                .categorical(row, column)
-                .map(|ids| ids.binary_search(&id).is_ok()),
+            Predicate::CatContains { column, id } => {
+                table.categorical(row, column).map(|ids| ids.binary_search(&id).is_ok())
+            }
             Predicate::NumAbove { column, threshold } => {
                 table.numeric(row, column).map(|v| v >= threshold)
             }
@@ -318,10 +326,7 @@ mod tests {
             FeatureValue::Categorical(CatSet::from_ids(vec![0, 2])),
             FeatureValue::Numeric(5.0),
         ]);
-        t.push_row(&[
-            FeatureValue::Categorical(CatSet::single(3)),
-            FeatureValue::Numeric(1.0),
-        ]);
+        t.push_row(&[FeatureValue::Categorical(CatSet::single(3)), FeatureValue::Numeric(1.0)]);
         t.push_row(&[FeatureValue::Missing, FeatureValue::Missing]);
         t
     }

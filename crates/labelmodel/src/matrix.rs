@@ -37,18 +37,17 @@ impl LabelMatrix {
                 .unwrap_or(4)
                 .min(8);
             let chunk_rows = n_rows.div_ceil(n_threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (i, chunk) in votes.chunks_mut(chunk_rows * n_lfs).enumerate() {
                     let start = i * chunk_rows;
                     let end = (start + chunk.len() / n_lfs).min(n_rows);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = vec![0i8; chunk.len()];
                         fill_votes_into(table, lfs, &mut local, start, end);
                         chunk.copy_from_slice(&local);
                     });
                 }
-            })
-            .expect("LF application worker panicked");
+            });
         }
         Self { n_rows, n_lfs, votes, names }
     }
@@ -60,10 +59,7 @@ impl LabelMatrix {
     pub fn from_votes(n_rows: usize, n_lfs: usize, votes: Vec<i8>, names: Vec<String>) -> Self {
         assert_eq!(votes.len(), n_rows * n_lfs, "vote matrix shape mismatch");
         assert_eq!(names.len(), n_lfs, "LF name count mismatch");
-        assert!(
-            votes.iter().all(|v| (-1..=1).contains(v)),
-            "votes must be in {{-1, 0, 1}}"
-        );
+        assert!(votes.iter().all(|v| (-1..=1).contains(v)), "votes must be in {{-1, 0, 1}}");
         Self { n_rows, n_lfs, votes, names }
     }
 
@@ -99,9 +95,7 @@ impl LabelMatrix {
         if self.n_rows == 0 {
             return 0.0;
         }
-        let covered = (0..self.n_rows)
-            .filter(|&r| self.row(r).iter().any(|&v| v != 0))
-            .count();
+        let covered = (0..self.n_rows).filter(|&r| self.row(r).iter().any(|&v| v != 0)).count();
         covered as f64 / self.n_rows as f64
     }
 
@@ -141,9 +135,7 @@ impl LabelMatrix {
 
     /// Rows labeled by at least one LF (the trainable subset).
     pub fn covered_rows(&self) -> Vec<usize> {
-        (0..self.n_rows)
-            .filter(|&r| self.row(r).iter().any(|&v| v != 0))
-            .collect()
+        (0..self.n_rows).filter(|&r| self.row(r).iter().any(|&v| v != 0)).collect()
     }
 }
 
@@ -235,12 +227,7 @@ mod tests {
 
     #[test]
     fn conflict_detected() {
-        let m = LabelMatrix::from_votes(
-            2,
-            2,
-            vec![1, -1, 0, 0],
-            vec!["a".into(), "b".into()],
-        );
+        let m = LabelMatrix::from_votes(2, 2, vec![1, -1, 0, 0], vec!["a".into(), "b".into()]);
         assert_eq!(m.conflict(), 0.5);
         assert_eq!(m.overlap(), 0.5);
         assert_eq!(m.coverage(), 0.5);

@@ -1,56 +1,54 @@
-//! Property-based tests for the label models.
+//! Randomized tests for the label models (seeded, in-tree PRNG).
 
 use cm_featurespace::Label;
 use cm_labelmodel::{majority_vote, AnchoredModel, LabelMatrix};
-use proptest::prelude::*;
+use cm_linalg::rng::{Rng, StdRng};
 
-/// A dev matrix with guaranteed class balance plus arbitrary votes.
-fn dev_matrix() -> impl Strategy<Value = (LabelMatrix, Vec<Label>)> {
-    (2usize..5, 8usize..40).prop_flat_map(|(n_lfs, n_rows)| {
-        let votes = prop::collection::vec(
-            prop::sample::select(vec![-1i8, 0, 1]),
-            n_rows * n_lfs,
-        );
-        let labels = prop::collection::vec(any::<bool>(), n_rows);
-        (Just(n_lfs), votes, labels)
-    })
-    .prop_map(|(n_lfs, votes, mut label_bits)| {
-        // Force both classes to be present.
-        label_bits[0] = true;
-        let last = label_bits.len() - 1;
-        label_bits[last] = false;
-        let n_rows = label_bits.len();
-        let names = (0..n_lfs).map(|i| format!("lf{i}")).collect();
-        let m = LabelMatrix::from_votes(n_rows, n_lfs, votes[..n_rows * n_lfs].to_vec(), names);
-        let labels = label_bits
-            .into_iter()
-            .map(|b| if b { Label::Positive } else { Label::Negative })
-            .collect();
-        (m, labels)
-    })
+const CASES: u64 = 64;
+
+/// A dev matrix with guaranteed class balance plus random votes.
+fn dev_matrix(rng: &mut StdRng) -> (LabelMatrix, Vec<Label>) {
+    let n_lfs = rng.gen_range(2..5usize);
+    let n_rows = rng.gen_range(8..40usize);
+    let votes: Vec<i8> =
+        (0..n_rows * n_lfs).map(|_| [-1i8, 0, 1][rng.gen_range(0..3usize)]).collect();
+    let mut label_bits: Vec<bool> = (0..n_rows).map(|_| rng.gen_bool(0.5)).collect();
+    // Force both classes to be present.
+    label_bits[0] = true;
+    let last = label_bits.len() - 1;
+    label_bits[last] = false;
+    let names = (0..n_lfs).map(|i| format!("lf{i}")).collect();
+    let m = LabelMatrix::from_votes(n_rows, n_lfs, votes, names);
+    let labels =
+        label_bits.into_iter().map(|b| if b { Label::Positive } else { Label::Negative }).collect();
+    (m, labels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Anchored posteriors are valid probabilities for any vote pattern.
-    #[test]
-    fn anchored_posteriors_are_probabilities((m, labels) in dev_matrix()) {
+/// Anchored posteriors are valid probabilities for any vote pattern.
+#[test]
+fn anchored_posteriors_are_probabilities() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA2C ^ case);
+        let (m, labels) = dev_matrix(&mut rng);
         let model = AnchoredModel::fit(&m, &labels, None);
         for p in model.predict(&m) {
-            prop_assert!((0.0..=1.0).contains(&p) && !p.is_nan());
+            assert!((0.0..=1.0).contains(&p) && !p.is_nan(), "case {case}");
         }
         for r in model.rates() {
-            prop_assert!(r.pos_given_pos > 0.0 && r.pos_given_pos < 1.0);
-            prop_assert!(r.pos_given_pos + r.neg_given_pos <= 1.0 + 1e-9);
-            prop_assert!(r.pos_given_neg + r.neg_given_neg <= 1.0 + 1e-9);
+            assert!(r.pos_given_pos > 0.0 && r.pos_given_pos < 1.0, "case {case}");
+            assert!(r.pos_given_pos + r.neg_given_pos <= 1.0 + 1e-9, "case {case}");
+            assert!(r.pos_given_neg + r.neg_given_neg <= 1.0 + 1e-9, "case {case}");
         }
     }
+}
 
-    /// Monotonicity: flipping one abstain to a positive vote from an LF
-    /// that is positively aligned on dev never lowers the posterior.
-    #[test]
-    fn positive_evidence_is_monotone((m, labels) in dev_matrix()) {
+/// Monotonicity: flipping one abstain to a positive vote from an LF
+/// that is positively aligned on dev never lowers the posterior.
+#[test]
+fn positive_evidence_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x900 ^ case);
+        let (m, labels) = dev_matrix(&mut rng);
         let model = AnchoredModel::fit(&m, &labels, None);
         // Find an LF whose positive vote carries more positive evidence
         // than its abstain does: the likelihood ratio of the vote must
@@ -67,8 +65,9 @@ proptest! {
             })
             .map(|(j, _)| j)
             .collect();
-        prop_assume!(!aligned.is_empty());
-        let j = aligned[0];
+        let Some(&j) = aligned.first() else {
+            continue; // analogue of prop_assume!: skip unusable draws
+        };
         // Build two one-row matrices: all abstain vs positive vote at j.
         let n_lfs = m.n_lfs();
         let names: Vec<String> = m.names().to_vec();
@@ -78,16 +77,20 @@ proptest! {
         let boosted = LabelMatrix::from_votes(1, n_lfs, votes, names);
         let p_base = model.predict(&base)[0];
         let p_boost = model.predict(&boosted)[0];
-        prop_assert!(
+        assert!(
             p_boost >= p_base - 1e-12,
-            "aligned positive vote lowered posterior: {p_base} -> {p_boost}"
+            "case {case}: aligned positive vote lowered posterior: {p_base} -> {p_boost}"
         );
     }
+}
 
-    /// Majority vote only emits {0, 0.5, 1} and matches the sign of the
-    /// vote sum.
-    #[test]
-    fn majority_vote_is_sign_of_sum((m, _labels) in dev_matrix()) {
+/// Majority vote only emits {0, 0.5, 1} and matches the sign of the
+/// vote sum.
+#[test]
+fn majority_vote_is_sign_of_sum() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5160 ^ case);
+        let (m, _labels) = dev_matrix(&mut rng);
         let mv = majority_vote(&m);
         for (r, &value) in mv.iter().enumerate() {
             let sum: i32 = m.row(r).iter().map(|&v| i32::from(v)).sum();
@@ -96,13 +99,17 @@ proptest! {
                 -1 => 0.0,
                 _ => 0.5,
             };
-            prop_assert_eq!(value, expected);
+            assert_eq!(value, expected, "case {case}");
         }
     }
+}
 
-    /// Fitting is invariant to row order of the dev set.
-    #[test]
-    fn anchored_fit_is_row_order_invariant((m, labels) in dev_matrix()) {
+/// Fitting is invariant to row order of the dev set.
+#[test]
+fn anchored_fit_is_row_order_invariant() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0238 ^ case);
+        let (m, labels) = dev_matrix(&mut rng);
         let model = AnchoredModel::fit(&m, &labels, None);
         // Reverse the rows.
         let n = m.n_rows();
@@ -115,8 +122,8 @@ proptest! {
         let rev_labels: Vec<Label> = labels.iter().rev().copied().collect();
         let model_rev = AnchoredModel::fit(&reversed, &rev_labels, None);
         for (a, b) in model.rates().iter().zip(model_rev.rates()) {
-            prop_assert!((a.pos_given_pos - b.pos_given_pos).abs() < 1e-12);
-            prop_assert!((a.neg_given_neg - b.neg_given_neg).abs() < 1e-12);
+            assert!((a.pos_given_pos - b.pos_given_pos).abs() < 1e-12, "case {case}");
+            assert!((a.neg_given_neg - b.neg_given_neg).abs() < 1e-12, "case {case}");
         }
     }
 }

@@ -1,16 +1,13 @@
 //! Seeded parameter initializers.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::Rng;
-
+use crate::rng::Rng;
 use crate::Matrix;
 
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suitable for sigmoid/tanh layers.
 pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
     let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
-    let dist = Uniform::new_inclusive(-a, a);
-    Matrix::from_fn(fan_out, fan_in, |_, _| dist.sample(rng))
+    Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-a..=a))
 }
 
 /// He normal initialization: `N(0, sqrt(2 / fan_in))`. Suitable for ReLU
@@ -32,8 +29,7 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn xavier_respects_bound() {
@@ -50,8 +46,7 @@ mod tests {
         let m = he_normal(&mut rng, 400, 100);
         let n = m.as_slice().len() as f64;
         let mean: f64 = m.as_slice().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-        let var: f64 =
-            m.as_slice().iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
         let expected = 2.0 / 400.0;
         assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
         assert!((var - expected).abs() < expected * 0.2, "var {var} vs expected {expected}");

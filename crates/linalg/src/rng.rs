@@ -1,0 +1,297 @@
+//! In-tree pseudo-random number generation.
+//!
+//! The workspace builds hermetically (no crates-io access), so instead of
+//! the `rand` crate this module provides a small, deterministic generator
+//! with the same seeding discipline the repository has always used:
+//! `StdRng::seed_from_u64(seed)`. Benchmarks stay comparable across PRs
+//! because every stream is a pure function of its `u64` seed.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64, the standard recipe for expanding a 64-bit seed into a
+//! 256-bit state without correlated lanes.
+
+/// Uniform random source. Implemented by [`StdRng`]; generic code should
+/// take `&mut impl Rng`.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample: `f64`/`f32` in `[0, 1)`, or a full-width integer.
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from a range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(-1.0..=1.0)`.
+    ///
+    /// Integer ranges use Lemire-style rejection so the result is unbiased;
+    /// empty ranges return the start bound.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types that can be drawn uniformly from an [`Rng`]: floats in `[0, 1)`,
+/// integers over their full width.
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform sample can be drawn from.
+pub trait UniformRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased integer in `[0, bound)` via Lemire's multiply-shift rejection;
+/// returns 0 when `bound == 0`.
+fn bounded_u64<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+        // Rejected sample in the biased zone: redraw.
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                if self.start >= self.end {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if start >= end {
+                    return start;
+                }
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return (start as i128 + rng.next_u64() as i128) as $t;
+                }
+                (start as i128 + bounded_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                self.start + rng.gen::<$t>() * (self.end - self.start)
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + rng.gen::<$t>() * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f64, f32);
+
+/// In-place uniform shuffling of slices (Fisher–Yates).
+pub trait SliceRandom {
+    /// Shuffles the slice in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = bounded_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// The workspace's standard deterministic generator: xoshiro256++ seeded
+/// via SplitMix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Expands a 64-bit seed into the full generator state (SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for &mut StdRng {
+    fn next_u64(&mut self) -> u64 {
+        StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&b));
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+        }
+        assert_eq!(rng.gen_range(5usize..5), 5);
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

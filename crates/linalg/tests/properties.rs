@@ -1,15 +1,17 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Randomized tests for the linear-algebra kernels (seeded, in-tree PRNG).
 
+use cm_linalg::rng::{Rng, StdRng};
 use cm_linalg::{dot, softmax_in_place, Matrix};
-use proptest::prelude::*;
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+const CASES: u64 = 48;
+
+fn matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
-fn vector(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-10.0f32..10.0, len)
+fn vector(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect()
 }
 
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
@@ -19,20 +21,28 @@ fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// (A B) C == A (B C) within float tolerance.
-    #[test]
-    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 5), c in matrix(5, 2)) {
+/// (A B) C == A (B C) within float tolerance.
+#[test]
+fn matmul_is_associative() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA550C ^ case);
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 5);
+        let c = matrix(&mut rng, 5, 2);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         assert_close(&left, &right, 1e-2);
     }
+}
 
-    /// A (B + C) == A B + A C.
-    #[test]
-    fn matmul_distributes(a in matrix(3, 4), b in matrix(4, 3), c in matrix(4, 3)) {
+/// A (B + C) == A B + A C.
+#[test]
+fn matmul_distributes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD157 ^ case);
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 3);
+        let c = matrix(&mut rng, 4, 3);
         let mut sum = b.clone();
         sum.add_assign(&c);
         let left = a.matmul(&sum);
@@ -40,53 +50,77 @@ proptest! {
         right.add_assign(&a.matmul(&c));
         assert_close(&left, &right, 1e-3);
     }
+}
 
-    /// (A B)^T == B^T A^T.
-    #[test]
-    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+/// (A B)^T == B^T A^T.
+#[test]
+fn transpose_reverses_products() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7123 ^ case);
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 2);
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
         assert_close(&left, &right, 1e-4);
     }
+}
 
-    /// matvec agrees with matmul against a column matrix.
-    #[test]
-    fn matvec_matches_matmul(a in matrix(4, 3), x in vector(3)) {
+/// matvec agrees with matmul against a column matrix.
+#[test]
+fn matvec_matches_matmul() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3A7 ^ case);
+        let a = matrix(&mut rng, 4, 3);
+        let x = vector(&mut rng, 3);
         let via_vec = a.matvec(&x);
         let col = Matrix::from_vec(3, 1, x);
         let via_mat = a.matmul(&col);
         for (i, v) in via_vec.iter().enumerate() {
-            prop_assert!((v - via_mat[(i, 0)]).abs() < 1e-4);
+            assert!((v - via_mat[(i, 0)]).abs() < 1e-4);
         }
     }
+}
 
-    /// dot is symmetric and |dot| obeys Cauchy-Schwarz.
-    #[test]
-    fn dot_axioms(x in vector(6), y in vector(6)) {
+/// dot is symmetric and |dot| obeys Cauchy-Schwarz.
+#[test]
+fn dot_axioms() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD07 ^ case);
+        let x = vector(&mut rng, 6);
+        let y = vector(&mut rng, 6);
         let xy = dot(&x, &y);
         let yx = dot(&y, &x);
-        prop_assert!((xy - yx).abs() < 1e-4);
+        assert!((xy - yx).abs() < 1e-4);
         let bound = cm_linalg::l2_norm(&x) * cm_linalg::l2_norm(&y);
-        prop_assert!(xy.abs() <= bound * (1.0 + 1e-4) + 1e-5);
+        assert!(xy.abs() <= bound * (1.0 + 1e-4) + 1e-5);
     }
+}
 
-    /// softmax outputs a probability vector and preserves argmax.
-    #[test]
-    fn softmax_is_a_distribution(mut x in vector(5)) {
+/// softmax outputs a probability vector and preserves argmax.
+#[test]
+fn softmax_is_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x50F ^ case);
+        let mut x = vector(&mut rng, 5);
         let argmax_before = cm_linalg::argmax(&x);
         softmax_in_place(&mut x);
         let sum: f32 = x.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        prop_assert_eq!(cm_linalg::argmax(&x), argmax_before);
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(cm_linalg::argmax(&x), argmax_before);
     }
+}
 
-    /// Frobenius norm is zero iff the matrix is zero; scaling scales it.
-    #[test]
-    fn frobenius_scaling(a in matrix(3, 3), s in -4.0f32..4.0) {
+/// Frobenius norm is zero iff the matrix is zero; scaling scales it.
+#[test]
+fn frobenius_scaling() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF20 ^ case);
+        let a = matrix(&mut rng, 3, 3);
+        let s = rng.gen_range(-4.0f32..4.0);
         let n = a.frobenius_norm();
         let mut b = a.clone();
         b.scale(s);
-        prop_assert!((b.frobenius_norm() - s.abs() * n).abs() < 1e-2 * (1.0 + n));
+        assert!((b.frobenius_norm() - s.abs() * n).abs() < 1e-2 * (1.0 + n));
     }
 }

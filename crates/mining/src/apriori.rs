@@ -103,7 +103,7 @@ pub fn mine_itemsets(
     let schema = table.schema();
     let discretizers: Vec<Discretizer> = columns
         .iter()
-        .filter(|&&c| schema.def(c).kind == FeatureKind::Numeric)
+        .filter(|&&c| schema.def(c).map(|d| d.kind) == Some(FeatureKind::Numeric))
         .filter_map(|&c| Discretizer::fit(table, c, config.numeric_bins))
         .collect();
 
@@ -124,11 +124,8 @@ pub fn mine_itemsets(
 
     // Keep candidates that could still clear the recall bar.
     let min_pos_support = ((config.min_recall * n_pos as f64).ceil() as usize).max(1);
-    let candidates: Vec<Item> = pos_counts
-        .iter()
-        .filter(|(_, &c)| c >= min_pos_support)
-        .map(|(&i, _)| i)
-        .collect();
+    let candidates: Vec<Item> =
+        pos_counts.iter().filter(|(_, &c)| c >= min_pos_support).map(|(&i, _)| i).collect();
 
     // Pass 2: count those candidates over negative rows.
     let mut neg_counts: HashMap<Item, usize> = candidates.iter().map(|&i| (i, 0)).collect();
@@ -180,7 +177,7 @@ pub fn mine_itemsets(
         let mut seen: HashMap<Vec<Item>, ()> = HashMap::new();
         for base in &frontier {
             let col = base[0].column;
-            let last = *base.last().expect("nonempty itemset");
+            let Some(&last) = base.last() else { continue };
             for &item in candidates.iter().filter(|i| i.column == col && **i > last) {
                 let mut joined = base.clone();
                 joined.push(item);
@@ -260,17 +257,23 @@ fn row_items<'a>(
     columns.iter().flat_map(move |&col| {
         let schema = table.schema();
         let mut out: Vec<Item> = Vec::new();
-        match schema.def(col).kind {
+        let Some(def) = schema.def(col) else {
+            // Out-of-range columns contribute no items; `cm-check` validates
+            // column lists before execution.
+            return out.into_iter();
+        };
+        match def.kind {
             FeatureKind::Categorical => {
                 if let Some(ids) = table.categorical(row, col) {
-                    out.extend(ids.iter().map(|&id| Item { column: col, value: ItemValue::Cat(id) }));
+                    out.extend(
+                        ids.iter().map(|&id| Item { column: col, value: ItemValue::Cat(id) }),
+                    );
                 }
             }
             FeatureKind::Numeric => {
-                if let (Some(v), Some(d)) = (
-                    table.numeric(row, col),
-                    discretizers.iter().find(|d| d.column == col),
-                ) {
+                if let (Some(v), Some(d)) =
+                    (table.numeric(row, col), discretizers.iter().find(|d| d.column == col))
+                {
                     out.push(Item { column: col, value: ItemValue::NumBin(d.bin(v)) });
                 }
             }
@@ -328,9 +331,10 @@ mod tests {
     fn finds_positive_indicator() {
         let (t, labels) = dev(100, 900);
         let mined = mine_itemsets(&t, &labels, &[0, 1], &MiningConfig::default());
-        let found = mined.positive.iter().any(|s| {
-            s.items == vec![Item { column: 0, value: ItemValue::Cat(0) }]
-        });
+        let found = mined
+            .positive
+            .iter()
+            .any(|s| s.items == vec![Item { column: 0, value: ItemValue::Cat(0) }]);
         assert!(found, "positive itemsets: {:?}", mined.positive);
     }
 
@@ -350,9 +354,10 @@ mod tests {
         let (t, labels) = dev(100, 900);
         let cfg = MiningConfig { min_neg_precision: 0.95, ..Default::default() };
         let mined = mine_itemsets(&t, &labels, &[0], &cfg);
-        let found = mined.negative.iter().any(|s| {
-            s.items == vec![Item { column: 0, value: ItemValue::Cat(2) }]
-        });
+        let found = mined
+            .negative
+            .iter()
+            .any(|s| s.items == vec![Item { column: 0, value: ItemValue::Cat(2) }]);
         assert!(found, "negative itemsets: {:?}", mined.negative);
     }
 

@@ -22,13 +22,12 @@ impl Discretizer {
     /// Panics if `n_bins < 2`.
     pub fn fit(table: &FeatureTable, column: usize, n_bins: usize) -> Option<Self> {
         assert!(n_bins >= 2, "need at least two bins");
-        let mut values: Vec<f64> = (0..table.len())
-            .filter_map(|r| table.numeric(r, column))
-            .collect();
+        let mut values: Vec<f64> =
+            (0..table.len()).filter_map(|r| table.numeric(r, column)).collect();
         if values.is_empty() {
             return None;
         }
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in numeric column"));
+        values.sort_unstable_by(f64::total_cmp);
         let mut edges = Vec::with_capacity(n_bins - 1);
         for k in 1..n_bins {
             let idx = (k * values.len()) / n_bins;
@@ -64,9 +63,7 @@ impl Discretizer {
 mod tests {
     use std::sync::Arc;
 
-    use cm_featurespace::{
-        FeatureDef, FeatureSchema, FeatureSet, FeatureValue, ServingMode,
-    };
+    use cm_featurespace::{FeatureDef, FeatureSchema, FeatureSet, FeatureValue, ServingMode};
 
     use super::*;
 

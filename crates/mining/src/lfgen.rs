@@ -3,9 +3,7 @@
 use std::time::{Duration, Instant};
 
 use cm_featurespace::{FeatureTable, Label};
-use cm_labelmodel::{
-    CategoricalContainsLf, ConjunctionLf, LabelingFunction, Predicate, Vote,
-};
+use cm_labelmodel::{CategoricalContainsLf, ConjunctionLf, LabelingFunction, Predicate, Vote};
 
 use crate::apriori::{mine_itemsets, ItemValue, MiningConfig};
 
@@ -90,10 +88,12 @@ fn itemset_to_lf(
             Box::new(CategoricalContainsLf::new(column, ids, true, vote))
         }
         ItemValue::NumBin(bin) => {
+            // Mined NumBin items always originate from a discretizer
+            // fitted on the same column.
             let d = discretizers
                 .iter()
                 .find(|d| d.column == column)
-                .expect("discretizer for mined numeric column");
+                .expect("discretizer for mined numeric column"); // lint: allow(expect)
             let (lower, upper) = d.bin_range(bin);
             let mut predicates = Vec::new();
             if let Some(lo) = lower {
@@ -190,11 +190,7 @@ mod tests {
         assert!(mined.report.n_candidates >= mined.report.n_positive_itemsets);
         assert_eq!(
             mined.report.n_lfs,
-            mined
-                .report
-                .n_positive_itemsets
-                .min(100)
-                + mined.report.n_negative_itemsets.min(100)
+            mined.report.n_positive_itemsets.min(100) + mined.report.n_negative_itemsets.min(100)
         );
         assert!(mined.report.mining_time.as_nanos() > 0);
     }

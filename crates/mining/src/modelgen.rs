@@ -89,9 +89,14 @@ pub fn generate_stump_lfs(
 
     let schema = dev.schema().clone();
     for &col in columns {
-        match schema.def(col).kind {
+        let Some(def) = schema.def(col) else {
+            // Out-of-range columns generate no candidates; `cm-check`
+            // validates column lists before execution.
+            continue;
+        };
+        match def.kind {
             FeatureKind::Categorical => {
-                for id in 0..schema.def(col).vocab.len() as u32 {
+                for id in 0..def.vocab.len() as u32 {
                     for vote in [Vote::Positive, Vote::Negative] {
                         consider(
                             Box::new(CategoricalContainsLf::new(col, vec![id], false, vote)),
@@ -101,12 +106,11 @@ pub fn generate_stump_lfs(
                 }
             }
             FeatureKind::Numeric => {
-                let mut values: Vec<f64> =
-                    (0..n).filter_map(|r| dev.numeric(r, col)).collect();
+                let mut values: Vec<f64> = (0..n).filter_map(|r| dev.numeric(r, col)).collect();
                 if values.is_empty() {
                     continue;
                 }
-                values.sort_by(|a, b| a.partial_cmp(b).expect("NaN numeric"));
+                values.sort_by(f64::total_cmp);
                 for k in 1..=config.n_thresholds {
                     let idx = (k * (values.len() - 1)) / (config.n_thresholds + 1);
                     let threshold = values[idx];
@@ -128,25 +132,15 @@ pub fn generate_stump_lfs(
     }
 
     // Greedy selection: best F1 first, subject to the overlap cap.
-    candidates.sort_by(|a, b| b.f1.partial_cmp(&a.f1).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|a, b| b.f1.total_cmp(&a.f1));
     let mut selected: Vec<Candidate> = Vec::new();
     for cand in candidates {
         if selected.len() >= config.max_lfs {
             break;
         }
         let diverse = selected.iter().all(|s| {
-            let inter = s
-                .fired
-                .iter()
-                .zip(&cand.fired)
-                .filter(|(&a, &b)| a && b)
-                .count();
-            let union = s
-                .fired
-                .iter()
-                .zip(&cand.fired)
-                .filter(|(&a, &b)| a || b)
-                .count();
+            let inter = s.fired.iter().zip(&cand.fired).filter(|(&a, &b)| a && b).count();
+            let union = s.fired.iter().zip(&cand.fired).filter(|(&a, &b)| a || b).count();
             union == 0 || (inter as f64 / union as f64) <= config.max_overlap
         });
         if diverse {

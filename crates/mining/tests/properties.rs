@@ -1,13 +1,16 @@
-//! Property-based tests for discretization and itemset mining.
+//! Randomized tests for discretization and itemset mining (seeded, in-tree
+//! PRNG).
 
 use std::sync::Arc;
 
 use cm_featurespace::{
-    CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, Label,
-    ServingMode, Vocabulary,
+    CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, Label, ServingMode,
+    Vocabulary,
 };
+use cm_linalg::rng::{Rng, StdRng};
 use cm_mining::{mine_itemsets, Discretizer, MiningConfig};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 fn schema() -> Arc<FeatureSchema> {
     Arc::new(FeatureSchema::from_defs(vec![
@@ -21,91 +24,92 @@ fn schema() -> Arc<FeatureSchema> {
     ]))
 }
 
-fn labeled_table() -> impl Strategy<Value = (FeatureTable, Vec<Label>)> {
-    prop::collection::vec(
-        (
-            -50.0f64..50.0,
-            prop::collection::vec(0u32..6, 0..4),
-            prop::bool::weighted(0.25),
-        ),
-        8..60,
-    )
-    .prop_map(|rows| {
-        let mut t = FeatureTable::new(schema());
-        let mut labels = Vec::new();
-        for (num, cats, pos) in rows {
-            t.push_row(&[
-                FeatureValue::Numeric(num),
-                FeatureValue::Categorical(CatSet::from_ids(cats)),
-            ]);
-            labels.push(if pos { Label::Positive } else { Label::Negative });
-        }
-        (t, labels)
-    })
+fn labeled_table(rng: &mut StdRng) -> (FeatureTable, Vec<Label>) {
+    let n = rng.gen_range(8..60usize);
+    let mut t = FeatureTable::new(schema());
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        let num = rng.gen_range(-50.0..50.0);
+        let n_cats = rng.gen_range(0..4usize);
+        let mut cats: Vec<u32> = (0..n_cats).map(|_| rng.gen_range(0..6u32)).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        t.push_row(&[
+            FeatureValue::Numeric(num),
+            FeatureValue::Categorical(CatSet::from_ids(cats)),
+        ]);
+        labels.push(if rng.gen_bool(0.25) { Label::Positive } else { Label::Negative });
+    }
+    (t, labels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every value maps to exactly one bin, bins are monotone in the value,
-    /// and each value lies inside its bin's reported range.
-    #[test]
-    fn discretizer_bins_partition(values in prop::collection::vec(-100.0f64..100.0, 4..50)) {
+/// Every value maps to exactly one bin, bins are monotone in the value,
+/// and each value lies inside its bin's reported range.
+#[test]
+fn discretizer_bins_partition() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB14 ^ case);
+        let n = rng.gen_range(4..50usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let mut t = FeatureTable::new(schema());
         for &v in &values {
             t.push_row(&[FeatureValue::Numeric(v), FeatureValue::Missing]);
         }
         let d = Discretizer::fit(&t, 0, 4).unwrap();
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut prev_bin = 0;
         for &v in &sorted {
             let b = d.bin(v);
-            prop_assert!(b >= prev_bin, "bins must be monotone in the value");
-            prop_assert!((b as usize) < d.n_bins());
+            assert!(b >= prev_bin, "case {case}: bins must be monotone in the value");
+            assert!((b as usize) < d.n_bins(), "case {case}");
             let (lo, hi) = d.bin_range(b);
             if let Some(lo) = lo {
-                prop_assert!(v >= lo, "{v} below bin floor {lo}");
+                assert!(v >= lo, "case {case}: {v} below bin floor {lo}");
             }
             if let Some(hi) = hi {
-                prop_assert!(v <= hi, "{v} above bin ceiling {hi}");
+                assert!(v <= hi, "case {case}: {v} above bin ceiling {hi}");
             }
             prev_bin = b;
         }
     }
+}
 
-    /// Mined statistics are internally consistent: precision/recall in
-    /// [0,1], supports bounded by class sizes, and every reported itemset
-    /// actually clears the configured thresholds.
-    #[test]
-    fn mined_stats_respect_thresholds((t, labels) in labeled_table()) {
-        let cfg = MiningConfig {
-            min_precision: 0.6,
-            min_recall: 0.05,
-            ..MiningConfig::default()
-        };
+/// Mined statistics are internally consistent: precision/recall in
+/// [0,1], supports bounded by class sizes, and every reported itemset
+/// actually clears the configured thresholds.
+#[test]
+fn mined_stats_respect_thresholds() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57A7 ^ case);
+        let (t, labels) = labeled_table(&mut rng);
+        let cfg = MiningConfig { min_precision: 0.6, min_recall: 0.05, ..MiningConfig::default() };
         let mined = mine_itemsets(&t, &labels, &[0, 1], &cfg);
         let n_pos = labels.iter().filter(|l| l.is_positive()).count();
         let n_neg = labels.len() - n_pos;
         for s in &mined.positive {
-            prop_assert!(s.pos_support <= n_pos);
-            prop_assert!(s.neg_support <= n_neg);
-            prop_assert!((0.0..=1.0).contains(&s.precision));
-            prop_assert!((0.0..=1.0).contains(&s.recall));
-            prop_assert!(s.precision >= cfg.min_precision - 1e-12);
-            prop_assert!(s.recall >= cfg.min_recall - 1e-12);
+            assert!(s.pos_support <= n_pos, "case {case}");
+            assert!(s.neg_support <= n_neg, "case {case}");
+            assert!((0.0..=1.0).contains(&s.precision), "case {case}");
+            assert!((0.0..=1.0).contains(&s.recall), "case {case}");
+            assert!(s.precision >= cfg.min_precision - 1e-12, "case {case}");
+            assert!(s.recall >= cfg.min_recall - 1e-12, "case {case}");
         }
         for s in &mined.negative {
             let neg_precision =
                 s.neg_support as f64 / (s.pos_support + s.neg_support).max(1) as f64;
-            prop_assert!(neg_precision >= cfg.min_neg_precision - 1e-12);
+            assert!(neg_precision >= cfg.min_neg_precision - 1e-12, "case {case}");
         }
     }
+}
 
-    /// Anti-monotonicity: an order-2 itemset's support never exceeds the
-    /// positive support of either member.
-    #[test]
-    fn order2_support_is_anti_monotone((t, labels) in labeled_table()) {
+/// Anti-monotonicity: an order-2 itemset's support never exceeds the
+/// positive support of either member.
+#[test]
+fn order2_support_is_anti_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x02D2 ^ case);
+        let (t, labels) = labeled_table(&mut rng);
         let cfg = MiningConfig {
             min_precision: 0.99, // push singles into the frontier
             min_recall: 0.02,
@@ -128,22 +132,26 @@ proptest! {
         };
         for s in mined.positive.iter().filter(|s| s.items.len() == 2) {
             for &item in &s.items {
-                prop_assert!(
+                assert!(
                     s.pos_support <= single_support(item),
-                    "pair support {} exceeds member support",
+                    "case {case}: pair support {} exceeds member support",
                     s.pos_support
                 );
             }
         }
     }
+}
 
-    /// Mining is deterministic.
-    #[test]
-    fn mining_is_deterministic((t, labels) in labeled_table()) {
+/// Mining is deterministic.
+#[test]
+fn mining_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDE7 ^ case);
+        let (t, labels) = labeled_table(&mut rng);
         let cfg = MiningConfig::default();
         let a = mine_itemsets(&t, &labels, &[0, 1], &cfg);
         let b = mine_itemsets(&t, &labels, &[0, 1], &cfg);
-        prop_assert_eq!(a.positive, b.positive);
-        prop_assert_eq!(a.negative, b.negative);
+        assert_eq!(a.positive, b.positive, "case {case}");
+        assert_eq!(a.negative, b.negative, "case {case}");
     }
 }

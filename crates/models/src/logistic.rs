@@ -1,10 +1,9 @@
 //! L2-regularized logistic regression trained by mini-batch gradient
 //! descent on the noise-aware loss.
 
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 use cm_linalg::{dot, sigmoid, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::loss::bce_grad;
 use crate::optim::{Adam, Optimizer};
@@ -137,11 +136,7 @@ mod tests {
         let (x, y) = blobs(200);
         let model = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default());
         let p = model.predict_proba(&x);
-        let correct = p
-            .iter()
-            .zip(&y)
-            .filter(|(p, &t)| (**p >= 0.5) == (t >= 0.5))
-            .count();
+        let correct = p.iter().zip(&y).filter(|(p, &t)| (**p >= 0.5) == (t >= 0.5)).count();
         assert!(correct >= 195, "{correct}/200 correct");
     }
 

@@ -1,9 +1,8 @@
 //! Fully-connected ReLU network with a single-logit sigmoid head.
 
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 use cm_linalg::{dot, sigmoid, xavier_uniform, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::loss::bce_grad;
 use crate::optim::{Adam, Optimizer};
@@ -233,6 +232,8 @@ impl Mlp {
     /// final layer's weights (used by DeViSE, which freezes model A and
     /// reuses its head).
     pub fn head_weights(&self) -> (&[f32], f32) {
+        // The constructor always appends the prediction head.
+        // lint: allow(expect)
         let last = self.layers.last().expect("network has layers");
         (last.w.row(0), last.b[0])
     }

@@ -239,8 +239,7 @@ mod tests {
 
     fn accuracy(m: &TrainedModel, x: &Matrix, y: &[f64]) -> f64 {
         let p = m.predict_proba(x);
-        p.iter().zip(y).filter(|(p, &t)| (**p >= 0.5) == (t >= 0.5)).count() as f64
-            / y.len() as f64
+        p.iter().zip(y).filter(|(p, &t)| (**p >= 0.5) == (t >= 0.5)).count() as f64 / y.len() as f64
     }
 
     #[test]
@@ -298,21 +297,13 @@ mod tests {
             &TrainConfig { class_balance: false, ..Default::default() },
             None,
         );
-        let mean = |m: &TrainedModel| {
-            m.predict_proba(&x).iter().sum::<f64>() / x.rows() as f64
-        };
+        let mean = |m: &TrainedModel| m.predict_proba(&x).iter().sum::<f64>() / x.rows() as f64;
         assert!(mean(&balanced) > mean(&raw));
     }
 
     #[test]
     #[should_panic(expected = "empty training set")]
     fn rejects_empty_training_set() {
-        train_model(
-            &ModelKind::Logistic,
-            &Matrix::zeros(0, 3),
-            &[],
-            &TrainConfig::default(),
-            None,
-        );
+        train_model(&ModelKind::Logistic, &Matrix::zeros(0, 3), &[], &TrainConfig::default(), None);
     }
 }

@@ -88,17 +88,17 @@ pub fn grid_search(
                 let val_loss = mean_bce(&logits, validation.1, None);
                 let trial = TunerTrial { kind: kind.clone(), lr, l2, val_loss };
                 trials.push(trial.clone());
-                let better = best
-                    .as_ref()
-                    .is_none_or(|(b, _)| trial.val_loss < b.val_loss);
+                let better = best.as_ref().is_none_or(|(b, _)| trial.val_loss < b.val_loss);
                 if better {
                     best = Some((trial, model));
                 }
             }
         }
     }
+    // The candidate grids are nonempty consts, so a trial always ran.
+    // lint: allow(expect)
     let (best, model) = best.expect("grid is nonempty");
-    trials.sort_by(|a, b| a.val_loss.partial_cmp(&b.val_loss).unwrap_or(std::cmp::Ordering::Equal));
+    trials.sort_by(|a, b| a.val_loss.total_cmp(&b.val_loss));
     TunerOutcome { model, best, trials }
 }
 
@@ -145,11 +145,7 @@ mod tests {
     fn degenerate_grid_of_one_still_works() {
         let (x, y) = blobs(60, 0.0);
         let (vx, vy) = blobs(20, 0.0);
-        let grid = TunerGrid {
-            kinds: vec![ModelKind::Logistic],
-            lrs: vec![0.05],
-            l2s: vec![1e-4],
-        };
+        let grid = TunerGrid { kinds: vec![ModelKind::Logistic], lrs: vec![0.05], l2s: vec![1e-4] };
         let out = grid_search(&grid, &x, &y, (&vx, &vy), &TrainConfig::default());
         assert_eq!(out.trials.len(), 1);
         assert!(out.best.val_loss.is_finite());

@@ -1,9 +1,8 @@
 //! Materialized per-modality datasets.
 
 use cm_featurespace::{FeatureTable, Label, ModalityKind};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 
 use crate::world::World;
 
@@ -147,10 +146,7 @@ mod tests {
             assert_eq!(a.table.row(r), b.table.row(r));
         }
         let c = w.generate(ModalityKind::Text, 100, 10);
-        assert!(
-            (0..100).any(|r| a.table.row(r) != c.table.row(r)),
-            "different seeds must differ"
-        );
+        assert!((0..100).any(|r| a.table.row(r) != c.table.row(r)), "different seeds must differ");
     }
 
     #[test]

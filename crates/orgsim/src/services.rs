@@ -149,16 +149,30 @@ pub const ATTR_INDICATIVE: [u32; N_ATTRS] = [12, 18, 24, 1, 15, 30, 3, 9, 12, 24
 pub fn standard_registry() -> Vec<ServiceSpec> {
     use FeatureSet as FS;
     use ServingMode::{Nonservable, Servable};
-    let cat = |name: &str, set: FS, attr: Attr, acc: PerModality<f64>, noise: u32, cov: PerModality<f64>| {
+    let cat = |name: &str,
+               set: FS,
+               attr: Attr,
+               acc: PerModality<f64>,
+               noise: u32,
+               cov: PerModality<f64>| {
         ServiceSpec {
             name: name.to_owned(),
             set,
             serving: Servable,
-            kind: ServiceKind::Categorical { attr: attr as usize, accuracy: acc, noise_cats: noise },
+            kind: ServiceKind::Categorical {
+                attr: attr as usize,
+                accuracy: acc,
+                noise_cats: noise,
+            },
             coverage: cov,
         }
     };
-    let num = |name: &str, set: FS, serving: ServingMode, source: NumericSource, sd: f64, cov: PerModality<f64>| {
+    let num = |name: &str,
+               set: FS,
+               serving: ServingMode,
+               source: NumericSource,
+               sd: f64,
+               cov: PerModality<f64>| {
         ServiceSpec {
             name: name.to_owned(),
             set,

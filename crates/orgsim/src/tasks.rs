@@ -12,10 +12,8 @@
 //! stable at this scale (the paper's 17 k–203 k human-labeled test sets have
 //! no synthetic-budget analogue).
 
-use serde::{Deserialize, Serialize};
-
 /// Task identifier, CT 1–CT 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskId {
     /// Topic classification; moderate features, mild borderline modes.
     Ct1,
@@ -49,7 +47,7 @@ impl TaskId {
 }
 
 /// Generative knobs defining a task's difficulty shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskProfile {
     /// Base positive rate (Table 1 "% Pos").
     pub positive_rate: f64,
@@ -82,7 +80,7 @@ pub struct TaskProfile {
 }
 
 /// A fully specified task: profile plus dataset sizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskConfig {
     /// Which task.
     pub id: TaskId,
@@ -191,7 +189,13 @@ impl TaskConfig {
                 4_000,
             ),
         };
-        Self { id, profile, n_text_labeled: n_text, n_image_unlabeled: n_unlabeled, n_image_test: n_test }
+        Self {
+            id,
+            profile,
+            n_text_labeled: n_text,
+            n_image_unlabeled: n_unlabeled,
+            n_image_test: n_test,
+        }
     }
 
     /// Scales every dataset size by `factor` (minimum 64 rows each), for

@@ -13,9 +13,9 @@ use cm_featurespace::{
     CatSet, FeatureDef, FeatureSchema, FeatureValue, Label, ModalityKind, Vocabulary,
 };
 use cm_linalg::init::standard_normal;
+use cm_linalg::rng::Rng;
+use cm_linalg::rng::StdRng;
 use cm_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::entity::{LatentEntity, NumericLatents};
 use crate::services::{
@@ -87,9 +87,8 @@ impl World {
             let per_arch = (n_ind as usize / n_arch).max(1);
             let mut per_attr = Vec::with_capacity(n_arch);
             for k in 0..n_arch {
-                let ids = (0..per_arch)
-                    .map(|j| ((k * per_arch + j) % n_ind as usize) as u32)
-                    .collect();
+                let ids =
+                    (0..per_arch).map(|j| ((k * per_arch + j) % n_ind as usize) as u32).collect();
                 per_attr.push(ids);
             }
             arch_indicative.push(per_attr);
@@ -140,6 +139,8 @@ impl World {
                 ServiceKind::Embedding { dim } => Some(dim),
                 _ => None,
             })
+            // The paper registry always includes img_embedding.
+            // lint: allow(expect)
             .expect("registry has an embedding service");
         let projection = Matrix::from_fn(emb_dim, config.style_dim, |_, _| {
             (standard_normal(&mut rng) / (config.style_dim as f64).sqrt()) as f32
@@ -198,8 +199,7 @@ impl World {
             }
             if positive {
                 let set_idx = attr_feature_set_index(attr);
-                let discount =
-                    if borderline { profile.borderline_signal_discount } else { 1.0 };
+                let discount = if borderline { profile.borderline_signal_discount } else { 1.0 };
                 let signal = profile.set_signal[set_idx]
                     * discount
                     * attr_modality_signal(attr, modality, profile.modality_shift);
@@ -253,10 +253,7 @@ impl World {
             &self.negative_centers[rng.gen_range(0..self.negative_centers.len())]
         };
         let spread = if positive { profile.style_noise } else { profile.style_noise * 1.6 };
-        let style = center
-            .iter()
-            .map(|&c| c + (standard_normal(rng) * spread) as f32)
-            .collect();
+        let style = center.iter().map(|&c| c + (standard_normal(rng) * spread) as f32).collect();
 
         // Old-modality label drift: the curated text corpus's labels are
         // noisy relative to the live task definition. Noise is
@@ -291,10 +288,7 @@ impl World {
         modality: ModalityKind,
         rng: &mut StdRng,
     ) -> Vec<FeatureValue> {
-        self.services
-            .iter()
-            .map(|spec| self.apply_service(spec, entity, modality, rng))
-            .collect()
+        self.services.iter().map(|spec| self.apply_service(spec, entity, modality, rng)).collect()
     }
 
     fn apply_service(
@@ -426,11 +420,7 @@ impl World {
 /// `DomainAge`, `WordCount`) are keyed on metadata and identical across
 /// modalities; model-derived scores drift with the modality, proportional
 /// to the task's `modality_shift`.
-fn numeric_modality_shift(
-    source: NumericSource,
-    modality: ModalityKind,
-    shift: f64,
-) -> (f64, f64) {
+fn numeric_modality_shift(source: NumericSource, modality: ModalityKind, shift: f64) -> (f64, f64) {
     let model_based = matches!(
         source,
         NumericSource::UrlReputation
@@ -567,9 +557,8 @@ mod tests {
         let w = world();
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let pos = (0..n)
-            .filter(|_| w.sample_entity(ModalityKind::Image, &mut rng).is_positive())
-            .count();
+        let pos =
+            (0..n).filter(|_| w.sample_entity(ModalityKind::Image, &mut rng).is_positive()).count();
         let rate = pos as f64 / n as f64;
         let target = w.config().task.profile.positive_rate;
         assert!((rate - target).abs() < 0.01, "rate {rate} vs target {target}");
@@ -596,10 +585,7 @@ mod tests {
         }
         let pos_rate = pos_hits as f64 / n_pos.max(1) as f64;
         let neg_rate = neg_hits as f64 / n_neg.max(1) as f64;
-        assert!(
-            pos_rate > neg_rate * 3.0,
-            "indicative rate pos {pos_rate} vs neg {neg_rate}"
-        );
+        assert!(pos_rate > neg_rate * 3.0, "indicative rate pos {pos_rate} vs neg {neg_rate}");
     }
 
     #[test]

@@ -3,10 +3,9 @@
 //! working, the Table 2 / Figure 7 shapes quietly degrade.
 
 use cm_featurespace::{FeatureValue, ModalityKind};
+use cm_linalg::rng::StdRng;
 use cm_orgsim::services::{Attr, ATTR_INDICATIVE, ATTR_VOCAB_SIZES};
 use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn world() -> World {
     World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct1).scaled(0.01), 11))

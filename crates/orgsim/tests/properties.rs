@@ -1,43 +1,46 @@
-//! Property-based tests for the generative world: the statistical
-//! guarantees downstream crates rely on must hold for arbitrary seeds and
-//! task profiles.
+//! Randomized tests for the generative world (seeded, in-tree PRNG): the
+//! statistical guarantees downstream crates rely on must hold for arbitrary
+//! seeds and task profiles.
 
 use cm_featurespace::ModalityKind;
+use cm_linalg::rng::{Rng, StdRng};
 use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
-use proptest::prelude::*;
 
-fn any_task() -> impl Strategy<Value = TaskConfig> {
-    prop::sample::select(TaskId::ALL.to_vec())
-        .prop_map(|id| TaskConfig::paper(id).scaled(0.005))
+const CASES: u64 = 16;
+
+fn any_task(rng: &mut StdRng) -> TaskConfig {
+    let id = TaskId::ALL[rng.gen_range(0..TaskId::ALL.len())];
+    TaskConfig::paper(id).scaled(0.005)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Schema and registry invariants hold for every world.
-    #[test]
-    fn schema_matches_registry(task in any_task(), seed in 0u64..1000) {
+/// Schema and registry invariants hold for every world.
+#[test]
+fn schema_matches_registry() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5C4 ^ case);
+        let task = any_task(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let w = World::build(WorldConfig::new(task, seed));
-        prop_assert_eq!(w.schema().len(), w.services().len());
+        assert_eq!(w.schema().len(), w.services().len(), "case {case}");
         for (i, spec) in w.services().iter().enumerate() {
-            prop_assert_eq!(&w.schema().def(i).name, &spec.name);
-            prop_assert_eq!(w.schema().def(i).set, spec.set);
+            let def = w.schema().def(i).unwrap();
+            assert_eq!(&def.name, &spec.name, "case {case}");
+            assert_eq!(def.set, spec.set, "case {case}");
         }
     }
+}
 
-    /// Generated rows always conform to the schema: categorical ids stay
-    /// inside their vocabulary, embeddings have the declared width, and
-    /// modality-inapplicable features are missing.
-    #[test]
-    fn generated_rows_conform(
-        task in any_task(),
-        seed in 0u64..1000,
-        modality in prop::sample::select(vec![
-            ModalityKind::Text,
-            ModalityKind::Image,
-            ModalityKind::Video,
-        ]),
-    ) {
+/// Generated rows always conform to the schema: categorical ids stay
+/// inside their vocabulary, embeddings have the declared width, and
+/// modality-inapplicable features are missing.
+#[test]
+fn generated_rows_conform() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0F0 ^ case);
+        let task = any_task(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let modality = [ModalityKind::Text, ModalityKind::Image, ModalityKind::Video]
+            [rng.gen_range(0..3usize)];
         let w = World::build(WorldConfig::new(task, seed));
         let d = w.generate(modality, 100, seed ^ 1);
         let schema = w.schema();
@@ -47,69 +50,92 @@ proptest! {
                     cm_featurespace::FeatureKind::Categorical => {
                         if let Some(ids) = d.table.categorical(r, c) {
                             for &id in ids {
-                                prop_assert!((id as usize) < def.vocab.len(),
-                                    "{}: id {id} outside vocab {}", def.name, def.vocab.len());
+                                assert!(
+                                    (id as usize) < def.vocab.len(),
+                                    "case {case}: {}: id {id} outside vocab {}",
+                                    def.name,
+                                    def.vocab.len()
+                                );
                             }
                         }
                     }
                     cm_featurespace::FeatureKind::Embedding { dim } => {
                         if let Some(e) = d.table.embedding(r, c) {
-                            prop_assert_eq!(e.len(), dim);
-                            prop_assert!(e.iter().all(|v| v.is_finite()));
+                            assert_eq!(e.len(), dim, "case {case}");
+                            assert!(e.iter().all(|v| v.is_finite()), "case {case}");
                         }
                     }
                     cm_featurespace::FeatureKind::Numeric => {
                         if let Some(v) = d.table.numeric(r, c) {
-                            prop_assert!(v.is_finite());
+                            assert!(v.is_finite(), "case {case}");
                         }
                     }
                 }
                 // Zero-coverage features must be missing.
                 let spec = &w.services()[c];
                 if spec.coverage.get(modality) == 0.0 {
-                    prop_assert!(!d.table.is_present(r, c),
-                        "{} present on {:?}", def.name, modality);
+                    assert!(
+                        !d.table.is_present(r, c),
+                        "case {case}: {} present on {:?}",
+                        def.name,
+                        modality
+                    );
                 }
             }
         }
     }
+}
 
-    /// The generator is deterministic and label-consistent: labels,
-    /// borderline flags, and rows all reproduce under the same seed.
-    #[test]
-    fn generation_is_reproducible(task in any_task(), seed in 0u64..500) {
+/// The generator is deterministic and label-consistent: labels,
+/// borderline flags, and rows all reproduce under the same seed.
+#[test]
+fn generation_is_reproducible() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2E920 ^ case);
+        let task = any_task(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let w = World::build(WorldConfig::new(task, seed));
         let a = w.generate(ModalityKind::Image, 64, 7);
         let b = w.generate(ModalityKind::Image, 64, 7);
-        prop_assert_eq!(&a.labels, &b.labels);
-        prop_assert_eq!(&a.borderline, &b.borderline);
+        assert_eq!(&a.labels, &b.labels, "case {case}");
+        assert_eq!(&a.borderline, &b.borderline, "case {case}");
         for r in 0..a.len() {
-            prop_assert_eq!(a.table.row(r), b.table.row(r));
+            assert_eq!(a.table.row(r), b.table.row(r), "case {case}");
         }
     }
+}
 
-    /// Borderline flags only appear on positives.
-    #[test]
-    fn borderline_implies_positive(task in any_task(), seed in 0u64..500) {
+/// Borderline flags only appear on positives.
+#[test]
+fn borderline_implies_positive() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB02D ^ case);
+        let task = any_task(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let w = World::build(WorldConfig::new(task, seed));
         let d = w.generate(ModalityKind::Image, 400, seed ^ 3);
         for (label, &b) in d.labels.iter().zip(&d.borderline) {
             if b {
-                prop_assert!(label.is_positive());
+                assert!(label.is_positive(), "case {case}");
             }
         }
     }
+}
 
-    /// Dataset split conserves rows and labels.
-    #[test]
-    fn split_conserves(task in any_task(), seed in 0u64..200, frac in 0.1f64..0.9) {
+/// Dataset split conserves rows and labels.
+#[test]
+fn split_conserves() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5B117 ^ case);
+        let task = any_task(&mut rng);
+        let seed = rng.gen_range(0u64..200);
+        let frac = rng.gen_range(0.1..0.9);
         let w = World::build(WorldConfig::new(task, seed));
         let d = w.generate(ModalityKind::Text, 150, 1);
         let (a, b) = d.split(frac, seed);
-        prop_assert_eq!(a.len() + b.len(), d.len());
-        let pos = |m: &cm_orgsim::ModalityDataset| {
-            m.labels.iter().filter(|l| l.is_positive()).count()
-        };
-        prop_assert_eq!(pos(&a) + pos(&b), pos(&d));
+        assert_eq!(a.len() + b.len(), d.len(), "case {case}");
+        let pos =
+            |m: &cm_orgsim::ModalityDataset| m.labels.iter().filter(|l| l.is_positive()).count();
+        assert_eq!(pos(&a) + pos(&b), pos(&d), "case {case}");
     }
 }

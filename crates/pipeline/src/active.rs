@@ -5,9 +5,8 @@
 //! days". This module selects which pool points to send to human review,
 //! and folds the resulting labels back into the training targets.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 
 use cm_featurespace::Label;
 
@@ -94,10 +93,7 @@ pub fn apply_review(
     reviews: impl IntoIterator<Item = (usize, Label)>,
 ) {
     for (row, label) in reviews {
-        assert!(
-            row < curation.probabilistic_labels.len(),
-            "review row {row} out of range"
-        );
+        assert!(row < curation.probabilistic_labels.len(), "review row {row} out of range");
         curation.probabilistic_labels[row] = label.as_f64();
         curation.covered[row] = true;
     }

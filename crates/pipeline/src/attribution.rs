@@ -7,7 +7,7 @@
 //! masked (marked missing) at evaluation time — a permutation-importance
 //! analogue that needs no retraining, so it scales to many resources.
 
-use cm_featurespace::FeatureSet;
+use cm_featurespace::{CmError, CmResult, ErrorKind, FeatureSet};
 use cm_fusion::{EarlyFusionModel, ModalityData};
 use cm_models::{ModelKind, TrainConfig};
 
@@ -34,26 +34,33 @@ pub struct SetAttribution {
 /// Trains the scenario's early-fusion model once, then evaluates the test
 /// set repeatedly with one feature set masked at a time.
 ///
-/// # Panics
-/// Panics if the scenario uses no shared sets, or (for weak labels) if
-/// `curation` is missing.
+/// # Errors
+/// Returns [`ErrorKind::InvalidConfig`] if the scenario uses no shared sets,
+/// has no modality, or (for weak labels) `curation` is missing.
 pub fn feature_set_attribution(
     data: &TaskData,
     scenario: &Scenario,
     curation: Option<&CurationOutput>,
     model: &ModelKind,
     train: &TrainConfig,
-) -> Vec<SetAttribution> {
-    assert!(!scenario.image_sets.is_empty(), "scenario must use shared feature sets");
+) -> CmResult<Vec<SetAttribution>> {
+    if scenario.image_sets.is_empty() {
+        return Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            "feature_set_attribution",
+            "scenario must use shared feature sets".to_owned(),
+        ));
+    }
     let schema = data.world.schema();
-    let mut columns = schema.columns_in_sets(&scenario.image_sets, scenario.include_modality_specific);
+    let mut columns =
+        schema.columns_in_sets(&scenario.image_sets, scenario.include_modality_specific);
     for &c in &schema.columns_in_sets(&scenario.text_sets, false) {
         if !columns.contains(&c) {
             columns.push(c);
         }
     }
     columns.sort_unstable();
-    let view = DenseView::fit(&[&data.text.table, &data.pool.table], columns);
+    let view = DenseView::fit(&[&data.text.table, &data.pool.table], columns)?;
 
     // Train once, exactly as ScenarioRunner would for early fusion.
     let mut parts: Vec<ModalityData> = Vec::new();
@@ -63,12 +70,24 @@ pub fn feature_set_attribution(
         parts.push(ModalityData::new(x, data.text.labels_f64()));
     }
     if scenario.image_labels.is_some() {
-        let cur = curation.expect("weak-label scenario requires curation output");
+        let cur = curation.ok_or_else(|| {
+            CmError::new(
+                ErrorKind::InvalidConfig,
+                "feature_set_attribution",
+                "weak-label scenario requires curation output".to_owned(),
+            )
+        })?;
         let mut x = view.encode(&data.pool.table);
         mask_disallowed_sets(&mut x, &view, schema, &allowed(scenario, false));
         parts.push(ModalityData::new(x, cur.probabilistic_labels.clone()));
     }
-    assert!(!parts.is_empty(), "scenario has no modality");
+    if parts.is_empty() {
+        return Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            "feature_set_attribution",
+            "scenario has no modality".to_owned(),
+        ));
+    }
     let fused = EarlyFusionModel::train(&parts, model, train, None);
 
     let truth: Vec<bool> = data.test.labels.iter().map(|l| l.is_positive()).collect();
@@ -93,17 +112,12 @@ pub fn feature_set_attribution(
             contribution: full_auprc - masked_auprc,
         });
     }
-    out.sort_by(|a, b| {
-        b.contribution
-            .partial_cmp(&a.contribution)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    out
+    out.sort_by(|a, b| b.contribution.total_cmp(&a.contribution));
+    Ok(out)
 }
 
 fn allowed(scenario: &Scenario, text_side: bool) -> Vec<FeatureSet> {
-    let mut sets =
-        if text_side { scenario.text_sets.clone() } else { scenario.image_sets.clone() };
+    let mut sets = if text_side { scenario.text_sets.clone() } else { scenario.image_sets.clone() };
     if scenario.include_modality_specific {
         sets.push(FeatureSet::ModalitySpecific);
     }
@@ -119,8 +133,7 @@ mod tests {
 
     #[test]
     fn attribution_covers_every_set_and_orders_by_contribution() {
-        let data =
-            TaskData::generate(TaskConfig::paper(TaskId::Ct2).scaled(0.03), 3, Some(64));
+        let data = TaskData::generate(TaskConfig::paper(TaskId::Ct2).scaled(0.03), 3, Some(64));
         let curation = curate(&data, &CurationConfig::default());
         let scenario = Scenario::cross_modal(&FeatureSet::SHARED);
         let attr = feature_set_attribution(
@@ -129,7 +142,8 @@ mod tests {
             Some(&curation),
             &ModelKind::Logistic,
             &TrainConfig { epochs: 8, ..TrainConfig::default() },
-        );
+        )
+        .unwrap();
         assert_eq!(attr.len(), 4);
         for w in attr.windows(2) {
             assert!(w[0].contribution >= w[1].contribution);
@@ -150,18 +164,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must use shared feature sets")]
     fn rejects_setless_scenarios() {
-        let data =
-            TaskData::generate(TaskConfig::paper(TaskId::Ct2).scaled(0.01), 5, Some(64));
+        let data = TaskData::generate(TaskConfig::paper(TaskId::Ct2).scaled(0.01), 5, Some(64));
         let mut scenario = Scenario::cross_modal(&FeatureSet::SHARED);
         scenario.image_sets.clear();
-        feature_set_attribution(
+        let err = feature_set_attribution(
             &data,
             &scenario,
             None,
             &ModelKind::Logistic,
             &TrainConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidConfig);
+        assert!(err.message.contains("shared feature sets"));
     }
 }

@@ -14,11 +14,10 @@ use cm_labelmodel::{
     majority_vote, AnchoredModel, BoundScoreLf, GenerativeConfig, GenerativeModel, LabelMatrix,
     LabelingFunction, LfRates,
 };
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 use cm_mining::{mine_lfs, MiningConfig};
 use cm_propagation::{propagate, tune_score_thresholds, GraphBuilder, PropagationConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::data::TaskData;
 
@@ -70,7 +69,11 @@ impl Default for CurationConfig {
         Self {
             lf_sets: FeatureSet::SHARED.to_vec(),
             include_nonservable: true,
-            mining: MiningConfig { min_precision: 0.55, min_neg_precision: 0.985, ..MiningConfig::default() },
+            mining: MiningConfig {
+                min_precision: 0.55,
+                min_neg_precision: 0.985,
+                ..MiningConfig::default()
+            },
             max_positive_lfs: 80,
             max_negative_lfs: 30,
             use_label_propagation: true,
@@ -170,19 +173,17 @@ pub fn curate_with_lfs(
         pool_matrix = LabelMatrix::from_votes(n, lf_names.len(), votes, lf_names.clone());
     }
 
-    let covered: Vec<bool> = (0..pool_matrix.n_rows())
-        .map(|r| pool_matrix.row(r).iter().any(|&v| v != 0))
-        .collect();
+    let covered: Vec<bool> =
+        (0..pool_matrix.n_rows()).map(|r| pool_matrix.row(r).iter().any(|&v| v != 0)).collect();
 
     let probabilistic_labels = if pool_matrix.n_lfs() == 0 {
         vec![prior; pool_matrix.n_rows()]
     } else {
         match config.label_model {
             LabelModelKind::Anchored => {
-                let mut rates =
-                    AnchoredModel::fit(&dev_matrix, &data.text.labels, Some(prior))
-                        .rates()
-                        .to_vec();
+                let mut rates = AnchoredModel::fit(&dev_matrix, &data.text.labels, Some(prior))
+                    .rates()
+                    .to_vec();
                 if let Some(r) = prop_rates {
                     rates.push(r);
                 }
@@ -216,7 +217,10 @@ fn lf_columns(data: &TaskData, config: &CurationConfig) -> Vec<usize> {
     schema
         .columns_in_sets(&config.lf_sets, false)
         .into_iter()
-        .filter(|&c| config.include_nonservable || schema.def(c).serving == ServingMode::Servable)
+        .filter(|&c| {
+            config.include_nonservable
+                || schema.def(c).map(|d| d.serving) == Some(ServingMode::Servable)
+        })
         .collect()
 }
 
@@ -255,11 +259,8 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
     let dev_len = (data.text.len() / 5).max(1);
     let (dev_idx, rest) = idx.split_at(dev_len.min(idx.len()));
     // Seeds: every positive plus a sample of negatives up to the cap.
-    let mut seed_idx: Vec<usize> = rest
-        .iter()
-        .copied()
-        .filter(|&r| data.text.labels[r].is_positive())
-        .collect();
+    let mut seed_idx: Vec<usize> =
+        rest.iter().copied().filter(|&r| data.text.labels[r].is_positive()).collect();
     let mut neg_budget = config.prop_max_seeds.saturating_sub(seed_idx.len());
     for &r in rest {
         if neg_budget == 0 {
@@ -285,11 +286,8 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
     let builder = GraphBuilder::approximate(config.prop_k, combined.len());
     let graph = builder.build(&combined, &sim, config.seed ^ 0x6EA9);
 
-    let seeds: Vec<(usize, f64)> = seed_idx
-        .iter()
-        .enumerate()
-        .map(|(v, &r)| (v, data.text.labels[r].as_f64()))
-        .collect();
+    let seeds: Vec<(usize, f64)> =
+        seed_idx.iter().enumerate().map(|(v, &r)| (v, data.text.labels[r].as_f64())).collect();
     let prop_cfg = PropagationConfig {
         max_iters: 50,
         tol: 1e-4,
@@ -319,7 +317,12 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
         .collect();
     let pool_scores = scores[seed_idx.len() + dev_table.len()..].to_vec();
     Some(PropagationArtifacts {
-        pool_lf: BoundScoreLf::new("label_propagation", pool_scores, tuned.positive, tuned.negative),
+        pool_lf: BoundScoreLf::new(
+            "label_propagation",
+            pool_scores,
+            tuned.positive,
+            tuned.negative,
+        ),
         dev_votes,
         dev_labels,
     })
@@ -402,7 +405,7 @@ mod tests {
     fn curate_with_provided_lfs_uses_them() {
         let d = data();
         let cfg = CurationConfig { use_label_propagation: false, ..fast_config() };
-        let lfs = crate::expert::expert_lfs(d.world.schema());
+        let lfs = crate::expert::expert_lfs(d.world.schema()).unwrap();
         let n = lfs.len();
         let out = curate_with_lfs(&d, &cfg, lfs, Duration::from_secs(7 * 3600));
         assert_eq!(out.lf_names.len(), n);

@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 
-use cm_featurespace::{DenseEncoder, FeatureSet, FeatureTable, ModalityKind};
+use cm_featurespace::{
+    CmError, CmResult, DenseEncoder, ErrorKind, FeatureSet, FeatureTable, ModalityKind,
+};
 use cm_linalg::Matrix;
 use cm_orgsim::{ModalityDataset, TaskConfig, World, WorldConfig};
 
@@ -53,16 +55,24 @@ impl DenseView {
     /// Fits the view on the concatenation of `fit_tables` restricted to
     /// `columns`.
     ///
-    /// # Panics
-    /// Panics if `fit_tables` is empty.
-    pub fn fit(fit_tables: &[&FeatureTable], columns: Vec<usize>) -> Self {
-        assert!(!fit_tables.is_empty(), "need at least one table to fit on");
-        let mut combined = FeatureTable::new(std::sync::Arc::clone(fit_tables[0].schema()));
+    /// # Errors
+    /// Returns [`ErrorKind::InvalidConfig`] if `fit_tables` is empty and
+    /// propagates [`ErrorKind::OutOfBounds`] from the encoder on column
+    /// indices outside the schema.
+    pub fn fit(fit_tables: &[&FeatureTable], columns: Vec<usize>) -> CmResult<Self> {
+        let Some(first) = fit_tables.first() else {
+            return Err(CmError::new(
+                ErrorKind::InvalidConfig,
+                "DenseView::fit",
+                "need at least one table to fit on".to_owned(),
+            ));
+        };
+        let mut combined = FeatureTable::new(std::sync::Arc::clone(first.schema()));
         for t in fit_tables {
             combined.extend_from(t);
         }
-        let encoder = DenseEncoder::fit(&combined, &columns);
-        Self { encoder, columns }
+        let encoder = DenseEncoder::fit(&combined, &columns)?;
+        Ok(Self { encoder, columns })
     }
 
     /// Encodes a table.
@@ -93,8 +103,12 @@ pub fn mask_disallowed_sets(
 ) {
     let allowed: HashSet<FeatureSet> = allowed.iter().copied().collect();
     for slot in view.encoder().layout().slots() {
-        let set = schema.def(slot.source_column).set;
-        if allowed.contains(&set) {
+        // Slots come from a fitted encoder, so their source columns are in
+        // range unless the schema was swapped out from under the view.
+        let Some(def) = schema.def(slot.source_column) else {
+            continue;
+        };
+        if allowed.contains(&def.set) {
             continue;
         }
         for r in 0..m.rows() {
@@ -139,7 +153,7 @@ mod tests {
     fn dense_view_round_trip() {
         let d = data();
         let cols = d.shared_columns(&[FeatureSet::A]);
-        let view = DenseView::fit(&[&d.text.table, &d.pool.table], cols.clone());
+        let view = DenseView::fit(&[&d.text.table, &d.pool.table], cols.clone()).unwrap();
         let xt = view.encode(&d.text.table);
         let xi = view.encode(&d.pool.table);
         assert_eq!(xt.cols(), xi.cols());
@@ -151,7 +165,7 @@ mod tests {
     fn masking_blanks_disallowed_sets() {
         let d = data();
         let cols = d.shared_columns(&[FeatureSet::A, FeatureSet::B]);
-        let view = DenseView::fit(&[&d.text.table], cols);
+        let view = DenseView::fit(&[&d.text.table], cols).unwrap();
         let mut m = view.encode(&d.text.table);
         let before = m.clone();
         mask_disallowed_sets(&mut m, &view, d.world.schema(), &[FeatureSet::A]);
@@ -159,7 +173,7 @@ mod tests {
         let schema = d.world.schema();
         let mut changed = false;
         for slot in view.encoder().layout().slots() {
-            let set = schema.def(slot.source_column).set;
+            let set = schema.def(slot.source_column).unwrap().set;
             for r in 0..m.rows() {
                 if set == FeatureSet::B {
                     assert_eq!(m[(r, slot.missing_indicator)], 1.0);

@@ -23,7 +23,7 @@
 
 use std::time::Duration;
 
-use cm_featurespace::FeatureSchema;
+use cm_featurespace::{CmError, CmResult, ErrorKind, FeatureSchema};
 use cm_labelmodel::{
     CategoricalContainsLf, ConjunctionLf, LabelingFunction, NumericThresholdLf, Predicate,
     ThresholdDirection, Vote,
@@ -35,27 +35,31 @@ pub const EXPERT_AUTHORING: Duration = Duration::from_secs(7 * 3600);
 
 /// Builds the expert LF suite for a task schema.
 ///
-/// # Panics
-/// Panics if the schema lacks the standard-registry features (expert rules
-/// are written against the standard organizational services).
-pub fn expert_lfs(schema: &FeatureSchema) -> Vec<Box<dyn LabelingFunction>> {
+/// # Errors
+/// Returns [`ErrorKind::NotFound`] if the schema lacks any of the
+/// standard-registry features the expert rules are written against.
+pub fn expert_lfs(schema: &FeatureSchema) -> CmResult<Vec<Box<dyn LabelingFunction>>> {
     let col = |name: &str| {
-        schema
-            .column(name)
-            .unwrap_or_else(|| panic!("expert LFs need feature {name:?} in the schema"))
+        schema.column(name).ok_or_else(|| {
+            CmError::new(
+                ErrorKind::NotFound,
+                "expert_lfs",
+                format!("expert LFs need feature {name:?} in the schema"),
+            )
+        })
     };
-    let topics = col("topics");
-    let subtopics = col("subtopics");
-    let entities = col("kg_entities");
-    let keywords = col("keywords");
-    let rule_flags = col("rule_flags");
-    let objects = col("objects");
-    let url_category = col("url_category");
-    let page_topics = col("page_topics");
-    let page_keywords = col("page_keywords");
-    let user_reports = col("user_reports");
-    let url_reputation = col("url_reputation");
-    let page_quality = col("page_quality");
+    let topics = col("topics")?;
+    let subtopics = col("subtopics")?;
+    let entities = col("kg_entities")?;
+    let keywords = col("keywords")?;
+    let rule_flags = col("rule_flags")?;
+    let objects = col("objects")?;
+    let url_category = col("url_category")?;
+    let page_topics = col("page_topics")?;
+    let page_keywords = col("page_keywords")?;
+    let user_reports = col("user_reports")?;
+    let url_reputation = col("url_reputation")?;
+    let page_quality = col("page_quality")?;
 
     // The expert's sensitive vocabulary: the head ~2/3 of each indicative
     // range (ids are interned indicative-first in the standard registry).
@@ -74,10 +78,7 @@ pub fn expert_lfs(schema: &FeatureSchema) -> Vec<Box<dyn LabelingFunction>> {
         ("page_keywords", page_keywords, 24),
     ] {
         let lf = CategoricalContainsLf::new(column, head(n_ind), false, Vote::Positive);
-        lfs.push(Box::new(ExpertNamed {
-            inner: lf,
-            name: format!("expert_{name}_watchlist"),
-        }));
+        lfs.push(Box::new(ExpertNamed { inner: lf, name: format!("expert_{name}_watchlist") }));
     }
     // Behavioral rules.
     lfs.push(Box::new(NumericThresholdLf::new(
@@ -125,7 +126,7 @@ pub fn expert_lfs(schema: &FeatureSchema) -> Vec<Box<dyn LabelingFunction>> {
         ThresholdDirection::Above,
         Vote::Negative,
     )));
-    lfs
+    Ok(lfs)
 }
 
 /// Wraps an LF with an expert-facing name.
@@ -153,11 +154,8 @@ mod tests {
 
     #[test]
     fn suite_has_both_polarities() {
-        let world = World::build(WorldConfig::new(
-            TaskConfig::paper(TaskId::Ct1).scaled(0.001),
-            1,
-        ));
-        let lfs = expert_lfs(world.schema());
+        let world = World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct1).scaled(0.001), 1));
+        let lfs = expert_lfs(world.schema()).unwrap();
         assert!(lfs.len() >= 12);
         assert!(lfs.iter().any(|l| l.name().contains("quiet")));
         assert!(lfs.iter().any(|l| l.name().contains("watchlist")));
@@ -165,12 +163,9 @@ mod tests {
 
     #[test]
     fn expert_lfs_fire_more_on_positives() {
-        let world = World::build(WorldConfig::new(
-            TaskConfig::paper(TaskId::Ct2).scaled(0.01),
-            2,
-        ));
+        let world = World::build(WorldConfig::new(TaskConfig::paper(TaskId::Ct2).scaled(0.01), 2));
         let data = world.generate(cm_featurespace::ModalityKind::Text, 4000, 3);
-        let lfs = expert_lfs(world.schema());
+        let lfs = expert_lfs(world.schema()).unwrap();
         let m = LabelMatrix::apply(&data.table, &lfs);
         let (mut pos_hits, mut n_pos, mut neg_hits, mut n_neg) = (0usize, 0usize, 0usize, 0usize);
         for (r, label) in data.labels.iter().enumerate() {
@@ -193,8 +188,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expert LFs need feature")]
-    fn panics_on_foreign_schema() {
-        expert_lfs(&FeatureSchema::new());
+    fn rejects_foreign_schema() {
+        let err = expert_lfs(&FeatureSchema::new()).err().unwrap();
+        assert_eq!(err.kind, cm_featurespace::ErrorKind::NotFound);
+        assert!(err.message.contains("expert LFs need feature"));
     }
 }

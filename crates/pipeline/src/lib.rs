@@ -32,7 +32,9 @@ pub mod training;
 
 pub use active::{apply_review, select_for_review, ReviewStrategy};
 pub use attribution::{feature_set_attribution, SetAttribution};
-pub use curation::{curate, curate_with_lfs, CurationConfig, CurationOutput, LabelModelKind, WsQuality};
+pub use curation::{
+    curate, curate_with_lfs, CurationConfig, CurationOutput, LabelModelKind, WsQuality,
+};
 pub use data::{mask_disallowed_sets, DenseView, TaskData};
 pub use expert::{expert_lfs, EXPERT_AUTHORING};
 pub use report::{ModelEval, ScenarioReport};

@@ -1,9 +1,9 @@
 //! Serializable experiment outputs consumed by the bench binaries.
 
-use serde::{Deserialize, Serialize};
+use cm_json::{Json, JsonError, ToJson};
 
 /// One trained-and-evaluated model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelEval {
     /// Scenario display name.
     pub scenario: String,
@@ -15,8 +15,44 @@ pub struct ModelEval {
     pub n_train_rows: usize,
 }
 
+impl ToJson for ModelEval {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("auprc", self.auprc.to_json()),
+            ("relative_auprc", self.relative_auprc.to_json()),
+            ("n_train_rows", self.n_train_rows.to_json()),
+        ])
+    }
+}
+
+fn missing(field: &str) -> JsonError {
+    JsonError { message: format!("missing or mistyped field {field:?}"), offset: 0 }
+}
+
+impl ModelEval {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            scenario: v
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("scenario"))?
+                .to_owned(),
+            auprc: v.get("auprc").and_then(Json::as_f64).ok_or_else(|| missing("auprc"))?,
+            relative_auprc: match v.get("relative_auprc") {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(r.as_f64().ok_or_else(|| missing("relative_auprc"))?),
+            },
+            n_train_rows: v
+                .get("n_train_rows")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("n_train_rows"))?,
+        })
+    }
+}
+
 /// A group of evaluations for one task (one table row / figure panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     /// Task display name (e.g. `"CT 1"`).
     pub task: String,
@@ -26,7 +62,36 @@ pub struct ScenarioReport {
     pub rows: Vec<ModelEval>,
 }
 
+impl ToJson for ScenarioReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", self.task.to_json()),
+            ("baseline_auprc", self.baseline_auprc.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 impl ScenarioReport {
+    /// Parses a report previously emitted by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rows = v
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing("rows"))?
+            .iter()
+            .map(ModelEval::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            task: v.get("task").and_then(Json::as_str).ok_or_else(|| missing("task"))?.to_owned(),
+            baseline_auprc: v
+                .get("baseline_auprc")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("baseline_auprc"))?,
+            rows,
+        })
+    }
+
     /// Renders a compact fixed-width table.
     pub fn to_table(&self) -> String {
         let mut out = format!(
@@ -38,8 +103,7 @@ impl ScenarioReport {
                 "{:<42} {:>8.4} {:>9} {:>9}\n",
                 row.scenario,
                 row.auprc,
-                row.relative_auprc
-                    .map_or_else(|| "-".to_owned(), |r| format!("{r:.2}x")),
+                row.relative_auprc.map_or_else(|| "-".to_owned(), |r| format!("{r:.2}x")),
                 row.n_train_rows
             ));
         }
@@ -83,10 +147,21 @@ mod tests {
         let report = ScenarioReport {
             task: "CT 2".into(),
             baseline_auprc: 0.1,
-            rows: vec![],
+            rows: vec![ModelEval {
+                scenario: "fusion".into(),
+                auprc: 0.31,
+                relative_auprc: None,
+                n_train_rows: 12,
+            }],
         };
-        let json = serde_json::to_string(&report).unwrap();
-        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        let json = report.to_json().to_string_pretty();
+        let back = ScenarioReport::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let v = Json::parse(r#"{"task": "CT 1", "rows": []}"#).unwrap();
+        assert!(ScenarioReport::from_json(&v).is_err());
     }
 }

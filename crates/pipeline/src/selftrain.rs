@@ -6,7 +6,7 @@
 //! predictions and folds them back into the probabilistic labels, sharpening
 //! the training signal without any human effort.
 
-use cm_featurespace::FeatureSet;
+use cm_featurespace::{CmError, CmResult, ErrorKind, FeatureSet};
 use cm_fusion::{EarlyFusionModel, ModalityData};
 use cm_models::{ModelKind, TrainConfig};
 
@@ -52,20 +52,33 @@ pub struct SelfTrainOutcome {
 /// its confident pool predictions as labels, and retrains. Repeats for
 /// `config.rounds` rounds.
 ///
-/// # Panics
-/// Panics if `rounds == 0` or the scenario selects no features.
+/// # Errors
+/// Returns [`ErrorKind::InvalidConfig`] if `rounds == 0` or the scenario
+/// selects no features.
 pub fn self_train(
     data: &TaskData,
     curation: &CurationOutput,
     model_kind: &ModelKind,
     train: &TrainConfig,
     config: &SelfTrainConfig,
-) -> SelfTrainOutcome {
-    assert!(config.rounds > 0, "need at least one round");
+) -> CmResult<SelfTrainOutcome> {
+    if config.rounds == 0 {
+        return Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            "self_train",
+            "need at least one round".to_owned(),
+        ));
+    }
     let schema = data.world.schema();
     let columns = schema.columns_in_sets(&config.sets, config.include_modality_specific);
-    assert!(!columns.is_empty(), "no features selected");
-    let view = DenseView::fit(&[&data.text.table, &data.pool.table], columns);
+    if columns.is_empty() {
+        return Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            "self_train",
+            "no features selected".to_owned(),
+        ));
+    }
+    let view = DenseView::fit(&[&data.text.table, &data.pool.table], columns)?;
 
     let mut allowed = config.sets.clone();
     if config.include_modality_specific {
@@ -91,7 +104,7 @@ pub fn self_train(
         let cfg = TrainConfig { seed: train.seed.wrapping_add(round as u64 + 1), ..train.clone() };
         model = train_once(&x_text, data, &x_pool, &labels, model_kind, &cfg);
     }
-    SelfTrainOutcome { model, labels, n_pseudo_labeled: n_pseudo }
+    Ok(SelfTrainOutcome { model, labels, n_pseudo_labeled: n_pseudo })
 }
 
 fn train_once(
@@ -126,13 +139,9 @@ mod tests {
     fn self_training_pseudo_labels_and_does_not_collapse() {
         let (data, curation) = setup();
         let train = TrainConfig { epochs: 8, ..TrainConfig::default() };
-        let out = self_train(
-            &data,
-            &curation,
-            &ModelKind::Logistic,
-            &train,
-            &SelfTrainConfig::default(),
-        );
+        let out =
+            self_train(&data, &curation, &ModelKind::Logistic, &train, &SelfTrainConfig::default())
+                .unwrap();
         assert!(out.n_pseudo_labeled > 0, "no confident predictions adopted");
         assert_eq!(out.labels.len(), data.pool.len());
         for q in &out.labels {
@@ -149,28 +158,27 @@ mod tests {
         let (data, curation) = setup();
         let train = TrainConfig { epochs: 5, ..TrainConfig::default() };
         let cfg = SelfTrainConfig { confidence_margin: 0.49, rounds: 2, ..Default::default() };
-        let out = self_train(&data, &curation, &ModelKind::Logistic, &train, &cfg);
+        let out = self_train(&data, &curation, &ModelKind::Logistic, &train, &cfg).unwrap();
         // With a nearly-1.0 confidence requirement few rows qualify.
         assert!(out.n_pseudo_labeled <= data.pool.len());
-        let changed = out
-            .labels
-            .iter()
-            .zip(&curation.probabilistic_labels)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed =
+            out.labels.iter().zip(&curation.probabilistic_labels).filter(|(a, b)| a != b).count();
         assert!(changed <= out.n_pseudo_labeled + data.pool.len() / 2);
     }
 
     #[test]
-    #[should_panic(expected = "at least one round")]
     fn rejects_zero_rounds() {
         let (data, curation) = setup();
-        self_train(
+        let err = self_train(
             &data,
             &curation,
             &ModelKind::Logistic,
             &TrainConfig::default(),
             &SelfTrainConfig { rounds: 0, ..Default::default() },
-        );
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err.kind, ErrorKind::InvalidConfig);
+        assert!(err.message.contains("at least one round"));
     }
 }

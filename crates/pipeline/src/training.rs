@@ -6,9 +6,9 @@
 //! which fusion strategy trains it. [`ScenarioRunner`] densifies, masks,
 //! trains, and scores it on the held-out image test set.
 
-use cm_featurespace::FeatureSet;
-use cm_models::{ModelKind, TrainConfig};
+use cm_featurespace::{CmError, CmResult, ErrorKind, FeatureSet};
 use cm_fusion::{DeViseModel, EarlyFusionModel, IntermediateFusionModel, ModalityData};
+use cm_models::{ModelKind, TrainConfig};
 
 use crate::curation::CurationOutput;
 use crate::data::{mask_disallowed_sets, DenseView, TaskData};
@@ -132,25 +132,40 @@ impl ScenarioRunner<'_> {
     /// AUPRC of the paper's baseline: a fully supervised image model over
     /// pre-trained image embeddings only, trained on the whole labeled
     /// reservoir. Every reported AUPRC is divided by this.
-    pub fn baseline_auprc(&self) -> f64 {
+    ///
+    /// # Errors
+    /// Returns [`ErrorKind::NotFound`] if the schema lacks the standard
+    /// registry embedding column.
+    pub fn baseline_auprc(&self) -> CmResult<f64> {
         let schema = self.data.world.schema();
-        let emb = schema.column("img_embedding").expect("standard registry embedding");
-        let view = DenseView::fit(&[&self.data.labeled_image.table], vec![emb]);
+        let emb = schema.column("img_embedding").ok_or_else(|| {
+            CmError::new(
+                ErrorKind::NotFound,
+                "ScenarioRunner::baseline_auprc",
+                "schema lacks the standard registry embedding \"img_embedding\"".to_owned(),
+            )
+        })?;
+        let view = DenseView::fit(&[&self.data.labeled_image.table], vec![emb])?;
         let x = view.encode(&self.data.labeled_image.table);
         let part = ModalityData::new(x, self.data.labeled_image.labels_f64());
         let model = EarlyFusionModel::train(&[part], &self.model, &self.train, None);
         let xt = view.encode(&self.data.test.table);
         let probs = model.predict_proba(&xt);
-        cm_eval::auprc(&probs, &test_positives(self.data))
+        Ok(cm_eval::auprc(&probs, &test_positives(self.data)))
     }
 
     /// Runs one scenario. `curation` is required when the scenario's image
     /// labels are [`LabelSource::Weak`].
     ///
-    /// # Panics
-    /// Panics if a weak-label scenario is run without curation output, or
-    /// if the scenario has no modality at all.
-    pub fn run(&self, scenario: &Scenario, curation: Option<&CurationOutput>) -> ModelEval {
+    /// # Errors
+    /// Returns [`ErrorKind::InvalidConfig`] if a weak-label scenario is run
+    /// without curation output, the scenario selects no features or no
+    /// modality, or DeViSE is missing one of its two modality parts.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        curation: Option<&CurationOutput>,
+    ) -> CmResult<ModelEval> {
         let data = self.data;
         let schema = data.world.schema();
         let mut union_sets = scenario.text_sets.clone();
@@ -162,12 +177,18 @@ impl ScenarioRunner<'_> {
         let mut columns = schema.columns_in_sets(&union_sets, scenario.include_modality_specific);
         columns.sort_unstable();
         columns.dedup();
-        assert!(!columns.is_empty(), "scenario selects no features");
+        if columns.is_empty() {
+            return Err(CmError::new(
+                ErrorKind::InvalidConfig,
+                "ScenarioRunner::run",
+                format!("scenario {:?} selects no features", scenario.name),
+            ));
+        }
 
         let view = DenseView::fit(
             &[&data.text.table, &data.pool.table, &data.labeled_image.table],
             columns,
-        );
+        )?;
 
         let mut allowed_text = scenario.text_sets.clone();
         let mut allowed_image = scenario.image_sets.clone();
@@ -187,7 +208,13 @@ impl ScenarioRunner<'_> {
         let mut image_part_idx = None;
         match scenario.image_labels {
             Some(LabelSource::Weak) => {
-                let cur = curation.expect("weak-label scenario requires curation output");
+                let cur = curation.ok_or_else(|| {
+                    CmError::new(
+                        ErrorKind::InvalidConfig,
+                        "ScenarioRunner::run",
+                        "weak-label scenario requires curation output".to_owned(),
+                    )
+                })?;
                 // Train on the whole pool: covered rows carry their label-
                 // model posteriors; uncovered rows carry the class prior,
                 // which under heavy imbalance is an (almost-)negative soft
@@ -207,7 +234,13 @@ impl ScenarioRunner<'_> {
             }
             None => {}
         }
-        assert!(!parts.is_empty(), "scenario has no modality");
+        if parts.is_empty() {
+            return Err(CmError::new(
+                ErrorKind::InvalidConfig,
+                "ScenarioRunner::run",
+                format!("scenario {:?} has no modality", scenario.name),
+            ));
+        }
         let n_train: usize = parts.iter().map(|p| p.x.rows()).sum();
 
         let mut xt = view.encode(&data.test.table);
@@ -215,8 +248,7 @@ impl ScenarioRunner<'_> {
 
         let probs = match scenario.strategy {
             FusionStrategy::Early => {
-                EarlyFusionModel::train(&parts, &self.model, &self.train, None)
-                    .predict_proba(&xt)
+                EarlyFusionModel::train(&parts, &self.model, &self.train, None).predict_proba(&xt)
             }
             FusionStrategy::Intermediate => {
                 IntermediateFusionModel::train(&parts, &self.model, &self.train, None)
@@ -224,28 +256,40 @@ impl ScenarioRunner<'_> {
             }
             FusionStrategy::DeVise => {
                 let (Some(ti), Some(ii)) = (text_part_idx, image_part_idx) else {
-                    panic!("DeViSE requires both an old and a new modality part");
+                    return Err(CmError::new(
+                        ErrorKind::InvalidConfig,
+                        "ScenarioRunner::run",
+                        "DeViSE requires both an old and a new modality part".to_owned(),
+                    ));
                 };
                 DeViseModel::train(&parts[ti], &parts[ii], &self.model, &self.train)
                     .predict_proba(&xt)
             }
         };
         let auprc = cm_eval::auprc(&probs, &test_positives(data));
-        ModelEval { scenario: scenario.name.clone(), auprc, relative_auprc: None, n_train_rows: n_train }
+        Ok(ModelEval {
+            scenario: scenario.name.clone(),
+            auprc,
+            relative_auprc: None,
+            n_train_rows: n_train,
+        })
     }
 
     /// Runs a scenario and attaches `relative = auprc / baseline`.
+    ///
+    /// # Errors
+    /// Propagates errors from [`ScenarioRunner::run`].
     pub fn run_relative(
         &self,
         scenario: &Scenario,
         curation: Option<&CurationOutput>,
         baseline: f64,
-    ) -> ModelEval {
-        let mut eval = self.run(scenario, curation);
+    ) -> CmResult<ModelEval> {
+        let mut eval = self.run(scenario, curation)?;
         if baseline > 0.0 {
             eval.relative_auprc = Some(eval.auprc / baseline);
         }
-        eval
+        Ok(eval)
     }
 }
 
@@ -278,12 +322,16 @@ mod tests {
         let r = runner(&d);
         let cur = curate(
             &d,
-            &CurationConfig { use_label_propagation: false, prop_max_seeds: 200, ..Default::default() },
+            &CurationConfig {
+                use_label_propagation: false,
+                prop_max_seeds: 200,
+                ..Default::default()
+            },
         );
         let sets = FeatureSet::SHARED;
-        let cross = r.run(&Scenario::cross_modal(&sets), Some(&cur));
-        let text = r.run(&Scenario::text_only(&sets), None);
-        let image = r.run(&Scenario::image_only(&sets), Some(&cur));
+        let cross = r.run(&Scenario::cross_modal(&sets), Some(&cur)).unwrap();
+        let text = r.run(&Scenario::text_only(&sets), None).unwrap();
+        let image = r.run(&Scenario::image_only(&sets), Some(&cur)).unwrap();
         // At this tiny unit-test scale only weak orderings are stable (the
         // strict Table-2 orderings are asserted at bench scale in
         // EXPERIMENTS.md): combining modalities must not lose to either
@@ -304,12 +352,12 @@ mod tests {
     fn baseline_is_weaker_than_feature_models() {
         let d = data();
         let r = runner(&d);
-        let cur = curate(
-            &d,
-            &CurationConfig { use_label_propagation: false, ..Default::default() },
-        );
-        let baseline = r.baseline_auprc();
-        let cross = r.run_relative(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&cur), baseline);
+        let cur =
+            curate(&d, &CurationConfig { use_label_propagation: false, ..Default::default() });
+        let baseline = r.baseline_auprc().unwrap();
+        let cross = r
+            .run_relative(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&cur), baseline)
+            .unwrap();
         assert!(baseline > 0.0);
         let rel = cross.relative_auprc.unwrap();
         assert!(rel > 1.0, "relative AUPRC {rel} should exceed the embedding baseline");
@@ -319,16 +367,17 @@ mod tests {
     fn fully_supervised_scenario_uses_n_rows() {
         let d = data();
         let r = runner(&d);
-        let eval = r.run(&Scenario::fully_supervised(&FeatureSet::SHARED, 150), None);
+        let eval = r.run(&Scenario::fully_supervised(&FeatureSet::SHARED, 150), None).unwrap();
         assert_eq!(eval.n_train_rows, 150);
         assert!(eval.auprc > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "requires curation output")]
     fn weak_scenario_requires_curation() {
         let d = data();
-        runner(&d).run(&Scenario::image_only(&FeatureSet::SHARED), None);
+        let err = runner(&d).run(&Scenario::image_only(&FeatureSet::SHARED), None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidConfig);
+        assert!(err.message.contains("requires curation output"));
     }
 
     #[test]
@@ -339,14 +388,14 @@ mod tests {
             model: ModelKind::Mlp { hidden: vec![8] },
             train: TrainConfig { epochs: 6, patience: None, ..Default::default() },
         };
-        let cur = curate(
-            &d,
-            &CurationConfig { use_label_propagation: false, ..Default::default() },
-        );
-        for strategy in [FusionStrategy::Early, FusionStrategy::Intermediate, FusionStrategy::DeVise] {
+        let cur =
+            curate(&d, &CurationConfig { use_label_propagation: false, ..Default::default() });
+        for strategy in
+            [FusionStrategy::Early, FusionStrategy::Intermediate, FusionStrategy::DeVise]
+        {
             let mut s = Scenario::cross_modal(&FeatureSet::SHARED);
             s.strategy = strategy;
-            let eval = r.run(&s, Some(&cur));
+            let eval = r.run(&s, Some(&cur)).unwrap();
             assert!(eval.auprc.is_finite());
             assert!(eval.auprc >= 0.0);
         }

@@ -1,9 +1,8 @@
 //! k-NN similarity-graph construction.
 
 use cm_featurespace::{normalized_similarity, FeatureTable, SimilarityConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use cm_linalg::rng::SliceRandom;
+use cm_linalg::rng::StdRng;
 
 use crate::graph::SparseGraph;
 
@@ -79,7 +78,7 @@ impl GraphBuilder {
             .clamp(1, 8);
         let chunk = n.div_ceil(n_threads).max(1);
         let mut all_edges = Vec::new();
-        let results: Vec<Vec<(u32, u32, f32)>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Vec<(u32, u32, f32)>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..n_threads {
                 let start = t * chunk;
@@ -87,7 +86,7 @@ impl GraphBuilder {
                 if start >= end {
                     break;
                 }
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut edges = Vec::new();
                     for i in start..end {
                         let mut top = TopK::new(self.k);
@@ -105,9 +104,11 @@ impl GraphBuilder {
                     edges
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("knn worker panicked")).collect()
-        })
-        .expect("knn scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
         for mut r in results {
             all_edges.append(&mut r);
         }

@@ -19,7 +19,10 @@ impl SparseGraph {
         // Collect both directions, dedup per (src, dst) keeping max weight.
         let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_vertices];
         for &(a, b, w) in edges {
-            assert!((a as usize) < n_vertices && (b as usize) < n_vertices, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n_vertices && (b as usize) < n_vertices,
+                "edge endpoint out of range"
+            );
             if a == b {
                 continue;
             }

@@ -36,7 +36,11 @@ impl Default for PropagationConfig {
 ///
 /// # Panics
 /// Panics if a seed vertex is out of range or its score outside `[0, 1]`.
-pub fn propagate(graph: &SparseGraph, seeds: &[(usize, f64)], config: &PropagationConfig) -> Vec<f64> {
+pub fn propagate(
+    graph: &SparseGraph,
+    seeds: &[(usize, f64)],
+    config: &PropagationConfig,
+) -> Vec<f64> {
     let n = graph.n_vertices();
     let mut scores = vec![config.prior; n];
     let mut clamped = vec![false; n];
@@ -166,14 +170,7 @@ mod tests {
     #[test]
     fn labels_spread_through_clusters() {
         // Two triangles joined by nothing; one seed per triangle.
-        let edges = [
-            (0, 1, 1.0),
-            (1, 2, 1.0),
-            (0, 2, 1.0),
-            (3, 4, 1.0),
-            (4, 5, 1.0),
-            (3, 5, 1.0),
-        ];
+        let edges = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)];
         let g = SparseGraph::from_edges(6, &edges);
         let scores = propagate(&g, &[(0, 1.0), (3, 0.0)], &PropagationConfig::default());
         assert!(scores[1] > 0.9 && scores[2] > 0.9);
@@ -200,11 +197,8 @@ mod tests {
         let seeds = [(0usize, 1.0f64), (19, 0.0)];
         let stream = propagate_streaming(&g, &seeds, &tight);
         let expected: Vec<f64> = (0..20).map(|i| 1.0 - i as f64 / 19.0).collect();
-        let stream_err: f64 = stream
-            .iter()
-            .zip(&expected)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let stream_err: f64 =
+            stream.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         let sync = propagate(&g, &seeds, &tight);
         let sync_err: f64 =
             sync.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);

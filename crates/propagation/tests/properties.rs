@@ -1,65 +1,75 @@
-//! Property-based tests for graphs and label propagation.
+//! Randomized tests for graphs and label propagation (seeded, in-tree PRNG).
 
+use cm_linalg::rng::{Rng, StdRng};
 use cm_propagation::{propagate, propagate_streaming, PropagationConfig, SparseGraph};
-use proptest::prelude::*;
 
-fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>)> {
-    (4usize..24).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0.05f32..1.0),
-            0..(n * 3),
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 64;
+
+fn random_graph(rng: &mut StdRng) -> (usize, Vec<(u32, u32, f32)>) {
+    let n = rng.gen_range(4..24usize);
+    let n_edges = rng.gen_range(0..n * 3);
+    let edges = (0..n_edges)
+        .map(|_| {
+            (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32), rng.gen_range(0.05f32..1.0))
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn seed_scores(rng: &mut StdRng, n: usize, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+    let count = rng.gen_range(lo..hi);
+    (0..count).filter(|&i| i < n).map(|i| (i, if rng.gen_bool(0.5) { 1.0 } else { 0.0 })).collect()
+}
 
-    /// The CSR build is symmetric: u in N(v) iff v in N(u), with equal
-    /// weights.
-    #[test]
-    fn graph_is_symmetric((n, edges) in random_graph()) {
+/// The CSR build is symmetric: u in N(v) iff v in N(u), with equal
+/// weights.
+#[test]
+fn graph_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5133 ^ case);
+        let (n, edges) = random_graph(&mut rng);
         let g = SparseGraph::from_edges(n, &edges);
         for v in 0..n {
             let (neigh, weights) = g.neighbors(v);
             for (&u, &w) in neigh.iter().zip(weights) {
                 let (back, back_w) = g.neighbors(u as usize);
                 let pos = back.iter().position(|&x| x as usize == v);
-                prop_assert!(pos.is_some(), "edge {v}->{u} missing its reverse");
-                prop_assert_eq!(back_w[pos.unwrap()], w);
+                let Some(pos) = pos else {
+                    panic!("case {case}: edge {v}->{u} missing its reverse");
+                };
+                assert_eq!(back_w[pos], w, "case {case}");
             }
         }
     }
+}
 
-    /// Neighbor lists are sorted and self-loop free.
-    #[test]
-    fn neighbor_lists_are_canonical((n, edges) in random_graph()) {
+/// Neighbor lists are sorted and self-loop free.
+#[test]
+fn neighbor_lists_are_canonical() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xCA20 ^ case);
+        let (n, edges) = random_graph(&mut rng);
         let g = SparseGraph::from_edges(n, &edges);
         for v in 0..n {
             let (neigh, _) = g.neighbors(v);
             for w in neigh.windows(2) {
-                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbors");
+                assert!(w[0] < w[1], "case {case}: unsorted or duplicate neighbors");
             }
-            prop_assert!(!neigh.contains(&(v as u32)), "self loop at {v}");
+            assert!(!neigh.contains(&(v as u32)), "case {case}: self loop at {v}");
         }
     }
+}
 
-    /// Maximum principle: propagated scores stay within the convex hull of
-    /// the seed scores and the prior.
-    #[test]
-    fn propagation_respects_maximum_principle(
-        (n, edges) in random_graph(),
-        seed_bits in prop::collection::vec(any::<bool>(), 1..6),
-        prior in 0.0f64..1.0,
-    ) {
+/// Maximum principle: propagated scores stay within the convex hull of
+/// the seed scores and the prior.
+#[test]
+fn propagation_respects_maximum_principle() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3A10 ^ case);
+        let (n, edges) = random_graph(&mut rng);
+        let prior = rng.gen_range(0.0f64..1.0);
+        let seeds = seed_scores(&mut rng, n, 1, 6);
         let g = SparseGraph::from_edges(n, &edges);
-        let seeds: Vec<(usize, f64)> = seed_bits
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i < n)
-            .map(|(i, &b)| (i, if b { 1.0 } else { 0.0 }))
-            .collect();
         let cfg = PropagationConfig { max_iters: 200, tol: 1e-9, prior };
         let scores = propagate(&g, &seeds, &cfg);
         let mut lo = prior;
@@ -69,41 +79,41 @@ proptest! {
             hi = hi.max(s);
         }
         for (v, &s) in scores.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 s >= lo - 1e-9 && s <= hi + 1e-9,
-                "vertex {v} score {s} escapes [{lo}, {hi}]"
+                "case {case}: vertex {v} score {s} escapes [{lo}, {hi}]"
             );
         }
     }
+}
 
-    /// Jacobi and Gauss–Seidel converge to the same fixed point.
-    #[test]
-    fn variants_agree_at_convergence(
-        (n, edges) in random_graph(),
-        seed_bits in prop::collection::vec(any::<bool>(), 2..5),
-    ) {
+/// Jacobi and Gauss–Seidel converge to the same fixed point.
+#[test]
+fn variants_agree_at_convergence() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF18 ^ case);
+        let (n, edges) = random_graph(&mut rng);
+        let seeds = seed_scores(&mut rng, n, 2, 5);
         let g = SparseGraph::from_edges(n, &edges);
-        let seeds: Vec<(usize, f64)> = seed_bits
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i < n)
-            .map(|(i, &b)| (i, if b { 1.0 } else { 0.0 }))
-            .collect();
         let cfg = PropagationConfig { max_iters: 20_000, tol: 1e-12, prior: 0.5 };
         let sync = propagate(&g, &seeds, &cfg);
         let stream = propagate_streaming(&g, &seeds, &cfg);
         for (a, b) in sync.iter().zip(&stream) {
-            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-5, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Clamped seeds never move.
-    #[test]
-    fn seeds_are_clamped((n, edges) in random_graph()) {
+/// Clamped seeds never move.
+#[test]
+fn seeds_are_clamped() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC1A ^ case);
+        let (n, edges) = random_graph(&mut rng);
         let g = SparseGraph::from_edges(n, &edges);
         let seeds = vec![(0usize, 1.0f64), (n - 1, 0.0)];
         let scores = propagate(&g, &seeds, &PropagationConfig::default());
-        prop_assert_eq!(scores[0], 1.0);
-        prop_assert_eq!(scores[n - 1], 0.0);
+        assert_eq!(scores[0], 1.0, "case {case}");
+        assert_eq!(scores[n - 1], 0.0, "case {case}");
     }
 }

@@ -1,0 +1,433 @@
+//! Layer 1 of the static-analysis gate: a self-contained line/token
+//! scanner over workspace `.rs` sources.
+//!
+//! Bans panicking escape hatches (`.unwrap()`, `.expect(...)`, `panic!`,
+//! `todo!`, `unimplemented!`), `unsafe`, and debug output (`dbg!`,
+//! `println!`; `eprintln!` stays legal for diagnostics) in **library-crate
+//! non-test code**. Tests, benches, examples, binary targets, and
+//! `#[cfg(test)]` blocks are exempt: panicking on a violated expectation
+//! is exactly right there. A finding can be waived in place with
+//! `// lint: allow(<rule>)` on the same line or the line above.
+//!
+//! The scanner is deliberately token-level, not a full parser: it strips
+//! comments and string literals per line, tracks `#[cfg(test)]` regions by
+//! brace counting, and then looks for banned tokens at identifier
+//! boundaries (so `.unwrap_or_default()` and `eprintln!` never match).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Rules the scanner enforces. `matches` must respect identifier
+/// boundaries itself; the scanner hands it comment- and string-stripped
+/// code.
+const RULES: &[Rule] = &[
+    Rule { name: "unwrap", check: |code| finds_method(code, "unwrap") },
+    Rule { name: "expect", check: |code| finds_method(code, "expect") },
+    Rule { name: "panic", check: |code| finds_macro(code, "panic") },
+    Rule { name: "todo", check: |code| finds_macro(code, "todo") },
+    Rule { name: "unimplemented", check: |code| finds_macro(code, "unimplemented") },
+    Rule { name: "unsafe", check: |code| finds_word(code, "unsafe") },
+    Rule { name: "dbg", check: |code| finds_macro(code, "dbg") },
+    Rule { name: "println", check: |code| finds_macro(code, "println") },
+];
+
+/// One lint rule: a stable name (used by the allow pragma) plus a matcher
+/// over stripped code.
+struct Rule {
+    name: &'static str,
+    check: fn(&str) -> bool,
+}
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `"unwrap"`.
+    pub rule: &'static str,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.snippet)
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `code` calls `.name(` (boundary-checked, so `.unwrap_or*`,
+/// `.unwrap_err`, and `.expect_err` do not match `unwrap`/`expect`).
+fn finds_method(code: &str, name: &str) -> bool {
+    let needle = format!(".{name}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let end = from + pos + needle.len();
+        let next_ident = code[end..].chars().next().is_some_and(is_ident);
+        let then_call = code[end..].trim_start().starts_with('(');
+        if !next_ident && then_call {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// True when `code` invokes the macro `name!` (boundary-checked on the
+/// left, so `eprintln!` never matches `println`).
+fn finds_macro(code: &str, name: &str) -> bool {
+    let needle = format!("{name}!");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let at = from + pos;
+        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
+        if !prev_ident {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// True when `code` contains the bare word `name`.
+fn finds_word(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(name) {
+        let at = from + pos;
+        let end = at + name.len();
+        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
+        let next_ident = code[end..].chars().next().is_some_and(is_ident);
+        if !prev_ident && !next_ident {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Splits a source line into (code, comment) at the first `//` that is
+/// not inside a string literal, and blanks out string/char literal
+/// contents in the code half so banned tokens inside strings never match.
+fn strip_line(line: &str) -> (String, &str) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '"' => {
+                // Blank the string literal's body.
+                code.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '\\' => i += 2,
+                        '"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime has an identifier
+                // char right after the quote and no closing quote nearby;
+                // just copy it through — char literals are too short to
+                // hold a banned token anyway.
+                code.push('\'');
+                i += 1;
+                if i < bytes.len() && bytes[i] as char == '\\' {
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] as char == '\'' {
+                    i += 2;
+                    code.push('\'');
+                } else {
+                    continue;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] as char == '/' => {
+                return (code, &line[i..]);
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, "")
+}
+
+/// Parses rule names out of a `// lint: allow(rule1, rule2)` pragma.
+fn allow_pragma(comment: &str) -> Vec<String> {
+    let Some(idx) = comment.find("lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &comment[idx + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close].split(',').map(|s| s.trim().to_owned()).collect()
+}
+
+fn net_braces(code: &str) -> i64 {
+    let mut net = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => net += 1,
+            '}' => net -= 1,
+            _ => {}
+        }
+    }
+    net
+}
+
+/// Scans one library source text; pure so the self-tests can feed it
+/// fixtures. `file` is only used to label findings.
+pub fn lint_source(source: &str, file: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_test_block = false;
+    let mut test_depth = 0i64;
+    // Set when `#[cfg(test)]` was seen but its item's `{` has not.
+    let mut pending_test_item = false;
+    let mut allowed_next: Vec<String> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let (code, comment) = strip_line(line);
+        let mut allowed = std::mem::take(&mut allowed_next);
+        allowed.extend(allow_pragma(comment));
+        if code.trim().is_empty() && !allowed.is_empty() {
+            // Comment-only pragma line: applies to the next line.
+            allowed_next = allowed;
+            continue;
+        }
+        if in_test_block {
+            test_depth += net_braces(&code);
+            if test_depth <= 0 {
+                in_test_block = false;
+            }
+            continue;
+        }
+        if pending_test_item {
+            let net = net_braces(&code);
+            if net > 0 {
+                in_test_block = true;
+                test_depth = net;
+                pending_test_item = false;
+            } else if code.contains(';') {
+                // `#[cfg(test)] mod tests;` — the body lives elsewhere.
+                pending_test_item = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            let net = net_braces(&code);
+            if net > 0 {
+                in_test_block = true;
+                test_depth = net;
+            } else {
+                pending_test_item = true;
+            }
+            continue;
+        }
+        for rule in RULES {
+            if (rule.check)(&code) && !allowed.iter().any(|a| a == rule.name) {
+                findings.push(Finding {
+                    rule: rule.name,
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    snippet: line.trim().to_owned(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// True when `path` belongs to a zone where panicking is idiomatic:
+/// tests, benches, examples, or binary targets.
+fn is_exempt_path(path: &Path) -> bool {
+    let mut comps = path.components().peekable();
+    while let Some(c) = comps.next() {
+        let name = c.as_os_str().to_string_lossy();
+        if name == "tests" || name == "benches" || name == "examples" {
+            return true;
+        }
+        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "bin") {
+            return true;
+        }
+        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "main.rs") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects the workspace `.rs` files the lint applies to: everything
+/// under `crates/` that is not in an exempt zone. Crates without a
+/// `src/lib.rs` are binary crates and fully exempt.
+fn collect_lint_targets(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates) else {
+        return out;
+    };
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        if !dir.join("src/lib.rs").exists() {
+            continue;
+        }
+        let mut stack = vec![dir.join("src")];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = fs::read_dir(&d) else { continue };
+            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            paths.sort();
+            for p in paths {
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let rel = p.strip_prefix(root).unwrap_or(&p);
+                    if !is_exempt_path(rel) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs the lint over the workspace rooted at `root`; returns all
+/// findings (empty means the gate passes).
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for path in collect_lint_targets(root) {
+        match fs::read_to_string(&path) {
+            Ok(source) => {
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                findings.extend(lint_source(&source, &rel));
+            }
+            Err(e) => eprintln!("lint: skipping unreadable {}: {e}", path.display()),
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(source: &str) -> Vec<&'static str> {
+        lint_source(source, Path::new("fixture.rs")).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_each_banned_token() {
+        assert_eq!(rules_hit("let x = y.unwrap();"), vec!["unwrap"]);
+        assert_eq!(rules_hit("let x = y.expect(\"boom\");"), vec!["expect"]);
+        assert_eq!(rules_hit("panic!(\"no\");"), vec!["panic"]);
+        assert_eq!(rules_hit("todo!()"), vec!["todo"]);
+        assert_eq!(rules_hit("unimplemented!()"), vec!["unimplemented"]);
+        assert_eq!(rules_hit("unsafe { *p }"), vec!["unsafe"]);
+        assert_eq!(rules_hit("dbg!(x);"), vec!["dbg"]);
+        assert_eq!(rules_hit("println!(\"hi\");"), vec!["println"]);
+    }
+
+    #[test]
+    fn fallible_siblings_do_not_match() {
+        assert!(rules_hit("let x = y.unwrap_or(0);").is_empty());
+        assert!(rules_hit("let x = y.unwrap_or_else(|| 0);").is_empty());
+        assert!(rules_hit("let x = y.unwrap_or_default();").is_empty());
+        assert!(rules_hit("let e = y.unwrap_err();").is_empty());
+        assert!(rules_hit("let e = y.expect_err(\"want err\");").is_empty());
+        assert!(rules_hit("eprintln!(\"diagnostic\");").is_empty());
+        assert!(rules_hit("core::panicking();").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_match() {
+        assert!(rules_hit("let s = \"call .unwrap() later\";").is_empty());
+        assert!(rules_hit("// the docs mention panic!(...) here").is_empty());
+        assert!(rules_hit("let url = \"https://x\"; // .expect( nothing").is_empty());
+    }
+
+    #[test]
+    fn allow_pragma_waives_same_line_and_next_line() {
+        assert!(rules_hit("let x = y.unwrap(); // lint: allow(unwrap)").is_empty());
+        assert!(rules_hit("// lint: allow(panic)\npanic!(\"invariant\");").is_empty());
+        // The waiver is rule-specific.
+        assert_eq!(rules_hit("let x = y.unwrap(); // lint: allow(expect)"), vec!["unwrap"]);
+        // And only covers one line.
+        assert_eq!(
+            rules_hit("// lint: allow(unwrap)\nlet a = b.unwrap();\nlet c = d.unwrap();"),
+            vec!["unwrap"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let source = "\
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+
+pub fn after_tests(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+";
+        let findings = lint_source(source, Path::new("fixture.rs"));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unwrap");
+        assert_eq!(findings[0].line, 13);
+    }
+
+    #[test]
+    fn exempt_paths() {
+        assert!(is_exempt_path(Path::new("crates/foo/tests/properties.rs")));
+        assert!(is_exempt_path(Path::new("crates/foo/benches/b.rs")));
+        assert!(is_exempt_path(Path::new("crates/foo/src/bin/tool.rs")));
+        assert!(is_exempt_path(Path::new("examples/quickstart.rs")));
+        assert!(!is_exempt_path(Path::new("crates/foo/src/lib.rs")));
+        assert!(!is_exempt_path(Path::new("crates/foo/src/inner/mod.rs")));
+    }
+
+    #[test]
+    fn seeded_violation_fixture_is_fully_caught() {
+        // A little library file with one of everything; the scanner must
+        // find all eight rules, in order.
+        let source = "\
+pub fn f(v: Option<u32>) -> u32 {
+    println!(\"starting\");
+    dbg!(&v);
+    let w = v.unwrap();
+    let x = v.expect(\"must exist\");
+    if w != x { panic!(\"mismatch\") }
+    unsafe { std::hint::unreachable_unchecked() }
+    todo!();
+    unimplemented!()
+}
+";
+        let mut rules = rules_hit(source);
+        rules.sort_unstable();
+        assert_eq!(
+            rules,
+            vec!["dbg", "expect", "panic", "println", "todo", "unimplemented", "unsafe", "unwrap"]
+        );
+    }
+}

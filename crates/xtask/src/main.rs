@@ -1,0 +1,65 @@
+//! Workspace task runner: the two-layer static-analysis gate.
+//!
+//! - `cargo run -p xtask -- lint` — layer 1, source lints over library
+//!   crates (see `lint.rs`).
+//! - `cargo run -p xtask -- validate` — layer 2, pre-execution pipeline
+//!   checks over seed artifacts (see `validate.rs` and the `cm-check`
+//!   crate). `--seeded-negatives` self-tests the gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+mod validate;
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs via `cargo run -p xtask`, so the manifest dir is
+    // `<root>/crates/xtask`.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map_or(manifest.clone(), PathBuf::from)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- <lint | validate [--seeded-negatives]>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.len() > 1 {
+                eprintln!("lint takes no arguments (got {:?})", &args[1..]);
+                return usage();
+            }
+            let findings = lint::run(&workspace_root());
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("validate") => {
+            let mut negatives = false;
+            for a in &args[1..] {
+                if a == "--seeded-negatives" {
+                    negatives = true;
+                } else {
+                    eprintln!("validate: unknown argument {a:?}");
+                    return usage();
+                }
+            }
+            if validate::run(negatives) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

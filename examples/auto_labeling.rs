@@ -45,8 +45,7 @@ fn main() {
             "{:<34} {:>8.1}% {:>10} {:>7.1}%",
             truncate(&rep.name, 34),
             rep.coverage * 100.0,
-            rep.positive_precision
-                .map_or_else(|| "-".into(), |p| format!("{:.1}%", p * 100.0)),
+            rep.positive_precision.map_or_else(|| "-".into(), |p| format!("{:.1}%", p * 100.0)),
             rep.positive_recall * 100.0,
         );
     }

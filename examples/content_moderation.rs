@@ -31,7 +31,8 @@ fn main() {
     // Assemble the pipeline's data bundle with video as the new modality.
     // (TaskData's fields are public precisely so other modality pairs can
     // be wired up.)
-    let data = TaskData { world, text, pool: video_pool, test: video_test, labeled_image: video_labeled };
+    let data =
+        TaskData { world, text, pool: video_pool, test: video_test, labeled_image: video_labeled };
 
     let curation = curate(&data, &CurationConfig::default());
     println!(
@@ -46,10 +47,11 @@ fn main() {
         model: ModelKind::Mlp { hidden: vec![32] },
         train: TrainConfig { epochs: 20, patience: None, ..TrainConfig::default() },
     };
-    let baseline = runner.baseline_auprc();
+    let baseline = runner.baseline_auprc().unwrap();
     let sets = FeatureSet::SHARED;
-    let cross = runner.run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline);
-    let text_only = runner.run_relative(&Scenario::text_only(&sets), None, baseline);
+    let cross =
+        runner.run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline).unwrap();
+    let text_only = runner.run_relative(&Scenario::text_only(&sets), None, baseline).unwrap();
     println!("\nembedding baseline AUPRC: {baseline:.4}");
     println!(
         "text model applied to video:  AUPRC {:.4} ({:.2}x)",
@@ -67,7 +69,8 @@ fn main() {
     let view = cm_pipeline::DenseView::fit(
         &[&data.text.table, &data.pool.table],
         data.world.schema().columns_in_sets(&sets, true),
-    );
+    )
+    .unwrap();
     let x = view.encode(&incoming.table);
     // Retrain a production copy on everything (text + weak video labels).
     let eval_model = {

@@ -18,11 +18,8 @@ fn main() {
         train: TrainConfig { epochs: 20, patience: None, ..TrainConfig::default() },
     };
     let sets = FeatureSet::SHARED;
-    let cross = runner.run(&Scenario::cross_modal(&sets), Some(&curation));
-    println!(
-        "cross-modal pipeline (0 hand labels): AUPRC {:.4}\n",
-        cross.auprc
-    );
+    let cross = runner.run(&Scenario::cross_modal(&sets), Some(&curation)).unwrap();
+    println!("cross-modal pipeline (0 hand labels): AUPRC {:.4}\n", cross.auprc);
 
     println!("{:>12} {:>10} {:>16}", "hand labels", "AUPRC", "vs cross-modal");
     let mut curve = Vec::new();
@@ -30,7 +27,7 @@ fn main() {
         if n > data.labeled_image.len() {
             break;
         }
-        let eval = runner.run(&Scenario::fully_supervised(&sets, n), None);
+        let eval = runner.run(&Scenario::fully_supervised(&sets, n), None).unwrap();
         let cmp = if eval.auprc >= cross.auprc { "ahead" } else { "behind" };
         println!("{n:>12} {:>10.4} {cmp:>16}", eval.auprc);
         curve.push((n as f64, eval.auprc));

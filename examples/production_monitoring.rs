@@ -22,7 +22,7 @@ fn main() {
     // --- §7.1: which organizational resources carry this task? ---
     println!("feature-set attribution (mask-based, §7.1):");
     let scenario = Scenario::cross_modal(&FeatureSet::SHARED);
-    for a in feature_set_attribution(&data, &scenario, Some(&curation), &model, &train) {
+    for a in feature_set_attribution(&data, &scenario, Some(&curation), &model, &train).unwrap() {
         println!(
             "  set {:?}: full AUPRC {:.4}, masked {:.4} -> contribution {:+.4}",
             a.set, a.full_auprc, a.masked_auprc, a.contribution
@@ -37,7 +37,7 @@ fn main() {
     let reviews: Vec<(usize, Label)> = picks.iter().map(|&r| (r, data.pool.labels[r])).collect();
     apply_review(&mut curation, reviews);
     let runner = ScenarioRunner { data: &data, model: model.clone(), train: train.clone() };
-    let eval = runner.run(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&curation));
+    let eval = runner.run(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&curation)).unwrap();
     println!(
         "  weak-label F1 before review: {:.3}; cross-modal AUPRC after folding reviews in: {:.4}",
         before.f1, eval.auprc
@@ -50,7 +50,8 @@ fn main() {
     let view = cross_modal::pipeline::DenseView::fit(
         &[&data.text.table, &data.pool.table],
         data.world.schema().columns_in_sets(&FeatureSet::SHARED, true),
-    );
+    )
+    .unwrap();
     let scores = {
         use cross_modal::fusion::{EarlyFusionModel, ModalityData};
         let parts = [

@@ -53,22 +53,19 @@ fn main() {
         model: ModelKind::Mlp { hidden: vec![32] },
         train: TrainConfig { epochs: 20, patience: None, ..TrainConfig::default() },
     };
-    let baseline = runner.baseline_auprc();
+    let baseline = runner.baseline_auprc().unwrap();
     println!("\nbaseline (pre-trained image embeddings, fully supervised): AUPRC {baseline:.4}");
 
     let sets = FeatureSet::SHARED;
-    for scenario in [
-        Scenario::text_only(&sets),
-        Scenario::image_only(&sets),
-        Scenario::cross_modal(&sets),
-    ] {
-        let eval = runner.run_relative(&scenario, Some(&curation), baseline);
+    for scenario in
+        [Scenario::text_only(&sets), Scenario::image_only(&sets), Scenario::cross_modal(&sets)]
+    {
+        let eval = runner.run_relative(&scenario, Some(&curation), baseline).unwrap();
         println!(
             "{:<28} AUPRC {:.4}  ({} baseline)",
             eval.scenario,
             eval.auprc,
-            eval.relative_auprc
-                .map_or_else(|| "?x".into(), |r| format!("{r:.2}x")),
+            eval.relative_auprc.map_or_else(|| "?x".into(), |r| format!("{r:.2}x")),
         );
     }
     println!("\nThe cross-modal model was trained with ZERO hand-labeled images.");

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md). Every step must pass before merge.
+#
+# The build is hermetic: no network, no registry deps. Everything below
+# runs offline against the in-tree workspace only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> xtask lint (layer 1: source lints)"
+cargo run -q -p xtask -- lint
+
+echo "==> xtask validate (layer 2: pipeline-graph validator)"
+cargo run -q -p xtask -- validate
+
+echo "==> xtask validate --seeded-negatives (gate self-test)"
+cargo run -q -p xtask -- validate --seeded-negatives
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "ci: all gates passed"

@@ -29,7 +29,7 @@
 //!     model: ModelKind::Logistic,
 //!     train: TrainConfig { epochs: 5, ..TrainConfig::default() },
 //! };
-//! let eval = runner.run(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&curation));
+//! let eval = runner.run(&Scenario::cross_modal(&FeatureSet::SHARED), Some(&curation)).unwrap();
 //! assert!(eval.auprc > 0.0);
 //! ```
 //!

@@ -23,8 +23,7 @@ fn propagation_scores_rank_pool_positives() {
     let sim = SimilarityConfig::uniform(columns).fit_scales(&combined);
     let graph = GraphBuilder::approximate(10, combined.len()).build(&combined, &sim, 7);
 
-    let seeds: Vec<(usize, f64)> =
-        (0..text.len()).map(|r| (r, text.labels[r].as_f64())).collect();
+    let seeds: Vec<(usize, f64)> = (0..text.len()).map(|r| (r, text.labels[r].as_f64())).collect();
     let cfg = PropagationConfig { max_iters: 50, tol: 1e-4, prior: 0.07 };
     let scores = propagate(&graph, &seeds, &cfg);
     let pool_scores = &scores[text.len()..];

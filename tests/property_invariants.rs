@@ -1,4 +1,4 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Randomized tests on cross-crate invariants (seeded, in-tree PRNG).
 
 use cross_modal::eval::{auprc, roc_auc};
 use cross_modal::featurespace::{
@@ -6,8 +6,10 @@ use cross_modal::featurespace::{
     FeatureValue, ServingMode, SimilarityConfig, Vocabulary,
 };
 use cross_modal::labelmodel::{majority_vote, LabelMatrix};
-use proptest::prelude::*;
+use cross_modal::linalg::rng::{Rng, StdRng};
 use std::sync::Arc;
+
+const CASES: u64 = 64;
 
 fn schema() -> Arc<FeatureSchema> {
     Arc::new(FeatureSchema::from_defs(vec![
@@ -21,123 +23,138 @@ fn schema() -> Arc<FeatureSchema> {
     ]))
 }
 
-fn row_strategy() -> impl Strategy<Value = Vec<FeatureValue>> {
-    (
-        prop::option::of(-100.0f64..100.0),
-        prop::option::of(prop::collection::vec(0u32..8, 0..5)),
-    )
-        .prop_map(|(num, cats)| {
-            vec![
-                num.map_or(FeatureValue::Missing, FeatureValue::Numeric),
-                cats.map_or(FeatureValue::Missing, |ids| {
-                    FeatureValue::Categorical(CatSet::from_ids(ids))
-                }),
-            ]
-        })
+fn random_row(rng: &mut StdRng) -> Vec<FeatureValue> {
+    let num = if rng.gen_bool(0.7) {
+        FeatureValue::Numeric(rng.gen_range(-100.0..100.0))
+    } else {
+        FeatureValue::Missing
+    };
+    let cats = if rng.gen_bool(0.7) {
+        let n = rng.gen_range(0..5usize);
+        let mut ids: Vec<u32> = (0..n).map(|_| rng.gen_range(0..8u32)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        FeatureValue::Categorical(CatSet::from_ids(ids))
+    } else {
+        FeatureValue::Missing
+    };
+    vec![num, cats]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_table(
+    rng: &mut StdRng,
+    min_rows: usize,
+    max_rows: usize,
+) -> (FeatureTable, Vec<Vec<FeatureValue>>) {
+    let n = rng.gen_range(min_rows..max_rows);
+    let rows: Vec<Vec<FeatureValue>> = (0..n).map(|_| random_row(rng)).collect();
+    let mut table = FeatureTable::new(schema());
+    for row in &rows {
+        table.push_row(row);
+    }
+    (table, rows)
+}
 
-    /// Round trip: rows pushed into a table come back value-identical.
-    #[test]
-    fn table_round_trips_rows(rows in prop::collection::vec(row_strategy(), 1..20)) {
-        let mut table = FeatureTable::new(schema());
-        for row in &rows {
-            table.push_row(row);
-        }
+/// Round trip: rows pushed into a table come back value-identical.
+#[test]
+fn table_round_trips_rows() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7AB1E ^ case);
+        let (table, rows) = random_table(&mut rng, 1, 20);
         for (r, row) in rows.iter().enumerate() {
-            prop_assert_eq!(&table.row(r), row);
+            assert_eq!(&table.row(r), row, "case {case}");
         }
     }
+}
 
-    /// gather is a projection: gathering all indices reproduces the table.
-    #[test]
-    fn gather_identity(rows in prop::collection::vec(row_strategy(), 1..15)) {
-        let mut table = FeatureTable::new(schema());
-        for row in &rows {
-            table.push_row(row);
-        }
+/// gather is a projection: gathering all indices reproduces the table.
+#[test]
+fn gather_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6A7 ^ case);
+        let (table, _) = random_table(&mut rng, 1, 15);
         let all: Vec<usize> = (0..table.len()).collect();
         let g = table.gather(&all);
         for r in 0..table.len() {
-            prop_assert_eq!(table.row(r), g.row(r));
+            assert_eq!(table.row(r), g.row(r), "case {case}");
         }
     }
+}
 
-    /// Similarity is symmetric, bounded, and maximal on identical rows.
-    #[test]
-    fn similarity_axioms(rows in prop::collection::vec(row_strategy(), 2..12)) {
-        let mut table = FeatureTable::new(schema());
-        for row in &rows {
-            table.push_row(row);
-        }
+/// Similarity is symmetric, bounded, and maximal on identical rows.
+#[test]
+fn similarity_axioms() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51 ^ case);
+        let (table, _) = random_table(&mut rng, 2, 12);
         let cfg = SimilarityConfig::uniform(vec![0, 1]);
         for i in 0..table.len() {
             for j in 0..table.len() {
                 let a = normalized_similarity((&table, i), (&table, j), &cfg);
                 let b = normalized_similarity((&table, j), (&table, i), &cfg);
-                prop_assert!((a - b).abs() < 1e-12);
-                prop_assert!((0.0..=1.0).contains(&a));
+                assert!((a - b).abs() < 1e-12, "case {case}");
+                assert!((0.0..=1.0).contains(&a), "case {case}");
             }
             let present = table.is_present(i, 0) || table.is_present(i, 1);
             if present {
                 let self_sim = normalized_similarity((&table, i), (&table, i), &cfg);
-                prop_assert!((self_sim - 1.0).abs() < 1e-9);
+                assert!((self_sim - 1.0).abs() < 1e-9, "case {case}");
             }
         }
     }
+}
 
-    /// AUPRC is invariant under strictly monotone score transforms and
-    /// bounded by [0, 1]; ROC-AUC of complemented labels mirrors around 0.5.
-    #[test]
-    fn ranking_metric_invariants(
-        scores in prop::collection::vec(-50.0f64..50.0, 3..40),
-        flips in prop::collection::vec(any::<bool>(), 3..40),
-    ) {
-        let n = scores.len().min(flips.len());
-        let scores = &scores[..n];
-        let labels = &flips[..n];
-        let ap = auprc(scores, labels);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+/// AUPRC is invariant under strictly monotone score transforms and
+/// bounded by [0, 1]; ROC-AUC of complemented labels mirrors around 0.5.
+#[test]
+fn ranking_metric_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xAA ^ case);
+        let n = rng.gen_range(3..40usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let ap = auprc(&scores, &labels);
+        assert!((0.0..=1.0 + 1e-12).contains(&ap), "case {case}");
         // Monotone transform: exp(x/25) keeps the order (and stays finite).
         let transformed: Vec<f64> = scores.iter().map(|&s| (s / 25.0).exp()).collect();
-        let ap_t = auprc(&transformed, labels);
-        prop_assert!((ap - ap_t).abs() < 1e-9, "{} vs {}", ap, ap_t);
+        let ap_t = auprc(&transformed, &labels);
+        assert!((ap - ap_t).abs() < 1e-9, "case {case}: {ap} vs {ap_t}");
 
-        let auc = roc_auc(scores, labels);
+        let auc = roc_auc(&scores, &labels);
         let inverted: Vec<f64> = scores.iter().map(|&s| -s).collect();
-        let auc_inv = roc_auc(&inverted, labels);
+        let auc_inv = roc_auc(&inverted, &labels);
         let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
         if has_both {
-            prop_assert!((auc + auc_inv - 1.0).abs() < 1e-9);
+            assert!((auc + auc_inv - 1.0).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// Majority vote respects unanimity: rows where all non-abstain votes
-    /// agree get the extreme label.
-    #[test]
-    fn majority_vote_unanimity(
-        votes in prop::collection::vec(prop::sample::select(vec![-1i8, 0, 1]), 4..60),
-    ) {
+/// Majority vote respects unanimity: rows where all non-abstain votes
+/// agree get the extreme label.
+#[test]
+fn majority_vote_unanimity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x30 ^ case);
         let n_lfs = 4;
-        let n_rows = votes.len() / n_lfs;
-        let votes = &votes[..n_rows * n_lfs];
+        let n_rows = rng.gen_range(1..15usize);
+        let votes: Vec<i8> =
+            (0..n_rows * n_lfs).map(|_| [-1i8, 0, 1][rng.gen_range(0..3usize)]).collect();
         let names = (0..n_lfs).map(|i| format!("lf{i}")).collect();
-        let m = LabelMatrix::from_votes(n_rows, n_lfs, votes.to_vec(), names);
+        let m = LabelMatrix::from_votes(n_rows, n_lfs, votes, names);
         let mv = majority_vote(&m);
         for (r, &value) in mv.iter().enumerate() {
             let row = m.row(r);
             let pos = row.iter().filter(|&&v| v > 0).count();
             let neg = row.iter().filter(|&&v| v < 0).count();
             if pos > 0 && neg == 0 {
-                prop_assert_eq!(value, 1.0);
+                assert_eq!(value, 1.0, "case {case}");
             } else if neg > 0 && pos == 0 {
-                prop_assert_eq!(value, 0.0);
+                assert_eq!(value, 0.0, "case {case}");
             } else if pos == 0 && neg == 0 {
-                prop_assert_eq!(value, 0.5);
+                assert_eq!(value, 0.5, "case {case}");
             }
-            prop_assert!((0.0..=1.0).contains(&value));
+            assert!((0.0..=1.0).contains(&value), "case {case}");
         }
     }
 }

@@ -1,9 +1,7 @@
 //! Integration of mining + labeling functions + label models over
 //! world-generated data (crates: orgsim, mining, labelmodel).
 
-use cross_modal::labelmodel::{
-    evaluate_lfs, majority_vote, AnchoredModel, LabelMatrix, Vote,
-};
+use cross_modal::labelmodel::{evaluate_lfs, majority_vote, AnchoredModel, LabelMatrix, Vote};
 use cross_modal::mining::{mine_lfs, MiningConfig};
 use cross_modal::prelude::*;
 
@@ -96,7 +94,7 @@ fn expert_lfs_are_broad_but_less_precise_than_mined() {
     // more precise — the paper's +14.3% precision / -9.6% recall for
     // mining.
     let (world, text, _) = corpus(9);
-    let expert = expert_lfs(world.schema());
+    let expert = expert_lfs(world.schema()).unwrap();
     let mined = mined_lfs(&world, &text);
     let e = evaluate_lfs(&text.table, &text.labels, &expert);
     let m = evaluate_lfs(&text.table, &text.labels, &mined);
