@@ -12,9 +12,11 @@ use std::time::{Duration, Instant};
 
 use cm_featurespace::{FeatureSet, ModalityKind, SimilarityConfig};
 use cm_labelmodel::{AnchoredModel, GenerativeConfig, GenerativeModel, LabelMatrix};
-use cm_mining::{mine_itemsets, MiningConfig};
+use cm_linalg::Matrix;
+use cm_mining::{mine_itemsets, mine_itemsets_with, MiningConfig};
 use cm_models::{LogisticRegression, Mlp, MlpEpochConfig};
 use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
+use cm_par::ParConfig;
 use cm_pipeline::{curate, CurationConfig, DenseView, TaskData};
 use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
 
@@ -218,6 +220,51 @@ fn bench_training(c: &Harness) {
     c.finish();
 }
 
+/// Serial-vs-parallel comparison of the `cm-par`-wired hot paths at
+/// explicit thread counts (independent of `CM_THREADS`). On a single-core
+/// host the t4 rows measure substrate overhead rather than speedup; see
+/// `results/BENCH_par.json` for recorded context.
+fn bench_par_substrate(c: &Harness) {
+    let mut group = c.group("par");
+    group.sample_size(10);
+
+    // Apriori candidate-support counting (two chunked counting passes).
+    let w = world();
+    let data = w.generate(ModalityKind::Text, 8000, 5);
+    let cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    let mine_cfg = MiningConfig::default();
+    for threads in [1usize, 4] {
+        let par = ParConfig::threads(threads);
+        group.bench_function(format!("apriori_support_8k_t{threads}"), || {
+            mine_itemsets_with(&data.table, &data.labels, &cols, &mine_cfg, &par)
+        });
+    }
+
+    // Vote-matrix statistics over a 100k x 8 matrix (single fused pass).
+    let (m, _) = synthetic_matrix(100_000, 8);
+    for threads in [1usize, 4] {
+        let par = ParConfig::threads(threads);
+        group.bench_function(format!("vote_stats_100k_x8_t{threads}"), || m.vote_stats_with(&par));
+    }
+
+    // Dense GEMM, 256^3 (row chunks above the flop threshold).
+    let fill = |seed: u32| {
+        let mut m = Matrix::zeros(256, 256);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) & 0xFF) as f32
+                / 255.0
+                - 0.5;
+        }
+        m
+    };
+    let (a, b) = (fill(1), fill(2));
+    for threads in [1usize, 4] {
+        let par = ParConfig::threads(threads);
+        group.bench_function(format!("matmul_256_t{threads}"), || a.matmul_with(&b, &par));
+    }
+    group.finish();
+}
+
 fn bench_end_to_end_curation(c: &Harness) {
     let mut group = c.group("pipeline");
     group.sample_size(10);
@@ -234,5 +281,6 @@ fn main() {
     bench_label_model(&harness);
     bench_propagation(&harness);
     bench_training(&harness);
+    bench_par_substrate(&harness);
     bench_end_to_end_curation(&harness);
 }

@@ -2,8 +2,12 @@
 
 use cm_linalg::rng::Rng;
 use cm_linalg::rng::StdRng;
+use cm_par::ParConfig;
 
 use crate::pr::auprc;
+
+/// Minimum resamples per chunk for the parallel bootstrap.
+const BOOTSTRAP_MIN_CHUNK: usize = 16;
 
 /// Percentile bootstrap CI for AUPRC.
 ///
@@ -22,6 +26,24 @@ pub fn bootstrap_auprc_ci(
     alpha: f64,
     seed: u64,
 ) -> (f64, f64) {
+    bootstrap_auprc_ci_with(scores, positives, n_resamples, alpha, seed, &ParConfig::from_env())
+}
+
+/// [`bootstrap_auprc_ci`] with an explicit parallel configuration.
+///
+/// Each resample draws from its own RNG stream derived from `(seed, index)`,
+/// so any thread count produces the same interval for a given seed.
+///
+/// # Panics
+/// Panics on length mismatch, `n_resamples == 0`, or `alpha` outside (0, 1).
+pub fn bootstrap_auprc_ci_with(
+    scores: &[f64],
+    positives: &[bool],
+    n_resamples: usize,
+    alpha: f64,
+    seed: u64,
+    par: &ParConfig,
+) -> (f64, f64) {
     assert_eq!(scores.len(), positives.len(), "score/label length mismatch");
     assert!(n_resamples > 0, "need at least one resample");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
@@ -29,27 +51,39 @@ pub fn bootstrap_auprc_ci(
     if n == 0 {
         return (0.0, 0.0);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stats = Vec::with_capacity(n_resamples);
-    let mut s_buf = vec![0.0f64; n];
-    let mut p_buf = vec![false; n];
-    for _ in 0..n_resamples {
-        let mut ok = false;
-        for _retry in 0..16 {
-            let mut any_pos = false;
-            for i in 0..n {
-                let j = rng.gen_range(0..n);
-                s_buf[i] = scores[j];
-                p_buf[i] = positives[j];
-                any_pos |= positives[j];
+    let chunks = cm_par::par_map_chunks(
+        &par.clone().with_min_chunk(BOOTSTRAP_MIN_CHUNK),
+        n_resamples,
+        |range| {
+            let mut stats = Vec::with_capacity(range.len());
+            let mut s_buf = vec![0.0f64; n];
+            let mut p_buf = vec![false; n];
+            for r in range {
+                // Per-resample stream: splitmix64-style index mixing keeps
+                // resample r's draws independent of how work is chunked.
+                let stream = seed ^ (r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = StdRng::seed_from_u64(stream);
+                let mut ok = false;
+                for _retry in 0..16 {
+                    let mut any_pos = false;
+                    for i in 0..n {
+                        let j = rng.gen_range(0..n);
+                        s_buf[i] = scores[j];
+                        p_buf[i] = positives[j];
+                        any_pos |= positives[j];
+                    }
+                    if any_pos {
+                        ok = true;
+                        break;
+                    }
+                }
+                stats.push(if ok { auprc(&s_buf, &p_buf) } else { 0.0 });
             }
-            if any_pos {
-                ok = true;
-                break;
-            }
-        }
-        stats.push(if ok { auprc(&s_buf, &p_buf) } else { 0.0 });
-    }
+            stats
+        },
+    )
+    .unwrap_or_else(|e| e.resume());
+    let mut stats: Vec<f64> = chunks.into_iter().flatten().collect();
     stats.sort_by(f64::total_cmp);
     let lo_idx = ((alpha / 2.0) * n_resamples as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * n_resamples as f64) as usize).min(n_resamples - 1);
@@ -109,6 +143,16 @@ mod tests {
     #[test]
     fn empty_input_degrades_to_zero() {
         assert_eq!(bootstrap_auprc_ci(&[], &[], 10, 0.1, 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn interval_is_identical_across_thread_counts() {
+        let (s, p) = data(300);
+        let base = bootstrap_auprc_ci_with(&s, &p, 250, 0.1, 9, &ParConfig::threads(1));
+        for threads in [2usize, 4, 8] {
+            let ci = bootstrap_auprc_ci_with(&s, &p, 250, 0.1, 9, &ParConfig::threads(threads));
+            assert_eq!(ci, base, "threads = {threads}");
+        }
     }
 
     #[test]

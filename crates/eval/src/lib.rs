@@ -18,7 +18,7 @@ pub mod metrics;
 pub mod pr;
 pub mod sampling;
 
-pub use bootstrap::bootstrap_auprc_ci;
+pub use bootstrap::{bootstrap_auprc_ci, bootstrap_auprc_ci_with};
 pub use calibration::{expected_calibration_error, reliability_curve, ReliabilityBin};
 pub use crossover::{find_crossover, CrossoverSeries};
 pub use metrics::{roc_auc, BinaryMetrics};

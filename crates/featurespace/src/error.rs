@@ -19,6 +19,9 @@ pub enum ErrorKind {
     NotFound,
     /// A numeric invariant failed (NaN, non-finite, degenerate input).
     Numeric,
+    /// A parallel worker panicked; the panic was captured by `cm-par` and
+    /// surfaced as an error instead of aborting the pipeline.
+    Panic,
 }
 
 impl ErrorKind {
@@ -31,6 +34,7 @@ impl ErrorKind {
             ErrorKind::InvalidConfig => "invalid-config",
             ErrorKind::NotFound => "not-found",
             ErrorKind::Numeric => "numeric",
+            ErrorKind::Panic => "panic",
         }
     }
 }
@@ -61,6 +65,12 @@ impl std::fmt::Display for CmError {
 
 impl std::error::Error for CmError {}
 
+impl From<cm_par::ParError> for CmError {
+    fn from(e: cm_par::ParError) -> Self {
+        CmError::new(ErrorKind::Panic, "cm_par", e.message().to_owned())
+    }
+}
+
 /// Result alias used across the workspace.
 pub type CmResult<T> = Result<T, CmError>;
 
@@ -83,8 +93,21 @@ mod tests {
             ErrorKind::InvalidConfig,
             ErrorKind::NotFound,
             ErrorKind::Numeric,
+            ErrorKind::Panic,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn par_errors_convert_to_cm_errors() {
+        let par_err = cm_par::par_map(&cm_par::ParConfig::serial(), 2, |i| {
+            assert!(i != 1, "captured panic");
+            i
+        })
+        .unwrap_err();
+        let e: CmError = par_err.into();
+        assert_eq!(e.kind, ErrorKind::Panic);
+        assert!(e.message.contains("captured panic"));
     }
 }

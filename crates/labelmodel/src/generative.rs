@@ -6,7 +6,18 @@
 //! given the true label, votes are independent. Parameters are fitted with
 //! EM; probabilistic labels are the E-step posteriors at convergence.
 
+use cm_par::ParConfig;
+
 use crate::matrix::LabelMatrix;
+
+/// Below this many vote cells (`rows * LFs`) the EM fit stays on the serial
+/// code path regardless of the requested thread count, so small fits never
+/// pay spawn overhead and path selection depends only on input size.
+const EM_PAR_THRESHOLD: usize = 50_000;
+
+/// Minimum rows per chunk for the parallel EM steps. Part of the chunk
+/// plan, so it must not depend on the thread count.
+const EM_MIN_ROWS_PER_CHUNK: usize = 256;
 
 /// Configuration for [`GenerativeModel::fit`].
 #[derive(Debug, Clone)]
@@ -51,51 +62,107 @@ impl GenerativeModel {
     ///
     /// # Panics
     /// Panics if the matrix has no LFs.
-    #[allow(clippy::needless_range_loop)] // parallel matrix/posterior indexing
     pub fn fit(matrix: &LabelMatrix, config: &GenerativeConfig) -> Self {
+        Self::fit_with(matrix, config, &ParConfig::from_env())
+    }
+
+    /// [`GenerativeModel::fit`] with an explicit parallel configuration.
+    ///
+    /// Produces bit-identical parameters and posteriors for any thread
+    /// count: the E-step and M-step sums are accumulated per row-chunk and
+    /// folded in chunk index order, and the chunk plan depends only on the
+    /// matrix size, never on how many workers execute it.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no LFs.
+    pub fn fit_with(matrix: &LabelMatrix, config: &GenerativeConfig, par: &ParConfig) -> Self {
         assert!(matrix.n_lfs() > 0, "cannot fit a generative model with zero LFs");
         let (lo, hi) = config.accuracy_bounds;
         assert!(lo > 0.5 && hi < 1.0 && lo < hi, "invalid accuracy bounds");
-        let mut accuracies = vec![config.init_accuracy.clamp(lo, hi); matrix.n_lfs()];
+        let n_rows = matrix.n_rows();
+        let n_lfs = matrix.n_lfs();
+        let mut accuracies = vec![config.init_accuracy.clamp(lo, hi); n_lfs];
         let mut prior = config.class_prior.unwrap_or(0.5).clamp(1e-4, 1.0 - 1e-4);
 
-        let mut posteriors = vec![0.5f64; matrix.n_rows()];
+        // Size-only gate: small fits run the serial plan, big ones run the
+        // caller's plan. Both plans are identical for 1 and N threads.
+        let par = if n_rows * n_lfs < EM_PAR_THRESHOLD {
+            ParConfig::serial().with_min_chunk(EM_MIN_ROWS_PER_CHUNK)
+        } else {
+            par.clone().with_min_chunk(EM_MIN_ROWS_PER_CHUNK)
+        };
+
+        let mut posteriors = vec![0.5f64; n_rows];
         let mut iterations = 0;
         for iter in 0..config.max_iters {
             iterations = iter + 1;
-            // E-step.
-            let mut delta = 0.0;
-            for r in 0..matrix.n_rows() {
-                let q = posterior_for_row(matrix.row(r), &accuracies, prior);
-                delta += (q - posteriors[r]).abs();
-                posteriors[r] = q;
+            // E-step: per-chunk (new posteriors, |delta| sum, posterior sum).
+            let chunks = cm_par::par_map_chunks(&par, n_rows, |range| {
+                let mut fresh = Vec::with_capacity(range.len());
+                let mut delta = 0.0f64;
+                let mut sum = 0.0f64;
+                for r in range {
+                    let q = posterior_for_row(matrix.row(r), &accuracies, prior);
+                    delta += (q - posteriors[r]).abs();
+                    sum += q;
+                    fresh.push(q);
+                }
+                (fresh, delta, sum)
+            })
+            .unwrap_or_else(|e| e.resume());
+            let mut delta = 0.0f64;
+            let mut posterior_sum = 0.0f64;
+            let mut offset = 0usize;
+            for (fresh, chunk_delta, chunk_sum) in chunks {
+                posteriors[offset..offset + fresh.len()].copy_from_slice(&fresh);
+                offset += fresh.len();
+                delta += chunk_delta;
+                posterior_sum += chunk_sum;
             }
-            delta /= matrix.n_rows().max(1) as f64;
+            delta /= n_rows.max(1) as f64;
 
-            // M-step: accuracies.
-            for j in 0..matrix.n_lfs() {
-                let mut agree = 0.0f64;
-                let mut total = 0.0f64;
-                for r in 0..matrix.n_rows() {
-                    let v = matrix.row(r)[j];
-                    if v == 0 {
-                        continue;
+            // M-step accuracies: per-chunk agreement/coverage partials per
+            // LF, folded elementwise in chunk index order.
+            let folded = cm_par::par_map_reduce(
+                &par,
+                n_rows,
+                |range| {
+                    let mut agree = vec![0.0f64; n_lfs];
+                    let mut total = vec![0.0f64; n_lfs];
+                    for r in range {
+                        for (j, &v) in matrix.row(r).iter().enumerate() {
+                            if v == 0 {
+                                continue;
+                            }
+                            total[j] += 1.0;
+                            if v > 0 {
+                                agree[j] += posteriors[r];
+                            } else {
+                                agree[j] += 1.0 - posteriors[r];
+                            }
+                        }
                     }
-                    total += 1.0;
-                    if v > 0 {
-                        agree += posteriors[r];
-                    } else {
-                        agree += 1.0 - posteriors[r];
+                    (agree, total)
+                },
+                |(mut agree, mut total), (a, t)| {
+                    for j in 0..n_lfs {
+                        agree[j] += a[j];
+                        total[j] += t[j];
                     }
-                }
-                if total > 0.0 {
-                    accuracies[j] = (agree / total).clamp(lo, hi);
+                    (agree, total)
+                },
+            )
+            .unwrap_or_else(|e| e.resume());
+            if let Some((agree, total)) = folded {
+                for j in 0..n_lfs {
+                    if total[j] > 0.0 {
+                        accuracies[j] = (agree[j] / total[j]).clamp(lo, hi);
+                    }
                 }
             }
-            // M-step: prior.
-            if config.class_prior.is_none() && matrix.n_rows() > 0 {
-                prior = (posteriors.iter().sum::<f64>() / matrix.n_rows() as f64)
-                    .clamp(1e-4, 1.0 - 1e-4);
+            // M-step: prior, from the chunk-ordered posterior sum.
+            if config.class_prior.is_none() && n_rows > 0 {
+                prior = (posterior_sum / n_rows as f64).clamp(1e-4, 1.0 - 1e-4);
             }
             if delta < config.tol && iter > 0 {
                 break;
@@ -126,10 +193,26 @@ impl GenerativeModel {
     /// # Panics
     /// Panics if the LF count differs from the fitted matrix.
     pub fn predict(&self, matrix: &LabelMatrix) -> Vec<f64> {
+        self.predict_with(matrix, &ParConfig::from_env())
+    }
+
+    /// [`GenerativeModel::predict`] with an explicit parallel configuration.
+    /// Posteriors are row-independent, so any thread count yields the same
+    /// bits; small matrices stay serial.
+    ///
+    /// # Panics
+    /// Panics if the LF count differs from the fitted matrix.
+    pub fn predict_with(&self, matrix: &LabelMatrix, par: &ParConfig) -> Vec<f64> {
         assert_eq!(matrix.n_lfs(), self.accuracies.len(), "LF count mismatch");
-        (0..matrix.n_rows())
-            .map(|r| posterior_for_row(matrix.row(r), &self.accuracies, self.class_prior))
-            .collect()
+        if matrix.n_rows() * matrix.n_lfs() < EM_PAR_THRESHOLD {
+            return (0..matrix.n_rows())
+                .map(|r| posterior_for_row(matrix.row(r), &self.accuracies, self.class_prior))
+                .collect();
+        }
+        cm_par::par_map(&par.clone().with_min_chunk(EM_MIN_ROWS_PER_CHUNK), matrix.n_rows(), |r| {
+            posterior_for_row(matrix.row(r), &self.accuracies, self.class_prior)
+        })
+        .unwrap_or_else(|e| e.resume())
     }
 }
 
@@ -301,6 +384,28 @@ mod tests {
         let b = GenerativeModel::fit(&m, &GenerativeConfig::default());
         assert_eq!(a.accuracies(), b.accuracies());
         assert_eq!(a.predict(&m), b.predict(&m));
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        // 20k rows x 3 LFs = 60k cells, above the parallel threshold.
+        let (m, _) = synthetic(20_000, 0.3, &[(0.9, 0.8), (0.7, 0.8), (0.6, 0.5)], 11);
+        let cfg = GenerativeConfig::default();
+        let base = GenerativeModel::fit_with(&m, &cfg, &ParConfig::threads(1));
+        let base_probs = base.predict_with(&m, &ParConfig::threads(1));
+        for threads in [2usize, 4, 8] {
+            let par = ParConfig::threads(threads);
+            let model = GenerativeModel::fit_with(&m, &cfg, &par);
+            assert_eq!(model.accuracies(), base.accuracies(), "threads = {threads}");
+            assert_eq!(
+                model.class_prior().to_bits(),
+                base.class_prior().to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(model.iterations(), base.iterations(), "threads = {threads}");
+            let probs = model.predict_with(&m, &par);
+            assert_eq!(probs, base_probs, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -21,4 +21,4 @@ pub use lf::{
     BoundScoreLf, CategoricalContainsLf, ConjunctionLf, LabelingFunction, NumericThresholdLf,
     Predicate, ThresholdDirection, Vote,
 };
-pub use matrix::LabelMatrix;
+pub use matrix::{LabelMatrix, VoteStats};

@@ -3,8 +3,53 @@
 //! diagnostics).
 
 use cm_featurespace::FeatureTable;
+use cm_par::ParConfig;
 
 use crate::lf::{LabelingFunction, Vote};
+
+/// `n_rows * n_lfs` work above which LF application and vote statistics
+/// fan out across `cm-par`. The paper applies LFs with MapReduce for the
+/// same reason (§6.3). Depends only on the matrix shape, so the code path
+/// never varies with the thread count.
+const PAR_THRESHOLD: usize = 50_000;
+
+/// Minimum rows per parallel chunk; fixed per call site so chunked folds
+/// group identically at every thread count.
+const MIN_ROWS_PER_CHUNK: usize = 512;
+
+/// Aggregate vote statistics over a [`LabelMatrix`], computed in one pass.
+///
+/// Counts are folded across row chunks **in chunk index order** (the
+/// `cm-par` determinism contract), so every field is bit-identical between
+/// serial and parallel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VoteStats {
+    /// Fraction of rows where at least one LF does not abstain.
+    pub coverage: f64,
+    /// Fraction of rows labeled by two or more LFs.
+    pub overlap: f64,
+    /// Fraction of rows with at least one positive and one negative vote.
+    pub conflict: f64,
+}
+
+/// Integer partials behind [`VoteStats`]; summing them is exact, which is
+/// what makes the derived ratios reduction-order-proof.
+#[derive(Debug, Clone, Copy, Default)]
+struct VoteCounts {
+    covered: usize,
+    overlapped: usize,
+    conflicted: usize,
+}
+
+impl VoteCounts {
+    fn add(self, other: VoteCounts) -> VoteCounts {
+        VoteCounts {
+            covered: self.covered + other.covered,
+            overlapped: self.overlapped + other.overlapped,
+            conflicted: self.conflicted + other.conflicted,
+        }
+    }
+}
 
 /// Dense `n_rows x n_lfs` matrix of vote encodings (`+1/-1/0`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,36 +63,39 @@ pub struct LabelMatrix {
 impl LabelMatrix {
     /// Applies every LF to every row of `table`.
     ///
-    /// LF application parallelizes across row chunks with scoped threads
-    /// when the workload is large enough to pay for it; the paper applies
-    /// LFs with MapReduce for the same reason (§6.3).
+    /// LF application parallelizes across row chunks through the `cm-par`
+    /// substrate (thread count from `CM_THREADS`) when the workload is
+    /// large enough to pay for it; votes are pure per-row writes, so the
+    /// matrix is bit-identical at every thread count.
     pub fn apply(table: &FeatureTable, lfs: &[Box<dyn LabelingFunction>]) -> Self {
+        Self::apply_with(table, lfs, &ParConfig::from_env())
+    }
+
+    /// [`LabelMatrix::apply`] with an explicit parallel configuration.
+    ///
+    /// # Panics
+    /// Re-raises a worker panic (an LF panicking on a row behaves exactly
+    /// as it would serially).
+    pub fn apply_with(
+        table: &FeatureTable,
+        lfs: &[Box<dyn LabelingFunction>],
+        par: &ParConfig,
+    ) -> Self {
         let n_rows = table.len();
         let n_lfs = lfs.len();
         let names = lfs.iter().map(|lf| lf.name().to_owned()).collect();
         let mut votes = vec![0i8; n_rows * n_lfs];
 
-        const PAR_THRESHOLD: usize = 50_000;
         let work = n_rows.saturating_mul(n_lfs);
         if work < PAR_THRESHOLD || n_rows < 2 {
             fill_votes(table, lfs, &mut votes, 0, n_rows);
         } else {
-            let n_threads = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4)
-                .min(8);
-            let chunk_rows = n_rows.div_ceil(n_threads);
-            std::thread::scope(|scope| {
-                for (i, chunk) in votes.chunks_mut(chunk_rows * n_lfs).enumerate() {
-                    let start = i * chunk_rows;
-                    let end = (start + chunk.len() / n_lfs).min(n_rows);
-                    scope.spawn(move || {
-                        let mut local = vec![0i8; chunk.len()];
-                        fill_votes_into(table, lfs, &mut local, start, end);
-                        chunk.copy_from_slice(&local);
-                    });
-                }
-            });
+            let par = par.clone().with_min_chunk(MIN_ROWS_PER_CHUNK);
+            if let Err(e) = cm_par::par_chunks_mut(&par, &mut votes, n_lfs, |start, chunk| {
+                fill_votes_from(table, lfs, chunk, start);
+            }) {
+                e.resume();
+            }
         }
         Self { n_rows, n_lfs, votes, names }
     }
@@ -92,11 +140,53 @@ impl LabelMatrix {
 
     /// Fraction of rows where at least one LF does not abstain.
     pub fn coverage(&self) -> f64 {
+        self.vote_stats().coverage
+    }
+
+    /// Coverage, overlap, and conflict in one parallel pass.
+    pub fn vote_stats(&self) -> VoteStats {
+        self.vote_stats_with(&ParConfig::from_env())
+    }
+
+    /// [`LabelMatrix::vote_stats`] with an explicit parallel
+    /// configuration. Chunk counts are integers folded in chunk index
+    /// order, so the resulting ratios are bit-identical at every thread
+    /// count — the regression test below pins them.
+    ///
+    /// # Panics
+    /// Re-raises a worker panic.
+    pub fn vote_stats_with(&self, par: &ParConfig) -> VoteStats {
         if self.n_rows == 0 {
-            return 0.0;
+            return VoteStats::default();
         }
-        let covered = (0..self.n_rows).filter(|&r| self.row(r).iter().any(|&v| v != 0)).count();
-        covered as f64 / self.n_rows as f64
+        let count_rows = |range: std::ops::Range<usize>| {
+            let mut c = VoteCounts::default();
+            for r in range {
+                let row = self.row(r);
+                let labeled = row.iter().filter(|&&v| v != 0).count();
+                c.covered += usize::from(labeled >= 1);
+                c.overlapped += usize::from(labeled >= 2);
+                c.conflicted +=
+                    usize::from(row.iter().any(|&v| v > 0) && row.iter().any(|&v| v < 0));
+            }
+            c
+        };
+        let work = self.n_rows.saturating_mul(self.n_lfs.max(1));
+        let counts = if work < PAR_THRESHOLD {
+            count_rows(0..self.n_rows)
+        } else {
+            let par = par.clone().with_min_chunk(MIN_ROWS_PER_CHUNK);
+            match cm_par::par_map_reduce(&par, self.n_rows, count_rows, VoteCounts::add) {
+                Ok(c) => c.unwrap_or_default(),
+                Err(e) => e.resume(),
+            }
+        };
+        let n = self.n_rows as f64;
+        VoteStats {
+            coverage: counts.covered as f64 / n,
+            overlap: counts.overlapped as f64 / n,
+            conflict: counts.conflicted as f64 / n,
+        }
     }
 
     /// Per-LF coverage: fraction of rows the LF labels.
@@ -110,27 +200,12 @@ impl LabelMatrix {
 
     /// Fraction of rows labeled by two or more LFs.
     pub fn overlap(&self) -> f64 {
-        if self.n_rows == 0 {
-            return 0.0;
-        }
-        let n = (0..self.n_rows)
-            .filter(|&r| self.row(r).iter().filter(|&&v| v != 0).count() >= 2)
-            .count();
-        n as f64 / self.n_rows as f64
+        self.vote_stats().overlap
     }
 
     /// Fraction of rows with at least one positive and one negative vote.
     pub fn conflict(&self) -> f64 {
-        if self.n_rows == 0 {
-            return 0.0;
-        }
-        let n = (0..self.n_rows)
-            .filter(|&r| {
-                let row = self.row(r);
-                row.iter().any(|&v| v > 0) && row.iter().any(|&v| v < 0)
-            })
-            .count();
-        n as f64 / self.n_rows as f64
+        self.vote_stats().conflict
     }
 
     /// Rows labeled by at least one LF (the trainable subset).
@@ -154,17 +229,18 @@ fn fill_votes(
     }
 }
 
-fn fill_votes_into(
+/// Fills a chunk of the vote buffer whose first row is `start` (the shape
+/// `cm_par::par_chunks_mut` hands out).
+fn fill_votes_from(
     table: &FeatureTable,
     lfs: &[Box<dyn LabelingFunction>],
-    local: &mut [i8],
+    chunk: &mut [i8],
     start: usize,
-    end: usize,
 ) {
     let n_lfs = lfs.len();
-    for (i, r) in (start..end).enumerate() {
+    for (i, rec) in chunk.chunks_exact_mut(n_lfs).enumerate() {
         for (j, lf) in lfs.iter().enumerate() {
-            local[i * n_lfs + j] = lf.vote(table, r).as_i8();
+            rec[j] = lf.vote(table, start + i).as_i8();
         }
     }
 }
@@ -238,13 +314,53 @@ mod tests {
     fn parallel_path_matches_serial() {
         // 30k rows x 2 LFs crosses the parallel threshold.
         let t = table(30_000);
-        let m_par = LabelMatrix::apply(&t, &lfs());
         let serial = {
             let mut votes = vec![0i8; 30_000 * 2];
             fill_votes(&t, &lfs(), &mut votes, 0, 30_000);
             LabelMatrix::from_votes(30_000, 2, votes, vec!["a".into(), "b".into()])
         };
-        assert_eq!(m_par.votes, serial.votes);
+        for threads in [1usize, 2, 4, 8] {
+            let m_par = LabelMatrix::apply_with(&t, &lfs(), &ParConfig::threads(threads));
+            assert_eq!(m_par.votes, serial.votes, "threads = {threads}");
+        }
+    }
+
+    /// Regression test for the float-reduction-order hazard in the old
+    /// scoped-thread statistics path: chunk partials must be folded in
+    /// chunk index order, and the summed statistic is pinned exactly.
+    ///
+    /// Vote pattern over 40 000 rows (80k work, above the parallel
+    /// threshold), by `row % 8`: 0 => both abstain; 1,2 => one positive
+    /// vote; 3,4 => one negative vote; 5,6 => two agreeing votes;
+    /// 7 => conflicting votes. Exact statistics: coverage 7/8,
+    /// overlap 3/8, conflict 1/8.
+    #[test]
+    fn vote_stats_are_pinned_and_thread_count_invariant() {
+        let n = 40_000usize;
+        let mut votes = Vec::with_capacity(n * 2);
+        for r in 0..n {
+            let pair: [i8; 2] = match r % 8 {
+                0 => [0, 0],
+                1 | 2 => [1, 0],
+                3 | 4 => [0, -1],
+                5 | 6 => [1, 1],
+                _ => [1, -1],
+            };
+            votes.extend_from_slice(&pair);
+        }
+        let m = LabelMatrix::from_votes(n, 2, votes, vec!["a".into(), "b".into()]);
+        let serial = m.vote_stats_with(&ParConfig::serial());
+        assert_eq!(serial.coverage, 0.875);
+        assert_eq!(serial.overlap, 0.375);
+        assert_eq!(serial.conflict, 0.125);
+        let summed = serial.coverage + serial.overlap + serial.conflict;
+        assert_eq!(summed.to_bits(), 1.375f64.to_bits());
+        for threads in [2usize, 4, 8] {
+            let par = m.vote_stats_with(&ParConfig::threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
+            let par_summed = par.coverage + par.overlap + par.conflict;
+            assert_eq!(par_summed.to_bits(), summed.to_bits(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -3,6 +3,15 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use cm_par::ParConfig;
+
+/// Multiply-accumulate count above which `matmul` fans out across the
+/// `cm-par` substrate. Depends only on shapes, so the serial/parallel
+/// choice — and the result, which is bit-identical either way because
+/// every output row is computed independently — never varies with the
+/// thread count.
+const MATMUL_PAR_FLOPS: usize = 1 << 20;
+
 /// Row-major dense `f32` matrix.
 ///
 /// Rows are contiguous, so per-example access patterns (the common case in
@@ -120,23 +129,36 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(other, &ParConfig::from_env())
+    }
+
+    /// [`Matrix::matmul`] with an explicit parallel configuration. Output
+    /// rows are independent, so the product is bit-identical at every
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`, or re-raises a worker
+    /// panic.
+    pub fn matmul_with(&self, other: &Matrix, par: &ParConfig) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let flops = self.rows * self.cols * other.cols;
+        if out.cols > 0 && flops >= MATMUL_PAR_FLOPS {
+            let unit = out.cols;
+            if let Err(e) = cm_par::par_chunks_mut(par, &mut out.data, unit, |start, chunk| {
+                for (i, out_row) in chunk.chunks_exact_mut(unit).enumerate() {
+                    matmul_row(self.row(start + i), other, out_row);
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+            }) {
+                e.resume();
+            }
+        } else {
+            for i in 0..self.rows {
+                matmul_row(self.row(i), other, out.row_mut(i));
             }
         }
         out
@@ -215,6 +237,21 @@ impl Matrix {
     /// Fills the matrix with zeros, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+}
+
+/// One GEMM output row: `out_row = a_row * other` with the ikj kernel, so
+/// the inner loop streams over contiguous memory in both the output row
+/// and the `other` row.
+fn matmul_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = other.row(k);
+        for (o, &b) in out_row.iter_mut().zip(b_row) {
+            *o += a * b;
+        }
     }
 }
 
@@ -309,6 +346,18 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        // 128 x 128 x 128 = 2M MACs, above the parallel threshold.
+        let a = Matrix::from_fn(128, 128, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(128, 128, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.25);
+        let serial = a.matmul_with(&b, &ParConfig::serial());
+        for threads in [2usize, 4, 8] {
+            let par = a.matmul_with(&b, &ParConfig::threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

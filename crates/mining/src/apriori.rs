@@ -3,8 +3,17 @@
 use std::collections::HashMap;
 
 use cm_featurespace::{FeatureKind, FeatureTable, Label};
+use cm_par::ParConfig;
 
 use crate::discretize::Discretizer;
+
+/// Below this many rows the candidate-support passes stay serial; above it
+/// they chunk over rows. Size-only, so path selection never depends on the
+/// thread count.
+const MINE_PAR_ROWS: usize = 4096;
+
+/// Minimum rows per chunk for the parallel counting passes.
+const MINE_MIN_ROWS_PER_CHUNK: usize = 1024;
 
 /// An atomic item: one feature value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +108,24 @@ pub fn mine_itemsets(
     columns: &[usize],
     config: &MiningConfig,
 ) -> MinedItemsets {
+    mine_itemsets_with(table, labels, columns, config, &ParConfig::from_env())
+}
+
+/// [`mine_itemsets`] with an explicit parallel configuration.
+///
+/// The two candidate-support passes chunk over rows and merge per-chunk
+/// count maps; counts are exact integer sums, so results are identical for
+/// any thread count.
+///
+/// # Panics
+/// Panics if `labels.len() != table.len()`.
+pub fn mine_itemsets_with(
+    table: &FeatureTable,
+    labels: &[Label],
+    columns: &[usize],
+    config: &MiningConfig,
+    par: &ParConfig,
+) -> MinedItemsets {
     assert_eq!(table.len(), labels.len(), "label count mismatch");
     let schema = table.schema();
     let discretizers: Vec<Discretizer> = columns
@@ -110,16 +137,9 @@ pub fn mine_itemsets(
     let n_pos = labels.iter().filter(|l| l.is_positive()).count();
     let n_neg = labels.len() - n_pos;
 
-    // Pass 1: count order-1 items over positive rows only.
-    let mut pos_counts: HashMap<Item, usize> = HashMap::new();
-    for (r, label) in labels.iter().enumerate() {
-        if !label.is_positive() {
-            continue;
-        }
-        for item in row_items(table, r, columns, &discretizers) {
-            *pos_counts.entry(item).or_insert(0) += 1;
-        }
-    }
+    // Pass 1: count order-1 items over positive rows only (the paper's
+    // class-imbalance optimization).
+    let pos_counts = count_class_items(table, labels, columns, &discretizers, par, true);
     let n_candidates = pos_counts.len();
 
     // Keep candidates that could still clear the recall bar.
@@ -127,22 +147,11 @@ pub fn mine_itemsets(
     let candidates: Vec<Item> =
         pos_counts.iter().filter(|(_, &c)| c >= min_pos_support).map(|(&i, _)| i).collect();
 
-    // Pass 2: count those candidates over negative rows.
-    let mut neg_counts: HashMap<Item, usize> = candidates.iter().map(|&i| (i, 0)).collect();
-    // Also count *negative-indicative* candidates: any item frequent in
-    // negatives. One pass over negatives covers both needs.
-    let mut neg_all_counts: HashMap<Item, usize> = HashMap::new();
-    for (r, label) in labels.iter().enumerate() {
-        if label.is_positive() {
-            continue;
-        }
-        for item in row_items(table, r, columns, &discretizers) {
-            if let Some(c) = neg_counts.get_mut(&item) {
-                *c += 1;
-            }
-            *neg_all_counts.entry(item).or_insert(0) += 1;
-        }
-    }
+    // Pass 2: count items over negative rows. Candidate negative supports
+    // are lookups into the same map, so one pass covers both the positive
+    // LFs' denominators and the negative-indicative itemsets.
+    let neg_all_counts = count_class_items(table, labels, columns, &discretizers, par, false);
+    let neg_counts = |item: &Item| neg_all_counts.get(item).copied().unwrap_or(0);
 
     let make_stats = |items: Vec<Item>, pos: usize, neg: usize| ItemStats {
         items,
@@ -157,7 +166,7 @@ pub fn mine_itemsets(
     let mut frontier: Vec<Vec<Item>> = Vec::new();
     for &item in &candidates {
         let pos = pos_counts[&item];
-        let neg = neg_counts[&item];
+        let neg = neg_counts(&item);
         let stats = make_stats(vec![item], pos, neg);
         if stats.precision >= config.min_precision && stats.recall >= config.min_recall {
             positive.push(stats);
@@ -236,6 +245,48 @@ pub fn mine_itemsets(
     sort_stats(&mut positive);
     sort_stats(&mut negative);
     MinedItemsets { positive, negative, discretizers, n_candidates }
+}
+
+/// Counts order-1 items over the rows of one class, chunking over rows when
+/// the table is large enough. Per-chunk maps merge with integer addition,
+/// which is exact and order-independent, so the result is identical at any
+/// thread count.
+fn count_class_items(
+    table: &FeatureTable,
+    labels: &[Label],
+    columns: &[usize],
+    discretizers: &[Discretizer],
+    par: &ParConfig,
+    positive: bool,
+) -> HashMap<Item, usize> {
+    let count_range = |range: std::ops::Range<usize>| {
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        for r in range {
+            if labels[r].is_positive() != positive {
+                continue;
+            }
+            for item in row_items(table, r, columns, discretizers) {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        counts
+    };
+    if labels.len() < MINE_PAR_ROWS {
+        return count_range(0..labels.len());
+    }
+    cm_par::par_map_reduce(
+        &par.clone().with_min_chunk(MINE_MIN_ROWS_PER_CHUNK),
+        labels.len(),
+        count_range,
+        |mut acc, chunk| {
+            for (item, c) in chunk {
+                *acc.entry(item).or_insert(0) += c;
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|e| e.resume())
+    .unwrap_or_default()
 }
 
 fn sort_stats(stats: &mut [ItemStats]) {
@@ -457,6 +508,21 @@ mod tests {
         assert_eq!(a.positive, b.positive);
         for w in a.positive.windows(2) {
             assert!(w[0].recall >= w[1].recall);
+        }
+    }
+
+    #[test]
+    fn mining_is_identical_across_thread_counts() {
+        // 6000 rows crosses MINE_PAR_ROWS, so the counting passes chunk.
+        let (t, labels) = dev(600, 5400);
+        let cfg = MiningConfig::default();
+        let base = mine_itemsets_with(&t, &labels, &[0, 1], &cfg, &ParConfig::threads(1));
+        for threads in [2usize, 4, 8] {
+            let par = ParConfig::threads(threads);
+            let mined = mine_itemsets_with(&t, &labels, &[0, 1], &cfg, &par);
+            assert_eq!(mined.positive, base.positive, "threads = {threads}");
+            assert_eq!(mined.negative, base.negative, "threads = {threads}");
+            assert_eq!(mined.n_candidates, base.n_candidates, "threads = {threads}");
         }
     }
 }

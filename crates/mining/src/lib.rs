@@ -18,7 +18,7 @@ pub mod discretize;
 pub mod lfgen;
 pub mod modelgen;
 
-pub use apriori::{mine_itemsets, Item, ItemStats, ItemValue, MiningConfig};
+pub use apriori::{mine_itemsets, mine_itemsets_with, Item, ItemStats, ItemValue, MiningConfig};
 pub use discretize::Discretizer;
 pub use lfgen::{mine_lfs, MinedLfs, MiningReport};
 pub use modelgen::{generate_stump_lfs, StumpConfig};

@@ -4,9 +4,19 @@
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
 use cm_linalg::{dot, sigmoid, Matrix};
+use cm_par::ParConfig;
 
 use crate::loss::bce_grad;
 use crate::optim::{Adam, Optimizer};
+
+/// Minimum batch items per gradient chunk. The default batch size (64) fits
+/// in one chunk, so small-batch training accumulates gradients in exactly
+/// the historical order; large batches split into deterministic chunks
+/// whose partial gradients fold in chunk index order.
+const BATCH_MIN_CHUNK: usize = 256;
+
+/// Below this many matrix cells, `logits` stays serial.
+const LOGITS_PAR_WORK: usize = 1 << 16;
 
 /// A trained logistic regression model.
 #[derive(Debug, Clone)]
@@ -48,11 +58,30 @@ impl LogisticRegression {
         sample_weights: Option<&[f64]>,
         config: &LogisticConfig,
     ) -> Self {
+        Self::fit_with(x, targets, sample_weights, config, &ParConfig::from_env())
+    }
+
+    /// [`LogisticRegression::fit`] with an explicit parallel configuration.
+    ///
+    /// Per-batch gradients accumulate in fixed-size chunks whose partial
+    /// sums fold in chunk index order, so the fitted weights are
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or an empty training set.
+    pub fn fit_with(
+        x: &Matrix,
+        targets: &[f64],
+        sample_weights: Option<&[f64]>,
+        config: &LogisticConfig,
+        par: &ParConfig,
+    ) -> Self {
         assert_eq!(x.rows(), targets.len(), "target count mismatch");
         assert!(x.rows() > 0, "empty training set");
         if let Some(w) = sample_weights {
             assert_eq!(w.len(), targets.len(), "sample weight count mismatch");
         }
+        let par = par.clone().with_min_chunk(BATCH_MIN_CHUNK);
         let d = x.cols();
         let mut weights = vec![0.0f32; d];
         let mut bias = 0.0f32;
@@ -60,23 +89,37 @@ impl LogisticRegression {
         let mut opt_b = Adam::new(config.lr, 1);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut order: Vec<usize> = (0..x.rows()).collect();
-        let mut grad_w = vec![0.0f32; d];
 
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(config.batch_size) {
-                grad_w.iter_mut().for_each(|g| *g = 0.0);
-                let mut grad_b = 0.0f32;
-                let mut wsum = 0.0f32;
-                for &i in batch {
-                    let row = x.row(i);
-                    let z = dot(row, &weights) + bias;
-                    let w = sample_weights.map_or(1.0, |w| w[i]) as f32;
-                    let g = bce_grad(z, targets[i]) * w;
-                    cm_linalg::axpy(g, row, &mut grad_w);
-                    grad_b += g;
-                    wsum += w;
-                }
+                let folded = cm_par::par_map_reduce(
+                    &par,
+                    batch.len(),
+                    |range| {
+                        let mut grad_w = vec![0.0f32; d];
+                        let mut grad_b = 0.0f32;
+                        let mut wsum = 0.0f32;
+                        for &i in &batch[range] {
+                            let row = x.row(i);
+                            let z = dot(row, &weights) + bias;
+                            let w = sample_weights.map_or(1.0, |w| w[i]) as f32;
+                            let g = bce_grad(z, targets[i]) * w;
+                            cm_linalg::axpy(g, row, &mut grad_w);
+                            grad_b += g;
+                            wsum += w;
+                        }
+                        (grad_w, grad_b, wsum)
+                    },
+                    |(mut gw, gb, ws), (cw, cb, cs)| {
+                        for (a, b) in gw.iter_mut().zip(&cw) {
+                            *a += *b;
+                        }
+                        (gw, gb + cb, ws + cs)
+                    },
+                )
+                .unwrap_or_else(|e| e.resume());
+                let Some((mut grad_w, mut grad_b, wsum)) = folded else { continue };
                 if wsum > 0.0 {
                     let inv = 1.0 / wsum;
                     for (gw, &wt) in grad_w.iter_mut().zip(&weights) {
@@ -93,8 +136,24 @@ impl LogisticRegression {
 
     /// Decision-function logits.
     pub fn logits(&self, x: &Matrix) -> Vec<f32> {
+        self.logits_with(x, &ParConfig::from_env())
+    }
+
+    /// [`LogisticRegression::logits`] with an explicit parallel
+    /// configuration. Logits are row-independent, so any thread count
+    /// yields the same bits; small inputs stay serial.
+    ///
+    /// # Panics
+    /// Panics if the feature width differs from the fitted width.
+    pub fn logits_with(&self, x: &Matrix, par: &ParConfig) -> Vec<f32> {
         assert_eq!(x.cols(), self.weights.len(), "feature width mismatch");
-        x.rows_iter().map(|row| dot(row, &self.weights) + self.bias).collect()
+        if x.rows() * x.cols() < LOGITS_PAR_WORK {
+            return x.rows_iter().map(|row| dot(row, &self.weights) + self.bias).collect();
+        }
+        cm_par::par_map(&par.clone().with_min_chunk(BATCH_MIN_CHUNK), x.rows(), |r| {
+            dot(x.row(r), &self.weights) + self.bias
+        })
+        .unwrap_or_else(|e| e.resume())
     }
 
     /// Positive-class probabilities.
@@ -188,6 +247,21 @@ mod tests {
         let b = LogisticRegression::fit(&x, &y, None, &LogisticConfig::default());
         assert_eq!(a.weights(), b.weights());
         assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // Batch 2048 splits into multiple 256-item gradient chunks.
+        let (x, y) = blobs(4096);
+        let cfg = LogisticConfig { epochs: 3, batch_size: 2048, ..Default::default() };
+        let base = LogisticRegression::fit_with(&x, &y, None, &cfg, &ParConfig::threads(1));
+        for threads in [2usize, 4, 8] {
+            let par = ParConfig::threads(threads);
+            let model = LogisticRegression::fit_with(&x, &y, None, &cfg, &par);
+            assert_eq!(model.weights(), base.weights(), "threads = {threads}");
+            assert_eq!(model.bias().to_bits(), base.bias().to_bits(), "threads = {threads}");
+            assert_eq!(model.logits_with(&x, &par), base.logits_with(&x, &par));
+        }
     }
 
     #[test]

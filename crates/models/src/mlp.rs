@@ -3,9 +3,18 @@
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
 use cm_linalg::{dot, sigmoid, xavier_uniform, Matrix};
+use cm_par::ParConfig;
 
 use crate::loss::bce_grad;
 use crate::optim::{Adam, Optimizer};
+
+/// Minimum batch items per gradient chunk (see `cm-models::logistic`): the
+/// default batch size fits in one chunk, preserving historical numerics;
+/// large batches split deterministically and fold in chunk index order.
+const BATCH_MIN_CHUNK: usize = 256;
+
+/// Below this many rows, forward passes (`logits`, `embed`) stay serial.
+const FORWARD_PAR_ROWS: usize = 1024;
 
 #[derive(Clone)]
 struct DenseLayer {
@@ -86,89 +95,74 @@ impl Mlp {
         sample_weights: Option<&[f64]>,
         config: &MlpEpochConfig,
     ) -> f64 {
+        self.train_epoch_with(x, targets, sample_weights, config, &ParConfig::from_env())
+    }
+
+    /// [`Mlp::train_epoch`] with an explicit parallel configuration.
+    ///
+    /// Per-batch gradients accumulate in fixed-size sample chunks whose
+    /// partial gradient matrices fold in chunk index order, so the updated
+    /// weights are bit-identical for any thread count.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn train_epoch_with(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        sample_weights: Option<&[f64]>,
+        config: &MlpEpochConfig,
+        par: &ParConfig,
+    ) -> f64 {
         assert_eq!(x.rows(), targets.len(), "target count mismatch");
         assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
         if let Some(w) = sample_weights {
             assert_eq!(w.len(), targets.len(), "sample weight count mismatch");
         }
+        let par = par.clone().with_min_chunk(BATCH_MIN_CHUNK);
         let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
         let mut order: Vec<usize> = (0..x.rows()).collect();
         order.shuffle(&mut rng);
 
-        let n_layers = self.layers.len();
-        let mut grad_w: Vec<Matrix> =
-            self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
-        let mut grad_b: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
-        // Per-sample activation and delta buffers.
-        let mut acts: Vec<Vec<f32>> = self.dims.iter().map(|&d| vec![0.0; d]).collect();
-        let mut deltas: Vec<Vec<f32>> = self.dims[1..].iter().map(|&d| vec![0.0; d]).collect();
-
         let mut total_loss = 0.0f64;
         let mut total_weight = 0.0f64;
         for batch in order.chunks(config.batch_size) {
-            for g in &mut grad_w {
-                g.fill_zero();
-            }
-            for g in &mut grad_b {
-                g.fill(0.0);
-            }
-            let mut batch_weight = 0.0f32;
-            for &i in batch {
-                acts[0].copy_from_slice(x.row(i));
-                // Forward.
-                for (l, layer) in self.layers.iter().enumerate() {
-                    let (prev, rest) = acts.split_at_mut(l + 1);
-                    let a_in = &prev[l];
-                    let a_out = &mut rest[0];
-                    for (o, out) in a_out.iter_mut().enumerate() {
-                        let z = dot(layer.w.row(o), a_in) + layer.b[o];
-                        *out = if l + 1 == n_layers { z } else { z.max(0.0) };
+            let this = &*self;
+            let folded = cm_par::par_map_reduce(
+                &par,
+                batch.len(),
+                |range| {
+                    let mut part = GradPartial::zeros(this);
+                    let mut acts: Vec<Vec<f32>> = this.dims.iter().map(|&d| vec![0.0; d]).collect();
+                    let mut deltas: Vec<Vec<f32>> =
+                        this.dims[1..].iter().map(|&d| vec![0.0; d]).collect();
+                    for &i in &batch[range] {
+                        this.accumulate_sample(
+                            x,
+                            targets,
+                            sample_weights,
+                            i,
+                            &mut part,
+                            &mut acts,
+                            &mut deltas,
+                        );
                     }
-                }
-                let z = acts[n_layers][0];
-                let w = sample_weights.map_or(1.0, |w| w[i]) as f32;
-                total_loss += f64::from(w) * crate::loss::bce_with_logit(z, targets[i]);
-                total_weight += f64::from(w);
-                batch_weight += w;
-
-                // Backward.
-                deltas[n_layers - 1][0] = bce_grad(z, targets[i]) * w;
-                for l in (0..n_layers).rev() {
-                    // Accumulate gradients for layer l.
-                    for o in 0..self.layers[l].w.rows() {
-                        let d = deltas[l][o];
-                        if d != 0.0 {
-                            cm_linalg::axpy(d, &acts[l], grad_w[l].row_mut(o));
-                            grad_b[l][o] += d;
-                        }
-                    }
-                    if l > 0 {
-                        // delta_{l-1} = W_l^T delta_l ∘ relu'(act_l)
-                        let (d_prev, d_cur) = deltas.split_at_mut(l);
-                        let d_prev = &mut d_prev[l - 1];
-                        let d_cur = &d_cur[0];
-                        d_prev.fill(0.0);
-                        for (o, &d) in d_cur.iter().enumerate() {
-                            if d != 0.0 {
-                                cm_linalg::axpy(d, self.layers[l].w.row(o), d_prev);
-                            }
-                        }
-                        for (dp, &a) in d_prev.iter_mut().zip(&acts[l]) {
-                            if a <= 0.0 {
-                                *dp = 0.0;
-                            }
-                        }
-                    }
-                }
-            }
-            if batch_weight > 0.0 {
-                let inv = 1.0 / batch_weight;
+                    part
+                },
+                GradPartial::add,
+            )
+            .unwrap_or_else(|e| e.resume());
+            let Some(mut part) = folded else { continue };
+            total_loss += part.loss;
+            total_weight += part.weight;
+            if part.batch_weight > 0.0 {
+                let inv = 1.0 / part.batch_weight;
                 for (l, layer) in self.layers.iter_mut().enumerate() {
-                    grad_w[l].scale(inv);
-                    grad_w[l].axpy(config.l2, &layer.w);
-                    cm_linalg::scale(&mut grad_b[l], inv);
-                    layer.opt_w.step(layer.w.as_mut_slice(), grad_w[l].as_slice());
-                    layer.opt_b.step(&mut layer.b, &grad_b[l]);
+                    part.grad_w[l].scale(inv);
+                    part.grad_w[l].axpy(config.l2, &layer.w);
+                    cm_linalg::scale(&mut part.grad_b[l], inv);
+                    layer.opt_w.step(layer.w.as_mut_slice(), part.grad_w[l].as_slice());
+                    layer.opt_b.step(&mut layer.b, &part.grad_b[l]);
                 }
             }
         }
@@ -179,26 +173,105 @@ impl Mlp {
         }
     }
 
+    /// Runs one sample's forward and backward pass, accumulating into the
+    /// chunk-local gradient partial. `acts`/`deltas` are reused scratch.
+    fn accumulate_sample(
+        &self,
+        x: &Matrix,
+        targets: &[f64],
+        sample_weights: Option<&[f64]>,
+        i: usize,
+        part: &mut GradPartial,
+        acts: &mut [Vec<f32>],
+        deltas: &mut [Vec<f32>],
+    ) {
+        let n_layers = self.layers.len();
+        acts[0].copy_from_slice(x.row(i));
+        // Forward.
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = acts.split_at_mut(l + 1);
+            let a_in = &prev[l];
+            let a_out = &mut rest[0];
+            for (o, out) in a_out.iter_mut().enumerate() {
+                let z = dot(layer.w.row(o), a_in) + layer.b[o];
+                *out = if l + 1 == n_layers { z } else { z.max(0.0) };
+            }
+        }
+        let z = acts[n_layers][0];
+        let w = sample_weights.map_or(1.0, |w| w[i]) as f32;
+        part.loss += f64::from(w) * crate::loss::bce_with_logit(z, targets[i]);
+        part.weight += f64::from(w);
+        part.batch_weight += w;
+
+        // Backward.
+        deltas[n_layers - 1][0] = bce_grad(z, targets[i]) * w;
+        for l in (0..n_layers).rev() {
+            // Accumulate gradients for layer l.
+            for o in 0..self.layers[l].w.rows() {
+                let d = deltas[l][o];
+                if d != 0.0 {
+                    cm_linalg::axpy(d, &acts[l], part.grad_w[l].row_mut(o));
+                    part.grad_b[l][o] += d;
+                }
+            }
+            if l > 0 {
+                // delta_{l-1} = W_l^T delta_l ∘ relu'(act_l)
+                let (d_prev, d_cur) = deltas.split_at_mut(l);
+                let d_prev = &mut d_prev[l - 1];
+                let d_cur = &d_cur[0];
+                d_prev.fill(0.0);
+                for (o, &d) in d_cur.iter().enumerate() {
+                    if d != 0.0 {
+                        cm_linalg::axpy(d, self.layers[l].w.row(o), d_prev);
+                    }
+                }
+                for (dp, &a) in d_prev.iter_mut().zip(&acts[l]) {
+                    if a <= 0.0 {
+                        *dp = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
     /// Forward pass to logits.
     pub fn logits(&self, x: &Matrix) -> Vec<f32> {
+        self.logits_with(x, &ParConfig::from_env())
+    }
+
+    /// [`Mlp::logits`] with an explicit parallel configuration. The forward
+    /// pass is row-independent, so any thread count yields the same bits;
+    /// small inputs stay serial.
+    ///
+    /// # Panics
+    /// Panics if the feature width differs from the input dimension.
+    pub fn logits_with(&self, x: &Matrix, par: &ParConfig) -> Vec<f32> {
         assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
-        let mut out = Vec::with_capacity(x.rows());
-        let mut buf_a: Vec<f32> = Vec::new();
-        let mut buf_b: Vec<f32> = Vec::new();
-        for r in 0..x.rows() {
-            buf_a.clear();
-            buf_a.extend_from_slice(x.row(r));
-            for (l, layer) in self.layers.iter().enumerate() {
-                buf_b.clear();
-                for o in 0..layer.w.rows() {
-                    let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
-                    buf_b.push(if l + 1 == self.layers.len() { z } else { z.max(0.0) });
+        let forward_chunk = |range: std::ops::Range<usize>| {
+            let mut out = Vec::with_capacity(range.len());
+            let mut buf_a: Vec<f32> = Vec::new();
+            let mut buf_b: Vec<f32> = Vec::new();
+            for r in range {
+                buf_a.clear();
+                buf_a.extend_from_slice(x.row(r));
+                for (l, layer) in self.layers.iter().enumerate() {
+                    buf_b.clear();
+                    for o in 0..layer.w.rows() {
+                        let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
+                        buf_b.push(if l + 1 == self.layers.len() { z } else { z.max(0.0) });
+                    }
+                    std::mem::swap(&mut buf_a, &mut buf_b);
                 }
-                std::mem::swap(&mut buf_a, &mut buf_b);
+                out.push(buf_a[0]);
             }
-            out.push(buf_a[0]);
+            out
+        };
+        if x.rows() < FORWARD_PAR_ROWS {
+            return forward_chunk(0..x.rows());
         }
-        out
+        let chunks =
+            cm_par::par_map_chunks(par, x.rows(), forward_chunk).unwrap_or_else(|e| e.resume());
+        chunks.into_iter().flatten().collect()
     }
 
     /// Positive-class probabilities.
@@ -208,23 +281,44 @@ impl Mlp {
 
     /// The activation before the final prediction layer, per row.
     pub fn embed(&self, x: &Matrix) -> Matrix {
+        self.embed_with(x, &ParConfig::from_env())
+    }
+
+    /// [`Mlp::embed`] with an explicit parallel configuration. Row-wise
+    /// forward passes are independent, so any thread count yields the same
+    /// bits; small inputs stay serial.
+    ///
+    /// # Panics
+    /// Panics if the feature width differs from the input dimension.
+    pub fn embed_with(&self, x: &Matrix, par: &ParConfig) -> Matrix {
         assert_eq!(x.cols(), self.input_dim(), "feature width mismatch");
         let mut out = Matrix::zeros(x.rows(), self.embed_dim());
-        let mut buf_a: Vec<f32> = Vec::new();
-        let mut buf_b: Vec<f32> = Vec::new();
-        for r in 0..x.rows() {
-            buf_a.clear();
-            buf_a.extend_from_slice(x.row(r));
-            for layer in &self.layers[..self.layers.len() - 1] {
-                buf_b.clear();
-                for o in 0..layer.w.rows() {
-                    let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
-                    buf_b.push(z.max(0.0));
+        let embed_rows = |range: std::ops::Range<usize>, rows_out: &mut [f32]| {
+            let width = self.embed_dim();
+            let mut buf_a: Vec<f32> = Vec::new();
+            let mut buf_b: Vec<f32> = Vec::new();
+            for (k, r) in range.enumerate() {
+                buf_a.clear();
+                buf_a.extend_from_slice(x.row(r));
+                for layer in &self.layers[..self.layers.len() - 1] {
+                    buf_b.clear();
+                    for o in 0..layer.w.rows() {
+                        let z = dot(layer.w.row(o), &buf_a) + layer.b[o];
+                        buf_b.push(z.max(0.0));
+                    }
+                    std::mem::swap(&mut buf_a, &mut buf_b);
                 }
-                std::mem::swap(&mut buf_a, &mut buf_b);
+                rows_out[k * width..(k + 1) * width].copy_from_slice(&buf_a);
             }
-            out.row_mut(r).copy_from_slice(&buf_a);
+        };
+        if x.rows() < FORWARD_PAR_ROWS || self.embed_dim() == 0 {
+            embed_rows(0..x.rows(), out.as_mut_slice());
+            return out;
         }
+        cm_par::par_chunks_mut(par, out.as_mut_slice(), self.embed_dim(), |start, chunk| {
+            embed_rows(start..start + chunk.len() / self.embed_dim(), chunk);
+        })
+        .unwrap_or_else(|e| e.resume());
         out
     }
 
@@ -236,6 +330,43 @@ impl Mlp {
         // lint: allow(expect)
         let last = self.layers.last().expect("network has layers");
         (last.w.row(0), last.b[0])
+    }
+}
+
+/// Chunk-local gradient accumulator for one mini-batch slice; partials
+/// fold in chunk index order via [`GradPartial::add`].
+struct GradPartial {
+    grad_w: Vec<Matrix>,
+    grad_b: Vec<Vec<f32>>,
+    batch_weight: f32,
+    loss: f64,
+    weight: f64,
+}
+
+impl GradPartial {
+    fn zeros(mlp: &Mlp) -> Self {
+        Self {
+            grad_w: mlp.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect(),
+            grad_b: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            batch_weight: 0.0,
+            loss: 0.0,
+            weight: 0.0,
+        }
+    }
+
+    fn add(mut self, other: Self) -> Self {
+        for (a, b) in self.grad_w.iter_mut().zip(&other.grad_w) {
+            a.axpy(1.0, b);
+        }
+        for (a, b) in self.grad_b.iter_mut().zip(&other.grad_b) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+        self.batch_weight += other.batch_weight;
+        self.loss += other.loss;
+        self.weight += other.weight;
+        self
     }
 }
 
@@ -324,6 +455,29 @@ mod tests {
             m.predict_proba(&x)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_is_bit_identical_across_thread_counts() {
+        // Batch 1024 splits into multiple 256-sample gradient chunks, and
+        // 2048 rows crosses the parallel forward-pass threshold.
+        let (x, y) = xor(2048);
+        let cfg = MlpEpochConfig { batch_size: 1024, l2: 1e-4, shuffle_seed: 3 };
+        let run = |par: &ParConfig| {
+            let mut m = Mlp::new(2, &[8, 4], 0.05, 7);
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                losses.push(m.train_epoch_with(&x, &y, None, &cfg, par));
+            }
+            (losses, m.logits_with(&x, par), m.embed_with(&x, par))
+        };
+        let (base_loss, base_logits, base_embed) = run(&ParConfig::threads(1));
+        for threads in [2usize, 4, 8] {
+            let (loss, logits, embed) = run(&ParConfig::threads(threads));
+            assert_eq!(loss, base_loss, "threads = {threads}");
+            assert_eq!(logits, base_logits, "threads = {threads}");
+            assert_eq!(embed.as_slice(), base_embed.as_slice(), "threads = {threads}");
+        }
     }
 
     #[test]

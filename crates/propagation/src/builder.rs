@@ -3,8 +3,13 @@
 use cm_featurespace::{normalized_similarity, FeatureTable, SimilarityConfig};
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
+use cm_par::ParConfig;
 
 use crate::graph::SparseGraph;
+
+/// Minimum rows per chunk for the parallel similarity scans. Part of the
+/// chunk plan, so it must not depend on the thread count.
+const KNN_MIN_ROWS_PER_CHUNK: usize = 16;
 
 /// Neighbor-search strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,64 +60,63 @@ impl GraphBuilder {
 
     /// Builds the graph. `seed` only matters for the anchor method.
     pub fn build(&self, table: &FeatureTable, config: &SimilarityConfig, seed: u64) -> SparseGraph {
+        self.build_with(table, config, seed, &ParConfig::from_env())
+    }
+
+    /// [`GraphBuilder::build`] with an explicit parallel configuration.
+    ///
+    /// Row chunks scan for neighbors independently and their edge lists
+    /// concatenate in chunk index order, so the graph is identical for any
+    /// thread count.
+    pub fn build_with(
+        &self,
+        table: &FeatureTable,
+        config: &SimilarityConfig,
+        seed: u64,
+        par: &ParConfig,
+    ) -> SparseGraph {
         let n = table.len();
+        let par = par.clone().with_min_chunk(KNN_MIN_ROWS_PER_CHUNK);
         let edges = match self.method {
-            KnnMethod::Exact => self.build_exact(table, config),
+            KnnMethod::Exact => self.build_exact(table, config, &par),
             KnnMethod::Anchors { n_anchors, probes, max_candidates } => {
                 if n <= n_anchors * 4 {
                     // Too small for anchors to pay off; fall back to exact.
-                    self.build_exact(table, config)
+                    self.build_exact(table, config, &par)
                 } else {
-                    self.build_anchors(table, config, n_anchors, probes, max_candidates, seed)
+                    self.build_anchors(table, config, n_anchors, probes, max_candidates, seed, &par)
                 }
             }
         };
         SparseGraph::from_edges(n, &edges)
     }
 
-    fn build_exact(&self, table: &FeatureTable, config: &SimilarityConfig) -> Vec<(u32, u32, f32)> {
+    fn build_exact(
+        &self,
+        table: &FeatureTable,
+        config: &SimilarityConfig,
+        par: &ParConfig,
+    ) -> Vec<(u32, u32, f32)> {
         let n = table.len();
-        let n_threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .clamp(1, 8);
-        let chunk = n.div_ceil(n_threads).max(1);
-        let mut all_edges = Vec::new();
-        let results: Vec<Vec<(u32, u32, f32)>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..n_threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                if start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move || {
-                    let mut edges = Vec::new();
-                    for i in start..end {
-                        let mut top = TopK::new(self.k);
-                        for j in 0..n {
-                            if i == j {
-                                continue;
-                            }
-                            let s = normalized_similarity((table, i), (table, j), config);
-                            if s >= self.min_weight {
-                                top.push(j as u32, s as f32);
-                            }
-                        }
-                        top.drain_into(i as u32, &mut edges);
+        let chunks = cm_par::par_map_chunks(par, n, |range| {
+            let mut edges = Vec::new();
+            for i in range {
+                let mut top = TopK::new(self.k);
+                for j in 0..n {
+                    if i == j {
+                        continue;
                     }
-                    edges
-                }));
+                    let s = normalized_similarity((table, i), (table, j), config);
+                    if s >= self.min_weight {
+                        top.push(j as u32, s as f32);
+                    }
+                }
+                top.drain_into(i as u32, &mut edges);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        });
-        for mut r in results {
-            all_edges.append(&mut r);
-        }
-        all_edges
+            edges
+        })
+        .unwrap_or_else(|e| e.resume());
+        chunks.into_iter().flatten().collect()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -124,6 +128,7 @@ impl GraphBuilder {
         probes: usize,
         max_candidates: usize,
         seed: u64,
+        par: &ParConfig,
     ) -> Vec<(u32, u32, f32)> {
         let n = table.len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -131,50 +136,56 @@ impl GraphBuilder {
         anchor_ids.shuffle(&mut rng);
         anchor_ids.truncate(n_anchors);
 
-        // Route every row to its top `probes` anchors.
+        // Route every row to its top `probes` anchors. Rows route
+        // independently, so the parallel map is order-preserving.
         let mut anchor_members: Vec<Vec<u32>> = vec![Vec::new(); n_anchors];
-        let routes: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                let mut scored: Vec<(usize, f64)> = anchor_ids
-                    .iter()
-                    .enumerate()
-                    .map(|(a, &row)| (a, normalized_similarity((table, i), (table, row), config)))
-                    .collect();
-                scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
-                scored.truncate(probes);
-                scored.into_iter().map(|(a, _)| a).collect()
-            })
-            .collect();
+        let routes: Vec<Vec<usize>> = cm_par::par_map(par, n, |i| {
+            let mut scored: Vec<(usize, f64)> = anchor_ids
+                .iter()
+                .enumerate()
+                .map(|(a, &row)| (a, normalized_similarity((table, i), (table, row), config)))
+                .collect();
+            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(probes);
+            scored.into_iter().map(|(a, _)| a).collect()
+        })
+        .unwrap_or_else(|e| e.resume());
         for (i, route) in routes.iter().enumerate() {
             for &a in route {
                 anchor_members[a].push(i as u32);
             }
         }
 
-        let mut edges = Vec::new();
-        let mut candidates: Vec<u32> = Vec::new();
-        for (i, route) in routes.iter().enumerate() {
-            candidates.clear();
-            for &a in route {
-                candidates.extend_from_slice(&anchor_members[a]);
-            }
-            candidates.sort_unstable();
-            candidates.dedup();
-            // Stride-subsample to the cap so huge buckets stay bounded.
-            let stride = (candidates.len() / max_candidates.max(1)).max(1);
-            let mut top = TopK::new(self.k);
-            for &j in candidates.iter().step_by(stride) {
-                if j as usize == i {
-                    continue;
+        // Scan each row's co-routed candidates; chunk edge lists
+        // concatenate in chunk index order.
+        let chunks = cm_par::par_map_chunks(par, n, |range| {
+            let mut edges = Vec::new();
+            let mut candidates: Vec<u32> = Vec::new();
+            for i in range {
+                candidates.clear();
+                for &a in &routes[i] {
+                    candidates.extend_from_slice(&anchor_members[a]);
                 }
-                let s = normalized_similarity((table, i), (table, j as usize), config);
-                if s >= self.min_weight {
-                    top.push(j, s as f32);
+                candidates.sort_unstable();
+                candidates.dedup();
+                // Stride-subsample to the cap so huge buckets stay bounded.
+                let stride = (candidates.len() / max_candidates.max(1)).max(1);
+                let mut top = TopK::new(self.k);
+                for &j in candidates.iter().step_by(stride) {
+                    if j as usize == i {
+                        continue;
+                    }
+                    let s = normalized_similarity((table, i), (table, j as usize), config);
+                    if s >= self.min_weight {
+                        top.push(j, s as f32);
+                    }
                 }
+                top.drain_into(i as u32, &mut edges);
             }
-            top.drain_into(i as u32, &mut edges);
-        }
-        edges
+            edges
+        })
+        .unwrap_or_else(|e| e.resume());
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -314,6 +325,19 @@ mod tests {
         let cfg = SimilarityConfig::uniform(vec![0]);
         let b = GraphBuilder::approximate(4, 200);
         assert_eq!(b.build(&t, &cfg, 7), b.build(&t, &cfg, 7));
+    }
+
+    #[test]
+    fn graphs_are_identical_across_thread_counts() {
+        let t = clustered(300);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        for b in [GraphBuilder::exact(4), GraphBuilder::approximate(4, 300)] {
+            let base = b.build_with(&t, &cfg, 7, &ParConfig::threads(1));
+            for threads in [2usize, 4, 8] {
+                let g = b.build_with(&t, &cfg, 7, &ParConfig::threads(threads));
+                assert_eq!(g, base, "method {:?}, threads = {threads}", b.method);
+            }
+        }
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! scanner over workspace `.rs` sources.
 //!
 //! Bans panicking escape hatches (`.unwrap()`, `.expect(...)`, `panic!`,
-//! `todo!`, `unimplemented!`), `unsafe`, and debug output (`dbg!`,
-//! `println!`; `eprintln!` stays legal for diagnostics) in **library-crate
-//! non-test code**. Tests, benches, examples, binary targets, and
-//! `#[cfg(test)]` blocks are exempt: panicking on a violated expectation
-//! is exactly right there. A finding can be waived in place with
-//! `// lint: allow(<rule>)` on the same line or the line above.
+//! `todo!`, `unimplemented!`), `unsafe`, debug output (`dbg!`,
+//! `println!`; `eprintln!` stays legal for diagnostics), and raw threading
+//! (`thread::spawn`, `thread::scope` — all parallelism goes through
+//! `cm-par`, which owns determinism and panic capture; `crates/par` itself
+//! is exempt) in **library-crate non-test code**. Tests, benches,
+//! examples, binary targets, and `#[cfg(test)]` blocks are exempt:
+//! panicking on a violated expectation is exactly right there. A finding
+//! can be waived in place with `// lint: allow(<rule>)` on the same line
+//! or the line above.
 //!
 //! The scanner is deliberately token-level, not a full parser: it strips
 //! comments and string literals per line, tracks `#[cfg(test)]` regions by
@@ -30,7 +33,13 @@ const RULES: &[Rule] = &[
     Rule { name: "unsafe", check: |code| finds_word(code, "unsafe") },
     Rule { name: "dbg", check: |code| finds_macro(code, "dbg") },
     Rule { name: "println", check: |code| finds_macro(code, "println") },
+    Rule { name: "thread-spawn", check: |code| finds_word(code, "thread::spawn") },
+    Rule { name: "thread-scope", check: |code| finds_word(code, "thread::scope") },
 ];
+
+/// Rules that do not apply inside `crates/par`: the substrate is the one
+/// place allowed to touch `std::thread` directly.
+const PAR_ONLY_RULES: &[&str] = &["thread-spawn", "thread-scope"];
 
 /// One lint rule: a stable name (used by the allow pragma) plus a matcher
 /// over stripped code.
@@ -319,6 +328,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
             Err(e) => eprintln!("lint: skipping unreadable {}: {e}", path.display()),
         }
     }
+    findings.retain(|f| !(f.file.starts_with("crates/par") && PAR_ONLY_RULES.contains(&f.rule)));
     findings
 }
 
@@ -340,6 +350,8 @@ mod tests {
         assert_eq!(rules_hit("unsafe { *p }"), vec!["unsafe"]);
         assert_eq!(rules_hit("dbg!(x);"), vec!["dbg"]);
         assert_eq!(rules_hit("println!(\"hi\");"), vec!["println"]);
+        assert_eq!(rules_hit("std::thread::spawn(move || work());"), vec!["thread-spawn"]);
+        assert_eq!(rules_hit("thread::scope(|s| { s.spawn(f); });"), vec!["thread-scope"]);
     }
 
     #[test]
@@ -351,6 +363,13 @@ mod tests {
         assert!(rules_hit("let e = y.expect_err(\"want err\");").is_empty());
         assert!(rules_hit("eprintln!(\"diagnostic\");").is_empty());
         assert!(rules_hit("core::panicking();").is_empty());
+        assert!(rules_hit("my_thread::spawn(f);").is_empty());
+        assert!(rules_hit("let spawned = pool.spawn(f);").is_empty());
+    }
+
+    #[test]
+    fn thread_rules_are_pragma_waivable() {
+        assert!(rules_hit("std::thread::spawn(f); // lint: allow(thread-spawn)").is_empty());
     }
 
     #[test]

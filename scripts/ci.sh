@@ -21,7 +21,10 @@ cargo run -q -p xtask -- validate --seeded-negatives
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (CM_THREADS=1)"
+CM_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (CM_THREADS=4)"
+CM_THREADS=4 cargo test -q --workspace
 
 echo "ci: all gates passed"

@@ -37,6 +37,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`par`] | deterministic chunked parallel substrate (`CM_THREADS`) |
 //! | [`linalg`] | dense matrices, vector kernels, initializers |
 //! | [`featurespace`] | the common feature space: schema, columnar tables, similarity |
 //! | [`orgsim`] | the synthetic organizational world (data + services) |
@@ -51,11 +52,13 @@
 pub use cm_eval as eval;
 pub use cm_featurespace as featurespace;
 pub use cm_fusion as fusion;
+pub use cm_json as json;
 pub use cm_labelmodel as labelmodel;
 pub use cm_linalg as linalg;
 pub use cm_mining as mining;
 pub use cm_models as models;
 pub use cm_orgsim as orgsim;
+pub use cm_par as par;
 pub use cm_pipeline as pipeline;
 pub use cm_propagation as propagation;
 

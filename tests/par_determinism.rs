@@ -1,0 +1,177 @@
+//! Serial ≡ parallel equivalence layer for every `cm-par`-wired hot path.
+//!
+//! The substrate's contract: the chunk plan depends only on input size,
+//! chunk results merge in chunk index order, and the serial fallback runs
+//! the identical plan inline — so 1 thread and N threads must produce
+//! bit-identical outputs everywhere. Each test here exercises one wired
+//! path at explicit `ParConfig` values (never `CM_THREADS`, so the tests
+//! are immune to the environment they run under).
+
+use std::sync::Arc;
+
+use cross_modal::eval::bootstrap_auprc_ci_with;
+use cross_modal::featurespace::{
+    CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureValue, Label, ServingMode,
+    SimilarityConfig, Vocabulary,
+};
+use cross_modal::labelmodel::{
+    CategoricalContainsLf, GenerativeConfig, GenerativeModel, LabelMatrix, LabelingFunction, Vote,
+};
+use cross_modal::linalg::Matrix;
+use cross_modal::mining::{mine_itemsets_with, MiningConfig};
+use cross_modal::models::logistic::{LogisticConfig, LogisticRegression};
+use cross_modal::par::ParConfig;
+use cross_modal::propagation::GraphBuilder;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// A categorical table big enough to cross every parallel threshold.
+fn cat_table(n: usize) -> cross_modal::featurespace::FeatureTable {
+    let schema = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::categorical(
+        "c",
+        FeatureSet::A,
+        ServingMode::Servable,
+        Vocabulary::from_names(["w", "x", "y", "z"]),
+    )]));
+    let mut t = cross_modal::featurespace::FeatureTable::new(schema);
+    for i in 0..n {
+        t.push_row(&[FeatureValue::Categorical(CatSet::single((i % 4) as u32))]);
+    }
+    t
+}
+
+fn lfs() -> Vec<Box<dyn LabelingFunction>> {
+    vec![
+        Box::new(CategoricalContainsLf::new(0, vec![0], false, Vote::Positive)),
+        Box::new(CategoricalContainsLf::new(0, vec![1], false, Vote::Negative)),
+        Box::new(CategoricalContainsLf::new(0, vec![2], false, Vote::Positive)),
+    ]
+}
+
+#[test]
+fn vote_matrix_is_bit_identical() {
+    let t = cat_table(30_000);
+    let base = LabelMatrix::apply_with(&t, &lfs(), &ParConfig::threads(1));
+    let base_stats = base.vote_stats_with(&ParConfig::threads(1));
+    for threads in THREADS {
+        let par = ParConfig::threads(threads);
+        let m = LabelMatrix::apply_with(&t, &lfs(), &par);
+        for r in 0..base.n_rows() {
+            assert_eq!(m.row(r), base.row(r), "row {r}, threads = {threads}");
+        }
+        let stats = m.vote_stats_with(&par);
+        assert_eq!(stats, base_stats, "threads = {threads}");
+    }
+}
+
+#[test]
+fn label_model_weights_are_bit_identical() {
+    let t = cat_table(25_000);
+    let m = LabelMatrix::apply_with(&t, &lfs(), &ParConfig::threads(1));
+    let cfg = GenerativeConfig::default();
+    let base = GenerativeModel::fit_with(&m, &cfg, &ParConfig::threads(1));
+    let base_probs = base.predict_with(&m, &ParConfig::threads(1));
+    for threads in THREADS {
+        let par = ParConfig::threads(threads);
+        let model = GenerativeModel::fit_with(&m, &cfg, &par);
+        assert_eq!(model.accuracies(), base.accuracies(), "threads = {threads}");
+        assert_eq!(
+            model.class_prior().to_bits(),
+            base.class_prior().to_bits(),
+            "threads = {threads}"
+        );
+        assert_eq!(model.predict_with(&m, &par), base_probs, "threads = {threads}");
+    }
+}
+
+#[test]
+fn propagation_edge_lists_are_identical() {
+    let t = cat_table(400);
+    let cfg = SimilarityConfig::uniform(vec![0]);
+    for builder in [GraphBuilder::exact(6), GraphBuilder::approximate(6, 400)] {
+        let base = builder.build_with(&t, &cfg, 3, &ParConfig::threads(1));
+        for threads in THREADS {
+            let g = builder.build_with(&t, &cfg, 3, &ParConfig::threads(threads));
+            assert_eq!(g, base, "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn logistic_weights_are_bit_identical() {
+    let n = 4096;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let cls = if i % 3 == 0 { 1.0f32 } else { -1.0 };
+            let jitter = ((i * 37 % 100) as f32) / 100.0 - 0.5;
+            vec![cls + jitter, -cls + jitter * 0.5, jitter]
+        })
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    let y: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    // Batch 2048 splits into multiple 256-item gradient chunks.
+    let cfg = LogisticConfig { epochs: 4, batch_size: 2048, ..Default::default() };
+    let base = LogisticRegression::fit_with(&x, &y, None, &cfg, &ParConfig::threads(1));
+    for threads in THREADS {
+        let par = ParConfig::threads(threads);
+        let model = LogisticRegression::fit_with(&x, &y, None, &cfg, &par);
+        assert_eq!(model.weights(), base.weights(), "threads = {threads}");
+        assert_eq!(model.bias().to_bits(), base.bias().to_bits(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn bootstrap_cis_are_bit_identical() {
+    let n = 400;
+    let scores: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+    let positives: Vec<bool> = (0..n).map(|i| i % 6 == 0).collect();
+    let base = bootstrap_auprc_ci_with(&scores, &positives, 300, 0.1, 17, &ParConfig::threads(1));
+    for threads in THREADS {
+        let ci = bootstrap_auprc_ci_with(
+            &scores,
+            &positives,
+            300,
+            0.1,
+            17,
+            &ParConfig::threads(threads),
+        );
+        assert_eq!(ci.0.to_bits(), base.0.to_bits(), "threads = {threads}");
+        assert_eq!(ci.1.to_bits(), base.1.to_bits(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn mined_itemsets_are_identical() {
+    let t = cat_table(8000);
+    let labels: Vec<Label> =
+        (0..8000).map(|i| if i % 4 == 0 { Label::Positive } else { Label::Negative }).collect();
+    let cfg = MiningConfig::default();
+    let base = mine_itemsets_with(&t, &labels, &[0], &cfg, &ParConfig::threads(1));
+    for threads in THREADS {
+        let mined = mine_itemsets_with(&t, &labels, &[0], &cfg, &ParConfig::threads(threads));
+        assert_eq!(mined.positive, base.positive, "threads = {threads}");
+        assert_eq!(mined.negative, base.negative, "threads = {threads}");
+        assert_eq!(mined.n_candidates, base.n_candidates, "threads = {threads}");
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical() {
+    let fill = |seed: u32, rows: usize, cols: usize| {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) & 0xFF) as f32
+                / 255.0
+                - 0.5;
+        }
+        m
+    };
+    // 150^3 > the matmul flop threshold, so the parallel path engages.
+    let a = fill(1, 150, 150);
+    let b = fill(2, 150, 150);
+    let base = a.matmul_with(&b, &ParConfig::threads(1));
+    for threads in THREADS {
+        let c = a.matmul_with(&b, &ParConfig::threads(threads));
+        assert_eq!(c.as_slice(), base.as_slice(), "threads = {threads}");
+    }
+}
