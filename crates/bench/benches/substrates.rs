@@ -274,6 +274,43 @@ fn bench_end_to_end_curation(c: &Harness) {
     group.finish();
 }
 
+/// Overhead of the resilient access layer (see `results/BENCH_faults.json`):
+/// featurization routed through a *disabled* fault plan must cost <1% over
+/// direct generation, and the degradation accounting in curation must not
+/// move the end-to-end hot path.
+fn bench_faults(c: &Harness) {
+    use cm_faults::{AccessLayer, AccessPolicy, FaultPlan};
+    let mut group = c.group("faults");
+    group.sample_size(20);
+    let w = world();
+    group.bench_function("generate_2k_direct", || w.generate(ModalityKind::Image, 2000, 3));
+    let disabled = FaultPlan::disabled();
+    let descriptors = w.service_descriptors();
+    group.bench_function("generate_2k_disabled_layer", || {
+        let mut layer =
+            AccessLayer::new(&disabled, AccessPolicy::default(), &descriptors, 3).unwrap();
+        w.generate_via(ModalityKind::Image, 2000, 3, &mut layer, 0).unwrap()
+    });
+    let storm = FaultPlan::parse(
+        "seed=7;topics=unavailable@0.5;keywords=transient(2)@0.6;page_quality=latency(300)@0.5;\
+         user_reports=corrupt@0.4;kg_entities=stale",
+    )
+    .unwrap();
+    group.bench_function("generate_2k_storm", || {
+        let mut layer = AccessLayer::new(&storm, AccessPolicy::default(), &descriptors, 3).unwrap();
+        w.generate_via(ModalityKind::Image, 2000, 3, &mut layer, 0).unwrap()
+    });
+
+    let task = TaskConfig::paper(TaskId::Ct1).scaled(0.02);
+    let clean = TaskData::generate(task.clone(), 3, Some(64));
+    let faulted =
+        TaskData::generate_with_faults(task, 3, Some(64), &storm, AccessPolicy::default()).unwrap();
+    let cfg = CurationConfig { prop_max_seeds: 500, ..CurationConfig::default() };
+    group.bench_function("curate_clean", || curate(&clean, &cfg));
+    group.bench_function("curate_under_storm", || curate(&faulted, &cfg));
+    group.finish();
+}
+
 fn main() {
     let harness = Harness::from_args();
     bench_feature_generation(&harness);
@@ -283,4 +320,5 @@ fn main() {
     bench_training(&harness);
     bench_par_substrate(&harness);
     bench_end_to_end_curation(&harness);
+    bench_faults(&harness);
 }

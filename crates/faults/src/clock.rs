@@ -1,0 +1,82 @@
+//! Clocks: the simulated clock fault handling runs on, plus the one
+//! sanctioned wall-clock stopwatch for diagnostics.
+//!
+//! Library code must never branch on wall-clock time — retries, backoff,
+//! and deadline budgets all advance a [`SimClock`], so a faulted run is
+//! bit-for-bit reproducible from its fault seed on any host at any load.
+//! The only legitimate wall-clock use is *reporting* how long a step took
+//! ([`Stopwatch`]); `xtask lint` bans `Instant::now()` / `SystemTime::now()`
+//! everywhere else.
+
+use std::time::Duration;
+
+/// A deterministic simulated clock, counting milliseconds since the start
+/// of a run. Fault latency, retry backoff, and deadline budgets advance
+/// this clock instead of sleeping, so fault timing is part of the seeded
+/// state rather than the host's scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Milliseconds elapsed since the start of the run.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock by `ms` simulated milliseconds (saturating).
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+}
+
+/// The sanctioned wall-clock timer: measures how long a step took for
+/// *reports only*, never for control flow. This is the single place in
+/// library code allowed to read `std::time::Instant`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        // The sole wall-clock read in library code; see module docs.
+        // lint: allow(instant-now)
+        Self { start: std::time::Instant::now() }
+    }
+
+    /// Wall time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_and_saturates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(250);
+        c.advance_ms(5);
+        assert_eq!(c.now_ms(), 255);
+        c.advance_ms(u64::MAX);
+        assert_eq!(c.now_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let w = Stopwatch::start();
+        let d = w.elapsed();
+        assert!(d >= Duration::ZERO);
+    }
+}

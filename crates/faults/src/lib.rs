@@ -1,0 +1,33 @@
+//! Deterministic fault injection and resilient service access.
+//!
+//! The pipeline's premise is that it leans on *organizational services* —
+//! model-based classifiers, aggregate statistics, rule engines — and in
+//! production those services go down, lag, and emit garbage. This crate
+//! makes that operational reality testable:
+//!
+//! - [`FaultPlan`] declares, per service, how it misbehaves
+//!   ([`FaultMode`]: unavailable, transient, latency, corrupt, stale) and
+//!   how often; plans parse from the `CM_FAULTS` environment spec.
+//! - [`AccessLayer`] wraps every service call with client-side hardening:
+//!   retry with exponential backoff + jitter, a per-call deadline budget,
+//!   response validation that catches corrupt values, and a circuit
+//!   breaker that gives up on a dead service. Lost calls degrade to
+//!   missing features instead of panics or poisoned matrices.
+//! - [`FaultSummary`] reports the scenario outcome (per-service stats,
+//!   tripped breakers) for inclusion in pipeline reports.
+//!
+//! **Determinism contract**: every fault decision is drawn from a stream
+//! seeded by `(plan seed, salt, service, row)`; all waiting happens on a
+//! [`SimClock`]. A fault scenario therefore reproduces bit-for-bit on any
+//! host, at any `CM_THREADS`. The only wall-clock reads in library code go
+//! through [`Stopwatch`], which feeds timing *reports*, never control flow.
+
+mod access;
+mod clock;
+mod plan;
+
+pub use access::{
+    validate_value, AccessLayer, AccessPolicy, FaultSummary, ServiceDescriptor, ServiceStats,
+};
+pub use clock::{SimClock, Stopwatch};
+pub use plan::{FaultMode, FaultPlan, FaultSpec, CM_FAULTS_ENV};

@@ -1,0 +1,292 @@
+//! Fault plans: which services fail, how, and under which seed.
+//!
+//! A [`FaultPlan`] is the complete, declarative description of one fault
+//! scenario. It can be built programmatically or parsed from the compact
+//! `CM_FAULTS` spec string:
+//!
+//! ```text
+//! seed=7;topics=unavailable@0.5;keywords=transient(2);page_quality=latency(200)@0.3
+//! ```
+//!
+//! Each `;`-separated clause names a service and a [`FaultMode`], with an
+//! optional `@rate` giving the per-call probability the fault fires
+//! (default `1.0`). The plan carries its own seed; every fault decision is
+//! drawn from a stream derived from `(seed, service, row)`, so a plan
+//! reproduces bit-for-bit regardless of thread count or call interleaving.
+
+use cm_featurespace::{CmError, CmResult, ErrorKind};
+
+/// Environment variable holding the fault spec string.
+pub const CM_FAULTS_ENV: &str = "CM_FAULTS";
+
+/// How a faulted service misbehaves on a call where the fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The service is down: the call fails and retries cannot save it.
+    Unavailable,
+    /// The call fails `fails` consecutive times, then succeeds — the shape
+    /// a retry loop is built for.
+    Transient {
+        /// Number of consecutive failures before the call succeeds.
+        fails: u32,
+    },
+    /// The call succeeds but only after a simulated delay, eating into the
+    /// per-service deadline budget.
+    Latency {
+        /// Simulated delay per attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// The call "succeeds" but returns garbage: a non-finite numeric, an
+    /// out-of-vocabulary category id, or a perturbed embedding.
+    Corrupt,
+    /// The call returns a frozen earlier observation for this service
+    /// instead of the live value (a stale cache or lagging replica).
+    Stale,
+}
+
+impl FaultMode {
+    /// Short stable name, used in specs, stats, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::Unavailable => "unavailable",
+            FaultMode::Transient { .. } => "transient",
+            FaultMode::Latency { .. } => "latency",
+            FaultMode::Corrupt => "corrupt",
+            FaultMode::Stale => "stale",
+        }
+    }
+}
+
+/// One service's fault assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Name of the service (must exist in the registry the plan is applied
+    /// to; checked when the access layer is built).
+    pub service: String,
+    /// How the service misbehaves when the fault fires.
+    pub mode: FaultMode,
+    /// Per-call probability in `(0, 1]` that the fault fires.
+    pub rate: f64,
+}
+
+/// A complete fault scenario: a seed plus per-service fault assignments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every fault decision stream. Independent of the world seed,
+    /// so the same data can be replayed under different fault draws.
+    pub seed: u64,
+    /// Per-service fault assignments; empty means no faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every service call passes through untouched.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether any service has a fault assigned.
+    pub fn is_enabled(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// The fault assignment for `service`, if any.
+    pub fn spec_for(&self, service: &str) -> Option<&FaultSpec> {
+        self.specs.iter().find(|s| s.service == service)
+    }
+
+    /// Reads the plan from the `CM_FAULTS` environment variable. Unset or
+    /// empty means [`FaultPlan::disabled`]; a malformed spec is an error
+    /// (silent fallback would mask typos in CI scenarios).
+    pub fn from_env() -> CmResult<Self> {
+        match std::env::var(CM_FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec),
+            _ => Ok(Self::disabled()),
+        }
+    }
+
+    /// Parses a spec string like
+    /// `seed=7;topics=unavailable@0.5;keywords=transient(2)`.
+    ///
+    /// Clauses are `;`-separated. `seed=N` (at most once) sets the fault
+    /// seed; every other clause is `service=mode[(arg)][@rate]` where mode
+    /// is one of `unavailable`, `transient(fails)`, `latency(delay_ms)`,
+    /// `corrupt`, `stale` and `rate` is in `(0, 1]` (default `1`).
+    pub fn parse(spec: &str) -> CmResult<Self> {
+        const LOC: &str = "FaultPlan::parse";
+        let bad = |msg: String| CmError::new(ErrorKind::InvalidConfig, LOC, msg);
+        let mut plan = FaultPlan::disabled();
+        let mut seed_seen = false;
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| bad(format!("clause {clause:?} is not `name=value`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                if seed_seen {
+                    return Err(bad("duplicate seed clause".to_owned()));
+                }
+                seed_seen = true;
+                plan.seed =
+                    value.parse::<u64>().map_err(|e| bad(format!("bad seed {value:?}: {e}")))?;
+                continue;
+            }
+            if key.is_empty() {
+                return Err(bad(format!("clause {clause:?} has an empty service name")));
+            }
+            if plan.spec_for(key).is_some() {
+                return Err(bad(format!("service {key:?} assigned twice")));
+            }
+            let (mode_str, rate) = match value.split_once('@') {
+                Some((m, r)) => {
+                    let rate = r
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|e| bad(format!("bad rate {r:?} for {key:?}: {e}")))?;
+                    if !(rate > 0.0 && rate <= 1.0) {
+                        return Err(bad(format!("rate {rate} for {key:?} must be in (0, 1]")));
+                    }
+                    (m.trim(), rate)
+                }
+                None => (value, 1.0),
+            };
+            let mode = parse_mode(mode_str, key)?;
+            plan.specs.push(FaultSpec { service: key.to_owned(), mode, rate });
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses a mode token like `transient(2)` or `unavailable`.
+fn parse_mode(token: &str, service: &str) -> CmResult<FaultMode> {
+    const LOC: &str = "FaultPlan::parse";
+    let bad = |msg: String| CmError::new(ErrorKind::InvalidConfig, LOC, msg);
+    let (name, arg) = match token.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| bad(format!("unclosed `(` in mode {token:?} for {service:?}")))?;
+            (name.trim(), Some(arg.trim()))
+        }
+        None => (token, None),
+    };
+    let need_arg = |what: &str| {
+        arg.ok_or_else(|| bad(format!("mode {name:?} for {service:?} needs ({what})")))
+    };
+    let no_arg = |mode: FaultMode| {
+        if arg.is_some() {
+            Err(bad(format!("mode {name:?} for {service:?} takes no argument")))
+        } else {
+            Ok(mode)
+        }
+    };
+    match name {
+        "unavailable" => no_arg(FaultMode::Unavailable),
+        "corrupt" => no_arg(FaultMode::Corrupt),
+        "stale" => no_arg(FaultMode::Stale),
+        "transient" => {
+            let raw = need_arg("fails")?;
+            let fails = raw
+                .parse::<u32>()
+                .map_err(|e| bad(format!("bad transient fails {raw:?} for {service:?}: {e}")))?;
+            if fails == 0 {
+                return Err(bad(format!("transient fails for {service:?} must be >= 1")));
+            }
+            Ok(FaultMode::Transient { fails })
+        }
+        "latency" => {
+            let raw = need_arg("delay_ms")?;
+            let delay_ms = raw
+                .parse::<u64>()
+                .map_err(|e| bad(format!("bad latency delay {raw:?} for {service:?}: {e}")))?;
+            if delay_ms == 0 {
+                return Err(bad(format!("latency delay for {service:?} must be >= 1 ms")));
+            }
+            Ok(FaultMode::Latency { delay_ms })
+        }
+        other => Err(bad(format!("unknown fault mode {other:?} for {service:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_empty() {
+        let p = FaultPlan::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.seed, 0);
+        assert!(p.spec_for("topics").is_none());
+    }
+
+    #[test]
+    fn parses_full_grammar() {
+        let p = FaultPlan::parse(
+            "seed=7; topics=unavailable@0.5; keywords=transient(2); \
+             page_quality=latency(200)@0.3; user_reports=corrupt@0.2; kg_entities=stale",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert!(p.is_enabled());
+        assert_eq!(p.specs.len(), 5);
+        let topics = p.spec_for("topics").unwrap();
+        assert_eq!(topics.mode, FaultMode::Unavailable);
+        assert_eq!(topics.rate, 0.5);
+        let kw = p.spec_for("keywords").unwrap();
+        assert_eq!(kw.mode, FaultMode::Transient { fails: 2 });
+        assert_eq!(kw.rate, 1.0);
+        let pq = p.spec_for("page_quality").unwrap();
+        assert_eq!(pq.mode, FaultMode::Latency { delay_ms: 200 });
+        assert_eq!(p.spec_for("kg_entities").unwrap().mode, FaultMode::Stale);
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        assert!(!FaultPlan::parse("").unwrap().is_enabled());
+        assert!(!FaultPlan::parse("  ;  ; ").unwrap().is_enabled());
+    }
+
+    #[test]
+    fn seed_only_plan_is_disabled() {
+        let p = FaultPlan::parse("seed=42").unwrap();
+        assert_eq!(p.seed, 42);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "topics",                      // no `=`
+            "=unavailable",                // empty service
+            "topics=down",                 // unknown mode
+            "topics=unavailable@0",        // rate out of range
+            "topics=unavailable@1.5",      // rate out of range
+            "topics=unavailable@x",        // non-numeric rate
+            "topics=transient",            // missing arg
+            "topics=transient(0)",         // zero fails
+            "topics=transient(2",          // unclosed paren
+            "topics=latency(0)",           // zero delay
+            "topics=unavailable(3)",       // spurious arg
+            "topics=stale;topics=corrupt", // duplicate service
+            "seed=1;seed=2",               // duplicate seed
+            "seed=abc",                    // bad seed
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidConfig, "spec {bad:?}");
+        }
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(FaultMode::Unavailable.name(), "unavailable");
+        assert_eq!(FaultMode::Transient { fails: 3 }.name(), "transient");
+        assert_eq!(FaultMode::Latency { delay_ms: 5 }.name(), "latency");
+        assert_eq!(FaultMode::Corrupt.name(), "corrupt");
+        assert_eq!(FaultMode::Stale.name(), "stale");
+    }
+}

@@ -86,10 +86,12 @@ impl DenseEncoder {
             })?;
             let (codec, width) = match def.kind {
                 FeatureKind::Numeric => {
+                    // Non-finite values are masked like missing ones: one
+                    // NaN must not poison the column's statistics.
                     let mut n = 0usize;
                     let mut sum = 0.0f64;
                     for r in 0..train.len() {
-                        if let Some(v) = train.numeric(r, col) {
+                        if let Some(v) = train.numeric(r, col).filter(|v| v.is_finite()) {
                             n += 1;
                             sum += v;
                         }
@@ -97,7 +99,7 @@ impl DenseEncoder {
                     let mean = if n > 0 { sum / n as f64 } else { 0.0 };
                     let mut var = 0.0f64;
                     for r in 0..train.len() {
-                        if let Some(v) = train.numeric(r, col) {
+                        if let Some(v) = train.numeric(r, col).filter(|v| v.is_finite()) {
                             var += (v - mean).powi(2);
                         }
                     }
@@ -143,10 +145,14 @@ impl DenseEncoder {
             for (slot, codec) in self.layout.slots.iter().zip(&self.codecs) {
                 let col = slot.source_column;
                 match codec {
-                    SlotCodec::Numeric { mean, std } => match table.numeric(r, col) {
-                        Some(v) => row[slot.offset] = ((v - mean) / std) as f32,
-                        None => row[slot.missing_indicator] = 1.0,
-                    },
+                    SlotCodec::Numeric { mean, std } => {
+                        match table.numeric(r, col).filter(|v| v.is_finite()) {
+                            Some(v) => row[slot.offset] = ((v - mean) / std) as f32,
+                            // Missing and non-finite alike: imputed zero
+                            // plus a hot missing indicator.
+                            None => row[slot.missing_indicator] = 1.0,
+                        }
+                    }
                     SlotCodec::Categorical { width } => match table.categorical(r, col) {
                         Some(ids) => {
                             for &id in ids {
@@ -157,10 +163,12 @@ impl DenseEncoder {
                         }
                         None => row[slot.missing_indicator] = 1.0,
                     },
-                    SlotCodec::Embedding { dim } => match table.embedding(r, col) {
-                        Some(e) => row[slot.offset..slot.offset + dim].copy_from_slice(e),
-                        None => row[slot.missing_indicator] = 1.0,
-                    },
+                    SlotCodec::Embedding { dim } => {
+                        match table.embedding(r, col).filter(|e| e.iter().all(|x| x.is_finite())) {
+                            Some(e) => row[slot.offset..slot.offset + dim].copy_from_slice(e),
+                            None => row[slot.missing_indicator] = 1.0,
+                        }
+                    }
                 }
             }
         }
@@ -269,6 +277,39 @@ mod tests {
         test.push_row(&[FeatureValue::Numeric(2.0), FeatureValue::Missing, FeatureValue::Missing]);
         let m = enc.transform(&test);
         assert!((m[(0, 0)]).abs() < 1e-6); // (2-2)/1
+    }
+
+    #[test]
+    fn non_finite_numerics_are_masked_like_missing() {
+        let train = table();
+        let enc = DenseEncoder::fit(&train, &[0, 2]).unwrap();
+        let mut test = FeatureTable::new(Arc::clone(train.schema()));
+        // push_row (the unchecked legacy path) lets the NaN through; the
+        // encoder must still mask it rather than poison the matrix.
+        test.push_row(&[
+            FeatureValue::Numeric(f64::NAN),
+            FeatureValue::Missing,
+            FeatureValue::Embedding(vec![f32::NAN, 0.0]),
+        ]);
+        let m = enc.transform(&test);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()), "no NaN may survive densification");
+        assert_eq!(m[(0, 1)], 1.0, "numeric missing indicator");
+        assert_eq!(m[(0, 4)], 1.0, "embedding missing indicator");
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_training_values() {
+        let mut t = table();
+        t.push_row(&[
+            FeatureValue::Numeric(f64::INFINITY),
+            FeatureValue::Missing,
+            FeatureValue::Missing,
+        ]);
+        let enc = DenseEncoder::fit(&t, &[0]).unwrap();
+        let m = enc.transform(&t);
+        // Stats still come from {1.0, 3.0}: mean 2, std 1.
+        assert!((m[(0, 0)] + 1.0).abs() < 1e-6);
+        assert!((m[(1, 0)] - 1.0).abs() < 1e-6);
     }
 
     #[test]

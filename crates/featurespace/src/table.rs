@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::error::{CmError, CmResult, ErrorKind};
 use crate::schema::FeatureSchema;
 use crate::value::{CatSet, FeatureKind, FeatureValue};
 
@@ -149,6 +150,59 @@ impl FeatureTable {
             col.push(value, &def.name);
         }
         self.len += 1;
+    }
+
+    /// Appends a row after validating it against the schema: width, value
+    /// kinds, embedding dims, and numeric finiteness are all checked
+    /// *before* any column mutates, so a rejected row leaves the table
+    /// untouched. Non-finite numerics must arrive as the explicit
+    /// [`FeatureValue::Missing`] sentinel, never as NaN/Inf payloads —
+    /// this is the ingestion boundary that keeps corrupt service responses
+    /// out of the matrices.
+    pub fn try_push_row(&mut self, row: &[FeatureValue]) -> CmResult<()> {
+        const LOC: &str = "FeatureTable::try_push_row";
+        if row.len() != self.schema.len() {
+            return Err(CmError::new(
+                ErrorKind::ShapeMismatch,
+                LOC,
+                format!(
+                    "row width {} does not match schema width {}",
+                    row.len(),
+                    self.schema.len()
+                ),
+            ));
+        }
+        for (value, def) in row.iter().zip(self.schema.defs()) {
+            match (value.kind(), def.kind) {
+                (None, _) => {}
+                (Some(FeatureKind::Numeric), FeatureKind::Numeric)
+                | (Some(FeatureKind::Categorical), FeatureKind::Categorical) => {}
+                (Some(FeatureKind::Embedding { dim }), FeatureKind::Embedding { dim: want })
+                    if dim == want => {}
+                (got, want) => {
+                    return Err(CmError::new(
+                        ErrorKind::SchemaMismatch,
+                        LOC,
+                        format!(
+                            "feature {:?}: value kind {got:?} does not match {want:?}",
+                            def.name
+                        ),
+                    ))
+                }
+            }
+            if !value.is_finite() {
+                return Err(CmError::new(
+                    ErrorKind::Numeric,
+                    LOC,
+                    format!(
+                        "feature {:?}: non-finite value {value:?}; use FeatureValue::Missing",
+                        def.name
+                    ),
+                ));
+            }
+        }
+        self.push_row(row);
+        Ok(())
     }
 
     /// Reserves capacity for `additional` more rows.
@@ -399,6 +453,71 @@ mod tests {
             FeatureValue::Categorical(CatSet::new()),
             FeatureValue::Embedding(vec![0.0; 2]),
         ]);
+    }
+
+    #[test]
+    fn try_push_row_accepts_valid_rows() {
+        let mut t = FeatureTable::new(schema());
+        t.try_push_row(&[
+            FeatureValue::Numeric(2.0),
+            FeatureValue::Missing,
+            FeatureValue::Embedding(vec![0.0; 3]),
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn try_push_row_rejects_non_finite_numerics() {
+        let mut t = FeatureTable::new(schema());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = t
+                .try_push_row(&[
+                    FeatureValue::Numeric(bad),
+                    FeatureValue::Missing,
+                    FeatureValue::Missing,
+                ])
+                .unwrap_err();
+            assert_eq!(err.kind, crate::error::ErrorKind::Numeric, "value {bad}");
+        }
+        assert_eq!(t.len(), 0, "rejected rows must not mutate the table");
+    }
+
+    #[test]
+    fn try_push_row_rejects_non_finite_embeddings() {
+        let mut t = FeatureTable::new(schema());
+        let err = t
+            .try_push_row(&[
+                FeatureValue::Numeric(1.0),
+                FeatureValue::Missing,
+                FeatureValue::Embedding(vec![0.0, f32::NAN, 0.0]),
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Numeric);
+    }
+
+    #[test]
+    fn try_push_row_rejects_shape_and_kind_mismatches() {
+        let mut t = FeatureTable::new(schema());
+        let err = t.try_push_row(&[FeatureValue::Numeric(1.0)]).unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::ShapeMismatch);
+        let err = t
+            .try_push_row(&[
+                FeatureValue::Categorical(CatSet::new()),
+                FeatureValue::Missing,
+                FeatureValue::Missing,
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::SchemaMismatch);
+        let err = t
+            .try_push_row(&[
+                FeatureValue::Numeric(1.0),
+                FeatureValue::Missing,
+                FeatureValue::Embedding(vec![0.0; 2]),
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::SchemaMismatch);
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

@@ -170,6 +170,17 @@ impl FeatureValue {
             _ => None,
         }
     }
+
+    /// Whether every numeric component is finite. `Missing` is finite by
+    /// definition — it is the sanctioned sentinel for "no value"; NaN/Inf
+    /// payloads are never legitimate and are rejected at table ingestion.
+    pub fn is_finite(&self) -> bool {
+        match self {
+            FeatureValue::Numeric(v) => v.is_finite(),
+            FeatureValue::Embedding(e) => e.iter().all(|x| x.is_finite()),
+            FeatureValue::Categorical(_) | FeatureValue::Missing => true,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,31 @@ impl LabelMatrix {
     pub fn covered_rows(&self) -> Vec<usize> {
         (0..self.n_rows).filter(|&r| self.row(r).iter().any(|&v| v != 0)).collect()
     }
+
+    /// Columns that abstain on every row — the degenerate LFs a tripped
+    /// service leaves behind.
+    pub fn all_abstain_columns(&self) -> Vec<usize> {
+        (0..self.n_lfs).filter(|&lf| (0..self.n_rows).all(|r| self.row(r)[lf] == 0)).collect()
+    }
+
+    /// A copy of the matrix with the `drop` columns removed (indices into
+    /// the current column order; duplicates and out-of-range indices are
+    /// ignored). Used to excise degraded LFs before the label model fits,
+    /// since an all-abstain column still shifts generative posteriors.
+    pub fn without_columns(&self, drop: &[usize]) -> LabelMatrix {
+        let keep: Vec<usize> = (0..self.n_lfs).filter(|i| !drop.contains(i)).collect();
+        let mut votes = Vec::with_capacity(self.n_rows * keep.len());
+        for r in 0..self.n_rows {
+            let row = self.row(r);
+            votes.extend(keep.iter().map(|&i| row[i]));
+        }
+        LabelMatrix {
+            n_rows: self.n_rows,
+            n_lfs: keep.len(),
+            votes,
+            names: keep.iter().map(|&i| self.names[i].clone()).collect(),
+        }
+    }
 }
 
 fn fill_votes(
@@ -373,6 +398,27 @@ mod tests {
     #[should_panic(expected = "votes must be in")]
     fn from_votes_checks_encoding() {
         LabelMatrix::from_votes(1, 1, vec![5], vec!["a".into()]);
+    }
+
+    #[test]
+    fn all_abstain_columns_and_without_columns() {
+        let m = LabelMatrix::from_votes(
+            3,
+            3,
+            vec![1, 0, -1, 0, 0, 1, 1, 0, 0],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        assert_eq!(m.all_abstain_columns(), vec![1]);
+        let reduced = m.without_columns(&[1]);
+        assert_eq!(reduced.n_lfs(), 2);
+        assert_eq!(reduced.names(), &["a".to_owned(), "c".to_owned()]);
+        assert_eq!(reduced.row(0), &[1, -1]);
+        assert_eq!(reduced.row(1), &[0, 1]);
+        assert_eq!(reduced.row(2), &[1, 0]);
+        // Out-of-range and duplicate drops are ignored.
+        let same = m.without_columns(&[7, 7]);
+        assert_eq!(same.row(0), m.row(0));
+        assert_eq!(same.n_lfs(), 3);
     }
 
     #[test]

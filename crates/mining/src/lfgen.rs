@@ -1,7 +1,8 @@
 //! Turning mined itemsets into labeling functions.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use cm_faults::Stopwatch;
 use cm_featurespace::{FeatureTable, Label};
 use cm_labelmodel::{CategoricalContainsLf, ConjunctionLf, LabelingFunction, Predicate, Vote};
 
@@ -49,7 +50,7 @@ pub fn mine_lfs(
     max_positive_lfs: usize,
     max_negative_lfs: usize,
 ) -> MinedLfs {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mined = mine_itemsets(dev, labels, columns, config);
     let mut lfs: Vec<Box<dyn LabelingFunction>> = Vec::new();
     for stats in mined.positive.iter().take(max_positive_lfs) {

@@ -1,6 +1,7 @@
 //! Materialized per-modality datasets.
 
-use cm_featurespace::{FeatureTable, Label, ModalityKind};
+use cm_faults::AccessLayer;
+use cm_featurespace::{CmResult, FeatureTable, Label, ModalityKind};
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
 
@@ -102,6 +103,40 @@ impl World {
         ModalityDataset { modality, table, labels, borderline }
     }
 
+    /// Generates `n` featurized data points of `modality` with every
+    /// service response routed through the resilient `access` layer.
+    /// `row_offset` makes call rows unique when one layer serves several
+    /// datasets (pass the number of rows already generated through it).
+    ///
+    /// Rows are ingested through the validating
+    /// [`FeatureTable::try_push_row`] boundary, so a fault that slipped a
+    /// non-finite value past the layer surfaces as an error instead of a
+    /// poisoned matrix. With a disabled plan the output is bit-identical
+    /// to [`World::generate`].
+    pub fn generate_via(
+        &self,
+        modality: ModalityKind,
+        n: usize,
+        seed: u64,
+        access: &mut AccessLayer,
+        row_offset: u64,
+    ) -> CmResult<ModalityDataset> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = FeatureTable::new(std::sync::Arc::clone(self.schema()));
+        table.reserve(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut borderline = Vec::with_capacity(n);
+        for i in 0..n {
+            let entity = self.sample_entity(modality, &mut rng);
+            let row =
+                self.featurize_via(&entity, modality, &mut rng, access, row_offset + i as u64);
+            table.try_push_row(&row)?;
+            labels.push(entity.label);
+            borderline.push(entity.borderline);
+        }
+        Ok(ModalityDataset { modality, table, labels, borderline })
+    }
+
     /// Generates the paper's three datasets for this task: the labeled text
     /// corpus, the unlabeled image pool, and the labeled image test set —
     /// the Table 1 workload at this world's configured scale.
@@ -147,6 +182,52 @@ mod tests {
         }
         let c = w.generate(ModalityKind::Text, 100, 10);
         assert!((0..100).any(|r| a.table.row(r) != c.table.row(r)), "different seeds must differ");
+    }
+
+    #[test]
+    fn generate_via_disabled_plan_matches_generate() {
+        use cm_faults::{AccessLayer, AccessPolicy, FaultPlan};
+        let w = world();
+        let clean = w.generate(ModalityKind::Image, 300, 9);
+        let mut layer = AccessLayer::new(
+            &FaultPlan::disabled(),
+            AccessPolicy::default(),
+            &w.service_descriptors(),
+            9,
+        )
+        .unwrap();
+        let via = w.generate_via(ModalityKind::Image, 300, 9, &mut layer, 0).unwrap();
+        assert_eq!(via.labels, clean.labels);
+        for r in 0..300 {
+            assert_eq!(via.table.row(r), clean.table.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn generate_via_unfaulted_services_see_clean_values() {
+        use cm_faults::{AccessLayer, AccessPolicy, FaultPlan};
+        let w = world();
+        let clean = w.generate(ModalityKind::Image, 200, 4);
+        let plan = FaultPlan::parse("seed=3;topics=unavailable@0.7").unwrap();
+        let mut layer =
+            AccessLayer::new(&plan, AccessPolicy::default(), &w.service_descriptors(), 4).unwrap();
+        let faulted = w.generate_via(ModalityKind::Image, 200, 4, &mut layer, 0).unwrap();
+        let topics = w.schema().column("topics").unwrap();
+        let mut changed = 0usize;
+        for r in 0..200 {
+            for c in 0..w.schema().len() {
+                if c == topics {
+                    changed += usize::from(faulted.table.value(r, c) != clean.table.value(r, c));
+                } else {
+                    assert_eq!(
+                        faulted.table.value(r, c),
+                        clean.table.value(r, c),
+                        "unfaulted service {c} drifted at row {r}"
+                    );
+                }
+            }
+        }
+        assert!(changed > 0, "the faulted service must actually lose values");
     }
 
     #[test]

@@ -291,6 +291,50 @@ impl World {
         self.services.iter().map(|spec| self.apply_service(spec, entity, modality, rng)).collect()
     }
 
+    /// Like [`World::featurize`], but routes every service response through
+    /// a resilient [`AccessLayer`](cm_faults::AccessLayer) so the plan's
+    /// faults (and the client's retries / breaker) apply. `row` is the
+    /// layer-global call row (unique per entity across every dataset the
+    /// layer serves).
+    ///
+    /// The base value is computed from the world rng *first* and the fault
+    /// layer draws from its own per-call streams, so with faults disabled
+    /// the output is bit-identical to [`World::featurize`] — and in a
+    /// faulted run, unfaulted services still see exactly the clean values.
+    pub fn featurize_via(
+        &self,
+        entity: &LatentEntity,
+        modality: ModalityKind,
+        rng: &mut StdRng,
+        access: &mut cm_faults::AccessLayer,
+        row: u64,
+    ) -> Vec<FeatureValue> {
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let base = self.apply_service(spec, entity, modality, rng);
+                access.apply(i, row, base)
+            })
+            .collect()
+    }
+
+    /// Registry services as [`ServiceDescriptor`](cm_faults::ServiceDescriptor)s
+    /// for building an access layer: names plus categorical vocabulary sizes
+    /// (used to synthesize and detect out-of-vocabulary corruption).
+    pub fn service_descriptors(&self) -> Vec<cm_faults::ServiceDescriptor> {
+        self.services
+            .iter()
+            .map(|spec| {
+                let vocab = match spec.kind {
+                    ServiceKind::Categorical { attr, .. } => Some(ATTR_VOCAB_SIZES[attr]),
+                    _ => None,
+                };
+                cm_faults::ServiceDescriptor::new(spec.name.clone(), vocab)
+            })
+            .collect()
+    }
+
     fn apply_service(
         &self,
         spec: &ServiceSpec,

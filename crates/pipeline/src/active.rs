@@ -115,6 +115,7 @@ mod tests {
             mining_time: Duration::ZERO,
             propagation_time: None,
             conflict: 0.0,
+            degradation: crate::report::DegradationReport::clean(),
         }
     }
 

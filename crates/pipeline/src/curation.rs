@@ -7,8 +7,9 @@
 //! unlabeled pool follow from Bayes' rule. The EM generative model and
 //! majority vote remain available for the ablation benches.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use cm_faults::{FaultSummary, Stopwatch};
 use cm_featurespace::{FeatureSet, Label, ServingMode, SimilarityConfig};
 use cm_labelmodel::{
     majority_vote, AnchoredModel, BoundScoreLf, GenerativeConfig, GenerativeModel, LabelMatrix,
@@ -20,6 +21,7 @@ use cm_mining::{mine_lfs, MiningConfig};
 use cm_propagation::{propagate, tune_score_thresholds, GraphBuilder, PropagationConfig};
 
 use crate::data::TaskData;
+use crate::report::{DegradationReport, LfAbstainRates};
 
 /// Which label model combines LF votes into probabilistic labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,11 +120,14 @@ pub struct CurationOutput {
     pub propagation_time: Option<Duration>,
     /// Label-matrix conflict rate (Snorkel diagnostic).
     pub conflict: f64,
+    /// Degradation telemetry: dropped LFs, abstain rates, service faults.
+    /// Populated on every run; a clean run reports zero drops/trips.
+    pub degradation: DegradationReport,
 }
 
 /// Runs curation with automatically mined LFs (§4.3 + §4.4).
 pub fn curate(data: &TaskData, config: &CurationConfig) -> CurationOutput {
-    let mining_start = Instant::now();
+    let mining_start = Stopwatch::start();
     let columns = lf_columns(data, config);
     let mined = mine_lfs(
         &data.text.table,
@@ -152,7 +157,7 @@ pub fn curate_with_lfs(
     let mut propagation_time = None;
     let mut prop = None;
     if config.use_label_propagation {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         prop = propagation_artifacts(data, config);
         propagation_time = Some(start.elapsed());
     }
@@ -173,11 +178,57 @@ pub fn curate_with_lfs(
         pool_matrix = LabelMatrix::from_votes(n, lf_names.len(), votes, lf_names.clone());
     }
 
-    let covered: Vec<bool> =
-        (0..pool_matrix.n_rows()).map(|r| pool_matrix.row(r).iter().any(|&v| v != 0)).collect();
+    let n_rows = pool_matrix.n_rows();
+    let n_lfs = pool_matrix.n_lfs();
 
-    let probabilistic_labels = if pool_matrix.n_lfs() == 0 {
-        vec![prior; pool_matrix.n_rows()]
+    // Abstain-rate telemetry: dev rates over the evidence the LF weights
+    // are estimated on (whole corpus for base LFs, the propagation dev
+    // slice for the propagation LF), pool rates over the pool votes.
+    let mut dev_abstain: Vec<f64> = (0..dev_matrix.n_lfs())
+        .map(|c| {
+            (0..dev_matrix.n_rows()).filter(|&r| dev_matrix.row(r)[c] == 0).count() as f64
+                / dev_matrix.n_rows().max(1) as f64
+        })
+        .collect();
+    if let Some(p) = &prop {
+        dev_abstain.push(
+            p.dev_votes.iter().filter(|&&v| v == 0).count() as f64
+                / p.dev_votes.len().max(1) as f64,
+        );
+    }
+    let pool_abstain: Vec<f64> = (0..n_lfs)
+        .map(|c| {
+            (0..n_rows).filter(|&r| pool_matrix.row(r)[c] == 0).count() as f64
+                / n_rows.max(1) as f64
+        })
+        .collect();
+
+    // Graceful degradation: a column that abstains on every dev row has no
+    // rate evidence and is dropped in any run. A column that abstains on
+    // every *pool* row casts no vote yet still shifts anchored posteriors
+    // through its abstain likelihood; on clean runs that likelihood is
+    // dev-calibrated and legitimately models modality shift, but on
+    // fault-injected runs the abstention is caused by service loss the dev
+    // calibration never saw — so those columns are dropped only when the
+    // datasets came through a fault-injecting access layer.
+    let fault_aware = data.fault_summary.is_some();
+    let dropped_idx: Vec<usize> = (0..n_lfs)
+        .filter(|&c| dev_abstain[c] >= 1.0 || (fault_aware && pool_abstain[c] >= 1.0))
+        .collect();
+    let dropped_lfs: Vec<String> = dropped_idx.iter().map(|&c| lf_names[c].clone()).collect();
+    let active_matrix = if dropped_idx.is_empty() {
+        pool_matrix
+    } else {
+        pool_matrix.without_columns(&dropped_idx)
+    };
+
+    // Coverage is invariant to dropping all-abstain columns, so clean runs
+    // see exactly the pre-degradation semantics.
+    let covered: Vec<bool> =
+        (0..n_rows).map(|r| active_matrix.row(r).iter().any(|&v| v != 0)).collect();
+
+    let probabilistic_labels = if active_matrix.n_lfs() == 0 {
+        vec![prior; n_rows]
     } else {
         match config.label_model {
             LabelModelKind::Anchored => {
@@ -187,15 +238,46 @@ pub fn curate_with_lfs(
                 if let Some(r) = prop_rates {
                     rates.push(r);
                 }
-                AnchoredModel::from_rates(rates, prior).predict(&pool_matrix)
+                // Fitting is per-column independent, so dropping rate
+                // entries by index equals fitting on the reduced matrix.
+                let rates: Vec<LfRates> = rates
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(c, _)| !dropped_idx.contains(&c))
+                    .map(|(_, r)| r)
+                    .collect();
+                AnchoredModel::from_rates(rates, prior).predict(&active_matrix)
             }
             LabelModelKind::Em => {
                 let gen_cfg =
                     GenerativeConfig { class_prior: Some(prior), ..config.generative.clone() };
-                GenerativeModel::fit(&pool_matrix, &gen_cfg).predict(&pool_matrix)
+                GenerativeModel::fit(&active_matrix, &gen_cfg).predict(&active_matrix)
             }
-            LabelModelKind::MajorityVote => majority_vote(&pool_matrix),
+            LabelModelKind::MajorityVote => majority_vote(&active_matrix),
         }
+    };
+
+    let pool_coverage = covered.iter().filter(|&&c| c).count() as f64 / covered.len().max(1) as f64;
+    let lf_abstain: Vec<LfAbstainRates> = lf_names
+        .iter()
+        .enumerate()
+        .map(|(c, name)| LfAbstainRates {
+            name: name.clone(),
+            dev_abstain_rate: dev_abstain[c],
+            pool_abstain_rate: pool_abstain[c],
+            dropped: dropped_idx.contains(&c),
+        })
+        .collect();
+    let degradation = DegradationReport {
+        fault_seed: data.fault_summary.as_ref().map_or(0, |s| s.seed),
+        tripped_services: data
+            .fault_summary
+            .as_ref()
+            .map_or_else(Vec::new, FaultSummary::tripped_services),
+        dropped_lfs,
+        pool_coverage,
+        lf_abstain,
+        faults: data.fault_summary.clone(),
     };
 
     let ws_quality = ws_quality(&probabilistic_labels, &covered, &data.pool.labels);
@@ -206,7 +288,8 @@ pub fn curate_with_lfs(
         ws_quality,
         mining_time: authoring_time,
         propagation_time,
-        conflict: pool_matrix.conflict(),
+        conflict: active_matrix.conflict(),
+        degradation,
     }
 }
 

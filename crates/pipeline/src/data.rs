@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use cm_faults::{AccessLayer, AccessPolicy, FaultPlan, FaultSummary};
 use cm_featurespace::{
     CmError, CmResult, DenseEncoder, ErrorKind, FeatureSet, FeatureTable, ModalityKind,
 };
@@ -24,6 +25,9 @@ pub struct TaskData {
     /// Labeled image reservoir for fully supervised baselines and Figure 5
     /// sweeps.
     pub labeled_image: ModalityDataset,
+    /// Per-service fault statistics when the datasets were generated through
+    /// a fault-injecting access layer; `None` on clean generation.
+    pub fault_summary: Option<FaultSummary>,
 }
 
 impl TaskData {
@@ -34,7 +38,50 @@ impl TaskData {
         let world = World::build(WorldConfig::new(task, seed));
         let (text, pool, test) = world.generate_task_datasets(seed ^ 0xD1CE);
         let labeled_image = world.generate(ModalityKind::Image, n_labeled, seed ^ 0xBEEF);
-        Self { world, text, pool, test, labeled_image }
+        Self { world, text, pool, test, labeled_image, fault_summary: None }
+    }
+
+    /// Generates a task's datasets with new-modality featurization routed
+    /// through a fault-injecting resilient access layer.
+    ///
+    /// The labeled text corpus and the labeled image reservoir are generated
+    /// clean — they model *archived* organizational data, featurized before
+    /// the faults under study — while the unlabeled pool and the test set
+    /// (live traffic) go through the layer. Dataset seeds match
+    /// [`TaskData::generate`] exactly, so with a disabled plan the result is
+    /// bit-identical to clean generation.
+    ///
+    /// # Errors
+    /// Propagates [`ErrorKind::NotFound`] / [`ErrorKind::InvalidConfig`]
+    /// from [`AccessLayer::new`] on a plan naming unknown services, and any
+    /// ingestion-boundary error if a corrupted value slips past the layer.
+    pub fn generate_with_faults(
+        task: TaskConfig,
+        seed: u64,
+        n_labeled_image: Option<usize>,
+        plan: &FaultPlan,
+        policy: AccessPolicy,
+    ) -> CmResult<Self> {
+        let n_labeled = n_labeled_image.unwrap_or(task.n_image_unlabeled);
+        let n_pool = task.n_image_unlabeled;
+        let n_test = task.n_image_test;
+        let n_text = task.n_text_labeled;
+        let world = World::build(WorldConfig::new(task, seed));
+        // Same per-dataset seeds as `generate_task_datasets(seed ^ 0xD1CE)`.
+        let ds = seed ^ 0xD1CE;
+        let text = world.generate(ModalityKind::Text, n_text, ds ^ 0x1);
+        let mut access = AccessLayer::new(plan, policy, &world.service_descriptors(), seed)?;
+        let pool = world.generate_via(ModalityKind::Image, n_pool, ds ^ 0x2, &mut access, 0)?;
+        let test = world.generate_via(
+            ModalityKind::Image,
+            n_test,
+            ds ^ 0x3,
+            &mut access,
+            n_pool as u64,
+        )?;
+        let labeled_image = world.generate(ModalityKind::Image, n_labeled, seed ^ 0xBEEF);
+        let fault_summary = access.is_enabled().then(|| access.summary());
+        Ok(Self { world, text, pool, test, labeled_image, fault_summary })
     }
 
     /// Columns of the shared feature sets in `sets`, in schema order.
@@ -138,6 +185,46 @@ mod tests {
         assert_eq!(d.labeled_image.len(), 100);
         assert_eq!(d.text.modality, ModalityKind::Text);
         assert_eq!(d.labeled_image.modality, ModalityKind::Image);
+    }
+
+    #[test]
+    fn generate_with_faults_disabled_matches_generate() {
+        let task = cm_orgsim::TaskConfig::paper(TaskId::Ct1).scaled(0.01);
+        let clean = TaskData::generate(task.clone(), 3, Some(100));
+        let via = TaskData::generate_with_faults(
+            task,
+            3,
+            Some(100),
+            &FaultPlan::disabled(),
+            AccessPolicy::default(),
+        )
+        .unwrap();
+        assert!(via.fault_summary.is_none());
+        for (a, b) in [
+            (&clean.text, &via.text),
+            (&clean.pool, &via.pool),
+            (&clean.test, &via.test),
+            (&clean.labeled_image, &via.labeled_image),
+        ] {
+            assert_eq!(a.labels, b.labels);
+            for r in 0..a.len() {
+                assert_eq!(a.table.row(r), b.table.row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn generate_with_faults_records_a_summary() {
+        let task = cm_orgsim::TaskConfig::paper(TaskId::Ct1).scaled(0.01);
+        let plan = FaultPlan::parse("seed=9;topics=unavailable@0.8;keywords=transient(1)").unwrap();
+        let d = TaskData::generate_with_faults(task, 3, Some(50), &plan, AccessPolicy::default())
+            .unwrap();
+        let summary = d.fault_summary.expect("enabled plan must record a summary");
+        assert_eq!(summary.seed, 9);
+        assert_eq!(summary.services.len(), 2);
+        let topics = summary.services.iter().find(|s| s.name == "topics").unwrap();
+        assert!(topics.calls > 0);
+        assert!(topics.faulted > 0);
     }
 
     #[test]

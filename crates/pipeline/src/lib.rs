@@ -37,6 +37,6 @@ pub use curation::{
 };
 pub use data::{mask_disallowed_sets, DenseView, TaskData};
 pub use expert::{expert_lfs, EXPERT_AUTHORING};
-pub use report::{ModelEval, ScenarioReport};
+pub use report::{DegradationReport, LfAbstainRates, ModelEval, ScenarioReport};
 pub use selftrain::{self_train, SelfTrainConfig, SelfTrainOutcome};
 pub use training::{FusionStrategy, LabelSource, Scenario, ScenarioRunner};

@@ -1,5 +1,6 @@
 //! Serializable experiment outputs consumed by the bench binaries.
 
+use cm_faults::FaultSummary;
 use cm_json::{Json, JsonError, ToJson};
 
 /// One trained-and-evaluated model.
@@ -51,6 +52,147 @@ impl ModelEval {
     }
 }
 
+/// Abstain behaviour of one labeling function under (possible) service
+/// degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LfAbstainRates {
+    /// LF display name.
+    pub name: String,
+    /// Fraction of dev (labeled old-modality) rows the LF abstained on.
+    pub dev_abstain_rate: f64,
+    /// Fraction of unlabeled-pool rows the LF abstained on.
+    pub pool_abstain_rate: f64,
+    /// Whether the label model dropped the LF for abstaining everywhere.
+    pub dropped: bool,
+}
+
+impl ToJson for LfAbstainRates {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("dev_abstain_rate", self.dev_abstain_rate.to_json()),
+            ("pool_abstain_rate", self.pool_abstain_rate.to_json()),
+            ("dropped", self.dropped.to_json()),
+        ])
+    }
+}
+
+impl LfAbstainRates {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: v.get("name").and_then(Json::as_str).ok_or_else(|| missing("name"))?.to_owned(),
+            dev_abstain_rate: v
+                .get("dev_abstain_rate")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("dev_abstain_rate"))?,
+            pool_abstain_rate: v
+                .get("pool_abstain_rate")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("pool_abstain_rate"))?,
+            dropped: v.get("dropped").and_then(Json::as_bool).ok_or_else(|| missing("dropped"))?,
+        })
+    }
+}
+
+/// How a run degraded under injected service faults: which services were
+/// lost, which LFs stopped voting, and what coverage survived. Emitted by
+/// curation even on clean runs (then everything is empty / zero-delta), so
+/// downstream consumers never have to guess whether degradation was
+/// *measured* or merely *absent from the report*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Seed of the fault plan (`0` when faults were disabled).
+    pub fault_seed: u64,
+    /// Services whose circuit breaker tripped during featurization.
+    pub tripped_services: Vec<String>,
+    /// LFs the label model dropped because they abstained on every dev or
+    /// every pool row (an all-abstain column carries no evidence but still
+    /// shifts anchored posteriors — dropping it is the safe default).
+    pub dropped_lfs: Vec<String>,
+    /// Fraction of pool rows covered by at least one surviving LF.
+    pub pool_coverage: f64,
+    /// Per-LF abstain rates on dev vs pool (the pool-minus-dev delta is the
+    /// degradation signal: faults only perturb pool/test featurization).
+    pub lf_abstain: Vec<LfAbstainRates>,
+    /// Per-service fault statistics, when a fault plan was active.
+    pub faults: Option<FaultSummary>,
+}
+
+impl DegradationReport {
+    /// A clean-run report: no faults, no drops, full coverage telemetry
+    /// still attached by curation.
+    pub fn clean() -> Self {
+        Self {
+            fault_seed: 0,
+            tripped_services: Vec::new(),
+            dropped_lfs: Vec::new(),
+            pool_coverage: 0.0,
+            lf_abstain: Vec::new(),
+            faults: None,
+        }
+    }
+
+    /// Whether anything actually degraded (services tripped or LFs dropped).
+    pub fn is_degraded(&self) -> bool {
+        !self.tripped_services.is_empty() || !self.dropped_lfs.is_empty()
+    }
+}
+
+impl ToJson for DegradationReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fault_seed", self.fault_seed.to_json()),
+            ("tripped_services", self.tripped_services.to_json()),
+            ("dropped_lfs", self.dropped_lfs.to_json()),
+            ("pool_coverage", self.pool_coverage.to_json()),
+            ("lf_abstain", self.lf_abstain.to_json()),
+            ("faults", self.faults.as_ref().map_or(Json::Null, ToJson::to_json)),
+        ])
+    }
+}
+
+impl DegradationReport {
+    /// Parses a report previously emitted by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let strings = |field: &str| -> Result<Vec<String>, JsonError> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| missing(field))?
+                .iter()
+                .map(|s| s.as_str().map(str::to_owned).ok_or_else(|| missing(field)))
+                .collect()
+        };
+        let faults =
+            match v.get("faults") {
+                None | Some(Json::Null) => None,
+                Some(f) => Some(FaultSummary::from_json(f).map_err(|e| JsonError {
+                    message: format!("bad faults field: {e}"),
+                    offset: 0,
+                })?),
+            };
+        Ok(Self {
+            fault_seed: v
+                .get("fault_seed")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("fault_seed"))? as u64,
+            tripped_services: strings("tripped_services")?,
+            dropped_lfs: strings("dropped_lfs")?,
+            pool_coverage: v
+                .get("pool_coverage")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("pool_coverage"))?,
+            lf_abstain: v
+                .get("lf_abstain")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| missing("lf_abstain"))?
+                .iter()
+                .map(LfAbstainRates::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            faults,
+        })
+    }
+}
+
 /// A group of evaluations for one task (one table row / figure panel).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -60,6 +202,8 @@ pub struct ScenarioReport {
     pub baseline_auprc: f64,
     /// Evaluations.
     pub rows: Vec<ModelEval>,
+    /// Degradation telemetry from the curation step, when recorded.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl ToJson for ScenarioReport {
@@ -68,6 +212,7 @@ impl ToJson for ScenarioReport {
             ("task", self.task.to_json()),
             ("baseline_auprc", self.baseline_auprc.to_json()),
             ("rows", self.rows.to_json()),
+            ("degradation", self.degradation.as_ref().map_or(Json::Null, ToJson::to_json)),
         ])
     }
 }
@@ -82,6 +227,10 @@ impl ScenarioReport {
             .iter()
             .map(ModelEval::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let degradation = match v.get("degradation") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(DegradationReport::from_json(d)?),
+        };
         Ok(Self {
             task: v.get("task").and_then(Json::as_str).ok_or_else(|| missing("task"))?.to_owned(),
             baseline_auprc: v
@@ -89,6 +238,7 @@ impl ScenarioReport {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| missing("baseline_auprc"))?,
             rows,
+            degradation,
         })
     }
 
@@ -134,6 +284,7 @@ mod tests {
                     n_train_rows: 18_000,
                 },
             ],
+            degradation: None,
         };
         let t = report.to_table();
         assert!(t.contains("CT 1"));
@@ -153,10 +304,49 @@ mod tests {
                 relative_auprc: None,
                 n_train_rows: 12,
             }],
+            degradation: None,
         };
         let json = report.to_json().to_string_pretty();
         let back = ScenarioReport::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn degradation_report_round_trips_through_json() {
+        let report = ScenarioReport {
+            task: "CT 3".into(),
+            baseline_auprc: 0.2,
+            rows: Vec::new(),
+            degradation: Some(DegradationReport {
+                fault_seed: 7,
+                tripped_services: vec!["topics".into()],
+                dropped_lfs: vec!["topics:4".into(), "label_propagation".into()],
+                pool_coverage: 0.41,
+                lf_abstain: vec![LfAbstainRates {
+                    name: "topics:4".into(),
+                    dev_abstain_rate: 0.3,
+                    pool_abstain_rate: 1.0,
+                    dropped: true,
+                }],
+                faults: None,
+            }),
+        };
+        let json = report.to_json().to_string_pretty();
+        let back = ScenarioReport::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(report, back);
+        let deg = back.degradation.unwrap();
+        assert!(deg.is_degraded());
+        assert_eq!(deg.dropped_lfs.len(), 2);
+        assert!(!DegradationReport::clean().is_degraded());
+    }
+
+    #[test]
+    fn reports_without_degradation_field_still_parse() {
+        // Pre-fault-layer reports lack the field entirely; parsing must
+        // stay tolerant so archived bench outputs remain readable.
+        let v = Json::parse(r#"{"task": "CT 1", "baseline_auprc": 0.2, "rows": []}"#).unwrap();
+        let report = ScenarioReport::from_json(&v).unwrap();
+        assert!(report.degradation.is_none());
     }
 
     #[test]

@@ -160,7 +160,9 @@ impl ScenarioRunner<'_> {
     /// # Errors
     /// Returns [`ErrorKind::InvalidConfig`] if a weak-label scenario is run
     /// without curation output, the scenario selects no features or no
-    /// modality, or DeViSE is missing one of its two modality parts.
+    /// modality, or DeViSE is missing one of its two modality parts; and
+    /// [`ErrorKind::Numeric`] if the curation output carries non-finite
+    /// weak labels.
     pub fn run(
         &self,
         scenario: &Scenario,
@@ -220,6 +222,16 @@ impl ScenarioRunner<'_> {
                 // which under heavy imbalance is an (almost-)negative soft
                 // label. This matches training on all 7.4M weakly labeled
                 // points in the paper rather than only LF-covered ones.
+                if let Some(bad) = cur.probabilistic_labels.iter().position(|p| !p.is_finite()) {
+                    return Err(CmError::new(
+                        ErrorKind::Numeric,
+                        "ScenarioRunner::run",
+                        format!(
+                            "weak label at pool row {bad} is non-finite; refusing to train \
+                             on a poisoned curation output"
+                        ),
+                    ));
+                }
                 let mut x = view.encode(&data.pool.table);
                 mask_disallowed_sets(&mut x, &view, schema, &allowed_image);
                 image_part_idx = Some(parts.len());

@@ -6,7 +6,10 @@
 //! `println!`; `eprintln!` stays legal for diagnostics), and raw threading
 //! (`thread::spawn`, `thread::scope` — all parallelism goes through
 //! `cm-par`, which owns determinism and panic capture; `crates/par` itself
-//! is exempt) in **library-crate non-test code**. Tests, benches,
+//! is exempt), and wall-clock reads (`Instant::now()`, `SystemTime::now()`
+//! — library timing goes through `cm-faults`' `Stopwatch`/`SimClock` so
+//! fault scenarios stay deterministic; the `Stopwatch` internals carry the
+//! waiver pragma) in **library-crate non-test code**. Tests, benches,
 //! examples, binary targets, and `#[cfg(test)]` blocks are exempt:
 //! panicking on a violated expectation is exactly right there. A finding
 //! can be waived in place with `// lint: allow(<rule>)` on the same line
@@ -35,6 +38,8 @@ const RULES: &[Rule] = &[
     Rule { name: "println", check: |code| finds_macro(code, "println") },
     Rule { name: "thread-spawn", check: |code| finds_word(code, "thread::spawn") },
     Rule { name: "thread-scope", check: |code| finds_word(code, "thread::scope") },
+    Rule { name: "instant-now", check: |code| finds_word(code, "Instant::now") },
+    Rule { name: "systemtime-now", check: |code| finds_word(code, "SystemTime::now") },
 ];
 
 /// Rules that do not apply inside `crates/par`: the substrate is the one
@@ -352,6 +357,17 @@ mod tests {
         assert_eq!(rules_hit("println!(\"hi\");"), vec!["println"]);
         assert_eq!(rules_hit("std::thread::spawn(move || work());"), vec!["thread-spawn"]);
         assert_eq!(rules_hit("thread::scope(|s| { s.spawn(f); });"), vec!["thread-scope"]);
+        assert_eq!(rules_hit("let t = std::time::Instant::now();"), vec!["instant-now"]);
+        assert_eq!(rules_hit("let t = Instant::now();"), vec!["instant-now"]);
+        assert_eq!(rules_hit("let t = SystemTime::now();"), vec!["systemtime-now"]);
+    }
+
+    #[test]
+    fn clock_rules_are_pragma_waivable() {
+        assert!(rules_hit("let t = Instant::now(); // lint: allow(instant-now)").is_empty());
+        assert!(rules_hit("// lint: allow(systemtime-now)\nlet t = SystemTime::now();").is_empty());
+        // Unrelated identifiers sharing the suffix never match.
+        assert!(rules_hit("let t = MyInstant::now_ish();").is_empty());
     }
 
     #[test]

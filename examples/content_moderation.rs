@@ -31,8 +31,14 @@ fn main() {
     // Assemble the pipeline's data bundle with video as the new modality.
     // (TaskData's fields are public precisely so other modality pairs can
     // be wired up.)
-    let data =
-        TaskData { world, text, pool: video_pool, test: video_test, labeled_image: video_labeled };
+    let data = TaskData {
+        world,
+        text,
+        pool: video_pool,
+        test: video_test,
+        labeled_image: video_labeled,
+        fault_summary: None,
+    };
 
     let curation = curate(&data, &CurationConfig::default());
     println!(

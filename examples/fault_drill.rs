@@ -1,0 +1,79 @@
+//! Fault drill: run the pipeline through a degraded organizational
+//! registry and print the degradation report.
+//!
+//! The fault plan comes from `CM_FAULTS` (same grammar the library
+//! parses), falling back to a mixed storm. Output is fully deterministic —
+//! seeded fault streams, simulated clock, and a label checksum instead of
+//! wall-clock times — so `scripts/ci.sh` diffs this program's output
+//! across `CM_THREADS` settings.
+//!
+//! ```sh
+//! CM_FAULTS='seed=7;topics=unavailable@0.5;keywords=transient(2)' \
+//!     cargo run --release --example fault_drill
+//! ```
+
+use cross_modal::json::ToJson;
+use cross_modal::mining::MiningConfig;
+use cross_modal::prelude::*;
+
+const DEFAULT_PLAN: &str = "seed=7;topics=unavailable@0.5;keywords=transient(2)@0.6;\
+                            page_quality=latency(300)@0.5;user_reports=corrupt@0.4;\
+                            kg_entities=stale;sentiment=unavailable@0.9";
+
+fn main() {
+    let plan = match FaultPlan::from_env() {
+        Ok(p) if p.is_enabled() => p,
+        Ok(_) => FaultPlan::parse(DEFAULT_PLAN).unwrap(),
+        Err(e) => {
+            eprintln!("bad CM_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("fault plan: seed={} with {} faulted services", plan.seed, plan.specs.len());
+
+    let task = TaskConfig::paper(TaskId::Ct2).scaled(0.02);
+    let data = TaskData::generate_with_faults(task, 11, Some(200), &plan, AccessPolicy::default())
+        .unwrap_or_else(|e| {
+            eprintln!("generation failed: {e}");
+            std::process::exit(1);
+        });
+
+    let config = CurationConfig {
+        use_label_propagation: false,
+        mining: MiningConfig { min_recall: 0.05, ..Default::default() },
+        ..Default::default()
+    };
+    let curation = curate(&data, &config);
+
+    // A deterministic checksum over the label bit patterns: any cross-run
+    // or cross-thread drift shows up as a one-line diff.
+    let checksum =
+        curation.probabilistic_labels.iter().fold(0u64, |acc, p| acc.rotate_left(7) ^ p.to_bits());
+    println!("pool labels: {} (checksum {checksum:016x})", curation.probabilistic_labels.len());
+    println!(
+        "coverage {:.4}, conflict {:.4}, dropped LFs: {:?}",
+        curation.degradation.pool_coverage, curation.conflict, curation.degradation.dropped_lfs
+    );
+    println!("tripped services: {:?}", curation.degradation.tripped_services);
+    if let Some(summary) = &curation.degradation.faults {
+        for s in &summary.services {
+            println!(
+                "  {}: mode={} rate={} calls={} faulted={} recovered={} lost={} \
+                 short_circuited={} retries={} sim_wait_ms={} tripped={}",
+                s.name,
+                s.mode,
+                s.rate,
+                s.calls,
+                s.faulted,
+                s.recovered,
+                s.lost,
+                s.short_circuited,
+                s.retries,
+                s.sim_wait_ms,
+                s.tripped
+            );
+        }
+    }
+    println!("degradation report JSON:");
+    println!("{}", curation.degradation.to_json().to_string_pretty());
+}

@@ -27,4 +27,16 @@ CM_THREADS=1 cargo test -q --workspace
 echo "==> cargo test (CM_THREADS=4)"
 CM_THREADS=4 cargo test -q --workspace
 
+echo "==> fault matrix (CM_THREADS=2)"
+CM_THREADS=2 cargo test -q --test fault_matrix
+
+echo "==> CM_FAULTS smoke: fault drill must be thread-invariant"
+FAULT_SPEC='seed=13;topics=unavailable@0.4;keywords=transient(2)@0.5;user_reports=corrupt@0.3'
+CM_FAULTS="$FAULT_SPEC" CM_THREADS=1 cargo run -q --release --example fault_drill \
+    > /tmp/cm_fault_drill_t1.out
+CM_FAULTS="$FAULT_SPEC" CM_THREADS=4 cargo run -q --release --example fault_drill \
+    > /tmp/cm_fault_drill_t4.out
+diff /tmp/cm_fault_drill_t1.out /tmp/cm_fault_drill_t4.out
+echo "    fault drill output identical across thread counts"
+
 echo "ci: all gates passed"

@@ -47,9 +47,11 @@
 //! | [`models`] | logistic regression and MLPs with noise-aware losses |
 //! | [`fusion`] | early / intermediate / DeViSE multi-modal training |
 //! | [`eval`] | PR curves, AUPRC, cross-over analysis |
+//! | [`faults`] | deterministic fault injection + resilient service access (`CM_FAULTS`) |
 //! | [`pipeline`] | the end-to-end cross-modal adaptation pipeline |
 
 pub use cm_eval as eval;
+pub use cm_faults as faults;
 pub use cm_featurespace as featurespace;
 pub use cm_fusion as fusion;
 pub use cm_json as json;
@@ -65,13 +67,14 @@ pub use cm_propagation as propagation;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use cm_eval::{auprc, find_crossover, CrossoverSeries};
+    pub use cm_faults::{AccessPolicy, FaultMode, FaultPlan, FaultSummary};
     pub use cm_featurespace::{
         FeatureSchema, FeatureSet, FeatureTable, FeatureValue, Label, ModalityKind,
     };
     pub use cm_models::{ModelKind, TrainConfig};
     pub use cm_orgsim::{ModalityDataset, TaskConfig, TaskId, World, WorldConfig};
     pub use cm_pipeline::{
-        curate, curate_with_lfs, expert_lfs, CurationConfig, CurationOutput, FusionStrategy,
-        LabelSource, Scenario, ScenarioRunner, TaskData,
+        curate, curate_with_lfs, expert_lfs, CurationConfig, CurationOutput, DegradationReport,
+        FusionStrategy, LabelModelKind, LabelSource, Scenario, ScenarioRunner, TaskData,
     };
 }

@@ -103,6 +103,7 @@ fn video_modality_flows_through_the_pipeline() {
         test: world.generate(ModalityKind::Video, task.n_image_test, 3),
         labeled_image: world.generate(ModalityKind::Video, 400, 4),
         world,
+        fault_summary: None,
     };
     let curation = curate(&data, &CurationConfig::default());
     assert!(curation.ws_quality.coverage > 0.2);
