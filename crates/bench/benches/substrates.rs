@@ -24,17 +24,29 @@ use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationCo
 /// median/min timings, with substring filtering from the command line.
 struct Harness {
     filter: Option<String>,
+    /// `CM_BENCH_SAMPLES` override: when set, every group runs exactly
+    /// this many samples regardless of its configured size. The CI smoke
+    /// sets it to 1 so the benchmarks compile-and-execute cheaply.
+    sample_override: Option<usize>,
 }
 
 impl Harness {
     fn from_args() -> Self {
         // `cargo bench -- <substring>`; ignore harness-style flags.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Self { filter }
+        let sample_override = std::env::var("CM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        Self { filter, sample_override }
+    }
+
+    fn samples(&self, configured: usize) -> usize {
+        self.sample_override.unwrap_or(configured)
     }
 
     fn group(&self, name: &'static str) -> Group<'_> {
-        Group { harness: self, group: name, sample_size: 20 }
+        Group { harness: self, group: name, sample_size: self.samples(20) }
     }
 }
 
@@ -46,7 +58,7 @@ struct Group<'a> {
 
 impl Group<'_> {
     fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n;
+        self.sample_size = self.harness.samples(n);
         self
     }
 
@@ -265,6 +277,54 @@ fn bench_par_substrate(c: &Harness) {
     group.finish();
 }
 
+/// The columnar hot-path kernels, benchmarked at an explicit single
+/// thread so speedups are layout/fusion wins, not parallelism. The names
+/// here are referenced by `results/BENCH_kernels.json`; the CI smoke runs
+/// this group once with `CM_BENCH_SAMPLES=1`.
+fn bench_kernels(c: &Harness) {
+    let mut group = c.group("kernels");
+    group.sample_size(10);
+    let w = world();
+    let par = ParConfig::threads(1);
+
+    // Fused pair-weight kernel: mixed-modality 3k-row knn graph (same
+    // workload as propagation/knn_graph_3k_anchors).
+    let mut combined = w.generate(ModalityKind::Text, 1500, 8).table;
+    combined.extend_from(&w.generate(ModalityKind::Image, 1500, 9).table);
+    let mut cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    cols.push(w.schema().column("img_embedding").unwrap());
+    let sim = SimilarityConfig::uniform(cols).fit_scales(&combined);
+    group.bench_function("frozen_build_3k", || cm_featurespace::FrozenTable::freeze(&combined));
+    group.bench_function("knn_graph_3k_anchors", || {
+        GraphBuilder::approximate(10, combined.len()).build_with(&combined, &sim, 1, &par)
+    });
+
+    // Vertical bitset support counting (same workload as
+    // mining/apriori_5k_order{1,2}).
+    let data = w.generate(ModalityKind::Text, 5000, 5);
+    let mine_cols = w.schema().columns_in_sets(&FeatureSet::SHARED, false);
+    for order in [1usize, 2] {
+        let cfg = MiningConfig { max_order: order, ..MiningConfig::default() };
+        group.bench_function(format!("apriori_5k_order{order}"), || {
+            mine_itemsets_with(&data.table, &data.labels, &mine_cols, &cfg, &par)
+        });
+    }
+
+    // Cache-blocked GEMM, 256^3 (same operands as par/matmul_256_t1).
+    let fill = |seed: u32| {
+        let mut m = Matrix::zeros(256, 256);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) & 0xFF) as f32
+                / 255.0
+                - 0.5;
+        }
+        m
+    };
+    let (a, b) = (fill(1), fill(2));
+    group.bench_function("matmul_256", || a.matmul_with(&b, &par));
+    group.finish();
+}
+
 fn bench_end_to_end_curation(c: &Harness) {
     let mut group = c.group("pipeline");
     group.sample_size(10);
@@ -319,6 +379,7 @@ fn main() {
     bench_propagation(&harness);
     bench_training(&harness);
     bench_par_substrate(&harness);
+    bench_kernels(&harness);
     bench_end_to_end_curation(&harness);
     bench_faults(&harness);
 }

@@ -15,10 +15,15 @@
 //!   modality);
 //! - [`DenseEncoder`] — one-hot / standardized densification so the model
 //!   substrate sees plain matrices;
-//! - [`similarity`] — Algorithm 1 graph weights used by label propagation.
+//! - [`similarity`] — Algorithm 1 graph weights used by label propagation;
+//! - [`FrozenTable`] — compiled read-only columnar views (presence bitmaps
+//!   plus borrowed contiguous columns) that the hot kernels — the
+//!   [`PairKernel`] pair weights, Apriori support counting, LF vote fill —
+//!   run against.
 
 pub mod dense;
 pub mod error;
+pub mod frozen;
 pub mod jsonio;
 pub mod label;
 pub mod schema;
@@ -29,9 +34,10 @@ pub mod vocab;
 
 pub use dense::{DenseEncoder, DenseLayout};
 pub use error::{CmError, CmResult, ErrorKind};
+pub use frozen::{Bitmap, FrozenColumn, FrozenTable};
 pub use label::{Label, ModalityKind};
 pub use schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
-pub use similarity::{algorithm1_weight, normalized_similarity, SimilarityConfig};
+pub use similarity::{algorithm1_weight, normalized_similarity, PairKernel, SimilarityConfig};
 pub use table::{Column, FeatureTable};
 pub use value::{CatSet, FeatureKind, FeatureValue};
 pub use vocab::Vocabulary;

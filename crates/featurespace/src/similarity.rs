@@ -13,6 +13,7 @@
 //!   Jaccard, embeddings via shifted cosine), averaged over contributing
 //!   features.
 
+use crate::frozen::{Bitmap, FrozenColumn, FrozenTable};
 use crate::table::FeatureTable;
 use crate::value::FeatureKind;
 
@@ -36,8 +37,20 @@ impl SimilarityConfig {
     /// numeric column in `table`, so one wide-ranged statistic (e.g. view
     /// counts) cannot dominate the weight — the normalization Algorithm 1
     /// alludes to.
-    pub fn fit_scales(mut self, table: &FeatureTable) -> Self {
-        let schema = table.schema();
+    pub fn fit_scales(self, table: &FeatureTable) -> Self {
+        self.fit_scales_frozen(&FrozenTable::freeze(table))
+    }
+
+    /// [`SimilarityConfig::fit_scales`] over an existing frozen view.
+    ///
+    /// Streams each numeric column through its presence bitmap instead of
+    /// materializing the present values. The mean and MAD passes visit
+    /// present rows in row order, so the accumulation order — and hence
+    /// every bit of the fitted scales — matches the historical
+    /// materializing implementation. (MAD needs the mean first, so this
+    /// stays two passes over the column; what it drops is the `Vec`.)
+    pub fn fit_scales_frozen(mut self, frozen: &FrozenTable<'_>) -> Self {
+        let schema = frozen.table().schema();
         self.numeric_scales.clear();
         for &col in &self.columns {
             // Out-of-range columns are skipped here; `cm-check` validates
@@ -45,17 +58,28 @@ impl SimilarityConfig {
             if schema.def(col).map(|d| d.kind) != Some(FeatureKind::Numeric) {
                 continue;
             }
-            let mut values = Vec::new();
-            for r in 0..table.len() {
-                if let Some(v) = table.numeric(r, col) {
-                    values.push(v);
+            let FrozenColumn::Numeric { values, present } = frozen.col(col) else {
+                continue;
+            };
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (r, &v) in values.iter().enumerate() {
+                if present.get(r) {
+                    sum += v;
+                    n += 1;
                 }
             }
-            if values.is_empty() {
+            if n == 0 {
                 continue;
             }
-            let mean = values.iter().sum::<f64>() / values.len() as f64;
-            let mad = values.iter().map(|v| (v - mean).abs()).sum::<f64>() / values.len() as f64;
+            let mean = sum / n as f64;
+            let mut dev = 0.0;
+            for (r, &v) in values.iter().enumerate() {
+                if present.get(r) {
+                    dev += (v - mean).abs();
+                }
+            }
+            let mad = dev / n as f64;
             self.numeric_scales.push((col, mad.max(1e-9)));
         }
         self
@@ -147,6 +171,196 @@ pub fn normalized_similarity(
     }
 }
 
+/// Vocabulary bound under which a categorical column compiles to per-row
+/// `u64` masks (Jaccard becomes three popcounts).
+const CAT_MASK_BITS: u32 = 64;
+
+/// One column of a compiled [`PairKernel`] plan: resolved kind, borrowed
+/// frozen storage, and any per-column precomputation.
+enum ColKernel<'a> {
+    Numeric {
+        values: &'a [f64],
+        scale: f64,
+    },
+    /// Small-vocabulary categorical column: each row's sorted id set packed
+    /// into one `u64`. Intersection and union sizes come from popcounts —
+    /// the same integers the sorted-slice merge produces, feeding the same
+    /// final division.
+    CatMask {
+        masks: Vec<u64>,
+    },
+    /// General categorical column: sorted-slice Jaccard over the CSR ids.
+    CatSlice {
+        offsets: &'a [u32],
+        ids: &'a [u32],
+    },
+    Embedding {
+        dim: usize,
+        data: &'a [f32],
+        norms: Vec<f64>,
+    },
+}
+
+/// A fused pair-weight kernel: [`normalized_similarity`] compiled against a
+/// [`FrozenTable`].
+///
+/// Compilation resolves, once per table instead of once per pair:
+///
+/// - the kind of every configured column (dropping out-of-range ones) and
+///   the numeric scale, so the per-pair schema walk and the linear search
+///   through `numeric_scales` disappear;
+/// - direct borrows of the frozen column storage;
+/// - one **presence word** per row — bit `c` set when plan column `c` is
+///   present — so the per-pair presence test for all columns is a single
+///   `AND`, the shared-feature count is its popcount, and absent columns
+///   are never visited;
+/// - per-row `u64` category masks for small vocabularies and per-row
+///   squared embedding norms.
+///
+/// Bit-identity with the reference: every floating-point operation runs on
+/// the same operands in the same order as [`normalized_similarity`]
+/// (shared columns are visited in ascending plan order, which is the
+/// reference's column order). The integer set sizes behind Jaccard and the
+/// shared-column count are order-free, and each hoisted embedding norm is
+/// accumulated over the same values in the same index order as the
+/// reference's fused cosine loop.
+///
+/// Plans wider than 64 columns fall back to per-column bitmap gating with
+/// the same arithmetic.
+pub struct PairKernel<'a> {
+    plan: Vec<ColKernel<'a>>,
+    /// Bit `c` of `presence[r]` — plan column `c` present in row `r`.
+    /// Empty when the plan is wider than 64 columns.
+    presence: Vec<u64>,
+    /// Per-plan-column presence bitmaps, for the wide-plan fallback.
+    present: Vec<&'a Bitmap>,
+}
+
+impl<'a> PairKernel<'a> {
+    /// Compiles `config` against a frozen view.
+    pub fn compile(frozen: &'a FrozenTable<'a>, config: &SimilarityConfig) -> Self {
+        let n = frozen.len();
+        let n_cols = frozen.n_cols();
+        let mut plan = Vec::new();
+        let mut present: Vec<&'a Bitmap> = Vec::new();
+        for &col in config.columns.iter().filter(|&&col| col < n_cols) {
+            match frozen.col(col) {
+                FrozenColumn::Numeric { values, present: p } => {
+                    plan.push(ColKernel::Numeric { values, scale: config.scale_for(col) });
+                    present.push(p);
+                }
+                FrozenColumn::Categorical { offsets, ids, present: p } => {
+                    if ids.iter().all(|&id| id < CAT_MASK_BITS) {
+                        let mut masks = vec![0u64; n];
+                        for (r, mask) in masks.iter_mut().enumerate() {
+                            for &id in &ids[offsets[r] as usize..offsets[r + 1] as usize] {
+                                *mask |= 1u64 << id;
+                            }
+                        }
+                        plan.push(ColKernel::CatMask { masks });
+                    } else {
+                        plan.push(ColKernel::CatSlice { offsets, ids });
+                    }
+                    present.push(p);
+                }
+                FrozenColumn::Embedding { dim, data, present: p } => {
+                    let dim = *dim;
+                    let norms = (0..n)
+                        .map(|r| {
+                            let row = &data[r * dim..(r + 1) * dim];
+                            let mut na = 0.0f64;
+                            for &x in row {
+                                na += f64::from(x) * f64::from(x);
+                            }
+                            na
+                        })
+                        .collect();
+                    plan.push(ColKernel::Embedding { dim, data, norms });
+                    present.push(p);
+                }
+            }
+        }
+        let presence = if plan.len() <= 64 {
+            let mut words = vec![0u64; n];
+            for (c, p) in present.iter().enumerate() {
+                for (r, word) in words.iter_mut().enumerate() {
+                    *word |= u64::from(p.get(r)) << c;
+                }
+            }
+            words
+        } else {
+            Vec::new()
+        };
+        Self { plan, presence, present }
+    }
+
+    /// The contribution of plan column `c` for rows both present in it.
+    #[inline]
+    fn col_weight(&self, c: usize, i: usize, j: usize) -> f64 {
+        match &self.plan[c] {
+            ColKernel::Numeric { values, scale } => (-(values[i] - values[j]).abs() / scale).exp(),
+            ColKernel::CatMask { masks } => {
+                let (ma, mb) = (masks[i], masks[j]);
+                let inter = (ma & mb).count_ones() as usize;
+                let union = ma.count_ones() as usize + mb.count_ones() as usize - inter;
+                if union == 0 {
+                    1.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            }
+            ColKernel::CatSlice { offsets, ids } => {
+                let x = &ids[offsets[i] as usize..offsets[i + 1] as usize];
+                let y = &ids[offsets[j] as usize..offsets[j + 1] as usize];
+                jaccard_ids(x, y)
+            }
+            ColKernel::Embedding { dim, data, norms } => {
+                let x = &data[i * dim..(i + 1) * dim];
+                let y = &data[j * dim..(j + 1) * dim];
+                0.5 * (cosine_prenorm(x, y, norms[i], norms[j]) + 1.0)
+            }
+        }
+    }
+
+    /// The pair weight between rows `i` and `j` of the frozen table —
+    /// bit-identical to `normalized_similarity((t, i), (t, j), config)`.
+    pub fn pair(&self, i: usize, j: usize) -> f64 {
+        if self.presence.is_empty() {
+            return self.pair_wide(i, j);
+        }
+        let shared = self.presence[i] & self.presence[j];
+        let count = shared.count_ones() as usize;
+        if count == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut bits = shared;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            total += self.col_weight(c, i, j);
+        }
+        total / count as f64
+    }
+
+    /// Per-column gated path for plans wider than one presence word.
+    fn pair_wide(&self, i: usize, j: usize) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (c, p) in self.present.iter().enumerate() {
+            if p.get(i) && p.get(j) {
+                total += self.col_weight(c, i, j);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
 /// Jaccard similarity over two sorted id slices; both empty counts as 1.0.
 pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
     let (mut i, mut j, mut inter) = (0, 0, 0usize);
@@ -166,6 +380,24 @@ pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
         1.0
     } else {
         inter as f64 / union as f64
+    }
+}
+
+/// [`cosine`] with the squared norms hoisted out: `na` and `nb` must be the
+/// row sums of squares accumulated in index order (see
+/// [`PairKernel::compile`]). The dot product, the `na * nb` product, the
+/// square root, and the clamp all see the same operands as [`cosine`], so
+/// the result is bit-identical.
+fn cosine_prenorm(a: &[f32], b: &[f32], na: f64, nb: f64) -> f64 {
+    let mut dot = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+    }
+    let denom = (na * nb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (dot / denom).clamp(-1.0, 1.0)
     }
 }
 
@@ -318,6 +550,37 @@ mod tests {
                 assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
             }
         }
+    }
+
+    #[test]
+    fn pair_kernel_matches_reference_bitwise() {
+        let t = table();
+        // Column 9 is out of range: both paths must skip it.
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2, 9]).fit_scales(&t);
+        let frozen = FrozenTable::freeze(&t);
+        let kernel = PairKernel::compile(&frozen, &cfg);
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                let want = normalized_similarity((&t, i), (&t, j), &cfg);
+                let got = kernel.pair(i, j);
+                assert_eq!(got.to_bits(), want.to_bits(), "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_scales_matches_materialized_reference() {
+        let t = table();
+        let cfg = SimilarityConfig::uniform(vec![0, 1, 2]).fit_scales(&t);
+        let mut values = Vec::new();
+        for r in 0..t.len() {
+            if let Some(v) = t.numeric(r, 0) {
+                values.push(v);
+            }
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mad = values.iter().map(|v| (v - mean).abs()).sum::<f64>() / values.len() as f64;
+        assert_eq!(cfg.numeric_scales, vec![(0, mad.max(1e-9))]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! modalities (§4.2): predicates over categorical service outputs and
 //! numeric statistics, instead of raw pixels.
 
-use cm_featurespace::FeatureTable;
+use cm_featurespace::{FeatureTable, FrozenTable};
 
 /// A labeling-function vote.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +54,15 @@ pub trait LabelingFunction: Send + Sync {
 
     /// Votes on row `row` of `table`. Must abstain on missing inputs.
     fn vote(&self, table: &FeatureTable, row: usize) -> Vote;
+
+    /// Votes on row `row` of a frozen columnar view. Must return exactly
+    /// the same vote as [`LabelingFunction::vote`] on the underlying
+    /// table; the default delegates, and the built-in LFs override it to
+    /// read the contiguous columns directly (no per-row schema dispatch),
+    /// which is what [`crate::LabelMatrix::apply`] iterates over.
+    fn vote_frozen(&self, frozen: &FrozenTable<'_>, row: usize) -> Vote {
+        self.vote(frozen.table(), row)
+    }
 }
 
 /// Votes when a categorical feature contains any (or all) of a set of ids.
@@ -91,7 +100,18 @@ impl LabelingFunction for CategoricalContainsLf {
     }
 
     fn vote(&self, table: &FeatureTable, row: usize) -> Vote {
-        let Some(present) = table.categorical(row, self.column) else {
+        self.vote_ids(table.categorical(row, self.column))
+    }
+
+    fn vote_frozen(&self, frozen: &FrozenTable<'_>, row: usize) -> Vote {
+        self.vote_ids(frozen.categorical(row, self.column))
+    }
+}
+
+impl CategoricalContainsLf {
+    #[inline]
+    fn vote_ids(&self, present: Option<&[u32]>) -> Vote {
+        let Some(present) = present else {
             return Vote::Abstain;
         };
         let hit = if self.require_all {
@@ -153,7 +173,18 @@ impl LabelingFunction for NumericThresholdLf {
     }
 
     fn vote(&self, table: &FeatureTable, row: usize) -> Vote {
-        let Some(v) = table.numeric(row, self.column) else {
+        self.vote_value(table.numeric(row, self.column))
+    }
+
+    fn vote_frozen(&self, frozen: &FrozenTable<'_>, row: usize) -> Vote {
+        self.vote_value(frozen.numeric(row, self.column))
+    }
+}
+
+impl NumericThresholdLf {
+    #[inline]
+    fn vote_value(&self, value: Option<f64>) -> Vote {
+        let Some(v) = value else {
             return Vote::Abstain;
         };
         let hit = match self.direction {
@@ -208,6 +239,20 @@ impl Predicate {
             }
         }
     }
+
+    fn holds_frozen(&self, frozen: &FrozenTable<'_>, row: usize) -> Option<bool> {
+        match *self {
+            Predicate::CatContains { column, id } => {
+                frozen.categorical(row, column).map(|ids| ids.binary_search(&id).is_ok())
+            }
+            Predicate::NumAbove { column, threshold } => {
+                frozen.numeric(row, column).map(|v| v >= threshold)
+            }
+            Predicate::NumBelow { column, threshold } => {
+                frozen.numeric(row, column).map(|v| v <= threshold)
+            }
+        }
+    }
 }
 
 /// A conjunction of predicates over multiple features — the shape human
@@ -241,6 +286,16 @@ impl LabelingFunction for ConjunctionLf {
     fn vote(&self, table: &FeatureTable, row: usize) -> Vote {
         for p in &self.predicates {
             match p.holds(table, row) {
+                Some(true) => {}
+                Some(false) | None => return Vote::Abstain,
+            }
+        }
+        self.on_match
+    }
+
+    fn vote_frozen(&self, frozen: &FrozenTable<'_>, row: usize) -> Vote {
+        for p in &self.predicates {
+            match p.holds_frozen(frozen, row) {
                 Some(true) => {}
                 Some(false) | None => return Vote::Abstain,
             }
@@ -293,6 +348,17 @@ impl LabelingFunction for BoundScoreLf {
     }
 
     fn vote(&self, _table: &FeatureTable, row: usize) -> Vote {
+        self.vote_row(row)
+    }
+
+    fn vote_frozen(&self, _frozen: &FrozenTable<'_>, row: usize) -> Vote {
+        self.vote_row(row)
+    }
+}
+
+impl BoundScoreLf {
+    #[inline]
+    fn vote_row(&self, row: usize) -> Vote {
         match self.scores.get(row) {
             Some(&s) if s >= self.positive_threshold => Vote::Positive,
             Some(&s) if s <= self.negative_threshold => Vote::Negative,
@@ -419,5 +485,39 @@ mod tests {
     #[should_panic(expected = "exceeds positive")]
     fn bound_score_lf_rejects_inverted_thresholds() {
         BoundScoreLf::new("bad", vec![], 0.1, 0.8);
+    }
+
+    /// Every built-in LF must vote identically through the frozen columnar
+    /// path and the row-wise table path, including on missing rows.
+    #[test]
+    fn vote_frozen_matches_vote() {
+        let t = table();
+        let frozen = FrozenTable::freeze(&t);
+        let lfs: Vec<Box<dyn LabelingFunction>> = vec![
+            Box::new(CategoricalContainsLf::new(0, vec![2, 3], false, Vote::Positive)),
+            Box::new(CategoricalContainsLf::new(0, vec![0, 2], true, Vote::Negative)),
+            Box::new(NumericThresholdLf::new(1, 3.0, ThresholdDirection::Above, Vote::Positive)),
+            Box::new(NumericThresholdLf::new(1, 3.0, ThresholdDirection::Below, Vote::Negative)),
+            Box::new(ConjunctionLf::new(
+                "expert",
+                vec![
+                    Predicate::CatContains { column: 0, id: 2 },
+                    Predicate::NumAbove { column: 1, threshold: 4.0 },
+                    Predicate::NumBelow { column: 1, threshold: 9.0 },
+                ],
+                Vote::Positive,
+            )),
+            Box::new(BoundScoreLf::new("prop", vec![0.9, 0.5, 0.05], 0.8, 0.1)),
+        ];
+        for lf in &lfs {
+            for row in 0..t.len() {
+                assert_eq!(
+                    lf.vote_frozen(&frozen, row),
+                    lf.vote(&t, row),
+                    "lf {} row {row}",
+                    lf.name()
+                );
+            }
+        }
     }
 }

@@ -12,6 +12,12 @@ use cm_par::ParConfig;
 /// thread count.
 const MATMUL_PAR_FLOPS: usize = 1 << 20;
 
+/// Output rows computed together per pass over `other` in the blocked
+/// matmul kernel. Four rows re-use each `other` row four times from
+/// registers/L1 instead of refetching it per row, which is the entire win:
+/// the per-element arithmetic is untouched.
+const MATMUL_ROW_BLOCK: usize = 4;
+
 /// Row-major dense `f32` matrix.
 ///
 /// Rows are contiguous, so per-example access patterns (the common case in
@@ -123,8 +129,9 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an ikj loop ordering so the inner loop streams over contiguous
-    /// memory in both the output row and the `other` row.
+    /// Uses a row-blocked ikj kernel: the inner loop streams over
+    /// contiguous memory in both the output rows and the `other` row, and
+    /// [`MATMUL_ROW_BLOCK`] output rows share each fetched `other` row.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
@@ -146,20 +153,39 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
+        if out.cols == 0 {
+            return out;
+        }
         let flops = self.rows * self.cols * other.cols;
-        if out.cols > 0 && flops >= MATMUL_PAR_FLOPS {
+        if flops >= MATMUL_PAR_FLOPS {
             let unit = out.cols;
             if let Err(e) = cm_par::par_chunks_mut(par, &mut out.data, unit, |start, chunk| {
-                for (i, out_row) in chunk.chunks_exact_mut(unit).enumerate() {
-                    matmul_row(self.row(start + i), other, out_row);
-                }
+                matmul_rows(self, start, other, chunk);
             }) {
                 e.resume();
             }
         } else {
-            for i in 0..self.rows {
-                matmul_row(self.row(i), other, out.row_mut(i));
-            }
+            matmul_rows(self, 0, other, &mut out.data);
+        }
+        out
+    }
+
+    /// Unblocked serial reference product, retained as the differential-
+    /// test oracle for the blocked kernel. Every output element is a
+    /// single accumulator updated in ascending-`k` order, skipping zero
+    /// `a` entries — exactly the chain the blocked kernel must reproduce.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            matmul_row(self.row(i), other, out.row_mut(i));
         }
         out
     }
@@ -237,6 +263,78 @@ impl Matrix {
     /// Fills the matrix with zeros, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+}
+
+/// A contiguous run of GEMM output rows starting at row `start`:
+/// full blocks of [`MATMUL_ROW_BLOCK`] rows go through the blocked kernel,
+/// the remainder through the single-row kernel. Grouping does not touch
+/// the per-element arithmetic, so any chunking (serial or parallel)
+/// produces bit-identical output.
+fn matmul_rows(a: &Matrix, start: usize, other: &Matrix, out_chunk: &mut [f32]) {
+    let unit = other.cols;
+    for (blk_idx, blk) in out_chunk.chunks_mut(unit * MATMUL_ROW_BLOCK).enumerate() {
+        let row0 = start + blk_idx * MATMUL_ROW_BLOCK;
+        if blk.len() == unit * MATMUL_ROW_BLOCK {
+            let (o0, rest) = blk.split_at_mut(unit);
+            let (o1, rest) = rest.split_at_mut(unit);
+            let (o2, o3) = rest.split_at_mut(unit);
+            matmul_block4(
+                [a.row(row0), a.row(row0 + 1), a.row(row0 + 2), a.row(row0 + 3)],
+                other,
+                o0,
+                o1,
+                o2,
+                o3,
+            );
+        } else {
+            for (i, out_row) in blk.chunks_exact_mut(unit).enumerate() {
+                matmul_row(a.row(row0 + i), other, out_row);
+            }
+        }
+    }
+}
+
+/// Four GEMM output rows at once: per `k`, the fetched `other` row feeds
+/// all four output rows. Each output element still owns a single
+/// accumulator updated in ascending-`k` order with the same `a != 0.0`
+/// gate as [`matmul_row`] — removing one row's updates from the loop does
+/// not change another row's accumulation chain, so every element is
+/// bit-identical to the unblocked kernel.
+fn matmul_block4(
+    a: [&[f32]; MATMUL_ROW_BLOCK],
+    other: &Matrix,
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    for k in 0..a[0].len() {
+        let (a0, a1, a2, a3) = (a[0][k], a[1][k], a[2][k], a[3][k]);
+        let b_row = other.row(k);
+        let n = b_row.len();
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            // Hoisted reslices let the compiler drop bounds checks and
+            // vectorize across j (independent accumulators per element).
+            let (o0, o1) = (&mut o0[..n], &mut o1[..n]);
+            let (o2, o3) = (&mut o2[..n], &mut o3[..n]);
+            for j in 0..n {
+                let b = b_row[j];
+                o0[j] += a0 * b;
+                o1[j] += a1 * b;
+                o2[j] += a2 * b;
+                o3[j] += a3 * b;
+            }
+        } else {
+            // Some rows skip this k (zero gate); update the rest alone.
+            for (av, o) in [(a0, &mut *o0), (a1, &mut *o1), (a2, &mut *o2), (a3, &mut *o3)] {
+                if av != 0.0 {
+                    for (ov, &b) in o.iter_mut().zip(b_row) {
+                        *ov += av * b;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -346,6 +444,26 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_exactly() {
+        // Odd shapes exercise the remainder path; the modular fill plants
+        // zeros in `a` to exercise the zero-gate mixed path.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 4, 4), (7, 13, 9), (66, 31, 17), (8, 1, 5)] {
+            let a = Matrix::from_fn(m, k, |r, c| {
+                let v = (r * 31 + c * 17) % 7;
+                if v == 3 {
+                    0.0
+                } else {
+                    v as f32 - 2.5
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 11) as f32 * 0.37 - 1.0);
+            let blocked = a.matmul_with(&b, &ParConfig::serial());
+            let reference = a.matmul_reference(&b);
+            assert_eq!(blocked, reference, "shape {m}x{k}x{n}");
+        }
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! Apriori-style itemset mining over the labeled development corpus.
+//!
+//! The engine is *vertical*: instead of materializing each row's items and
+//! feeding hash-map counters (retained as the oracle in
+//! [`crate::reference`]), one pass over the frozen columns builds a row
+//! bitset per distinct item, and every support after that is a
+//! popcount-AND — class-conditional supports against the class bitsets,
+//! higher-order conjunctions by intersecting member bitsets.
 
-use std::collections::HashMap;
-
-use cm_featurespace::{FeatureKind, FeatureTable, Label};
+use cm_featurespace::{Bitmap, FeatureKind, FeatureTable, FrozenColumn, FrozenTable, Label};
 use cm_par::ParConfig;
 
 use crate::discretize::Discretizer;
 
-/// Below this many rows the candidate-support passes stay serial; above it
-/// they chunk over rows. Size-only, so path selection never depends on the
-/// thread count.
+/// Below this many rows the support passes stay serial; above it they chunk
+/// over itemsets. Size-only, so path selection never depends on the thread
+/// count.
 const MINE_PAR_ROWS: usize = 4096;
 
-/// Minimum rows per chunk for the parallel counting passes.
-const MINE_MIN_ROWS_PER_CHUNK: usize = 1024;
+/// Minimum itemsets per chunk for the parallel popcount passes.
+const MINE_MIN_ITEMS_PER_CHUNK: usize = 8;
 
 /// An atomic item: one feature value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -113,9 +118,12 @@ pub fn mine_itemsets(
 
 /// [`mine_itemsets`] with an explicit parallel configuration.
 ///
-/// The two candidate-support passes chunk over rows and merge per-chunk
-/// count maps; counts are exact integer sums, so results are identical for
-/// any thread count.
+/// The support passes chunk over itemsets; each itemset's supports are
+/// exact popcounts computed independently, so results are identical for
+/// any thread count — and identical to the row-at-a-time oracle in
+/// [`crate::reference`], since all counted quantities are the same
+/// integers and the derived precision/recall divisions see the same
+/// operands.
 ///
 /// # Panics
 /// Panics if `labels.len() != table.len()`.
@@ -137,21 +145,33 @@ pub fn mine_itemsets_with(
     let n_pos = labels.iter().filter(|l| l.is_positive()).count();
     let n_neg = labels.len() - n_pos;
 
-    // Pass 1: count order-1 items over positive rows only (the paper's
-    // class-imbalance optimization).
-    let pos_counts = count_class_items(table, labels, columns, &discretizers, par, true);
-    let n_candidates = pos_counts.len();
+    // Vertical layout: one row bitset per distinct order-1 item, built in
+    // one pass over the frozen columns.
+    let frozen = FrozenTable::freeze(table);
+    let (items, item_bits) = build_item_bitsets(&frozen, columns, &discretizers);
+
+    // Class bitsets: popcount(item AND class) is the class-conditional
+    // support, covering both of the oracle's counting passes at once.
+    let mut pos_bits = Bitmap::zeros(labels.len());
+    let mut neg_bits = Bitmap::zeros(labels.len());
+    for (r, l) in labels.iter().enumerate() {
+        if l.is_positive() {
+            pos_bits.set(r);
+        } else {
+            neg_bits.set(r);
+        }
+    }
+    let supports = class_supports(&item_bits, &pos_bits, &neg_bits, labels.len(), par);
+
+    // "Candidates considered" keeps the historical meaning: items occurring
+    // in at least one positive row (the paper's class-imbalance
+    // optimization counted positives only, so only those items existed).
+    let n_candidates = supports.iter().filter(|&&(pos, _)| pos > 0).count();
 
     // Keep candidates that could still clear the recall bar.
     let min_pos_support = ((config.min_recall * n_pos as f64).ceil() as usize).max(1);
-    let candidates: Vec<Item> =
-        pos_counts.iter().filter(|(_, &c)| c >= min_pos_support).map(|(&i, _)| i).collect();
-
-    // Pass 2: count items over negative rows. Candidate negative supports
-    // are lookups into the same map, so one pass covers both the positive
-    // LFs' denominators and the negative-indicative itemsets.
-    let neg_all_counts = count_class_items(table, labels, columns, &discretizers, par, false);
-    let neg_counts = |item: &Item| neg_all_counts.get(item).copied().unwrap_or(0);
+    let candidates: Vec<usize> =
+        (0..items.len()).filter(|&i| supports[i].0 >= min_pos_support).collect();
 
     let make_stats = |items: Vec<Item>, pos: usize, neg: usize| ItemStats {
         items,
@@ -163,57 +183,47 @@ pub fn mine_itemsets_with(
 
     // Order-1 positive itemsets.
     let mut positive: Vec<ItemStats> = Vec::new();
-    let mut frontier: Vec<Vec<Item>> = Vec::new();
-    for &item in &candidates {
-        let pos = pos_counts[&item];
-        let neg = neg_counts(&item);
-        let stats = make_stats(vec![item], pos, neg);
+    let mut frontier: Vec<(Vec<Item>, Bitmap)> = Vec::new();
+    for &ci in &candidates {
+        let (pos, neg) = supports[ci];
+        let stats = make_stats(vec![items[ci]], pos, neg);
         if stats.precision >= config.min_precision && stats.recall >= config.min_recall {
             positive.push(stats);
         } else if stats.recall >= config.min_recall {
             // High-recall but low-precision items seed higher orders.
-            frontier.push(vec![item]);
+            frontier.push((vec![items[ci]], item_bits[ci].clone()));
         }
     }
 
     // Higher orders: join frontier itemsets with candidate items of the
-    // same column (Apriori join with the single-feature constraint).
+    // same column (Apriori join with the single-feature constraint). Bases
+    // are ascending item lists extended only with items greater than their
+    // last member, so every joined set arises from exactly one base and no
+    // dedup map is needed; its row bitset is one AND away.
     for _order in 2..=config.max_order {
         if frontier.is_empty() {
             break;
         }
         let mut next_sets: Vec<Vec<Item>> = Vec::new();
-        let mut seen: HashMap<Vec<Item>, ()> = HashMap::new();
-        for base in &frontier {
+        let mut next_bits: Vec<Bitmap> = Vec::new();
+        for (base, bits) in &frontier {
             let col = base[0].column;
             let Some(&last) = base.last() else { continue };
-            for &item in candidates.iter().filter(|i| i.column == col && **i > last) {
+            for &ci in &candidates {
+                let item = items[ci];
+                if item.column != col || item <= last {
+                    continue;
+                }
                 let mut joined = base.clone();
                 joined.push(item);
-                if seen.insert(joined.clone(), ()).is_none() {
-                    next_sets.push(joined);
-                }
+                next_sets.push(joined);
+                next_bits.push(bits.and(&item_bits[ci]));
             }
         }
-        // Count joined itemsets: positives first, then negatives.
-        let mut pos_c: HashMap<&[Item], usize> = HashMap::new();
-        let mut neg_c: HashMap<&[Item], usize> = HashMap::new();
-        for (r, label) in labels.iter().enumerate() {
-            let items: Vec<Item> = row_items(table, r, columns, &discretizers).collect();
-            for set in &next_sets {
-                if set.iter().all(|i| items.contains(i)) {
-                    if label.is_positive() {
-                        *pos_c.entry(set.as_slice()).or_insert(0) += 1;
-                    } else {
-                        *neg_c.entry(set.as_slice()).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
+        let joined_supports = class_supports(&next_bits, &pos_bits, &neg_bits, labels.len(), par);
         let mut new_frontier = Vec::new();
-        for set in &next_sets {
-            let pos = pos_c.get(set.as_slice()).copied().unwrap_or(0);
-            let neg = neg_c.get(set.as_slice()).copied().unwrap_or(0);
+        for (i, set) in next_sets.iter().enumerate() {
+            let (pos, neg) = joined_supports[i];
             let stats = make_stats(set.clone(), pos, neg);
             if stats.recall < config.min_recall {
                 continue; // anti-monotone prune
@@ -221,7 +231,7 @@ pub fn mine_itemsets_with(
             if stats.precision >= config.min_precision {
                 positive.push(stats);
             } else {
-                new_frontier.push(set.clone());
+                new_frontier.push((set.clone(), next_bits[i].clone()));
             }
         }
         frontier = new_frontier;
@@ -231,14 +241,13 @@ pub fn mine_itemsets_with(
     // higher orders add nothing but runtime).
     let min_neg_support = ((config.min_neg_recall * n_neg as f64).ceil() as usize).max(1);
     let mut negative: Vec<ItemStats> = Vec::new();
-    for (&item, &neg) in &neg_all_counts {
+    for (i, &(pos, neg)) in supports.iter().enumerate() {
         if neg < min_neg_support {
             continue;
         }
-        let pos = pos_counts.get(&item).copied().unwrap_or(0);
         let neg_precision = neg as f64 / (pos + neg) as f64;
         if neg_precision >= config.min_neg_precision {
-            negative.push(make_stats(vec![item], pos, neg));
+            negative.push(make_stats(vec![items[i]], pos, neg));
         }
     }
 
@@ -247,91 +256,101 @@ pub fn mine_itemsets_with(
     MinedItemsets { positive, negative, discretizers, n_candidates }
 }
 
-/// Counts order-1 items over the rows of one class, chunking over rows when
-/// the table is large enough. Per-chunk maps merge with integer addition,
-/// which is exact and order-independent, so the result is identical at any
-/// thread count.
-fn count_class_items(
-    table: &FeatureTable,
-    labels: &[Label],
+/// Builds the order-1 item universe: one row bitset per distinct item, in
+/// one vertical pass per column. Items are emitted in (column-list order,
+/// ascending value) order — deterministic by construction, unlike the
+/// oracle's hash maps (whose iteration order never reaches the sorted
+/// output).
+fn build_item_bitsets(
+    frozen: &FrozenTable<'_>,
     columns: &[usize],
     discretizers: &[Discretizer],
-    par: &ParConfig,
-    positive: bool,
-) -> HashMap<Item, usize> {
-    let count_range = |range: std::ops::Range<usize>| {
-        let mut counts: HashMap<Item, usize> = HashMap::new();
-        for r in range {
-            if labels[r].is_positive() != positive {
-                continue;
-            }
-            for item in row_items(table, r, columns, discretizers) {
-                *counts.entry(item).or_insert(0) += 1;
-            }
+) -> (Vec<Item>, Vec<Bitmap>) {
+    let n = frozen.len();
+    let mut items = Vec::new();
+    let mut bits = Vec::new();
+    for &col in columns {
+        // Out-of-range columns contribute no items; `cm-check` validates
+        // column lists before execution.
+        if col >= frozen.n_cols() {
+            continue;
         }
-        counts
-    };
-    if labels.len() < MINE_PAR_ROWS {
-        return count_range(0..labels.len());
-    }
-    cm_par::par_map_reduce(
-        &par.clone().with_min_chunk(MINE_MIN_ROWS_PER_CHUNK),
-        labels.len(),
-        count_range,
-        |mut acc, chunk| {
-            for (item, c) in chunk {
-                *acc.entry(item).or_insert(0) += c;
+        match frozen.col(col) {
+            FrozenColumn::Categorical { offsets, ids, present: _ } => {
+                // No presence gate: missing rows have empty CSR ranges and
+                // contribute no items either way.
+                let Some(&max_id) = ids.iter().max() else { continue };
+                let mut per_id: Vec<Option<Bitmap>> = vec![None; max_id as usize + 1];
+                for r in 0..n {
+                    for &id in &ids[offsets[r] as usize..offsets[r + 1] as usize] {
+                        per_id[id as usize].get_or_insert_with(|| Bitmap::zeros(n)).set(r);
+                    }
+                }
+                for (id, b) in per_id.into_iter().enumerate() {
+                    if let Some(b) = b {
+                        items.push(Item { column: col, value: ItemValue::Cat(id as u32) });
+                        bits.push(b);
+                    }
+                }
             }
-            acc
-        },
-    )
-    .unwrap_or_else(|e| e.resume())
-    .unwrap_or_default()
+            FrozenColumn::Numeric { values, present } => {
+                let Some(d) = discretizers.iter().find(|d| d.column == col) else { continue };
+                let mut per_bin: Vec<Option<Bitmap>> = Vec::new();
+                for (r, &v) in values.iter().enumerate() {
+                    if !present.get(r) {
+                        continue;
+                    }
+                    let bin = d.bin(v) as usize;
+                    if bin >= per_bin.len() {
+                        per_bin.resize_with(bin + 1, || None);
+                    }
+                    per_bin[bin].get_or_insert_with(|| Bitmap::zeros(n)).set(r);
+                }
+                for (bin, b) in per_bin.into_iter().enumerate() {
+                    if let Some(b) = b {
+                        items.push(Item { column: col, value: ItemValue::NumBin(bin as u32) });
+                        bits.push(b);
+                    }
+                }
+            }
+            FrozenColumn::Embedding { .. } => {}
+        }
+    }
+    (items, bits)
 }
 
-fn sort_stats(stats: &mut [ItemStats]) {
+/// Class-conditional supports for a slice of row bitsets: for each,
+/// `(popcount(b AND pos), popcount(b AND neg))`. Chunks over itemsets when
+/// the table is large enough for fan-out to pay; every support is an exact
+/// integer computed independently, so the result is identical at any
+/// thread count.
+fn class_supports(
+    bits: &[Bitmap],
+    pos: &Bitmap,
+    neg: &Bitmap,
+    n_rows: usize,
+    par: &ParConfig,
+) -> Vec<(usize, usize)> {
+    let count = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
+        bits[range].iter().map(|b| (b.and_count(pos), b.and_count(neg))).collect()
+    };
+    if n_rows < MINE_PAR_ROWS {
+        return count(0..bits.len());
+    }
+    cm_par::par_map_chunks(&par.clone().with_min_chunk(MINE_MIN_ITEMS_PER_CHUNK), bits.len(), count)
+        .unwrap_or_else(|e| e.resume())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+pub(crate) fn sort_stats(stats: &mut [ItemStats]) {
     stats.sort_by(|a, b| {
         b.recall
             .partial_cmp(&a.recall)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.items.cmp(&b.items))
     });
-}
-
-/// Iterates the items present in one row.
-fn row_items<'a>(
-    table: &'a FeatureTable,
-    row: usize,
-    columns: &'a [usize],
-    discretizers: &'a [Discretizer],
-) -> impl Iterator<Item = Item> + 'a {
-    columns.iter().flat_map(move |&col| {
-        let schema = table.schema();
-        let mut out: Vec<Item> = Vec::new();
-        let Some(def) = schema.def(col) else {
-            // Out-of-range columns contribute no items; `cm-check` validates
-            // column lists before execution.
-            return out.into_iter();
-        };
-        match def.kind {
-            FeatureKind::Categorical => {
-                if let Some(ids) = table.categorical(row, col) {
-                    out.extend(
-                        ids.iter().map(|&id| Item { column: col, value: ItemValue::Cat(id) }),
-                    );
-                }
-            }
-            FeatureKind::Numeric => {
-                if let (Some(v), Some(d)) =
-                    (table.numeric(row, col), discretizers.iter().find(|d| d.column == col))
-                {
-                    out.push(Item { column: col, value: ItemValue::NumBin(d.bin(v)) });
-                }
-            }
-            FeatureKind::Embedding { .. } => {}
-        }
-        out.into_iter()
-    })
 }
 
 #[cfg(test)]
@@ -508,6 +527,19 @@ mod tests {
         assert_eq!(a.positive, b.positive);
         for w in a.positive.windows(2) {
             assert!(w[0].recall >= w[1].recall);
+        }
+    }
+
+    #[test]
+    fn bitset_engine_matches_rowwise_oracle() {
+        let (t, labels) = dev(100, 900);
+        for max_order in [1usize, 2, 3] {
+            let cfg = MiningConfig { max_order, ..MiningConfig::default() };
+            let fast = mine_itemsets(&t, &labels, &[0, 1], &cfg);
+            let slow = crate::reference::mine_itemsets_reference(&t, &labels, &[0, 1], &cfg);
+            assert_eq!(fast.positive, slow.positive, "order {max_order}");
+            assert_eq!(fast.negative, slow.negative, "order {max_order}");
+            assert_eq!(fast.n_candidates, slow.n_candidates, "order {max_order}");
         }
     }
 

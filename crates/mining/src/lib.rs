@@ -17,8 +17,11 @@ pub mod apriori;
 pub mod discretize;
 pub mod lfgen;
 pub mod modelgen;
+pub mod reference;
 
-pub use apriori::{mine_itemsets, mine_itemsets_with, Item, ItemStats, ItemValue, MiningConfig};
+pub use apriori::{
+    mine_itemsets, mine_itemsets_with, Item, ItemStats, ItemValue, MinedItemsets, MiningConfig,
+};
 pub use discretize::Discretizer;
 pub use lfgen::{mine_lfs, MinedLfs, MiningReport};
 pub use modelgen::{generate_stump_lfs, StumpConfig};

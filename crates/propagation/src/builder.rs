@@ -1,6 +1,6 @@
 //! k-NN similarity-graph construction.
 
-use cm_featurespace::{normalized_similarity, FeatureTable, SimilarityConfig};
+use cm_featurespace::{FeatureTable, FrozenTable, PairKernel, SimilarityConfig};
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
 use cm_par::ParConfig;
@@ -65,9 +65,12 @@ impl GraphBuilder {
 
     /// [`GraphBuilder::build`] with an explicit parallel configuration.
     ///
-    /// Row chunks scan for neighbors independently and their edge lists
-    /// concatenate in chunk index order, so the graph is identical for any
-    /// thread count.
+    /// Freezes the table and compiles the similarity configuration into a
+    /// [`PairKernel`] once, then scans with it. Row chunks scan for
+    /// neighbors independently and their edge lists concatenate in chunk
+    /// index order, so the graph is identical for any thread count; the
+    /// kernel performs the reference arithmetic in the reference order, so
+    /// the weights are bit-identical to the pre-kernel builder.
     pub fn build_with(
         &self,
         table: &FeatureTable,
@@ -75,16 +78,30 @@ impl GraphBuilder {
         seed: u64,
         par: &ParConfig,
     ) -> SparseGraph {
-        let n = table.len();
+        let frozen = FrozenTable::freeze(table);
+        self.build_frozen_with(&frozen, config, seed, par)
+    }
+
+    /// [`GraphBuilder::build_with`] over an existing frozen view, for
+    /// callers that already hold one.
+    pub fn build_frozen_with(
+        &self,
+        frozen: &FrozenTable<'_>,
+        config: &SimilarityConfig,
+        seed: u64,
+        par: &ParConfig,
+    ) -> SparseGraph {
+        let n = frozen.len();
+        let kernel = PairKernel::compile(frozen, config);
         let par = par.clone().with_min_chunk(KNN_MIN_ROWS_PER_CHUNK);
         let edges = match self.method {
-            KnnMethod::Exact => self.build_exact(table, config, &par),
+            KnnMethod::Exact => self.build_exact(n, &kernel, &par),
             KnnMethod::Anchors { n_anchors, probes, max_candidates } => {
                 if n <= n_anchors * 4 {
                     // Too small for anchors to pay off; fall back to exact.
-                    self.build_exact(table, config, &par)
+                    self.build_exact(n, &kernel, &par)
                 } else {
-                    self.build_anchors(table, config, n_anchors, probes, max_candidates, seed, &par)
+                    self.build_anchors(n, &kernel, n_anchors, probes, max_candidates, seed, &par)
                 }
             }
         };
@@ -93,11 +110,10 @@ impl GraphBuilder {
 
     fn build_exact(
         &self,
-        table: &FeatureTable,
-        config: &SimilarityConfig,
+        n: usize,
+        kernel: &PairKernel<'_>,
         par: &ParConfig,
     ) -> Vec<(u32, u32, f32)> {
-        let n = table.len();
         let chunks = cm_par::par_map_chunks(par, n, |range| {
             let mut edges = Vec::new();
             for i in range {
@@ -106,7 +122,7 @@ impl GraphBuilder {
                     if i == j {
                         continue;
                     }
-                    let s = normalized_similarity((table, i), (table, j), config);
+                    let s = kernel.pair(i, j);
                     if s >= self.min_weight {
                         top.push(j as u32, s as f32);
                     }
@@ -122,15 +138,14 @@ impl GraphBuilder {
     #[allow(clippy::too_many_arguments)]
     fn build_anchors(
         &self,
-        table: &FeatureTable,
-        config: &SimilarityConfig,
+        n: usize,
+        kernel: &PairKernel<'_>,
         n_anchors: usize,
         probes: usize,
         max_candidates: usize,
         seed: u64,
         par: &ParConfig,
     ) -> Vec<(u32, u32, f32)> {
-        let n = table.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut anchor_ids: Vec<usize> = (0..n).collect();
         anchor_ids.shuffle(&mut rng);
@@ -140,11 +155,8 @@ impl GraphBuilder {
         // independently, so the parallel map is order-preserving.
         let mut anchor_members: Vec<Vec<u32>> = vec![Vec::new(); n_anchors];
         let routes: Vec<Vec<usize>> = cm_par::par_map(par, n, |i| {
-            let mut scored: Vec<(usize, f64)> = anchor_ids
-                .iter()
-                .enumerate()
-                .map(|(a, &row)| (a, normalized_similarity((table, i), (table, row), config)))
-                .collect();
+            let mut scored: Vec<(usize, f64)> =
+                anchor_ids.iter().enumerate().map(|(a, &row)| (a, kernel.pair(i, row))).collect();
             scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
             scored.truncate(probes);
             scored.into_iter().map(|(a, _)| a).collect()
@@ -155,7 +167,6 @@ impl GraphBuilder {
                 anchor_members[a].push(i as u32);
             }
         }
-
         // Scan each row's co-routed candidates; chunk edge lists
         // concatenate in chunk index order.
         let chunks = cm_par::par_map_chunks(par, n, |range| {
@@ -175,7 +186,7 @@ impl GraphBuilder {
                     if j as usize == i {
                         continue;
                     }
-                    let s = normalized_similarity((table, i), (table, j as usize), config);
+                    let s = kernel.pair(i, j as usize);
                     if s >= self.min_weight {
                         top.push(j, s as f32);
                     }

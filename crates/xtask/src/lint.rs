@@ -40,11 +40,25 @@ const RULES: &[Rule] = &[
     Rule { name: "thread-scope", check: |code| finds_word(code, "thread::scope") },
     Rule { name: "instant-now", check: |code| finds_word(code, "Instant::now") },
     Rule { name: "systemtime-now", check: |code| finds_word(code, "SystemTime::now") },
+    Rule { name: "table-row", check: |code| finds_receiver_method(code, "table", "row") },
+    Rule { name: "table-value", check: |code| finds_receiver_method(code, "table", "value") },
 ];
 
 /// Rules that do not apply inside `crates/par`: the substrate is the one
 /// place allowed to touch `std::thread` directly.
 const PAR_ONLY_RULES: &[&str] = &["thread-spawn", "thread-scope"];
+
+/// Rules that apply **only** inside the hot-path library crates, where
+/// per-row `FeatureTable::row` / `FeatureTable::value` access (which
+/// allocates and dispatches through the schema per cell) must go through
+/// `FrozenTable` columnar views instead. Other crates — construction,
+/// simulation, I/O — may keep the convenient row-wise API.
+const HOT_PATH_ONLY_RULES: &[&str] = &["table-row", "table-value"];
+
+/// The crates whose library code sits on the per-pair / per-row kernels:
+/// similarity + graph construction, itemset mining, and LF application.
+const HOT_PATH_CRATES: &[&str] =
+    &["crates/featurespace", "crates/propagation", "crates/mining", "crates/labelmodel"];
 
 /// One lint rule: a stable name (used by the allow pragma) plus a matcher
 /// over stripped code.
@@ -105,6 +119,26 @@ fn finds_macro(code: &str, name: &str) -> bool {
             return true;
         }
         from = at + needle.len();
+    }
+    false
+}
+
+/// True when `code` calls `.method(` on a receiver identifier named
+/// `recv` (boundary-checked on both sides, so `ftable.row(`,
+/// `table.rows(`, and `table().row(` never match).
+fn finds_receiver_method(code: &str, recv: &str, method: &str) -> bool {
+    let needle = format!("{recv}.{method}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let at = from + pos;
+        let end = at + needle.len();
+        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
+        let next_ident = code[end..].chars().next().is_some_and(is_ident);
+        let then_call = code[end..].trim_start().starts_with('(');
+        if !prev_ident && !next_ident && then_call {
+            return true;
+        }
+        from = end;
     }
     false
 }
@@ -334,6 +368,10 @@ pub fn run(root: &Path) -> Vec<Finding> {
         }
     }
     findings.retain(|f| !(f.file.starts_with("crates/par") && PAR_ONLY_RULES.contains(&f.rule)));
+    findings.retain(|f| {
+        !HOT_PATH_ONLY_RULES.contains(&f.rule)
+            || HOT_PATH_CRATES.iter().any(|c| f.file.starts_with(c))
+    });
     findings
 }
 
@@ -386,6 +424,38 @@ mod tests {
     #[test]
     fn thread_rules_are_pragma_waivable() {
         assert!(rules_hit("std::thread::spawn(f); // lint: allow(thread-spawn)").is_empty());
+    }
+
+    #[test]
+    fn table_row_access_is_flagged_and_waivable() {
+        assert_eq!(rules_hit("let r = table.row(i);"), vec!["table-row"]);
+        assert_eq!(rules_hit("let v = table.value(r, c);"), vec!["table-value"]);
+        assert_eq!(rules_hit("let r = self.table.row(i);"), vec!["table-row"]);
+        // Boundary checks: different receiver, different method, or a
+        // call-producing receiver never match.
+        assert!(rules_hit("let r = ftable.row(i);").is_empty());
+        assert!(rules_hit("let r = table.rows();").is_empty());
+        assert!(rules_hit("let r = frozen.table().row(i);").is_empty());
+        assert!(rules_hit("let r = table.row_count;").is_empty());
+        // And the pragma waives it in place.
+        assert!(rules_hit("let r = table.row(i); // lint: allow(table-row)").is_empty());
+    }
+
+    #[test]
+    fn table_rules_apply_only_to_hot_path_crates() {
+        let hot = Finding {
+            rule: "table-row",
+            file: PathBuf::from("crates/mining/src/apriori.rs"),
+            line: 1,
+            snippet: String::new(),
+        };
+        let cold = Finding { file: PathBuf::from("crates/orgsim/src/dataset.rs"), ..hot.clone() };
+        let in_scope = |f: &Finding| {
+            !HOT_PATH_ONLY_RULES.contains(&f.rule)
+                || HOT_PATH_CRATES.iter().any(|c| f.file.starts_with(c))
+        };
+        assert!(in_scope(&hot));
+        assert!(!in_scope(&cold));
     }
 
     #[test]

@@ -39,4 +39,9 @@ CM_FAULTS="$FAULT_SPEC" CM_THREADS=4 cargo run -q --release --example fault_dril
 diff /tmp/cm_fault_drill_t1.out /tmp/cm_fault_drill_t4.out
 echo "    fault drill output identical across thread counts"
 
+echo "==> bench smoke: kernels group, 1 sample"
+# Executes every columnar hot-path kernel benchmark once (compile +
+# run guard only; timings at this sample size are meaningless).
+CM_BENCH_SAMPLES=1 cargo bench -q -p cm-bench --bench substrates -- kernels
+
 echo "ci: all gates passed"
