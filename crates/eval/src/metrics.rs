@@ -68,7 +68,7 @@ pub fn roc_auc(scores: &[f64], positives: &[bool]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Average ranks over tie groups.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;

@@ -23,7 +23,7 @@ pub fn pr_curve(scores: &[f64], positives: &[bool]) -> Vec<PrPoint> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut curve = Vec::new();
     let mut tp = 0usize;

@@ -70,7 +70,7 @@ pub fn softmax_in_place(x: &mut [f32]) {
     if x.is_empty() {
         return;
     }
-    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = x.iter().copied().max_by(f32::total_cmp).unwrap_or(f32::NEG_INFINITY);
     let mut sum = 0.0f64;
     for v in x.iter_mut() {
         *v = (*v - max).exp();

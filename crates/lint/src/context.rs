@@ -1,0 +1,559 @@
+//! Structural analysis over the token stream: the "lightweight parser"
+//! between the lexer and the passes.
+//!
+//! From one sweep over a file's tokens this derives everything the
+//! semantic passes need that single tokens cannot express:
+//!
+//! - which tokens sit inside a `#[cfg(test)]` item (test code is exempt
+//!   from every rule),
+//! - `use`-alias resolution for the hash-ordered collection types the
+//!   nondeterministic-iteration pass watches (`use std::collections::
+//!   HashMap as Map` makes `Map` watched; `type Index = HashMap<…>` too),
+//! - the set of local names whose declared type is hash-ordered: `let`
+//!   bindings (by annotation, by `HashMap::new()`-style initializer, by
+//!   `collect::<HashMap<…>>()` turbofish, or by calling a same-file `fn`
+//!   whose return type is watched), `fn` parameters, and struct fields,
+//! - every `lint: allow` waiver pragma with the line it
+//!   targets, for waiver application and the staleness audit.
+//!
+//! The tracking is deliberately per-file and name-based — a lint, not a
+//! type checker. Imprecision is resolved by the waiver mechanism, whose
+//! audit guarantees that any over-waiving rots loudly.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// The hash-ordered std collections whose iteration order is
+/// nondeterministic across runs.
+pub const WATCHED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// One `lint: allow` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule names listed in the pragma, in order.
+    pub rules: Vec<String>,
+    /// 1-based line of the pragma comment itself.
+    pub line: u32,
+    /// 1-based column of the pragma comment.
+    pub col: u32,
+    /// The line whose findings this pragma waives: its own line when code
+    /// precedes the comment, otherwise the next line holding code. `None`
+    /// when no code follows (a trailing pragma waives nothing).
+    pub target_line: Option<u32>,
+}
+
+/// Everything the passes need to know about one file beyond raw tokens.
+#[derive(Debug, Default)]
+pub struct FileContext {
+    /// Indices (into the token stream) of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Parallel to the token stream: true inside `#[cfg(test)]` items.
+    pub test_mask: Vec<bool>,
+    /// Local names (`use` aliases and `type` aliases included) that
+    /// denote a watched hash-ordered type.
+    pub watched_types: BTreeSet<String>,
+    /// `let`/parameter names whose type resolved to a watched type.
+    pub watched_bindings: BTreeSet<String>,
+    /// Struct field names whose declared type is watched.
+    pub watched_fields: BTreeSet<String>,
+    /// Same-file functions whose return type is watched.
+    pub watched_fns: BTreeSet<String>,
+    /// All waiver pragmas in the file.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl FileContext {
+    /// True when the local name denotes a watched hash-ordered type.
+    pub fn is_watched_type(&self, name: &str) -> bool {
+        self.watched_types.contains(name)
+    }
+}
+
+/// Runs the full structural analysis.
+pub fn analyze(toks: &[Tok]) -> FileContext {
+    let mut ctx = FileContext {
+        code: toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_comment())
+            .map(|(i, _)| i)
+            .collect(),
+        test_mask: vec![false; toks.len()],
+        ..FileContext::default()
+    };
+    for w in WATCHED_TYPES {
+        ctx.watched_types.insert((*w).to_owned());
+    }
+    mark_test_regions(toks, &mut ctx);
+    collect_aliases(toks, &mut ctx);
+    collect_items(toks, &mut ctx);
+    collect_pragmas(toks, &mut ctx);
+    ctx
+}
+
+/// View helpers over the code-token index list.
+struct Code<'a> {
+    toks: &'a [Tok],
+    code: &'a [usize],
+}
+
+impl<'a> Code<'a> {
+    fn at(&self, j: usize) -> Option<&'a Tok> {
+        self.code.get(j).map(|&i| &self.toks[i])
+    }
+
+    fn is_punct(&self, j: usize, c: char) -> bool {
+        self.at(j).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_ident(&self, j: usize, name: &str) -> bool {
+        self.at(j).is_some_and(|t| t.is_ident(name))
+    }
+
+    /// Index of the code token matching the closing delimiter for the
+    /// opener at `j` (which must be `(`, `[`, or `{`).
+    fn matching_close(&self, j: usize) -> Option<usize> {
+        let (open, close) = match self.at(j)?.text.chars().next()? {
+            '(' => ('(', ')'),
+            '[' => ('[', ']'),
+            '{' => ('{', '}'),
+            _ => return None,
+        };
+        let mut depth = 0i64;
+        for k in j..self.code.len() {
+            if self.is_punct(k, open) {
+                depth += 1;
+            } else if self.is_punct(k, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Marks `test_mask` for every token inside an item annotated
+/// `#[cfg(test)]` (or any `cfg(…)` whose arguments mention `test` without
+/// `not`). Handles attribute stacks and `mod tests;` declarations.
+fn mark_test_regions(toks: &[Tok], ctx: &mut FileContext) {
+    let code = Code { toks, code: &ctx.code };
+    let mut pending_test = false;
+    let mut j = 0usize;
+    while let Some(tok) = code.at(j) {
+        if tok.is_punct('#') && code.is_punct(j + 1, '[') {
+            let close = code.matching_close(j + 1).unwrap_or(j + 1);
+            pending_test = pending_test || attr_is_cfg_test(&code, j + 2, close);
+            j = close + 1;
+            continue;
+        }
+        if pending_test {
+            if tok.is_punct('{') {
+                let close = code.matching_close(j).unwrap_or(ctx.code.len() - 1);
+                for &i in &ctx.code[j..=close.min(ctx.code.len() - 1)] {
+                    ctx.test_mask[i] = true;
+                }
+                // Comments inside the region are test code too (their
+                // pragmas must not be audited).
+                let (start_b, end_b) = (toks[ctx.code[j]].byte, toks[ctx.code[close]].end);
+                for (i, t) in toks.iter().enumerate() {
+                    if t.kind.is_comment() && t.byte >= start_b && t.end <= end_b {
+                        ctx.test_mask[i] = true;
+                    }
+                }
+                pending_test = false;
+                j = close + 1;
+                continue;
+            }
+            if tok.is_punct(';') {
+                pending_test = false; // `#[cfg(test)] mod tests;`
+            }
+        }
+        j += 1;
+    }
+}
+
+/// True when the attribute body `code[from..close]` is a `cfg` whose
+/// arguments mention `test` and not `not`.
+fn attr_is_cfg_test(code: &Code<'_>, from: usize, close: usize) -> bool {
+    if !code.is_ident(from, "cfg") {
+        return false;
+    }
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for j in from + 1..close {
+        if code.is_ident(j, "test") {
+            saw_test = true;
+        }
+        if code.is_ident(j, "not") {
+            saw_not = true;
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Collects `use` aliases and `type` aliases that bind a local name to a
+/// watched type.
+fn collect_aliases(toks: &[Tok], ctx: &mut FileContext) {
+    let code = Code { toks, code: &ctx.code };
+    // Aliases chain (`use HashMap as Map; type Index = Map<…>;`) and may
+    // be declared in any order, so sweep to a fixpoint.
+    loop {
+        let before = ctx.watched_types.len();
+        let mut new_names: Vec<String> = Vec::new();
+        let mut j = 0usize;
+        while let Some(tok) = code.at(j) {
+            if tok.is_ident("use") {
+                let end = stmt_end(&code, j + 1);
+                use_tree_leaves(&code, j + 1, end, &mut new_names);
+                j = end + 1;
+                continue;
+            }
+            if tok.is_ident("type") && code.at(j + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                let end = stmt_end(&code, j + 1);
+                let eq = (j + 2..end).find(|&k| code.is_punct(k, '='));
+                if let (Some(name), Some(eq)) = (code.at(j + 1), eq) {
+                    if type_is_watched(&code, eq + 1, end, &ctx.watched_types) {
+                        new_names.push(name.ident_text().to_owned());
+                    }
+                }
+                j = end + 1;
+                continue;
+            }
+            j += 1;
+        }
+        ctx.watched_types.extend(new_names);
+        if ctx.watched_types.len() == before {
+            break;
+        }
+    }
+}
+
+/// Index of the `;` ending the statement starting at `from` (at bracket
+/// depth zero), or the last code index if unterminated.
+fn stmt_end(code: &Code<'_>, from: usize) -> usize {
+    let mut depth = 0i64;
+    for k in from..code.code.len() {
+        for c in ['(', '[', '{'] {
+            if code.is_punct(k, c) {
+                depth += 1;
+            }
+        }
+        for c in [')', ']', '}'] {
+            if code.is_punct(k, c) {
+                depth -= 1;
+            }
+        }
+        if depth <= 0 && code.is_punct(k, ';') {
+            return k;
+        }
+    }
+    code.code.len().saturating_sub(1)
+}
+
+/// Walks a `use` tree between `from` and `end`, pushing the bound name of
+/// every leaf whose final path segment is a watched base type. Handles
+/// nested groups and `as` renames: the bound name is the alias when
+/// present, else the leaf segment.
+fn use_tree_leaves(code: &Code<'_>, from: usize, end: usize, out: &mut Vec<String>) {
+    let mut last_seg: Option<String> = None;
+    let mut alias: Option<String> = None;
+    let mut in_alias = false;
+    let mut flush = |last_seg: &mut Option<String>, alias: &mut Option<String>| {
+        if let Some(seg) = last_seg.take() {
+            if WATCHED_TYPES.contains(&seg.as_str()) {
+                out.push(alias.take().unwrap_or(seg));
+            }
+        }
+        *alias = None;
+    };
+    let mut j = from;
+    while j < end {
+        let Some(tok) = code.at(j) else { break };
+        if tok.is_ident("as") {
+            in_alias = true;
+        } else if tok.kind == TokKind::Ident {
+            if in_alias {
+                alias = Some(tok.ident_text().to_owned());
+                in_alias = false;
+            } else {
+                last_seg = Some(tok.ident_text().to_owned());
+            }
+        } else if tok.is_punct(',') || tok.is_punct('}') {
+            flush(&mut last_seg, &mut alias);
+        } else if tok.is_punct('{') {
+            // Group: the prefix so far applies to each element; recursion
+            // is not needed because only leaf segments matter.
+            last_seg = None;
+        }
+        j += 1;
+    }
+    flush(&mut last_seg, &mut alias);
+}
+
+/// True when the type spelled by `code[from..end]` has a watched type
+/// name at top level (`HashMap<K, V>` yes; `Vec<HashMap<…>>` and
+/// `&[HashMap<…>]` no — iterating the outer Vec/slice is order-stable).
+fn type_is_watched(code: &Code<'_>, from: usize, end: usize, watched: &BTreeSet<String>) -> bool {
+    let mut angle = 0i64;
+    let mut bracket = 0i64;
+    for k in from..end {
+        let Some(tok) = code.at(k) else { break };
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') && !code.is_punct(k.wrapping_sub(1), '-') {
+            angle = (angle - 1).max(0); // `->` must not close an angle
+        } else if tok.is_punct('[') {
+            bracket += 1;
+        } else if tok.is_punct(']') {
+            bracket = (bracket - 1).max(0);
+        } else if angle == 0
+            && bracket == 0
+            && tok.kind == TokKind::Ident
+            && watched.contains(tok.ident_text())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects watched `fn` returns and parameters, struct fields, and `let`
+/// bindings. Runs after [`collect_aliases`] so local aliases resolve.
+fn collect_items(toks: &[Tok], ctx: &mut FileContext) {
+    let code = Code { toks, code: &ctx.code };
+    let mut bindings: BTreeSet<String> = BTreeSet::new();
+    let mut fields: BTreeSet<String> = BTreeSet::new();
+    let mut fns: BTreeSet<String> = BTreeSet::new();
+
+    // Sweep 1: function signatures and struct fields, so calls and field
+    // accesses resolve regardless of declaration order.
+    let mut j = 0usize;
+    while let Some(tok) = code.at(j) {
+        if tok.is_ident("fn") && code.at(j + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = code.at(j + 1).map(|t| t.ident_text().to_owned());
+            if let Some(open) = find_at_angle_depth0(&code, j + 2, '(') {
+                let close = code.matching_close(open).unwrap_or(open);
+                collect_typed_names(&code, open + 1, close, &ctx.watched_types, &mut bindings);
+                // Return type: `-> T` up to the body `{`, a `;`, or `where`.
+                if code.is_punct(close + 1, '-') && code.is_punct(close + 2, '>') {
+                    let stop = (close + 3..code.code.len())
+                        .find(|&k| {
+                            code.is_punct(k, '{')
+                                || code.is_punct(k, ';')
+                                || code.is_ident(k, "where")
+                        })
+                        .unwrap_or(code.code.len());
+                    if type_is_watched(&code, close + 3, stop, &ctx.watched_types) {
+                        if let Some(name) = name {
+                            fns.insert(name);
+                        }
+                    }
+                }
+                j = close + 1;
+                continue;
+            }
+        }
+        if tok.is_ident("struct") {
+            if let Some(open) = (j + 1..code.code.len()).find(|&k| {
+                angle_depth0(&code, j + 1, k)
+                    && (code.is_punct(k, '{') || code.is_punct(k, ';') || code.is_punct(k, '('))
+            }) {
+                if code.is_punct(open, '{') {
+                    let close = code.matching_close(open).unwrap_or(open);
+                    collect_typed_names(&code, open + 1, close, &ctx.watched_types, &mut fields);
+                    j = close + 1;
+                    continue;
+                }
+                j = open + 1;
+                continue;
+            }
+        }
+        j += 1;
+    }
+
+    // Sweep 2: let bindings.
+    let mut j = 0usize;
+    while let Some(tok) = code.at(j) {
+        if !tok.is_ident("let") {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        while code.is_ident(k, "mut") {
+            k += 1;
+        }
+        let Some(name) = code.at(k).filter(|t| t.kind == TokKind::Ident) else {
+            j += 1;
+            continue; // tuple/struct pattern: not tracked
+        };
+        let name = name.ident_text().to_owned();
+        let end = stmt_end(&code, k + 1);
+        let eq = (k + 1..end).find(|&q| code.is_punct(q, '='));
+        let watched = if code.is_punct(k + 1, ':') {
+            // Annotated: `let x: HashMap<…> = …`.
+            type_is_watched(&code, k + 2, eq.unwrap_or(end), &ctx.watched_types)
+        } else if let Some(eq) = eq {
+            init_is_watched(&code, eq + 1, end, ctx, &fns)
+        } else {
+            false
+        };
+        if watched {
+            bindings.insert(name);
+        }
+        j = end + 1;
+    }
+
+    ctx.watched_bindings.extend(bindings);
+    ctx.watched_fields.extend(fields);
+    ctx.watched_fns.extend(fns);
+}
+
+/// First index `>= from` where `what` occurs at angle-bracket depth zero
+/// (so the `(` of a `Fn(…)` bound inside generics is never picked as a
+/// parameter-list opener).
+fn find_at_angle_depth0(code: &Code<'_>, from: usize, what: char) -> Option<usize> {
+    (from..code.code.len()).find(|&k| angle_depth0(code, from, k) && code.is_punct(k, what))
+}
+
+/// True when position `k` sits at angle-bracket depth zero relative to
+/// `from`.
+fn angle_depth0(code: &Code<'_>, from: usize, k: usize) -> bool {
+    let mut angle = 0i64;
+    for q in from..k {
+        if code.is_punct(q, '<') {
+            angle += 1;
+        } else if code.is_punct(q, '>') && !code.is_punct(q.wrapping_sub(1), '-') {
+            angle = (angle - 1).max(0);
+        }
+    }
+    angle == 0
+}
+
+/// Scans `name : Type` pairs between `from` and `end` (a parameter list
+/// or struct body) and records names whose type is watched at top level.
+fn collect_typed_names(
+    code: &Code<'_>,
+    from: usize,
+    end: usize,
+    watched: &BTreeSet<String>,
+    out: &mut BTreeSet<String>,
+) {
+    let mut j = from;
+    while j < end {
+        let name_ok = code.at(j).is_some_and(|t| t.kind == TokKind::Ident)
+            && code.is_punct(j + 1, ':')
+            && !code.is_punct(j + 2, ':'); // skip `path::segment`
+        if !name_ok {
+            j += 1;
+            continue;
+        }
+        // The type runs to the next `,` at depth 0 relative to here.
+        let mut depth = 0i64;
+        let mut stop = end;
+        for k in j + 2..end {
+            for c in ['(', '[', '{', '<'] {
+                if code.is_punct(k, c) {
+                    depth += 1;
+                }
+            }
+            for c in [')', ']', '}'] {
+                if code.is_punct(k, c) {
+                    depth -= 1;
+                }
+            }
+            if code.is_punct(k, '>') && !code.is_punct(k.wrapping_sub(1), '-') {
+                depth -= 1;
+            }
+            if depth <= 0 && code.is_punct(k, ',') {
+                stop = k;
+                break;
+            }
+        }
+        if type_is_watched(code, j + 2, stop, watched) {
+            if let Some(name) = code.at(j) {
+                out.insert(name.ident_text().to_owned());
+            }
+        }
+        j = stop + 1;
+    }
+}
+
+/// True when a `let` initializer `code[from..end]` evidently constructs a
+/// watched collection: `HashMap::new()`-style paths, a
+/// `collect::<HashMap<…>>()` turbofish, or a call to a same-file function
+/// whose return type is watched.
+fn init_is_watched(
+    code: &Code<'_>,
+    from: usize,
+    end: usize,
+    ctx: &FileContext,
+    fns: &BTreeSet<String>,
+) -> bool {
+    // `watched_fn(…)` call as the initializer head.
+    if let Some(tok) = code.at(from) {
+        if tok.kind == TokKind::Ident
+            && fns.contains(tok.ident_text())
+            && code.is_punct(from + 1, '(')
+        {
+            return true;
+        }
+    }
+    for k in from..end {
+        let Some(tok) = code.at(k) else { break };
+        // `HashMap::…` (alias-resolved) anywhere in the initializer.
+        if tok.kind == TokKind::Ident
+            && ctx.is_watched_type(tok.ident_text())
+            && code.is_punct(k + 1, ':')
+            && code.is_punct(k + 2, ':')
+        {
+            return true;
+        }
+        // `collect::<HashMap<…>>()` turbofish.
+        if tok.is_ident("collect")
+            && code.is_punct(k + 1, ':')
+            && code.is_punct(k + 2, ':')
+            && code.is_punct(k + 3, '<')
+            && code
+                .at(k + 4)
+                .is_some_and(|t| t.kind == TokKind::Ident && ctx.is_watched_type(t.ident_text()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts `lint: allow` pragmas (comma-separated rule lists) from
+/// comment tokens and
+/// computes each pragma's target line.
+fn collect_pragmas(toks: &[Tok], ctx: &mut FileContext) {
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.kind.is_comment() {
+            continue;
+        }
+        let Some(idx) = tok.text.find("lint: allow(") else { continue };
+        let rest = &tok.text[idx + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        // Code before the comment on its own line → waives that line;
+        // otherwise the next line holding any code token.
+        let own_line =
+            toks[..i].iter().rev().take_while(|t| t.line == tok.line).any(|t| !t.kind.is_comment());
+        let target_line = if own_line {
+            Some(tok.line)
+        } else {
+            toks.iter().filter(|t| !t.kind.is_comment() && t.line > tok.line).map(|t| t.line).next()
+        };
+        ctx.pragmas.push(Pragma { rules, line: tok.line, col: tok.col, target_line });
+    }
+}

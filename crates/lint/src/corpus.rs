@@ -1,0 +1,134 @@
+//! Seeded positive/negative corpus runner: the engine's self-test,
+//! mirroring `xtask validate --seeded-negatives`.
+//!
+//! A corpus directory holds paired files: `name.rs` (the input) and
+//! `name.expected` (the findings the engine must produce, one per line as
+//! `rule line col`, sorted by position; `#` comments and blank lines
+//! ignored). A missing or empty `.expected` file makes the input a
+//! *negative*: the engine must stay silent on it.
+//!
+//! An input may pin its virtual workspace path with a first-line
+//! directive `//@ path: crates/foo/src/bar.rs`, which drives the
+//! path-scoped rules (hot-path `table-*`, `crates/par` threading
+//! exemption) exactly as in a real run.
+
+use std::fs;
+use std::path::Path;
+
+use crate::{lint_source, LintConfig};
+
+/// Outcome of one corpus run.
+#[derive(Debug, Default)]
+pub struct CorpusOutcome {
+    /// Corpus inputs exercised.
+    pub files: usize,
+    /// Inputs that expect at least one finding.
+    pub positives: usize,
+    /// Inputs that expect silence.
+    pub negatives: usize,
+    /// Total findings expected (and, on success, produced).
+    pub expected_findings: usize,
+    /// Human-readable mismatch descriptions; empty means the self-test
+    /// passed.
+    pub errors: Vec<String>,
+}
+
+impl CorpusOutcome {
+    /// True when every expectation matched.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// One expected finding parsed from a `.expected` file.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Expected {
+    line: u32,
+    col: u32,
+    rule: String,
+}
+
+/// Runs the corpus at `dir` with the given scoping config.
+pub fn run_corpus(dir: &Path, cfg: &LintConfig) -> CorpusOutcome {
+    let mut out = CorpusOutcome::default();
+    let Ok(entries) = fs::read_dir(dir) else {
+        out.errors.push(format!("corpus directory {} is unreadable", dir.display()));
+        return out;
+    };
+    let mut inputs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    inputs.sort();
+    if inputs.is_empty() {
+        out.errors.push(format!("corpus directory {} holds no .rs inputs", dir.display()));
+        return out;
+    }
+    for input in inputs {
+        out.files += 1;
+        let name = input.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        let Ok(source) = fs::read_to_string(&input) else {
+            out.errors.push(format!("{name}: unreadable"));
+            continue;
+        };
+        let virtual_path = source
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path:"))
+            .map(|p| p.trim().to_owned())
+            .unwrap_or_else(|| name.clone());
+        let mut expected = read_expected(&input.with_extension("expected"), &mut out.errors, &name);
+        expected.sort();
+        if expected.is_empty() {
+            out.negatives += 1;
+        } else {
+            out.positives += 1;
+            out.expected_findings += expected.len();
+        }
+        let got: Vec<Expected> = lint_source(&source, Path::new(&virtual_path), cfg)
+            .into_iter()
+            .map(|f| Expected { line: f.line, col: f.col, rule: f.rule.to_owned() })
+            .collect();
+        for e in &expected {
+            if !got.contains(e) {
+                out.errors.push(format!(
+                    "{name}: expected [{}] at {}:{} but the engine was silent there",
+                    e.rule, e.line, e.col
+                ));
+            }
+        }
+        for g in &got {
+            if !expected.contains(g) {
+                out.errors.push(format!("{name}: unexpected [{}] at {}:{}", g.rule, g.line, g.col));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a `.expected` file; absence means a negative input.
+fn read_expected(path: &Path, errors: &mut Vec<String>, name: &str) -> Vec<Expected> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, l, c) = (parts.next(), parts.next(), parts.next());
+        match (rule, l.and_then(|v| v.parse().ok()), c.and_then(|v| v.parse().ok())) {
+            (Some(rule), Some(line), Some(col)) => {
+                out.push(Expected { line, col, rule: rule.to_owned() });
+            }
+            _ => errors.push(format!(
+                "{name}: malformed expectation on line {} (want `rule line col`): {line}",
+                i + 1
+            )),
+        }
+    }
+    out
+}

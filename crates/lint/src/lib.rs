@@ -1,0 +1,252 @@
+//! # cm-lint
+//!
+//! The span-aware semantic lint engine behind `xtask lint` — layer 1 of
+//! the static-analysis gate, rebuilt from a per-line token scanner into a
+//! real lexer (`lexer`), a lightweight structural analysis (`context`),
+//! and semantic passes (`passes`) the old scanner could not express:
+//!
+//! - **nondet-iteration** — hash-ordered `HashMap`/`HashSet` iteration
+//!   (through `use`/`type` aliases, fields, parameters, and same-file
+//!   constructor functions) in library code, where order can feed float
+//!   reductions and break the bit-identity suites;
+//! - **float-ordering** — `partial_cmp` comparators and `f64::max`-style
+//!   fold functions that must use `total_cmp`;
+//! - the original token bans (`unwrap`, `expect`, `panic!`, threading,
+//!   wall-clock, `table.row`), now matched across line breaks;
+//! - **stale-waiver** — every `lint: allow` waiver pragma must suppress
+//!   at least one finding, so waivers rot loudly instead of silently.
+//!
+//! Scope mirrors the old gate: library-crate non-test code under
+//! `crates/*/src`, with tests/benches/examples/binaries exempt,
+//! `crates/par` exempt from the threading bans, and the `table-*` rules
+//! restricted to the hot-path crates. Findings carry byte-accurate
+//! line/column positions and render as `file:line:col: [rule] message`;
+//! [`report::report_json`] emits the deterministic machine report.
+
+pub mod context;
+pub mod corpus;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use report::{report_json, Finding};
+
+use passes::{PassInput, RawFinding};
+
+/// The rule name emitted by the waiver audit.
+pub const STALE_WAIVER_RULE: &str = "stale-waiver";
+
+/// Every rule the engine can emit, in stable order (bans, then the
+/// semantic passes, then the audit).
+pub fn all_rules() -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = passes::bans::RULES.to_vec();
+    rules.push(passes::nondet_iter::RULE);
+    rules.push(passes::float_order::RULE);
+    rules.push(STALE_WAIVER_RULE);
+    rules
+}
+
+/// Path-scoping configuration: which crates are exempt from which rules.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path prefixes where the raw-threading bans do not apply (the
+    /// parallel substrate is the one place allowed to touch
+    /// `std::thread`).
+    pub thread_exempt: Vec<PathBuf>,
+    /// Path prefixes where the `table-row`/`table-value` rules apply (the
+    /// hot-path crates that must use FrozenTable columnar views); the
+    /// rules are off everywhere else.
+    pub hot_path_crates: Vec<PathBuf>,
+}
+
+/// Rules that do not apply inside the thread-exempt crates.
+const THREAD_RULES: &[&str] = &["thread-spawn", "thread-scope"];
+
+/// Rules that apply only inside the hot-path crates.
+const HOT_PATH_RULES: &[&str] = &["table-row", "table-value"];
+
+impl LintConfig {
+    /// The repository's scoping: `crates/par` owns raw threading; the
+    /// kernel crates must stay columnar.
+    pub fn repo_default() -> Self {
+        LintConfig {
+            thread_exempt: vec![PathBuf::from("crates/par")],
+            hot_path_crates: [
+                "crates/featurespace",
+                "crates/propagation",
+                "crates/mining",
+                "crates/labelmodel",
+            ]
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
+        }
+    }
+
+    /// True when `rule` is enforced for the file at `path`.
+    fn rule_applies(&self, rule: &str, path: &Path) -> bool {
+        if THREAD_RULES.contains(&rule) && self.thread_exempt.iter().any(|p| path.starts_with(p)) {
+            return false;
+        }
+        if HOT_PATH_RULES.contains(&rule)
+            && !self.hot_path_crates.iter().any(|p| path.starts_with(p))
+        {
+            return false;
+        }
+        true
+    }
+}
+
+/// Lints one source text. `file` labels findings and drives the
+/// path-scoped rules; pass a workspace-relative path. Returned findings
+/// are sorted by position and already have waivers applied and audited.
+pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> {
+    let toks = lexer::lex(source);
+    let ctx = context::analyze(&toks);
+    let input = PassInput { toks: &toks, ctx: &ctx };
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    raw.extend(passes::bans::run(&input));
+    raw.extend(passes::nondet_iter::run(&input));
+    raw.extend(passes::float_order::run(&input));
+
+    // Resolve anchors, drop test-region and path-exempt findings.
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|r| !ctx.test_mask[r.tok])
+        .filter(|r| cfg.rule_applies(r.rule, file))
+        .map(|r| {
+            let t = &toks[r.tok];
+            Finding {
+                rule: r.rule,
+                file: file.to_path_buf(),
+                line: t.line,
+                col: t.col,
+                message: r.message,
+            }
+        })
+        .collect();
+
+    // Waiver application: a pragma waives findings of its listed rules on
+    // its target line. Each (pragma, rule) pair must earn its keep.
+    let mut used: Vec<Vec<bool>> = ctx.pragmas.iter().map(|p| vec![false; p.rules.len()]).collect();
+    findings.retain(|f| {
+        let mut waived = false;
+        for (pi, p) in ctx.pragmas.iter().enumerate() {
+            if p.target_line != Some(f.line) {
+                continue;
+            }
+            for (ri, r) in p.rules.iter().enumerate() {
+                if r == f.rule {
+                    used[pi][ri] = true;
+                    waived = true;
+                }
+            }
+        }
+        !waived
+    });
+
+    // Waiver audit. Pragmas inside test regions are not audited (the code
+    // they sit in is exempt wholesale); everywhere else a pragma that
+    // suppressed nothing is itself a finding.
+    let test_lines: std::collections::BTreeSet<u32> =
+        toks.iter().enumerate().filter(|(i, _)| ctx.test_mask[*i]).map(|(_, t)| t.line).collect();
+    for (pi, p) in ctx.pragmas.iter().enumerate() {
+        if test_lines.contains(&p.line) {
+            continue;
+        }
+        for (ri, r) in p.rules.iter().enumerate() {
+            if !used[pi][ri] {
+                findings.push(Finding {
+                    rule: STALE_WAIVER_RULE,
+                    file: file.to_path_buf(),
+                    line: p.line,
+                    col: p.col,
+                    message: format!("waiver `lint: allow({r})` suppresses no finding; delete it"),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(Finding::sort_key_cmp);
+    findings
+}
+
+/// True when `path` belongs to a zone where panicking is idiomatic:
+/// tests, benches, examples, or binary targets.
+pub fn is_exempt_path(path: &Path) -> bool {
+    let mut comps = path.components().peekable();
+    while let Some(c) = comps.next() {
+        let name = c.as_os_str().to_string_lossy();
+        if name == "tests" || name == "benches" || name == "examples" {
+            return true;
+        }
+        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "bin") {
+            return true;
+        }
+        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "main.rs") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects the workspace `.rs` files the lint applies to: everything
+/// under `crates/*/src` that is not in an exempt zone. Crates without a
+/// `src/lib.rs` are binary crates and fully exempt.
+pub fn collect_lint_targets(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates) else {
+        return out;
+    };
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        if !dir.join("src/lib.rs").exists() {
+            continue;
+        }
+        let mut stack = vec![dir.join("src")];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = fs::read_dir(&d) else { continue };
+            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            paths.sort();
+            for p in paths {
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let rel = p.strip_prefix(root).unwrap_or(&p);
+                    if !is_exempt_path(rel) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs the lint over the workspace rooted at `root`; returns all
+/// findings sorted by (file, line, col, rule), plus the number of files
+/// scanned. Empty findings means the gate passes.
+pub fn run(root: &Path, cfg: &LintConfig) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let targets = collect_lint_targets(root);
+    let scanned = targets.len();
+    for path in targets {
+        match fs::read_to_string(&path) {
+            Ok(source) => {
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                findings.extend(lint_source(&source, &rel, cfg));
+            }
+            Err(e) => eprintln!("lint: skipping unreadable {}: {e}", path.display()),
+        }
+    }
+    findings.sort_by(Finding::sort_key_cmp);
+    (findings, scanned)
+}

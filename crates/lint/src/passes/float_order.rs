@@ -1,0 +1,60 @@
+//! Float-ordering pass.
+//!
+//! Two shapes that make float comparisons order- or NaN-sensitive:
+//!
+//! 1. `partial_cmp`-based comparators (`sort_by(|a, b|
+//!    a.partial_cmp(b).unwrap_or(Equal))`): NaN compares `Equal` to
+//!    everything, which silently violates strict-weak ordering and makes
+//!    the sorted order depend on the input permutation — exactly what the
+//!    serial≡parallel bit-identity suites must not see. `f32`/`f64`
+//!    implement `total_cmp`, which is a true total order; use it.
+//! 2. `fold(init, f64::max)` / `reduce(f32::min)`-style folds that pass
+//!    the asymmetric NaN-dropping `max`/`min` as a function value; use
+//!    `max_by(f64::total_cmp)` / `min_by(…)` instead.
+//!
+//! A direct two-argument call like `f64::max(a, b)` or `a.max(b)` is not
+//! flagged: with explicit operands the result does not depend on an
+//! iteration order.
+
+use super::{PassInput, RawFinding};
+
+/// The rule name.
+pub const RULE: &str = "float-ordering";
+
+/// Runs the pass.
+pub fn run(input: &PassInput<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for j in 0..input.ctx.code.len() {
+        let Some(tok) = input.at(j) else { break };
+        // Shape 1: `.partial_cmp(`.
+        if tok.is_punct('.') && input.ident(j + 1, "partial_cmp") && input.punct(j + 2, '(') {
+            out.push(RawFinding {
+                rule: RULE,
+                tok: input.tok_index(j),
+                message: "partial_cmp makes NaN compare Equal and breaks strict-weak \
+                          ordering; use total_cmp"
+                    .to_owned(),
+            });
+        }
+        // Shape 2: `f64::max` / `f32::min` as a function value (not
+        // directly called).
+        if (tok.is_ident("f64") || tok.is_ident("f32"))
+            && input.path_sep(j + 1)
+            && (input.ident(j + 3, "max") || input.ident(j + 3, "min"))
+            && !input.punct(j + 4, '(')
+        {
+            let ty = tok.ident_text();
+            let m = input.at(j + 3).map_or(String::new(), |t| t.ident_text().to_owned());
+            out.push(RawFinding {
+                rule: RULE,
+                tok: input.tok_index(j),
+                message: format!(
+                    "`{ty}::{m}` as a fold function drops NaN asymmetrically; use \
+                     `{}_by({ty}::total_cmp)`",
+                    m
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,61 @@
+//! The semantic lint passes.
+//!
+//! Each pass scans one file's code-token view (comments filtered out, so
+//! a call split across lines or interleaved with comments still matches)
+//! and emits raw findings anchored to a token index. The engine in
+//! `lib.rs` turns anchors into line/column positions, drops findings in
+//! `#[cfg(test)]` regions, applies waiver pragmas, and audits them.
+
+pub mod bans;
+pub mod float_order;
+pub mod nondet_iter;
+
+use crate::context::FileContext;
+use crate::lexer::Tok;
+
+/// A finding before position resolution and waiver handling: the rule,
+/// the anchor token (index into the full token stream), and the message.
+#[derive(Debug)]
+pub struct RawFinding {
+    /// Rule name; doubles as the waiver key.
+    pub rule: &'static str,
+    /// Index into the token stream of the first matched token.
+    pub tok: usize,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// Shared pass input: the token stream plus the structural context.
+pub struct PassInput<'a> {
+    /// Full token stream (comments included).
+    pub toks: &'a [Tok],
+    /// Structural facts: code view, test regions, watched names, pragmas.
+    pub ctx: &'a FileContext,
+}
+
+impl<'a> PassInput<'a> {
+    /// Code-view token at position `j` (comments skipped), if any.
+    pub fn at(&self, j: usize) -> Option<&'a Tok> {
+        self.ctx.code.get(j).map(|&i| &self.toks[i])
+    }
+
+    /// True when code token `j` is the punctuation `c`.
+    pub fn punct(&self, j: usize, c: char) -> bool {
+        self.at(j).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// True when code token `j` is the identifier `name`.
+    pub fn ident(&self, j: usize, name: &str) -> bool {
+        self.at(j).is_some_and(|t| t.is_ident(name))
+    }
+
+    /// True when code tokens `j`/`j+1` spell the path separator `::`.
+    pub fn path_sep(&self, j: usize) -> bool {
+        self.punct(j, ':') && self.punct(j + 1, ':')
+    }
+
+    /// The token-stream index of code token `j`.
+    pub fn tok_index(&self, j: usize) -> usize {
+        self.ctx.code[j]
+    }
+}

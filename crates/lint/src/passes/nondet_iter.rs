@@ -1,0 +1,122 @@
+//! Nondeterministic-iteration pass.
+//!
+//! Iterating a `HashMap`/`HashSet` yields elements in an order that
+//! changes run to run (std's hasher is randomly seeded per process —
+//! and even with a fixed hasher, order is an implementation detail).
+//! When that order feeds a float reduction or an output sequence, it
+//! breaks the serial≡parallel and fault-seed bit-identity suites this
+//! repo's ROADMAP stakes its trust on. Library code must use
+//! `BTreeMap`/`BTreeSet`, sort before consuming, or carry a justified
+//! waiver.
+//!
+//! Detection is name-based, fed by the structural context: bindings,
+//! fields, and parameters whose declared type resolves (through `use`
+//! and `type` aliases) to a watched hash type, plus calls to same-file
+//! functions returning one. Two shapes are flagged:
+//!
+//! 1. an order-producing method on a watched name —
+//!    `counts.iter()`, `self.index.keys()`, `m.drain()`, …
+//! 2. a `for` loop over a bare watched name — `for (k, v) in &counts`.
+
+use super::{PassInput, RawFinding};
+use crate::lexer::TokKind;
+
+/// The rule name.
+pub const RULE: &str = "nondet-iteration";
+
+/// Methods whose result exposes hash-iteration order.
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Runs the pass.
+pub fn run(input: &PassInput<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let ctx = input.ctx;
+    for j in 0..ctx.code.len() {
+        let Some(tok) = input.at(j) else { break };
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Shape 1: `name.iter()` on a watched binding, or `x.field.keys()`
+        // on a watched field.
+        let name = tok.ident_text();
+        let after_dot = j >= 1 && input.punct(j - 1, '.');
+        let watched_here = (!after_dot && ctx.watched_bindings.contains(name))
+            || (after_dot && ctx.watched_fields.contains(name));
+        if watched_here
+            && input.punct(j + 1, '.')
+            && input.at(j + 2).is_some_and(|m| ORDER_METHODS.iter().any(|om| m.is_ident(om)))
+            && input.punct(j + 3, '(')
+        {
+            let method = input.at(j + 2).map_or(String::new(), |m| m.ident_text().to_owned());
+            out.push(RawFinding {
+                rule: RULE,
+                tok: input.tok_index(j),
+                message: format!(
+                    "`{name}.{method}()` iterates a hash-ordered collection; order is \
+                     nondeterministic — use BTreeMap/BTreeSet, sort first, or waive with \
+                     justification"
+                ),
+            });
+            continue;
+        }
+        // Shape 2: `for pat in &watched {`.
+        if tok.is_ident("for") {
+            if let Some(f) = check_for_loop(input, j) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Flags `for … in <expr> {` when `<expr>` is a bare (optionally
+/// referenced) watched binding or watched field path. Method-call shapes
+/// inside the expression are already covered by shape 1.
+fn check_for_loop(input: &PassInput<'_>, for_j: usize) -> Option<RawFinding> {
+    let ctx = input.ctx;
+    // Find the `in` keyword; the pattern between `for` and `in` contains
+    // no braces, and `in` cannot appear inside it.
+    let in_j = (for_j + 1..ctx.code.len().min(for_j + 24)).find(|&k| input.ident(k, "in"))?;
+    // The loop body `{` ends the iterated expression (struct literals are
+    // not allowed bare in a `for` head, so the first `{` is the body).
+    let body_j = (in_j + 1..ctx.code.len()).find(|&k| input.punct(k, '{'))?;
+    let mut k = in_j + 1;
+    while input.punct(k, '&') || input.ident(k, "mut") {
+        k += 1;
+    }
+    // The rest must be a pure `a.b.c` path ending at the body brace.
+    let first = k;
+    let mut last_ident: Option<usize> = None;
+    while k < body_j {
+        let tok = input.at(k)?;
+        match tok.kind {
+            TokKind::Ident => last_ident = Some(k),
+            TokKind::Punct if tok.is_punct('.') => {}
+            _ => return None,
+        }
+        k += 1;
+    }
+    let last = last_ident?;
+    let name = input.at(last)?.ident_text();
+    let is_field = last > first && input.punct(last - 1, '.');
+    let watched = (is_field && ctx.watched_fields.contains(name))
+        || (!is_field && ctx.watched_bindings.contains(name));
+    watched.then(|| RawFinding {
+        rule: RULE,
+        tok: input.tok_index(first),
+        message: format!(
+            "`for` over hash-ordered `{name}`; order is nondeterministic — use \
+             BTreeMap/BTreeSet, sort first, or waive with justification"
+        ),
+    })
+}

@@ -1,0 +1,80 @@
+//! Findings and the machine-readable report.
+//!
+//! Human diagnostics render as `file:line:col: [rule] message`; the JSON
+//! report is deterministic — findings sorted by (file, line, col, rule) —
+//! so successive runs diff cleanly.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::path::PathBuf;
+
+use cm_json::Json;
+
+/// One lint finding at an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `"nondet-iteration"`; also the waiver key.
+    pub rule: &'static str,
+    /// Source file (workspace-relative when produced by [`crate::run`]).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// The deterministic report order: file, then line, then column, then
+    /// rule name.
+    pub fn sort_key_cmp(&self, other: &Finding) -> Ordering {
+        self.file
+            .cmp(&other.file)
+            .then(self.line.cmp(&other.line))
+            .then(self.col.cmp(&other.col))
+            .then(self.rule.cmp(other.rule))
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Builds the machine-readable report object. `findings` must already be
+/// sorted (as [`crate::run`] guarantees).
+pub fn report_json(findings: &[Finding], files_scanned: usize) -> Json {
+    Json::obj([
+        ("version", Json::Num(1.0)),
+        ("tool", Json::Str("cm-lint".to_owned())),
+        ("files_scanned", Json::Num(files_scanned as f64)),
+        ("finding_count", Json::Num(findings.len() as f64)),
+        (
+            "findings",
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("file", Json::Str(f.file.display().to_string())),
+                            ("line", Json::Num(f64::from(f.line))),
+                            ("col", Json::Num(f64::from(f.col))),
+                            ("rule", Json::Str(f.rule.to_owned())),
+                            ("message", Json::Str(f.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

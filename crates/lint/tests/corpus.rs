@@ -1,0 +1,21 @@
+//! Runs the seeded corpus — the same fixtures `xtask lint --self-test`
+//! uses — as a cargo test, so `cargo test` alone proves the engine still
+//! matches every pinned expectation.
+
+use std::path::Path;
+
+use cm_lint::corpus::run_corpus;
+use cm_lint::LintConfig;
+
+#[test]
+fn corpus_matches_pinned_expectations() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let outcome = run_corpus(&dir, &LintConfig::repo_default());
+    assert!(outcome.passed(), "corpus mismatches:\n{}", outcome.errors.join("\n"));
+    // The corpus must stay substantial: every pass needs positives and
+    // the issue requires at least three negatives per pass.
+    assert!(outcome.files >= 17, "corpus shrank to {} files", outcome.files);
+    assert!(outcome.positives >= 6, "only {} positive fixtures", outcome.positives);
+    assert!(outcome.negatives >= 11, "only {} negative fixtures", outcome.negatives);
+    assert!(outcome.expected_findings >= 30, "only {} pinned findings", outcome.expected_findings);
+}

@@ -1,0 +1,17 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (nondet-iteration): ordered collections iterate
+// deterministically and must stay silent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn f() -> usize {
+    let m: BTreeMap<String, u32> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    let mut total = 0;
+    for (k, v) in &m {
+        total += k.len() + *v as usize;
+    }
+    total += m.keys().count();
+    total += s.iter().count();
+    total
+}

@@ -1,0 +1,31 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (bans): `#[cfg(test)]` items are exempt — panicking on
+// a violated expectation is exactly right there. Both the block-bodied
+// module and the out-of-line declaration form must be recognized.
+
+pub fn lib_code(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests_elsewhere;
+
+#[cfg(test)]
+#[allow(dead_code)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            assert!(k <= v);
+        }
+        let mut scores = vec![1.0f64];
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if x == 0 {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (float-ordering): two-argument max/min calls have
+// explicit operands — no iteration order can leak into the result — and
+// the MAX/MIN consts are not the functions.
+
+pub fn f(a: f64, b: f64) -> f64 {
+    let direct = f64::max(a, b);
+    let method = a.max(b).min(direct);
+    let clamped = method.clamp(f64::MIN, f64::MAX);
+    clamped
+}

@@ -1,0 +1,18 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (bans): identifier boundaries — fallible siblings and
+// lookalike names never match the banned tokens.
+
+pub fn f(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap_or(0);
+    let b = v.unwrap_or_else(|| 1);
+    let c = v.unwrap_or_default();
+    let d = r.clone().unwrap_err().len() as u32;
+    let e = r.expect_err("want err").len() as u32;
+    eprintln!("diagnostic output is fine");
+    core::panicking();
+    my_thread::spawn(|| 2);
+    let pool = Pool::new();
+    let _s = pool.spawn(|| 3);
+    let _t = MyInstant::now_ish();
+    a + b + c + d + e
+}

@@ -1,0 +1,22 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (nondet-iteration): point lookups, membership tests,
+// inserts, and length reads on hash collections are order-free.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn f(keys: &[String]) -> usize {
+    let mut m: HashMap<String, u32> = HashMap::new();
+    let mut s: HashSet<u32> = HashSet::new();
+    for k in keys {
+        m.insert(k.clone(), 1);
+        s.insert(k.len() as u32);
+    }
+    let mut total = 0;
+    for i in 0..m.len() {
+        total += i;
+    }
+    if m.contains_key("x") && s.contains(&3) {
+        total += m.get("x").copied().unwrap_or(0) as usize;
+    }
+    total + s.len()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (float-ordering): integer ordering is total already —
+// Ord-based sorts, folds, and std::cmp helpers stay silent.
+
+pub fn f(xs: &mut [i64]) -> i64 {
+    xs.sort_unstable();
+    let hi = xs.iter().copied().max().unwrap_or(0);
+    let lo = xs.iter().copied().fold(i64::MAX, i64::min);
+    std::cmp::max(hi, lo)
+}

@@ -1,0 +1,10 @@
+//@ path: crates/par/src/lib.rs
+// Seeded negative (path scoping): crates/par is the one place allowed to
+// touch std::thread directly — the threading bans are off here.
+
+pub fn f() {
+    std::thread::scope(|scope| {
+        let _h = scope.spawn(|| 1);
+    });
+    let _j = std::thread::spawn(|| 2);
+}

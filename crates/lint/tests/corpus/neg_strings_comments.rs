@@ -1,0 +1,24 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (lexer): banned tokens inside string literals, raw
+// strings (including multi-line, any hash depth), char/byte literals,
+// and nested block comments never match. These are the exact shapes the
+// old per-line scanner mis-scanned.
+
+/* A block comment mentioning v.unwrap() and panic!("boom")
+   across lines, with /* a nested comment: thread::spawn */
+   still inside the outer comment. */
+
+pub fn f() -> String {
+    let plain = "call .unwrap() and panic!(\"later\") maybe";
+    let multi = "a string that spans
+        lines and mentions x.expect(\"nothing\") and Instant::now()";
+    let raw = r#"raw: v.unwrap() and "quoted" panic!("x")"#;
+    let raw_multi = r##"multi-line raw string:
+        table.row(0) and thread::spawn(f) and dbg!(y)
+        even r#"nested-looking"# content"##;
+    let byte_str = b"bytes with .unwrap() inside";
+    let ch = '"';
+    let byte = b'\'';
+    let lifetime_ok: &'static str = "lifetimes lex fine";
+    format!("{plain}{multi}{raw}{raw_multi}{byte_str:?}{ch}{byte}{lifetime_ok}")
+}

@@ -1,0 +1,10 @@
+//@ path: crates/orgsim/src/dataset.rs
+// Seeded negative (path scoping): row-wise table access is legal outside
+// the hot-path crates — construction and simulation code may keep the
+// convenient API.
+
+pub fn f(table: &Table) -> usize {
+    let r = table.row(3);
+    let v = table.value(r, 0);
+    v
+}

@@ -1,0 +1,10 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (float-ordering): total_cmp comparators are the
+// sanctioned spelling.
+
+pub fn f(scores: &mut [f64], xs: &[f32]) -> f64 {
+    scores.sort_by(|a, b| a.total_cmp(b));
+    let hi = scores.iter().copied().max_by(f64::total_cmp).unwrap_or(0.0);
+    let lo = xs.iter().copied().min_by(f32::total_cmp).unwrap_or(0.0);
+    hi + f64::from(lo)
+}

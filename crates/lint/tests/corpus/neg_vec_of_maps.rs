@@ -1,0 +1,23 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded negative (nondet-iteration): iterating a Vec or slice whose
+// *elements* are hash maps is order-stable — the watched type sits below
+// the top level of the annotation.
+
+use std::collections::HashMap;
+
+pub fn f(shards: Vec<HashMap<String, u32>>) -> usize {
+    let owned: Vec<HashMap<String, u32>> = shards;
+    let mut total = 0;
+    for shard in &owned {
+        total += shard.len();
+    }
+    total + owned.iter().count()
+}
+
+pub fn g(slices: &[HashMap<String, u32>]) -> usize {
+    let mut total = slices.iter().count();
+    for shard in slices {
+        total += shard.len();
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//@ path: crates/mining/src/demo.rs
+// Seeded positive: every hit is split across a line break — exactly the
+// shapes the old per-line scanner could not see. The virtual path is a
+// hot-path crate so the table rules apply.
+
+pub fn f(v: Option<u32>, table: &Table) -> u32 {
+    let w = v
+        .unwrap
+        ();
+    let x = v.
+        expect("split receiver dot");
+    let _t = std::time::Instant::
+        now();
+    let _h = std::thread::
+        spawn(|| 1);
+    let _r = table
+        .row(0);
+    w + x
+}

@@ -1,0 +1,15 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded positive: partial_cmp comparators and NaN-dropping fold
+// functions.
+
+pub fn f(scores: &mut [f64], xs: &[f32]) -> f64 {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = xs.iter().copied().reduce(f32::min).unwrap_or(0.0);
+    let near = scores
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or(0.0);
+    hi + f64::from(lo) + near
+}

@@ -1,0 +1,39 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded positive: hash-ordered iteration through every tracked route —
+// direct binding, use-alias, type-alias, struct field, fn parameter, and
+// a same-file constructor function.
+
+use std::collections::HashMap as Map;
+use std::collections::HashSet;
+
+type Index = Map<String, u32>;
+
+pub struct Registry {
+    index: Map<String, usize>,
+}
+
+fn build() -> Map<String, usize> {
+    Map::new()
+}
+
+pub fn f(param: &HashSet<u32>) -> usize {
+    let direct: Map<String, u32> = Map::new();
+    for (k, _v) in &direct {
+        let _ = k;
+    }
+    let aliased: Index = Index::new();
+    let mut total = 0;
+    for k in aliased.keys() {
+        total += k.len();
+    }
+    let built = build();
+    total += built.values().count();
+    total += param.iter().count();
+    total
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+}

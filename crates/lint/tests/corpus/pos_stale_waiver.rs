@@ -1,0 +1,12 @@
+//@ path: crates/demo/src/lib.rs
+// Seeded positive for the waiver audit: the first pragma suppresses a
+// real finding (earning its keep); the second waives a rule that never
+// fires on its line and must be reported stale.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) — justified: demo waiver that does suppress
+    let w = v.unwrap();
+    // lint: allow(panic) — stale: nothing panics on the next line
+    let x = w + 1;
+    x
+}

@@ -1,0 +1,9 @@
+//@ path: crates/labelmodel/src/demo.rs
+// Seeded positive: row-wise table access inside a hot-path crate.
+
+pub fn f(table: &Table) -> usize {
+    let r = table.row(3);
+    let v = table.value(r, 0);
+    let _ = self.table.row(1);
+    v
+}

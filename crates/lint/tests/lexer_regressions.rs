@@ -1,0 +1,140 @@
+//! Lexer regression suite pinning the multi-line blind spots of the old
+//! per-line scanner that `xtask lint` used before cm-lint.
+//!
+//! The old scanner stripped strings and comments one line at a time, so
+//! any literal or comment that *spanned* lines leaked its continuation
+//! lines back into "code" — banned tokens inside them were flagged — and
+//! conversely a call split across a line break was invisible. Each test
+//! here fixes one of those shapes with exact token spans or engine
+//! verdicts so the blind spots cannot quietly return.
+
+use std::path::Path;
+
+use cm_lint::lexer::{lex, TokKind};
+use cm_lint::{lint_source, LintConfig};
+
+/// Non-comment tokens of `source`, as (kind, text) pairs.
+fn code_toks(source: &str) -> Vec<(TokKind, String)> {
+    lex(source).into_iter().filter(|t| !t.kind.is_comment()).map(|t| (t.kind, t.text)).collect()
+}
+
+/// Rules reported for `source` linted under a neutral library path.
+fn rules(source: &str) -> Vec<&'static str> {
+    lint_source(source, Path::new("crates/demo/src/lib.rs"), &LintConfig::repo_default())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn multi_line_string_is_one_token() {
+    let src = "let s = \"call .unwrap() and\n    panic!(\\\"x\\\") later\";\nlet t = 1;";
+    let toks = lex(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].line, 1);
+    // The token after the literal sits on line 2 — the span crossed the
+    // newline inside one token instead of resetting per line.
+    let semi = toks.iter().find(|t| t.is_punct(';')).expect("semicolon");
+    assert_eq!(semi.line, 2);
+    // And nothing inside the literal lints.
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let src = "/* outer .unwrap() /* inner thread::spawn */ still comment */ fn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert!(toks[0].text.contains("inner"));
+    assert!(toks[0].text.ends_with("*/"));
+    // The old scanner had no block-comment state at all; the banned
+    // tokens inside must not lint.
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn multi_line_block_comment_does_not_leak_continuation_lines() {
+    let src =
+        "/* line one mentions v.unwrap()\n   line two mentions panic!(\"x\")\n*/\npub fn f() {}\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn raw_strings_span_lines_and_hold_quotes() {
+    let src = "let r = r##\"contains \"quotes\" and r#\"inner\"# and\n  table.row(0) too\"##;";
+    let toks = code_toks(src);
+    let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("table.row(0)"));
+    // Hot-path virtual path: even where table-row applies, the raw
+    // string's content must not lint.
+    let findings =
+        lint_source(src, Path::new("crates/mining/src/demo.rs"), &LintConfig::repo_default());
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    let toks = code_toks("fn r#type(r#fn: u32) -> u32 { r#fn }");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    assert!(!toks.iter().any(|(k, _)| *k == TokKind::Str));
+    // ident_text strips the prefix.
+    let lexed = lex("r#type");
+    assert!(lexed[0].is_ident("type"));
+}
+
+#[test]
+fn char_literals_versus_lifetimes() {
+    let toks = lex("let c: char = '\"'; let b = b'\\''; let s: &'static str = \"x\";");
+    let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+    assert_eq!(chars.len(), 2, "'\\\"' and b'\\'' are char/byte literals");
+    let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+    assert_eq!(lifetimes.len(), 1);
+    assert_eq!(lifetimes[0].text, "'static");
+}
+
+#[test]
+fn quote_chars_in_literals_do_not_derail_string_state() {
+    // The old scanner's char-literal heuristic could treat '"' as an
+    // opening string quote and blank the rest of the line.
+    let src = "let q = '\"'; let x = v.unwrap();";
+    assert_eq!(rules(src), vec!["unwrap"]);
+}
+
+#[test]
+fn cross_line_call_is_matched() {
+    // The marquee blind spot: the old scanner could never see a banned
+    // call whose `(` lands on the next line.
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap\n        ()\n}\n";
+    let findings =
+        lint_source(src, Path::new("crates/demo/src/lib.rs"), &LintConfig::repo_default());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "unwrap");
+    // Anchored at the receiver dot on line 2.
+    assert_eq!((findings[0].line, findings[0].col), (2, 6));
+}
+
+#[test]
+fn cross_line_path_is_matched() {
+    let src = "let t = std::time::Instant::\n    now();";
+    assert_eq!(rules(src), vec!["instant-now"]);
+}
+
+#[test]
+fn unterminated_literal_is_tolerated() {
+    // Tolerance: a broken file still lexes (to EOF) rather than panicking,
+    // and the tokens before the breakage are intact.
+    let toks = lex("let a = v.unwrap(); let s = \"never closed");
+    assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+    assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Str));
+}
+
+#[test]
+fn spans_are_byte_and_line_accurate() {
+    let src = "ab + cd\n  efg";
+    let toks = lex(src);
+    let efg = toks.iter().find(|t| t.is_ident("efg")).expect("efg token");
+    assert_eq!((efg.line, efg.col), (2, 3));
+    assert_eq!(&src[efg.byte..efg.end], "efg");
+}

@@ -345,12 +345,7 @@ fn class_supports(
 }
 
 pub(crate) fn sort_stats(stats: &mut [ItemStats]) {
-    stats.sort_by(|a, b| {
-        b.recall
-            .partial_cmp(&a.recall)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.items.cmp(&b.items))
-    });
+    stats.sort_by(|a, b| b.recall.total_cmp(&a.recall).then_with(|| a.items.cmp(&b.items)));
 }
 
 #[cfg(test)]

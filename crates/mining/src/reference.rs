@@ -44,8 +44,12 @@ pub fn mine_itemsets_reference(
 
     // Keep candidates that could still clear the recall bar.
     let min_pos_support = ((config.min_recall * n_pos as f64).ceil() as usize).max(1);
-    let candidates: Vec<Item> =
-        pos_counts.iter().filter(|(_, &c)| c >= min_pos_support).map(|(&i, _)| i).collect();
+    let candidates: Vec<Item> = {
+        // lint: allow(nondet-iteration) — hash order is erased by sort_stats'
+        // total order before any result surfaces; pinned by the differential
+        // suite against the vertical bitset engine.
+        pos_counts.iter().filter(|(_, &c)| c >= min_pos_support).map(|(&i, _)| i).collect()
+    };
 
     // Pass 2: count items over negative rows.
     let neg_all_counts = count_class_items(table, labels, columns, &discretizers, false);
@@ -127,6 +131,8 @@ pub fn mine_itemsets_reference(
     // Negative itemsets (order 1 only).
     let min_neg_support = ((config.min_neg_recall * n_neg as f64).ceil() as usize).max(1);
     let mut negative: Vec<ItemStats> = Vec::new();
+    // lint: allow(nondet-iteration) — hash order is erased by sort_stats'
+    // total order before any result surfaces.
     for (&item, &neg) in &neg_all_counts {
         if neg < min_neg_support {
             continue;

@@ -49,7 +49,7 @@ pub fn select_for_review(
             idx.sort_by(|&a, &b| {
                 let ua = (curation.probabilistic_labels[a] - 0.5).abs();
                 let ub = (curation.probabilistic_labels[b] - 0.5).abs();
-                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+                ua.total_cmp(&ub)
             });
             idx.truncate(budget);
             idx
@@ -62,7 +62,7 @@ pub fn select_for_review(
             covered_uncertain.sort_by(|&a, &b| {
                 let ua = (curation.probabilistic_labels[a] - 0.5).abs();
                 let ub = (curation.probabilistic_labels[b] - 0.5).abs();
-                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+                ua.total_cmp(&ub)
             });
             let mut uncovered: Vec<usize> = (0..n).filter(|&r| !curation.covered[r]).collect();
             uncovered.shuffle(&mut StdRng::seed_from_u64(seed));

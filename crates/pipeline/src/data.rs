@@ -148,14 +148,14 @@ pub fn mask_disallowed_sets(
     schema: &cm_featurespace::FeatureSchema,
     allowed: &[FeatureSet],
 ) {
-    let allowed: HashSet<FeatureSet> = allowed.iter().copied().collect();
+    let allowed_sets: HashSet<FeatureSet> = allowed.iter().copied().collect();
     for slot in view.encoder().layout().slots() {
         // Slots come from a fitted encoder, so their source columns are in
         // range unless the schema was swapped out from under the view.
         let Some(def) = schema.def(slot.source_column) else {
             continue;
         };
-        if allowed.contains(&def.set) {
+        if allowed_sets.contains(&def.set) {
             continue;
         }
         for r in 0..m.rows() {

@@ -157,7 +157,7 @@ impl GraphBuilder {
         let routes: Vec<Vec<usize>> = cm_par::par_map(par, n, |i| {
             let mut scored: Vec<(usize, f64)> =
                 anchor_ids.iter().enumerate().map(|(a, &row)| (a, kernel.pair(i, row))).collect();
-            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|x, y| y.1.total_cmp(&x.1));
             scored.truncate(probes);
             scored.into_iter().map(|(a, _)| a).collect()
         })

@@ -37,7 +37,7 @@ pub fn tune_score_thresholds(
         return None;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     // Sweep descending: positive threshold.
     let mut tp = 0usize;
@@ -91,7 +91,7 @@ pub fn tune_score_thresholds(
     if negative == f64::NEG_INFINITY {
         // No admissible negative threshold: vote negative on nothing by
         // placing the threshold below every score.
-        negative = scores.iter().copied().fold(f64::INFINITY, f64::min) - 1.0;
+        negative = scores.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY) - 1.0;
         negative_leakage = 0.0;
     }
     Some(TunedThresholds {

@@ -1,538 +1,58 @@
-//! Layer 1 of the static-analysis gate: a self-contained line/token
-//! scanner over workspace `.rs` sources.
+//! Layer 1 of the static-analysis gate: a thin driver over the `cm-lint`
+//! span-aware semantic lint engine (see `crates/lint`).
 //!
-//! Bans panicking escape hatches (`.unwrap()`, `.expect(...)`, `panic!`,
-//! `todo!`, `unimplemented!`), `unsafe`, debug output (`dbg!`,
-//! `println!`; `eprintln!` stays legal for diagnostics), and raw threading
-//! (`thread::spawn`, `thread::scope` — all parallelism goes through
-//! `cm-par`, which owns determinism and panic capture; `crates/par` itself
-//! is exempt), and wall-clock reads (`Instant::now()`, `SystemTime::now()`
-//! — library timing goes through `cm-faults`' `Stopwatch`/`SimClock` so
-//! fault scenarios stay deterministic; the `Stopwatch` internals carry the
-//! waiver pragma) in **library-crate non-test code**. Tests, benches,
-//! examples, binary targets, and `#[cfg(test)]` blocks are exempt:
-//! panicking on a violated expectation is exactly right there. A finding
-//! can be waived in place with `// lint: allow(<rule>)` on the same line
-//! or the line above.
-//!
-//! The scanner is deliberately token-level, not a full parser: it strips
-//! comments and string literals per line, tracks `#[cfg(test)]` regions by
-//! brace counting, and then looks for banned tokens at identifier
-//! boundaries (so `.unwrap_or_default()` and `eprintln!` never match).
+//! Modes:
+//! - default — human diagnostics `file:line:col: [rule] message` on
+//!   stderr, non-zero exit on any non-waived finding;
+//! - `--json` — the deterministic machine report (findings sorted by
+//!   file, line, col) on stdout, same exit semantics, so CI can both
+//!   archive the report and gate on it;
+//! - `--self-test` — runs the engine over the seeded positive/negative
+//!   corpus in `crates/lint/tests/corpus/`, mirroring
+//!   `xtask validate --seeded-negatives`.
 
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::process::ExitCode;
 
-/// Rules the scanner enforces. `matches` must respect identifier
-/// boundaries itself; the scanner hands it comment- and string-stripped
-/// code.
-const RULES: &[Rule] = &[
-    Rule { name: "unwrap", check: |code| finds_method(code, "unwrap") },
-    Rule { name: "expect", check: |code| finds_method(code, "expect") },
-    Rule { name: "panic", check: |code| finds_macro(code, "panic") },
-    Rule { name: "todo", check: |code| finds_macro(code, "todo") },
-    Rule { name: "unimplemented", check: |code| finds_macro(code, "unimplemented") },
-    Rule { name: "unsafe", check: |code| finds_word(code, "unsafe") },
-    Rule { name: "dbg", check: |code| finds_macro(code, "dbg") },
-    Rule { name: "println", check: |code| finds_macro(code, "println") },
-    Rule { name: "thread-spawn", check: |code| finds_word(code, "thread::spawn") },
-    Rule { name: "thread-scope", check: |code| finds_word(code, "thread::scope") },
-    Rule { name: "instant-now", check: |code| finds_word(code, "Instant::now") },
-    Rule { name: "systemtime-now", check: |code| finds_word(code, "SystemTime::now") },
-    Rule { name: "table-row", check: |code| finds_receiver_method(code, "table", "row") },
-    Rule { name: "table-value", check: |code| finds_receiver_method(code, "table", "value") },
-];
+use cm_lint::LintConfig;
 
-/// Rules that do not apply inside `crates/par`: the substrate is the one
-/// place allowed to touch `std::thread` directly.
-const PAR_ONLY_RULES: &[&str] = &["thread-spawn", "thread-scope"];
-
-/// Rules that apply **only** inside the hot-path library crates, where
-/// per-row `FeatureTable::row` / `FeatureTable::value` access (which
-/// allocates and dispatches through the schema per cell) must go through
-/// `FrozenTable` columnar views instead. Other crates — construction,
-/// simulation, I/O — may keep the convenient row-wise API.
-const HOT_PATH_ONLY_RULES: &[&str] = &["table-row", "table-value"];
-
-/// The crates whose library code sits on the per-pair / per-row kernels:
-/// similarity + graph construction, itemset mining, and LF application.
-const HOT_PATH_CRATES: &[&str] =
-    &["crates/featurespace", "crates/propagation", "crates/mining", "crates/labelmodel"];
-
-/// One lint rule: a stable name (used by the allow pragma) plus a matcher
-/// over stripped code.
-struct Rule {
-    name: &'static str,
-    check: fn(&str) -> bool,
-}
-
-/// One lint hit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// Rule name, e.g. `"unwrap"`.
-    pub rule: &'static str,
-    /// Source file.
-    pub file: PathBuf,
-    /// 1-indexed line.
-    pub line: usize,
-    /// The offending source line, trimmed.
-    pub snippet: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.snippet)
+/// Runs the workspace lint; human or JSON reporting.
+pub fn run(root: &Path, json: bool) -> ExitCode {
+    let cfg = LintConfig::repo_default();
+    let (findings, scanned) = cm_lint::run(root, &cfg);
+    if json {
+        println!("{}", cm_lint::report_json(&findings, scanned).to_string_pretty());
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("lint: clean ({scanned} files)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
     }
 }
 
-fn is_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// True when `code` calls `.name(` (boundary-checked, so `.unwrap_or*`,
-/// `.unwrap_err`, and `.expect_err` do not match `unwrap`/`expect`).
-fn finds_method(code: &str, name: &str) -> bool {
-    let needle = format!(".{name}");
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(&needle) {
-        let end = from + pos + needle.len();
-        let next_ident = code[end..].chars().next().is_some_and(is_ident);
-        let then_call = code[end..].trim_start().starts_with('(');
-        if !next_ident && then_call {
-            return true;
-        }
-        from = end;
+/// Runs the corpus self-test.
+pub fn self_test(root: &Path) -> ExitCode {
+    let dir = root.join("crates/lint/tests/corpus");
+    let cfg = LintConfig::repo_default();
+    let outcome = cm_lint::corpus::run_corpus(&dir, &cfg);
+    for e in &outcome.errors {
+        eprintln!("lint self-test: {e}");
     }
-    false
-}
-
-/// True when `code` invokes the macro `name!` (boundary-checked on the
-/// left, so `eprintln!` never matches `println`).
-fn finds_macro(code: &str, name: &str) -> bool {
-    let needle = format!("{name}!");
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(&needle) {
-        let at = from + pos;
-        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
-        if !prev_ident {
-            return true;
-        }
-        from = at + needle.len();
-    }
-    false
-}
-
-/// True when `code` calls `.method(` on a receiver identifier named
-/// `recv` (boundary-checked on both sides, so `ftable.row(`,
-/// `table.rows(`, and `table().row(` never match).
-fn finds_receiver_method(code: &str, recv: &str, method: &str) -> bool {
-    let needle = format!("{recv}.{method}");
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(&needle) {
-        let at = from + pos;
-        let end = at + needle.len();
-        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
-        let next_ident = code[end..].chars().next().is_some_and(is_ident);
-        let then_call = code[end..].trim_start().starts_with('(');
-        if !prev_ident && !next_ident && then_call {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// True when `code` contains the bare word `name`.
-fn finds_word(code: &str, name: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(name) {
-        let at = from + pos;
-        let end = at + name.len();
-        let prev_ident = code[..at].chars().next_back().is_some_and(is_ident);
-        let next_ident = code[end..].chars().next().is_some_and(is_ident);
-        if !prev_ident && !next_ident {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Splits a source line into (code, comment) at the first `//` that is
-/// not inside a string literal, and blanks out string/char literal
-/// contents in the code half so banned tokens inside strings never match.
-fn strip_line(line: &str) -> (String, &str) {
-    let bytes = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '"' => {
-                // Blank the string literal's body.
-                code.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] as char {
-                        '\\' => i += 2,
-                        '"' => {
-                            code.push('"');
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal or lifetime. A lifetime has an identifier
-                // char right after the quote and no closing quote nearby;
-                // just copy it through — char literals are too short to
-                // hold a banned token anyway.
-                code.push('\'');
-                i += 1;
-                if i < bytes.len() && bytes[i] as char == '\\' {
-                    i += 2;
-                } else if i + 1 < bytes.len() && bytes[i + 1] as char == '\'' {
-                    i += 2;
-                    code.push('\'');
-                } else {
-                    continue;
-                }
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] as char == '/' => {
-                return (code, &line[i..]);
-            }
-            _ => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    (code, "")
-}
-
-/// Parses rule names out of a `// lint: allow(rule1, rule2)` pragma.
-fn allow_pragma(comment: &str) -> Vec<String> {
-    let Some(idx) = comment.find("lint: allow(") else {
-        return Vec::new();
-    };
-    let rest = &comment[idx + "lint: allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return Vec::new();
-    };
-    rest[..close].split(',').map(|s| s.trim().to_owned()).collect()
-}
-
-fn net_braces(code: &str) -> i64 {
-    let mut net = 0i64;
-    for c in code.chars() {
-        match c {
-            '{' => net += 1,
-            '}' => net -= 1,
-            _ => {}
-        }
-    }
-    net
-}
-
-/// Scans one library source text; pure so the self-tests can feed it
-/// fixtures. `file` is only used to label findings.
-pub fn lint_source(source: &str, file: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut in_test_block = false;
-    let mut test_depth = 0i64;
-    // Set when `#[cfg(test)]` was seen but its item's `{` has not.
-    let mut pending_test_item = false;
-    let mut allowed_next: Vec<String> = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        let (code, comment) = strip_line(line);
-        let mut allowed = std::mem::take(&mut allowed_next);
-        allowed.extend(allow_pragma(comment));
-        if code.trim().is_empty() && !allowed.is_empty() {
-            // Comment-only pragma line: applies to the next line.
-            allowed_next = allowed;
-            continue;
-        }
-        if in_test_block {
-            test_depth += net_braces(&code);
-            if test_depth <= 0 {
-                in_test_block = false;
-            }
-            continue;
-        }
-        if pending_test_item {
-            let net = net_braces(&code);
-            if net > 0 {
-                in_test_block = true;
-                test_depth = net;
-                pending_test_item = false;
-            } else if code.contains(';') {
-                // `#[cfg(test)] mod tests;` — the body lives elsewhere.
-                pending_test_item = false;
-            }
-            continue;
-        }
-        if code.contains("#[cfg(test)]") {
-            let net = net_braces(&code);
-            if net > 0 {
-                in_test_block = true;
-                test_depth = net;
-            } else {
-                pending_test_item = true;
-            }
-            continue;
-        }
-        for rule in RULES {
-            if (rule.check)(&code) && !allowed.iter().any(|a| a == rule.name) {
-                findings.push(Finding {
-                    rule: rule.name,
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    snippet: line.trim().to_owned(),
-                });
-            }
-        }
-    }
-    findings
-}
-
-/// True when `path` belongs to a zone where panicking is idiomatic:
-/// tests, benches, examples, or binary targets.
-fn is_exempt_path(path: &Path) -> bool {
-    let mut comps = path.components().peekable();
-    while let Some(c) = comps.next() {
-        let name = c.as_os_str().to_string_lossy();
-        if name == "tests" || name == "benches" || name == "examples" {
-            return true;
-        }
-        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "bin") {
-            return true;
-        }
-        if name == "src" && comps.peek().is_some_and(|n| n.as_os_str() == "main.rs") {
-            return true;
-        }
-    }
-    false
-}
-
-/// Collects the workspace `.rs` files the lint applies to: everything
-/// under `crates/` that is not in an exempt zone. Crates without a
-/// `src/lib.rs` are binary crates and fully exempt.
-fn collect_lint_targets(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let crates = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates) else {
-        return out;
-    };
-    let mut crate_dirs: Vec<PathBuf> =
-        entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        if !dir.join("src/lib.rs").exists() {
-            continue;
-        }
-        let mut stack = vec![dir.join("src")];
-        while let Some(d) = stack.pop() {
-            let Ok(entries) = fs::read_dir(&d) else { continue };
-            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-            paths.sort();
-            for p in paths {
-                if p.is_dir() {
-                    stack.push(p);
-                } else if p.extension().is_some_and(|e| e == "rs") {
-                    let rel = p.strip_prefix(root).unwrap_or(&p);
-                    if !is_exempt_path(rel) {
-                        out.push(p);
-                    }
-                }
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Runs the lint over the workspace rooted at `root`; returns all
-/// findings (empty means the gate passes).
-pub fn run(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for path in collect_lint_targets(root) {
-        match fs::read_to_string(&path) {
-            Ok(source) => {
-                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-                findings.extend(lint_source(&source, &rel));
-            }
-            Err(e) => eprintln!("lint: skipping unreadable {}: {e}", path.display()),
-        }
-    }
-    findings.retain(|f| !(f.file.starts_with("crates/par") && PAR_ONLY_RULES.contains(&f.rule)));
-    findings.retain(|f| {
-        !HOT_PATH_ONLY_RULES.contains(&f.rule)
-            || HOT_PATH_CRATES.iter().any(|c| f.file.starts_with(c))
-    });
-    findings
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rules_hit(source: &str) -> Vec<&'static str> {
-        lint_source(source, Path::new("fixture.rs")).into_iter().map(|f| f.rule).collect()
-    }
-
-    #[test]
-    fn flags_each_banned_token() {
-        assert_eq!(rules_hit("let x = y.unwrap();"), vec!["unwrap"]);
-        assert_eq!(rules_hit("let x = y.expect(\"boom\");"), vec!["expect"]);
-        assert_eq!(rules_hit("panic!(\"no\");"), vec!["panic"]);
-        assert_eq!(rules_hit("todo!()"), vec!["todo"]);
-        assert_eq!(rules_hit("unimplemented!()"), vec!["unimplemented"]);
-        assert_eq!(rules_hit("unsafe { *p }"), vec!["unsafe"]);
-        assert_eq!(rules_hit("dbg!(x);"), vec!["dbg"]);
-        assert_eq!(rules_hit("println!(\"hi\");"), vec!["println"]);
-        assert_eq!(rules_hit("std::thread::spawn(move || work());"), vec!["thread-spawn"]);
-        assert_eq!(rules_hit("thread::scope(|s| { s.spawn(f); });"), vec!["thread-scope"]);
-        assert_eq!(rules_hit("let t = std::time::Instant::now();"), vec!["instant-now"]);
-        assert_eq!(rules_hit("let t = Instant::now();"), vec!["instant-now"]);
-        assert_eq!(rules_hit("let t = SystemTime::now();"), vec!["systemtime-now"]);
-    }
-
-    #[test]
-    fn clock_rules_are_pragma_waivable() {
-        assert!(rules_hit("let t = Instant::now(); // lint: allow(instant-now)").is_empty());
-        assert!(rules_hit("// lint: allow(systemtime-now)\nlet t = SystemTime::now();").is_empty());
-        // Unrelated identifiers sharing the suffix never match.
-        assert!(rules_hit("let t = MyInstant::now_ish();").is_empty());
-    }
-
-    #[test]
-    fn fallible_siblings_do_not_match() {
-        assert!(rules_hit("let x = y.unwrap_or(0);").is_empty());
-        assert!(rules_hit("let x = y.unwrap_or_else(|| 0);").is_empty());
-        assert!(rules_hit("let x = y.unwrap_or_default();").is_empty());
-        assert!(rules_hit("let e = y.unwrap_err();").is_empty());
-        assert!(rules_hit("let e = y.expect_err(\"want err\");").is_empty());
-        assert!(rules_hit("eprintln!(\"diagnostic\");").is_empty());
-        assert!(rules_hit("core::panicking();").is_empty());
-        assert!(rules_hit("my_thread::spawn(f);").is_empty());
-        assert!(rules_hit("let spawned = pool.spawn(f);").is_empty());
-    }
-
-    #[test]
-    fn thread_rules_are_pragma_waivable() {
-        assert!(rules_hit("std::thread::spawn(f); // lint: allow(thread-spawn)").is_empty());
-    }
-
-    #[test]
-    fn table_row_access_is_flagged_and_waivable() {
-        assert_eq!(rules_hit("let r = table.row(i);"), vec!["table-row"]);
-        assert_eq!(rules_hit("let v = table.value(r, c);"), vec!["table-value"]);
-        assert_eq!(rules_hit("let r = self.table.row(i);"), vec!["table-row"]);
-        // Boundary checks: different receiver, different method, or a
-        // call-producing receiver never match.
-        assert!(rules_hit("let r = ftable.row(i);").is_empty());
-        assert!(rules_hit("let r = table.rows();").is_empty());
-        assert!(rules_hit("let r = frozen.table().row(i);").is_empty());
-        assert!(rules_hit("let r = table.row_count;").is_empty());
-        // And the pragma waives it in place.
-        assert!(rules_hit("let r = table.row(i); // lint: allow(table-row)").is_empty());
-    }
-
-    #[test]
-    fn table_rules_apply_only_to_hot_path_crates() {
-        let hot = Finding {
-            rule: "table-row",
-            file: PathBuf::from("crates/mining/src/apriori.rs"),
-            line: 1,
-            snippet: String::new(),
-        };
-        let cold = Finding { file: PathBuf::from("crates/orgsim/src/dataset.rs"), ..hot.clone() };
-        let in_scope = |f: &Finding| {
-            !HOT_PATH_ONLY_RULES.contains(&f.rule)
-                || HOT_PATH_CRATES.iter().any(|c| f.file.starts_with(c))
-        };
-        assert!(in_scope(&hot));
-        assert!(!in_scope(&cold));
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_match() {
-        assert!(rules_hit("let s = \"call .unwrap() later\";").is_empty());
-        assert!(rules_hit("// the docs mention panic!(...) here").is_empty());
-        assert!(rules_hit("let url = \"https://x\"; // .expect( nothing").is_empty());
-    }
-
-    #[test]
-    fn allow_pragma_waives_same_line_and_next_line() {
-        assert!(rules_hit("let x = y.unwrap(); // lint: allow(unwrap)").is_empty());
-        assert!(rules_hit("// lint: allow(panic)\npanic!(\"invariant\");").is_empty());
-        // The waiver is rule-specific.
-        assert_eq!(rules_hit("let x = y.unwrap(); // lint: allow(expect)"), vec!["unwrap"]);
-        // And only covers one line.
-        assert_eq!(
-            rules_hit("// lint: allow(unwrap)\nlet a = b.unwrap();\nlet c = d.unwrap();"),
-            vec!["unwrap"]
+    if outcome.passed() {
+        eprintln!(
+            "lint self-test: {} corpus files ({} positive, {} negative), {} expected \
+             findings, all matched",
+            outcome.files, outcome.positives, outcome.negatives, outcome.expected_findings
         );
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_exempt() {
-        let source = "\
-pub fn lib_code() {}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn t() {
-        let x = Some(1).unwrap();
-        panic!(\"fine in tests\");
-    }
-}
-
-pub fn after_tests(v: Option<u32>) -> u32 {
-    v.unwrap()
-}
-";
-        let findings = lint_source(source, Path::new("fixture.rs"));
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "unwrap");
-        assert_eq!(findings[0].line, 13);
-    }
-
-    #[test]
-    fn exempt_paths() {
-        assert!(is_exempt_path(Path::new("crates/foo/tests/properties.rs")));
-        assert!(is_exempt_path(Path::new("crates/foo/benches/b.rs")));
-        assert!(is_exempt_path(Path::new("crates/foo/src/bin/tool.rs")));
-        assert!(is_exempt_path(Path::new("examples/quickstart.rs")));
-        assert!(!is_exempt_path(Path::new("crates/foo/src/lib.rs")));
-        assert!(!is_exempt_path(Path::new("crates/foo/src/inner/mod.rs")));
-    }
-
-    #[test]
-    fn seeded_violation_fixture_is_fully_caught() {
-        // A little library file with one of everything; the scanner must
-        // find all eight rules, in order.
-        let source = "\
-pub fn f(v: Option<u32>) -> u32 {
-    println!(\"starting\");
-    dbg!(&v);
-    let w = v.unwrap();
-    let x = v.expect(\"must exist\");
-    if w != x { panic!(\"mismatch\") }
-    unsafe { std::hint::unreachable_unchecked() }
-    todo!();
-    unimplemented!()
-}
-";
-        let mut rules = rules_hit(source);
-        rules.sort_unstable();
-        assert_eq!(
-            rules,
-            vec!["dbg", "expect", "panic", "println", "todo", "unimplemented", "unsafe", "unwrap"]
-        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint self-test: {} mismatch(es)", outcome.errors.len());
+        ExitCode::FAILURE
     }
 }

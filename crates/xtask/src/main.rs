@@ -1,7 +1,9 @@
 //! Workspace task runner: the two-layer static-analysis gate.
 //!
-//! - `cargo run -p xtask -- lint` — layer 1, source lints over library
-//!   crates (see `lint.rs`).
+//! - `cargo run -p xtask -- lint` — layer 1, the `cm-lint` span-aware
+//!   semantic lint engine over library crates (see `lint.rs` and
+//!   `crates/lint`); `--json` emits the machine report, `--self-test`
+//!   runs the seeded corpus.
 //! - `cargo run -p xtask -- validate` — layer 2, pre-execution pipeline
 //!   checks over seed artifacts (see `validate.rs` and the `cm-check`
 //!   crate). `--seeded-negatives` self-tests the gate.
@@ -20,7 +22,9 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- <lint | validate [--seeded-negatives]>");
+    eprintln!(
+        "usage: cargo run -p xtask -- <lint [--json | --self-test] | validate [--seeded-negatives]>"
+    );
     ExitCode::FAILURE
 }
 
@@ -28,20 +32,26 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            if args.len() > 1 {
-                eprintln!("lint takes no arguments (got {:?})", &args[1..]);
+            let mut json = false;
+            let mut self_test = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--self-test" => self_test = true,
+                    other => {
+                        eprintln!("lint: unknown argument {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            if self_test && json {
+                eprintln!("lint: --self-test and --json are mutually exclusive");
                 return usage();
             }
-            let findings = lint::run(&workspace_root());
-            for f in &findings {
-                eprintln!("{f}");
-            }
-            if findings.is_empty() {
-                eprintln!("lint: clean");
-                ExitCode::SUCCESS
+            if self_test {
+                lint::self_test(&workspace_root())
             } else {
-                eprintln!("lint: {} finding(s)", findings.len());
-                ExitCode::FAILURE
+                lint::run(&workspace_root(), json)
             }
         }
         Some("validate") => {

@@ -9,8 +9,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> xtask lint (layer 1: source lints)"
-cargo run -q -p xtask -- lint
+echo "==> xtask lint --self-test (lint engine vs seeded corpus)"
+cargo run -q -p xtask -- lint --self-test
+
+echo "==> xtask lint (layer 1: semantic source lints)"
+mkdir -p results
+cargo run -q -p xtask -- lint --json > results/lint_report.json
 
 echo "==> xtask validate (layer 2: pipeline-graph validator)"
 cargo run -q -p xtask -- validate
