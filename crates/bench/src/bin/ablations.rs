@@ -8,16 +8,19 @@
 //!    (Gauss–Seidel) updates, and a k-NN degree sweep;
 //! 4. **nonservable features** — LFs with vs without nonservable features.
 //!
-//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 2), `CM_JSON`.
+//! The run configuration lives in `specs/ablations.json`; `CM_SCALE`,
+//! `CM_SEEDS`, and `CM_JSON` still override it.
 
 use std::time::Instant;
 
-use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
+use cm_bench::{
+    load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario, spec_seeds,
+    TaskRun,
+};
 use cm_featurespace::{FeatureSet, SimilarityConfig};
 use cm_json::{Json, ToJson};
 use cm_mining::MiningConfig;
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, CurationConfig, LabelModelKind, Scenario};
+use cm_pipeline::{curate, CurationConfig, LabelModelKind};
 use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
 
 #[derive(Default)]
@@ -40,9 +43,13 @@ impl ToJson for Report {
 }
 
 fn main() {
-    let scale = env_scale(0.5);
-    let seeds = env_seeds(2);
+    let spec = load_spec("ablations");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let task = spec.tasks[0];
+    let reservoir = spec_reservoir(&spec, scale);
     let sets = FeatureSet::SHARED;
+    let end_model = spec_scenario(&spec, "image-only I+ABCD");
     let mut report = Report::default();
     println!("Ablations (CT 1, scale {scale}, {} seed(s))\n", seeds.len());
 
@@ -56,11 +63,11 @@ fn main() {
         let mut f1s = Vec::new();
         let mut aps = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(task, scale, seed, reservoir);
             let cfg = CurationConfig { label_model: kind, ..run.curation_config(seed) };
             let out = curate(&run.data, &cfg);
             f1s.push(out.ws_quality.f1);
-            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).unwrap().auprc);
+            aps.push(run.runner().run(&end_model, Some(&out)).unwrap().auprc);
         }
         println!("{name:<18} {:>7.3} {:>11.4}", mean(&f1s), mean(&aps));
         report.label_model.push((name.into(), mean(&f1s), mean(&aps)));
@@ -73,7 +80,7 @@ fn main() {
         let mut covs = Vec::new();
         let mut secs = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(task, scale, seed, reservoir);
             let base = run.curation_config(seed);
             let cfg = CurationConfig {
                 use_label_propagation: false,
@@ -95,7 +102,7 @@ fn main() {
         let mut covs = Vec::new();
         let mut secs = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(task, scale, seed, reservoir);
             let base = run.curation_config(seed);
             let cfg = cm_pipeline::CurationConfig { use_label_propagation: false, ..base };
             let columns = run.data.world.schema().columns_in_sets(&FeatureSet::SHARED, false);
@@ -124,7 +131,7 @@ fn main() {
     // ---- 3. propagation variant + k sweep ----
     println!("\npropagation          seconds   max |Δscore| vs sync-k10");
     {
-        let run = TaskRun::new(TaskId::Ct1, scale, seeds[0], Some(64));
+        let run = TaskRun::new(task, scale, seeds[0], Some(64));
         let d = &run.data;
         let mut columns = d.shared_columns(&sets);
         let emb = d.world.schema().column("img_embedding").unwrap();
@@ -167,11 +174,11 @@ fn main() {
     for (name, nonservable) in [("with nonservable", true), ("servable only", false)] {
         let mut aps = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(task, scale, seed, reservoir);
             let cfg =
                 CurationConfig { include_nonservable: nonservable, ..run.curation_config(seed) };
             let out = curate(&run.data, &cfg);
-            aps.push(run.runner().run(&Scenario::image_only(&sets), Some(&out)).unwrap().auprc);
+            aps.push(run.runner().run(&end_model, Some(&out)).unwrap().auprc);
         }
         println!("{name:<24} {:>10.4}", mean(&aps));
         report.nonservable.push((name.into(), mean(&aps)));

@@ -2,21 +2,21 @@
 //! pipeline run, for calibrating the generative world against the paper's
 //! qualitative shapes. Not part of the paper's tables.
 
-use cm_bench::{env_scale, env_seed, TaskRun};
+use cm_bench::{load_spec, spec_reservoir, spec_scale, spec_scenario, spec_seed, TaskRun};
 use cm_featurespace::FeatureSet;
 use cm_orgsim::TaskId;
 use cm_pipeline::{curate, CurationConfig, Scenario};
 
 fn main() {
-    let scale = env_scale(0.5);
-    let seed = env_seed();
-    let task = std::env::var("CM_TASK").unwrap_or_else(|_| "CT1".into());
-    let id = TaskId::ALL
-        .into_iter()
-        .find(|t| t.name().replace(' ', "").eq_ignore_ascii_case(&task))
-        .expect("unknown CM_TASK");
+    let spec = load_spec("calibrate");
+    let scale = spec_scale(&spec);
+    let seed = spec_seed(&spec);
+    let id = match std::env::var("CM_TASK") {
+        Ok(t) => TaskId::from_name(&t).expect("unknown CM_TASK"),
+        Err(_) => spec.tasks[0],
+    };
 
-    let run = TaskRun::new(id, scale, seed, Some((16_000.0 * scale) as usize));
+    let run = TaskRun::new(id, scale, seed, spec_reservoir(&spec, scale));
     let d = &run.data;
     println!(
         "{}: text={} pool={} test={} reservoir={} pool_pos_rate={:.3} borderline_share={:.3}",
@@ -53,9 +53,9 @@ fn main() {
     let curation = curate(d, &run.curation_config(seed));
     let sets = FeatureSet::SHARED;
     for (name, eval) in [
-        ("text-only", runner.run(&Scenario::text_only(&sets), None)),
-        ("image-WS", runner.run(&Scenario::image_only(&sets), Some(&curation))),
-        ("cross-modal", runner.run(&Scenario::cross_modal(&sets), Some(&curation))),
+        ("text-only", runner.run(&spec_scenario(&spec, "text-only T+ABCD"), None)),
+        ("image-WS", runner.run(&spec_scenario(&spec, "image-only I+ABCD"), Some(&curation))),
+        ("cross-modal", runner.run(&spec_scenario(&spec, "cross-modal T,I+ABCD"), Some(&curation))),
         (
             "fully-sup n=1000",
             runner.run(&Scenario::fully_supervised(&sets, (1000.0 * scale) as usize), None),

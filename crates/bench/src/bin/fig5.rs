@@ -12,13 +12,16 @@
 //! the nonservable regime's cross-over needs *more* hand labels because the
 //! LFs retain features the supervised model cannot use.
 //!
-//! Env: `CM_SCALE` (default 1.0), `CM_SEEDS` (default 3), `CM_JSON`.
+//! The evaluation matrix lives in `specs/fig5.json`; `CM_SCALE`,
+//! `CM_SEEDS`, and `CM_JSON` still override it.
 
-use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
+use cm_bench::{
+    load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario, spec_seeds,
+    TaskRun,
+};
 use cm_eval::{find_crossover, CrossoverSeries};
 use cm_featurespace::FeatureSet;
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
 use cm_pipeline::{curate, Scenario};
 
 struct Panel {
@@ -42,9 +45,10 @@ impl ToJson for Panel {
 }
 
 fn main() {
-    let scale = env_scale(1.0);
-    let seeds = env_seeds(3);
-    let id = TaskId::Ct1;
+    let spec = load_spec("fig5");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let id = spec.tasks[0];
     println!("Figure 5 (CT 1, scale {scale}, {} seed(s))", seeds.len());
 
     let mut panels = Vec::new();
@@ -55,7 +59,7 @@ fn main() {
         let mut baselines = Vec::new();
         let mut curve_acc: Vec<(f64, Vec<f64>)> = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(id, scale, seed, Some((16_000.0 * scale) as usize));
+            let run = TaskRun::new(id, scale, seed, spec_reservoir(&spec, scale));
             let runner = run.runner();
             // LFs always use all four sets (+ nonservable features); only
             // the end model is restricted.
@@ -63,10 +67,7 @@ fn main() {
             let baseline = runner.baseline_auprc().unwrap();
             baselines.push(baseline);
 
-            let mut cross = Scenario::cross_modal(&FeatureSet::SHARED);
-            cross.text_sets = end_sets.clone();
-            cross.image_sets = end_sets.clone();
-            cross.name = format!("cross-modal T,I+{label}");
+            let cross = spec_scenario(&spec, &format!("cross-modal T,I+{label}"));
             cross_aps.push(runner.run(&cross, Some(&curation)).unwrap().auprc);
 
             for (i, &n) in

@@ -7,13 +7,15 @@
 //! baseline) to `T+ABCD, I+ABCD`; adding a feature set typically helps more
 //! than adding the other modality with the same sets.
 //!
-//! Env: `CM_SCALE` (default 1.0), `CM_SEEDS` (default 3), `CM_JSON`.
+//! The eight-step ladder lives in `specs/fig6.json` (its scenario order
+//! is the ladder order); `CM_SCALE`, `CM_SEEDS`, and `CM_JSON` still
+//! override the spec's defaults.
 
-use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
-use cm_featurespace::FeatureSet;
+use cm_bench::{
+    load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_seeds, TaskRun,
+};
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, LabelSource, Scenario};
+use cm_pipeline::{curate, Scenario};
 
 struct Step {
     label: String,
@@ -31,57 +33,31 @@ impl ToJson for Step {
     }
 }
 
-fn ladder() -> Vec<(&'static str, &'static str, &'static str)> {
-    // (label, text sets, image sets; empty image = text only)
-    vec![
-        ("T+A (no image)", "A", ""),
-        ("T+A, I+A", "A", "A"),
-        ("T+AB, I+A", "AB", "A"),
-        ("T+AB, I+AB", "AB", "AB"),
-        ("T+ABC, I+AB", "ABC", "AB"),
-        ("T+ABC, I+ABC", "ABC", "ABC"),
-        ("T+ABCD, I+ABC", "ABCD", "ABC"),
-        ("T+ABCD, I+ABCD", "ABCD", "ABCD"),
-    ]
-}
-
 fn main() {
-    let scale = env_scale(1.0);
-    let seeds = env_seeds(3);
+    let spec = load_spec("fig6");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let ladder: Vec<Scenario> = spec.scenarios.iter().map(Scenario::from_spec).collect();
     println!("Figure 6 (CT 1 factor analysis, scale {scale}, {} seed(s))", seeds.len());
     println!("{:<18} {:>10} {:>10}", "step", "AUPRC", "relative");
 
-    let mut acc: Vec<Vec<f64>> = vec![Vec::new(); ladder().len()];
+    let mut acc: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
     let mut baselines = Vec::new();
     for &seed in &seeds {
-        let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+        let run = TaskRun::new(spec.tasks[0], scale, seed, spec_reservoir(&spec, scale));
         let runner = run.runner();
         let curation = curate(&run.data, &run.curation_config(seed));
         baselines.push(runner.baseline_auprc().unwrap());
-        for (i, (label, text, image)) in ladder().into_iter().enumerate() {
-            let text_sets = FeatureSet::parse_ladder(text).unwrap();
-            let image_sets = if image.is_empty() {
-                text_sets.clone() // test encoding still needs sets
-            } else {
-                FeatureSet::parse_ladder(image).unwrap()
-            };
-            let scenario = Scenario {
-                name: label.to_owned(),
-                text_sets,
-                image_sets,
-                image_labels: (!image.is_empty()).then_some(LabelSource::Weak),
-                include_modality_specific: !image.is_empty(),
-                strategy: cm_pipeline::FusionStrategy::Early,
-            };
-            acc[i].push(runner.run(&scenario, Some(&curation)).unwrap().auprc);
+        for (i, scenario) in ladder.iter().enumerate() {
+            acc[i].push(runner.run(scenario, Some(&curation)).unwrap().auprc);
         }
     }
     let baseline = mean(&baselines);
     let mut steps = Vec::new();
-    for (i, (label, _, _)) in ladder().into_iter().enumerate() {
+    for (i, scenario) in ladder.iter().enumerate() {
         let auprc = mean(&acc[i]);
-        println!("{label:<18} {auprc:>10.4} {:>9.2}x", auprc / baseline);
-        steps.push(Step { label: label.to_owned(), relative_auprc: auprc / baseline, auprc });
+        println!("{:<18} {auprc:>10.4} {:>9.2}x", scenario.name, auprc / baseline);
+        steps.push(Step { label: scenario.name.clone(), relative_auprc: auprc / baseline, auprc });
     }
 
     // The paper's headline: average gain from adding a feature set vs

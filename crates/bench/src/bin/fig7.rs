@@ -6,13 +6,15 @@
 //! Expected shape (paper): combining modalities is best at every rung, and
 //! every model improves as sets accumulate.
 //!
-//! Env: `CM_SCALE` (default 1.0), `CM_SEEDS` (default 3), `CM_JSON`.
+//! The 3-model x 4-rung matrix lives in `specs/fig7.json`; `CM_SCALE`,
+//! `CM_SEEDS`, and `CM_JSON` still override the spec's defaults.
 
-use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
-use cm_featurespace::FeatureSet;
+use cm_bench::{
+    load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario, spec_seeds,
+    TaskRun,
+};
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, Scenario};
+use cm_pipeline::curate;
 
 struct Rung {
     sets: String,
@@ -33,8 +35,9 @@ impl ToJson for Rung {
 }
 
 fn main() {
-    let scale = env_scale(1.0);
-    let seeds = env_seeds(3);
+    let spec = load_spec("fig7");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
     println!("Figure 7 (CT 1 lesion study, scale {scale}, {} seed(s))", seeds.len());
     println!("{:<10} {:>10} {:>10} {:>12}", "services", "Text (T)", "Image (I)", "Text+Image");
 
@@ -43,17 +46,17 @@ fn main() {
         (0..rungs.len()).map(|_| [Vec::new(), Vec::new(), Vec::new()]).collect();
     let mut baselines = Vec::new();
     for &seed in &seeds {
-        let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+        let run = TaskRun::new(spec.tasks[0], scale, seed, spec_reservoir(&spec, scale));
         let runner = run.runner();
         let curation = curate(&run.data, &run.curation_config(seed));
         baselines.push(runner.baseline_auprc().unwrap());
         for (i, rung) in rungs.iter().enumerate() {
-            let sets = FeatureSet::parse_ladder(rung).unwrap();
-            acc[i][0].push(runner.run(&Scenario::text_only(&sets), None).unwrap().auprc);
-            acc[i][1]
-                .push(runner.run(&Scenario::image_only(&sets), Some(&curation)).unwrap().auprc);
-            acc[i][2]
-                .push(runner.run(&Scenario::cross_modal(&sets), Some(&curation)).unwrap().auprc);
+            let text = spec_scenario(&spec, &format!("text-only T+{rung}"));
+            let image = spec_scenario(&spec, &format!("image-only I+{rung}"));
+            let cross = spec_scenario(&spec, &format!("cross-modal T,I+{rung}"));
+            acc[i][0].push(runner.run(&text, None).unwrap().auprc);
+            acc[i][1].push(runner.run(&image, Some(&curation)).unwrap().auprc);
+            acc[i][2].push(runner.run(&cross, Some(&curation)).unwrap().auprc);
         }
     }
     let baseline = mean(&baselines);

@@ -3,18 +3,20 @@
 //! "materialized CNN features" comparison — our service features vs the raw
 //! pre-trained embedding under identical (weak) supervision.
 //!
+//! The evaluation matrix (tasks, scale, seeds, scenarios) is declared in
+//! `specs/fusion_compare.json`; `CM_SCALE`/`CM_SEEDS`/`CM_TASK`/`CM_JSON`
+//! still override the spec's defaults.
+//!
 //! Expected shape (paper): early fusion wins — up to 1.22x (avg 1.08x) over
 //! intermediate fusion and up to 5.52x (avg 2.21x) over DeViSE; service
 //! features beat the raw embedding by up to 1.54x.
-//!
-//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 3), `CM_TASK`,
-//! `CM_JSON`.
 
-use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
-use cm_featurespace::FeatureSet;
+use cm_bench::{
+    fmt_ratio, load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario,
+    spec_seeds, task_selected, TaskRun,
+};
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, FusionStrategy, LabelSource, Scenario};
+use cm_pipeline::curate;
 
 struct Row {
     task: String,
@@ -37,9 +39,14 @@ impl ToJson for Row {
 }
 
 fn main() {
-    let scale = env_scale(0.5);
-    let seeds = env_seeds(3);
-    let sets = FeatureSet::SHARED;
+    let spec = load_spec("fusion_compare");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let early_s = spec_scenario(&spec, "cross-modal T,I+ABCD");
+    let inter_s = spec_scenario(&spec, "intermediate");
+    let devise_s = spec_scenario(&spec, "devise");
+    let feats_s = spec_scenario(&spec, "image-only I+ABCD");
+    let raw_s = spec_scenario(&spec, "raw embedding (weak)");
     println!("Fusion comparison (§6.6) (scale {scale}, {} seed(s))", seeds.len());
     println!(
         "{:<6} {:>10} {:>12} {:>12} {:>14}",
@@ -47,7 +54,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for id in TaskId::ALL {
+    for &id in &spec.tasks {
         if !task_selected(id) {
             continue;
         }
@@ -56,22 +63,13 @@ fn main() {
         let mut vs_dev = Vec::new();
         let mut feat_raw = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(id, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(id, scale, seed, spec_reservoir(&spec, scale));
             let runner = run.runner();
             let curation = curate(&run.data, &run.curation_config(seed));
 
-            let mut early = Scenario::cross_modal(&sets);
-            early.strategy = FusionStrategy::Early;
-            let mut inter = Scenario::cross_modal(&sets);
-            inter.strategy = FusionStrategy::Intermediate;
-            inter.name = "intermediate".into();
-            let mut devise = Scenario::cross_modal(&sets);
-            devise.strategy = FusionStrategy::DeVise;
-            devise.name = "devise".into();
-
-            let e = runner.run(&early, Some(&curation)).unwrap().auprc;
-            let i = runner.run(&inter, Some(&curation)).unwrap().auprc;
-            let d = runner.run(&devise, Some(&curation)).unwrap().auprc;
+            let e = runner.run(&early_s, Some(&curation)).unwrap().auprc;
+            let i = runner.run(&inter_s, Some(&curation)).unwrap().auprc;
+            let d = runner.run(&devise_s, Some(&curation)).unwrap().auprc;
             early_v.push(e);
             if i > 1e-9 {
                 vs_int.push(e / i);
@@ -83,16 +81,8 @@ fn main() {
             // Features vs raw embedding, same weak labels: image-only with
             // shared feature sets vs image-only with only the
             // modality-specific features (embedding and friends).
-            let feats = runner.run(&Scenario::image_only(&sets), Some(&curation)).unwrap().auprc;
-            let raw = Scenario {
-                name: "raw embedding (weak)".into(),
-                text_sets: Vec::new(),
-                image_sets: Vec::new(),
-                image_labels: Some(LabelSource::Weak),
-                include_modality_specific: true,
-                strategy: FusionStrategy::Early,
-            };
-            let raw_ap = runner.run(&raw, Some(&curation)).unwrap().auprc;
+            let feats = runner.run(&feats_s, Some(&curation)).unwrap().auprc;
+            let raw_ap = runner.run(&raw_s, Some(&curation)).unwrap().auprc;
             if raw_ap > 1e-9 {
                 feat_raw.push(feats / raw_ap);
             }

@@ -10,15 +10,17 @@
 //! 3.75 h vs 7 h — ours is faster still, since the synthetic corpus is
 //! 1/1000 the size) and at least matches the expert on F1 and coverage.
 //!
-//! Env: `CM_SCALE` (default 1.0), `CM_SEEDS` (default 3), `CM_JSON`.
+//! The run configuration lives in `specs/lf_auto_vs_manual.json`;
+//! `CM_SCALE`, `CM_SEEDS`, and `CM_JSON` still override it.
 
 use std::time::Duration;
 
-use cm_bench::{env_scale, env_seeds, maybe_write_json, mean, TaskRun};
-use cm_featurespace::FeatureSet;
+use cm_bench::{
+    load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario, spec_seeds,
+    TaskRun,
+};
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, curate_with_lfs, expert_lfs, Scenario, EXPERT_AUTHORING};
+use cm_pipeline::{curate, curate_with_lfs, expert_lfs, EXPERT_AUTHORING};
 
 struct Side {
     label: String,
@@ -47,9 +49,10 @@ impl ToJson for Side {
 }
 
 fn main() {
-    let scale = env_scale(1.0);
-    let seeds = env_seeds(3);
-    let sets = FeatureSet::SHARED;
+    let spec = load_spec("lf_auto_vs_manual");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let scenario = spec_scenario(&spec, "image-only I+ABCD");
     println!(
         "Automatic vs manual LF generation (§6.7.1, CT 1, scale {scale}, {} seed(s))",
         seeds.len()
@@ -57,13 +60,13 @@ fn main() {
 
     let mut acc: Vec<Vec<[f64; 7]>> = vec![Vec::new(), Vec::new()];
     for &seed in &seeds {
-        let run = TaskRun::new(TaskId::Ct1, scale, seed, Some((4_000.0 * scale) as usize));
+        let run = TaskRun::new(spec.tasks[0], scale, seed, spec_reservoir(&spec, scale));
         let runner = run.runner();
         let cfg = run.curation_config(seed);
 
         let mined = curate(&run.data, &cfg);
         let mined_time = mined.mining_time + mined.propagation_time.unwrap_or(Duration::ZERO);
-        let mined_auprc = runner.run(&Scenario::image_only(&sets), Some(&mined)).unwrap().auprc;
+        let mined_auprc = runner.run(&scenario, Some(&mined)).unwrap().auprc;
         acc[0].push([
             mined_time.as_secs_f64(),
             (mined.lf_names.len()) as f64,
@@ -79,7 +82,7 @@ fn main() {
         // The expert's clock is authoring time; propagation (if used) runs
         // for both sides.
         let expert_time = EXPERT_AUTHORING + expert.propagation_time.unwrap_or(Duration::ZERO);
-        let expert_auprc = runner.run(&Scenario::image_only(&sets), Some(&expert)).unwrap().auprc;
+        let expert_auprc = runner.run(&scenario, Some(&expert)).unwrap().auprc;
         acc[1].push([
             expert_time.as_secs_f64(),
             (expert.lf_names.len()) as f64,

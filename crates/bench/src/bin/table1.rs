@@ -1,9 +1,12 @@
 //! Regenerates **Table 1**: per-task dataset sizes and test-set positive
 //! rates, at the configured synthetic scale (default 1/1000 of the paper).
+//!
+//! Tasks, scale, and seed come from `specs/table1.json`; `CM_SCALE` and
+//! `CM_SEED` override the spec's defaults.
 
-use cm_bench::{env_scale, env_seed, maybe_write_json};
+use cm_bench::{load_spec, maybe_write_json, spec_scale, spec_seed};
 use cm_json::{Json, ToJson};
-use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
+use cm_orgsim::{TaskConfig, World, WorldConfig};
 
 struct Row {
     task: String,
@@ -26,15 +29,16 @@ impl ToJson for Row {
 }
 
 fn main() {
-    let scale = env_scale(1.0);
-    let seed = env_seed();
+    let spec = load_spec("table1");
+    let scale = spec_scale(&spec);
+    let seed = spec_seed(&spec);
     println!("Table 1 (synthetic scale {scale} of the 1/1000-paper sizes, seed {seed})");
     println!(
         "{:<6} {:>14} {:>18} {:>14} {:>8}",
         "Task", "n_lbld_text", "n_unlbld_image", "n_lbld_image", "% Pos"
     );
     let mut rows = Vec::new();
-    for id in TaskId::ALL {
+    for &id in &spec.tasks {
         let task = TaskConfig::paper(id).scaled(scale);
         let world = World::build(WorldConfig::new(task.clone(), seed));
         let (text, pool, test) = world.generate_task_datasets(seed);

@@ -8,14 +8,17 @@
 //! models beat text transfer; cross-over points span orders of magnitude
 //! across tasks (CT 3/CT 4 small, CT 5 extreme).
 //!
-//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 3), `CM_TASK=CT3`
-//! to restrict, `CM_JSON=path` for a JSON report.
+//! The evaluation matrix lives in `specs/table2.json`; `CM_SCALE`,
+//! `CM_SEEDS`, `CM_TASK=CT3` to restrict, and `CM_JSON=path` still
+//! override/extend it.
 
-use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
+use cm_bench::{
+    fmt_ratio, load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario,
+    spec_seeds, task_selected, TaskRun,
+};
 use cm_eval::{find_crossover, CrossoverSeries};
 use cm_featurespace::FeatureSet;
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
 use cm_pipeline::{curate, Scenario};
 
 struct Row {
@@ -45,9 +48,13 @@ impl ToJson for Row {
 }
 
 fn main() {
-    let scale = env_scale(0.5);
-    let seeds = env_seeds(3);
+    let spec = load_spec("table2");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
     let sets = FeatureSet::SHARED;
+    let text_s = spec_scenario(&spec, "text-only T+ABCD");
+    let image_s = spec_scenario(&spec, "image-only I+ABCD");
+    let cross_s = spec_scenario(&spec, "cross-modal T,I+ABCD");
 
     println!(
         "Table 2 (scale {scale}, {} seed(s)) — AUPRC relative to the embedding baseline",
@@ -58,7 +65,7 @@ fn main() {
         "Task", "Text", "Image", "Cross-Modal", "Cross-Over"
     );
     let mut rows = Vec::new();
-    for id in TaskId::ALL {
+    for &id in &spec.tasks {
         if !task_selected(id) {
             continue;
         }
@@ -70,19 +77,15 @@ fn main() {
         let mut curve_acc: Vec<(f64, Vec<f64>)> = Vec::new();
         let mut max_swept = 0.0f64;
         for &seed in &seeds {
-            let run = TaskRun::new(id, scale, seed, Some((16_000.0 * scale) as usize));
+            let run = TaskRun::new(id, scale, seed, spec_reservoir(&spec, scale));
             let runner = run.runner();
             let curation = curate(&run.data, &run.curation_config(seed));
             let baseline = runner.baseline_auprc().unwrap();
             baselines.push(baseline);
 
-            let text = runner.run_relative(&Scenario::text_only(&sets), None, baseline).unwrap();
-            let image = runner
-                .run_relative(&Scenario::image_only(&sets), Some(&curation), baseline)
-                .unwrap();
-            let cross = runner
-                .run_relative(&Scenario::cross_modal(&sets), Some(&curation), baseline)
-                .unwrap();
+            let text = runner.run_relative(&text_s, None, baseline).unwrap();
+            let image = runner.run_relative(&image_s, Some(&curation), baseline).unwrap();
+            let cross = runner.run_relative(&cross_s, Some(&curation), baseline).unwrap();
             text_rels.push(text.relative_auprc.unwrap_or(0.0));
             image_rels.push(image.relative_auprc.unwrap_or(0.0));
             cross_rels.push(cross.relative_auprc.unwrap_or(0.0));

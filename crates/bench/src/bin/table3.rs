@@ -8,14 +8,15 @@
 //! (CT 4, CT 5), is neutral on the "easy" task (CT 2 = 1.00x), and end-model
 //! AUPRC never degrades much.
 //!
-//! Env: `CM_SCALE` (default 0.5), `CM_SEEDS` (default 3), `CM_TASK`,
-//! `CM_JSON`.
+//! The evaluation matrix lives in `specs/table3.json`; `CM_SCALE`,
+//! `CM_SEEDS`, `CM_TASK`, and `CM_JSON` still override it.
 
-use cm_bench::{env_scale, env_seeds, fmt_ratio, maybe_write_json, mean, task_selected, TaskRun};
-use cm_featurespace::FeatureSet;
+use cm_bench::{
+    fmt_ratio, load_spec, maybe_write_json, mean, spec_reservoir, spec_scale, spec_scenario,
+    spec_seeds, task_selected, TaskRun,
+};
 use cm_json::{Json, ToJson};
-use cm_orgsim::TaskId;
-use cm_pipeline::{curate, CurationConfig, Scenario};
+use cm_pipeline::{curate, CurationConfig};
 
 struct Row {
     task: String,
@@ -42,9 +43,10 @@ impl ToJson for Row {
 }
 
 fn main() {
-    let scale = env_scale(0.5);
-    let seeds = env_seeds(3);
-    let sets = FeatureSet::SHARED;
+    let spec = load_spec("table3");
+    let scale = spec_scale(&spec);
+    let seeds = spec_seeds(&spec);
+    let scenario = spec_scenario(&spec, "image-only I+ABCD");
 
     println!(
         "Table 3 (scale {scale}, {} seed(s)) — relative gain from label propagation",
@@ -52,7 +54,7 @@ fn main() {
     );
     println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "Task", "Precision", "Recall", "F1", "AUPRC");
     let mut rows = Vec::new();
-    for id in TaskId::ALL {
+    for &id in &spec.tasks {
         if !task_selected(id) {
             continue;
         }
@@ -60,7 +62,7 @@ fn main() {
         let mut wo_acc = Vec::new();
         let mut w_acc = Vec::new();
         for &seed in &seeds {
-            let run = TaskRun::new(id, scale, seed, Some((4_000.0 * scale) as usize));
+            let run = TaskRun::new(id, scale, seed, spec_reservoir(&spec, scale));
             let runner = run.runner();
             let base_cfg = run.curation_config(seed);
             let without = curate(
@@ -69,7 +71,6 @@ fn main() {
             );
             let with = curate(&run.data, &base_cfg);
 
-            let scenario = Scenario::image_only(&sets);
             let auprc_without = runner.run(&scenario, Some(&without)).unwrap().auprc;
             let auprc_with = runner.run(&scenario, Some(&with)).unwrap().auprc;
 

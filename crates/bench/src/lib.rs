@@ -14,6 +14,9 @@ use cm_models::{ModelKind, TrainConfig};
 use cm_orgsim::{TaskConfig, TaskId};
 use cm_pipeline::{CurationConfig, ScenarioRunner, TaskData};
 
+pub mod spec;
+pub use spec::{load_spec, spec_reservoir, spec_scale, spec_scenario, spec_seed, spec_seeds};
+
 /// A prepared run of one task: data plus the paper's per-task model choice.
 pub struct TaskRun {
     /// Task identity.

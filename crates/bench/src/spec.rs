@@ -1,0 +1,127 @@
+//! Loading the checked-in experiment specs from `specs/`.
+//!
+//! Each regenerator binary declares its evaluation matrix — tasks,
+//! scale, seeds, labeled-image reservoir, scenarios — in a declarative
+//! JSON spec at `specs/<name>.json`. `xtask validate` checks every spec
+//! pre-merge; [`load_spec`] re-validates at startup so a binary never
+//! runs a spec the gate would reject, and renders the same
+//! `path:line:col: rule: message` diagnostics when one slips through.
+//!
+//! The environment knobs keep their override power (`CM_SCALE`,
+//! `CM_SEED`, `CM_SEEDS`, `CM_SPEC`): the spec supplies defaults, the
+//! environment wins, so `run_experiments.sh` and ad-hoc invocations
+//! behave exactly as before.
+
+use std::path::PathBuf;
+
+use cm_check::{validate_spec_source, ExperimentSpec};
+use cm_faults::CM_FAULTS_ENV;
+use cm_pipeline::Scenario;
+
+/// Resolves the on-disk path of the named spec: `CM_SPEC` wins
+/// (pointing anywhere), else `specs/<name>.json` at the workspace root
+/// (resolved from this crate's manifest so binaries work from any cwd).
+fn spec_path(name: &str) -> PathBuf {
+    if let Ok(p) = std::env::var("CM_SPEC") {
+        return PathBuf::from(p);
+    }
+    let in_tree = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("specs")
+        .join(format!("{name}.json"));
+    if in_tree.exists() {
+        in_tree
+    } else {
+        PathBuf::from("specs").join(format!("{name}.json"))
+    }
+}
+
+/// Loads and validates `specs/<name>.json`, exiting with rendered
+/// diagnostics when the file is unreadable or fails validation. When the
+/// spec carries a `fault_plan` and `CM_FAULTS` is unset, the plan is
+/// exported so the fault layer picks it up.
+///
+/// # Panics
+///
+/// Exits the process (status 2) rather than panicking on a bad spec.
+#[must_use]
+pub fn load_spec(name: &str) -> ExperimentSpec {
+    let path = spec_path(name);
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read spec {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let (spec, violations) = validate_spec_source(&source, &path.display().to_string());
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("spec {} failed validation; refusing to run it", path.display());
+        std::process::exit(2);
+    }
+    let Some(spec) = spec else {
+        // Unreachable by validate_spec_source's contract (no violations
+        // implies a parsed spec), but exit cleanly rather than panic.
+        eprintln!("spec {} produced no violations yet failed to parse", path.display());
+        std::process::exit(2);
+    };
+    if let Some(plan) = &spec.fault_plan {
+        if std::env::var(CM_FAULTS_ENV).is_err() {
+            std::env::set_var(CM_FAULTS_ENV, plan);
+        }
+    }
+    spec
+}
+
+/// The spec's scale, unless `CM_SCALE` overrides it.
+#[must_use]
+pub fn spec_scale(spec: &ExperimentSpec) -> f64 {
+    crate::env_scale(spec.scale)
+}
+
+/// The spec's master seed, unless `CM_SEED` overrides it.
+#[must_use]
+pub fn spec_seed(spec: &ExperimentSpec) -> u64 {
+    std::env::var("CM_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(spec.seed)
+}
+
+/// Seeds to average over: the spec's count (or `CM_SEEDS`) consecutive
+/// seeds starting at [`spec_seed`], stepping by 1000 like
+/// [`crate::env_seeds`].
+#[must_use]
+pub fn spec_seeds(spec: &ExperimentSpec) -> Vec<u64> {
+    let n = std::env::var("CM_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(spec.seeds);
+    let base = spec_seed(spec);
+    (0..n as u64).map(|i| base + i * 1000).collect()
+}
+
+/// The labeled-image reservoir size at `scale`. The spec declares the
+/// scale-1.0 count; runs below full scale shrink it with the rest of the
+/// world.
+#[must_use]
+pub fn spec_reservoir(spec: &ExperimentSpec, scale: f64) -> Option<usize> {
+    spec.n_labeled_image.map(|n| (n as f64 * scale) as usize)
+}
+
+/// The named scenario from the spec, converted to a runnable
+/// [`Scenario`].
+///
+/// # Panics
+///
+/// Panics when the spec declares no scenario with that name — a binary
+/// asking for a scenario its spec lacks is a wiring bug the pinned specs
+/// make impossible to hit silently.
+#[must_use]
+pub fn spec_scenario(spec: &ExperimentSpec, name: &str) -> Scenario {
+    let found = spec
+        .scenarios
+        .iter()
+        .find(|s| s.name == name)
+        // lint: allow(panic) — a binary asking for a scenario its spec
+        // lacks is a wiring bug; an early panic is the contract.
+        .unwrap_or_else(|| panic!("spec {:?} declares no scenario named {name:?}", spec.name));
+    Scenario::from_spec(found)
+}

@@ -1,0 +1,357 @@
+//! Artifact checks: structural validation of built in-memory pipeline
+//! artifacts (tables, vote matrices, fusion plans, propagation graphs).
+//!
+//! These are the original cm-check entry points; violations are labeled
+//! with a descriptive `location` string (`"pool.table[col topic, row 17]"`)
+//! because an in-memory artifact has no source text to span into. The
+//! spec-file flavor of each rule — which *does* point at exact byte/line/
+//! column positions — lives in [`crate::spec`].
+
+use cm_featurespace::{FeatureKind, FeatureSchema, FeatureTable};
+use cm_labelmodel::LabelMatrix;
+use cm_propagation::SparseGraph;
+
+use crate::{CheckRule, Violation};
+
+/// How many table rows a full scan inspects before sampling would be
+/// needed; all current seed artifacts are far below this.
+const MAX_SCANNED_ROWS: usize = 1_000_000;
+
+/// Checks a feature table against the registry schema it is supposed to
+/// conform to: column count and per-column identity (name/kind), then a
+/// row scan for out-of-vocabulary categorical ids, mis-sized embeddings,
+/// and non-finite numerics.
+#[must_use]
+pub fn check_table(
+    table: &FeatureTable,
+    expected: &FeatureSchema,
+    location: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let actual = table.schema();
+    if actual.len() != expected.len() {
+        out.push(Violation::new(
+            CheckRule::SchemaTableMismatch,
+            location,
+            format!("table has {} columns, registry schema has {}", actual.len(), expected.len()),
+        ));
+        // Column identities are meaningless once the counts diverge.
+        return out;
+    }
+    for (c, (have, want)) in actual.defs().iter().zip(expected.defs()).enumerate() {
+        if have.name != want.name || have.kind != want.kind {
+            out.push(Violation::new(
+                CheckRule::SchemaTableMismatch,
+                format!("{location}[col {c}]"),
+                format!(
+                    "column is {:?} {:?}, registry declares {:?} {:?}",
+                    have.name, have.kind, want.name, want.kind
+                ),
+            ));
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    for r in 0..table.len().min(MAX_SCANNED_ROWS) {
+        for (c, def) in expected.defs().iter().enumerate() {
+            match def.kind {
+                FeatureKind::Categorical => {
+                    if let Some(ids) = table.categorical(r, c) {
+                        for &id in ids {
+                            if id as usize >= def.vocab.len() {
+                                out.push(Violation::new(
+                                    CheckRule::VocabIndexOutOfBounds,
+                                    format!("{location}[col {}, row {r}]", def.name),
+                                    format!("id {id} >= vocabulary size {}", def.vocab.len()),
+                                ));
+                            }
+                        }
+                    }
+                }
+                FeatureKind::Embedding { dim } => {
+                    if let Some(e) = table.embedding(r, c) {
+                        if e.len() != dim {
+                            out.push(Violation::new(
+                                CheckRule::EmbeddingDimMismatch,
+                                format!("{location}[col {}, row {r}]", def.name),
+                                format!("stored width {} != declared dim {dim}", e.len()),
+                            ));
+                        } else if !e.iter().all(|v| v.is_finite()) {
+                            out.push(Violation::new(
+                                CheckRule::NonFiniteNumeric,
+                                format!("{location}[col {}, row {r}]", def.name),
+                                "embedding holds a non-finite component".to_owned(),
+                            ));
+                        }
+                    }
+                }
+                FeatureKind::Numeric => {
+                    if let Some(v) = table.numeric(r, c) {
+                        if !v.is_finite() {
+                            out.push(Violation::new(
+                                CheckRule::NonFiniteNumeric,
+                                format!("{location}[col {}, row {r}]", def.name),
+                                format!("numeric value is {v}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks an LF vote matrix's shape against the LF registry
+/// (`expected_lfs`) and the row count it is supposed to cover, plus vote
+/// encoding validity. Degeneracy is a separate check
+/// ([`check_lf_degeneracy`]) because it is only meaningful on the dev
+/// matrix the LFs were fit on: abstaining on an entire *pool* is
+/// legitimate when the pool's modality lacks the LF's source feature.
+#[must_use]
+pub fn check_vote_matrix(
+    m: &LabelMatrix,
+    expected_lfs: &[String],
+    expected_rows: usize,
+    location: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if m.n_lfs() != expected_lfs.len() {
+        out.push(Violation::new(
+            CheckRule::VoteMatrixShape,
+            location,
+            format!("matrix has {} LF columns, registry has {}", m.n_lfs(), expected_lfs.len()),
+        ));
+        return out;
+    }
+    for (j, (have, want)) in m.names().iter().zip(expected_lfs).enumerate() {
+        if have != want {
+            out.push(Violation::new(
+                CheckRule::VoteMatrixShape,
+                format!("{location}[lf {j}]"),
+                format!("column is named {have:?}, registry says {want:?}"),
+            ));
+        }
+    }
+    if m.n_rows() != expected_rows {
+        out.push(Violation::new(
+            CheckRule::VoteMatrixShape,
+            location,
+            format!("matrix covers {} rows, pool has {expected_rows}", m.n_rows()),
+        ));
+    }
+    for r in 0..m.n_rows() {
+        for (j, &v) in m.row(r).iter().enumerate() {
+            if !(-1..=1).contains(&v) {
+                out.push(Violation::new(
+                    CheckRule::InvalidVote,
+                    format!("{location}[lf {j}, row {r}]"),
+                    format!("vote {v} outside {{-1, 0, +1}}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Flags degenerate LFs in a **dev** vote matrix: all-abstain columns
+/// (zero coverage — the label model learns nothing about them) and
+/// constant columns (the same non-abstain vote on every row —
+/// indistinguishable from a class prior). Run this on the matrix the LFs
+/// were fit on, not on a pool matrix.
+#[must_use]
+pub fn check_lf_degeneracy(m: &LabelMatrix, location: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if m.n_rows() == 0 {
+        return out;
+    }
+    for j in 0..m.n_lfs() {
+        let first = m.row(0)[j];
+        let constant = (1..m.n_rows()).all(|r| m.row(r)[j] == first);
+        if !constant {
+            continue;
+        }
+        let name = &m.names()[j];
+        if first == 0 {
+            out.push(Violation::new(
+                CheckRule::DegenerateLf,
+                format!("{location}[lf {name}]"),
+                "abstains on every row (zero coverage)".to_owned(),
+            ));
+        } else if m.n_rows() > 1 {
+            out.push(Violation::new(
+                CheckRule::DegenerateLf,
+                format!("{location}[lf {name}]"),
+                format!("votes {first:+} on every row (constant; carries no evidence)"),
+            ));
+        }
+    }
+    out
+}
+
+/// Which fusion strategy a [`FusionPlan`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionKind {
+    /// One model over the concatenated shared layout (§5 early fusion).
+    Early,
+    /// Per-modality encoders meeting at a fusion layer.
+    Intermediate,
+    /// Frozen old-modality model + projection from the new modality's
+    /// embedding space (§5 DeViSE-style).
+    DeVise,
+}
+
+/// Static description of a planned fusion computation — just the widths,
+/// extracted before any training happens — so the dimension chain can be
+/// validated up front.
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    /// Fusion strategy.
+    pub kind: FusionKind,
+    /// Dense width of each modality part, in training order.
+    pub part_dims: Vec<usize>,
+    /// DeViSE only: (old-model A embedding width, new-model B embedding
+    /// width).
+    pub embedding_dims: Option<(usize, usize)>,
+    /// DeViSE only: planned projection shape `(src, dst)`; must map B's
+    /// embedding space onto A's.
+    pub projection: Option<(usize, usize)>,
+}
+
+/// Checks a fusion plan's dimension chain: no empty parts, early/DeViSE
+/// parts share one dense width, and the DeViSE projection composes
+/// `B-embedding -> A-embedding`.
+#[must_use]
+pub fn check_fusion_plan(plan: &FusionPlan, location: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if plan.part_dims.is_empty() {
+        out.push(Violation::new(
+            CheckRule::FusionDimChain,
+            location,
+            "plan has no modality parts".to_owned(),
+        ));
+        return out;
+    }
+    for (i, &d) in plan.part_dims.iter().enumerate() {
+        if d == 0 {
+            out.push(Violation::new(
+                CheckRule::FusionDimChain,
+                format!("{location}[part {i}]"),
+                "modality part encodes to width 0".to_owned(),
+            ));
+        }
+    }
+    match plan.kind {
+        FusionKind::Early | FusionKind::DeVise => {
+            let first = plan.part_dims[0];
+            for (i, &d) in plan.part_dims.iter().enumerate().skip(1) {
+                if d != first {
+                    out.push(Violation::new(
+                        CheckRule::FusionDimChain,
+                        format!("{location}[part {i}]"),
+                        format!(
+                            "dense width {d} differs from part 0's width {first}; \
+                             shared-layout fusion needs one width"
+                        ),
+                    ));
+                }
+            }
+        }
+        FusionKind::Intermediate => {}
+    }
+    if plan.kind == FusionKind::DeVise {
+        match (plan.embedding_dims, plan.projection) {
+            (Some((a_emb, b_emb)), Some((src, dst))) => {
+                if src != b_emb {
+                    out.push(Violation::new(
+                        CheckRule::FusionDimChain,
+                        format!("{location}[projection]"),
+                        format!(
+                            "projection source width {src} != new-model embedding width {b_emb}"
+                        ),
+                    ));
+                }
+                if dst != a_emb {
+                    out.push(Violation::new(
+                        CheckRule::FusionDimChain,
+                        format!("{location}[projection]"),
+                        format!(
+                            "projection target width {dst} != old-model embedding width {a_emb}"
+                        ),
+                    ));
+                }
+            }
+            _ => out.push(Violation::new(
+                CheckRule::FusionDimChain,
+                location,
+                "DeViSE plan needs both embedding_dims and projection".to_owned(),
+            )),
+        }
+    }
+    out
+}
+
+/// Checks a propagation graph: every edge must have a reverse edge with
+/// an identical weight (the propagation fixed point assumes a symmetric
+/// operator), weights must be finite and strictly positive, and no
+/// vertex may neighbor itself.
+#[must_use]
+pub fn check_graph(g: &SparseGraph, location: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for v in 0..g.n_vertices() {
+        let (neigh, weights) = g.neighbors(v);
+        for (&u, &w) in neigh.iter().zip(weights) {
+            let u = u as usize;
+            if !w.is_finite() {
+                out.push(Violation::new(
+                    CheckRule::GraphNonFiniteWeight,
+                    format!("{location}[edge {v}->{u}]"),
+                    format!("weight is {w}"),
+                ));
+                continue;
+            }
+            if w <= 0.0 {
+                out.push(Violation::new(
+                    CheckRule::GraphInvalidWeight,
+                    format!("{location}[edge {v}->{u}]"),
+                    format!("weight {w} is not strictly positive"),
+                ));
+            }
+            if u == v {
+                out.push(Violation::new(
+                    CheckRule::GraphInvalidWeight,
+                    format!("{location}[edge {v}->{v}]"),
+                    "self-loop".to_owned(),
+                ));
+                continue;
+            }
+            if u >= g.n_vertices() {
+                out.push(Violation::new(
+                    CheckRule::GraphAsymmetry,
+                    format!("{location}[edge {v}->{u}]"),
+                    format!("neighbor index {u} >= vertex count {}", g.n_vertices()),
+                ));
+                continue;
+            }
+            let (back, back_w) = g.neighbors(u);
+            match back.iter().position(|&x| x as usize == v) {
+                None => out.push(Violation::new(
+                    CheckRule::GraphAsymmetry,
+                    format!("{location}[edge {v}->{u}]"),
+                    "reverse edge missing".to_owned(),
+                )),
+                Some(pos) => {
+                    if (back_w[pos] - w).abs() > f32::EPSILON * w.abs().max(1.0) {
+                        out.push(Violation::new(
+                            CheckRule::GraphAsymmetry,
+                            format!("{location}[edge {v}->{u}]"),
+                            format!("reverse weight {} != forward weight {w}", back_w[pos]),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}

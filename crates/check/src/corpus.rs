@@ -1,0 +1,151 @@
+//! Pinned positive/negative spec corpus runner: the validator's
+//! self-test, mirroring `cm_lint::corpus` for the lint gate.
+//!
+//! A corpus directory holds paired files: `name.json` (a spec input) and
+//! `name.expected` (the violations the validator must produce, one per
+//! line as `rule line col`, sorted by position; `#` comments and blank
+//! lines ignored). A missing or empty `.expected` file makes the input a
+//! *negative*: the validator must find it clean.
+//!
+//! Beyond matching each fixture exactly, the runner enforces a coverage
+//! contract: every [`CheckRule`] variant must appear in at least one
+//! positive expectation, so a new rule cannot land without a pinned
+//! fixture demonstrating where it points.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::spec::validate_spec_source;
+use crate::CheckRule;
+
+/// Outcome of one corpus run.
+#[derive(Debug, Default)]
+pub struct CorpusOutcome {
+    /// Corpus inputs exercised.
+    pub files: usize,
+    /// Inputs that expect at least one violation.
+    pub positives: usize,
+    /// Inputs that expect a clean validation.
+    pub negatives: usize,
+    /// Total violations expected (and, on success, produced).
+    pub expected_violations: usize,
+    /// Rule names that appeared in positive expectations.
+    pub rules_covered: BTreeSet<String>,
+    /// Human-readable mismatch descriptions; empty means the self-test
+    /// passed.
+    pub errors: Vec<String>,
+}
+
+impl CorpusOutcome {
+    /// True when every expectation matched and every rule is covered.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// One expected violation parsed from a `.expected` file.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Expected {
+    line: u32,
+    col: u32,
+    rule: String,
+}
+
+/// Runs the spec corpus at `dir`.
+pub fn run_corpus(dir: &Path) -> CorpusOutcome {
+    let mut out = CorpusOutcome::default();
+    let Ok(entries) = fs::read_dir(dir) else {
+        out.errors.push(format!("corpus directory {} is unreadable", dir.display()));
+        return out;
+    };
+    let mut inputs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    inputs.sort();
+    if inputs.is_empty() {
+        out.errors.push(format!("corpus directory {} holds no .json inputs", dir.display()));
+        return out;
+    }
+    for input in inputs {
+        out.files += 1;
+        let name = input.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        let Ok(source) = fs::read_to_string(&input) else {
+            out.errors.push(format!("{name}: unreadable"));
+            continue;
+        };
+        let mut expected = read_expected(&input.with_extension("expected"), &mut out.errors, &name);
+        expected.sort();
+        if expected.is_empty() {
+            out.negatives += 1;
+        } else {
+            out.positives += 1;
+            out.expected_violations += expected.len();
+            for e in &expected {
+                out.rules_covered.insert(e.rule.clone());
+            }
+        }
+        let (_, violations) = validate_spec_source(&source, &name);
+        let got: Vec<Expected> = violations
+            .iter()
+            .map(|v| Expected { line: v.line(), col: v.col(), rule: v.rule.name().to_owned() })
+            .collect();
+        for v in &violations {
+            if v.span.is_none() {
+                out.errors
+                    .push(format!("{name}: violation [{}] carries no span: {}", v.rule, v.message));
+            }
+        }
+        for e in &expected {
+            if !got.contains(e) {
+                out.errors.push(format!(
+                    "{name}: expected [{}] at {}:{} but the validator was silent there",
+                    e.rule, e.line, e.col
+                ));
+            }
+        }
+        for g in &got {
+            if !expected.contains(g) {
+                out.errors.push(format!("{name}: unexpected [{}] at {}:{}", g.rule, g.line, g.col));
+            }
+        }
+    }
+    for rule in CheckRule::ALL {
+        if !out.rules_covered.contains(rule.name()) {
+            out.errors.push(format!(
+                "rule [{}] has no positive fixture in the corpus; add one with its expected span",
+                rule.name()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses a `.expected` file; absence means a negative input.
+fn read_expected(path: &Path, errors: &mut Vec<String>, name: &str) -> Vec<Expected> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, l, c) = (parts.next(), parts.next(), parts.next());
+        match (rule, l.and_then(|v| v.parse().ok()), c.and_then(|v| v.parse().ok())) {
+            (Some(rule), Some(line), Some(col)) => {
+                out.push(Expected { line, col, rule: rule.to_owned() });
+            }
+            _ => errors.push(format!(
+                "{name}: malformed expectation on line {} (want `rule line col`): {line}",
+                i + 1
+            )),
+        }
+    }
+    out
+}

@@ -10,16 +10,37 @@
 //! source-able locations, so a misconfigured pipeline fails loudly at plan
 //! time instead of silently at row 4 million.
 //!
-//! Entry points are per-artifact (`check_table`, `check_vote_matrix`,
-//! `check_fusion_plan`, `check_graph`); [`Report`] aggregates their
-//! [`Violation`]s. The `xtask validate` subcommand drives them over
-//! seed-built artifacts.
+//! The checks come in two flavors:
+//!
+//! - **artifact checks** ([`artifact`], re-exported at the root:
+//!   [`check_table`], [`check_vote_matrix`], [`check_fusion_plan`],
+//!   [`check_graph`]) inspect built in-memory artifacts and label
+//!   violations with a descriptive `location` string;
+//! - **spec checks** ([`spec`]) validate declarative scenario-spec files
+//!   (`specs/*.json`) and label every violation with a [`cm_span::Span`] —
+//!   the exact byte/line/column of the offending token — rendered as
+//!   `path:line:col: rule: message`.
+//!
+//! [`Report`] aggregates [`Violation`]s from either flavor; the `xtask
+//! validate` subcommand drives both, [`corpus`] replays the pinned
+//! positive/negative spec corpus as the self-test, and [`report_json`]
+//! emits the deterministic machine report.
 
 use std::fmt;
 
-use cm_featurespace::{FeatureKind, FeatureSchema, FeatureTable};
-use cm_labelmodel::LabelMatrix;
-use cm_propagation::SparseGraph;
+pub mod artifact;
+pub mod corpus;
+pub mod report;
+pub mod spec;
+
+pub use artifact::{
+    check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix,
+    FusionKind, FusionPlan,
+};
+pub use report::report_json;
+pub use spec::{validate_spec_source, ExperimentSpec, ScenarioSpec, SpecLabelSource};
+
+use cm_span::Span;
 
 /// The named rule a [`Violation`] was raised under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,9 +69,36 @@ pub enum CheckRule {
     GraphNonFiniteWeight,
     /// A graph edge weight that is zero, negative, or a self-loop.
     GraphInvalidWeight,
+    /// A spec file that is not well-formed JSON.
+    SpecSyntax,
+    /// A spec field that is missing, unknown, or of the wrong type.
+    SpecField,
+    /// A spec field whose value names something that does not exist
+    /// (task, feature set, fusion strategy, ...) or is out of range.
+    SpecValue,
 }
 
 impl CheckRule {
+    /// Every rule, in declaration order — the coverage contract the spec
+    /// corpus self-test asserts against (each must have a positive
+    /// fixture).
+    pub const ALL: [CheckRule; 14] = [
+        CheckRule::SchemaTableMismatch,
+        CheckRule::VocabIndexOutOfBounds,
+        CheckRule::EmbeddingDimMismatch,
+        CheckRule::NonFiniteNumeric,
+        CheckRule::VoteMatrixShape,
+        CheckRule::InvalidVote,
+        CheckRule::DegenerateLf,
+        CheckRule::FusionDimChain,
+        CheckRule::GraphAsymmetry,
+        CheckRule::GraphNonFiniteWeight,
+        CheckRule::GraphInvalidWeight,
+        CheckRule::SpecSyntax,
+        CheckRule::SpecField,
+        CheckRule::SpecValue,
+    ];
+
     /// Stable kebab-case rule name (used in reports and tests).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -66,6 +114,9 @@ impl CheckRule {
             CheckRule::GraphAsymmetry => "graph-asymmetry",
             CheckRule::GraphNonFiniteWeight => "graph-non-finite-weight",
             CheckRule::GraphInvalidWeight => "graph-invalid-weight",
+            CheckRule::SpecSyntax => "spec-syntax",
+            CheckRule::SpecField => "spec-field",
+            CheckRule::SpecValue => "spec-value",
         }
     }
 }
@@ -77,27 +128,88 @@ impl fmt::Display for CheckRule {
 }
 
 /// One failed static check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Which rule fired.
     pub rule: CheckRule,
     /// Which artifact (and where inside it) the rule fired on, e.g.
-    /// `"pool.table[col img_embedding, row 17]"`.
+    /// `"pool.table[col img_embedding, row 17]"`. For spanned violations
+    /// this is rendered from the span as `path:line:col` so programmatic
+    /// consumers of the legacy field keep working.
     pub location: String,
     /// Human-readable explanation with the observed vs expected values.
     pub message: String,
+    /// Exact source position of the offending token, when the violation
+    /// was raised against a source text (a spec file).
+    pub span: Option<Span>,
+    /// Source path the span points into, when known.
+    pub path: Option<String>,
 }
 
 impl Violation {
-    /// Builds a violation.
+    /// Builds a location-string violation (artifact checks).
     pub fn new(rule: CheckRule, location: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { rule, location: location.into(), message: message.into() }
+        Self { rule, location: location.into(), message: message.into(), span: None, path: None }
+    }
+
+    /// Builds a span-carrying violation against the source at `path`; the
+    /// legacy `location` string is rendered from the position.
+    pub fn spanned(
+        rule: CheckRule,
+        path: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Self {
+        let path = path.into();
+        Self {
+            rule,
+            location: format!("{path}:{}:{}", span.line, span.col),
+            message: message.into(),
+            span: Some(span),
+            path: Some(path),
+        }
+    }
+
+    /// 1-based line of the violation, or 0 when it carries no span.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        self.span.map_or(0, |s| s.line)
+    }
+
+    /// 1-based column of the violation, or 0 when it carries no span.
+    #[must_use]
+    pub fn col(&self) -> u32 {
+        self.span.map_or(0, |s| s.col)
+    }
+
+    /// The file-ish key of this violation: the source path when spanned,
+    /// the legacy location string otherwise.
+    #[must_use]
+    pub fn file_key(&self) -> &str {
+        self.path.as_deref().unwrap_or(&self.location)
+    }
+
+    /// Deterministic report order: file/location, then line, column, rule
+    /// name, message.
+    #[must_use]
+    pub fn sort_key_cmp(&self, other: &Violation) -> std::cmp::Ordering {
+        self.file_key()
+            .cmp(other.file_key())
+            .then(self.line().cmp(&other.line()))
+            .then(self.col().cmp(&other.col()))
+            .then(self.rule.name().cmp(other.rule.name()))
+            .then(self.message.cmp(&other.message))
     }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.rule, self.location, self.message)
+        match (&self.path, self.span) {
+            (Some(path), Some(span)) => {
+                write!(f, "{path}:{}:{}: {}: {}", span.line, span.col, self.rule, self.message)
+            }
+            _ => write!(f, "[{}] {}: {}", self.rule, self.location, self.message),
+        }
     }
 }
 
@@ -143,347 +255,4 @@ impl fmt::Display for Report {
         }
         writeln!(f, "validate: {} violation(s)", self.violations.len())
     }
-}
-
-/// How many table rows a full scan inspects before sampling would be
-/// needed; all current seed artifacts are far below this.
-const MAX_SCANNED_ROWS: usize = 1_000_000;
-
-/// Checks a feature table against the registry schema it is supposed to
-/// conform to: column count and per-column identity (name/kind), then a
-/// row scan for out-of-vocabulary categorical ids, mis-sized embeddings,
-/// and non-finite numerics.
-#[must_use]
-pub fn check_table(
-    table: &FeatureTable,
-    expected: &FeatureSchema,
-    location: &str,
-) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let actual = table.schema();
-    if actual.len() != expected.len() {
-        out.push(Violation::new(
-            CheckRule::SchemaTableMismatch,
-            location,
-            format!("table has {} columns, registry schema has {}", actual.len(), expected.len()),
-        ));
-        // Column identities are meaningless once the counts diverge.
-        return out;
-    }
-    for (c, (have, want)) in actual.defs().iter().zip(expected.defs()).enumerate() {
-        if have.name != want.name || have.kind != want.kind {
-            out.push(Violation::new(
-                CheckRule::SchemaTableMismatch,
-                format!("{location}[col {c}]"),
-                format!(
-                    "column is {:?} {:?}, registry declares {:?} {:?}",
-                    have.name, have.kind, want.name, want.kind
-                ),
-            ));
-        }
-    }
-    if !out.is_empty() {
-        return out;
-    }
-    for r in 0..table.len().min(MAX_SCANNED_ROWS) {
-        for (c, def) in expected.defs().iter().enumerate() {
-            match def.kind {
-                FeatureKind::Categorical => {
-                    if let Some(ids) = table.categorical(r, c) {
-                        for &id in ids {
-                            if id as usize >= def.vocab.len() {
-                                out.push(Violation::new(
-                                    CheckRule::VocabIndexOutOfBounds,
-                                    format!("{location}[col {}, row {r}]", def.name),
-                                    format!("id {id} >= vocabulary size {}", def.vocab.len()),
-                                ));
-                            }
-                        }
-                    }
-                }
-                FeatureKind::Embedding { dim } => {
-                    if let Some(e) = table.embedding(r, c) {
-                        if e.len() != dim {
-                            out.push(Violation::new(
-                                CheckRule::EmbeddingDimMismatch,
-                                format!("{location}[col {}, row {r}]", def.name),
-                                format!("stored width {} != declared dim {dim}", e.len()),
-                            ));
-                        } else if !e.iter().all(|v| v.is_finite()) {
-                            out.push(Violation::new(
-                                CheckRule::NonFiniteNumeric,
-                                format!("{location}[col {}, row {r}]", def.name),
-                                "embedding holds a non-finite component".to_owned(),
-                            ));
-                        }
-                    }
-                }
-                FeatureKind::Numeric => {
-                    if let Some(v) = table.numeric(r, c) {
-                        if !v.is_finite() {
-                            out.push(Violation::new(
-                                CheckRule::NonFiniteNumeric,
-                                format!("{location}[col {}, row {r}]", def.name),
-                                format!("numeric value is {v}"),
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Checks an LF vote matrix's shape against the LF registry
-/// (`expected_lfs`) and the row count it is supposed to cover, plus vote
-/// encoding validity. Degeneracy is a separate check
-/// ([`check_lf_degeneracy`]) because it is only meaningful on the dev
-/// matrix the LFs were fit on: abstaining on an entire *pool* is
-/// legitimate when the pool's modality lacks the LF's source feature.
-#[must_use]
-pub fn check_vote_matrix(
-    m: &LabelMatrix,
-    expected_lfs: &[String],
-    expected_rows: usize,
-    location: &str,
-) -> Vec<Violation> {
-    let mut out = Vec::new();
-    if m.n_lfs() != expected_lfs.len() {
-        out.push(Violation::new(
-            CheckRule::VoteMatrixShape,
-            location,
-            format!("matrix has {} LF columns, registry has {}", m.n_lfs(), expected_lfs.len()),
-        ));
-        return out;
-    }
-    for (j, (have, want)) in m.names().iter().zip(expected_lfs).enumerate() {
-        if have != want {
-            out.push(Violation::new(
-                CheckRule::VoteMatrixShape,
-                format!("{location}[lf {j}]"),
-                format!("column is named {have:?}, registry says {want:?}"),
-            ));
-        }
-    }
-    if m.n_rows() != expected_rows {
-        out.push(Violation::new(
-            CheckRule::VoteMatrixShape,
-            location,
-            format!("matrix covers {} rows, pool has {expected_rows}", m.n_rows()),
-        ));
-    }
-    for r in 0..m.n_rows() {
-        for (j, &v) in m.row(r).iter().enumerate() {
-            if !(-1..=1).contains(&v) {
-                out.push(Violation::new(
-                    CheckRule::InvalidVote,
-                    format!("{location}[lf {j}, row {r}]"),
-                    format!("vote {v} outside {{-1, 0, +1}}"),
-                ));
-            }
-        }
-    }
-    out
-}
-
-/// Flags degenerate LFs in a **dev** vote matrix: all-abstain columns
-/// (zero coverage — the label model learns nothing about them) and
-/// constant columns (the same non-abstain vote on every row —
-/// indistinguishable from a class prior). Run this on the matrix the LFs
-/// were fit on, not on a pool matrix.
-#[must_use]
-pub fn check_lf_degeneracy(m: &LabelMatrix, location: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    if m.n_rows() == 0 {
-        return out;
-    }
-    for j in 0..m.n_lfs() {
-        let first = m.row(0)[j];
-        let constant = (1..m.n_rows()).all(|r| m.row(r)[j] == first);
-        if !constant {
-            continue;
-        }
-        let name = &m.names()[j];
-        if first == 0 {
-            out.push(Violation::new(
-                CheckRule::DegenerateLf,
-                format!("{location}[lf {name}]"),
-                "abstains on every row (zero coverage)".to_owned(),
-            ));
-        } else if m.n_rows() > 1 {
-            out.push(Violation::new(
-                CheckRule::DegenerateLf,
-                format!("{location}[lf {name}]"),
-                format!("votes {first:+} on every row (constant; carries no evidence)"),
-            ));
-        }
-    }
-    out
-}
-
-/// Which fusion strategy a [`FusionPlan`] describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FusionKind {
-    /// One model over the concatenated shared layout (§5 early fusion).
-    Early,
-    /// Per-modality encoders meeting at a fusion layer.
-    Intermediate,
-    /// Frozen old-modality model + projection from the new modality's
-    /// embedding space (§5 DeViSE-style).
-    DeVise,
-}
-
-/// Static description of a planned fusion computation — just the widths,
-/// extracted before any training happens — so the dimension chain can be
-/// validated up front.
-#[derive(Debug, Clone)]
-pub struct FusionPlan {
-    /// Fusion strategy.
-    pub kind: FusionKind,
-    /// Dense width of each modality part, in training order.
-    pub part_dims: Vec<usize>,
-    /// DeViSE only: (old-model A embedding width, new-model B embedding
-    /// width).
-    pub embedding_dims: Option<(usize, usize)>,
-    /// DeViSE only: planned projection shape `(src, dst)`; must map B's
-    /// embedding space onto A's.
-    pub projection: Option<(usize, usize)>,
-}
-
-/// Checks a fusion plan's dimension chain: no empty parts, early/DeViSE
-/// parts share one dense width, and the DeViSE projection composes
-/// `B-embedding -> A-embedding`.
-#[must_use]
-pub fn check_fusion_plan(plan: &FusionPlan, location: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    if plan.part_dims.is_empty() {
-        out.push(Violation::new(
-            CheckRule::FusionDimChain,
-            location,
-            "plan has no modality parts".to_owned(),
-        ));
-        return out;
-    }
-    for (i, &d) in plan.part_dims.iter().enumerate() {
-        if d == 0 {
-            out.push(Violation::new(
-                CheckRule::FusionDimChain,
-                format!("{location}[part {i}]"),
-                "modality part encodes to width 0".to_owned(),
-            ));
-        }
-    }
-    match plan.kind {
-        FusionKind::Early | FusionKind::DeVise => {
-            let first = plan.part_dims[0];
-            for (i, &d) in plan.part_dims.iter().enumerate().skip(1) {
-                if d != first {
-                    out.push(Violation::new(
-                        CheckRule::FusionDimChain,
-                        format!("{location}[part {i}]"),
-                        format!(
-                            "dense width {d} differs from part 0's width {first}; \
-                             shared-layout fusion needs one width"
-                        ),
-                    ));
-                }
-            }
-        }
-        FusionKind::Intermediate => {}
-    }
-    if plan.kind == FusionKind::DeVise {
-        match (plan.embedding_dims, plan.projection) {
-            (Some((a_emb, b_emb)), Some((src, dst))) => {
-                if src != b_emb {
-                    out.push(Violation::new(
-                        CheckRule::FusionDimChain,
-                        format!("{location}[projection]"),
-                        format!(
-                            "projection source width {src} != new-model embedding width {b_emb}"
-                        ),
-                    ));
-                }
-                if dst != a_emb {
-                    out.push(Violation::new(
-                        CheckRule::FusionDimChain,
-                        format!("{location}[projection]"),
-                        format!(
-                            "projection target width {dst} != old-model embedding width {a_emb}"
-                        ),
-                    ));
-                }
-            }
-            _ => out.push(Violation::new(
-                CheckRule::FusionDimChain,
-                location,
-                "DeViSE plan needs both embedding_dims and projection".to_owned(),
-            )),
-        }
-    }
-    out
-}
-
-/// Checks a propagation graph: every edge must have a reverse edge with
-/// an identical weight (the propagation fixed point assumes a symmetric
-/// operator), weights must be finite and strictly positive, and no
-/// vertex may neighbor itself.
-#[must_use]
-pub fn check_graph(g: &SparseGraph, location: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for v in 0..g.n_vertices() {
-        let (neigh, weights) = g.neighbors(v);
-        for (&u, &w) in neigh.iter().zip(weights) {
-            let u = u as usize;
-            if !w.is_finite() {
-                out.push(Violation::new(
-                    CheckRule::GraphNonFiniteWeight,
-                    format!("{location}[edge {v}->{u}]"),
-                    format!("weight is {w}"),
-                ));
-                continue;
-            }
-            if w <= 0.0 {
-                out.push(Violation::new(
-                    CheckRule::GraphInvalidWeight,
-                    format!("{location}[edge {v}->{u}]"),
-                    format!("weight {w} is not strictly positive"),
-                ));
-            }
-            if u == v {
-                out.push(Violation::new(
-                    CheckRule::GraphInvalidWeight,
-                    format!("{location}[edge {v}->{v}]"),
-                    "self-loop".to_owned(),
-                ));
-                continue;
-            }
-            if u >= g.n_vertices() {
-                out.push(Violation::new(
-                    CheckRule::GraphAsymmetry,
-                    format!("{location}[edge {v}->{u}]"),
-                    format!("neighbor index {u} >= vertex count {}", g.n_vertices()),
-                ));
-                continue;
-            }
-            let (back, back_w) = g.neighbors(u);
-            match back.iter().position(|&x| x as usize == v) {
-                None => out.push(Violation::new(
-                    CheckRule::GraphAsymmetry,
-                    format!("{location}[edge {v}->{u}]"),
-                    "reverse edge missing".to_owned(),
-                )),
-                Some(pos) => {
-                    if (back_w[pos] - w).abs() > f32::EPSILON * w.abs().max(1.0) {
-                        out.push(Violation::new(
-                            CheckRule::GraphAsymmetry,
-                            format!("{location}[edge {v}->{u}]"),
-                            format!("reverse weight {} != forward weight {w}", back_w[pos]),
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    out
 }

@@ -1,0 +1,40 @@
+//! The validator's machine-readable report, mirroring
+//! `cm_lint::report_json` so the two gate layers archive the same shape.
+//!
+//! Deterministic: violations must be pre-sorted with
+//! [`crate::Violation::sort_key_cmp`] (file, line, col, rule); successive
+//! runs diff cleanly. Artifact violations (no span) report `line`/`col`
+//! 0 and their legacy location string as the file key.
+
+use cm_json::Json;
+
+use crate::Violation;
+
+/// Builds the machine-readable report object. `violations` must already
+/// be sorted.
+#[must_use]
+pub fn report_json(violations: &[Violation], files_scanned: usize) -> Json {
+    Json::obj([
+        ("version", Json::Num(1.0)),
+        ("tool", Json::Str("cm-check".to_owned())),
+        ("files_scanned", Json::Num(files_scanned as f64)),
+        ("violation_count", Json::Num(violations.len() as f64)),
+        (
+            "violations",
+            Json::Arr(
+                violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("file", Json::Str(v.file_key().to_owned())),
+                            ("line", Json::Num(f64::from(v.line()))),
+                            ("col", Json::Num(f64::from(v.col()))),
+                            ("rule", Json::Str(v.rule.name().to_owned())),
+                            ("message", Json::Str(v.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

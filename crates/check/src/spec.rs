@@ -1,0 +1,1382 @@
+//! Declarative scenario-spec parsing and span-aware validation.
+//!
+//! A spec file (`specs/*.json`) declares one experiment of the evaluation
+//! matrix: which tasks it runs, at what scale and over how many seeds,
+//! and the list of [`ScenarioSpec`]s (modality pair, feature sets, label
+//! source, fusion strategy) the experiment trains. `cm-pipeline` turns a
+//! validated [`ScenarioSpec`] into a runnable `Scenario`; the experiment
+//! binaries load their spec instead of hard-coding the matrix.
+//!
+//! [`validate_spec_source`] is the single entry point: it parses with the
+//! span-retaining [`cm_json::JsonNode`] parser and walks the document,
+//! raising every violation with the exact byte/line/column of the
+//! offending token, so `xtask validate` renders `path:line:col: rule:
+//! message` diagnostics. A spec that validates clean is returned as an
+//! [`ExperimentSpec`]; a spec with any violation is not usable.
+//!
+//! ## Spec format
+//!
+//! ```json
+//! {
+//!   "name": "fusion_compare",
+//!   "tasks": ["CT 1", "CT 2"],        // optional; default: all five
+//!   "scale": 0.5,                      // optional; default 1.0
+//!   "seeds": 3,                        // optional seed count; default 1
+//!   "seed": 42,                        // optional base seed; default 42
+//!   "n_labeled_image": 4000,           // optional reservoir size at scale 1
+//!   "fault_plan": "seed=7;topics=unavailable@0.5",  // optional CM_FAULTS spec
+//!   "scenarios": [
+//!     {
+//!       "name": "cross-modal T,I+ABCD",
+//!       "text_sets": "ABCD",           // ladder chars A–D, "" disables text
+//!       "image_sets": "ABCD",
+//!       "label_source": "weak",        // "weak" | "none" | {"fully_supervised": n}
+//!       "fusion": "early",             // "early" | "intermediate" | "devise"
+//!       "include_modality_specific": true
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! A spec may also carry inline **artifact sections** (`table`, `votes`,
+//! `fusion_plan`, `graph`) describing literal artifacts to check. These
+//! exist so every artifact rule family has spec-file positives in the
+//! pinned corpus — the same structural rules as the [`crate::artifact`]
+//! checks, but anchored to exact source positions.
+
+use cm_faults::FaultPlan;
+use cm_featurespace::FeatureSet;
+use cm_json::spanned::offset_span;
+use cm_json::JsonNode;
+use cm_orgsim::TaskId;
+use cm_span::Span;
+
+use crate::{CheckRule, FusionKind, Violation};
+
+/// Where a spec scenario's image-part labels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecLabelSource {
+    /// Probabilistic labels from the curation step.
+    Weak,
+    /// No image labels: the image modality does not train (text transfer).
+    None,
+    /// `n` hand labels from the labeled reservoir (at scale 1.0).
+    FullySupervised(usize),
+}
+
+/// One scenario of the evaluation matrix, as declared in a spec file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Display name; also the join key for report rows.
+    pub name: String,
+    /// Shared feature sets for the text part; empty disables text.
+    pub text_sets: Vec<FeatureSet>,
+    /// Shared feature sets for the image part and test encoding.
+    pub image_sets: Vec<FeatureSet>,
+    /// Image-label source.
+    pub label_source: SpecLabelSource,
+    /// Fusion strategy.
+    pub fusion: FusionKind,
+    /// Include modality-specific features in the layout.
+    pub include_modality_specific: bool,
+}
+
+/// A validated experiment spec: the full configuration one experiment
+/// binary needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (conventionally the spec's file stem).
+    pub name: String,
+    /// Tasks the experiment sweeps, in paper order.
+    pub tasks: Vec<TaskId>,
+    /// Synthetic-world scale factor.
+    pub scale: f64,
+    /// How many seeds to average over.
+    pub seeds: usize,
+    /// Base seed (seed `i` of the sweep is `seed + i * 1000`, matching
+    /// the `CM_SEEDS` convention).
+    pub seed: u64,
+    /// Labeled-image reservoir size at scale 1.0, when the experiment
+    /// pins one.
+    pub n_labeled_image: Option<usize>,
+    /// Fault plan in `CM_FAULTS` syntax, when the experiment injects
+    /// faults.
+    pub fault_plan: Option<String>,
+    /// The scenario matrix.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+/// Validates a spec source text. On a clean spec, returns it parsed; any
+/// violation (each carrying the exact span of the offending token in
+/// `source`) makes the spec unusable and the first element `None`.
+pub fn validate_spec_source(source: &str, path: &str) -> (Option<ExperimentSpec>, Vec<Violation>) {
+    let root = match JsonNode::parse(source) {
+        Ok(n) => n,
+        Err(e) => {
+            let span = offset_span(source, e.offset);
+            return (None, vec![Violation::spanned(CheckRule::SpecSyntax, path, span, e.message)]);
+        }
+    };
+    let mut w = Walker { path, out: Vec::new() };
+    let spec = w.experiment(&root);
+    if w.out.is_empty() {
+        (spec, w.out)
+    } else {
+        (None, w.out)
+    }
+}
+
+/// The known top-level spec fields.
+const TOP_FIELDS: &[&str] = &[
+    "name",
+    "tasks",
+    "scale",
+    "seeds",
+    "seed",
+    "n_labeled_image",
+    "fault_plan",
+    "scenarios",
+    "table",
+    "votes",
+    "fusion_plan",
+    "graph",
+];
+
+/// The known scenario fields.
+const SCENARIO_FIELDS: &[&str] =
+    &["name", "text_sets", "image_sets", "label_source", "fusion", "include_modality_specific"];
+
+/// Validation walker: accumulates spanned violations against `path`.
+struct Walker<'a> {
+    path: &'a str,
+    out: Vec<Violation>,
+}
+
+impl Walker<'_> {
+    fn push(&mut self, rule: CheckRule, span: Span, message: impl Into<String>) {
+        self.out.push(Violation::spanned(rule, self.path, span, message));
+    }
+
+    /// Flags unknown keys of an object against an allow-list.
+    fn known_fields(&mut self, node: &JsonNode, allowed: &[&str], what: &str) {
+        if let Some(entries) = node.as_obj() {
+            for e in entries {
+                if !allowed.contains(&e.key.as_str()) {
+                    self.push(
+                        CheckRule::SpecField,
+                        e.key_span,
+                        format!("unknown {what} field {:?}", e.key),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A required string field; `None` (with a violation) when missing or
+    /// mistyped.
+    fn req_str<'n>(&mut self, node: &'n JsonNode, key: &str, what: &str) -> Option<&'n str> {
+        match node.get(key) {
+            Some(v) => match v.as_str() {
+                Some(s) => Some(s),
+                None => {
+                    self.push(
+                        CheckRule::SpecField,
+                        v.span,
+                        format!("{what} {key:?} is {}, expected string", v.type_name()),
+                    );
+                    None
+                }
+            },
+            None => {
+                self.push(
+                    CheckRule::SpecField,
+                    node.span,
+                    format!("{what} is missing required field {key:?}"),
+                );
+                None
+            }
+        }
+    }
+
+    /// An optional non-negative integer field.
+    fn opt_usize(&mut self, node: &JsonNode, key: &str) -> Option<usize> {
+        let v = node.get(key)?;
+        match v.as_usize() {
+            Some(n) => Some(n),
+            None => {
+                self.push(
+                    CheckRule::SpecField,
+                    v.span,
+                    format!("{key:?} must be a non-negative integer, got {}", render(v)),
+                );
+                None
+            }
+        }
+    }
+
+    fn experiment(&mut self, root: &JsonNode) -> Option<ExperimentSpec> {
+        if root.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                root.span,
+                format!("spec root is {}, expected object", root.type_name()),
+            );
+            return None;
+        }
+        self.known_fields(root, TOP_FIELDS, "spec");
+        let name = self.req_str(root, "name", "spec").unwrap_or_default().to_owned();
+        let tasks = self.tasks(root);
+        let scale = self.scale(root);
+        let seeds = match self.opt_usize(root, "seeds") {
+            Some(0) => {
+                if let Some(v) = root.get("seeds") {
+                    self.push(CheckRule::SpecValue, v.span, "seed count must be at least 1");
+                }
+                1
+            }
+            Some(n) => n,
+            None => 1,
+        };
+        let seed = self.opt_usize(root, "seed").map_or(42, |n| n as u64);
+        let n_labeled_image = self.opt_usize(root, "n_labeled_image");
+        let fault_plan = self.fault_plan(root);
+        let scenarios = self.scenarios(root);
+        self.table_section(root);
+        self.votes_section(root);
+        self.fusion_plan_section(root);
+        self.graph_section(root);
+        Some(ExperimentSpec {
+            name,
+            tasks,
+            scale,
+            seeds,
+            seed,
+            n_labeled_image,
+            fault_plan,
+            scenarios,
+        })
+    }
+
+    fn tasks(&mut self, root: &JsonNode) -> Vec<TaskId> {
+        let Some(v) = root.get("tasks") else {
+            return TaskId::ALL.to_vec();
+        };
+        let Some(items) = v.as_arr() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("\"tasks\" is {}, expected an array of task names", v.type_name()),
+            );
+            return TaskId::ALL.to_vec();
+        };
+        if items.is_empty() {
+            self.push(CheckRule::SpecValue, v.span, "\"tasks\" selects no tasks");
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for item in items {
+            let Some(s) = item.as_str() else {
+                self.push(
+                    CheckRule::SpecField,
+                    item.span,
+                    format!("task entry is {}, expected a name like \"CT 1\"", item.type_name()),
+                );
+                continue;
+            };
+            match TaskId::from_name(s) {
+                Some(id) if out.contains(&id) => {
+                    self.push(
+                        CheckRule::SpecValue,
+                        item.span,
+                        format!("task {:?} listed twice", id.name()),
+                    );
+                }
+                Some(id) => out.push(id),
+                None => self.push(
+                    CheckRule::SpecValue,
+                    item.span,
+                    format!("unknown task {s:?} (know CT 1 .. CT 5)"),
+                ),
+            }
+        }
+        out
+    }
+
+    fn scale(&mut self, root: &JsonNode) -> f64 {
+        let Some(v) = root.get("scale") else {
+            return 1.0;
+        };
+        let Some(n) = v.as_f64() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("\"scale\" is {}, expected number", v.type_name()),
+            );
+            return 1.0;
+        };
+        if !n.is_finite() {
+            self.push(CheckRule::NonFiniteNumeric, v.span, format!("scale is {n}"));
+            return 1.0;
+        }
+        if n <= 0.0 {
+            self.push(CheckRule::SpecValue, v.span, format!("scale {n} is not strictly positive"));
+            return 1.0;
+        }
+        n
+    }
+
+    fn fault_plan(&mut self, root: &JsonNode) -> Option<String> {
+        let v = root.get("fault_plan")?;
+        let Some(s) = v.as_str() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("\"fault_plan\" is {}, expected a CM_FAULTS string", v.type_name()),
+            );
+            return None;
+        };
+        if let Err(e) = FaultPlan::parse(s) {
+            self.push(
+                CheckRule::SpecValue,
+                v.span,
+                format!("fault plan does not parse: {}", e.message),
+            );
+            return None;
+        }
+        Some(s.to_owned())
+    }
+
+    fn scenarios(&mut self, root: &JsonNode) -> Vec<ScenarioSpec> {
+        let Some(v) = root.get("scenarios") else {
+            return Vec::new();
+        };
+        let Some(items) = v.as_arr() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("\"scenarios\" is {}, expected array", v.type_name()),
+            );
+            return Vec::new();
+        };
+        let mut out: Vec<ScenarioSpec> = Vec::new();
+        for item in items {
+            if item.as_obj().is_none() {
+                self.push(
+                    CheckRule::SpecField,
+                    item.span,
+                    format!("scenario entry is {}, expected object", item.type_name()),
+                );
+                continue;
+            }
+            if let Some(s) = self.scenario(item) {
+                if out.iter().any(|prev| prev.name == s.name) {
+                    let span = item.key_span("name").unwrap_or(item.span);
+                    self.push(
+                        CheckRule::SpecValue,
+                        span,
+                        format!("duplicate scenario name {:?}", s.name),
+                    );
+                }
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn scenario(&mut self, node: &JsonNode) -> Option<ScenarioSpec> {
+        self.known_fields(node, SCENARIO_FIELDS, "scenario");
+        let name = self.req_str(node, "name", "scenario")?.to_owned();
+        let text_sets = self.set_ladder(node, "text_sets");
+        let image_sets = self.set_ladder(node, "image_sets");
+        let label_source = self.label_source(node);
+        let fusion = self.fusion(node);
+        let include_modality_specific = match node.get("include_modality_specific") {
+            None => true,
+            Some(v) => v.as_bool().unwrap_or_else(|| {
+                self.push(
+                    CheckRule::SpecField,
+                    v.span,
+                    format!("\"include_modality_specific\" is {}, expected boolean", v.type_name()),
+                );
+                true
+            }),
+        };
+
+        // Semantic checks: the same structural facts `check_fusion_plan`
+        // and `ScenarioRunner::run` enforce on built artifacts, caught at
+        // the spec token that causes them.
+        let anchor = node.key_span("name").unwrap_or(node.span);
+        let has_text = !text_sets.is_empty();
+        let has_image = label_source != SpecLabelSource::None;
+        if !has_text && !has_image {
+            self.push(
+                CheckRule::FusionDimChain,
+                anchor,
+                "scenario trains no modality (no text sets and no image labels)",
+            );
+        } else if !has_text && image_sets.is_empty() && !include_modality_specific {
+            self.push(
+                CheckRule::FusionDimChain,
+                anchor,
+                "scenario selects no features (empty set ladders without modality-specific)",
+            );
+        }
+        if fusion == FusionKind::DeVise && !(has_text && has_image) {
+            let span = node.get("fusion").map_or(anchor, |v| v.span);
+            self.push(
+                CheckRule::FusionDimChain,
+                span,
+                "DeViSE requires both an old (text) and a new (image) modality part",
+            );
+        }
+        Some(ScenarioSpec {
+            name,
+            text_sets,
+            image_sets,
+            label_source,
+            fusion,
+            include_modality_specific,
+        })
+    }
+
+    /// Parses a `"ABCD"`-style ladder string field into feature sets,
+    /// pointing violations at the exact character.
+    fn set_ladder(&mut self, node: &JsonNode, key: &str) -> Vec<FeatureSet> {
+        let Some(v) = node.get(key) else {
+            return Vec::new();
+        };
+        let Some(s) = v.as_str() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("{key:?} is {}, expected a ladder string like \"ABCD\"", v.type_name()),
+            );
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, c) in s.chars().enumerate() {
+            let set = match c {
+                'A' => FeatureSet::A,
+                'B' => FeatureSet::B,
+                'C' => FeatureSet::C,
+                'D' => FeatureSet::D,
+                other => {
+                    self.push(
+                        CheckRule::SpecValue,
+                        ladder_char_span(v.span, i),
+                        format!("unknown feature set {other:?} (know A, B, C, D)"),
+                    );
+                    continue;
+                }
+            };
+            if out.contains(&set) {
+                self.push(
+                    CheckRule::SpecValue,
+                    ladder_char_span(v.span, i),
+                    format!("feature set {c} listed twice"),
+                );
+            } else {
+                out.push(set);
+            }
+        }
+        out
+    }
+
+    fn label_source(&mut self, node: &JsonNode) -> SpecLabelSource {
+        let Some(v) = node.get("label_source") else {
+            return SpecLabelSource::Weak;
+        };
+        if let Some(s) = v.as_str() {
+            return match s {
+                "weak" => SpecLabelSource::Weak,
+                "none" => SpecLabelSource::None,
+                other => {
+                    self.push(
+                        CheckRule::SpecValue,
+                        v.span,
+                        format!(
+                            "unknown label source {other:?} \
+                             (know \"weak\", \"none\", {{\"fully_supervised\": n}})"
+                        ),
+                    );
+                    SpecLabelSource::Weak
+                }
+            };
+        }
+        if v.as_obj().is_some() {
+            self.known_fields(v, &["fully_supervised"], "label_source");
+            if let Some(nv) = v.get("fully_supervised") {
+                return match nv.as_usize() {
+                    Some(0) => {
+                        self.push(
+                            CheckRule::SpecValue,
+                            nv.span,
+                            "fully supervised scenario needs at least 1 label",
+                        );
+                        SpecLabelSource::Weak
+                    }
+                    Some(n) => SpecLabelSource::FullySupervised(n),
+                    None => {
+                        self.push(
+                            CheckRule::SpecField,
+                            nv.span,
+                            format!("\"fully_supervised\" must be a count, got {}", render(nv)),
+                        );
+                        SpecLabelSource::Weak
+                    }
+                };
+            }
+        }
+        self.push(
+            CheckRule::SpecField,
+            v.span,
+            format!("\"label_source\" is {}, expected \"weak\", \"none\", or {{\"fully_supervised\": n}}", v.type_name()),
+        );
+        SpecLabelSource::Weak
+    }
+
+    fn fusion(&mut self, node: &JsonNode) -> FusionKind {
+        let Some(v) = node.get("fusion") else {
+            return FusionKind::Early;
+        };
+        match v.as_str() {
+            Some("early") => FusionKind::Early,
+            Some("intermediate") => FusionKind::Intermediate,
+            Some("devise") => FusionKind::DeVise,
+            Some(other) => {
+                self.push(
+                    CheckRule::SpecValue,
+                    v.span,
+                    format!(
+                        "unknown fusion strategy {other:?} \
+                         (know \"early\", \"intermediate\", \"devise\")"
+                    ),
+                );
+                FusionKind::Early
+            }
+            None => {
+                self.push(
+                    CheckRule::SpecField,
+                    v.span,
+                    format!("\"fusion\" is {}, expected string", v.type_name()),
+                );
+                FusionKind::Early
+            }
+        }
+    }
+}
+
+/// Internal column kind for the inline `table` section.
+enum ColKind {
+    Num,
+    Cat(usize),
+    Emb(usize),
+}
+
+impl Walker<'_> {
+    /// Validates the inline `table` artifact section:
+    /// `{"schema": [{"name", "kind"}], "rows": [[cell, ...]]}` where a
+    /// cell is a number, `{"cat": [ids]}`, `{"emb": [floats]}`, or null.
+    fn table_section(&mut self, root: &JsonNode) {
+        let Some(section) = root.get("table") else {
+            return;
+        };
+        if section.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                format!("\"table\" is {}, expected object", section.type_name()),
+            );
+            return;
+        }
+        self.known_fields(section, &["schema", "rows"], "table");
+        let mut cols: Vec<(String, ColKind)> = Vec::new();
+        let mut schema_ok = true;
+        match section.get("schema").and_then(JsonNode::as_arr) {
+            Some(defs) => {
+                for def in defs {
+                    let Some(name) = self.req_str(def, "name", "column") else {
+                        schema_ok = false;
+                        continue;
+                    };
+                    let name = name.to_owned();
+                    self.known_fields(def, &["name", "kind"], "column");
+                    let Some(kv) = def.get("kind") else {
+                        self.push(
+                            CheckRule::SpecField,
+                            def.span,
+                            format!("column {name:?} is missing required field \"kind\""),
+                        );
+                        schema_ok = false;
+                        continue;
+                    };
+                    let kind = if kv.as_str() == Some("numeric") {
+                        Some(ColKind::Num)
+                    } else if let Some(vocab) = kv.get("categorical") {
+                        vocab.as_arr().map(|v| ColKind::Cat(v.len())).or_else(|| {
+                            self.push(
+                                CheckRule::SpecField,
+                                vocab.span,
+                                "\"categorical\" must list the vocabulary as an array",
+                            );
+                            None
+                        })
+                    } else if let Some(dim) = kv.get("embedding") {
+                        dim.as_usize().map(ColKind::Emb).or_else(|| {
+                            self.push(
+                                CheckRule::SpecField,
+                                dim.span,
+                                format!("\"embedding\" must be a width, got {}", render(dim)),
+                            );
+                            None
+                        })
+                    } else {
+                        self.push(
+                            CheckRule::SpecField,
+                            kv.span,
+                            "column kind must be \"numeric\", {\"categorical\": [...]}, \
+                             or {\"embedding\": dim}",
+                        );
+                        None
+                    };
+                    match kind {
+                        Some(k) => cols.push((name, k)),
+                        None => schema_ok = false,
+                    }
+                }
+            }
+            None => {
+                self.push(
+                    CheckRule::SpecField,
+                    section.span,
+                    "\"table\" needs a \"schema\" array of column definitions",
+                );
+                schema_ok = false;
+            }
+        }
+        let Some(rows) = section.get("rows").and_then(JsonNode::as_arr) else {
+            self.push(CheckRule::SpecField, section.span, "\"table\" needs a \"rows\" array");
+            return;
+        };
+        if !schema_ok {
+            return;
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let Some(cells) = row.as_arr() else {
+                self.push(
+                    CheckRule::SpecField,
+                    row.span,
+                    format!("row {r} is {}, expected an array of cells", row.type_name()),
+                );
+                continue;
+            };
+            if cells.len() != cols.len() {
+                self.push(
+                    CheckRule::SchemaTableMismatch,
+                    row.span,
+                    format!("row {r} has {} cells, schema has {} columns", cells.len(), cols.len()),
+                );
+                continue;
+            }
+            for (cell, (name, kind)) in cells.iter().zip(&cols) {
+                self.table_cell(cell, name, kind, r);
+            }
+        }
+    }
+
+    fn table_cell(&mut self, cell: &JsonNode, name: &str, kind: &ColKind, row: usize) {
+        if cell.is_null() {
+            return; // missing value — legitimate sparsity
+        }
+        match kind {
+            ColKind::Num => match cell.as_f64() {
+                Some(v) if !v.is_finite() => self.push(
+                    CheckRule::NonFiniteNumeric,
+                    cell.span,
+                    format!("numeric value is {v} [col {name}, row {row}]"),
+                ),
+                Some(_) => {}
+                None => self.push(
+                    CheckRule::SchemaTableMismatch,
+                    cell.span,
+                    format!("cell is {}, column {name:?} is numeric", cell.type_name()),
+                ),
+            },
+            ColKind::Cat(vocab_len) => match cell.get("cat").and_then(JsonNode::as_arr) {
+                Some(ids) => {
+                    for id in ids {
+                        match id.as_usize() {
+                            Some(v) if v >= *vocab_len => self.push(
+                                CheckRule::VocabIndexOutOfBounds,
+                                id.span,
+                                format!(
+                                    "id {v} >= vocabulary size {vocab_len} [col {name}, row {row}]"
+                                ),
+                            ),
+                            Some(_) => {}
+                            None => self.push(
+                                CheckRule::SpecField,
+                                id.span,
+                                format!(
+                                    "category id must be a non-negative integer, got {}",
+                                    render(id)
+                                ),
+                            ),
+                        }
+                    }
+                }
+                None => self.push(
+                    CheckRule::SchemaTableMismatch,
+                    cell.span,
+                    format!("cell lacks {{\"cat\": [...]}}, column {name:?} is categorical"),
+                ),
+            },
+            ColKind::Emb(dim) => match cell.get("emb").and_then(JsonNode::as_arr) {
+                Some(vals) => {
+                    if vals.len() != *dim {
+                        self.push(
+                            CheckRule::EmbeddingDimMismatch,
+                            cell.span,
+                            format!(
+                                "stored width {} != declared dim {dim} [col {name}, row {row}]",
+                                vals.len()
+                            ),
+                        );
+                        return;
+                    }
+                    for v in vals {
+                        match v.as_f64() {
+                            Some(x) if !x.is_finite() => self.push(
+                                CheckRule::NonFiniteNumeric,
+                                v.span,
+                                format!(
+                                    "embedding holds a non-finite component [col {name}, row {row}]"
+                                ),
+                            ),
+                            Some(_) => {}
+                            None => self.push(
+                                CheckRule::SpecField,
+                                v.span,
+                                format!("embedding component must be a number, got {}", render(v)),
+                            ),
+                        }
+                    }
+                }
+                None => self.push(
+                    CheckRule::SchemaTableMismatch,
+                    cell.span,
+                    format!("cell lacks {{\"emb\": [...]}}, column {name:?} is an embedding"),
+                ),
+            },
+        }
+    }
+
+    /// Validates the inline `votes` artifact section:
+    /// `{"lfs": ["name", ...], "rows": [[-1, 0, 1], ...]}`.
+    fn votes_section(&mut self, root: &JsonNode) {
+        let Some(section) = root.get("votes") else {
+            return;
+        };
+        if section.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                format!("\"votes\" is {}, expected object", section.type_name()),
+            );
+            return;
+        }
+        self.known_fields(section, &["lfs", "rows"], "votes");
+        let Some(lfs) = section.get("lfs").and_then(JsonNode::as_arr) else {
+            self.push(CheckRule::SpecField, section.span, "\"votes\" needs an \"lfs\" name array");
+            return;
+        };
+        let Some(rows) = section.get("rows").and_then(JsonNode::as_arr) else {
+            self.push(CheckRule::SpecField, section.span, "\"votes\" needs a \"rows\" array");
+            return;
+        };
+        let mut shape_ok = true;
+        let mut columns: Vec<Vec<i64>> = vec![Vec::new(); lfs.len()];
+        for (r, row) in rows.iter().enumerate() {
+            let Some(votes) = row.as_arr() else {
+                self.push(
+                    CheckRule::SpecField,
+                    row.span,
+                    format!("row {r} is {}, expected an array of votes", row.type_name()),
+                );
+                shape_ok = false;
+                continue;
+            };
+            if votes.len() != lfs.len() {
+                self.push(
+                    CheckRule::VoteMatrixShape,
+                    row.span,
+                    format!("row {r} has {} votes, registry has {} LFs", votes.len(), lfs.len()),
+                );
+                shape_ok = false;
+                continue;
+            }
+            for (j, v) in votes.iter().enumerate() {
+                match v.as_f64() {
+                    Some(x) if x.fract() == 0.0 && (-1.0..=1.0).contains(&x) => {
+                        columns[j].push(x as i64);
+                    }
+                    Some(x) => self.push(
+                        CheckRule::InvalidVote,
+                        v.span,
+                        format!("vote {x} outside {{-1, 0, +1}} [lf {j}, row {r}]"),
+                    ),
+                    None => self.push(
+                        CheckRule::SpecField,
+                        v.span,
+                        format!("vote must be a number, got {}", render(v)),
+                    ),
+                }
+            }
+        }
+        if !shape_ok || rows.is_empty() {
+            return;
+        }
+        // Degeneracy, anchored at the LF's name token.
+        for (j, lf) in lfs.iter().enumerate() {
+            let name = lf.as_str().unwrap_or("?");
+            let col = &columns[j];
+            if col.len() != rows.len() {
+                continue; // some votes in this column were invalid
+            }
+            let first = col[0];
+            if !col.iter().all(|&v| v == first) {
+                continue;
+            }
+            if first == 0 {
+                self.push(
+                    CheckRule::DegenerateLf,
+                    lf.span,
+                    format!("lf {name} abstains on every row (zero coverage)"),
+                );
+            } else if rows.len() > 1 {
+                self.push(
+                    CheckRule::DegenerateLf,
+                    lf.span,
+                    format!(
+                        "lf {name} votes {first:+} on every row (constant; carries no evidence)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Validates the inline `fusion_plan` artifact section — the spanned
+    /// twin of [`crate::artifact::check_fusion_plan`].
+    fn fusion_plan_section(&mut self, root: &JsonNode) {
+        let Some(section) = root.get("fusion_plan") else {
+            return;
+        };
+        if section.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                format!("\"fusion_plan\" is {}, expected object", section.type_name()),
+            );
+            return;
+        }
+        self.known_fields(
+            section,
+            &["kind", "part_dims", "embedding_dims", "projection"],
+            "fusion_plan",
+        );
+        let kind = match section.get("kind") {
+            None => {
+                self.push(
+                    CheckRule::SpecField,
+                    section.span,
+                    "\"fusion_plan\" needs a \"kind\" (\"early\", \"intermediate\", \"devise\")",
+                );
+                FusionKind::Early
+            }
+            Some(v) => match v.as_str() {
+                Some("early") => FusionKind::Early,
+                Some("intermediate") => FusionKind::Intermediate,
+                Some("devise") => FusionKind::DeVise,
+                Some(other) => {
+                    self.push(
+                        CheckRule::SpecValue,
+                        v.span,
+                        format!(
+                            "unknown fusion strategy {other:?} \
+                             (know \"early\", \"intermediate\", \"devise\")"
+                        ),
+                    );
+                    FusionKind::Early
+                }
+                None => {
+                    self.push(
+                        CheckRule::SpecField,
+                        v.span,
+                        format!("\"kind\" is {}, expected string", v.type_name()),
+                    );
+                    FusionKind::Early
+                }
+            },
+        };
+        let Some(dims_node) = section.get("part_dims") else {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                "\"fusion_plan\" needs a \"part_dims\" width array",
+            );
+            return;
+        };
+        let Some(dim_nodes) = dims_node.as_arr() else {
+            self.push(
+                CheckRule::SpecField,
+                dims_node.span,
+                format!("\"part_dims\" is {}, expected array", dims_node.type_name()),
+            );
+            return;
+        };
+        if dim_nodes.is_empty() {
+            self.push(CheckRule::FusionDimChain, dims_node.span, "plan has no modality parts");
+            return;
+        }
+        let mut dims: Vec<Option<usize>> = Vec::new();
+        for d in dim_nodes {
+            match d.as_usize() {
+                Some(0) => {
+                    self.push(
+                        CheckRule::FusionDimChain,
+                        d.span,
+                        "modality part encodes to width 0",
+                    );
+                    dims.push(Some(0));
+                }
+                Some(n) => dims.push(Some(n)),
+                None => {
+                    self.push(
+                        CheckRule::SpecField,
+                        d.span,
+                        format!("part width must be a non-negative integer, got {}", render(d)),
+                    );
+                    dims.push(None);
+                }
+            }
+        }
+        if matches!(kind, FusionKind::Early | FusionKind::DeVise) {
+            if let Some(first) = dims[0] {
+                for (node, d) in dim_nodes.iter().zip(&dims).skip(1) {
+                    if let Some(d) = d {
+                        if *d != first {
+                            self.push(
+                                CheckRule::FusionDimChain,
+                                node.span,
+                                format!(
+                                    "dense width {d} differs from part 0's width {first}; \
+                                     shared-layout fusion needs one width"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if kind == FusionKind::DeVise {
+            let emb = self.usize_pair(section, "embedding_dims");
+            let proj = self.usize_pair(section, "projection");
+            match (emb, proj) {
+                (Some((a_emb, b_emb)), Some((src, dst))) => {
+                    let span = section.get("projection").map_or(section.span, |v| v.span);
+                    if src != b_emb {
+                        self.push(
+                            CheckRule::FusionDimChain,
+                            span,
+                            format!(
+                                "projection source width {src} != new-model embedding width {b_emb}"
+                            ),
+                        );
+                    }
+                    if dst != a_emb {
+                        self.push(
+                            CheckRule::FusionDimChain,
+                            span,
+                            format!(
+                                "projection target width {dst} != old-model embedding width {a_emb}"
+                            ),
+                        );
+                    }
+                }
+                _ => self.push(
+                    CheckRule::FusionDimChain,
+                    section.span,
+                    "DeViSE plan needs both embedding_dims and projection",
+                ),
+            }
+        }
+    }
+
+    /// An optional `[a, b]` pair field of non-negative integers.
+    fn usize_pair(&mut self, node: &JsonNode, key: &str) -> Option<(usize, usize)> {
+        let v = node.get(key)?;
+        let pair = v.as_arr().and_then(|items| match items {
+            [a, b] => Some((a.as_usize()?, b.as_usize()?)),
+            _ => None,
+        });
+        if pair.is_none() {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("{key:?} must be a pair of widths [a, b], got {}", render(v)),
+            );
+        }
+        pair
+    }
+
+    /// Validates the inline `graph` artifact section:
+    /// `{"n": vertices, "edges": [[u, v, weight], ...]}` (directed edge
+    /// list; symmetry must be written out explicitly).
+    fn graph_section(&mut self, root: &JsonNode) {
+        let Some(section) = root.get("graph") else {
+            return;
+        };
+        if section.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                format!("\"graph\" is {}, expected object", section.type_name()),
+            );
+            return;
+        }
+        self.known_fields(section, &["n", "edges"], "graph");
+        let Some(n) = self.opt_usize(section, "n") else {
+            if section.get("n").is_none() {
+                self.push(
+                    CheckRule::SpecField,
+                    section.span,
+                    "\"graph\" needs an \"n\" vertex count",
+                );
+            }
+            return;
+        };
+        let Some(edges) = section.get("edges").and_then(JsonNode::as_arr) else {
+            self.push(CheckRule::SpecField, section.span, "\"graph\" needs an \"edges\" array");
+            return;
+        };
+        // First pass: decode (u, v, w) triples, flagging local problems.
+        let mut decoded: Vec<Option<(usize, usize, f32)>> = Vec::new();
+        for edge in edges {
+            let triple = edge.as_arr().and_then(|items| match items {
+                [u, v, w] => Some((u, v, w)),
+                _ => None,
+            });
+            let Some((u_node, v_node, w_node)) = triple else {
+                self.push(
+                    CheckRule::SpecField,
+                    edge.span,
+                    "edge must be a [from, to, weight] triple",
+                );
+                decoded.push(None);
+                continue;
+            };
+            let (u, v, w) = match (u_node.as_usize(), v_node.as_usize(), w_node.as_f64()) {
+                (Some(u), Some(v), Some(w)) => (u, v, w as f32),
+                _ => {
+                    self.push(
+                        CheckRule::SpecField,
+                        edge.span,
+                        "edge endpoints must be vertex indices and the weight a number",
+                    );
+                    decoded.push(None);
+                    continue;
+                }
+            };
+            if !w.is_finite() {
+                self.push(
+                    CheckRule::GraphNonFiniteWeight,
+                    w_node.span,
+                    format!("weight is {w} [edge {u}->{v}]"),
+                );
+                decoded.push(None);
+                continue;
+            }
+            if w <= 0.0 {
+                self.push(
+                    CheckRule::GraphInvalidWeight,
+                    w_node.span,
+                    format!("weight {w} is not strictly positive [edge {u}->{v}]"),
+                );
+            }
+            if u == v {
+                self.push(
+                    CheckRule::GraphInvalidWeight,
+                    edge.span,
+                    format!("self-loop [edge {u}->{v}]"),
+                );
+                decoded.push(None);
+                continue;
+            }
+            let mut in_range = true;
+            for (idx, node) in [(u, u_node), (v, v_node)] {
+                if idx >= n {
+                    self.push(
+                        CheckRule::GraphAsymmetry,
+                        node.span,
+                        format!("neighbor index {idx} >= vertex count {n}"),
+                    );
+                    in_range = false;
+                }
+            }
+            decoded.push(in_range.then_some((u, v, w)));
+        }
+        // Second pass: symmetry, anchored at the un-mirrored edge.
+        for (edge, dec) in edges.iter().zip(&decoded) {
+            let Some((u, v, w)) = dec else { continue };
+            let back = decoded
+                .iter()
+                .flatten()
+                .find(|(bu, bv, _)| (*bu, *bv) == (*v, *u))
+                .map(|(_, _, bw)| *bw);
+            match back {
+                None => self.push(
+                    CheckRule::GraphAsymmetry,
+                    edge.span,
+                    format!("reverse edge missing [edge {u}->{v}]"),
+                ),
+                Some(bw) => {
+                    if (bw - w).abs() > f32::EPSILON * w.abs().max(1.0) {
+                        self.push(
+                            CheckRule::GraphAsymmetry,
+                            edge.span,
+                            format!("reverse weight {bw} != forward weight {w} [edge {u}->{v}]"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Span of the `i`-th ladder character inside a quoted ASCII string
+/// token.
+fn ladder_char_span(string_span: Span, i: usize) -> Span {
+    let byte = string_span.byte + 1 + i;
+    Span::new(byte, byte + 1, string_span.line, string_span.col + 1 + i as u32)
+}
+
+/// Short value rendering for diagnostics.
+fn render(v: &JsonNode) -> String {
+    v.to_json().to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        validate_spec_source(src, "specs/test.json").1
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        let mut r: Vec<_> = violations(src).iter().map(|v| v.rule.name()).collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn minimal_clean_spec_parses_with_defaults() {
+        let (spec, v) = validate_spec_source(r#"{"name": "t"}"#, "specs/t.json");
+        assert!(v.is_empty(), "{v:?}");
+        let spec = spec.unwrap();
+        assert_eq!(spec.tasks, TaskId::ALL.to_vec());
+        assert_eq!(spec.scale, 1.0);
+        assert_eq!(spec.seeds, 1);
+        assert_eq!(spec.seed, 42);
+        assert!(spec.scenarios.is_empty());
+    }
+
+    #[test]
+    fn full_scenario_spec_round_trips() {
+        let src = r#"{
+            "name": "fusion_compare",
+            "tasks": ["CT 1", "ct2"],
+            "scale": 0.5,
+            "seeds": 3,
+            "n_labeled_image": 4000,
+            "scenarios": [
+                {"name": "cross", "text_sets": "ABCD", "image_sets": "ABCD",
+                 "label_source": "weak", "fusion": "devise"},
+                {"name": "hand", "image_sets": "AB",
+                 "label_source": {"fully_supervised": 500}, "fusion": "early",
+                 "include_modality_specific": false}
+            ]
+        }"#;
+        let (spec, v) = validate_spec_source(src, "specs/t.json");
+        assert!(v.is_empty(), "{v:?}");
+        let spec = spec.unwrap();
+        assert_eq!(spec.tasks, vec![TaskId::Ct1, TaskId::Ct2]);
+        assert_eq!(spec.n_labeled_image, Some(4000));
+        assert_eq!(spec.scenarios.len(), 2);
+        assert_eq!(spec.scenarios[0].fusion, FusionKind::DeVise);
+        assert_eq!(spec.scenarios[0].text_sets, FeatureSet::SHARED.to_vec());
+        assert_eq!(spec.scenarios[1].label_source, SpecLabelSource::FullySupervised(500));
+        assert!(!spec.scenarios[1].include_modality_specific);
+    }
+
+    #[test]
+    fn syntax_errors_carry_the_failure_position() {
+        let src = "{\"name\": \"t\",\n  \"tasks\": [}";
+        let v = violations(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, CheckRule::SpecSyntax);
+        let span = v[0].span.unwrap();
+        assert_eq!((span.line, span.col), (2, 13), "anchored at the stray '}}'");
+        assert_eq!(v[0].location, "specs/test.json:2:13");
+    }
+
+    #[test]
+    fn unknown_fields_and_values_point_at_their_tokens() {
+        let src = "{\"name\": \"t\",\n  \"tusks\": [\"CT 1\"],\n  \"tasks\": [\"CT 9\"]}";
+        let v = violations(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        let field = v.iter().find(|x| x.rule == CheckRule::SpecField).unwrap();
+        assert_eq!((field.line(), field.col()), (2, 3), "anchored at the \"tusks\" key");
+        let value = v.iter().find(|x| x.rule == CheckRule::SpecValue).unwrap();
+        assert_eq!((value.line(), value.col()), (3, 13), "anchored at the bad task name");
+    }
+
+    #[test]
+    fn ladder_violations_point_at_the_exact_character() {
+        let src = r#"{"name": "t", "scenarios": [{"name": "s", "text_sets": "ABXA"}]}"#;
+        let v = violations(src);
+        // X unknown, second A duplicate.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == CheckRule::SpecValue));
+        let cols: Vec<u32> = v.iter().map(Violation::col).collect();
+        let base = src.find("\"ABXA\"").unwrap() as u32 + 1; // 0-based col of 'A'
+        assert_eq!(cols, vec![base + 3, base + 4], "chars X and the repeated A");
+    }
+
+    #[test]
+    fn devise_without_text_is_a_fusion_dim_chain_violation() {
+        let src = r#"{"name": "t", "scenarios": [
+            {"name": "s", "image_sets": "AB", "fusion": "devise"}]}"#;
+        assert_eq!(rules(src), vec!["fusion-dim-chain"]);
+        let src2 = r#"{"name": "t", "scenarios": [
+            {"name": "s", "text_sets": "AB", "image_sets": "AB",
+             "label_source": "none", "fusion": "devise"}]}"#;
+        assert_eq!(rules(src2), vec!["fusion-dim-chain"]);
+    }
+
+    #[test]
+    fn non_finite_scale_is_caught_as_non_finite_numeric() {
+        assert_eq!(rules(r#"{"name": "t", "scale": 1e999}"#), vec!["non-finite-numeric"]);
+        assert_eq!(rules(r#"{"name": "t", "scale": -0.5}"#), vec!["spec-value"]);
+    }
+
+    #[test]
+    fn fault_plans_are_parsed_by_the_real_parser() {
+        let ok = r#"{"name": "t", "fault_plan": "seed=7;topics=unavailable@0.5"}"#;
+        assert!(violations(ok).is_empty());
+        let bad = r#"{"name": "t", "fault_plan": "topics=exploded"}"#;
+        let v = violations(bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, CheckRule::SpecValue);
+    }
+
+    /// The spanned fusion-plan walker must agree rule-for-rule with
+    /// `artifact::check_fusion_plan` on the same plan.
+    #[test]
+    fn fusion_plan_walker_matches_artifact_check() {
+        let cases = [
+            (
+                r#"{"kind": "early", "part_dims": [4, 4]}"#,
+                FusionKind::Early,
+                vec![4, 4],
+                None,
+                None,
+            ),
+            (
+                r#"{"kind": "early", "part_dims": [4, 0, 3]}"#,
+                FusionKind::Early,
+                vec![4, 0, 3],
+                None,
+                None,
+            ),
+            (
+                r#"{"kind": "intermediate", "part_dims": [4, 9]}"#,
+                FusionKind::Intermediate,
+                vec![4, 9],
+                None,
+                None,
+            ),
+            (
+                r#"{"kind": "devise", "part_dims": [4, 4], "embedding_dims": [16, 8], "projection": [9, 17]}"#,
+                FusionKind::DeVise,
+                vec![4, 4],
+                Some((16, 8)),
+                Some((9, 17)),
+            ),
+            (
+                r#"{"kind": "devise", "part_dims": [4, 4]}"#,
+                FusionKind::DeVise,
+                vec![4, 4],
+                None,
+                None,
+            ),
+        ];
+        for (section, kind, part_dims, embedding_dims, projection) in cases {
+            let src = format!(r#"{{"name": "t", "fusion_plan": {section}}}"#);
+            let spec_rules = rules(&src);
+            let plan = artifact::FusionPlan { kind, part_dims, embedding_dims, projection };
+            let mut artifact_rules: Vec<&'static str> =
+                artifact::check_fusion_plan(&plan, "plan").iter().map(|v| v.rule.name()).collect();
+            artifact_rules.sort_unstable();
+            assert_eq!(spec_rules, artifact_rules, "section {section}");
+        }
+    }
+
+    /// The spanned vote walker must agree rule-for-rule with the
+    /// artifact vote checks on the same matrix.
+    #[test]
+    fn votes_walker_matches_artifact_checks() {
+        use cm_labelmodel::LabelMatrix;
+        // An out-of-range vote cannot even be constructed as a
+        // LabelMatrix (the constructor asserts), so the spec walker is
+        // the only layer that can point at it.
+        let bad = r#"{"name": "t", "votes": {"lfs": ["a", "b"], "rows": [[7, 0], [-1, 1]]}}"#;
+        assert_eq!(rules(bad), vec!["invalid-vote"]);
+
+        let cases: [(&str, Vec<i8>, usize); 3] = [
+            (r#"{"lfs": ["a", "b"], "rows": [[1, 0], [-1, 1]]}"#, vec![1, 0, -1, 1], 2),
+            (r#"{"lfs": ["a", "b"], "rows": [[0, 1], [0, -1]]}"#, vec![0, 1, 0, -1], 2),
+            (r#"{"lfs": ["a", "b"], "rows": [[1, 1], [1, -1]]}"#, vec![1, 1, 1, -1], 2),
+        ];
+        for (section, votes, n_lfs) in cases {
+            let src = format!(r#"{{"name": "t", "votes": {section}}}"#);
+            let spec_rules = rules(&src);
+            let n_rows = votes.len() / n_lfs;
+            let names: Vec<String> = ["a", "b"].iter().map(|s| (*s).to_owned()).collect();
+            let m = LabelMatrix::from_votes(n_rows, n_lfs, votes, names.clone());
+            let mut artifact_rules: Vec<&'static str> =
+                artifact::check_vote_matrix(&m, &names, n_rows, "m")
+                    .iter()
+                    .chain(artifact::check_lf_degeneracy(&m, "m").iter())
+                    .map(|v| v.rule.name())
+                    .collect();
+            artifact_rules.sort_unstable();
+            assert_eq!(spec_rules, artifact_rules, "section {section}");
+        }
+    }
+
+    #[test]
+    fn graph_symmetry_violations_anchor_at_the_edge() {
+        let src = r#"{"name": "t", "graph": {"n": 3,
+            "edges": [[0, 1, 0.5], [1, 0, 0.25], [0, 2, 1.0]]}}"#;
+        let v = violations(src);
+        // Like the artifact check, a weight mismatch reports from both
+        // directions; the unmirrored edge reports once.
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == CheckRule::GraphAsymmetry));
+        assert!(v[0].message.contains("reverse weight 0.25 != forward weight 0.5"));
+        assert!(v[1].message.contains("reverse weight 0.5 != forward weight 0.25"));
+        assert!(v[2].message.contains("reverse edge missing"));
+    }
+}

@@ -10,6 +10,10 @@
 
 use std::fmt::Write as _;
 
+pub mod spanned;
+
+pub use spanned::{JsonNode, NodeKind, ObjEntry};
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -227,17 +231,17 @@ fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
     }
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Parser<'_> {
-    fn err(&self, message: &str) -> JsonError {
+    pub(crate) fn err(&self, message: &str) -> JsonError {
         JsonError { message: message.to_owned(), offset: self.pos }
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
                 self.pos += 1;
@@ -247,11 +251,11 @@ impl Parser<'_> {
         }
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+    pub(crate) fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -260,7 +264,7 @@ impl Parser<'_> {
         }
     }
 
-    fn eat_lit(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+    pub(crate) fn eat_lit(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
@@ -333,7 +337,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, JsonError> {
+    pub(crate) fn string(&mut self) -> Result<String, JsonError> {
         self.eat(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
@@ -405,6 +409,10 @@ impl Parser<'_> {
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
+        self.number_f64().map(Json::Num)
+    }
+
+    pub(crate) fn number_f64(&mut self) -> Result<f64, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -419,7 +427,6 @@ impl Parser<'_> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
-            .map(Json::Num)
             .map_err(|_| JsonError { message: format!("invalid number {text:?}"), offset: start })
     }
 }

@@ -1,0 +1,334 @@
+//! Span-retaining JSON parsing.
+//!
+//! [`JsonNode`] is the offset-carrying sibling of [`Json`]: the same value
+//! shapes, but every value — and every object key — remembers exactly
+//! where it came from as a [`cm_span::Span`] (byte range plus 1-based
+//! line/column). This is what lets a validator point at *the token that
+//! is wrong* in a spec file (`specs/table1.json:7:13`) instead of merely
+//! describing the problem.
+//!
+//! The parser reuses the byte-level primitives of the plain [`Json`]
+//! parser, so the two accept exactly the same documents; [`JsonNode::to_json`]
+//! strips the spans back off when only the value matters.
+
+use cm_span::{LineMap, Span};
+
+use crate::{Json, JsonError, Parser};
+
+/// A parsed JSON value with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonNode {
+    /// Where this value sits in the source: from its first byte to just
+    /// past its last (`[` through `]` for arrays, quote to quote for
+    /// strings).
+    pub span: Span,
+    /// The value itself.
+    pub kind: NodeKind,
+}
+
+/// One `"key": value` pair of a spanned object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjEntry {
+    /// The key, escapes resolved.
+    pub key: String,
+    /// Span of the key token (including its quotes).
+    pub key_span: Span,
+    /// The value.
+    pub value: JsonNode,
+}
+
+/// The value alternatives of a [`JsonNode`]; mirrors [`Json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonNode>),
+    /// An object; insertion-ordered entries.
+    Obj(Vec<ObjEntry>),
+}
+
+impl JsonNode {
+    /// Parses a JSON document (one top-level value, trailing whitespace
+    /// ok), retaining source offsets on every value and object key.
+    pub fn parse(input: &str) -> Result<JsonNode, JsonError> {
+        let mut p = SpannedParser {
+            p: Parser { bytes: input.as_bytes(), pos: 0 },
+            map: LineMap::new(input),
+            source: input,
+        };
+        p.p.skip_ws();
+        let node = p.value()?;
+        p.p.skip_ws();
+        if p.p.pos != p.p.bytes.len() {
+            return Err(p.p.err("trailing characters after value"));
+        }
+        Ok(node)
+    }
+
+    /// Strips the spans, yielding the plain value.
+    pub fn to_json(&self) -> Json {
+        match &self.kind {
+            NodeKind::Null => Json::Null,
+            NodeKind::Bool(b) => Json::Bool(*b),
+            NodeKind::Num(n) => Json::Num(*n),
+            NodeKind::Str(s) => Json::Str(s.clone()),
+            NodeKind::Arr(items) => Json::Arr(items.iter().map(JsonNode::to_json).collect()),
+            NodeKind::Obj(entries) => {
+                Json::Obj(entries.iter().map(|e| (e.key.clone(), e.value.to_json())).collect())
+            }
+        }
+    }
+
+    /// Looks up a key's value in an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonNode> {
+        self.entry(key).map(|e| &e.value)
+    }
+
+    /// Looks up a key's full entry (key span included) in an object.
+    pub fn entry(&self, key: &str) -> Option<&ObjEntry> {
+        match &self.kind {
+            NodeKind::Obj(entries) => entries.iter().find(|e| e.key == key),
+            _ => None,
+        }
+    }
+
+    /// Span of a key token in an object, if present.
+    pub fn key_span(&self, key: &str) -> Option<Span> {
+        self.entry(key).map(|e| e.key_span)
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.kind {
+            NodeKind::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a usize, if this is a non-negative integral number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match &self.kind {
+            NodeKind::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.kind {
+            NodeKind::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonNode]> {
+        match &self.kind {
+            NodeKind::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[ObjEntry]> {
+        match &self.kind {
+            NodeKind::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True when this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self.kind, NodeKind::Null)
+    }
+
+    /// Short name of the value's type, for "expected X, found Y"
+    /// diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match &self.kind {
+            NodeKind::Null => "null",
+            NodeKind::Bool(_) => "boolean",
+            NodeKind::Num(_) => "number",
+            NodeKind::Str(_) => "string",
+            NodeKind::Arr(_) => "array",
+            NodeKind::Obj(_) => "object",
+        }
+    }
+}
+
+/// The zero-length span at byte `offset` of `input` — the position form
+/// of a [`JsonError`]'s offset, for rendering parse errors as
+/// `path:line:col` diagnostics.
+pub fn offset_span(input: &str, offset: usize) -> Span {
+    LineMap::new(input).span(input, offset, offset)
+}
+
+/// Wraps the byte-level [`Parser`] with span minting.
+struct SpannedParser<'a> {
+    p: Parser<'a>,
+    map: LineMap,
+    source: &'a str,
+}
+
+impl SpannedParser<'_> {
+    fn span_from(&self, start: usize) -> Span {
+        self.map.span(self.source, start, self.p.pos)
+    }
+
+    fn value(&mut self) -> Result<JsonNode, JsonError> {
+        let start = self.p.pos;
+        let kind = match self.p.peek() {
+            Some(b'n') => {
+                self.p.eat_lit("null", Json::Null)?;
+                NodeKind::Null
+            }
+            Some(b't') => {
+                self.p.eat_lit("true", Json::Bool(true))?;
+                NodeKind::Bool(true)
+            }
+            Some(b'f') => {
+                self.p.eat_lit("false", Json::Bool(false))?;
+                NodeKind::Bool(false)
+            }
+            Some(b'"') => NodeKind::Str(self.p.string()?),
+            Some(b'[') => self.array()?,
+            Some(b'{') => self.object()?,
+            Some(b'-' | b'0'..=b'9') => NodeKind::Num(self.p.number_f64()?),
+            _ => return Err(self.p.err("expected a JSON value")),
+        };
+        Ok(JsonNode { span: self.span_from(start), kind })
+    }
+
+    fn array(&mut self) -> Result<NodeKind, JsonError> {
+        self.p.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.p.skip_ws();
+        if self.p.peek() == Some(b']') {
+            self.p.pos += 1;
+            return Ok(NodeKind::Arr(items));
+        }
+        loop {
+            self.p.skip_ws();
+            items.push(self.value()?);
+            self.p.skip_ws();
+            match self.p.peek() {
+                Some(b',') => self.p.pos += 1,
+                Some(b']') => {
+                    self.p.pos += 1;
+                    return Ok(NodeKind::Arr(items));
+                }
+                _ => return Err(self.p.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<NodeKind, JsonError> {
+        self.p.eat(b'{', "expected '{'")?;
+        let mut entries = Vec::new();
+        self.p.skip_ws();
+        if self.p.peek() == Some(b'}') {
+            self.p.pos += 1;
+            return Ok(NodeKind::Obj(entries));
+        }
+        loop {
+            self.p.skip_ws();
+            let key_start = self.p.pos;
+            let key = self.p.string()?;
+            let key_span = self.span_from(key_start);
+            self.p.skip_ws();
+            self.p.eat(b':', "expected ':' after object key")?;
+            self.p.skip_ws();
+            let value = self.value()?;
+            entries.push(ObjEntry { key, key_span, value });
+            self.p.skip_ws();
+            match self.p.peek() {
+                Some(b',') => self.p.pos += 1,
+                Some(b'}') => {
+                    self.p.pos += 1;
+                    return Ok(NodeKind::Obj(entries));
+                }
+                _ => return Err(self.p.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_on_the_exact_tokens() {
+        let src = "{\n  \"name\": \"table1\",\n  \"scale\": 0.25\n}\n";
+        let root = JsonNode::parse(src).unwrap();
+        assert_eq!(root.span.slice(src), src.trim_end());
+        let name = root.get("name").unwrap();
+        assert_eq!(name.span.slice(src), "\"table1\"");
+        assert_eq!((name.span.line, name.span.col), (2, 11));
+        let key = root.key_span("scale").unwrap();
+        assert_eq!(key.slice(src), "\"scale\"");
+        assert_eq!((key.line, key.col), (3, 3));
+        let scale = root.get("scale").unwrap();
+        assert_eq!(scale.as_f64(), Some(0.25));
+        assert_eq!((scale.span.line, scale.span.col), (3, 12));
+    }
+
+    #[test]
+    fn nested_array_elements_have_spans() {
+        let src = "[1, [2,\n 3], \"x\"]";
+        let root = JsonNode::parse(src).unwrap();
+        let items = root.as_arr().unwrap();
+        assert_eq!(items[0].span.slice(src), "1");
+        let inner = items[1].as_arr().unwrap();
+        assert_eq!((inner[1].span.line, inner[1].span.col), (2, 2));
+        assert_eq!(items[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn to_json_matches_the_plain_parser() {
+        let src = r#"{"a": [1, true, null, "s\n"], "b": {"c": -2.5e3}, "d": {}}"#;
+        assert_eq!(JsonNode::parse(src).unwrap().to_json(), Json::parse(src).unwrap());
+    }
+
+    #[test]
+    fn huge_exponent_parses_to_infinity() {
+        // JSON cannot write NaN, but 1e999 overflows f64 to infinity —
+        // the hook spec fixtures use to exercise non-finite checks.
+        let root = JsonNode::parse("{\"scale\": 1e999}").unwrap();
+        assert_eq!(root.get("scale").and_then(JsonNode::as_f64), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn errors_keep_offsets_and_map_to_positions() {
+        let src = "{\"a\": \n  oops}";
+        let err = JsonNode::parse(src).unwrap_err();
+        assert_eq!(err.offset, 9);
+        let at = offset_span(src, err.offset);
+        assert_eq!((at.line, at.col), (2, 3));
+    }
+
+    #[test]
+    fn same_acceptance_as_plain_parser() {
+        for bad in ["", "[1, 2", "[1] x", "{\"a\" 1}", "nul", "{\"k\": 01x}"] {
+            assert_eq!(JsonNode::parse(bad).is_err(), Json::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

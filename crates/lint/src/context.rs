@@ -157,9 +157,10 @@ fn mark_test_regions(toks: &[Tok], ctx: &mut FileContext) {
                 }
                 // Comments inside the region are test code too (their
                 // pragmas must not be audited).
-                let (start_b, end_b) = (toks[ctx.code[j]].byte, toks[ctx.code[close]].end);
+                let (start_b, end_b) =
+                    (toks[ctx.code[j]].span.byte, toks[ctx.code[close]].span.end);
                 for (i, t) in toks.iter().enumerate() {
-                    if t.kind.is_comment() && t.byte >= start_b && t.end <= end_b {
+                    if t.kind.is_comment() && t.span.byte >= start_b && t.span.end <= end_b {
                         ctx.test_mask[i] = true;
                     }
                 }
@@ -547,13 +548,19 @@ fn collect_pragmas(toks: &[Tok], ctx: &mut FileContext) {
         }
         // Code before the comment on its own line → waives that line;
         // otherwise the next line holding any code token.
-        let own_line =
-            toks[..i].iter().rev().take_while(|t| t.line == tok.line).any(|t| !t.kind.is_comment());
+        let own_line = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line() == tok.line())
+            .any(|t| !t.kind.is_comment());
         let target_line = if own_line {
-            Some(tok.line)
+            Some(tok.line())
         } else {
-            toks.iter().filter(|t| !t.kind.is_comment() && t.line > tok.line).map(|t| t.line).next()
+            toks.iter()
+                .filter(|t| !t.kind.is_comment() && t.line() > tok.line())
+                .map(|t| t.line())
+                .next()
         };
-        ctx.pragmas.push(Pragma { rules, line: tok.line, col: tok.col, target_line });
+        ctx.pragmas.push(Pragma { rules, line: tok.line(), col: tok.col(), target_line });
     }
 }

@@ -17,6 +17,12 @@
 //! It is tolerant: unterminated literals or comments consume to end of
 //! input instead of failing, so the engine can still lint the rest of a
 //! broken file.
+//!
+//! Positions are carried as [`cm_span::Span`]s — the shared byte/line/col
+//! span type also used by `cm-json`'s spanned parser and `cm-check`'s
+//! spec diagnostics.
+
+use cm_span::Span;
 
 /// Token classes the passes care about. Comments are kept in the stream
 /// (the waiver pragmas live there); passes that match code skip them via
@@ -55,14 +61,9 @@ pub struct Tok {
     pub kind: TokKind,
     /// The exact source text of the token (quotes and hashes included).
     pub text: String,
-    /// 1-based line of the token's first character.
-    pub line: u32,
-    /// 1-based column (in characters) of the token's first character.
-    pub col: u32,
-    /// Byte offset of the first character.
-    pub byte: usize,
-    /// Byte offset one past the last character.
-    pub end: usize,
+    /// Source region: byte range plus 1-based line/column of the first
+    /// character.
+    pub span: Span,
 }
 
 impl Tok {
@@ -80,6 +81,16 @@ impl Tok {
     /// Identifier text with any `r#` raw prefix stripped.
     pub fn ident_text(&self) -> &str {
         self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
+
+    /// 1-based line of the token's first character.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
+
+    /// 1-based column (in characters) of the token's first character.
+    pub fn col(&self) -> u32 {
+        self.span.col
     }
 }
 
@@ -343,7 +354,11 @@ pub fn lex(source: &str) -> Vec<Tok> {
             }
         };
         let end = lx.byte_at(lx.i);
-        toks.push(Tok { kind, text: source[start..end].to_owned(), line, col, byte: start, end });
+        toks.push(Tok {
+            kind,
+            text: source[start..end].to_owned(),
+            span: Span::new(start, end, line, col),
+        });
     }
     toks
 }

@@ -123,8 +123,8 @@ pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> 
             Finding {
                 rule: r.rule,
                 file: file.to_path_buf(),
-                line: t.line,
-                col: t.col,
+                line: t.line(),
+                col: t.col(),
                 message: r.message,
             }
         })
@@ -153,7 +153,7 @@ pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> 
     // they sit in is exempt wholesale); everywhere else a pragma that
     // suppressed nothing is itself a finding.
     let test_lines: std::collections::BTreeSet<u32> =
-        toks.iter().enumerate().filter(|(i, _)| ctx.test_mask[*i]).map(|(_, t)| t.line).collect();
+        toks.iter().enumerate().filter(|(i, _)| ctx.test_mask[*i]).map(|(_, t)| t.line()).collect();
     for (pi, p) in ctx.pragmas.iter().enumerate() {
         if test_lines.contains(&p.line) {
             continue;

@@ -32,11 +32,11 @@ fn multi_line_string_is_one_token() {
     let toks = lex(src);
     let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
     assert_eq!(strs.len(), 1);
-    assert_eq!(strs[0].line, 1);
+    assert_eq!(strs[0].line(), 1);
     // The token after the literal sits on line 2 — the span crossed the
     // newline inside one token instead of resetting per line.
     let semi = toks.iter().find(|t| t.is_punct(';')).expect("semicolon");
-    assert_eq!(semi.line, 2);
+    assert_eq!(semi.line(), 2);
     // And nothing inside the literal lints.
     assert!(rules(src).is_empty());
 }
@@ -135,6 +135,6 @@ fn spans_are_byte_and_line_accurate() {
     let src = "ab + cd\n  efg";
     let toks = lex(src);
     let efg = toks.iter().find(|t| t.is_ident("efg")).expect("efg token");
-    assert_eq!((efg.line, efg.col), (2, 3));
-    assert_eq!(&src[efg.byte..efg.end], "efg");
+    assert_eq!((efg.span.line, efg.span.col), (2, 3));
+    assert_eq!(efg.span.slice(src), "efg");
 }

@@ -44,6 +44,24 @@ impl TaskId {
             TaskId::Ct5 => "CT 5",
         }
     }
+
+    /// Parses a task name as written in specs or the paper: `"CT 1"`,
+    /// `"ct1"`, and `"CT-4"` all resolve; anything else is `None`.
+    pub fn from_name(name: &str) -> Option<TaskId> {
+        let norm: String = name
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match norm.as_str() {
+            "ct1" => Some(TaskId::Ct1),
+            "ct2" => Some(TaskId::Ct2),
+            "ct3" => Some(TaskId::Ct3),
+            "ct4" => Some(TaskId::Ct4),
+            "ct5" => Some(TaskId::Ct5),
+            _ => None,
+        }
+    }
 }
 
 /// Generative knobs defining a task's difficulty shape.

@@ -38,7 +38,7 @@ pub enum LabelSource {
 }
 
 /// One evaluation scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display name (e.g. `"T+ABCD, I+ABCD"`).
     pub name: String,
@@ -102,6 +102,30 @@ impl Scenario {
             image_labels: Some(LabelSource::FullySupervised { n }),
             include_modality_specific: true,
             strategy: FusionStrategy::Early,
+        }
+    }
+
+    /// Builds the runnable scenario a validated spec declares. The spec's
+    /// `fully_supervised` label counts are taken verbatim; callers running
+    /// below scale 1.0 scale them alongside the rest of the world (see
+    /// `cm-bench`).
+    pub fn from_spec(spec: &cm_check::ScenarioSpec) -> Self {
+        use cm_check::{FusionKind, SpecLabelSource};
+        Self {
+            name: spec.name.clone(),
+            text_sets: spec.text_sets.clone(),
+            image_sets: spec.image_sets.clone(),
+            image_labels: match spec.label_source {
+                SpecLabelSource::Weak => Some(LabelSource::Weak),
+                SpecLabelSource::None => None,
+                SpecLabelSource::FullySupervised(n) => Some(LabelSource::FullySupervised { n }),
+            },
+            include_modality_specific: spec.include_modality_specific,
+            strategy: match spec.fusion {
+                FusionKind::Early => FusionStrategy::Early,
+                FusionKind::Intermediate => FusionStrategy::Intermediate,
+                FusionKind::DeVise => FusionStrategy::DeVise,
+            },
         }
     }
 }
@@ -390,6 +414,29 @@ mod tests {
         let err = runner(&d).run(&Scenario::image_only(&FeatureSet::SHARED), None).unwrap_err();
         assert_eq!(err.kind, ErrorKind::InvalidConfig);
         assert!(err.message.contains("requires curation output"));
+    }
+
+    #[test]
+    fn spec_scenarios_match_code_defined_constructors() {
+        let source = r#"{
+            "name": "unit",
+            "scenarios": [
+                {"name": "cross-modal T,I+ABCD", "text_sets": "ABCD",
+                 "image_sets": "ABCD", "label_source": "weak", "fusion": "early"},
+                {"name": "image-only I+ABCD", "text_sets": "",
+                 "image_sets": "ABCD", "label_source": "weak", "fusion": "early"},
+                {"name": "fully-supervised I+ABCD (n=150)", "text_sets": "",
+                 "image_sets": "ABCD",
+                 "label_source": {"fully_supervised": 150}, "fusion": "early"}
+            ]
+        }"#;
+        let (spec, violations) = cm_check::validate_spec_source(source, "unit.json");
+        assert!(violations.is_empty(), "{violations:?}");
+        let spec = spec.unwrap();
+        let sets = FeatureSet::SHARED;
+        assert_eq!(Scenario::from_spec(&spec.scenarios[0]), Scenario::cross_modal(&sets));
+        assert_eq!(Scenario::from_spec(&spec.scenarios[1]), Scenario::image_only(&sets));
+        assert_eq!(Scenario::from_spec(&spec.scenarios[2]), Scenario::fully_supervised(&sets, 150));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! # cm-span
+//!
+//! Byte/line/col source positions shared across the static-analysis
+//! gates: `cm-lint`'s lexer produces [`Span`]-carrying tokens, `cm-json`'s
+//! spanned parser attaches a [`Span`] to every JSON node, and `cm-check`'s
+//! violations point back into scenario-spec files through them.
+//!
+//! A [`Span`] is self-contained — it caches the 1-based line/column of its
+//! first character next to the byte range, so diagnostics can render
+//! `path:line:col` without re-scanning the source. [`LineMap`] converts
+//! byte offsets into line/column positions for producers (like a
+//! byte-oriented parser) that do not track them incrementally.
+
+use std::fmt;
+
+/// A source region: byte range plus the 1-based line/column of its start.
+///
+/// Columns count **characters**, not bytes, matching the lint engine's
+/// long-standing diagnostic convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub byte: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span from its four coordinates.
+    #[must_use]
+    pub fn new(byte: usize, end: usize, line: u32, col: u32) -> Self {
+        Self { byte, end, line, col }
+    }
+
+    /// Length of the region in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.byte)
+    }
+
+    /// True when the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.byte
+    }
+
+    /// The region's text within its source.
+    #[must_use]
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.byte..self.end).unwrap_or("")
+    }
+
+    /// A span covering from the start of `self` to the end of `other`.
+    #[must_use]
+    pub fn to(&self, other: Span) -> Span {
+        Span { byte: self.byte, end: other.end.max(self.end), line: self.line, col: self.col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Byte-offset → line/column conversion for one source text.
+///
+/// Construction is `O(len)`; each lookup is a binary search over line
+/// starts plus a character count within the line, so producers that only
+/// track byte offsets (e.g. a JSON parser) can mint [`Span`]s lazily.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the first character of each line; `[0]` is always 0.
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    /// Indexes `source`'s line starts.
+    #[must_use]
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { line_starts }
+    }
+
+    /// 1-based (line, column-in-characters) of the byte offset. Offsets
+    /// past the end of `source` clamp to one past its last character.
+    #[must_use]
+    pub fn line_col(&self, source: &str, byte: usize) -> (u32, u32) {
+        let byte = byte.min(source.len());
+        let line_idx = match self.line_starts.binary_search(&byte) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = self.line_starts[line_idx];
+        let col = source.get(start..byte).map_or(1, |s| s.chars().count() + 1);
+        (line_idx as u32 + 1, col as u32)
+    }
+
+    /// Builds a [`Span`] for the byte range `byte..end`.
+    #[must_use]
+    pub fn span(&self, source: &str, byte: usize, end: usize) -> Span {
+        let (line, col) = self.line_col(source, byte);
+        Span { byte, end, line, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_map_finds_lines_and_columns() {
+        let src = "ab\ncde\n\nf";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_col(src, 0), (1, 1));
+        assert_eq!(map.line_col(src, 1), (1, 2));
+        assert_eq!(map.line_col(src, 3), (2, 1));
+        assert_eq!(map.line_col(src, 5), (2, 3));
+        assert_eq!(map.line_col(src, 7), (3, 1));
+        assert_eq!(map.line_col(src, 8), (4, 1));
+        // Past-the-end clamps.
+        assert_eq!(map.line_col(src, 99), (4, 2));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        let src = "é x";
+        let map = LineMap::new(src);
+        // 'é' is two bytes; the 'x' sits at byte 3, character column 3.
+        assert_eq!(map.line_col(src, 3), (1, 3));
+    }
+
+    #[test]
+    fn span_slice_and_join() {
+        let src = "hello world";
+        let map = LineMap::new(src);
+        let a = map.span(src, 0, 5);
+        let b = map.span(src, 6, 11);
+        assert_eq!(a.slice(src), "hello");
+        assert_eq!(b.slice(src), "world");
+        assert_eq!(a.to(b).slice(src), "hello world");
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(format!("{a}"), "1:1");
+    }
+}

@@ -5,8 +5,10 @@
 //!   `crates/lint`); `--json` emits the machine report, `--self-test`
 //!   runs the seeded corpus.
 //! - `cargo run -p xtask -- validate` — layer 2, pre-execution pipeline
-//!   checks over seed artifacts (see `validate.rs` and the `cm-check`
-//!   crate). `--seeded-negatives` self-tests the gate.
+//!   checks over seed artifacts and every checked-in spec in `specs/`
+//!   (see `validate.rs` and the `cm-check` crate); `--json` emits the
+//!   machine report, `--self-test` replays the pinned spec corpus, and
+//!   `--seeded-negatives` self-tests the artifact gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,7 +25,8 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo run -p xtask -- <lint [--json | --self-test] | validate [--seeded-negatives]>"
+        "usage: cargo run -p xtask -- <lint [--json | --self-test] | \
+         validate [--json | --self-test | --seeded-negatives]>"
     );
     ExitCode::FAILURE
 }
@@ -55,19 +58,30 @@ fn main() -> ExitCode {
             }
         }
         Some("validate") => {
+            let mut json = false;
+            let mut self_test = false;
             let mut negatives = false;
             for a in &args[1..] {
-                if a == "--seeded-negatives" {
-                    negatives = true;
-                } else {
-                    eprintln!("validate: unknown argument {a:?}");
-                    return usage();
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--self-test" => self_test = true,
+                    "--seeded-negatives" => negatives = true,
+                    other => {
+                        eprintln!("validate: unknown argument {other:?}");
+                        return usage();
+                    }
                 }
             }
-            if validate::run(negatives) == 0 {
-                ExitCode::SUCCESS
+            if usize::from(json) + usize::from(self_test) + usize::from(negatives) > 1 {
+                eprintln!("validate: --json, --self-test, and --seeded-negatives are exclusive");
+                return usage();
+            }
+            if self_test {
+                validate::self_test(&workspace_root())
+            } else if negatives {
+                validate::seeded_negatives_gate()
             } else {
-                ExitCode::FAILURE
+                validate::run(&workspace_root(), json)
             }
         }
         _ => usage(),

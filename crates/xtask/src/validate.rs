@@ -1,16 +1,26 @@
-//! Layer 2 driver: builds seed pipeline artifacts at a tiny scale and runs
-//! every `cm-check` validator over them.
+//! Layer 2 driver: a thin front end over the `cm-check` validators,
+//! mirroring the `lint` driver's shape.
 //!
-//! `xtask validate` exits 0 when the seed pipeline plan is structurally
-//! sound. `xtask validate --seeded-negatives` instead corrupts each
-//! artifact the way a drifted config would and exits 0 only if every
-//! corruption is caught — a self-test that the gate actually gates.
+//! Modes:
+//! - default — builds seed pipeline artifacts at a tiny scale, runs every
+//!   artifact check over them, and validates every checked-in spec under
+//!   `specs/`, rendering `path:line:col: rule: message` diagnostics;
+//! - `--json` — the deterministic machine report (violations sorted by
+//!   file, line, col) on stdout, same exit semantics, so CI can archive
+//!   `results/validate_report.json` and gate on it;
+//! - `--self-test` — replays the pinned positive/negative spec corpus in
+//!   `crates/check/tests/corpus/`, enforcing that every rule has a pinned
+//!   fixture;
+//! - `--seeded-negatives` — corrupts each seed artifact the way a drifted
+//!   config would and exits 0 only if every corruption is caught.
 
+use std::path::Path;
+use std::process::ExitCode;
 use std::sync::Arc;
 
 use cm_check::{
-    check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix, CheckRule,
-    FusionKind, FusionPlan, Report,
+    check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix,
+    report_json, validate_spec_source, CheckRule, FusionKind, FusionPlan, Report, Violation,
 };
 use cm_featurespace::{
     CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, ServingMode,
@@ -209,29 +219,114 @@ fn seeded_negatives() -> Vec<Negative> {
     out
 }
 
-/// Runs the gate. Returns the process exit code.
-pub fn run(seeded_negatives_mode: bool) -> i32 {
-    if seeded_negatives_mode {
-        let mut failures = 0;
-        for neg in seeded_negatives() {
-            let caught = neg.violations.iter().any(|v| v.rule == neg.expect);
-            if caught {
-                eprintln!("validate --seeded-negatives: {} caught [{}]", neg.name, neg.expect);
-            } else {
-                eprintln!(
-                    "validate --seeded-negatives: {} NOT caught (expected [{}], got {:?})",
-                    neg.name,
-                    neg.expect,
-                    neg.violations.iter().map(|v| v.rule).collect::<Vec<_>>()
-                );
-                failures += 1;
+/// Validates every checked-in spec under `specs/`, returning the file
+/// count and all violations (each carrying the exact source span).
+fn validate_specs(root: &Path) -> (usize, Vec<Violation>) {
+    let dir = root.join("specs");
+    let mut out = Vec::new();
+    let mut files = Vec::new();
+    match std::fs::read_dir(&dir) {
+        Ok(entries) => {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "json") {
+                    files.push(p);
+                }
             }
         }
-        return i32::from(failures > 0);
+        Err(e) => {
+            out.push(Violation::new(
+                CheckRule::SpecSyntax,
+                dir.display().to_string(),
+                format!("specs directory unreadable: {e}"),
+            ));
+            return (0, out);
+        }
     }
-    let report = validate_seed_artifacts();
-    eprint!("{report}");
-    i32::from(!report.is_clean())
+    files.sort();
+    let n = files.len();
+    for p in files {
+        let rel = p.strip_prefix(root).unwrap_or(&p).display().to_string();
+        match std::fs::read_to_string(&p) {
+            Ok(source) => out.extend(validate_spec_source(&source, &rel).1),
+            Err(e) => {
+                out.push(Violation::new(CheckRule::SpecSyntax, rel, format!("unreadable: {e}")))
+            }
+        }
+    }
+    (n, out)
+}
+
+/// Runs the gate over seed artifacts and every checked-in spec; human or
+/// JSON reporting.
+pub fn run(root: &Path, json: bool) -> ExitCode {
+    let mut report = validate_seed_artifacts();
+    let (n_specs, spec_violations) = validate_specs(root);
+    report.extend(spec_violations);
+    let mut violations = report.violations;
+    violations.sort_by(Violation::sort_key_cmp);
+    if json {
+        println!("{}", report_json(&violations, n_specs).to_string_pretty());
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+    }
+    if violations.is_empty() {
+        eprintln!("validate: clean ({n_specs} spec(s) + seed artifacts)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("validate: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Replays the pinned spec corpus (`crates/check/tests/corpus/`).
+pub fn self_test(root: &Path) -> ExitCode {
+    let dir = root.join("crates/check/tests/corpus");
+    let outcome = cm_check::corpus::run_corpus(&dir);
+    for e in &outcome.errors {
+        eprintln!("validate self-test: {e}");
+    }
+    if outcome.passed() {
+        eprintln!(
+            "validate self-test: {} corpus files ({} positive, {} negative), {} expected \
+             violations, {} rule(s) covered, all matched",
+            outcome.files,
+            outcome.positives,
+            outcome.negatives,
+            outcome.expected_violations,
+            outcome.rules_covered.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("validate self-test: {} mismatch(es)", outcome.errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the seeded-negatives gate self-test.
+pub fn seeded_negatives_gate() -> ExitCode {
+    let mut failures = 0;
+    for neg in seeded_negatives() {
+        let caught = neg.violations.iter().any(|v| v.rule == neg.expect);
+        if caught {
+            eprintln!("validate --seeded-negatives: {} caught [{}]", neg.name, neg.expect);
+        } else {
+            eprintln!(
+                "validate --seeded-negatives: {} NOT caught (expected [{}], got {:?})",
+                neg.name,
+                neg.expect,
+                neg.violations.iter().map(|v| v.rule).collect::<Vec<_>>()
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 #[cfg(test)]

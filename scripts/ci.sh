@@ -16,8 +16,11 @@ echo "==> xtask lint (layer 1: semantic source lints)"
 mkdir -p results
 cargo run -q -p xtask -- lint --json > results/lint_report.json
 
-echo "==> xtask validate (layer 2: pipeline-graph validator)"
-cargo run -q -p xtask -- validate
+echo "==> xtask validate --self-test (validator vs pinned spec corpus)"
+cargo run -q -p xtask -- validate --self-test
+
+echo "==> xtask validate (layer 2: specs + pipeline-graph validator)"
+cargo run -q -p xtask -- validate --json > results/validate_report.json
 
 echo "==> xtask validate --seeded-negatives (gate self-test)"
 cargo run -q -p xtask -- validate --seeded-negatives
