@@ -11,14 +11,16 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use cm_featurespace::{FeatureSet, ModalityKind, SimilarityConfig};
+use cm_json::Json;
 use cm_labelmodel::{AnchoredModel, GenerativeConfig, GenerativeModel, LabelMatrix};
 use cm_linalg::Matrix;
 use cm_mining::{mine_itemsets, mine_itemsets_with, MiningConfig};
 use cm_models::{LogisticRegression, Mlp, MlpEpochConfig};
 use cm_orgsim::{TaskConfig, TaskId, World, WorldConfig};
 use cm_par::ParConfig;
-use cm_pipeline::{curate, CurationConfig, DenseView, TaskData};
+use cm_pipeline::{curate, curate_streamed, CurationConfig, DenseView, TaskData};
 use cm_propagation::{propagate, propagate_streaming, GraphBuilder, PropagationConfig};
+use cm_shard::ShardConfig;
 
 /// Minimal stand-in for a criterion benchmark group: warmup + sampled
 /// median/min timings, with substring filtering from the command line.
@@ -371,6 +373,78 @@ fn bench_faults(c: &Harness) {
     group.finish();
 }
 
+/// Scale sweep for the sharded out-of-core curation driver: 10^4 -> 10^6
+/// pool rows streamed through `curate_streamed` under the default
+/// `CM_MEM_BUDGET`, recording rows/sec and peak resident bytes into
+/// `results/BENCH_scale.json`. Each size is one end-to-end timed run (these
+/// are full curations, not microbenchmarks). `CM_SCALE_MAX_ROWS` caps the
+/// sweep for smoke runs; `CM_SCALE_JSON` overrides the output path.
+fn bench_scale(c: &Harness) {
+    let group = c.group("scale");
+    let max_rows = std::env::var("CM_SCALE_MAX_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1_000_000);
+    let config = CurationConfig { use_label_propagation: false, ..CurationConfig::default() };
+    let shard = ShardConfig::default();
+    let mut rows: Vec<Json> = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let name = format!("curate_streamed_{n}");
+        if n > max_rows || !group.enabled(&name) {
+            continue;
+        }
+        let task = TaskConfig {
+            n_text_labeled: 2000,
+            n_image_unlabeled: n,
+            n_image_test: 0,
+            ..TaskConfig::paper(TaskId::Ct1)
+        };
+        let start = Instant::now();
+        let streamed = curate_streamed(task, 3, &config, &shard).unwrap();
+        let elapsed = start.elapsed();
+        let rows_per_sec = n as f64 / elapsed.as_secs_f64();
+        println!(
+            "scale/{:<32} {:>12?}  {:>10.0} rows/s  peak {:>11} bytes  ({} segments)",
+            name, elapsed, rows_per_sec, streamed.stats.peak_bytes, streamed.stats.segments
+        );
+        assert_eq!(streamed.output.probabilistic_labels.len(), n);
+        rows.push(Json::obj([
+            ("rows", Json::Num(n as f64)),
+            ("segments", Json::Num(streamed.stats.segments as f64)),
+            ("segment_rows", Json::Num(streamed.stats.segment_rows as f64)),
+            ("elapsed_ms", Json::Num(elapsed.as_secs_f64() * 1e3)),
+            ("rows_per_sec", Json::Num(rows_per_sec)),
+            ("peak_resident_bytes", Json::Num(streamed.stats.peak_bytes as f64)),
+        ]));
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let report = Json::obj([
+        ("bench", Json::Str("scale".to_owned())),
+        ("source", Json::Str("cargo bench -p cm-bench --bench substrates -- scale".to_owned())),
+        (
+            "config",
+            Json::obj([
+                ("task", Json::Str("CT1 profile, n_text_labeled=2000, no test set".to_owned())),
+                ("label_model", Json::Str("anchored".to_owned())),
+                ("use_label_propagation", Json::Bool(false)),
+                ("shard_rows", Json::Num(shard.segment_rows as f64)),
+                ("mem_budget_bytes", Json::Num(shard.budget.limit() as f64)),
+            ]),
+        ),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = std::env::var("CM_SCALE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_scale.json").to_owned()
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(&path, report.to_string_pretty()).unwrap();
+    println!("scale: wrote {path}");
+}
+
 fn main() {
     let harness = Harness::from_args();
     bench_feature_generation(&harness);
@@ -382,4 +456,5 @@ fn main() {
     bench_kernels(&harness);
     bench_end_to_end_curation(&harness);
     bench_faults(&harness);
+    bench_scale(&harness);
 }

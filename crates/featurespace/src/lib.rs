@@ -37,7 +37,10 @@ pub use error::{CmError, CmResult, ErrorKind};
 pub use frozen::{Bitmap, FrozenColumn, FrozenTable};
 pub use label::{Label, ModalityKind};
 pub use schema::{FeatureDef, FeatureSchema, FeatureSet, ServingMode};
-pub use similarity::{algorithm1_weight, normalized_similarity, PairKernel, SimilarityConfig};
+pub use similarity::{
+    algorithm1_weight, normalized_similarity, DeviationAccumulator, PairKernel, ScaleAccumulator,
+    SimilarityConfig,
+};
 pub use table::{Column, FeatureTable};
 pub use value::{CatSet, FeatureKind, FeatureValue};
 pub use vocab::Vocabulary;

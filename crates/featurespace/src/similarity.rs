@@ -13,6 +13,8 @@
 //!   Jaccard, embeddings via shifted cosine), averaged over contributing
 //!   features.
 
+use cm_linalg::StableSum;
+
 use crate::frozen::{Bitmap, FrozenColumn, FrozenTable};
 use crate::table::FeatureTable;
 use crate::value::FeatureKind;
@@ -43,16 +45,56 @@ impl SimilarityConfig {
 
     /// [`SimilarityConfig::fit_scales`] over an existing frozen view.
     ///
-    /// Streams each numeric column through its presence bitmap instead of
-    /// materializing the present values. The mean and MAD passes visit
-    /// present rows in row order, so the accumulation order — and hence
-    /// every bit of the fitted scales — matches the historical
-    /// materializing implementation. (MAD needs the mean first, so this
-    /// stays two passes over the column; what it drops is the `Vec`.)
+    /// Runs both passes through the mergeable [`ScaleAccumulator`] /
+    /// [`DeviationAccumulator`] pair, so the resident fit is *defined* as
+    /// the single-segment case of the segmented fit: the accumulators sum
+    /// exactly (via [`StableSum`]), which makes the fitted scales
+    /// independent of row order and of any segmentation of the table.
     pub fn fit_scales_frozen(mut self, frozen: &FrozenTable<'_>) -> Self {
+        let mut acc = ScaleAccumulator::new(&self.columns);
+        acc.observe(frozen);
+        let mut dev = acc.finish_means();
+        dev.observe(frozen);
+        self.numeric_scales = dev.finish();
+        self
+    }
+
+    fn scale_for(&self, col: usize) -> f64 {
+        self.numeric_scales.iter().find(|(c, _)| *c == col).map_or(1.0, |(_, s)| *s)
+    }
+}
+
+/// Phase-1 accumulator for [`SimilarityConfig::fit_scales`]: per-column
+/// exact sums and presence counts over any number of table segments.
+///
+/// The accumulator is an explicit associative-merge type: feeding it the
+/// segments of a table in any order — or merging independently built
+/// per-segment accumulators in any grouping — yields bit-identical means,
+/// because the underlying [`StableSum`]s are exact. Columns that are
+/// out of range, non-numeric, or never present contribute no scale,
+/// matching the resident fit.
+#[derive(Debug, Clone)]
+pub struct ScaleAccumulator {
+    columns: Vec<usize>,
+    sums: Vec<StableSum>,
+    counts: Vec<u64>,
+}
+
+impl ScaleAccumulator {
+    /// An empty accumulator over the configured column list (in config
+    /// order; duplicates keep their own slots).
+    pub fn new(columns: &[usize]) -> Self {
+        Self {
+            columns: columns.to_vec(),
+            sums: columns.iter().map(|_| StableSum::new()).collect(),
+            counts: vec![0; columns.len()],
+        }
+    }
+
+    /// Accumulates one table segment. All segments must share a schema.
+    pub fn observe(&mut self, frozen: &FrozenTable<'_>) {
         let schema = frozen.table().schema();
-        self.numeric_scales.clear();
-        for &col in &self.columns {
+        for (slot, &col) in self.columns.iter().enumerate() {
             // Out-of-range columns are skipped here; `cm-check` validates
             // column lists against the schema before execution.
             if schema.def(col).map(|d| d.kind) != Some(FeatureKind::Numeric) {
@@ -61,32 +103,107 @@ impl SimilarityConfig {
             let FrozenColumn::Numeric { values, present } = frozen.col(col) else {
                 continue;
             };
-            let mut sum = 0.0;
-            let mut n = 0usize;
             for (r, &v) in values.iter().enumerate() {
                 if present.get(r) {
-                    sum += v;
-                    n += 1;
+                    self.sums[slot].add(v);
+                    self.counts[slot] += 1;
                 }
             }
-            if n == 0 {
-                continue;
-            }
-            let mean = sum / n as f64;
-            let mut dev = 0.0;
-            for (r, &v) in values.iter().enumerate() {
-                if present.get(r) {
-                    dev += (v - mean).abs();
-                }
-            }
-            let mad = dev / n as f64;
-            self.numeric_scales.push((col, mad.max(1e-9)));
         }
-        self
     }
 
-    fn scale_for(&self, col: usize) -> f64 {
-        self.numeric_scales.iter().find(|(c, _)| *c == col).map_or(1.0, |(_, s)| *s)
+    /// Folds another accumulator (built over the same column list) into
+    /// this one. Exact, hence associative and commutative.
+    ///
+    /// # Panics
+    /// Panics if the column lists differ.
+    pub fn merge(&mut self, other: &ScaleAccumulator) {
+        assert_eq!(self.columns, other.columns, "scale accumulators cover different columns");
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            a.merge(b);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+
+    /// Closes phase 1: renders each covered column's mean and returns the
+    /// phase-2 deviation accumulator. Clone the result to fan phase 2 out
+    /// over segments, then [`DeviationAccumulator::merge`] the clones.
+    pub fn finish_means(self) -> DeviationAccumulator {
+        let means = self
+            .sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(s, &n)| if n == 0 { 0.0 } else { s.value() / n as f64 })
+            .collect();
+        DeviationAccumulator {
+            columns: self.columns.clone(),
+            means,
+            counts: self.counts,
+            devs: self.columns.iter().map(|_| StableSum::new()).collect(),
+        }
+    }
+}
+
+/// Phase-2 accumulator for [`SimilarityConfig::fit_scales`]: exact sums
+/// of absolute deviations from the phase-1 means. Same merge contract as
+/// [`ScaleAccumulator`].
+#[derive(Debug, Clone)]
+pub struct DeviationAccumulator {
+    columns: Vec<usize>,
+    means: Vec<f64>,
+    counts: Vec<u64>,
+    devs: Vec<StableSum>,
+}
+
+impl DeviationAccumulator {
+    /// Accumulates one table segment.
+    pub fn observe(&mut self, frozen: &FrozenTable<'_>) {
+        let schema = frozen.table().schema();
+        for (slot, &col) in self.columns.iter().enumerate() {
+            if self.counts[slot] == 0 {
+                continue;
+            }
+            if schema.def(col).map(|d| d.kind) != Some(FeatureKind::Numeric) {
+                continue;
+            }
+            let FrozenColumn::Numeric { values, present } = frozen.col(col) else {
+                continue;
+            };
+            let mean = self.means[slot];
+            for (r, &v) in values.iter().enumerate() {
+                if present.get(r) {
+                    self.devs[slot].add((v - mean).abs());
+                }
+            }
+        }
+    }
+
+    /// Folds another phase-2 accumulator (a clone of the same
+    /// [`ScaleAccumulator::finish_means`] result) into this one.
+    ///
+    /// # Panics
+    /// Panics if the column lists or means differ.
+    pub fn merge(&mut self, other: &DeviationAccumulator) {
+        assert_eq!(self.columns, other.columns, "deviation accumulators cover different columns");
+        let same_means =
+            self.means.iter().zip(&other.means).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_means, "deviation accumulators carry different phase-1 means");
+        for (a, b) in self.devs.iter_mut().zip(&other.devs) {
+            a.merge(b);
+        }
+    }
+
+    /// Renders the fitted `(column, scale)` pairs: MAD floored at `1e-9`,
+    /// one entry per covered numeric column in config order.
+    pub fn finish(self) -> Vec<(usize, f64)> {
+        self.columns
+            .iter()
+            .zip(self.devs.iter().zip(&self.counts))
+            .filter(|(_, (_, &n))| n > 0)
+            .map(|(&col, (dev, &n))| (col, (dev.value() / n as f64).max(1e-9)))
+            .collect()
     }
 }
 
@@ -581,6 +698,89 @@ mod tests {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let mad = values.iter().map(|v| (v - mean).abs()).sum::<f64>() / values.len() as f64;
         assert_eq!(cfg.numeric_scales, vec![(0, mad.max(1e-9))]);
+    }
+
+    /// A 40-row numeric table with a pseudorandom value spread and a
+    /// missing row every 7, for exercising the scale accumulators.
+    fn wide_table() -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::numeric("a", FeatureSet::A, ServingMode::Servable),
+            FeatureDef::numeric("b", FeatureSet::A, ServingMode::Servable),
+        ]));
+        let mut t = FeatureTable::new(schema);
+        for i in 0..40u32 {
+            let v = f64::from(i).mul_add(1.37e3, -2.0e4) / 7.0;
+            let row = if i % 7 == 3 {
+                vec![FeatureValue::Missing, FeatureValue::Numeric(v * v)]
+            } else {
+                vec![FeatureValue::Numeric(v), FeatureValue::Numeric(1.0 / (v.abs() + 1.0))]
+            };
+            t.push_row(&row);
+        }
+        t
+    }
+
+    #[test]
+    fn scale_accumulator_segmented_matches_resident() {
+        let t = wide_table();
+        let resident = SimilarityConfig::uniform(vec![0, 1]).fit_scales(&t);
+        // Split at several boundaries, including degenerate ones.
+        for cuts in [vec![0, 40], vec![0, 1, 40], vec![0, 13, 14, 40], vec![0, 20, 20, 40]] {
+            let segments: Vec<FeatureTable> =
+                cuts.windows(2).map(|w| t.gather(&(w[0]..w[1]).collect::<Vec<_>>())).collect();
+            let mut acc = ScaleAccumulator::new(&[0, 1]);
+            for seg in &segments {
+                let mut part = ScaleAccumulator::new(&[0, 1]);
+                part.observe(&FrozenTable::freeze(seg));
+                acc.merge(&part);
+            }
+            let dev_base = acc.finish_means();
+            let mut dev = dev_base.clone();
+            for seg in &segments {
+                let mut part = dev_base.clone();
+                part.observe(&FrozenTable::freeze(seg));
+                dev.merge(&part);
+            }
+            let scales = dev.finish();
+            assert_eq!(scales.len(), resident.numeric_scales.len());
+            for ((c1, s1), (c2, s2)) in scales.iter().zip(&resident.numeric_scales) {
+                assert_eq!(c1, c2);
+                assert_eq!(s1.to_bits(), s2.to_bits(), "cuts {cuts:?} col {c1}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_accumulator_merge_is_order_free() {
+        let t = wide_table();
+        let first = t.gather(&(0..17).collect::<Vec<_>>());
+        let second = t.gather(&(17..40).collect::<Vec<_>>());
+        let observe = |seg: &FeatureTable| {
+            let mut a = ScaleAccumulator::new(&[0, 1]);
+            a.observe(&FrozenTable::freeze(seg));
+            a
+        };
+        let (a, b) = (observe(&first), observe(&second));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.finish_means().finish(), ba.finish_means().finish());
+    }
+
+    #[test]
+    fn scale_accumulator_skips_empty_and_foreign_columns() {
+        let t = table();
+        // Column 1 is categorical, 9 out of range, 3 fully missing-free?
+        // No: column 0 numeric, rows 0..3 present except row 3.
+        let mut acc = ScaleAccumulator::new(&[0, 1, 9]);
+        acc.observe(&FrozenTable::freeze(&t));
+        let scales = acc.finish_means().finish();
+        assert_eq!(scales.len(), 1);
+        assert_eq!(scales[0].0, 0);
+        // An accumulator that saw nothing produces no scales.
+        let empty = ScaleAccumulator::new(&[0, 1]);
+        assert!(empty.finish_means().finish().is_empty());
     }
 
     #[test]

@@ -317,6 +317,28 @@ impl FeatureTable {
         }
     }
 
+    /// Approximate resident size in bytes: the column storage plus the
+    /// struct header. Used by the sharded curation layer's memory
+    /// accounting (`CM_MEM_BUDGET`); capacity slack is not counted, so the
+    /// figure is a lower bound on the allocator's view.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        for col in &self.columns {
+            bytes += match col {
+                Column::Numeric { values, present } => {
+                    values.len() * std::mem::size_of::<f64>() + present.len()
+                }
+                Column::Categorical { offsets, ids, present } => {
+                    (offsets.len() + ids.len()) * std::mem::size_of::<u32>() + present.len()
+                }
+                Column::Embedding { data, present, .. } => {
+                    data.len() * std::mem::size_of::<f32>() + present.len()
+                }
+            };
+        }
+        bytes
+    }
+
     /// Fraction of present values in a column.
     pub fn column_coverage(&self, col: usize) -> f64 {
         if self.len == 0 {

@@ -75,6 +75,93 @@ impl LfRates {
     }
 }
 
+/// Mergeable integer sufficient statistic behind [`AnchoredModel::fit`]:
+/// per-LF vote counts by dev class and vote sign, plus the class totals.
+///
+/// All fields are exact integer counts, so merging per-segment
+/// accumulators in any order and then rendering rates is bit-identical to
+/// fitting on the whole dev matrix at once — the contract the sharded
+/// curation layer depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateCounts {
+    n_lfs: usize,
+    n_pos: usize,
+    n_neg: usize,
+    /// Per LF: `counts[lf][class][vote sign]` non-abstain vote tallies.
+    counts: Vec<[[usize; 2]; 2]>,
+}
+
+impl RateCounts {
+    /// An empty accumulator for `n_lfs` labeling functions.
+    pub fn new(n_lfs: usize) -> Self {
+        Self { n_lfs, n_pos: 0, n_neg: 0, counts: vec![[[0; 2]; 2]; n_lfs] }
+    }
+
+    /// Folds one dev segment (votes plus ground truth) into the counts.
+    ///
+    /// # Panics
+    /// Panics on row-count or LF-count mismatch.
+    pub fn observe(&mut self, dev: &LabelMatrix, labels: &[Label]) {
+        assert_eq!(dev.n_rows(), labels.len(), "dev label count mismatch");
+        assert_eq!(dev.n_lfs(), self.n_lfs, "LF count mismatch");
+        for (r, label) in labels.iter().enumerate() {
+            let cls = usize::from(label.is_positive());
+            self.n_pos += cls;
+            self.n_neg += 1 - cls;
+            for (j, &v) in dev.row(r).iter().enumerate() {
+                if v != 0 {
+                    self.counts[j][cls][usize::from(v > 0)] += 1;
+                }
+            }
+        }
+    }
+
+    /// Exact integer merge; associative and commutative.
+    ///
+    /// # Panics
+    /// Panics on LF-count mismatch.
+    pub fn merge(&mut self, other: &RateCounts) {
+        assert_eq!(self.n_lfs, other.n_lfs, "LF count mismatch");
+        self.n_pos += other.n_pos;
+        self.n_neg += other.n_neg;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for cls in 0..2 {
+                for sign in 0..2 {
+                    a[cls][sign] += b[cls][sign];
+                }
+            }
+        }
+    }
+
+    /// Total dev rows observed.
+    pub fn n_rows(&self) -> usize {
+        self.n_pos + self.n_neg
+    }
+
+    /// Renders the counts to a fitted model (Laplace smoothing, dev prior
+    /// unless overridden) — the single place rates become floats.
+    ///
+    /// # Panics
+    /// Panics if either class is absent from the observed dev rows.
+    pub fn into_model(self, class_prior: Option<f64>) -> AnchoredModel {
+        assert!(self.n_pos > 0 && self.n_neg > 0, "dev set must contain both classes");
+        let smooth = |c: usize, n: usize| (c as f64 + 0.5) / (n as f64 + 1.5);
+        let rates = self
+            .counts
+            .iter()
+            .map(|c| LfRates {
+                pos_given_pos: smooth(c[1][1], self.n_pos),
+                neg_given_pos: smooth(c[1][0], self.n_pos),
+                pos_given_neg: smooth(c[0][1], self.n_neg),
+                neg_given_neg: smooth(c[0][0], self.n_neg),
+            })
+            .collect();
+        let prior =
+            class_prior.unwrap_or(self.n_pos as f64 / self.n_rows() as f64).clamp(1e-4, 1.0 - 1e-4);
+        AnchoredModel { rates, class_prior: prior }
+    }
+}
+
 /// A label model anchored on a labeled development matrix.
 ///
 /// ```
@@ -105,35 +192,11 @@ impl AnchoredModel {
     /// # Panics
     /// Panics on size mismatch or an empty/single-class dev set.
     pub fn fit(dev: &LabelMatrix, labels: &[Label], class_prior: Option<f64>) -> Self {
-        assert_eq!(dev.n_rows(), labels.len(), "dev label count mismatch");
-        let n_pos = labels.iter().filter(|l| l.is_positive()).count();
-        let n_neg = labels.len() - n_pos;
-        assert!(n_pos > 0 && n_neg > 0, "dev set must contain both classes");
-
-        let mut rates = Vec::with_capacity(dev.n_lfs());
-        for j in 0..dev.n_lfs() {
-            let mut counts = [[0usize; 2]; 2]; // [class][vote sign]
-            for (r, label) in labels.iter().enumerate() {
-                let v = dev.row(r)[j];
-                if v == 0 {
-                    continue;
-                }
-                let cls = usize::from(label.is_positive());
-                let sign = usize::from(v > 0);
-                counts[cls][sign] += 1;
-            }
-            // Laplace smoothing over the three outcomes (+1, -1, abstain).
-            let smooth = |c: usize, n: usize| (c as f64 + 0.5) / (n as f64 + 1.5);
-            rates.push(LfRates {
-                pos_given_pos: smooth(counts[1][1], n_pos),
-                neg_given_pos: smooth(counts[1][0], n_pos),
-                pos_given_neg: smooth(counts[0][1], n_neg),
-                neg_given_neg: smooth(counts[0][0], n_neg),
-            });
-        }
-        let prior =
-            class_prior.unwrap_or(n_pos as f64 / labels.len() as f64).clamp(1e-4, 1.0 - 1e-4);
-        Self { rates, class_prior: prior }
+        // The resident fit is the single-segment case of the mergeable
+        // [`RateCounts`] path, so sharded fits agree with it by construction.
+        let mut counts = RateCounts::new(dev.n_lfs());
+        counts.observe(dev, labels);
+        counts.into_model(class_prior)
     }
 
     /// Builds a model from externally estimated rates.
@@ -252,6 +315,61 @@ mod tests {
         for p in model.predict(&m) {
             assert!((0.0..=1.0).contains(&p) && !p.is_nan());
         }
+    }
+
+    /// Segment-wise observation plus merge must yield the exact model bits
+    /// of a whole-matrix fit, for any partition of the dev rows.
+    #[test]
+    fn rate_counts_merge_matches_whole_fit() {
+        let (m, labels) = dev_fixture(100, 900);
+        let whole = AnchoredModel::fit(&m, &labels, None);
+        for cuts in [vec![1usize], vec![97, 500], vec![250, 500, 750], vec![1000]] {
+            let mut merged = RateCounts::new(m.n_lfs());
+            let mut start = 0;
+            for end in cuts.iter().copied().chain([labels.len()]) {
+                let mut seg_votes = Vec::new();
+                for r in start..end {
+                    seg_votes.extend_from_slice(m.row(r));
+                }
+                let seg =
+                    LabelMatrix::from_votes(end - start, m.n_lfs(), seg_votes, m.names().to_vec());
+                let mut part = RateCounts::new(m.n_lfs());
+                part.observe(&seg, &labels[start..end]);
+                merged.merge(&part);
+                start = end;
+            }
+            assert_eq!(merged.n_rows(), labels.len());
+            let model = merged.into_model(None);
+            assert_eq!(model.class_prior().to_bits(), whole.class_prior().to_bits());
+            for (a, b) in model.rates().iter().zip(whole.rates()) {
+                assert_eq!(a, b, "cuts = {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_counts_merge_is_order_free() {
+        let (m, labels) = dev_fixture(40, 160);
+        let seg = |start: usize, end: usize| {
+            let mut votes = Vec::new();
+            for r in start..end {
+                votes.extend_from_slice(m.row(r));
+            }
+            let part_m = LabelMatrix::from_votes(end - start, m.n_lfs(), votes, m.names().to_vec());
+            let mut part = RateCounts::new(m.n_lfs());
+            part.observe(&part_m, &labels[start..end]);
+            part
+        };
+        let (a, b, c) = (seg(0, 50), seg(50, 120), seg(120, 200));
+        let mut fwd = RateCounts::new(m.n_lfs());
+        fwd.merge(&a);
+        fwd.merge(&b);
+        fwd.merge(&c);
+        let mut rev = RateCounts::new(m.n_lfs());
+        rev.merge(&c);
+        rev.merge(&a);
+        rev.merge(&b);
+        assert_eq!(fwd, rev);
     }
 
     #[test]

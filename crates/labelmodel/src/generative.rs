@@ -6,6 +6,7 @@
 //! given the true label, votes are independent. Parameters are fitted with
 //! EM; probabilistic labels are the E-step posteriors at convergence.
 
+use cm_linalg::StableSum;
 use cm_par::ParConfig;
 
 use crate::matrix::LabelMatrix;
@@ -49,6 +50,94 @@ impl Default for GenerativeConfig {
     }
 }
 
+/// Mergeable sufficient statistics of one EM iteration: per-LF agreement
+/// mass and vote totals (the M-step numerators/denominators), plus the
+/// posterior sum (prior update) and absolute posterior delta (convergence).
+///
+/// Float masses live in [`StableSum`] superaccumulators and totals are
+/// integers, so `merge` is exact — associative and commutative. Folding
+/// per-chunk or per-shard moments in any order and then rendering yields
+/// bit-identical parameters to a whole-matrix pass, which is what lets the
+/// sharded curation layer fit the label model out of core.
+#[derive(Debug, Clone)]
+pub struct EmMoments {
+    agree: Vec<StableSum>,
+    total: Vec<u64>,
+    delta: StableSum,
+    posterior_sum: StableSum,
+    n_rows: u64,
+}
+
+impl EmMoments {
+    /// An empty accumulator for `n_lfs` labeling functions.
+    pub fn new(n_lfs: usize) -> Self {
+        Self {
+            agree: vec![StableSum::new(); n_lfs],
+            total: vec![0; n_lfs],
+            delta: StableSum::new(),
+            posterior_sum: StableSum::new(),
+            n_rows: 0,
+        }
+    }
+
+    /// Folds one row into the moments: `fresh` is this iteration's E-step
+    /// posterior for the row, `previous` the posterior it replaces.
+    ///
+    /// # Panics
+    /// Panics if the vote width differs from the accumulator's LF count.
+    pub fn observe_row(&mut self, votes: &[i8], fresh: f64, previous: f64) {
+        assert_eq!(votes.len(), self.total.len(), "LF count mismatch");
+        self.n_rows += 1;
+        self.delta.add((fresh - previous).abs());
+        self.posterior_sum.add(fresh);
+        for (j, &v) in votes.iter().enumerate() {
+            if v != 0 {
+                self.total[j] += 1;
+                self.agree[j].add(if v > 0 { fresh } else { 1.0 - fresh });
+            }
+        }
+    }
+
+    /// Exact merge of another accumulator into this one.
+    ///
+    /// # Panics
+    /// Panics if the LF counts differ.
+    pub fn merge(&mut self, other: &EmMoments) {
+        assert_eq!(self.total.len(), other.total.len(), "LF count mismatch");
+        for (a, b) in self.agree.iter_mut().zip(&other.agree) {
+            a.merge(b);
+        }
+        for (t, o) in self.total.iter_mut().zip(&other.total) {
+            *t += *o;
+        }
+        self.delta.merge(&other.delta);
+        self.posterior_sum.merge(&other.posterior_sum);
+        self.n_rows += other.n_rows;
+    }
+
+    /// Rows folded in so far.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// The M-step accuracy estimate for LF `j`, or `None` if it abstained
+    /// everywhere (its accuracy then stays at the previous value).
+    pub fn accuracy(&self, j: usize) -> Option<f64> {
+        (self.total[j] > 0).then(|| self.agree[j].value() / self.total[j] as f64)
+    }
+
+    /// Mean posterior (the re-estimated class prior), or `None` on zero rows.
+    pub fn mean_posterior(&self) -> Option<f64> {
+        (self.n_rows > 0).then(|| self.posterior_sum.value() / self.n_rows as f64)
+    }
+
+    /// Mean absolute posterior change this iteration (convergence metric),
+    /// or `None` on zero rows.
+    pub fn mean_delta(&self) -> Option<f64> {
+        (self.n_rows > 0).then(|| self.delta.value() / self.n_rows as f64)
+    }
+}
+
 /// A fitted generative label model.
 #[derive(Debug, Clone)]
 pub struct GenerativeModel {
@@ -69,101 +158,92 @@ impl GenerativeModel {
     /// [`GenerativeModel::fit`] with an explicit parallel configuration.
     ///
     /// Produces bit-identical parameters and posteriors for any thread
-    /// count: the E-step and M-step sums are accumulated per row-chunk and
-    /// folded in chunk index order, and the chunk plan depends only on the
-    /// matrix size, never on how many workers execute it.
+    /// count: every float reduction lives in an exact [`StableSum`]
+    /// superaccumulator (via [`EmMoments`]), so neither the chunk plan nor
+    /// the worker count can perturb a single bit. The resident fit is the
+    /// single-segment case of [`GenerativeModel::fit_segments`].
     ///
     /// # Panics
     /// Panics if the matrix has no LFs.
     pub fn fit_with(matrix: &LabelMatrix, config: &GenerativeConfig, par: &ParConfig) -> Self {
-        assert!(matrix.n_lfs() > 0, "cannot fit a generative model with zero LFs");
+        Self::fit_segments(&[matrix], config, par)
+    }
+
+    /// Fits the model on a row-partitioned label matrix, segment by
+    /// segment — the out-of-core entry point used by the sharded curation
+    /// layer.
+    ///
+    /// Each EM iteration makes one fused E+M pass per segment: row
+    /// posteriors are recomputed from the current parameters (row-local,
+    /// so unaffected by partitioning) and folded into [`EmMoments`], whose
+    /// merge is exact. Parameters, iteration count, and convergence are
+    /// therefore **bit-identical for any segmentation** of the same rows —
+    /// `fit_segments(&[a, b, c], ..)` equals `fit_with(&concat(a, b, c), ..)`
+    /// at every shard size and thread count.
+    ///
+    /// # Panics
+    /// Panics if there are no LFs or the segments disagree on LF count.
+    pub fn fit_segments(
+        segments: &[&LabelMatrix],
+        config: &GenerativeConfig,
+        par: &ParConfig,
+    ) -> Self {
+        let n_lfs = segments.first().map_or(0, |m| m.n_lfs());
+        assert!(n_lfs > 0, "cannot fit a generative model with zero LFs");
+        assert!(segments.iter().all(|m| m.n_lfs() == n_lfs), "segments disagree on LF count");
         let (lo, hi) = config.accuracy_bounds;
         assert!(lo > 0.5 && hi < 1.0 && lo < hi, "invalid accuracy bounds");
-        let n_rows = matrix.n_rows();
-        let n_lfs = matrix.n_lfs();
+        let total_rows: usize = segments.iter().map(|m| m.n_rows()).sum();
         let mut accuracies = vec![config.init_accuracy.clamp(lo, hi); n_lfs];
         let mut prior = config.class_prior.unwrap_or(0.5).clamp(1e-4, 1.0 - 1e-4);
 
-        // Size-only gate: small fits run the serial plan, big ones run the
-        // caller's plan. Both plans are identical for 1 and N threads.
-        let par = if n_rows * n_lfs < EM_PAR_THRESHOLD {
+        // Size-only gate on the whole corpus: small fits run the serial
+        // plan, big ones run the caller's plan. Exact accumulation makes
+        // the choice invisible in the output either way.
+        let par = if total_rows * n_lfs < EM_PAR_THRESHOLD {
             ParConfig::serial().with_min_chunk(EM_MIN_ROWS_PER_CHUNK)
         } else {
             par.clone().with_min_chunk(EM_MIN_ROWS_PER_CHUNK)
         };
 
-        let mut posteriors = vec![0.5f64; n_rows];
+        let mut posteriors: Vec<Vec<f64>> =
+            segments.iter().map(|m| vec![0.5f64; m.n_rows()]).collect();
         let mut iterations = 0;
         for iter in 0..config.max_iters {
             iterations = iter + 1;
-            // E-step: per-chunk (new posteriors, |delta| sum, posterior sum).
-            let chunks = cm_par::par_map_chunks(&par, n_rows, |range| {
-                let mut fresh = Vec::with_capacity(range.len());
-                let mut delta = 0.0f64;
-                let mut sum = 0.0f64;
-                for r in range {
-                    let q = posterior_for_row(matrix.row(r), &accuracies, prior);
-                    delta += (q - posteriors[r]).abs();
-                    sum += q;
-                    fresh.push(q);
-                }
-                (fresh, delta, sum)
-            })
-            .unwrap_or_else(|e| e.resume());
-            let mut delta = 0.0f64;
-            let mut posterior_sum = 0.0f64;
-            let mut offset = 0usize;
-            for (fresh, chunk_delta, chunk_sum) in chunks {
-                posteriors[offset..offset + fresh.len()].copy_from_slice(&fresh);
-                offset += fresh.len();
-                delta += chunk_delta;
-                posterior_sum += chunk_sum;
-            }
-            delta /= n_rows.max(1) as f64;
-
-            // M-step accuracies: per-chunk agreement/coverage partials per
-            // LF, folded elementwise in chunk index order.
-            let folded = cm_par::par_map_reduce(
-                &par,
-                n_rows,
-                |range| {
-                    let mut agree = vec![0.0f64; n_lfs];
-                    let mut total = vec![0.0f64; n_lfs];
+            let mut moments = EmMoments::new(n_lfs);
+            for (seg, post) in segments.iter().zip(posteriors.iter_mut()) {
+                // Fused E+M pass: per-chunk fresh posteriors plus moment
+                // partials, merged exactly.
+                let chunks = cm_par::par_map_chunks(&par, seg.n_rows(), |range| {
+                    let mut fresh = Vec::with_capacity(range.len());
+                    let mut part = EmMoments::new(n_lfs);
                     for r in range {
-                        for (j, &v) in matrix.row(r).iter().enumerate() {
-                            if v == 0 {
-                                continue;
-                            }
-                            total[j] += 1.0;
-                            if v > 0 {
-                                agree[j] += posteriors[r];
-                            } else {
-                                agree[j] += 1.0 - posteriors[r];
-                            }
-                        }
+                        let q = posterior_for_row(seg.row(r), &accuracies, prior);
+                        part.observe_row(seg.row(r), q, post[r]);
+                        fresh.push(q);
                     }
-                    (agree, total)
-                },
-                |(mut agree, mut total), (a, t)| {
-                    for j in 0..n_lfs {
-                        agree[j] += a[j];
-                        total[j] += t[j];
-                    }
-                    (agree, total)
-                },
-            )
-            .unwrap_or_else(|e| e.resume());
-            if let Some((agree, total)) = folded {
-                for j in 0..n_lfs {
-                    if total[j] > 0.0 {
-                        accuracies[j] = (agree[j] / total[j]).clamp(lo, hi);
-                    }
+                    (fresh, part)
+                })
+                .unwrap_or_else(|e| e.resume());
+                let mut offset = 0usize;
+                for (fresh, part) in chunks {
+                    post[offset..offset + fresh.len()].copy_from_slice(&fresh);
+                    offset += fresh.len();
+                    moments.merge(&part);
                 }
             }
-            // M-step: prior, from the chunk-ordered posterior sum.
-            if config.class_prior.is_none() && n_rows > 0 {
-                prior = (posterior_sum / n_rows as f64).clamp(1e-4, 1.0 - 1e-4);
+            for (j, acc) in accuracies.iter_mut().enumerate() {
+                if let Some(a) = moments.accuracy(j) {
+                    *acc = a.clamp(lo, hi);
+                }
             }
+            if config.class_prior.is_none() {
+                if let Some(p) = moments.mean_posterior() {
+                    prior = p.clamp(1e-4, 1.0 - 1e-4);
+                }
+            }
+            let delta = moments.mean_delta().unwrap_or(0.0);
             if delta < config.tol && iter > 0 {
                 break;
             }
@@ -406,6 +486,80 @@ mod tests {
             let probs = model.predict_with(&m, &par);
             assert_eq!(probs, base_probs, "threads = {threads}");
         }
+    }
+
+    /// The out-of-core contract: fitting segment-by-segment must reproduce
+    /// the whole-matrix fit bit for bit, for any cut pattern and any
+    /// thread count.
+    #[test]
+    fn fit_segments_matches_whole_fit_bitwise() {
+        let (m, _) = synthetic(20_000, 0.3, &[(0.9, 0.8), (0.7, 0.8), (0.6, 0.5)], 11);
+        let cfg = GenerativeConfig::default();
+        let whole = GenerativeModel::fit_with(&m, &cfg, &ParConfig::threads(2));
+        let split = |cuts: &[usize]| -> Vec<LabelMatrix> {
+            let mut segs = Vec::new();
+            let mut start = 0;
+            for &end in cuts.iter().chain([&m.n_rows()]) {
+                let mut votes = Vec::new();
+                for r in start..end {
+                    votes.extend_from_slice(m.row(r));
+                }
+                segs.push(LabelMatrix::from_votes(
+                    end - start,
+                    m.n_lfs(),
+                    votes,
+                    m.names().to_vec(),
+                ));
+                start = end;
+            }
+            segs
+        };
+        for cuts in [vec![1usize], vec![8192], vec![4999, 10_000, 15_000], vec![m.n_rows()]] {
+            let segs = split(&cuts);
+            for threads in [1usize, 2, 4] {
+                let refs: Vec<&LabelMatrix> = segs.iter().collect();
+                let model =
+                    GenerativeModel::fit_segments(&refs, &cfg, &ParConfig::threads(threads));
+                assert_eq!(
+                    model.accuracies(),
+                    whole.accuracies(),
+                    "cuts = {cuts:?}, threads = {threads}"
+                );
+                assert_eq!(model.class_prior().to_bits(), whole.class_prior().to_bits());
+                assert_eq!(model.iterations(), whole.iterations());
+            }
+        }
+    }
+
+    #[test]
+    fn em_moments_merge_is_order_free() {
+        let (m, _) = synthetic(300, 0.3, &[(0.9, 0.8), (0.7, 0.6)], 13);
+        let part = |start: usize, end: usize| {
+            let mut p = EmMoments::new(m.n_lfs());
+            for r in start..end {
+                // Any deterministic (fresh, previous) pair exercises all
+                // accumulator fields.
+                let q = 0.25 + 0.5 * (r % 7) as f64 / 7.0;
+                p.observe_row(m.row(r), q, 0.5);
+            }
+            p
+        };
+        let (a, b, c) = (part(0, 100), part(100, 170), part(170, 300));
+        let mut fwd = EmMoments::new(m.n_lfs());
+        fwd.merge(&a);
+        fwd.merge(&b);
+        fwd.merge(&c);
+        let mut rev = EmMoments::new(m.n_lfs());
+        rev.merge(&c);
+        rev.merge(&a);
+        rev.merge(&b);
+        assert_eq!(fwd.n_rows(), 300);
+        assert_eq!(fwd.n_rows(), rev.n_rows());
+        for j in 0..m.n_lfs() {
+            assert_eq!(fwd.accuracy(j).map(f64::to_bits), rev.accuracy(j).map(f64::to_bits));
+        }
+        assert_eq!(fwd.mean_posterior().map(f64::to_bits), rev.mean_posterior().map(f64::to_bits));
+        assert_eq!(fwd.mean_delta().map(f64::to_bits), rev.mean_delta().map(f64::to_bits));
     }
 
     #[test]

@@ -357,8 +357,12 @@ impl LabelingFunction for BoundScoreLf {
 }
 
 impl BoundScoreLf {
+    /// The vote for a bound row index, independent of any table — the
+    /// scores were fixed at construction, so the sharded curation driver
+    /// can vote on streamed segments without the pool table resident.
+    /// Out-of-range rows abstain.
     #[inline]
-    fn vote_row(&self, row: usize) -> Vote {
+    pub fn vote_row(&self, row: usize) -> Vote {
         match self.scores.get(row) {
             Some(&s) if s >= self.positive_threshold => Vote::Positive,
             Some(&s) if s <= self.negative_threshold => Vote::Negative,

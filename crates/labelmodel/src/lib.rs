@@ -14,11 +14,11 @@ pub mod generative;
 pub mod lf;
 pub mod matrix;
 
-pub use anchored::{AnchoredModel, LfRates};
+pub use anchored::{AnchoredModel, LfRates, RateCounts};
 pub use diagnostics::{evaluate_lfs, filter_lfs, LfReport, LfSummary};
-pub use generative::{majority_vote, GenerativeConfig, GenerativeModel};
+pub use generative::{majority_vote, EmMoments, GenerativeConfig, GenerativeModel};
 pub use lf::{
     BoundScoreLf, CategoricalContainsLf, ConjunctionLf, LabelingFunction, NumericThresholdLf,
     Predicate, ThresholdDirection, Vote,
 };
-pub use matrix::{LabelMatrix, VoteStats};
+pub use matrix::{LabelMatrix, VoteCounts, VoteStats};

@@ -32,21 +32,54 @@ pub struct VoteStats {
     pub conflict: f64,
 }
 
-/// Integer partials behind [`VoteStats`]; summing them is exact, which is
-/// what makes the derived ratios reduction-order-proof.
-#[derive(Debug, Clone, Copy, Default)]
-struct VoteCounts {
-    covered: usize,
-    overlapped: usize,
-    conflicted: usize,
+/// Integer partials behind [`VoteStats`]: the explicitly mergeable
+/// sufficient statistic for coverage/overlap/conflict.
+///
+/// Summing counts is exact, which is what makes the derived ratios
+/// reduction-order-proof — within a matrix (chunk partials folded in
+/// chunk index order) and across matrix *segments* (per-segment counts
+/// merged in segment order by the sharded curation layer). Merging is
+/// associative and commutative, so any partition of the rows yields the
+/// same [`VoteStats`] bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteCounts {
+    /// Rows where at least one LF does not abstain.
+    pub covered: usize,
+    /// Rows labeled by two or more LFs.
+    pub overlapped: usize,
+    /// Rows with at least one positive and one negative vote.
+    pub conflicted: usize,
+    /// Rows counted (the ratio denominator).
+    pub n_rows: usize,
 }
 
 impl VoteCounts {
-    fn add(self, other: VoteCounts) -> VoteCounts {
+    /// Exact integer merge of two partial counts.
+    #[must_use]
+    pub fn merge(self, other: VoteCounts) -> VoteCounts {
         VoteCounts {
             covered: self.covered + other.covered,
             overlapped: self.overlapped + other.overlapped,
             conflicted: self.conflicted + other.conflicted,
+            n_rows: self.n_rows + other.n_rows,
+        }
+    }
+}
+
+impl VoteStats {
+    /// The ratios a merged count renders to: each statistic is one
+    /// integer-over-integer division, so counts merged from any
+    /// segmentation produce identical stats. Zero rows yields the
+    /// all-zero default.
+    pub fn from_counts(counts: VoteCounts) -> VoteStats {
+        if counts.n_rows == 0 {
+            return VoteStats::default();
+        }
+        let n = counts.n_rows as f64;
+        VoteStats {
+            coverage: counts.covered as f64 / n,
+            overlap: counts.overlapped as f64 / n,
+            conflict: counts.conflicted as f64 / n,
         }
     }
 }
@@ -159,11 +192,27 @@ impl LabelMatrix {
     /// # Panics
     /// Re-raises a worker panic.
     pub fn vote_stats_with(&self, par: &ParConfig) -> VoteStats {
+        VoteStats::from_counts(self.vote_counts_with(par))
+    }
+
+    /// The mergeable [`VoteCounts`] sufficient statistic for this matrix.
+    pub fn vote_counts(&self) -> VoteCounts {
+        self.vote_counts_with(&ParConfig::from_env())
+    }
+
+    /// [`LabelMatrix::vote_counts`] with an explicit parallel
+    /// configuration. Integer counts, so the result is exact and merging
+    /// per-segment counts reproduces the whole-matrix counts for any row
+    /// partition.
+    ///
+    /// # Panics
+    /// Re-raises a worker panic.
+    pub fn vote_counts_with(&self, par: &ParConfig) -> VoteCounts {
         if self.n_rows == 0 {
-            return VoteStats::default();
+            return VoteCounts::default();
         }
         let count_rows = |range: std::ops::Range<usize>| {
-            let mut c = VoteCounts::default();
+            let mut c = VoteCounts { n_rows: range.len(), ..VoteCounts::default() };
             for r in range {
                 let row = self.row(r);
                 let labeled = row.iter().filter(|&&v| v != 0).count();
@@ -175,20 +224,14 @@ impl LabelMatrix {
             c
         };
         let work = self.n_rows.saturating_mul(self.n_lfs.max(1));
-        let counts = if work < PAR_THRESHOLD {
+        if work < PAR_THRESHOLD {
             count_rows(0..self.n_rows)
         } else {
             let par = par.clone().with_min_chunk(MIN_ROWS_PER_CHUNK);
-            match cm_par::par_map_reduce(&par, self.n_rows, count_rows, VoteCounts::add) {
+            match cm_par::par_map_reduce(&par, self.n_rows, count_rows, VoteCounts::merge) {
                 Ok(c) => c.unwrap_or_default(),
                 Err(e) => e.resume(),
             }
-        };
-        let n = self.n_rows as f64;
-        VoteStats {
-            coverage: counts.covered as f64 / n,
-            overlap: counts.overlapped as f64 / n,
-            conflict: counts.conflicted as f64 / n,
         }
     }
 
@@ -248,6 +291,38 @@ impl LabelMatrix {
             votes,
             names: keep.iter().map(|&i| self.names[i].clone()).collect(),
         }
+    }
+
+    /// Concatenates row segments into one matrix. Votes are pure per-row
+    /// values, so applying LFs segment-by-segment and concatenating is
+    /// bit-identical to applying them to the whole table — the invariant
+    /// the sharded curation layer rests on.
+    ///
+    /// An empty `parts` yields the empty matrix.
+    ///
+    /// # Panics
+    /// Panics if the segments disagree on LF columns.
+    pub fn concat(parts: &[&LabelMatrix]) -> LabelMatrix {
+        let Some(first) = parts.first() else {
+            return LabelMatrix { n_rows: 0, n_lfs: 0, votes: Vec::new(), names: Vec::new() };
+        };
+        let mut votes = Vec::with_capacity(parts.iter().map(|p| p.votes.len()).sum());
+        let mut n_rows = 0;
+        for p in parts {
+            assert_eq!(p.n_lfs, first.n_lfs, "segment LF count mismatch");
+            assert_eq!(p.names, first.names, "segment LF name mismatch");
+            votes.extend_from_slice(&p.votes);
+            n_rows += p.n_rows;
+        }
+        LabelMatrix { n_rows, n_lfs: first.n_lfs, votes, names: first.names.clone() }
+    }
+
+    /// Approximate resident size in bytes (vote buffer dominates); used by
+    /// the sharded driver's memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.votes.len() * std::mem::size_of::<i8>()
+            + self.names.iter().map(|n| n.len() + std::mem::size_of::<String>()).sum::<usize>()
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -431,6 +506,57 @@ mod tests {
         let same = m.without_columns(&[7, 7]);
         assert_eq!(same.row(0), m.row(0));
         assert_eq!(same.n_lfs(), 3);
+    }
+
+    /// Any partition of the rows into segments must merge to the same
+    /// counts (and therefore the same stats bits) as the whole matrix —
+    /// the associative-merge contract `cm-shard` relies on.
+    #[test]
+    fn vote_counts_merge_over_any_partition_matches_whole() {
+        let n = 40_000usize;
+        let mut votes = Vec::with_capacity(n * 2);
+        for r in 0..n {
+            let pair: [i8; 2] = match r % 8 {
+                0 => [0, 0],
+                1 | 2 => [1, 0],
+                3 | 4 => [0, -1],
+                5 | 6 => [1, 1],
+                _ => [1, -1],
+            };
+            votes.extend_from_slice(&pair);
+        }
+        let m = LabelMatrix::from_votes(n, 2, votes, vec!["a".into(), "b".into()]);
+        let whole = m.vote_counts_with(&ParConfig::serial());
+        assert_eq!(whole.n_rows, n);
+        for cuts in [vec![1, 2, 3], vec![512], vec![9973, 20_000], vec![n]] {
+            let mut merged = VoteCounts::default();
+            let mut start = 0;
+            for end in cuts.iter().copied().chain([n]) {
+                let seg_votes = m.votes[start * 2..end * 2].to_vec();
+                let seg = LabelMatrix::from_votes(end - start, 2, seg_votes, m.names.clone());
+                merged = merged.merge(seg.vote_counts_with(&ParConfig::serial()));
+                start = end;
+            }
+            assert_eq!(merged, whole, "cuts = {cuts:?}");
+            assert_eq!(VoteStats::from_counts(merged), m.vote_stats_with(&ParConfig::serial()));
+        }
+    }
+
+    #[test]
+    fn concat_of_segments_matches_whole_apply() {
+        let t = table(100);
+        let whole = LabelMatrix::apply(&t, &lfs());
+        let mut segs = Vec::new();
+        for (start, end) in [(0usize, 1usize), (1, 37), (37, 100)] {
+            let schema = t.schema();
+            let mut seg = FeatureTable::new(Arc::clone(schema));
+            for r in start..end {
+                seg.push_row(&t.row(r));
+            }
+            segs.push(LabelMatrix::apply(&seg, &lfs()));
+        }
+        let parts: Vec<&LabelMatrix> = segs.iter().collect();
+        assert_eq!(LabelMatrix::concat(&parts), whole);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 pub mod init;
 pub mod matrix;
 pub mod rng;
+pub mod stable;
 pub mod stats;
 pub mod vecops;
 
 pub use init::{he_normal, xavier_uniform};
 pub use matrix::Matrix;
 pub use rng::{Rng, SliceRandom, StdRng};
+pub use stable::StableSum;
 pub use stats::{mean, standardize_columns, variance, ColumnStats};
 pub use vecops::{add_assign, argmax, axpy, dot, l2_norm, scale, sigmoid, softmax_in_place};

@@ -60,6 +60,11 @@ pub struct LintConfig {
     /// hot-path crates that must use FrozenTable columnar views); the
     /// rules are off everywhere else.
     pub hot_path_crates: Vec<PathBuf>,
+    /// Path prefixes where the `stream-materialize` rule applies (the
+    /// streaming curation drivers, which must assemble segments through
+    /// cm-shard instead of materializing whole `FeatureTable`s); the rule
+    /// is off everywhere else.
+    pub stream_driver_paths: Vec<PathBuf>,
 }
 
 /// Rules that do not apply inside the thread-exempt crates.
@@ -67,6 +72,9 @@ const THREAD_RULES: &[&str] = &["thread-spawn", "thread-scope"];
 
 /// Rules that apply only inside the hot-path crates.
 const HOT_PATH_RULES: &[&str] = &["table-row", "table-value"];
+
+/// Rules that apply only inside the streaming curation drivers.
+const STREAM_RULES: &[&str] = &["stream-materialize"];
 
 impl LintConfig {
     /// The repository's scoping: `crates/par` owns raw threading; the
@@ -83,6 +91,7 @@ impl LintConfig {
             .iter()
             .map(PathBuf::from)
             .collect(),
+            stream_driver_paths: vec![PathBuf::from("crates/pipeline/src/stream.rs")],
         }
     }
 
@@ -93,6 +102,11 @@ impl LintConfig {
         }
         if HOT_PATH_RULES.contains(&rule)
             && !self.hot_path_crates.iter().any(|p| path.starts_with(p))
+        {
+            return false;
+        }
+        if STREAM_RULES.contains(&rule)
+            && !self.stream_driver_paths.iter().any(|p| path.starts_with(p))
         {
             return false;
         }

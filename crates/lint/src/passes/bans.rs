@@ -25,6 +25,7 @@ pub const RULES: &[&str] = &[
     "systemtime-now",
     "table-row",
     "table-value",
+    "stream-materialize",
 ];
 
 /// `.name(…)` method calls banned in library code.
@@ -49,6 +50,13 @@ const BANNED_PATHS: &[(&str, &str, &str, &str)] = &[
         "SystemTime",
         "now",
         "wall-clock reads go through cm-faults Stopwatch/SimClock",
+    ),
+    (
+        "stream-materialize",
+        "FeatureTable",
+        "new",
+        "the streaming curation driver must not materialize whole tables; segment assembly lives \
+         in cm-shard",
     ),
 ];
 

@@ -1,0 +1,7 @@
+//@ path: crates/shard/src/knn.rs
+// Seeded negative: FeatureTable::new is fine outside the streaming
+// curation driver — cm-shard owns segment and anchor-table assembly.
+
+pub fn f(schema: Arc<FeatureSchema>) -> FeatureTable {
+    FeatureTable::new(schema)
+}

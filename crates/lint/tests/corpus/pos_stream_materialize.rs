@@ -1,0 +1,8 @@
+//@ path: crates/pipeline/src/stream.rs
+// Seeded positive: the streaming curation driver must not materialize
+// whole feature tables; segment assembly lives in cm-shard.
+
+pub fn f(schema: Arc<FeatureSchema>) -> FeatureTable {
+    let table = FeatureTable::new(schema);
+    table
+}

@@ -7,9 +7,10 @@
 //! popcount-AND — class-conditional supports against the class bitsets,
 //! higher-order conjunctions by intersecting member bitsets.
 
-use cm_featurespace::{Bitmap, FeatureKind, FeatureTable, FrozenColumn, FrozenTable, Label};
+use cm_featurespace::{Bitmap, FeatureTable, FrozenTable, Label};
 use cm_par::ParConfig;
 
+use crate::catalog::{ItemCatalog, ItemCatalogBuilder};
 use crate::discretize::Discretizer;
 
 /// Below this many rows the support passes stay serial; above it they chunk
@@ -135,20 +136,41 @@ pub fn mine_itemsets_with(
     par: &ParConfig,
 ) -> MinedItemsets {
     assert_eq!(table.len(), labels.len(), "label count mismatch");
-    let schema = table.schema();
-    let discretizers: Vec<Discretizer> = columns
-        .iter()
-        .filter(|&&c| schema.def(c).map(|d| d.kind) == Some(FeatureKind::Numeric))
-        .filter_map(|&c| Discretizer::fit(table, c, config.numeric_bins))
-        .collect();
+    // The resident path is the single-segment case of the streaming
+    // catalog build, so sharded mining agrees with it by construction.
+    let frozen = FrozenTable::freeze(table);
+    let mut builder = ItemCatalogBuilder::new(table.schema(), columns, config.numeric_bins);
+    builder.observe(&frozen);
+    let catalog = builder.finish();
+    let mut item_bits = catalog.empty_bitsets();
+    catalog.fill(&frozen, 0, &mut item_bits);
+    mine_from_bitsets(&catalog, &item_bits, labels, config, par)
+}
+
+/// Runs the candidate/join phases of the miner against a pre-built item
+/// catalog and its row bitsets — the entry point for sharded mining, where
+/// [`ItemCatalog::fill`] assembled the bitsets segment by segment.
+///
+/// Every counted quantity is an exact popcount over the same bitsets the
+/// resident path builds, so the output is identical for any segmentation
+/// that produced them.
+///
+/// # Panics
+/// Panics if `labels` or `item_bits` disagree with the catalog's corpus.
+pub fn mine_from_bitsets(
+    catalog: &ItemCatalog,
+    item_bits: &[Bitmap],
+    labels: &[Label],
+    config: &MiningConfig,
+    par: &ParConfig,
+) -> MinedItemsets {
+    assert_eq!(catalog.n_rows(), labels.len(), "label count mismatch");
+    assert_eq!(catalog.items.len(), item_bits.len(), "bitset count mismatch");
+    let items = &catalog.items;
+    let discretizers = catalog.discretizers.clone();
 
     let n_pos = labels.iter().filter(|l| l.is_positive()).count();
     let n_neg = labels.len() - n_pos;
-
-    // Vertical layout: one row bitset per distinct order-1 item, built in
-    // one pass over the frozen columns.
-    let frozen = FrozenTable::freeze(table);
-    let (items, item_bits) = build_item_bitsets(&frozen, columns, &discretizers);
 
     // Class bitsets: popcount(item AND class) is the class-conditional
     // support, covering both of the oracle's counting passes at once.
@@ -161,7 +183,7 @@ pub fn mine_itemsets_with(
             neg_bits.set(r);
         }
     }
-    let supports = class_supports(&item_bits, &pos_bits, &neg_bits, labels.len(), par);
+    let supports = class_supports(item_bits, &pos_bits, &neg_bits, labels.len(), par);
 
     // "Candidates considered" keeps the historical meaning: items occurring
     // in at least one positive row (the paper's class-imbalance
@@ -254,69 +276,6 @@ pub fn mine_itemsets_with(
     sort_stats(&mut positive);
     sort_stats(&mut negative);
     MinedItemsets { positive, negative, discretizers, n_candidates }
-}
-
-/// Builds the order-1 item universe: one row bitset per distinct item, in
-/// one vertical pass per column. Items are emitted in (column-list order,
-/// ascending value) order — deterministic by construction, unlike the
-/// oracle's hash maps (whose iteration order never reaches the sorted
-/// output).
-fn build_item_bitsets(
-    frozen: &FrozenTable<'_>,
-    columns: &[usize],
-    discretizers: &[Discretizer],
-) -> (Vec<Item>, Vec<Bitmap>) {
-    let n = frozen.len();
-    let mut items = Vec::new();
-    let mut bits = Vec::new();
-    for &col in columns {
-        // Out-of-range columns contribute no items; `cm-check` validates
-        // column lists before execution.
-        if col >= frozen.n_cols() {
-            continue;
-        }
-        match frozen.col(col) {
-            FrozenColumn::Categorical { offsets, ids, present: _ } => {
-                // No presence gate: missing rows have empty CSR ranges and
-                // contribute no items either way.
-                let Some(&max_id) = ids.iter().max() else { continue };
-                let mut per_id: Vec<Option<Bitmap>> = vec![None; max_id as usize + 1];
-                for r in 0..n {
-                    for &id in &ids[offsets[r] as usize..offsets[r + 1] as usize] {
-                        per_id[id as usize].get_or_insert_with(|| Bitmap::zeros(n)).set(r);
-                    }
-                }
-                for (id, b) in per_id.into_iter().enumerate() {
-                    if let Some(b) = b {
-                        items.push(Item { column: col, value: ItemValue::Cat(id as u32) });
-                        bits.push(b);
-                    }
-                }
-            }
-            FrozenColumn::Numeric { values, present } => {
-                let Some(d) = discretizers.iter().find(|d| d.column == col) else { continue };
-                let mut per_bin: Vec<Option<Bitmap>> = Vec::new();
-                for (r, &v) in values.iter().enumerate() {
-                    if !present.get(r) {
-                        continue;
-                    }
-                    let bin = d.bin(v) as usize;
-                    if bin >= per_bin.len() {
-                        per_bin.resize_with(bin + 1, || None);
-                    }
-                    per_bin[bin].get_or_insert_with(|| Bitmap::zeros(n)).set(r);
-                }
-                for (bin, b) in per_bin.into_iter().enumerate() {
-                    if let Some(b) = b {
-                        items.push(Item { column: col, value: ItemValue::NumBin(bin as u32) });
-                        bits.push(b);
-                    }
-                }
-            }
-            FrozenColumn::Embedding { .. } => {}
-        }
-    }
-    (items, bits)
 }
 
 /// Class-conditional supports for a slice of row bitsets: for each,

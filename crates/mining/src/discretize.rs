@@ -21,9 +21,21 @@ impl Discretizer {
     /// # Panics
     /// Panics if `n_bins < 2`.
     pub fn fit(table: &FeatureTable, column: usize, n_bins: usize) -> Option<Self> {
+        let values: Vec<f64> = (0..table.len()).filter_map(|r| table.numeric(r, column)).collect();
+        Self::fit_values(column, values, n_bins)
+    }
+
+    /// Fits quantile bins from a pre-collected value vector — the entry
+    /// point for segment streaming, where present values are gathered
+    /// incrementally and fitted once at the end. `fit` on a whole table is
+    /// exactly this on the values collected in row order; the quantile
+    /// edges depend only on the sorted multiset, so any collection order
+    /// yields identical bins. Returns `None` on an empty vector.
+    ///
+    /// # Panics
+    /// Panics if `n_bins < 2`.
+    pub fn fit_values(column: usize, mut values: Vec<f64>, n_bins: usize) -> Option<Self> {
         assert!(n_bins >= 2, "need at least two bins");
-        let mut values: Vec<f64> =
-            (0..table.len()).filter_map(|r| table.numeric(r, column)).collect();
         if values.is_empty() {
             return None;
         }

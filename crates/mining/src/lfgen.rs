@@ -52,22 +52,33 @@ pub fn mine_lfs(
 ) -> MinedLfs {
     let start = Stopwatch::start();
     let mined = mine_itemsets(dev, labels, columns, config);
-    let mut lfs: Vec<Box<dyn LabelingFunction>> = Vec::new();
-    for stats in mined.positive.iter().take(max_positive_lfs) {
-        lfs.push(itemset_to_lf(stats.items.as_slice(), Vote::Positive, &mined.discretizers));
-    }
-    let n_pos_lfs = lfs.len();
-    for stats in mined.negative.iter().take(max_negative_lfs) {
-        lfs.push(itemset_to_lf(stats.items.as_slice(), Vote::Negative, &mined.discretizers));
-    }
+    let lfs = lfs_from_itemsets(&mined, max_positive_lfs, max_negative_lfs);
     let report = MiningReport {
         n_candidates: mined.n_candidates,
         n_positive_itemsets: mined.positive.len(),
         n_negative_itemsets: mined.negative.len(),
-        n_lfs: n_pos_lfs + lfs.len() - n_pos_lfs,
+        n_lfs: lfs.len(),
         mining_time: start.elapsed(),
     };
-    MinedLfs { report: MiningReport { n_lfs: lfs.len(), ..report }, lfs }
+    MinedLfs { report, lfs }
+}
+
+/// Converts already-mined itemsets into capped LF lists (positive LFs
+/// first) — the itemset-to-LF half of [`mine_lfs`], reused by the sharded
+/// driver, which mines its itemsets from segment-assembled bitsets.
+pub fn lfs_from_itemsets(
+    mined: &crate::apriori::MinedItemsets,
+    max_positive_lfs: usize,
+    max_negative_lfs: usize,
+) -> Vec<Box<dyn LabelingFunction>> {
+    let mut lfs: Vec<Box<dyn LabelingFunction>> = Vec::new();
+    for stats in mined.positive.iter().take(max_positive_lfs) {
+        lfs.push(itemset_to_lf(stats.items.as_slice(), Vote::Positive, &mined.discretizers));
+    }
+    for stats in mined.negative.iter().take(max_negative_lfs) {
+        lfs.push(itemset_to_lf(stats.items.as_slice(), Vote::Negative, &mined.discretizers));
+    }
+    lfs
 }
 
 fn itemset_to_lf(

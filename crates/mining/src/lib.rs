@@ -14,14 +14,17 @@
 //!   values of the *same* feature, minimizing correlation between LFs.
 
 pub mod apriori;
+pub mod catalog;
 pub mod discretize;
 pub mod lfgen;
 pub mod modelgen;
 pub mod reference;
 
 pub use apriori::{
-    mine_itemsets, mine_itemsets_with, Item, ItemStats, ItemValue, MinedItemsets, MiningConfig,
+    mine_from_bitsets, mine_itemsets, mine_itemsets_with, Item, ItemStats, ItemValue,
+    MinedItemsets, MiningConfig,
 };
+pub use catalog::{ItemCatalog, ItemCatalogBuilder};
 pub use discretize::Discretizer;
-pub use lfgen::{mine_lfs, MinedLfs, MiningReport};
+pub use lfgen::{lfs_from_itemsets, mine_lfs, MinedLfs, MiningReport};
 pub use modelgen::{generate_stump_lfs, StumpConfig};

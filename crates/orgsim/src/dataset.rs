@@ -85,17 +85,63 @@ impl ModalityDataset {
     }
 }
 
+/// A segment-at-a-time view of [`World::generate`], for out-of-core
+/// curation: rows come off one seeded RNG in generation order, so the
+/// concatenation of the emitted segments is **bit-identical** to the
+/// resident dataset for any segment size — each row's random draws depend
+/// only on how many rows precede it, never on where segment cuts fall.
+pub struct DatasetStream<'w> {
+    world: &'w World,
+    modality: ModalityKind,
+    rng: StdRng,
+    remaining: usize,
+}
+
+impl<'w> DatasetStream<'w> {
+    /// Rows not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Generates the next up-to-`max_rows` rows, or `None` when the
+    /// configured population is exhausted.
+    ///
+    /// # Panics
+    /// Panics if `max_rows` is zero.
+    pub fn next_segment(&mut self, max_rows: usize) -> Option<ModalityDataset> {
+        assert!(max_rows > 0, "segment size must be positive");
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = max_rows.min(self.remaining);
+        self.remaining -= n;
+        Some(self.world.generate_rows(self.modality, n, &mut self.rng))
+    }
+}
+
 impl World {
     /// Generates `n` featurized data points of `modality`.
     pub fn generate(&self, modality: ModalityKind, n: usize, seed: u64) -> ModalityDataset {
+        // The resident dataset is the single-segment case of the stream.
         let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_rows(modality, n, &mut rng)
+    }
+
+    /// Begins streaming the same `n` rows [`World::generate`] would
+    /// produce for this seed, in segments.
+    pub fn stream(&self, modality: ModalityKind, n: usize, seed: u64) -> DatasetStream<'_> {
+        DatasetStream { world: self, modality, rng: StdRng::seed_from_u64(seed), remaining: n }
+    }
+
+    /// Draws the next `n` rows off an in-flight generation RNG.
+    fn generate_rows(&self, modality: ModalityKind, n: usize, rng: &mut StdRng) -> ModalityDataset {
         let mut table = FeatureTable::new(std::sync::Arc::clone(self.schema()));
         table.reserve(n);
         let mut labels = Vec::with_capacity(n);
         let mut borderline = Vec::with_capacity(n);
         for _ in 0..n {
-            let entity = self.sample_entity(modality, &mut rng);
-            let row = self.featurize(&entity, modality, &mut rng);
+            let entity = self.sample_entity(modality, rng);
+            let row = self.featurize(&entity, modality, rng);
             table.push_row(&row);
             labels.push(entity.label);
             borderline.push(entity.borderline);
@@ -182,6 +228,42 @@ mod tests {
         }
         let c = w.generate(ModalityKind::Text, 100, 10);
         assert!((0..100).any(|r| a.table.row(r) != c.table.row(r)), "different seeds must differ");
+    }
+
+    /// The streaming contract: segments concatenate to the resident
+    /// dataset bit for bit, at every segment size.
+    #[test]
+    fn streamed_segments_concatenate_to_resident_dataset() {
+        let w = world();
+        let resident = w.generate(ModalityKind::Image, 257, 21);
+        for seg_rows in [1usize, 7, 64, 256, 257, 1000] {
+            let mut stream = w.stream(ModalityKind::Image, 257, 21);
+            let mut offset = 0usize;
+            let mut total = 0usize;
+            while let Some(seg) = stream.next_segment(seg_rows) {
+                assert!(seg.len() <= seg_rows);
+                for r in 0..seg.len() {
+                    assert_eq!(
+                        seg.table.row(r),
+                        resident.table.row(offset + r),
+                        "seg_rows = {seg_rows}, row {r}"
+                    );
+                    assert_eq!(seg.labels[r], resident.labels[offset + r]);
+                    assert_eq!(seg.borderline[r], resident.borderline[offset + r]);
+                }
+                offset += seg.len();
+                total += seg.len();
+            }
+            assert_eq!(total, 257, "seg_rows = {seg_rows}");
+            assert_eq!(stream.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_no_segments() {
+        let w = world();
+        let mut stream = w.stream(ModalityKind::Text, 0, 3);
+        assert!(stream.next_segment(16).is_none());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod services;
 pub mod tasks;
 pub mod world;
 
-pub use dataset::ModalityDataset;
+pub use dataset::{DatasetStream, ModalityDataset};
 pub use entity::{LatentEntity, NumericLatents};
 pub use services::{PerModality, ServiceKind, ServiceSpec};
 pub use tasks::{TaskConfig, TaskId, TaskProfile};

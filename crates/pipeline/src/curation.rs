@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use cm_faults::{FaultSummary, Stopwatch};
-use cm_featurespace::{FeatureSet, Label, ServingMode, SimilarityConfig};
+use cm_featurespace::{FeatureSchema, FeatureSet, Label, ServingMode, SimilarityConfig};
 use cm_labelmodel::{
     majority_vote, AnchoredModel, BoundScoreLf, GenerativeConfig, GenerativeModel, LabelMatrix,
     LabelingFunction, LfRates,
@@ -18,6 +18,7 @@ use cm_labelmodel::{
 use cm_linalg::rng::SliceRandom;
 use cm_linalg::rng::StdRng;
 use cm_mining::{mine_lfs, MiningConfig};
+use cm_par::ParConfig;
 use cm_propagation::{propagate, tune_score_thresholds, GraphBuilder, PropagationConfig};
 
 use crate::data::TaskData;
@@ -128,7 +129,7 @@ pub struct CurationOutput {
 /// Runs curation with automatically mined LFs (§4.3 + §4.4).
 pub fn curate(data: &TaskData, config: &CurationConfig) -> CurationOutput {
     let mining_start = Stopwatch::start();
-    let columns = lf_columns(data, config);
+    let columns = lf_columns(data.world.schema(), config);
     let mined = mine_lfs(
         &data.text.table,
         &data.text.labels,
@@ -178,6 +179,72 @@ pub fn curate_with_lfs(
         pool_matrix = LabelMatrix::from_votes(n, lf_names.len(), votes, lf_names.clone());
     }
 
+    finish_curation(
+        ModelInputs {
+            dev_matrix: &dev_matrix,
+            dev_labels: &data.text.labels,
+            prop_dev_votes: prop.as_ref().map(|p| p.dev_votes.as_slice()),
+            prop_rates,
+            pool_matrix,
+            lf_names,
+            prior,
+            pool_truth: &data.pool.labels,
+            fault_summary: data.fault_summary.as_ref(),
+        },
+        config,
+        authoring_time,
+        propagation_time,
+        &ParConfig::from_env(),
+    )
+}
+
+/// Everything the model-fitting tail of curation needs, assembled either
+/// resident ([`curate_with_lfs`]) or segment by segment
+/// (`crate::stream::curate_streamed`). Both assemblies produce identical
+/// inputs, so sharing the tail makes the two paths agree by construction.
+pub(crate) struct ModelInputs<'a> {
+    /// LF votes over the labeled dev corpus (base LFs only).
+    pub dev_matrix: &'a LabelMatrix,
+    /// Dev corpus ground truth.
+    pub dev_labels: &'a [Label],
+    /// The propagation LF's votes on its dev slice, when present.
+    pub prop_dev_votes: Option<&'a [i8]>,
+    /// The propagation LF's dev-estimated rates, when present.
+    pub prop_rates: Option<LfRates>,
+    /// LF votes over the pool (propagation column included, when present).
+    pub pool_matrix: LabelMatrix,
+    /// LF names, one per pool-matrix column.
+    pub lf_names: Vec<String>,
+    /// Class prior, already clamped.
+    pub prior: f64,
+    /// Pool ground truth (diagnostics only).
+    pub pool_truth: &'a [Label],
+    /// Fault telemetry when datasets came through an access layer.
+    pub fault_summary: Option<&'a FaultSummary>,
+}
+
+/// The model-fitting tail shared by the resident and streamed drivers:
+/// abstain telemetry, degradation drops, label-model fit/predict, and the
+/// quality report. Thread-count invariant (every parallel substrate it
+/// calls is), so resident and streamed callers may pass different `par`.
+pub(crate) fn finish_curation(
+    inputs: ModelInputs<'_>,
+    config: &CurationConfig,
+    mining_time: Duration,
+    propagation_time: Option<Duration>,
+    par: &ParConfig,
+) -> CurationOutput {
+    let ModelInputs {
+        dev_matrix,
+        dev_labels,
+        prop_dev_votes,
+        prop_rates,
+        pool_matrix,
+        lf_names,
+        prior,
+        pool_truth,
+        fault_summary,
+    } = inputs;
     let n_rows = pool_matrix.n_rows();
     let n_lfs = pool_matrix.n_lfs();
 
@@ -190,11 +257,9 @@ pub fn curate_with_lfs(
                 / dev_matrix.n_rows().max(1) as f64
         })
         .collect();
-    if let Some(p) = &prop {
-        dev_abstain.push(
-            p.dev_votes.iter().filter(|&&v| v == 0).count() as f64
-                / p.dev_votes.len().max(1) as f64,
-        );
+    if let Some(votes) = prop_dev_votes {
+        dev_abstain
+            .push(votes.iter().filter(|&&v| v == 0).count() as f64 / votes.len().max(1) as f64);
     }
     let pool_abstain: Vec<f64> = (0..n_lfs)
         .map(|c| {
@@ -211,7 +276,7 @@ pub fn curate_with_lfs(
     // fault-injected runs the abstention is caused by service loss the dev
     // calibration never saw — so those columns are dropped only when the
     // datasets came through a fault-injecting access layer.
-    let fault_aware = data.fault_summary.is_some();
+    let fault_aware = fault_summary.is_some();
     let dropped_idx: Vec<usize> = (0..n_lfs)
         .filter(|&c| dev_abstain[c] >= 1.0 || (fault_aware && pool_abstain[c] >= 1.0))
         .collect();
@@ -232,9 +297,8 @@ pub fn curate_with_lfs(
     } else {
         match config.label_model {
             LabelModelKind::Anchored => {
-                let mut rates = AnchoredModel::fit(&dev_matrix, &data.text.labels, Some(prior))
-                    .rates()
-                    .to_vec();
+                let mut rates =
+                    AnchoredModel::fit(dev_matrix, dev_labels, Some(prior)).rates().to_vec();
                 if let Some(r) = prop_rates {
                     rates.push(r);
                 }
@@ -251,7 +315,8 @@ pub fn curate_with_lfs(
             LabelModelKind::Em => {
                 let gen_cfg =
                     GenerativeConfig { class_prior: Some(prior), ..config.generative.clone() };
-                GenerativeModel::fit(&active_matrix, &gen_cfg).predict(&active_matrix)
+                GenerativeModel::fit_with(&active_matrix, &gen_cfg, par)
+                    .predict_with(&active_matrix, par)
             }
             LabelModelKind::MajorityVote => majority_vote(&active_matrix),
         }
@@ -269,24 +334,21 @@ pub fn curate_with_lfs(
         })
         .collect();
     let degradation = DegradationReport {
-        fault_seed: data.fault_summary.as_ref().map_or(0, |s| s.seed),
-        tripped_services: data
-            .fault_summary
-            .as_ref()
-            .map_or_else(Vec::new, FaultSummary::tripped_services),
+        fault_seed: fault_summary.map_or(0, |s| s.seed),
+        tripped_services: fault_summary.map_or_else(Vec::new, FaultSummary::tripped_services),
         dropped_lfs,
         pool_coverage,
         lf_abstain,
-        faults: data.fault_summary.clone(),
+        faults: fault_summary.cloned(),
     };
 
-    let ws_quality = ws_quality(&probabilistic_labels, &covered, &data.pool.labels);
+    let ws_quality = ws_quality(&probabilistic_labels, &covered, pool_truth);
     CurationOutput {
         probabilistic_labels,
         covered,
         lf_names,
         ws_quality,
-        mining_time: authoring_time,
+        mining_time,
         propagation_time,
         conflict: active_matrix.conflict(),
         degradation,
@@ -295,8 +357,7 @@ pub fn curate_with_lfs(
 
 /// The columns LFs may reference: shared features of the configured sets,
 /// optionally filtered to servable ones.
-fn lf_columns(data: &TaskData, config: &CurationConfig) -> Vec<usize> {
-    let schema = data.world.schema();
+pub(crate) fn lf_columns(schema: &FeatureSchema, config: &CurationConfig) -> Vec<usize> {
     schema
         .columns_in_sets(&config.lf_sets, false)
         .into_iter()
@@ -307,23 +368,13 @@ fn lf_columns(data: &TaskData, config: &CurationConfig) -> Vec<usize> {
         .collect()
 }
 
-struct PropagationArtifacts {
-    pool_lf: BoundScoreLf,
-    dev_votes: Vec<i8>,
-    dev_labels: Vec<Label>,
-}
-
-/// Builds the label-propagation LF (§4.4): seeds from the old modality,
-/// thresholds tuned on a held-out old-modality dev slice, scores bound to
-/// the pool rows. Also returns the dev slice's votes so the anchored label
-/// model can estimate the LF's class-conditional rates.
-fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<PropagationArtifacts> {
-    let schema = data.world.schema();
-    // Similarity columns: LF columns plus modality-specific embeddings —
-    // "we use features specific to the new modality to construct edges,
-    // including unstructured features such as image embeddings".
-    let mut sim_columns = lf_columns(data, config);
-    sim_columns.extend(
+/// The columns the propagation graph compares: LF columns plus
+/// modality-specific embeddings — "we use features specific to the new
+/// modality to construct edges, including unstructured features such as
+/// image embeddings".
+pub(crate) fn sim_columns(schema: &FeatureSchema, config: &CurationConfig) -> Vec<usize> {
+    let mut columns = lf_columns(schema, config);
+    columns.extend(
         schema
             .defs()
             .iter()
@@ -334,52 +385,51 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
             })
             .map(|(i, _)| i),
     );
+    columns
+}
 
-    // Split text rows: seeds (clamped) vs dev (for threshold tuning).
+/// Splits the labeled corpus for propagation: a dev slice for threshold
+/// tuning and seed vertices (every positive plus negatives up to the cap).
+/// Purely a function of `(labels, config.seed, config.prop_max_seeds)`, so
+/// the streamed driver derives the identical split.
+pub(crate) fn prop_split(labels: &[Label], config: &CurationConfig) -> (Vec<usize>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
-    let mut idx: Vec<usize> = (0..data.text.len()).collect();
+    let mut idx: Vec<usize> = (0..labels.len()).collect();
     idx.shuffle(&mut rng);
-    let dev_len = (data.text.len() / 5).max(1);
+    let dev_len = (labels.len() / 5).max(1);
     let (dev_idx, rest) = idx.split_at(dev_len.min(idx.len()));
-    // Seeds: every positive plus a sample of negatives up to the cap.
     let mut seed_idx: Vec<usize> =
-        rest.iter().copied().filter(|&r| data.text.labels[r].is_positive()).collect();
+        rest.iter().copied().filter(|&r| labels[r].is_positive()).collect();
     let mut neg_budget = config.prop_max_seeds.saturating_sub(seed_idx.len());
     for &r in rest {
         if neg_budget == 0 {
             break;
         }
-        if !data.text.labels[r].is_positive() {
+        if !labels[r].is_positive() {
             seed_idx.push(r);
             neg_budget -= 1;
         }
     }
-    if seed_idx.is_empty() {
-        return None;
-    }
+    (dev_idx.to_vec(), seed_idx)
+}
 
-    // Combined table: [seeds | dev | pool].
-    let seed_table = data.text.table.gather(&seed_idx);
-    let dev_table = data.text.table.gather(dev_idx);
-    let mut combined = seed_table.clone();
-    combined.extend_from(&dev_table);
-    combined.extend_from(&data.pool.table);
+pub(crate) struct PropagationArtifacts {
+    pub pool_lf: BoundScoreLf,
+    pub dev_votes: Vec<i8>,
+    pub dev_labels: Vec<Label>,
+}
 
-    let sim = SimilarityConfig::uniform(sim_columns).fit_scales(&combined);
-    let builder = GraphBuilder::approximate(config.prop_k, combined.len());
-    let graph = builder.build(&combined, &sim, config.seed ^ 0x6EA9);
-
-    let seeds: Vec<(usize, f64)> =
-        seed_idx.iter().enumerate().map(|(v, &r)| (v, data.text.labels[r].as_f64())).collect();
-    let prop_cfg = PropagationConfig {
-        max_iters: 50,
-        tol: 1e-4,
-        prior: data.text.positive_rate().clamp(1e-4, 0.5),
-    };
-    let scores = propagate(&graph, &seeds, &prop_cfg);
-
-    let dev_scores = &scores[seed_idx.len()..seed_idx.len() + dev_table.len()];
-    let dev_labels: Vec<Label> = dev_idx.iter().map(|&r| data.text.labels[r]).collect();
+/// Turns propagated scores over a `[seeds | dev | pool]` corpus into the
+/// propagation LF: thresholds tuned on the dev slice, scores bound to the
+/// pool rows. `None` when no thresholds clear the configured precision
+/// floor (the resident and streamed drivers then both omit the LF).
+pub(crate) fn prop_artifacts_from_scores(
+    scores: &[f64],
+    seed_len: usize,
+    dev_labels: Vec<Label>,
+    config: &CurationConfig,
+) -> Option<PropagationArtifacts> {
+    let dev_scores = &scores[seed_len..seed_len + dev_labels.len()];
     let tuned = tune_score_thresholds(
         dev_scores,
         &dev_labels,
@@ -398,7 +448,7 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
             }
         })
         .collect();
-    let pool_scores = scores[seed_idx.len() + dev_table.len()..].to_vec();
+    let pool_scores = scores[seed_len + dev_labels.len()..].to_vec();
     Some(PropagationArtifacts {
         pool_lf: BoundScoreLf::new(
             "label_propagation",
@@ -409,6 +459,44 @@ fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<Pro
         dev_votes,
         dev_labels,
     })
+}
+
+/// Builds the label-propagation LF (§4.4): seeds from the old modality,
+/// thresholds tuned on a held-out old-modality dev slice, scores bound to
+/// the pool rows. Also returns the dev slice's votes so the anchored label
+/// model can estimate the LF's class-conditional rates.
+fn propagation_artifacts(data: &TaskData, config: &CurationConfig) -> Option<PropagationArtifacts> {
+    let schema = data.world.schema();
+    let sim_columns = sim_columns(schema, config);
+
+    // Split text rows: seeds (clamped) vs dev (for threshold tuning).
+    let (dev_idx, seed_idx) = prop_split(&data.text.labels, config);
+    if seed_idx.is_empty() {
+        return None;
+    }
+
+    // Combined table: [seeds | dev | pool].
+    let seed_table = data.text.table.gather(&seed_idx);
+    let dev_table = data.text.table.gather(&dev_idx);
+    let mut combined = seed_table.clone();
+    combined.extend_from(&dev_table);
+    combined.extend_from(&data.pool.table);
+
+    let sim = SimilarityConfig::uniform(sim_columns).fit_scales(&combined);
+    let builder = GraphBuilder::approximate(config.prop_k, combined.len());
+    let graph = builder.build(&combined, &sim, config.seed ^ 0x6EA9);
+
+    let seeds: Vec<(usize, f64)> =
+        seed_idx.iter().enumerate().map(|(v, &r)| (v, data.text.labels[r].as_f64())).collect();
+    let prop_cfg = PropagationConfig {
+        max_iters: 50,
+        tol: 1e-4,
+        prior: data.text.positive_rate().clamp(1e-4, 0.5),
+    };
+    let scores = propagate(&graph, &seeds, &prop_cfg);
+
+    let dev_labels: Vec<Label> = dev_idx.iter().map(|&r| data.text.labels[r]).collect();
+    prop_artifacts_from_scores(&scores, seed_idx.len(), dev_labels, config)
 }
 
 fn ws_quality(probs: &[f64], covered: &[bool], truth: &[Label]) -> WsQuality {

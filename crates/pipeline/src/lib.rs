@@ -28,6 +28,7 @@ pub mod data;
 pub mod expert;
 pub mod report;
 pub mod selftrain;
+pub mod stream;
 pub mod training;
 
 pub use active::{apply_review, select_for_review, ReviewStrategy};
@@ -39,4 +40,5 @@ pub use data::{mask_disallowed_sets, DenseView, TaskData};
 pub use expert::{expert_lfs, EXPERT_AUTHORING};
 pub use report::{DegradationReport, LfAbstainRates, ModelEval, ScenarioReport};
 pub use selftrain::{self_train, SelfTrainConfig, SelfTrainOutcome};
+pub use stream::{curate_streamed, curate_streamed_with, StreamStats, StreamedCuration};
 pub use training::{FusionStrategy, LabelSource, Scenario, ScenarioRunner};

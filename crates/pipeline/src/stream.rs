@@ -1,0 +1,293 @@
+//! Sharded out-of-core curation driver.
+//!
+//! [`curate_streamed`] runs the full curation step — LF mining, optional
+//! label propagation, LF application, and the label model — without ever
+//! materializing the unlabeled pool: `orgsim` generation is consumed in
+//! `CM_SHARD_ROWS`-sized segments under an explicit `CM_MEM_BUDGET`
+//! ([`cm_shard::MemTracker`] fails a run rather than exceed it), and every
+//! per-shard statistic merges deterministically in shard-index order.
+//!
+//! The output is **bit-identical** to the resident driver
+//! ([`crate::curation::curate`]) over [`crate::data::TaskData::generate`]
+//! with the same `(task, seed, config)`, at any shard size and any
+//! `CM_THREADS` — durations excepted. Each stage reduces to a mergeable
+//! substrate whose resident computation is the single-segment case:
+//!
+//! - **mining** — Apriori supports are popcounts over item bitsets the
+//!   [`ItemCatalogBuilder`] assembles segment by segment;
+//! - **propagation** — similarity scales come from the exact
+//!   `ScaleAccumulator` pair and the k-NN graph from
+//!   [`cm_shard::build_graph_sharded`], which replays the resident anchor
+//!   plan over segment sweeps;
+//! - **LF application** — votes are pure per-row, so per-segment
+//!   [`LabelMatrix`] applications concatenate to the resident matrix;
+//! - **the label model** — fitted on the dev corpus (anchored) or on exact
+//!   mergeable moments (EM), both thread- and segmentation-invariant.
+//!
+//! The labeled text corpus itself stays resident: it is the small
+//! old-modality dev set every stage anchors to, orders of magnitude
+//! smaller than the pools this driver exists for.
+
+use cm_faults::Stopwatch;
+use cm_featurespace::{CmResult, FrozenTable, Label, ModalityKind};
+use cm_labelmodel::{LabelMatrix, LfRates};
+use cm_mining::{lfs_from_itemsets, mine_from_bitsets, ItemCatalogBuilder};
+use cm_orgsim::{ModalityDataset, TaskConfig, World, WorldConfig};
+use cm_par::ParConfig;
+use cm_propagation::{propagate, GraphBuilder, PropagationConfig};
+use cm_shard::corpus::dataset_bytes;
+use cm_shard::{
+    build_graph_sharded, fit_scales_sharded, for_each_pool_segment, MemTracker, SegmentedCorpus,
+    ShardConfig, StreamSpec,
+};
+
+use crate::curation::{
+    finish_curation, lf_columns, prop_artifacts_from_scores, prop_split, sim_columns,
+    CurationConfig, CurationOutput, ModelInputs, PropagationArtifacts,
+};
+
+/// Telemetry from a streamed curation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Pool segments streamed by the LF-application pass.
+    pub segments: usize,
+    /// Rows per segment the run was sharded at.
+    pub segment_rows: usize,
+    /// High-water mark of tracked resident bytes.
+    pub peak_bytes: usize,
+    /// Total pool rows curated.
+    pub pool_rows: usize,
+}
+
+/// A streamed curation result: the (resident-identical) curation output
+/// plus sharding telemetry.
+pub struct StreamedCuration {
+    /// The curation output, bit-identical to the resident driver's.
+    pub output: CurationOutput,
+    /// Sharding and memory telemetry.
+    pub stats: StreamStats,
+}
+
+/// Runs sharded curation for `(task, seed)` under `shard`'s segment size
+/// and memory budget. See the module docs for the equivalence contract.
+///
+/// # Errors
+/// Returns [`cm_featurespace::ErrorKind::InvalidConfig`] when a stage
+/// would have to hold more resident bytes than `shard.budget` allows.
+pub fn curate_streamed(
+    task: TaskConfig,
+    seed: u64,
+    config: &CurationConfig,
+    shard: &ShardConfig,
+) -> CmResult<StreamedCuration> {
+    curate_streamed_with(task, seed, config, shard, &ParConfig::from_env())
+}
+
+/// [`curate_streamed`] with an explicit parallel configuration.
+///
+/// # Errors
+/// Returns [`cm_featurespace::ErrorKind::InvalidConfig`] when a stage
+/// would have to hold more resident bytes than `shard.budget` allows.
+pub fn curate_streamed_with(
+    task: TaskConfig,
+    seed: u64,
+    config: &CurationConfig,
+    shard: &ShardConfig,
+    par: &ParConfig,
+) -> CmResult<StreamedCuration> {
+    let world = World::build(WorldConfig::new(task, seed));
+    // The per-dataset seeds `TaskData::generate` derives; segment streams
+    // with these seeds concatenate to its datasets bit for bit.
+    let ds = seed ^ 0xD1CE;
+    let n_text = world.config().task.n_text_labeled;
+    let n_pool = world.config().task.n_image_unlabeled;
+    let mut tracker = MemTracker::new(shard.budget);
+
+    // The labeled text corpus stays resident; charge it for the duration.
+    let text = world.generate(ModalityKind::Text, n_text, ds ^ 0x1);
+    tracker.charge(dataset_bytes(&text), "labeled text corpus")?;
+
+    // LF mining over streamed text segments: catalog pass, bitset-fill
+    // pass, then the candidate/join phases on the assembled bitsets.
+    let mining_start = Stopwatch::start();
+    let columns = lf_columns(world.schema(), config);
+    let mut catalog_builder =
+        ItemCatalogBuilder::new(world.schema(), &columns, config.mining.numeric_bins);
+    for_each_pool_segment(
+        &world,
+        ModalityKind::Text,
+        n_text,
+        ds ^ 0x1,
+        shard.segment_rows,
+        &mut tracker,
+        &mut |_, seg, _| {
+            catalog_builder.observe(&FrozenTable::freeze(&seg.table));
+            Ok(())
+        },
+    )?;
+    let catalog = catalog_builder.finish();
+    let bitset_bytes = catalog.bitset_bytes();
+    tracker.charge(bitset_bytes, "item bitsets")?;
+    let mut item_bits = catalog.empty_bitsets();
+    for_each_pool_segment(
+        &world,
+        ModalityKind::Text,
+        n_text,
+        ds ^ 0x1,
+        shard.segment_rows,
+        &mut tracker,
+        &mut |offset, seg, _| {
+            catalog.fill(&FrozenTable::freeze(&seg.table), offset, &mut item_bits);
+            Ok(())
+        },
+    )?;
+    let mined = mine_from_bitsets(&catalog, &item_bits, &text.labels, &config.mining, par);
+    drop(item_bits);
+    tracker.release(bitset_bytes);
+    let lfs = lfs_from_itemsets(&mined, config.max_positive_lfs, config.max_negative_lfs);
+    let mining_time = mining_start.elapsed();
+
+    let dev_matrix = LabelMatrix::apply_with(&text.table, &lfs, par);
+    let prior = text.positive_rate().clamp(1e-4, 0.5);
+
+    let mut propagation_time = None;
+    let mut prop = None;
+    if config.use_label_propagation {
+        let start = Stopwatch::start();
+        prop = propagation_streamed(&world, &text, n_pool, ds ^ 0x2, config, shard, &mut tracker)?;
+        propagation_time = Some(start.elapsed());
+    }
+
+    let mut lf_names: Vec<String> = lfs.iter().map(|l| l.name().to_owned()).collect();
+    let mut prop_rates: Option<LfRates> = None;
+    if let Some(p) = &prop {
+        lf_names.push("label_propagation".to_owned());
+        prop_rates = Some(LfRates::estimate(&p.dev_votes, &p.dev_labels));
+    }
+
+    // LF application over streamed pool segments. Votes are pure per-row,
+    // so the per-segment matrices concatenate (in offset order) to the
+    // resident pool matrix; the propagation column votes through the
+    // score-bound LF, which needs only the global row index.
+    let n_cols = lf_names.len();
+    let mut segments = 0usize;
+    let mut parts: Vec<LabelMatrix> = Vec::new();
+    let mut part_bytes = 0usize;
+    let mut pool_truth: Vec<Label> = Vec::with_capacity(n_pool);
+    for_each_pool_segment(
+        &world,
+        ModalityKind::Image,
+        n_pool,
+        ds ^ 0x2,
+        shard.segment_rows,
+        &mut tracker,
+        &mut |offset, seg, tracker| {
+            segments += 1;
+            let base = LabelMatrix::apply_with(&seg.table, &lfs, par);
+            let part = match &prop {
+                Some(p) => {
+                    let n = base.n_rows();
+                    let mut votes = Vec::with_capacity(n * n_cols);
+                    for r in 0..n {
+                        votes.extend_from_slice(base.row(r));
+                        votes.push(p.pool_lf.vote_row(offset + r).as_i8());
+                    }
+                    LabelMatrix::from_votes(n, n_cols, votes, lf_names.clone())
+                }
+                None => base,
+            };
+            tracker.charge(part.approx_bytes(), "pool vote segment")?;
+            part_bytes += part.approx_bytes();
+            pool_truth.extend_from_slice(&seg.labels);
+            parts.push(part);
+            Ok(())
+        },
+    )?;
+    let part_refs: Vec<&LabelMatrix> = parts.iter().collect();
+    let pool_matrix = LabelMatrix::concat(&part_refs);
+    tracker.charge(pool_matrix.approx_bytes(), "pool vote matrix")?;
+    drop(parts);
+    tracker.release(part_bytes);
+
+    let output = finish_curation(
+        ModelInputs {
+            dev_matrix: &dev_matrix,
+            dev_labels: &text.labels,
+            prop_dev_votes: prop.as_ref().map(|p| p.dev_votes.as_slice()),
+            prop_rates,
+            pool_matrix,
+            lf_names,
+            prior,
+            pool_truth: &pool_truth,
+            fault_summary: None,
+        },
+        config,
+        mining_time,
+        propagation_time,
+        par,
+    );
+    let stats = StreamStats {
+        segments,
+        segment_rows: shard.segment_rows,
+        peak_bytes: tracker.peak(),
+        pool_rows: n_pool,
+    };
+    Ok(StreamedCuration { output, stats })
+}
+
+/// The streamed counterpart of the resident propagation-LF builder: the
+/// `[seeds | dev | pool]` corpus is a [`SegmentedCorpus`] whose pool tail
+/// streams from the world, the scale fit and graph build are the sharded
+/// replays, and everything downstream (propagation, threshold tuning, the
+/// score-bound LF) is the shared resident code.
+fn propagation_streamed(
+    world: &World,
+    text: &ModalityDataset,
+    n_pool: usize,
+    pool_seed: u64,
+    config: &CurationConfig,
+    shard: &ShardConfig,
+    tracker: &mut MemTracker,
+) -> CmResult<Option<PropagationArtifacts>> {
+    let sim_cols = sim_columns(world.schema(), config);
+    let (dev_idx, seed_idx) = prop_split(&text.labels, config);
+    if seed_idx.is_empty() {
+        return Ok(None);
+    }
+    let seed_table = text.table.gather(&seed_idx);
+    let dev_table = text.table.gather(&dev_idx);
+    let head_bytes = seed_table.approx_bytes() + dev_table.approx_bytes();
+    tracker.charge(head_bytes, "propagation seed/dev tables")?;
+
+    let mut corpus = SegmentedCorpus::new(shard.segment_rows);
+    corpus.push_head(&seed_table);
+    corpus.push_head(&dev_table);
+    corpus.set_stream(StreamSpec {
+        world,
+        modality: ModalityKind::Image,
+        rows: n_pool,
+        seed: pool_seed,
+    });
+    let n_combined = corpus.total_rows();
+
+    let sim = fit_scales_sharded(&corpus, &sim_cols, tracker)?;
+    let builder = GraphBuilder::approximate(config.prop_k, n_combined);
+    let graph = build_graph_sharded(&corpus, &builder, &sim, config.seed ^ 0x6EA9, tracker)?;
+    let graph_bytes = graph.approx_bytes();
+    tracker.charge(graph_bytes, "propagation graph")?;
+
+    let seeds: Vec<(usize, f64)> =
+        seed_idx.iter().enumerate().map(|(v, &r)| (v, text.labels[r].as_f64())).collect();
+    let prop_cfg = PropagationConfig {
+        max_iters: 50,
+        tol: 1e-4,
+        prior: text.positive_rate().clamp(1e-4, 0.5),
+    };
+    let scores = propagate(&graph, &seeds, &prop_cfg);
+    drop(graph);
+    tracker.release(graph_bytes);
+    tracker.release(head_bytes);
+
+    let dev_labels: Vec<Label> = dev_idx.iter().map(|&r| text.labels[r]).collect();
+    Ok(prop_artifacts_from_scores(&scores, seed_idx.len(), dev_labels, config))
+}

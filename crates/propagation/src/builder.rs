@@ -82,6 +82,18 @@ impl GraphBuilder {
         self.build_frozen_with(&frozen, config, seed, par)
     }
 
+    /// Whether a corpus of `n` rows takes the exact all-pairs path (either
+    /// by method choice or the small-input fallback). Sharded builds must
+    /// make the same choice from the same `n`, so this is the one place
+    /// the decision lives.
+    pub fn uses_exact(&self, n: usize) -> bool {
+        match self.method {
+            KnnMethod::Exact => true,
+            // Too small for anchors to pay off; fall back to exact.
+            KnnMethod::Anchors { n_anchors, .. } => n <= n_anchors * 4,
+        }
+    }
+
     /// [`GraphBuilder::build_with`] over an existing frozen view, for
     /// callers that already hold one.
     pub fn build_frozen_with(
@@ -94,16 +106,13 @@ impl GraphBuilder {
         let n = frozen.len();
         let kernel = PairKernel::compile(frozen, config);
         let par = par.clone().with_min_chunk(KNN_MIN_ROWS_PER_CHUNK);
-        let edges = match self.method {
-            KnnMethod::Exact => self.build_exact(n, &kernel, &par),
-            KnnMethod::Anchors { n_anchors, probes, max_candidates } => {
-                if n <= n_anchors * 4 {
-                    // Too small for anchors to pay off; fall back to exact.
-                    self.build_exact(n, &kernel, &par)
-                } else {
-                    self.build_anchors(n, &kernel, n_anchors, probes, max_candidates, seed, &par)
-                }
-            }
+        let edges = if self.uses_exact(n) {
+            self.build_exact(n, &kernel, &par)
+        } else {
+            let KnnMethod::Anchors { n_anchors, probes, max_candidates } = self.method else {
+                unreachable!("non-exact path implies the anchor method")
+            };
+            self.build_anchors(n, &kernel, n_anchors, probes, max_candidates, seed, &par)
         };
         SparseGraph::from_edges(n, &edges)
     }
@@ -146,20 +155,14 @@ impl GraphBuilder {
         seed: u64,
         par: &ParConfig,
     ) -> Vec<(u32, u32, f32)> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut anchor_ids: Vec<usize> = (0..n).collect();
-        anchor_ids.shuffle(&mut rng);
-        anchor_ids.truncate(n_anchors);
+        let anchor_ids = anchor_plan(n, n_anchors, seed);
 
         // Route every row to its top `probes` anchors. Rows route
         // independently, so the parallel map is order-preserving.
         let mut anchor_members: Vec<Vec<u32>> = vec![Vec::new(); n_anchors];
         let routes: Vec<Vec<usize>> = cm_par::par_map(par, n, |i| {
-            let mut scored: Vec<(usize, f64)> =
-                anchor_ids.iter().enumerate().map(|(a, &row)| (a, kernel.pair(i, row))).collect();
-            scored.sort_by(|x, y| y.1.total_cmp(&x.1));
-            scored.truncate(probes);
-            scored.into_iter().map(|(a, _)| a).collect()
+            let scores: Vec<f64> = anchor_ids.iter().map(|&row| kernel.pair(i, row)).collect();
+            route_row(&scores, probes)
         })
         .unwrap_or_else(|e| e.resume());
         for (i, route) in routes.iter().enumerate() {
@@ -179,8 +182,7 @@ impl GraphBuilder {
                 }
                 candidates.sort_unstable();
                 candidates.dedup();
-                // Stride-subsample to the cap so huge buckets stay bounded.
-                let stride = (candidates.len() / max_candidates.max(1)).max(1);
+                let stride = candidate_stride(candidates.len(), max_candidates);
                 let mut top = TopK::new(self.k);
                 for &j in candidates.iter().step_by(stride) {
                     if j as usize == i {
@@ -200,18 +202,52 @@ impl GraphBuilder {
     }
 }
 
-/// Small fixed-capacity top-k accumulator.
-struct TopK {
+/// The anchor rows the approximate method samples for a corpus of `n`
+/// rows: a seeded shuffle of all row ids, truncated to `n_anchors`.
+/// Depends only on `(n, n_anchors, seed)`, so a sharded build derives the
+/// identical plan without holding the corpus.
+pub fn anchor_plan(n: usize, n_anchors: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut anchor_ids: Vec<usize> = (0..n).collect();
+    anchor_ids.shuffle(&mut rng);
+    anchor_ids.truncate(n_anchors);
+    anchor_ids
+}
+
+/// Routes one row to its top `probes` anchor slots given the row's
+/// similarity to each anchor, in anchor-slot order. The sort is stable and
+/// descending by similarity, so ties keep ascending slot order — sharded
+/// routing must reproduce exactly this ranking.
+pub fn route_row(scores: &[f64], probes: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+    scored.truncate(probes);
+    scored.into_iter().map(|(a, _)| a).collect()
+}
+
+/// Stride that subsamples a candidate bucket down to the `max_candidates`
+/// cap (huge buckets stay bounded; small ones scan fully).
+pub fn candidate_stride(n_candidates: usize, max_candidates: usize) -> usize {
+    (n_candidates / max_candidates.max(1)).max(1)
+}
+
+/// Small fixed-capacity top-k accumulator, kept sorted descending by
+/// weight. Insertion order breaks ties (earlier wins), so feeding
+/// candidates in the resident scan order reproduces the resident edges.
+#[derive(Debug, Clone)]
+pub struct TopK {
     k: usize,
     items: Vec<(u32, f32)>,
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    /// An empty accumulator keeping the best `k` entries.
+    pub fn new(k: usize) -> Self {
         Self { k, items: Vec::with_capacity(k + 1) }
     }
 
-    fn push(&mut self, id: u32, w: f32) {
+    /// Offers one candidate.
+    pub fn push(&mut self, id: u32, w: f32) {
         if self.items.len() == self.k {
             // items kept sorted descending; last is the weakest.
             if w <= self.items[self.k - 1].1 {
@@ -223,7 +259,8 @@ impl TopK {
         self.items.insert(pos, (id, w));
     }
 
-    fn drain_into(self, src: u32, edges: &mut Vec<(u32, u32, f32)>) {
+    /// Appends the kept entries as `(src, dst, weight)` edges, best first.
+    pub fn drain_into(self, src: u32, edges: &mut Vec<(u32, u32, f32)>) {
         for (dst, w) in self.items {
             edges.push((src, dst, w));
         }

@@ -63,6 +63,14 @@ impl SparseGraph {
         self.neighbors.len() / 2
     }
 
+    /// Approximate resident bytes of the CSR storage, for memory-budget
+    /// accounting in the sharded drivers.
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<f32>()
+    }
+
     /// Neighbor ids and weights of a vertex.
     #[inline]
     pub fn neighbors(&self, v: usize) -> (&[u32], &[f32]) {

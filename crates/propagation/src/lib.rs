@@ -21,7 +21,7 @@ pub mod graph;
 pub mod propagation;
 pub mod score_lf;
 
-pub use builder::{GraphBuilder, KnnMethod};
+pub use builder::{anchor_plan, candidate_stride, route_row, GraphBuilder, KnnMethod, TopK};
 pub use graph::SparseGraph;
 pub use propagation::{propagate, propagate_streaming, PropagationConfig};
 pub use score_lf::{tune_score_thresholds, TunedThresholds};

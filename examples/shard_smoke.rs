@@ -1,0 +1,77 @@
+//! Shard smoke gate: run the streamed (out-of-core) curation driver at
+//! several shard sizes and assert its output is bit-identical to the
+//! resident driver.
+//!
+//! `scripts/ci.sh` runs this under `CM_THREADS=1` and `CM_THREADS=4`; the
+//! program exits non-zero on the first divergence, and prints a
+//! deterministic label checksum so cross-thread runs can also be diffed
+//! line by line.
+//!
+//! ```sh
+//! CM_THREADS=4 cargo run --release --example shard_smoke
+//! ```
+
+use cross_modal::mining::MiningConfig;
+use cross_modal::prelude::*;
+
+fn checksum(labels: &[f64]) -> u64 {
+    labels.iter().fold(0u64, |acc, p| acc.rotate_left(7) ^ p.to_bits())
+}
+
+fn task() -> TaskConfig {
+    TaskConfig::paper(TaskId::Ct2).scaled(0.02)
+}
+
+fn main() {
+    let seed = 5;
+    let config = CurationConfig {
+        prop_max_seeds: 400,
+        mining: MiningConfig { min_recall: 0.05, ..Default::default() },
+        ..Default::default()
+    };
+
+    let data = TaskData::generate(task(), seed, Some(64));
+    let want = curate(&data, &config);
+    let want_sum = checksum(&want.probabilistic_labels);
+    println!(
+        "resident: {} pool labels (checksum {want_sum:016x}), coverage {:.4}",
+        want.probabilistic_labels.len(),
+        want.degradation.pool_coverage
+    );
+
+    let mut failures = 0usize;
+    for shard_rows in [1usize, 97, 1 << 20] {
+        let streamed =
+            curate_streamed(task(), seed, &config, &ShardConfig::with_segment_rows(shard_rows))
+                .unwrap_or_else(|e| {
+                    eprintln!("streamed curation failed at shard_rows={shard_rows}: {e}");
+                    std::process::exit(1);
+                });
+        let got = &streamed.output;
+        let got_sum = checksum(&got.probabilistic_labels);
+        let identical = got_sum == want_sum
+            && got.probabilistic_labels.len() == want.probabilistic_labels.len()
+            && got
+                .probabilistic_labels
+                .iter()
+                .zip(&want.probabilistic_labels)
+                .all(|(g, w)| g.to_bits() == w.to_bits())
+            && got.lf_names == want.lf_names
+            && got.conflict.to_bits() == want.conflict.to_bits();
+        println!(
+            "sharded shard_rows={shard_rows}: {} segments, peak {} bytes, checksum {got_sum:016x} \
+             -> {}",
+            streamed.stats.segments,
+            streamed.stats.peak_bytes,
+            if identical { "identical" } else { "DIVERGED" }
+        );
+        if !identical {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} shard size(s) diverged from the resident driver");
+        std::process::exit(1);
+    }
+    println!("shard smoke: all shard sizes bit-identical to the resident driver");
+}

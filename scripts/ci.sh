@@ -46,6 +46,19 @@ CM_FAULTS="$FAULT_SPEC" CM_THREADS=4 cargo run -q --release --example fault_dril
 diff /tmp/cm_fault_drill_t1.out /tmp/cm_fault_drill_t4.out
 echo "    fault drill output identical across thread counts"
 
+echo "==> shard smoke: streamed curation must be bit-identical to resident"
+# Three shard sizes (1 row, a prime, whole-corpus) at two thread counts;
+# the example exits non-zero on the first divergence.
+CM_THREADS=1 cargo run -q --release --example shard_smoke
+CM_THREADS=4 cargo run -q --release --example shard_smoke
+
+echo "==> bench smoke: scale group, capped corpus"
+# Executes the sharded scale sweep once at a small row cap (compile +
+# run guard; the committed results/BENCH_scale.json comes from a full
+# uncapped run).
+CM_SCALE_MAX_ROWS=20000 CM_SCALE_JSON=/tmp/cm_bench_scale_smoke.json \
+    cargo bench -q -p cm-bench --bench substrates -- scale
+
 echo "==> bench smoke: kernels group, 1 sample"
 # Executes every columnar hot-path kernel benchmark once (compile +
 # run guard only; timings at this sample size are meaningless).

@@ -44,6 +44,7 @@
 //! | [`labelmodel`] | labeling functions, label matrix, label models |
 //! | [`mining`] | Apriori itemset mining -> automatic LF generation |
 //! | [`propagation`] | similarity graphs and label propagation |
+//! | [`shard`] | sharded out-of-core curation (`CM_SHARD_ROWS`, `CM_MEM_BUDGET`) |
 //! | [`models`] | logistic regression and MLPs with noise-aware losses |
 //! | [`fusion`] | early / intermediate / DeViSE multi-modal training |
 //! | [`eval`] | PR curves, AUPRC, cross-over analysis |
@@ -63,6 +64,7 @@ pub use cm_orgsim as orgsim;
 pub use cm_par as par;
 pub use cm_pipeline as pipeline;
 pub use cm_propagation as propagation;
+pub use cm_shard as shard;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
@@ -74,7 +76,9 @@ pub mod prelude {
     pub use cm_models::{ModelKind, TrainConfig};
     pub use cm_orgsim::{ModalityDataset, TaskConfig, TaskId, World, WorldConfig};
     pub use cm_pipeline::{
-        curate, curate_with_lfs, expert_lfs, CurationConfig, CurationOutput, DegradationReport,
-        FusionStrategy, LabelModelKind, LabelSource, Scenario, ScenarioRunner, TaskData,
+        curate, curate_streamed, curate_streamed_with, curate_with_lfs, expert_lfs, CurationConfig,
+        CurationOutput, DegradationReport, FusionStrategy, LabelModelKind, LabelSource, Scenario,
+        ScenarioRunner, StreamStats, StreamedCuration, TaskData,
     };
+    pub use cm_shard::{MemBudget, MemTracker, ShardConfig};
 }
