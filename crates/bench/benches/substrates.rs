@@ -445,6 +445,106 @@ fn bench_scale(c: &Harness) {
     println!("scale: wrote {path}");
 }
 
+/// End-to-end incremental serving benchmark: one clean-path service run
+/// (checkpointing on) and one without checkpointing, recording ingest
+/// throughput, per-batch arrival-to-completion latency (simulated
+/// clock), and the wall-clock serving envelope as a percentage of core
+/// curation time — the "< 2 % clean-path overhead" acceptance metric.
+/// Results go to `results/BENCH_serve.json`; `CM_SERVE_JSON` overrides
+/// the output path.
+fn bench_serve(c: &Harness) {
+    use cm_serve::{run as serve_run, RunOutcome, ServeConfig};
+    let group = c.group("serve");
+    let config_for = |checkpoint: bool| {
+        let task = TaskConfig::paper(TaskId::Ct2).scaled(0.02);
+        let mut config = ServeConfig::new(task, 11);
+        config.batch_rows = 40;
+        config.incremental.curation.prop_max_seeds = 400;
+        config.incremental.curation.mining.min_recall = 0.05;
+        if checkpoint {
+            let path = std::env::temp_dir().join("cm_bench_serve_ckpt.json");
+            // A stale checkpoint would make the run resume (and measure
+            // an empty service loop) instead of serving from scratch.
+            let _ = std::fs::remove_file(&path);
+            config.checkpoint_path = Some(path);
+        }
+        config
+    };
+    let par = ParConfig::from_env();
+    let mut rows: Vec<Json> = Vec::new();
+    for (name, checkpoint) in [("serve_ct2_checkpointed", true), ("serve_ct2_no_checkpoint", false)]
+    {
+        if !group.enabled(name) {
+            continue;
+        }
+        let config = config_for(checkpoint);
+        let start = Instant::now();
+        let outcome = serve_run(&config, &par).unwrap();
+        let elapsed = start.elapsed();
+        let RunOutcome::Completed { report, timing } = outcome else {
+            panic!("bench run crashed without crash injection");
+        };
+        let mut lat: Vec<u64> = report.latencies_ms.clone();
+        lat.sort_unstable();
+        let p50 = lat[lat.len() / 2];
+        let max = *lat.last().unwrap();
+        let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
+        let wall_rows_per_sec = report.rows_ingested as f64 / elapsed.as_secs_f64();
+        println!(
+            "serve/{:<32} {:>12?}  {:>10.0} rows/s wall  {:>8.1} rows/s sim  \
+             latency p50 {p50} max {max} sim-ms  envelope {:.2}% of curation",
+            name,
+            elapsed,
+            wall_rows_per_sec,
+            report.rows_per_sim_sec,
+            timing.overhead_pct()
+        );
+        rows.push(Json::obj([
+            ("name", Json::Str(name.to_owned())),
+            ("checkpointed", Json::Bool(checkpoint)),
+            ("rows_ingested", Json::Num(report.rows_ingested as f64)),
+            ("batches", Json::Num(report.batches.len() as f64)),
+            ("ticks", Json::Num(report.ticks as f64)),
+            ("sim_ms", Json::Num(report.sim_ms as f64)),
+            ("rows_per_sim_sec", Json::Num(report.rows_per_sim_sec)),
+            ("wall_elapsed_ms", Json::Num(elapsed.as_secs_f64() * 1e3)),
+            ("wall_rows_per_sec", Json::Num(wall_rows_per_sec)),
+            ("latency_sim_ms_mean", Json::Num(mean)),
+            ("latency_sim_ms_p50", Json::Num(p50 as f64)),
+            ("latency_sim_ms_max", Json::Num(max as f64)),
+            ("setup_ms", Json::Num(timing.setup.as_secs_f64() * 1e3)),
+            ("generation_ms", Json::Num(timing.generation.as_secs_f64() * 1e3)),
+            ("curation_ms", Json::Num(timing.curation.as_secs_f64() * 1e3)),
+            ("checkpoint_ms", Json::Num(timing.checkpoint.as_secs_f64() * 1e3)),
+            ("envelope_ms", Json::Num(timing.envelope().as_secs_f64() * 1e3)),
+            ("serving_overhead_pct_of_curation", Json::Num(timing.overhead_pct())),
+        ]));
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let report = Json::obj([
+        ("bench", Json::Str("serve".to_owned())),
+        ("source", Json::Str("cargo bench -p cm-bench --bench substrates -- serve".to_owned())),
+        (
+            "config",
+            Json::obj([
+                ("task", Json::Str("CT2 profile scaled 0.02, batch_rows=40, seed 11".to_owned())),
+                ("acceptance", Json::Str("serving envelope < 2% of curation time".to_owned())),
+            ]),
+        ),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = std::env::var("CM_SERVE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_serve.json").to_owned()
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(&path, report.to_string_pretty()).unwrap();
+    println!("serve: wrote {path}");
+}
+
 fn main() {
     let harness = Harness::from_args();
     bench_feature_generation(&harness);
@@ -456,5 +556,6 @@ fn main() {
     bench_kernels(&harness);
     bench_end_to_end_curation(&harness);
     bench_faults(&harness);
+    bench_serve(&harness);
     bench_scale(&harness);
 }

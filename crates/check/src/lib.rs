@@ -38,7 +38,7 @@ pub use artifact::{
     FusionKind, FusionPlan,
 };
 pub use report::report_json;
-pub use spec::{validate_spec_source, ExperimentSpec, ScenarioSpec, SpecLabelSource};
+pub use spec::{validate_spec_source, ExperimentSpec, ScenarioSpec, ServeSpec, SpecLabelSource};
 
 use cm_span::Span;
 

@@ -25,6 +25,10 @@
 //!   "seed": 42,                        // optional base seed; default 42
 //!   "n_labeled_image": 4000,           // optional reservoir size at scale 1
 //!   "fault_plan": "seed=7;topics=unavailable@0.5",  // optional CM_FAULTS spec
+//!   "serve": {                         // optional cm-serve drill knobs
+//!     "batch_rows": 40, "queue_capacity": 8, "high_watermark": 6,
+//!     "crash_at": 3, "min_coverage": 0.02, "max_abstain": 0.995
+//!   },
 //!   "scenarios": [
 //!     {
 //!       "name": "cross-modal T,I+ABCD",
@@ -81,6 +85,31 @@ pub struct ScenarioSpec {
     pub include_modality_specific: bool,
 }
 
+/// Serving-drill overrides declared by a spec's `"serve"` section: the
+/// incremental-curation-service knobs `cm-serve` layers on top of the
+/// experiment's task/scale/seed. Every field is optional; an absent
+/// field leaves the service default in place.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeSpec {
+    /// Total arrival rows the drill streams.
+    pub total_rows: Option<usize>,
+    /// Nominal rows per arrival batch (`CM_BATCH_ROWS`).
+    pub batch_rows: Option<usize>,
+    /// Arrival batches offered per service tick.
+    pub arrivals_per_tick: Option<usize>,
+    /// Admission-queue capacity (`CM_QUEUE_DEPTH`).
+    pub queue_capacity: Option<usize>,
+    /// Queue depth at which offers start deferring.
+    pub high_watermark: Option<usize>,
+    /// Crash-injection point: exit after this many ingested batches
+    /// (`CM_CRASH_AT`).
+    pub crash_at: Option<usize>,
+    /// Quality-guard floor on batch label coverage.
+    pub min_coverage: Option<f64>,
+    /// Quality-guard ceiling on batch abstain rate.
+    pub max_abstain: Option<f64>,
+}
+
 /// A validated experiment spec: the full configuration one experiment
 /// binary needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +133,8 @@ pub struct ExperimentSpec {
     pub fault_plan: Option<String>,
     /// The scenario matrix.
     pub scenarios: Vec<ScenarioSpec>,
+    /// Serving-drill overrides, when the experiment drives `cm-serve`.
+    pub serve: Option<ServeSpec>,
 }
 
 /// Validates a spec source text. On a clean spec, returns it parsed; any
@@ -136,6 +167,7 @@ const TOP_FIELDS: &[&str] = &[
     "n_labeled_image",
     "fault_plan",
     "scenarios",
+    "serve",
     "table",
     "votes",
     "fusion_plan",
@@ -241,6 +273,7 @@ impl Walker<'_> {
         let n_labeled_image = self.opt_usize(root, "n_labeled_image");
         let fault_plan = self.fault_plan(root);
         let scenarios = self.scenarios(root);
+        let serve = self.serve_section(root);
         self.table_section(root);
         self.votes_section(root);
         self.fusion_plan_section(root);
@@ -254,7 +287,94 @@ impl Walker<'_> {
             n_labeled_image,
             fault_plan,
             scenarios,
+            serve,
         })
+    }
+
+    /// The known `serve` section fields.
+    const SERVE_FIELDS: &'static [&'static str] = &[
+        "total_rows",
+        "batch_rows",
+        "arrivals_per_tick",
+        "queue_capacity",
+        "high_watermark",
+        "crash_at",
+        "min_coverage",
+        "max_abstain",
+    ];
+
+    /// Validates the `serve` section: per-knob type and range checks plus
+    /// the cross-field watermark/capacity ordering the admission queue
+    /// assumes.
+    fn serve_section(&mut self, root: &JsonNode) -> Option<ServeSpec> {
+        let section = root.get("serve")?;
+        if section.as_obj().is_none() {
+            self.push(
+                CheckRule::SpecField,
+                section.span,
+                format!("\"serve\" is {}, expected object", section.type_name()),
+            );
+            return None;
+        }
+        self.known_fields(section, Self::SERVE_FIELDS, "serve");
+        let spec = ServeSpec {
+            total_rows: self.opt_usize(section, "total_rows"),
+            batch_rows: self.opt_usize(section, "batch_rows"),
+            arrivals_per_tick: self.opt_usize(section, "arrivals_per_tick"),
+            queue_capacity: self.opt_usize(section, "queue_capacity"),
+            high_watermark: self.opt_usize(section, "high_watermark"),
+            crash_at: self.opt_usize(section, "crash_at"),
+            min_coverage: self.opt_fraction(section, "min_coverage"),
+            max_abstain: self.opt_fraction(section, "max_abstain"),
+        };
+        // Zero is never a usable value for the positive-count knobs:
+        // batches must hold rows, ticks must offer batches, the queue
+        // must hold at least one batch, and crash injection counts
+        // *completed* ingests (so 1 is the earliest crash).
+        for key in ["total_rows", "batch_rows", "arrivals_per_tick", "queue_capacity", "crash_at"] {
+            if let Some(v) = section.get(key) {
+                if v.as_usize() == Some(0) {
+                    self.push(CheckRule::SpecValue, v.span, format!("{key:?} must be at least 1"));
+                }
+            }
+        }
+        if let (Some(hw), Some(cap)) = (spec.high_watermark, spec.queue_capacity) {
+            if hw > cap {
+                let span = section.get("high_watermark").map_or(section.span, |v| v.span);
+                self.push(
+                    CheckRule::SpecValue,
+                    span,
+                    format!("high watermark {hw} exceeds queue capacity {cap}"),
+                );
+            }
+        }
+        Some(spec)
+    }
+
+    /// An optional fraction field: a finite number in `[0, 1]`.
+    fn opt_fraction(&mut self, node: &JsonNode, key: &str) -> Option<f64> {
+        let v = node.get(key)?;
+        let Some(n) = v.as_f64() else {
+            self.push(
+                CheckRule::SpecField,
+                v.span,
+                format!("{key:?} is {}, expected number", v.type_name()),
+            );
+            return None;
+        };
+        if !n.is_finite() {
+            self.push(CheckRule::NonFiniteNumeric, v.span, format!("{key} is {n}"));
+            return None;
+        }
+        if !(0.0..=1.0).contains(&n) {
+            self.push(
+                CheckRule::SpecValue,
+                v.span,
+                format!("{key} {n} outside the [0, 1] fraction range"),
+            );
+            return None;
+        }
+        Some(n)
     }
 
     fn tasks(&mut self, root: &JsonNode) -> Vec<TaskId> {
@@ -1364,6 +1484,55 @@ mod tests {
             artifact_rules.sort_unstable();
             assert_eq!(spec_rules, artifact_rules, "section {section}");
         }
+    }
+
+    #[test]
+    fn serve_section_parses_clean_and_flags_bad_knobs() {
+        let ok = r#"{"name": "t", "serve": {
+            "batch_rows": 40, "queue_capacity": 8, "high_watermark": 6,
+            "crash_at": 3, "min_coverage": 0.02, "max_abstain": 0.995}}"#;
+        let (spec, v) = validate_spec_source(ok, "specs/t.json");
+        assert!(v.is_empty(), "{v:?}");
+        let serve = spec.unwrap().serve.unwrap();
+        assert_eq!(serve.batch_rows, Some(40));
+        assert_eq!(serve.queue_capacity, Some(8));
+        assert_eq!(serve.high_watermark, Some(6));
+        assert_eq!(serve.crash_at, Some(3));
+        assert_eq!(serve.min_coverage, Some(0.02));
+        assert_eq!(serve.max_abstain, Some(0.995));
+
+        // Unknown field, mistyped knob, zero count, inverted watermark,
+        // out-of-range fraction: each anchors at its own token.
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"queue_depth": 8}}"#),
+            vec!["spec-field"],
+            "unknown serve field"
+        );
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"batch_rows": "many"}}"#),
+            vec!["spec-field"],
+            "mistyped count"
+        );
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"crash_at": 0}}"#),
+            vec!["spec-value"],
+            "crash_at counts completed ingests"
+        );
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"queue_capacity": 4, "high_watermark": 6}}"#),
+            vec!["spec-value"],
+            "watermark above capacity"
+        );
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"max_abstain": 1.5}}"#),
+            vec!["spec-value"],
+            "fraction out of range"
+        );
+        assert_eq!(
+            rules(r#"{"name": "t", "serve": {"min_coverage": 1e999}}"#),
+            vec!["non-finite-numeric"],
+            "non-finite fraction"
+        );
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub struct AccessPolicy {
     /// Consecutive lost calls before the breaker trips and the service is
     /// treated as degraded for the rest of the run.
     pub breaker_threshold: u32,
+    /// Simulated milliseconds an open breaker waits before admitting a
+    /// single half-open probe call. A successful probe closes the breaker;
+    /// a failed one re-opens it for another cooldown. `0` disables
+    /// recovery entirely (the pre-serving behavior: a trip is permanent
+    /// for the rest of the run), which keeps batch-mode fixtures
+    /// bit-identical.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for AccessPolicy {
@@ -65,6 +72,7 @@ impl Default for AccessPolicy {
             max_jitter_ms: 4,
             deadline_ms: 250,
             breaker_threshold: 5,
+            breaker_cooldown_ms: 0,
         }
     }
 }
@@ -92,11 +100,17 @@ pub struct ServiceStats {
     pub stale_served: u64,
     /// Calls rejected immediately because the breaker was open.
     pub short_circuited: u64,
+    /// Half-open probe calls admitted after the breaker cooldown elapsed.
+    pub probes: u64,
+    /// Probes that failed and re-opened the breaker for another cooldown.
+    pub reopened: u64,
     /// Total retry attempts across all calls.
     pub retries: u64,
     /// Simulated milliseconds spent waiting (backoff + latency).
     pub sim_wait_ms: u64,
-    /// Whether the breaker tripped at any point (trips are permanent).
+    /// Whether the breaker tripped at any point (sticky: a later
+    /// successful probe closes the breaker but keeps this flag, so
+    /// degradation reports still name the service).
     pub tripped: bool,
 }
 
@@ -134,6 +148,8 @@ impl cm_json::ToJson for ServiceStats {
             ("corrupt_detected", n(self.corrupt_detected)),
             ("stale_served", n(self.stale_served)),
             ("short_circuited", n(self.short_circuited)),
+            ("probes", n(self.probes)),
+            ("reopened", n(self.reopened)),
             ("retries", n(self.retries)),
             ("sim_wait_ms", n(self.sim_wait_ms)),
             ("tripped", Json::Bool(self.tripped)),
@@ -175,6 +191,10 @@ impl ServiceStats {
             corrupt_detected: num("corrupt_detected")?,
             stale_served: num("stale_served")?,
             short_circuited: num("short_circuited")?,
+            // Tolerant: summaries archived before the half-open breaker
+            // lack the probe counters.
+            probes: num("probes").unwrap_or(0),
+            reopened: num("reopened").unwrap_or(0),
             retries: num("retries")?,
             sim_wait_ms: num("sim_wait_ms")?,
             tripped: json
@@ -243,6 +263,9 @@ struct FaultState {
     rate: f64,
     consecutive_lost: u32,
     tripped: bool,
+    /// Simulated instant the breaker last opened; the half-open probe is
+    /// admitted once `now >= opened_at_ms + breaker_cooldown_ms`.
+    opened_at_ms: u64,
     /// Last live value, served when a stale fault fires.
     snapshot: Option<FeatureValue>,
 }
@@ -304,6 +327,7 @@ impl AccessLayer {
                         rate: s.rate,
                         consecutive_lost: 0,
                         tripped: false,
+                        opened_at_ms: 0,
                         snapshot: None,
                     }),
                     stats: ServiceStats {
@@ -329,6 +353,7 @@ impl AccessLayer {
     pub fn apply(&mut self, service: usize, row: u64, base: FeatureValue) -> FeatureValue {
         let policy = self.policy;
         let (seed, salt) = (self.seed, self.salt);
+        let now_ms = self.clock.now_ms();
         let Some(state) = self.services.get_mut(service) else {
             return base;
         };
@@ -336,10 +361,20 @@ impl AccessLayer {
         let Some(fault) = state.fault.as_mut() else {
             return base;
         };
+        let mut probing = false;
         if fault.tripped {
-            state.stats.short_circuited += 1;
-            state.stats.lost += 1;
-            return FeatureValue::Missing;
+            let cooled = policy.breaker_cooldown_ms > 0
+                && now_ms >= fault.opened_at_ms.saturating_add(policy.breaker_cooldown_ms);
+            if !cooled {
+                state.stats.short_circuited += 1;
+                state.stats.lost += 1;
+                return FeatureValue::Missing;
+            }
+            // Half-open: the cooldown elapsed, so this one call goes
+            // through as the probe. Its outcome decides whether the
+            // breaker closes or re-opens.
+            state.stats.probes += 1;
+            probing = true;
         }
 
         // Computed only once a fault is actually assigned: the unfaulted
@@ -349,6 +384,10 @@ impl AccessLayer {
         let fired = rng.gen::<f64>() < fault.rate;
         if !fired {
             fault.consecutive_lost = 0;
+            if probing {
+                // The probe came back clean: close the breaker.
+                fault.tripped = false;
+            }
             if matches!(fault.mode, FaultMode::Stale) {
                 fault.snapshot = Some(base.clone());
             }
@@ -421,6 +460,7 @@ impl AccessLayer {
         };
         state.stats.sim_wait_ms += wait_ms;
         self.clock.advance_ms(wait_ms);
+        let now_after_ms = self.clock.now_ms();
 
         let state = &mut self.services[service];
         let fault = match state.fault.as_mut() {
@@ -430,6 +470,10 @@ impl AccessLayer {
         match outcome {
             Some(value) => {
                 fault.consecutive_lost = 0;
+                if probing {
+                    // The probe recovered a live value: close the breaker.
+                    fault.tripped = false;
+                }
                 if attempt > 0 {
                     state.stats.recovered += 1;
                 }
@@ -438,8 +482,14 @@ impl AccessLayer {
             None => {
                 state.stats.lost += 1;
                 fault.consecutive_lost += 1;
-                if fault.consecutive_lost >= policy.breaker_threshold {
+                if probing {
+                    // Failed probe: the breaker stays open for another
+                    // cooldown, counted from now.
+                    fault.opened_at_ms = now_after_ms;
+                    state.stats.reopened += 1;
+                } else if fault.consecutive_lost >= policy.breaker_threshold {
                     fault.tripped = true;
+                    fault.opened_at_ms = now_after_ms;
                     state.stats.tripped = true;
                 }
                 FeatureValue::Missing
@@ -475,6 +525,261 @@ impl AccessLayer {
                 .map(|s| s.stats.clone())
                 .collect(),
         }
+    }
+
+    /// Advances the simulated clock by `ms` host-driven milliseconds (e.g.
+    /// the inter-batch cadence of a serving loop). Open breakers measure
+    /// their cooldown against this clock, so advancing it is what makes a
+    /// half-open probe eligible between batches.
+    pub fn advance_clock_ms(&mut self, ms: u64) {
+        self.clock.advance_ms(ms);
+    }
+
+    /// Current simulated time in milliseconds (arrival/completion stamps
+    /// for serving latency accounting).
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Exports the layer's replayable live state: the simulated clock plus
+    /// every service's breaker/snapshot state and accumulated statistics.
+    /// Restoring this into a freshly built layer (same plan, policy, and
+    /// registry) continues the fault scenario bit-identically — per-call
+    /// fault draws are keyed on `(seed, salt, service, row)` and carry no
+    /// RNG state of their own.
+    pub fn export_state(&self) -> AccessState {
+        AccessState {
+            now_ms: self.clock.now_ms(),
+            services: self
+                .services
+                .iter()
+                .map(|s| {
+                    let fault = s.fault.as_ref();
+                    ServiceAccessState {
+                        name: s.stats.name.clone(),
+                        consecutive_lost: fault.map_or(0, |f| f.consecutive_lost),
+                        open: fault.is_some_and(|f| f.tripped),
+                        opened_at_ms: fault.map_or(0, |f| f.opened_at_ms),
+                        snapshot: fault.and_then(|f| f.snapshot.clone()),
+                        stats: s.stats.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores state previously captured by [`AccessLayer::export_state`]
+    /// into this layer. Fails if the state's service list does not match
+    /// the layer's registry (names, order, and count must agree).
+    pub fn restore_state(&mut self, state: &AccessState) -> CmResult<()> {
+        const LOC: &str = "AccessLayer::restore_state";
+        if state.services.len() != self.services.len() {
+            return Err(CmError::new(
+                ErrorKind::InvalidConfig,
+                LOC,
+                format!(
+                    "state has {} services, layer has {}",
+                    state.services.len(),
+                    self.services.len()
+                ),
+            ));
+        }
+        for (mine, theirs) in self.services.iter().zip(&state.services) {
+            if mine.stats.name != theirs.name {
+                return Err(CmError::new(
+                    ErrorKind::InvalidConfig,
+                    LOC,
+                    format!(
+                        "service mismatch: layer has {:?}, state has {:?}",
+                        mine.stats.name, theirs.name
+                    ),
+                ));
+            }
+        }
+        for (mine, theirs) in self.services.iter_mut().zip(&state.services) {
+            mine.stats = theirs.stats.clone();
+            if let Some(fault) = mine.fault.as_mut() {
+                fault.consecutive_lost = theirs.consecutive_lost;
+                fault.tripped = theirs.open;
+                fault.opened_at_ms = theirs.opened_at_ms;
+                fault.snapshot = theirs.snapshot.clone();
+            }
+        }
+        self.clock = SimClock::new();
+        self.clock.advance_ms(state.now_ms);
+        Ok(())
+    }
+}
+
+/// Replayable live state of an [`AccessLayer`], exported after a serving
+/// batch and restored on crash recovery. Serializes via [`cm_json::ToJson`]
+/// into the service checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessState {
+    /// Simulated clock reading at export time.
+    pub now_ms: u64,
+    /// Per-service state, in registry order.
+    pub services: Vec<ServiceAccessState>,
+}
+
+/// One service's live state inside an [`AccessState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceAccessState {
+    /// Service name; must match the layer's registry on restore.
+    pub name: String,
+    /// Consecutive lost calls toward the breaker threshold.
+    pub consecutive_lost: u32,
+    /// Whether the breaker is currently open.
+    pub open: bool,
+    /// Simulated instant the breaker last opened.
+    pub opened_at_ms: u64,
+    /// Frozen stale-mode snapshot, if one was taken.
+    pub snapshot: Option<FeatureValue>,
+    /// Accumulated statistics.
+    pub stats: ServiceStats,
+}
+
+/// Encodes a feature value for the checkpoint (tagged object). Finite
+/// floats round-trip bit-exactly through cm-json's shortest-round-trip
+/// number formatting; snapshots hold validated live values, which are
+/// always finite.
+fn feature_value_to_json(value: &FeatureValue) -> cm_json::Json {
+    use cm_json::Json;
+    match value {
+        FeatureValue::Missing => Json::obj([("kind", Json::Str("missing".to_owned()))]),
+        FeatureValue::Numeric(x) => {
+            Json::obj([("kind", Json::Str("numeric".to_owned())), ("value", Json::Num(*x))])
+        }
+        FeatureValue::Categorical(set) => Json::obj([
+            ("kind", Json::Str("categorical".to_owned())),
+            ("ids", Json::Arr(set.iter().map(|id| Json::Num(f64::from(id))).collect())),
+        ]),
+        FeatureValue::Embedding(e) => Json::obj([
+            ("kind", Json::Str("embedding".to_owned())),
+            ("values", Json::Arr(e.iter().map(|&x| Json::Num(f64::from(x))).collect())),
+        ]),
+    }
+}
+
+/// Decodes a feature value written by [`feature_value_to_json`].
+fn feature_value_from_json(json: &cm_json::Json) -> CmResult<FeatureValue> {
+    use cm_featurespace::CatSet;
+    const LOC: &str = "feature_value_from_json";
+    let bad = |msg: &str| CmError::new(ErrorKind::InvalidConfig, LOC, msg.to_owned());
+    let kind = json.get("kind").and_then(cm_json::Json::as_str).ok_or_else(|| bad("no kind"))?;
+    match kind {
+        "missing" => Ok(FeatureValue::Missing),
+        "numeric" => {
+            let x =
+                json.get("value").and_then(cm_json::Json::as_f64).ok_or_else(|| bad("no value"))?;
+            Ok(FeatureValue::Numeric(x))
+        }
+        "categorical" => {
+            let ids =
+                json.get("ids").and_then(cm_json::Json::as_arr).ok_or_else(|| bad("no ids"))?;
+            let mut set = CatSet::new();
+            for id in ids {
+                let id = id.as_f64().ok_or_else(|| bad("bad id"))?;
+                set.insert(id as u32);
+            }
+            Ok(FeatureValue::Categorical(set))
+        }
+        "embedding" => {
+            let values = json
+                .get("values")
+                .and_then(cm_json::Json::as_arr)
+                .ok_or_else(|| bad("no values"))?;
+            let e = values
+                .iter()
+                .map(|v| v.as_f64().map(|x| x as f32).ok_or_else(|| bad("bad component")))
+                .collect::<CmResult<Vec<f32>>>()?;
+            Ok(FeatureValue::Embedding(e))
+        }
+        other => Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            LOC,
+            format!("unknown feature value kind {other:?}"),
+        )),
+    }
+}
+
+impl cm_json::ToJson for ServiceAccessState {
+    fn to_json(&self) -> cm_json::Json {
+        use cm_json::Json;
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("consecutive_lost", Json::Num(f64::from(self.consecutive_lost))),
+            ("open", Json::Bool(self.open)),
+            ("opened_at_ms", Json::Num(self.opened_at_ms as f64)),
+            ("snapshot", self.snapshot.as_ref().map_or(cm_json::Json::Null, feature_value_to_json)),
+            ("stats", cm_json::ToJson::to_json(&self.stats)),
+        ])
+    }
+}
+
+impl ServiceAccessState {
+    /// Rebuilds one service's state from its JSON form.
+    pub fn from_json(json: &cm_json::Json) -> CmResult<Self> {
+        const LOC: &str = "ServiceAccessState::from_json";
+        let missing =
+            |field: &str| CmError::new(ErrorKind::NotFound, LOC, format!("missing {field}"));
+        let snapshot = match json.get("snapshot") {
+            None | Some(cm_json::Json::Null) => None,
+            Some(v) => Some(feature_value_from_json(v)?),
+        };
+        Ok(Self {
+            name: json
+                .get("name")
+                .and_then(cm_json::Json::as_str)
+                .ok_or_else(|| missing("name"))?
+                .to_owned(),
+            consecutive_lost: json
+                .get("consecutive_lost")
+                .and_then(cm_json::Json::as_f64)
+                .ok_or_else(|| missing("consecutive_lost"))? as u32,
+            open: json
+                .get("open")
+                .and_then(cm_json::Json::as_bool)
+                .ok_or_else(|| missing("open"))?,
+            opened_at_ms: json
+                .get("opened_at_ms")
+                .and_then(cm_json::Json::as_f64)
+                .ok_or_else(|| missing("opened_at_ms"))? as u64,
+            snapshot,
+            stats: ServiceStats::from_json(json.get("stats").ok_or_else(|| missing("stats"))?)?,
+        })
+    }
+}
+
+impl cm_json::ToJson for AccessState {
+    fn to_json(&self) -> cm_json::Json {
+        use cm_json::Json;
+        Json::obj([
+            ("now_ms", Json::Num(self.now_ms as f64)),
+            ("services", Json::arr(self.services.iter())),
+        ])
+    }
+}
+
+impl AccessState {
+    /// Rebuilds a layer state from its JSON form.
+    pub fn from_json(json: &cm_json::Json) -> CmResult<Self> {
+        const LOC: &str = "AccessState::from_json";
+        let missing =
+            |field: &str| CmError::new(ErrorKind::NotFound, LOC, format!("missing {field}"));
+        Ok(Self {
+            now_ms: json
+                .get("now_ms")
+                .and_then(cm_json::Json::as_f64)
+                .ok_or_else(|| missing("now_ms"))? as u64,
+            services: json
+                .get("services")
+                .and_then(cm_json::Json::as_arr)
+                .ok_or_else(|| missing("services"))?
+                .iter()
+                .map(ServiceAccessState::from_json)
+                .collect::<CmResult<Vec<_>>>()?,
+        })
     }
 }
 
@@ -730,6 +1035,145 @@ mod tests {
         let json = summary.to_json();
         let back = FaultSummary::from_json(&json).unwrap();
         assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn zero_cooldown_keeps_breaker_open_forever() {
+        let p = plan(vec![spec("beta", FaultMode::Unavailable, 1.0)]);
+        let policy = AccessPolicy { breaker_threshold: 2, ..AccessPolicy::default() };
+        let mut layer = AccessLayer::new(&p, policy, &descriptors(), 0).unwrap();
+        for row in 0..4u64 {
+            layer.apply(1, row, FeatureValue::Numeric(1.0));
+        }
+        // With the legacy cooldown of 0, no amount of elapsed time admits
+        // a probe: the trip is permanent.
+        layer.advance_clock_ms(1_000_000);
+        let v = layer.apply(1, 99, FeatureValue::Numeric(1.0));
+        assert_eq!(v, FeatureValue::Missing);
+        let stats = &layer.summary().services[0];
+        assert_eq!(stats.probes, 0);
+        assert_eq!(stats.short_circuited, 3);
+    }
+
+    #[test]
+    fn open_breaker_admits_probe_after_cooldown_and_reopens_on_failure() {
+        let p = plan(vec![spec("beta", FaultMode::Unavailable, 1.0)]);
+        let policy = AccessPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 100,
+            ..AccessPolicy::default()
+        };
+        let mut layer = AccessLayer::new(&p, policy, &descriptors(), 0).unwrap();
+        for row in 0..2u64 {
+            assert_eq!(layer.apply(1, row, FeatureValue::Numeric(1.0)), FeatureValue::Missing);
+        }
+        assert_eq!(layer.tripped_services(), vec!["beta".to_owned()]);
+        // Within the cooldown: short-circuited, no probe.
+        let v = layer.apply(1, 2, FeatureValue::Numeric(1.0));
+        assert_eq!(v, FeatureValue::Missing);
+        assert_eq!(layer.summary().services[0].short_circuited, 1);
+        // Past the cooldown: exactly one probe goes through (and fails
+        // against the always-unavailable service, re-opening the breaker);
+        // the immediately following call short-circuits again.
+        layer.advance_clock_ms(200);
+        let v = layer.apply(1, 3, FeatureValue::Numeric(1.0));
+        assert_eq!(v, FeatureValue::Missing);
+        let stats = &layer.summary().services[0];
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.reopened, 1);
+        let v = layer.apply(1, 4, FeatureValue::Numeric(1.0));
+        assert_eq!(v, FeatureValue::Missing);
+        assert_eq!(layer.summary().services[0].short_circuited, 2);
+        assert_eq!(layer.summary().services[0].probes, 1, "no second probe before cooldown");
+    }
+
+    #[test]
+    fn successful_probe_closes_breaker() {
+        // Unavailable at rate 0.9: most calls are lost, but a probe whose
+        // per-call draw does not fire returns the live value and must
+        // close the breaker. Deterministic for the fixed plan seed.
+        let p = plan(vec![spec("beta", FaultMode::Unavailable, 0.9)]);
+        let policy = AccessPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_ms: 50,
+            ..AccessPolicy::default()
+        };
+        let mut layer = AccessLayer::new(&p, policy, &descriptors(), 0).unwrap();
+        let mut closed_at = None;
+        for row in 0..200u64 {
+            layer.advance_clock_ms(60); // every retry window elapses a cooldown
+            let v = layer.apply(1, row, FeatureValue::Numeric(row as f64));
+            let open_before = layer.summary().services[0].tripped;
+            if open_before && v == FeatureValue::Numeric(row as f64) {
+                closed_at = Some(row);
+                break;
+            }
+        }
+        let row = closed_at.expect("some probe draw must pass at rate 0.9 within 200 rows");
+        let stats = layer.summary().services[0].clone();
+        assert!(stats.probes >= 1, "the close went through a half-open probe");
+        assert_eq!(stats.probes, stats.reopened + 1, "every probe but the last re-opened");
+        assert!(stats.tripped, "the sticky trip flag survives the close");
+        // After the close the breaker is genuinely shut: the very next
+        // call cannot short-circuit (a fresh trip needs a loss first).
+        let before = stats.short_circuited;
+        let _ = layer.apply(1, row + 1, FeatureValue::Numeric(0.0));
+        assert_eq!(layer.summary().services[0].short_circuited, before);
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        use cm_featurespace::CatSet;
+        let p = plan(vec![
+            spec("alpha", FaultMode::Corrupt, 0.5),
+            spec("beta", FaultMode::Unavailable, 0.7),
+            spec("gamma", FaultMode::Stale, 0.6),
+        ]);
+        let policy = AccessPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 40,
+            ..AccessPolicy::default()
+        };
+        let call = |layer: &mut AccessLayer, row: u64| {
+            [
+                layer.apply(0, row, FeatureValue::Categorical(CatSet::single(2))),
+                layer.apply(1, row, FeatureValue::Numeric(row as f64)),
+                layer.apply(2, row, FeatureValue::Embedding(vec![row as f32, 0.5])),
+            ]
+        };
+        let mut full = AccessLayer::new(&p, policy, &descriptors(), 9).unwrap();
+        for row in 0..40u64 {
+            call(&mut full, row);
+        }
+        // Crash after row 39: export, round-trip through JSON, restore
+        // into a fresh layer, continue. Tail outputs and the final summary
+        // must be bit-identical to the uninterrupted run.
+        let json = cm_json::Json::parse(&full.export_state().to_json().to_string_pretty()).unwrap();
+        let state = AccessState::from_json(&json).unwrap();
+        assert_eq!(state, full.export_state());
+        let mut resumed = AccessLayer::new(&p, policy, &descriptors(), 9).unwrap();
+        resumed.restore_state(&state).unwrap();
+        for row in 40..120u64 {
+            assert_eq!(call(&mut full, row), call(&mut resumed, row), "row {row}");
+        }
+        assert_eq!(full.summary(), resumed.summary());
+        assert_eq!(full.export_state(), resumed.export_state());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_registry() {
+        let p = plan(vec![spec("beta", FaultMode::Unavailable, 1.0)]);
+        let layer = AccessLayer::new(&p, AccessPolicy::default(), &descriptors(), 0).unwrap();
+        let mut state = layer.export_state();
+        state.services[0].name = "delta".to_owned();
+        let mut other = AccessLayer::new(&p, AccessPolicy::default(), &descriptors(), 0).unwrap();
+        assert_eq!(
+            other.restore_state(&state).unwrap_err().kind,
+            ErrorKind::InvalidConfig,
+            "renamed service"
+        );
+        state.services.pop();
+        assert_eq!(other.restore_state(&state).unwrap_err().kind, ErrorKind::InvalidConfig);
     }
 
     #[test]

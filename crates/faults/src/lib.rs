@@ -27,7 +27,8 @@ mod clock;
 mod plan;
 
 pub use access::{
-    validate_value, AccessLayer, AccessPolicy, FaultSummary, ServiceDescriptor, ServiceStats,
+    validate_value, AccessLayer, AccessPolicy, AccessState, FaultSummary, ServiceAccessState,
+    ServiceDescriptor, ServiceStats,
 };
 pub use clock::{SimClock, Stopwatch};
 pub use plan::{FaultMode, FaultPlan, FaultSpec, CM_FAULTS_ENV};

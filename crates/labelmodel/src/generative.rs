@@ -146,6 +146,20 @@ pub struct GenerativeModel {
     iterations: usize,
 }
 
+/// Parameters carried from one fit into the next: the warm start of a
+/// mini-batch EM refit in the incremental curation loop. Seeding the next
+/// fit from the previous posterior's parameters means a handful of refit
+/// iterations keep tracking the vote distribution instead of re-deriving
+/// it from scratch on every arrival batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Per-LF accuracies from the previous fit (clamped to the new fit's
+    /// accuracy bounds before use).
+    pub accuracies: Vec<f64>,
+    /// Class prior from the previous fit.
+    pub class_prior: f64,
+}
+
 impl GenerativeModel {
     /// Fits the model on a label matrix with EM.
     ///
@@ -188,14 +202,46 @@ impl GenerativeModel {
         config: &GenerativeConfig,
         par: &ParConfig,
     ) -> Self {
+        Self::fit_segments_warm(segments, config, None, par)
+    }
+
+    /// [`GenerativeModel::fit_segments`] with an optional warm start: the
+    /// EM iteration begins from the given `(accuracies, prior)` instead of
+    /// `config.init_accuracy`. With `None` this is exactly the cold fit.
+    /// The incremental serving loop passes the previous batch's parameters
+    /// here together with a small `config.max_iters`, turning the full EM
+    /// into a mini-batch refit.
+    ///
+    /// A fixed `config.class_prior` still wins over the warm start's prior
+    /// (the caller pinned it on purpose).
+    ///
+    /// # Panics
+    /// Panics if there are no LFs, the segments disagree on LF count, or
+    /// the warm start's accuracy count differs from the matrix's LF count.
+    pub fn fit_segments_warm(
+        segments: &[&LabelMatrix],
+        config: &GenerativeConfig,
+        warm: Option<&WarmStart>,
+        par: &ParConfig,
+    ) -> Self {
         let n_lfs = segments.first().map_or(0, |m| m.n_lfs());
         assert!(n_lfs > 0, "cannot fit a generative model with zero LFs");
         assert!(segments.iter().all(|m| m.n_lfs() == n_lfs), "segments disagree on LF count");
         let (lo, hi) = config.accuracy_bounds;
         assert!(lo > 0.5 && hi < 1.0 && lo < hi, "invalid accuracy bounds");
         let total_rows: usize = segments.iter().map(|m| m.n_rows()).sum();
-        let mut accuracies = vec![config.init_accuracy.clamp(lo, hi); n_lfs];
-        let mut prior = config.class_prior.unwrap_or(0.5).clamp(1e-4, 1.0 - 1e-4);
+        let mut accuracies = match warm {
+            Some(w) => {
+                assert_eq!(w.accuracies.len(), n_lfs, "warm start LF count mismatch");
+                w.accuracies.iter().map(|a| a.clamp(lo, hi)).collect()
+            }
+            None => vec![config.init_accuracy.clamp(lo, hi); n_lfs],
+        };
+        let mut prior = config
+            .class_prior
+            .or(warm.map(|w| w.class_prior))
+            .unwrap_or(0.5)
+            .clamp(1e-4, 1.0 - 1e-4);
 
         // Size-only gate on the whole corpus: small fits run the serial
         // plan, big ones run the caller's plan. Exact accumulation makes
@@ -264,6 +310,18 @@ impl GenerativeModel {
     /// EM iterations run.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// The fitted parameters, packaged to seed the next refit.
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart { accuracies: self.accuracies.clone(), class_prior: self.class_prior }
+    }
+
+    /// Reconstruct a model from previously fitted parameters (checkpoint
+    /// restore). The model predicts exactly as the original did.
+    pub fn from_params(accuracies: Vec<f64>, class_prior: f64, iterations: usize) -> Self {
+        assert!(!accuracies.is_empty(), "model needs at least one LF accuracy");
+        GenerativeModel { accuracies, class_prior, iterations }
     }
 
     /// Probabilistic labels for a (possibly different) label matrix.
@@ -576,6 +634,79 @@ mod tests {
         let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
         let (m2, _) = synthetic(100, 0.3, &[(0.9, 0.9), (0.8, 0.9)], 7);
         model.predict(&m2);
+    }
+
+    /// A warm start built from the cold-start constants must reproduce the
+    /// cold fit bit for bit — the warm path is the cold path with
+    /// different initial numbers, not a different algorithm.
+    #[test]
+    fn warm_start_at_cold_init_matches_cold_fit_bitwise() {
+        let (m, _) = synthetic(5000, 0.3, &[(0.9, 0.8), (0.7, 0.8), (0.6, 0.5)], 17);
+        let cfg = GenerativeConfig::default();
+        let (lo, hi) = cfg.accuracy_bounds;
+        let warm = WarmStart {
+            accuracies: vec![cfg.init_accuracy.clamp(lo, hi); m.n_lfs()],
+            class_prior: 0.5,
+        };
+        for threads in [1usize, 4] {
+            let par = ParConfig::threads(threads);
+            let cold = GenerativeModel::fit_with(&m, &cfg, &par);
+            let warmed = GenerativeModel::fit_segments_warm(&[&m], &cfg, Some(&warm), &par);
+            assert_eq!(cold.accuracies(), warmed.accuracies(), "threads = {threads}");
+            assert_eq!(cold.class_prior().to_bits(), warmed.class_prior().to_bits());
+            assert_eq!(cold.iterations(), warmed.iterations());
+        }
+    }
+
+    /// Refitting from a converged model's own parameters converges almost
+    /// immediately and lands near where it started: the mini-batch refit
+    /// contract the serving loop relies on.
+    #[test]
+    fn warm_started_refit_converges_faster_and_stays_close() {
+        let (m, _) = synthetic(20_000, 0.3, &[(0.9, 0.8), (0.7, 0.8), (0.6, 0.5)], 11);
+        let cfg = GenerativeConfig::default();
+        let par = ParConfig::threads(2);
+        let cold = GenerativeModel::fit_with(&m, &cfg, &par);
+        let warm = cold.warm_start();
+        let refit = GenerativeModel::fit_segments_warm(&[&m], &cfg, Some(&warm), &par);
+        assert!(
+            refit.iterations() < cold.iterations(),
+            "warm refit took {} iterations, cold fit {}",
+            refit.iterations(),
+            cold.iterations()
+        );
+        for (a, b) in cold.accuracies().iter().zip(refit.accuracies()) {
+            assert!((a - b).abs() < 1e-3, "accuracy drifted: {a} vs {b}");
+        }
+        assert!((cold.class_prior() - refit.class_prior()).abs() < 1e-3);
+    }
+
+    /// A model rebuilt from its exported parameters predicts identically —
+    /// the checkpoint restore contract.
+    #[test]
+    fn from_params_round_trips_predictions() {
+        let (m, _) = synthetic(3000, 0.2, &[(0.9, 0.7), (0.8, 0.5), (0.6, 0.3)], 8);
+        let model = GenerativeModel::fit(&m, &GenerativeConfig::default());
+        let rebuilt = GenerativeModel::from_params(
+            model.accuracies().to_vec(),
+            model.class_prior(),
+            model.iterations(),
+        );
+        assert_eq!(model.predict(&m), rebuilt.predict(&m));
+        assert_eq!(model.warm_start(), rebuilt.warm_start());
+    }
+
+    #[test]
+    #[should_panic(expected = "warm start LF count mismatch")]
+    fn warm_start_rejects_wrong_lf_count() {
+        let (m, _) = synthetic(100, 0.3, &[(0.9, 0.9), (0.8, 0.8)], 6);
+        let warm = WarmStart { accuracies: vec![0.7], class_prior: 0.5 };
+        GenerativeModel::fit_segments_warm(
+            &[&m],
+            &GenerativeConfig::default(),
+            Some(&warm),
+            &ParConfig::serial(),
+        );
     }
 
     #[test]

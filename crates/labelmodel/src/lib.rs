@@ -16,7 +16,7 @@ pub mod matrix;
 
 pub use anchored::{AnchoredModel, LfRates, RateCounts};
 pub use diagnostics::{evaluate_lfs, filter_lfs, LfReport, LfSummary};
-pub use generative::{majority_vote, EmMoments, GenerativeConfig, GenerativeModel};
+pub use generative::{majority_vote, EmMoments, GenerativeConfig, GenerativeModel, WarmStart};
 pub use lf::{
     BoundScoreLf, CategoricalContainsLf, ConjunctionLf, LabelingFunction, NumericThresholdLf,
     Predicate, ThresholdDirection, Vote,

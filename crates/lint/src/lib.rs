@@ -65,6 +65,12 @@ pub struct LintConfig {
     /// cm-shard instead of materializing whole `FeatureTable`s); the rule
     /// is off everywhere else.
     pub stream_driver_paths: Vec<PathBuf>,
+    /// Path prefixes exempt from the `checkpoint-drift` rule — cm-serve's
+    /// snapshot module, the one place allowed to name the checkpoint type.
+    /// Everywhere else, checkpointed state must flow through that
+    /// module's `capture`/`save`/`load` API so its layout cannot drift
+    /// behind the version number.
+    pub checkpoint_exempt: Vec<PathBuf>,
 }
 
 /// Rules that do not apply inside the thread-exempt crates.
@@ -75,6 +81,9 @@ const HOT_PATH_RULES: &[&str] = &["table-row", "table-value"];
 
 /// Rules that apply only inside the streaming curation drivers.
 const STREAM_RULES: &[&str] = &["stream-materialize"];
+
+/// Rules that do not apply inside the checkpoint-exempt paths.
+const CHECKPOINT_RULES: &[&str] = &["checkpoint-drift"];
 
 impl LintConfig {
     /// The repository's scoping: `crates/par` owns raw threading; the
@@ -92,6 +101,7 @@ impl LintConfig {
             .map(PathBuf::from)
             .collect(),
             stream_driver_paths: vec![PathBuf::from("crates/pipeline/src/stream.rs")],
+            checkpoint_exempt: vec![PathBuf::from("crates/serve/src/snapshot.rs")],
         }
     }
 
@@ -107,6 +117,11 @@ impl LintConfig {
         }
         if STREAM_RULES.contains(&rule)
             && !self.stream_driver_paths.iter().any(|p| path.starts_with(p))
+        {
+            return false;
+        }
+        if CHECKPOINT_RULES.contains(&rule)
+            && self.checkpoint_exempt.iter().any(|p| path.starts_with(p))
         {
             return false;
         }

@@ -26,6 +26,7 @@ pub const RULES: &[&str] = &[
     "table-row",
     "table-value",
     "stream-materialize",
+    "checkpoint-drift",
 ];
 
 /// `.name(…)` method calls banned in library code.
@@ -122,6 +123,23 @@ pub fn run(input: &PassInput<'_>) -> Vec<RawFinding> {
                 rule: "unsafe",
                 tok: input.tok_index(j),
                 message: "unsafe is banned in library code".to_owned(),
+            });
+        }
+        // The checkpoint type may only be named inside cm-serve's
+        // snapshot module (path-scoped in LintConfig): constructing or
+        // destructuring checkpoints anywhere else lets their layout
+        // drift behind the format version. A token lint cannot resolve
+        // types, so the rule approximates "no direct field access to
+        // checkpointed state" by banning the type name itself — foreign
+        // code must go through `snapshot::capture`/`save`/`load` and
+        // type inference.
+        if tok.is_ident("Checkpoint") {
+            out.push(RawFinding {
+                rule: "checkpoint-drift",
+                tok: input.tok_index(j),
+                message: "checkpointed state must be accessed through cm-serve's snapshot module \
+                          (capture/save/load), never by naming Checkpoint directly"
+                    .to_owned(),
             });
         }
         for &(rule, head, tail, why) in BANNED_PATHS {

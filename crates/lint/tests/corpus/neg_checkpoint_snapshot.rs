@@ -1,0 +1,18 @@
+//@ path: crates/serve/src/snapshot.rs
+// Seeded negative: the snapshot module itself owns the checkpoint type;
+// the checkpoint-drift rule is path-exempt here. Other code goes through
+// capture/save/load with type inference, which also stays silent.
+
+pub struct Checkpoint {
+    pub version: u32,
+}
+
+pub fn capture(version: u32) -> Checkpoint {
+    Checkpoint { version }
+}
+
+pub fn roundtrip(version: u32) -> u32 {
+    // The foreign-code idiom: an inferred binding, no type name.
+    let cp = capture(version);
+    cp.version
+}

@@ -1,0 +1,11 @@
+//@ path: crates/serve/src/service.rs
+// Seeded positive: naming the checkpoint type outside cm-serve's snapshot
+// module bypasses the versioned capture/save/load API, letting the
+// serialized layout drift behind the format version.
+
+use crate::snapshot::Checkpoint;
+
+pub fn resume(text: &str) -> Checkpoint {
+    let cp = Checkpoint { version: 1, ticks: 0 };
+    cp
+}

@@ -117,6 +117,36 @@ impl<'w> DatasetStream<'w> {
         self.remaining -= n;
         Some(self.world.generate_rows(self.modality, n, &mut self.rng))
     }
+
+    /// Like [`DatasetStream::next_segment`], but routes every service
+    /// response through the resilient `access` layer — the serving-loop
+    /// arrival stream, where PR 3's faults become live batch behavior.
+    ///
+    /// `row_offset` is the layer-global row of the segment's first entity
+    /// (pass the number of rows already generated through this layer).
+    /// Because the base values come off the same in-flight world RNG as
+    /// [`DatasetStream::next_segment`] and fault draws are keyed on the
+    /// absolute row index, segment boundaries never perturb either stream:
+    /// the concatenation of `via` segments equals the resident
+    /// [`World::generate_via`] output bit for bit, and with a disabled
+    /// plan it equals the clean stream.
+    ///
+    /// # Panics
+    /// Panics if `max_rows` is zero.
+    pub fn next_segment_via(
+        &mut self,
+        max_rows: usize,
+        access: &mut AccessLayer,
+        row_offset: u64,
+    ) -> CmResult<Option<ModalityDataset>> {
+        assert!(max_rows > 0, "segment size must be positive");
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = max_rows.min(self.remaining);
+        self.remaining -= n;
+        self.world.generate_rows_via(self.modality, n, &mut self.rng, access, row_offset).map(Some)
+    }
 }
 
 impl World {
@@ -168,14 +198,28 @@ impl World {
         row_offset: u64,
     ) -> CmResult<ModalityDataset> {
         let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_rows_via(modality, n, &mut rng, access, row_offset)
+    }
+
+    /// Draws the next `n` rows off an in-flight generation RNG, through
+    /// the access layer. The base values consume exactly the draws
+    /// [`World::generate_rows`] would, so clean and `via` streams stay in
+    /// lockstep row for row.
+    fn generate_rows_via(
+        &self,
+        modality: ModalityKind,
+        n: usize,
+        rng: &mut StdRng,
+        access: &mut AccessLayer,
+        row_offset: u64,
+    ) -> CmResult<ModalityDataset> {
         let mut table = FeatureTable::new(std::sync::Arc::clone(self.schema()));
         table.reserve(n);
         let mut labels = Vec::with_capacity(n);
         let mut borderline = Vec::with_capacity(n);
         for i in 0..n {
-            let entity = self.sample_entity(modality, &mut rng);
-            let row =
-                self.featurize_via(&entity, modality, &mut rng, access, row_offset + i as u64);
+            let entity = self.sample_entity(modality, rng);
+            let row = self.featurize_via(&entity, modality, rng, access, row_offset + i as u64);
             table.try_push_row(&row)?;
             labels.push(entity.label);
             borderline.push(entity.borderline);
@@ -310,6 +354,45 @@ mod tests {
             }
         }
         assert!(changed > 0, "the faulted service must actually lose values");
+    }
+
+    /// The serving-stream contract: `via` segments concatenate to the
+    /// resident `generate_via` output bit for bit at every segment size —
+    /// fault draws are keyed on absolute rows, so batch cuts are invisible.
+    #[test]
+    fn streamed_via_segments_concatenate_to_resident_generate_via() {
+        use cm_faults::{AccessLayer, AccessPolicy, FaultPlan};
+        let w = world();
+        let plan = FaultPlan::parse(
+            "seed=5;topics=unavailable@0.4;keywords=transient(2)@0.5;kg_entities=stale",
+        )
+        .unwrap();
+        let build = || {
+            AccessLayer::new(&plan, AccessPolicy::default(), &w.service_descriptors(), 21).unwrap()
+        };
+        let mut resident_layer = build();
+        let resident =
+            w.generate_via(ModalityKind::Image, 257, 21, &mut resident_layer, 0).unwrap();
+        for seg_rows in [1usize, 7, 64, 257, 1000] {
+            let mut layer = build();
+            let mut stream = w.stream(ModalityKind::Image, 257, 21);
+            let mut offset = 0usize;
+            while let Some(seg) =
+                stream.next_segment_via(seg_rows, &mut layer, offset as u64).unwrap()
+            {
+                for r in 0..seg.len() {
+                    assert_eq!(
+                        seg.table.row(r),
+                        resident.table.row(offset + r),
+                        "seg_rows = {seg_rows}, row {r}"
+                    );
+                    assert_eq!(seg.labels[r], resident.labels[offset + r]);
+                }
+                offset += seg.len();
+            }
+            assert_eq!(offset, 257, "seg_rows = {seg_rows}");
+            assert_eq!(layer.summary(), resident_layer.summary(), "seg_rows = {seg_rows}");
+        }
     }
 
     #[test]

@@ -340,6 +340,7 @@ pub(crate) fn finish_curation(
         pool_coverage,
         lf_abstain,
         faults: fault_summary.cloned(),
+        serving: None,
     };
 
     let ws_quality = ws_quality(&probabilistic_labels, &covered, pool_truth);

@@ -26,6 +26,7 @@ pub mod attribution;
 pub mod curation;
 pub mod data;
 pub mod expert;
+pub mod incremental;
 pub mod report;
 pub mod selftrain;
 pub mod stream;
@@ -38,7 +39,10 @@ pub use curation::{
 };
 pub use data::{mask_disallowed_sets, DenseView, TaskData};
 pub use expert::{expert_lfs, EXPERT_AUTHORING};
-pub use report::{DegradationReport, LfAbstainRates, ModelEval, ScenarioReport};
+pub use incremental::{
+    mean_entropy, BatchPreview, BatchStats, IncrementalConfig, IncrementalCurator, IncrementalState,
+};
+pub use report::{DegradationReport, LfAbstainRates, ModelEval, ScenarioReport, ServingReport};
 pub use selftrain::{self_train, SelfTrainConfig, SelfTrainOutcome};
 pub use stream::{curate_streamed, curate_streamed_with, StreamStats, StreamedCuration};
 pub use training::{FusionStrategy, LabelSource, Scenario, ScenarioRunner};

@@ -94,6 +94,65 @@ impl LfAbstainRates {
     }
 }
 
+/// Serving-mode degradation telemetry: how the incremental curation
+/// service's robustness envelope (admission control, quality guards,
+/// quarantine) behaved over a run. Attached to [`DegradationReport`] by
+/// `cm-serve`; one-shot batch runs leave it `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// `"steady"` when every batch was ingested on first offer;
+    /// `"degraded"` once anything was quarantined, shed, or dropped.
+    pub mode: String,
+    /// Arrival batches ingested into the curator.
+    pub batches_ingested: usize,
+    /// Batches the quality guards quarantined into the retry queue.
+    pub batches_quarantined: usize,
+    /// Quarantined batches that passed on retry and were ingested.
+    pub batches_recovered: usize,
+    /// Quarantined batches dropped after failing their retry.
+    pub batches_dropped: usize,
+    /// Rows lost to admission-queue shedding.
+    pub rows_shed: usize,
+    /// Arrival batches deferred by the watermark admission controller.
+    pub deferrals: usize,
+    /// Peak admission-queue depth observed.
+    pub queue_peak_depth: usize,
+}
+
+impl ToJson for ServingReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.to_json()),
+            ("batches_ingested", self.batches_ingested.to_json()),
+            ("batches_quarantined", self.batches_quarantined.to_json()),
+            ("batches_recovered", self.batches_recovered.to_json()),
+            ("batches_dropped", self.batches_dropped.to_json()),
+            ("rows_shed", self.rows_shed.to_json()),
+            ("deferrals", self.deferrals.to_json()),
+            ("queue_peak_depth", self.queue_peak_depth.to_json()),
+        ])
+    }
+}
+
+impl ServingReport {
+    /// Parses a report previously emitted by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let num = |field: &str| -> Result<usize, JsonError> {
+            v.get(field).and_then(Json::as_usize).ok_or_else(|| missing(field))
+        };
+        Ok(Self {
+            mode: v.get("mode").and_then(Json::as_str).ok_or_else(|| missing("mode"))?.to_owned(),
+            batches_ingested: num("batches_ingested")?,
+            batches_quarantined: num("batches_quarantined")?,
+            batches_recovered: num("batches_recovered")?,
+            batches_dropped: num("batches_dropped")?,
+            rows_shed: num("rows_shed")?,
+            deferrals: num("deferrals")?,
+            queue_peak_depth: num("queue_peak_depth")?,
+        })
+    }
+}
+
 /// How a run degraded under injected service faults: which services were
 /// lost, which LFs stopped voting, and what coverage survived. Emitted by
 /// curation even on clean runs (then everything is empty / zero-delta), so
@@ -116,6 +175,8 @@ pub struct DegradationReport {
     pub lf_abstain: Vec<LfAbstainRates>,
     /// Per-service fault statistics, when a fault plan was active.
     pub faults: Option<FaultSummary>,
+    /// Serving-mode telemetry, when the run came through `cm-serve`.
+    pub serving: Option<ServingReport>,
 }
 
 impl DegradationReport {
@@ -129,6 +190,7 @@ impl DegradationReport {
             pool_coverage: 0.0,
             lf_abstain: Vec::new(),
             faults: None,
+            serving: None,
         }
     }
 
@@ -147,6 +209,7 @@ impl ToJson for DegradationReport {
             ("pool_coverage", self.pool_coverage.to_json()),
             ("lf_abstain", self.lf_abstain.to_json()),
             ("faults", self.faults.as_ref().map_or(Json::Null, ToJson::to_json)),
+            ("serving", self.serving.as_ref().map_or(Json::Null, ToJson::to_json)),
         ])
     }
 }
@@ -170,6 +233,11 @@ impl DegradationReport {
                     offset: 0,
                 })?),
             };
+        // Absent on every report written before the serving layer existed.
+        let serving = match v.get("serving") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ServingReport::from_json(s)?),
+        };
         Ok(Self {
             fault_seed: v
                 .get("fault_seed")
@@ -189,6 +257,7 @@ impl DegradationReport {
                 .map(LfAbstainRates::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
             faults,
+            serving,
         })
     }
 }
@@ -329,6 +398,16 @@ mod tests {
                     dropped: true,
                 }],
                 faults: None,
+                serving: Some(ServingReport {
+                    mode: "degraded".into(),
+                    batches_ingested: 9,
+                    batches_quarantined: 2,
+                    batches_recovered: 1,
+                    batches_dropped: 1,
+                    rows_shed: 37,
+                    deferrals: 3,
+                    queue_peak_depth: 4,
+                }),
             }),
         };
         let json = report.to_json().to_string_pretty();
@@ -338,6 +417,19 @@ mod tests {
         assert!(deg.is_degraded());
         assert_eq!(deg.dropped_lfs.len(), 2);
         assert!(!DegradationReport::clean().is_degraded());
+    }
+
+    #[test]
+    fn degradation_reports_without_serving_field_still_parse() {
+        // Reports written before the serving layer lack the field; they
+        // must keep parsing, and absence must read as `None`.
+        let v = Json::parse(
+            r#"{"fault_seed": 0, "tripped_services": [], "dropped_lfs": [],
+                "pool_coverage": 0.5, "lf_abstain": []}"#,
+        )
+        .unwrap();
+        let report = DegradationReport::from_json(&v).unwrap();
+        assert!(report.serving.is_none());
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Online k-NN graph maintenance for the incremental serving loop.
+//!
+//! The batch [`GraphBuilder`](crate::GraphBuilder) rebuilds the whole
+//! graph from scratch; a long-running curation service cannot afford that
+//! on every arrival batch. [`OnlineGraph`] instead *grows* an anchor-based
+//! approximate graph: each new row is routed to its nearest existing
+//! anchors, scanned only against co-routed rows, and — while the anchor
+//! pool is below its size target — promoted to an anchor itself so later
+//! arrivals keep routing well as the corpus grows.
+//!
+//! Two contracts matter for serving:
+//!
+//! - **Cut invariance**: inserting rows one at a time, or in arrival
+//!   batches of any size, produces the identical edge list. Rows are
+//!   inserted strictly sequentially (each sees exactly the anchors and
+//!   members left by its predecessors), so batch boundaries are invisible
+//!   by construction — and so is the thread count.
+//! - **Resumability**: [`OnlineGraph::snapshot`] exports the full
+//!   routing state ([`OnlineGraphState`]); a graph restored from it
+//!   continues bit-identically to one that never stopped. This is what the
+//!   serve checkpoint stores instead of edge-by-edge deltas.
+//!
+//! Earlier rows are never re-routed when a new anchor appears — that is
+//! the accepted approximation cost of avoiding full rebuilds, mirroring
+//! how Expander-style systems absorb incremental updates between offline
+//! rebuilds.
+
+use cm_featurespace::{FrozenTable, PairKernel, SimilarityConfig};
+
+use crate::builder::{candidate_stride, route_row, TopK};
+use crate::graph::SparseGraph;
+
+/// Anchor-pool size target for a corpus of `n` rows. Matches the batch
+/// builder's [`GraphBuilder::approximate`](crate::GraphBuilder::approximate)
+/// sizing so online and batch graphs face comparable routing fan-out.
+pub fn target_anchor_count(n: usize) -> usize {
+    ((n as f64).sqrt() as usize).clamp(16, 512)
+}
+
+/// Exported routing state of an [`OnlineGraph`]: everything needed to
+/// resume insertion bit-identically. Serialized into the serve checkpoint
+/// by `cm-serve`'s snapshot module (the `checkpoint-drift` lint confines
+/// field access to that module and to this crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineGraphState {
+    /// Rows inserted so far; the next insertion starts here.
+    pub n_rows: usize,
+    /// Row ids promoted to anchors, in promotion order.
+    pub anchors: Vec<u32>,
+    /// Per-anchor member lists (rows routed to that anchor), aligned with
+    /// `anchors`.
+    pub anchor_members: Vec<Vec<u32>>,
+    /// Accumulated `(src, dst, weight)` edges; `src` is always the newer
+    /// row, symmetrization happens when the [`SparseGraph`] is built.
+    pub edges: Vec<(u32, u32, f32)>,
+}
+
+/// Incrementally grown approximate k-NN graph.
+#[derive(Debug, Clone)]
+pub struct OnlineGraph {
+    /// Neighbors kept per inserted row.
+    pub k: usize,
+    /// Anchors each new row is routed to.
+    pub probes: usize,
+    /// Cap on exact comparisons per inserted row.
+    pub max_candidates: usize,
+    /// Minimum similarity for an edge to exist at all.
+    pub min_weight: f64,
+    n_rows: usize,
+    anchors: Vec<u32>,
+    anchor_members: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32, f32)>,
+}
+
+impl OnlineGraph {
+    /// An empty graph keeping `k` neighbors per row, with the batch
+    /// builder's default routing parameters (4 probes, 256 candidates,
+    /// weight floor 0.05).
+    pub fn new(k: usize) -> Self {
+        OnlineGraph {
+            k,
+            probes: 4,
+            max_candidates: 256,
+            min_weight: 0.05,
+            n_rows: 0,
+            anchors: Vec::new(),
+            anchor_members: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Rows inserted so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Current anchor-pool size.
+    pub fn n_anchors(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Accumulated edge count (pre-symmetrization).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts every row the frozen table holds beyond the rows already
+    /// inserted. The table must be a prefix-stable view of the growing
+    /// corpus: rows `0..self.n_rows()` are the previously inserted ones,
+    /// in the same order.
+    ///
+    /// # Panics
+    /// Panics if the table has fewer rows than were already inserted.
+    pub fn insert_rows(&mut self, frozen: &FrozenTable<'_>, config: &SimilarityConfig) {
+        assert!(
+            frozen.len() >= self.n_rows,
+            "frozen table shrank below the inserted prefix ({} < {})",
+            frozen.len(),
+            self.n_rows
+        );
+        if frozen.len() == self.n_rows {
+            return;
+        }
+        let kernel = PairKernel::compile(frozen, config);
+        for i in self.n_rows..frozen.len() {
+            self.insert_row(&kernel, i);
+        }
+        self.n_rows = frozen.len();
+    }
+
+    fn insert_row(&mut self, kernel: &PairKernel<'_>, i: usize) {
+        let scores: Vec<f64> = self.anchors.iter().map(|&a| kernel.pair(i, a as usize)).collect();
+        let route = route_row(&scores, self.probes);
+        let mut candidates: Vec<u32> = Vec::new();
+        for &a in &route {
+            candidates.extend_from_slice(&self.anchor_members[a]);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let stride = candidate_stride(candidates.len(), self.max_candidates);
+        let mut top = TopK::new(self.k);
+        for &j in candidates.iter().step_by(stride) {
+            let s = kernel.pair(i, j as usize);
+            if s >= self.min_weight {
+                top.push(j, s as f32);
+            }
+        }
+        top.drain_into(i as u32, &mut self.edges);
+        for &a in &route {
+            self.anchor_members[a].push(i as u32);
+        }
+        // Grow the anchor pool toward its size target by promoting the
+        // newest row; existing rows are never re-routed.
+        if self.anchors.len() < target_anchor_count(i + 1) {
+            self.anchors.push(i as u32);
+            self.anchor_members.push(vec![i as u32]);
+        }
+    }
+
+    /// Materializes the current graph (symmetrized CSR over all inserted
+    /// rows). Rebuilding from the same edge list is deterministic, so the
+    /// propagation stage sees identical graphs before and after a resume.
+    pub fn graph(&self) -> SparseGraph {
+        SparseGraph::from_edges(self.n_rows, &self.edges)
+    }
+
+    /// Exports the full routing state for checkpointing.
+    pub fn snapshot(&self) -> OnlineGraphState {
+        OnlineGraphState {
+            n_rows: self.n_rows,
+            anchors: self.anchors.clone(),
+            anchor_members: self.anchor_members.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Rebuilds a graph from an exported state; insertion resumes exactly
+    /// where the snapshot was taken. The routing parameters are not part
+    /// of the state and must match the original graph's.
+    ///
+    /// # Panics
+    /// Panics if the state's anchor and member lists disagree in length.
+    pub fn from_snapshot(k: usize, state: OnlineGraphState) -> Self {
+        assert_eq!(
+            state.anchors.len(),
+            state.anchor_members.len(),
+            "anchor list and member lists disagree"
+        );
+        let mut g = OnlineGraph::new(k);
+        g.n_rows = state.n_rows;
+        g.anchors = state.anchors;
+        g.anchor_members = state.anchor_members;
+        g.edges = state.edges;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cm_featurespace::{
+        CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, ServingMode,
+        Vocabulary,
+    };
+
+    use super::*;
+
+    /// Two clean clusters: rows < n/2 share ids {0,1}; the rest share {2,3}.
+    fn clustered(n: usize) -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::categorical(
+            "c",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names(["a", "b", "c", "d"]),
+        )]));
+        let mut t = FeatureTable::new(schema);
+        for i in 0..n {
+            let ids = if i < n / 2 { vec![0, 1] } else { vec![2, 3] };
+            t.push_row(&[FeatureValue::Categorical(CatSet::from_ids(ids))]);
+        }
+        t
+    }
+
+    /// Interleaved clusters, so any contiguous arrival batch mixes both.
+    fn interleaved(n: usize) -> FeatureTable {
+        let schema = Arc::new(FeatureSchema::from_defs(vec![FeatureDef::categorical(
+            "c",
+            FeatureSet::C,
+            ServingMode::Servable,
+            Vocabulary::from_names(["a", "b", "c", "d"]),
+        )]));
+        let mut t = FeatureTable::new(schema);
+        for i in 0..n {
+            let ids = if i % 2 == 0 { vec![0, 1] } else { vec![2, 3] };
+            t.push_row(&[FeatureValue::Categorical(CatSet::from_ids(ids))]);
+        }
+        t
+    }
+
+    /// The first `end` rows of `t` as their own table, simulating the
+    /// corpus as it looked mid-arrival.
+    fn prefix_table(t: &FeatureTable, end: usize) -> FeatureTable {
+        let mut prefix = FeatureTable::new(t.schema().clone());
+        for r in 0..end {
+            prefix.push_row(&t.row(r));
+        }
+        prefix
+    }
+
+    fn insert_in_cuts(t: &FeatureTable, cfg: &SimilarityConfig, cuts: &[usize]) -> OnlineGraph {
+        let mut g = OnlineGraph::new(4);
+        for &end in cuts.iter().chain([&t.len()]) {
+            let prefix = prefix_table(t, end);
+            g.insert_rows(&FrozenTable::freeze(&prefix), cfg);
+        }
+        g
+    }
+
+    #[test]
+    fn batch_cuts_are_invisible() {
+        let t = interleaved(120);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let frozen = FrozenTable::freeze(&t);
+        let mut whole = OnlineGraph::new(4);
+        whole.insert_rows(&frozen, &cfg);
+        for cuts in [vec![1usize], vec![64], vec![10, 30, 90], vec![120]] {
+            let g = insert_in_cuts(&t, &cfg, &cuts);
+            assert_eq!(g.snapshot(), whole.snapshot(), "cuts = {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn online_graph_recovers_cluster_structure() {
+        let t = clustered(400);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let frozen = FrozenTable::freeze(&t);
+        let mut og = OnlineGraph::new(5);
+        og.insert_rows(&frozen, &cfg);
+        let g = og.graph();
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        for v in 0..400 {
+            let (neigh, _) = g.neighbors(v);
+            for &u in neigh {
+                total += 1;
+                if (v < 200) != ((u as usize) < 200) {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(cross, 0, "{cross}/{total} cross-cluster edges");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let t = interleaved(200);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        // Uninterrupted run.
+        let frozen = FrozenTable::freeze(&t);
+        let mut whole = OnlineGraph::new(4);
+        whole.insert_rows(&frozen, &cfg);
+        // Run to row 80, snapshot, restore into a fresh graph, continue.
+        let mut first = OnlineGraph::new(4);
+        first.insert_rows(&FrozenTable::freeze(&prefix_table(&t, 80)), &cfg);
+        let state = first.snapshot();
+        let mut resumed = OnlineGraph::from_snapshot(4, state);
+        resumed.insert_rows(&frozen, &cfg);
+        assert_eq!(resumed.snapshot(), whole.snapshot());
+        assert_eq!(resumed.graph(), whole.graph());
+    }
+
+    #[test]
+    fn anchor_pool_tracks_size_target() {
+        let t = clustered(600);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let mut og = OnlineGraph::new(4);
+        og.insert_rows(&FrozenTable::freeze(&t), &cfg);
+        assert_eq!(og.n_anchors(), target_anchor_count(600));
+    }
+
+    #[test]
+    fn empty_insert_is_a_no_op() {
+        let t = clustered(50);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let mut og = OnlineGraph::new(4);
+        let frozen = FrozenTable::freeze(&t);
+        og.insert_rows(&frozen, &cfg);
+        let before = og.snapshot();
+        og.insert_rows(&frozen, &cfg);
+        assert_eq!(og.snapshot(), before);
+    }
+}

@@ -1,0 +1,134 @@
+//! Degradation-aware quality guards.
+//!
+//! Before a batch is ingested, the service previews it against the current
+//! curator state ([`cm_pipeline::IncrementalCurator::preview_batch`]) and
+//! checks the preview against per-batch thresholds. A batch that fails any
+//! guard is *quarantined* rather than ingested: it sits in a retry queue
+//! for a configured number of ticks, gets one more evaluation, and is
+//! dropped permanently if it fails again. Quarantine keeps a burst of
+//! fault-corrupted arrivals from polluting the label-model warm chain
+//! while still giving transiently degraded batches (a tripped service that
+//! recovers) a path back in.
+
+use cm_pipeline::BatchPreview;
+
+use crate::queue::QueuedBatch;
+
+/// Per-batch quality thresholds.
+#[derive(Debug, Clone)]
+pub struct QualityGuards {
+    /// Minimum fraction of rows with at least one non-abstain vote.
+    pub min_coverage: f64,
+    /// Maximum mean per-LF abstain rate.
+    pub max_abstain: f64,
+    /// Maximum allowed jump in mean posterior entropy (nats) relative to
+    /// the last ingested batch. Skipped when either side is unknown.
+    pub max_entropy_delta: f64,
+    /// Ticks a quarantined batch waits before its single retry.
+    pub retry_after_ticks: usize,
+}
+
+impl Default for QualityGuards {
+    fn default() -> Self {
+        Self {
+            min_coverage: 0.02,
+            max_abstain: 0.995,
+            max_entropy_delta: 0.25,
+            retry_after_ticks: 2,
+        }
+    }
+}
+
+/// Outcome of evaluating one batch preview.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardVerdict {
+    /// Whether the batch may be ingested.
+    pub pass: bool,
+    /// Human-readable guard failures (empty when `pass`).
+    pub reasons: Vec<String>,
+}
+
+/// A batch held back by the guards, waiting for its retry.
+#[derive(Debug, Clone)]
+pub struct QuarantinedBatch {
+    /// The held-back arrival batch.
+    pub item: QueuedBatch,
+    /// Tick at which the retry evaluation becomes due.
+    pub retry_tick: usize,
+    /// Guard evaluations so far (1 after the initial failure).
+    pub attempts: u32,
+    /// Reasons recorded at the most recent failed evaluation.
+    pub reasons: Vec<String>,
+}
+
+impl QualityGuards {
+    /// Evaluates a batch preview against the thresholds.
+    ///
+    /// `last_entropy` is the mean posterior entropy of the most recently
+    /// ingested batch; the entropy-delta guard only fires when both it and
+    /// the preview's entropy are known.
+    pub fn evaluate(&self, preview: &BatchPreview, last_entropy: Option<f64>) -> GuardVerdict {
+        let mut reasons = Vec::new();
+        if preview.coverage < self.min_coverage {
+            reasons.push(format!(
+                "coverage {:.4} below minimum {:.4}",
+                preview.coverage, self.min_coverage
+            ));
+        }
+        if preview.abstain_rate > self.max_abstain {
+            reasons.push(format!(
+                "abstain rate {:.4} above maximum {:.4}",
+                preview.abstain_rate, self.max_abstain
+            ));
+        }
+        if let (Some(prev), Some(now)) = (last_entropy, preview.mean_entropy) {
+            let delta = now - prev;
+            if delta > self.max_entropy_delta {
+                reasons.push(format!(
+                    "posterior entropy jumped {delta:.4} nats (limit {:.4})",
+                    self.max_entropy_delta
+                ));
+            }
+        }
+        GuardVerdict { pass: reasons.is_empty(), reasons }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preview(coverage: f64, abstain: f64, entropy: Option<f64>) -> BatchPreview {
+        BatchPreview { coverage, abstain_rate: abstain, mean_entropy: entropy }
+    }
+
+    #[test]
+    fn healthy_preview_passes() {
+        let g = QualityGuards::default();
+        let v = g.evaluate(&preview(0.4, 0.7, Some(0.3)), Some(0.28));
+        assert!(v.pass, "unexpected failures: {:?}", v.reasons);
+    }
+
+    #[test]
+    fn each_guard_fires_independently() {
+        let g = QualityGuards::default();
+        assert!(!g.evaluate(&preview(0.0, 0.5, None), None).pass, "coverage guard");
+        assert!(!g.evaluate(&preview(0.4, 1.0, None), None).pass, "abstain guard");
+        let v = g.evaluate(&preview(0.4, 0.5, Some(0.6)), Some(0.2));
+        assert!(!v.pass, "entropy-delta guard");
+        assert_eq!(v.reasons.len(), 1);
+    }
+
+    #[test]
+    fn entropy_guard_needs_both_sides() {
+        let g = QualityGuards::default();
+        assert!(g.evaluate(&preview(0.4, 0.5, None), Some(0.1)).pass);
+        assert!(g.evaluate(&preview(0.4, 0.5, Some(0.9)), None).pass);
+    }
+
+    #[test]
+    fn entropy_drop_is_not_a_failure() {
+        let g = QualityGuards::default();
+        assert!(g.evaluate(&preview(0.4, 0.5, Some(0.1)), Some(0.6)).pass);
+    }
+}

@@ -1,0 +1,651 @@
+//! Versioned checkpoint serialization for the incremental curation
+//! service.
+//!
+//! A checkpoint persists exactly the *arrival-dependent* state of a run:
+//! the stream cursor, the access-layer breaker/clock state, the curator's
+//! accumulated pool + EM warm parameters + online-graph routing state, any
+//! queued/deferred/quarantined batches, and the telemetry accumulators.
+//! Everything clean-path (mined LFs, dev split, similarity scales, seed
+//! vertices, the text corpus) is re-derived deterministically on restart,
+//! which keeps checkpoints small and makes version drift detectable: if
+//! the derivation changes, the version bumps.
+//!
+//! All floats are finite and round-trip bit-exactly through `cm-json`'s
+//! shortest-round-trip formatting, so a restart resumes *bit-identical*
+//! to an uninterrupted run.
+//!
+//! This module is the only place allowed to name [`Checkpoint`]: the
+//! `checkpoint-drift` lint bans the identifier everywhere else, so
+//! checkpointed state can only be produced by [`capture`] and consumed by
+//! [`load`] — a token-level approximation of "no direct field access to
+//! checkpointed state outside the snapshot module".
+
+use std::sync::Arc;
+
+use cm_faults::AccessState;
+use cm_featurespace::{
+    CatSet, CmError, CmResult, ErrorKind, FeatureSchema, FeatureTable, FeatureValue, Label,
+    ModalityKind,
+};
+use cm_json::{Json, ToJson};
+use cm_labelmodel::WarmStart;
+use cm_orgsim::ModalityDataset;
+use cm_pipeline::{BatchStats, IncrementalState};
+use cm_propagation::OnlineGraphState;
+
+use crate::guards::QuarantinedBatch;
+use crate::queue::{QueuedBatch, SheddingReport};
+
+/// Format version written into every checkpoint; [`load`] rejects any
+/// other value. Bump whenever the serialized layout *or* the clean-path
+/// re-derivation contract changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Batches that arrived but have not been ingested: serialized verbatim
+/// because regenerating them from the stream would re-draw fault RNG and
+/// double-advance breaker state.
+#[derive(Debug, Clone, Default)]
+pub struct PendingWork {
+    /// Admitted batches, oldest first.
+    pub queue: Vec<QueuedBatch>,
+    /// Watermark-deferred batches awaiting re-offer.
+    pub deferred: Vec<QueuedBatch>,
+    /// Guard-quarantined batches awaiting their retry tick.
+    pub quarantine: Vec<QuarantinedBatch>,
+}
+
+/// Telemetry accumulators a resumed run must continue from.
+#[derive(Debug, Clone, Default)]
+pub struct ServeTelemetry {
+    /// Admission-queue overload counters.
+    pub shed: SheddingReport,
+    /// Batches quarantined by the quality guards.
+    pub quarantined: usize,
+    /// Quarantined batches that later passed their retry.
+    pub recovered: usize,
+    /// Quarantined batches dropped after a failed retry.
+    pub dropped: usize,
+    /// Mean posterior entropy of the last ingested batch.
+    pub last_entropy: Option<f64>,
+    /// Per-batch ingest statistics, in ingest order.
+    pub batch_stats: Vec<BatchStats>,
+    /// Arrival-to-completion latency of each ingested batch (sim ms).
+    pub latencies_ms: Vec<u64>,
+}
+
+/// The complete persisted state of a service run after some tick.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Format version; see [`CHECKPOINT_VERSION`].
+    pub version: u32,
+    /// Ticks completed before this checkpoint was taken.
+    pub ticks: usize,
+    /// Rows drawn from the arrival stream so far (stream fast-forward
+    /// cursor: clean and fault-injected draws consume identical world-RNG
+    /// counts, so a fresh stream discards this many rows to resume).
+    pub rows_generated: usize,
+    /// Access-layer breaker/clock/stats state.
+    pub access: AccessState,
+    /// Arrival-dependent curator state.
+    pub curator: IncrementalState,
+    /// Batches in flight.
+    pub pending: PendingWork,
+    /// Telemetry accumulators.
+    pub telemetry: ServeTelemetry,
+}
+
+/// Assembles a checkpoint from the service's live state.
+pub fn capture(
+    ticks: usize,
+    rows_generated: usize,
+    access: AccessState,
+    curator: IncrementalState,
+    pending: PendingWork,
+    telemetry: ServeTelemetry,
+) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        ticks,
+        rows_generated,
+        access,
+        curator,
+        pending,
+        telemetry,
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to its JSON text form.
+    pub fn save(&self) -> String {
+        Json::obj([
+            ("version", Json::Num(f64::from(self.version))),
+            ("ticks", self.ticks.to_json()),
+            ("rows_generated", self.rows_generated.to_json()),
+            ("access", self.access.to_json()),
+            ("curator", incremental_state_to_json(&self.curator)),
+            ("queue", Json::Arr(self.pending.queue.iter().map(queued_to_json).collect())),
+            ("deferred", Json::Arr(self.pending.deferred.iter().map(queued_to_json).collect())),
+            (
+                "quarantine",
+                Json::Arr(self.pending.quarantine.iter().map(quarantined_to_json).collect()),
+            ),
+            ("shed", self.telemetry.shed.to_json()),
+            ("quarantined", self.telemetry.quarantined.to_json()),
+            ("recovered", self.telemetry.recovered.to_json()),
+            ("dropped", self.telemetry.dropped.to_json()),
+            ("last_entropy", opt_num(self.telemetry.last_entropy)),
+            (
+                "batch_stats",
+                Json::Arr(self.telemetry.batch_stats.iter().map(batch_stats_to_json).collect()),
+            ),
+            (
+                "latencies_ms",
+                Json::Arr(
+                    self.telemetry.latencies_ms.iter().map(|&l| Json::Num(l as f64)).collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+}
+
+/// Parses and version-checks a checkpoint. `schema` is the world feature
+/// schema (clean-path state, re-derived by the caller) that every
+/// serialized table is rebuilt against.
+pub fn load(text: &str, schema: &Arc<FeatureSchema>) -> CmResult<Checkpoint> {
+    const LOC: &str = "snapshot::load";
+    let json =
+        Json::parse(text).map_err(|e| CmError::new(ErrorKind::InvalidConfig, LOC, e.message))?;
+    let version = req_usize(&json, "version")? as u32;
+    if version != CHECKPOINT_VERSION {
+        return Err(CmError::new(
+            ErrorKind::InvalidConfig,
+            LOC,
+            format!("unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"),
+        ));
+    }
+    let access = AccessState::from_json(json.get("access").ok_or_else(|| missing("access"))?)?;
+    let curator = incremental_state_from_json(
+        json.get("curator").ok_or_else(|| missing("curator"))?,
+        schema,
+    )?;
+    let pending = PendingWork {
+        queue: req_arr(&json, "queue")?
+            .iter()
+            .map(|v| queued_from_json(v, schema))
+            .collect::<CmResult<_>>()?,
+        deferred: req_arr(&json, "deferred")?
+            .iter()
+            .map(|v| queued_from_json(v, schema))
+            .collect::<CmResult<_>>()?,
+        quarantine: req_arr(&json, "quarantine")?
+            .iter()
+            .map(|v| quarantined_from_json(v, schema))
+            .collect::<CmResult<_>>()?,
+    };
+    let telemetry = ServeTelemetry {
+        shed: SheddingReport::from_json(json.get("shed").ok_or_else(|| missing("shed"))?)
+            .map_err(|e| CmError::new(ErrorKind::InvalidConfig, LOC, e.message))?,
+        quarantined: req_usize(&json, "quarantined")?,
+        recovered: req_usize(&json, "recovered")?,
+        dropped: req_usize(&json, "dropped")?,
+        last_entropy: match json.get("last_entropy") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| missing("last_entropy"))?),
+        },
+        batch_stats: req_arr(&json, "batch_stats")?
+            .iter()
+            .map(batch_stats_from_json)
+            .collect::<CmResult<_>>()?,
+        latencies_ms: req_arr(&json, "latencies_ms")?
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as u64).ok_or_else(|| missing("latencies_ms entry")))
+            .collect::<CmResult<_>>()?,
+    };
+    Ok(Checkpoint {
+        version,
+        ticks: req_usize(&json, "ticks")?,
+        rows_generated: req_usize(&json, "rows_generated")?,
+        access,
+        curator,
+        pending,
+        telemetry,
+    })
+}
+
+fn missing(field: &str) -> CmError {
+    CmError::new(ErrorKind::NotFound, "snapshot::load", format!("missing or mistyped {field}"))
+}
+
+fn req_usize(json: &Json, field: &str) -> CmResult<usize> {
+    json.get(field).and_then(Json::as_usize).ok_or_else(|| missing(field))
+}
+
+fn req_f64(json: &Json, field: &str) -> CmResult<f64> {
+    json.get(field).and_then(Json::as_f64).ok_or_else(|| missing(field))
+}
+
+fn req_arr<'a>(json: &'a Json, field: &str) -> CmResult<&'a [Json]> {
+    json.get(field).and_then(Json::as_arr).ok_or_else(|| missing(field))
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+// --- feature values & datasets -----------------------------------------
+
+/// Tagged encoding mirroring the access layer's snapshot format. Finite
+/// floats (and `f32` embedding components widened to `f64`) round-trip
+/// bit-exactly.
+fn value_to_json(value: &FeatureValue) -> Json {
+    match value {
+        FeatureValue::Missing => Json::Null,
+        FeatureValue::Numeric(x) => Json::obj([("n", Json::Num(*x))]),
+        FeatureValue::Categorical(set) => {
+            Json::obj([("c", Json::Arr(set.iter().map(|id| Json::Num(f64::from(id))).collect()))])
+        }
+        FeatureValue::Embedding(e) => {
+            Json::obj([("e", Json::Arr(e.iter().map(|&x| Json::Num(f64::from(x))).collect()))])
+        }
+    }
+}
+
+fn value_from_json(json: &Json) -> CmResult<FeatureValue> {
+    if matches!(json, Json::Null) {
+        return Ok(FeatureValue::Missing);
+    }
+    if let Some(x) = json.get("n").and_then(Json::as_f64) {
+        return Ok(FeatureValue::Numeric(x));
+    }
+    if let Some(ids) = json.get("c").and_then(Json::as_arr) {
+        let mut set = CatSet::new();
+        for id in ids {
+            set.insert(id.as_f64().ok_or_else(|| missing("categorical id"))? as u32);
+        }
+        return Ok(FeatureValue::Categorical(set));
+    }
+    if let Some(values) = json.get("e").and_then(Json::as_arr) {
+        let e = values
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as f32).ok_or_else(|| missing("embedding component")))
+            .collect::<CmResult<Vec<f32>>>()?;
+        return Ok(FeatureValue::Embedding(e));
+    }
+    Err(missing("feature value tag"))
+}
+
+fn modality_to_json(m: ModalityKind) -> Json {
+    Json::Str(m.short().to_owned())
+}
+
+fn modality_from_json(json: &Json) -> CmResult<ModalityKind> {
+    match json.as_str() {
+        Some("T") => Ok(ModalityKind::Text),
+        Some("I") => Ok(ModalityKind::Image),
+        Some("V") => Ok(ModalityKind::Video),
+        _ => Err(missing("modality")),
+    }
+}
+
+fn dataset_to_json(ds: &ModalityDataset) -> Json {
+    let rows: Vec<Json> = (0..ds.table.len())
+        .map(|r| Json::Arr(ds.table.row(r).iter().map(value_to_json).collect()))
+        .collect();
+    Json::obj([
+        ("modality", modality_to_json(ds.modality)),
+        ("rows", Json::Arr(rows)),
+        ("labels", Json::Arr(ds.labels.iter().map(|l| Json::Num(l.as_f64())).collect())),
+        ("borderline", Json::Arr(ds.borderline.iter().map(|&b| Json::Bool(b)).collect())),
+    ])
+}
+
+fn dataset_from_json(json: &Json, schema: &Arc<FeatureSchema>) -> CmResult<ModalityDataset> {
+    let mut table = FeatureTable::new(schema.clone());
+    for row in req_arr(json, "rows")? {
+        let values = row
+            .as_arr()
+            .ok_or_else(|| missing("dataset row"))?
+            .iter()
+            .map(value_from_json)
+            .collect::<CmResult<Vec<_>>>()?;
+        table.push_row(&values);
+    }
+    let labels = req_arr(json, "labels")?
+        .iter()
+        .map(|v| match v.as_f64() {
+            Some(x) if x == 1.0 => Ok(Label::Positive),
+            Some(x) if x == 0.0 => Ok(Label::Negative),
+            _ => Err(missing("label")),
+        })
+        .collect::<CmResult<Vec<_>>>()?;
+    let borderline = req_arr(json, "borderline")?
+        .iter()
+        .map(|v| v.as_bool().ok_or_else(|| missing("borderline flag")))
+        .collect::<CmResult<Vec<_>>>()?;
+    Ok(ModalityDataset {
+        modality: modality_from_json(json.get("modality").ok_or_else(|| missing("modality"))?)?,
+        table,
+        labels,
+        borderline,
+    })
+}
+
+// --- queue & quarantine --------------------------------------------------
+
+fn queued_to_json(item: &QueuedBatch) -> Json {
+    Json::obj([
+        ("batch", dataset_to_json(&item.batch)),
+        ("arrival_ms", Json::Num(item.arrival_ms as f64)),
+        ("deferrals", Json::Num(f64::from(item.deferrals))),
+    ])
+}
+
+fn queued_from_json(json: &Json, schema: &Arc<FeatureSchema>) -> CmResult<QueuedBatch> {
+    Ok(QueuedBatch {
+        batch: dataset_from_json(json.get("batch").ok_or_else(|| missing("batch"))?, schema)?,
+        arrival_ms: req_f64(json, "arrival_ms")? as u64,
+        deferrals: req_usize(json, "deferrals")? as u32,
+    })
+}
+
+fn quarantined_to_json(q: &QuarantinedBatch) -> Json {
+    Json::obj([
+        ("item", queued_to_json(&q.item)),
+        ("retry_tick", q.retry_tick.to_json()),
+        ("attempts", Json::Num(f64::from(q.attempts))),
+        ("reasons", Json::Arr(q.reasons.iter().map(|r| Json::Str(r.clone())).collect())),
+    ])
+}
+
+fn quarantined_from_json(json: &Json, schema: &Arc<FeatureSchema>) -> CmResult<QuarantinedBatch> {
+    Ok(QuarantinedBatch {
+        item: queued_from_json(json.get("item").ok_or_else(|| missing("item"))?, schema)?,
+        retry_tick: req_usize(json, "retry_tick")?,
+        attempts: req_usize(json, "attempts")? as u32,
+        reasons: req_arr(json, "reasons")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| missing("reason")))
+            .collect::<CmResult<_>>()?,
+    })
+}
+
+// --- curator state -------------------------------------------------------
+
+fn warm_to_json(w: &WarmStart) -> Json {
+    Json::obj([
+        ("accuracies", Json::Arr(w.accuracies.iter().map(|&a| Json::Num(a)).collect())),
+        ("class_prior", Json::Num(w.class_prior)),
+    ])
+}
+
+fn warm_from_json(json: &Json) -> CmResult<WarmStart> {
+    Ok(WarmStart {
+        accuracies: req_arr(json, "accuracies")?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| missing("accuracy")))
+            .collect::<CmResult<_>>()?,
+        class_prior: req_f64(json, "class_prior")?,
+    })
+}
+
+fn graph_to_json(g: &OnlineGraphState) -> Json {
+    Json::obj([
+        ("n_rows", g.n_rows.to_json()),
+        ("anchors", Json::Arr(g.anchors.iter().map(|&a| Json::Num(f64::from(a))).collect())),
+        (
+            "anchor_members",
+            Json::Arr(
+                g.anchor_members
+                    .iter()
+                    .map(|m| Json::Arr(m.iter().map(|&r| Json::Num(f64::from(r))).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                g.edges
+                    .iter()
+                    .map(|&(a, b, w)| {
+                        Json::Arr(vec![
+                            Json::Num(f64::from(a)),
+                            Json::Num(f64::from(b)),
+                            Json::Num(f64::from(w)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn graph_from_json(json: &Json) -> CmResult<OnlineGraphState> {
+    let u32s = |field: &str| -> CmResult<Vec<u32>> {
+        req_arr(json, field)?
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as u32).ok_or_else(|| missing(field)))
+            .collect()
+    };
+    let edges = req_arr(json, "edges")?
+        .iter()
+        .map(|v| {
+            let parts = v.as_arr().filter(|p| p.len() == 3).ok_or_else(|| missing("edge"))?;
+            let f = |i: usize| parts[i].as_f64().ok_or_else(|| missing("edge component"));
+            Ok((f(0)? as u32, f(1)? as u32, f(2)? as f32))
+        })
+        .collect::<CmResult<Vec<_>>>()?;
+    let anchor_members = req_arr(json, "anchor_members")?
+        .iter()
+        .map(|m| {
+            m.as_arr()
+                .ok_or_else(|| missing("anchor member list"))?
+                .iter()
+                .map(|v| v.as_f64().map(|x| x as u32).ok_or_else(|| missing("anchor member")))
+                .collect::<CmResult<Vec<u32>>>()
+        })
+        .collect::<CmResult<Vec<_>>>()?;
+    Ok(OnlineGraphState {
+        n_rows: req_usize(json, "n_rows")?,
+        anchors: u32s("anchors")?,
+        anchor_members,
+        edges,
+    })
+}
+
+fn batch_stats_to_json(s: &BatchStats) -> Json {
+    Json::obj([
+        ("batch_index", s.batch_index.to_json()),
+        ("rows", s.rows.to_json()),
+        ("total_rows", s.total_rows.to_json()),
+        ("coverage", Json::Num(s.coverage)),
+        ("abstain_rate", Json::Num(s.abstain_rate)),
+        ("mean_entropy", Json::Num(s.mean_entropy)),
+        ("em_iterations", s.em_iterations.to_json()),
+    ])
+}
+
+fn batch_stats_from_json(json: &Json) -> CmResult<BatchStats> {
+    Ok(BatchStats {
+        batch_index: req_usize(json, "batch_index")?,
+        rows: req_usize(json, "rows")?,
+        total_rows: req_usize(json, "total_rows")?,
+        coverage: req_f64(json, "coverage")?,
+        abstain_rate: req_f64(json, "abstain_rate")?,
+        mean_entropy: req_f64(json, "mean_entropy")?,
+        em_iterations: req_usize(json, "em_iterations")?,
+    })
+}
+
+fn incremental_state_to_json(s: &IncrementalState) -> Json {
+    Json::obj([
+        ("n_batches", s.n_batches.to_json()),
+        ("pool", dataset_to_json(&s.pool)),
+        ("em_warm", s.em_warm.as_ref().map_or(Json::Null, warm_to_json)),
+        ("em_iterations", s.em_iterations.to_json()),
+        ("graph", s.graph.as_ref().map_or(Json::Null, graph_to_json)),
+    ])
+}
+
+fn incremental_state_from_json(
+    json: &Json,
+    schema: &Arc<FeatureSchema>,
+) -> CmResult<IncrementalState> {
+    Ok(IncrementalState {
+        n_batches: req_usize(json, "n_batches")?,
+        pool: dataset_from_json(json.get("pool").ok_or_else(|| missing("pool"))?, schema)?,
+        em_warm: match json.get("em_warm") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(warm_from_json(v)?),
+        },
+        em_iterations: req_usize(json, "em_iterations")?,
+        graph: match json.get("graph") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(graph_from_json(v)?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use cm_faults::ServiceAccessState;
+    use cm_featurespace::{FeatureDef, FeatureSet, ServingMode, Vocabulary};
+    use cm_pipeline::BatchStats;
+
+    use super::*;
+
+    fn schema() -> Arc<FeatureSchema> {
+        Arc::new(FeatureSchema::from_defs(vec![
+            FeatureDef::numeric("x", FeatureSet::A, ServingMode::Servable),
+            FeatureDef::categorical(
+                "c",
+                FeatureSet::A,
+                ServingMode::Servable,
+                Vocabulary::from_names(["v0", "v1", "v2", "v3", "v4", "v5"]),
+            ),
+            FeatureDef::embedding("e", 2, FeatureSet::B, ServingMode::Servable),
+        ]))
+    }
+
+    fn dataset(schema: &Arc<FeatureSchema>) -> ModalityDataset {
+        let mut table = FeatureTable::new(schema.clone());
+        let mut cats = CatSet::new();
+        cats.insert(3);
+        cats.insert(5);
+        table.push_row(&[
+            FeatureValue::Numeric(1.0 / 3.0),
+            FeatureValue::Categorical(cats),
+            FeatureValue::Embedding(vec![0.1, -2.5]),
+        ]);
+        table.push_row(&[
+            FeatureValue::Missing,
+            FeatureValue::Missing,
+            FeatureValue::Embedding(vec![f32::consts::E, 0.0]),
+        ]);
+        ModalityDataset {
+            modality: ModalityKind::Image,
+            table,
+            labels: vec![Label::Positive, Label::Negative],
+            borderline: vec![false, true],
+        }
+    }
+
+    use std::f32;
+
+    fn fixture() -> Checkpoint {
+        let schema = schema();
+        let ds = dataset(&schema);
+        let item = QueuedBatch { batch: ds.clone(), arrival_ms: 120, deferrals: 1 };
+        capture(
+            7,
+            420,
+            AccessState {
+                now_ms: 910,
+                services: vec![ServiceAccessState {
+                    name: "img-embed".to_owned(),
+                    consecutive_lost: 2,
+                    open: true,
+                    opened_at_ms: 640,
+                    snapshot: Some(FeatureValue::Numeric(0.25)),
+                    stats: Default::default(),
+                }],
+            },
+            IncrementalState {
+                n_batches: 3,
+                pool: ds.clone(),
+                em_warm: Some(WarmStart {
+                    accuracies: vec![1.0 / 3.0, 0.7251, 2.0 / 7.0],
+                    class_prior: 0.123_456_789,
+                }),
+                em_iterations: 20,
+                graph: Some(OnlineGraphState {
+                    n_rows: 5,
+                    anchors: vec![0, 3],
+                    anchor_members: vec![vec![0, 1, 4], vec![2, 3]],
+                    edges: vec![(1, 0, 0.25), (4, 3, 0.125)],
+                }),
+            },
+            PendingWork {
+                queue: vec![item.clone()],
+                deferred: vec![],
+                quarantine: vec![QuarantinedBatch {
+                    item,
+                    retry_tick: 9,
+                    attempts: 1,
+                    reasons: vec!["coverage 0.0000 below minimum 0.0200".to_owned()],
+                }],
+            },
+            ServeTelemetry {
+                shed: SheddingReport {
+                    offered: 5,
+                    admitted: 3,
+                    shed_rows: 7,
+                    ..Default::default()
+                },
+                quarantined: 1,
+                recovered: 0,
+                dropped: 0,
+                last_entropy: Some(0.631_234),
+                batch_stats: vec![BatchStats {
+                    batch_index: 0,
+                    rows: 2,
+                    total_rows: 2,
+                    coverage: 0.5,
+                    abstain_rate: 1.0 / 7.0,
+                    mean_entropy: 0.6,
+                    em_iterations: 40,
+                }],
+                latencies_ms: vec![15, 30],
+            },
+        )
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let cp = fixture();
+        let text = cp.save();
+        let back = load(&text, &schema()).expect("load");
+        // Bit-exact: re-serializing the loaded checkpoint reproduces the
+        // original text byte for byte (floats included).
+        assert_eq!(back.save(), text);
+        // Spot-check irrational floats survived exactly.
+        let warm = back.curator.em_warm.expect("warm");
+        assert_eq!(warm.accuracies[0].to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(back.pending.quarantine[0].retry_tick, 9);
+        assert_eq!(back.telemetry.latencies_ms, vec![15, 30]);
+        assert_eq!(back.access.services[0].opened_at_ms, 640);
+    }
+
+    #[test]
+    fn load_rejects_other_versions() {
+        let text = fixture().save().replacen("\"version\": 1", "\"version\": 2", 1);
+        let err = load(&text, &schema()).expect_err("version 2 must be rejected");
+        assert!(err.to_string().contains("unsupported checkpoint version"));
+    }
+
+    #[test]
+    fn load_rejects_truncated_checkpoints() {
+        let text = fixture().save();
+        assert!(load(&text[..text.len() / 2], &schema()).is_err());
+    }
+}

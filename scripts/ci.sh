@@ -52,6 +52,32 @@ echo "==> shard smoke: streamed curation must be bit-identical to resident"
 CM_THREADS=1 cargo run -q --release --example shard_smoke
 CM_THREADS=4 cargo run -q --release --example shard_smoke
 
+echo "==> serve smoke: crash/restart must be bit-identical to a clean run"
+# The drill loads specs/serve.json (mixed fault storm), checkpoints every
+# tick, and prints a deterministic report. Three runs against the pinned
+# fixture: clean, crashed after the 2nd batch ingest (stdout discarded),
+# and resumed off the crash's checkpoint at a different thread count.
+SERVE_CKPT=/tmp/cm_serve_drill_ckpt.json
+rm -f "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_THREADS=1 cargo run -q --release --example serve_drill \
+    > /tmp/cm_serve_drill_clean.out
+diff /tmp/cm_serve_drill_clean.out tests/fixtures/serve_drill.out
+rm -f "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_CRASH_AT=2 CM_THREADS=4 cargo run -q --release --example serve_drill \
+    > /dev/null
+test -f "$SERVE_CKPT" || { echo "crashed run left no checkpoint"; exit 1; }
+CM_CHECKPOINT="$SERVE_CKPT" CM_THREADS=4 cargo run -q --release --example serve_drill \
+    > /tmp/cm_serve_drill_resume.out
+diff /tmp/cm_serve_drill_resume.out tests/fixtures/serve_drill.out
+rm -f "$SERVE_CKPT"
+echo "    serve drill identical across clean and crash/restart runs"
+
+echo "==> bench smoke: serve group"
+# One end-to-end service run (compile + run guard; the committed
+# results/BENCH_serve.json comes from an uncapped run).
+CM_SERVE_JSON=/tmp/cm_bench_serve_smoke.json \
+    cargo bench -q -p cm-bench --bench substrates -- serve
+
 echo "==> bench smoke: scale group, capped corpus"
 # Executes the sharded scale sweep once at a small row cap (compile +
 # run guard; the committed results/BENCH_scale.json comes from a full

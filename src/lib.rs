@@ -50,7 +50,10 @@
 //! | [`eval`] | PR curves, AUPRC, cross-over analysis |
 //! | [`faults`] | deterministic fault injection + resilient service access (`CM_FAULTS`) |
 //! | [`pipeline`] | the end-to-end cross-modal adaptation pipeline |
+//! | [`serve`] | incremental curation service: checkpointed recovery, backpressure (`CM_CRASH_AT`) |
+//! | [`check`] | declarative experiment specs + span-aware pre-execution validation |
 
+pub use cm_check as check;
 pub use cm_eval as eval;
 pub use cm_faults as faults;
 pub use cm_featurespace as featurespace;
@@ -64,6 +67,7 @@ pub use cm_orgsim as orgsim;
 pub use cm_par as par;
 pub use cm_pipeline as pipeline;
 pub use cm_propagation as propagation;
+pub use cm_serve as serve;
 pub use cm_shard as shard;
 
 /// One-stop imports for the common workflow.
@@ -80,5 +84,6 @@ pub mod prelude {
         CurationOutput, DegradationReport, FusionStrategy, LabelModelKind, LabelSource, Scenario,
         ScenarioRunner, StreamStats, StreamedCuration, TaskData,
     };
+    pub use cm_serve::{QualityGuards, QueueConfig, RunOutcome, ServeConfig, ServeReport};
     pub use cm_shard::{MemBudget, MemTracker, ShardConfig};
 }
