@@ -403,9 +403,20 @@ fn bench_scale(c: &Harness) {
         let streamed = curate_streamed(task, 3, &config, &shard).unwrap();
         let elapsed = start.elapsed();
         let rows_per_sec = n as f64 / elapsed.as_secs_f64();
+        let stages = streamed.timing;
         println!(
             "scale/{:<32} {:>12?}  {:>10.0} rows/s  peak {:>11} bytes  ({} segments)",
             name, elapsed, rows_per_sec, streamed.stats.peak_bytes, streamed.stats.segments
+        );
+        println!(
+            "scale/{:<32} stages ms: mining {:.0} propagation {:.0} lf_apply {:.0} \
+             concat {:.0} model {:.0}",
+            name,
+            stages.mining.as_secs_f64() * 1e3,
+            stages.propagation.as_secs_f64() * 1e3,
+            stages.lf_application.as_secs_f64() * 1e3,
+            stages.concat.as_secs_f64() * 1e3,
+            stages.model.as_secs_f64() * 1e3
         );
         assert_eq!(streamed.output.probabilistic_labels.len(), n);
         rows.push(Json::obj([
@@ -415,6 +426,11 @@ fn bench_scale(c: &Harness) {
             ("elapsed_ms", Json::Num(elapsed.as_secs_f64() * 1e3)),
             ("rows_per_sec", Json::Num(rows_per_sec)),
             ("peak_resident_bytes", Json::Num(streamed.stats.peak_bytes as f64)),
+            ("mining_ms", Json::Num(stages.mining.as_secs_f64() * 1e3)),
+            ("propagation_ms", Json::Num(stages.propagation.as_secs_f64() * 1e3)),
+            ("lf_application_ms", Json::Num(stages.lf_application.as_secs_f64() * 1e3)),
+            ("concat_ms", Json::Num(stages.concat.as_secs_f64() * 1e3)),
+            ("model_ms", Json::Num(stages.model.as_secs_f64() * 1e3)),
         ]));
     }
     if rows.is_empty() {
@@ -445,39 +461,50 @@ fn bench_scale(c: &Harness) {
     println!("scale: wrote {path}");
 }
 
-/// End-to-end incremental serving benchmark: one clean-path service run
-/// (checkpointing on) and one without checkpointing, recording ingest
-/// throughput, per-batch arrival-to-completion latency (simulated
-/// clock), and the wall-clock serving envelope as a percentage of core
-/// curation time — the "< 2 % clean-path overhead" acceptance metric.
-/// Results go to `results/BENCH_serve.json`; `CM_SERVE_JSON` overrides
-/// the output path.
+/// End-to-end incremental serving benchmark over a 64-tick run: the
+/// wire-format delta-log checkpoint, the legacy whole-file JSON
+/// checkpoint, and no checkpointing at all. Records ingest throughput,
+/// per-batch latency (simulated clock), the serving envelope, and the
+/// per-tick checkpoint cost curve — flat for the delta log (O(batch) per
+/// tick), linear for JSON (O(pool) per tick). Acceptance: final-tick
+/// delta cost within 2x of the tick-4 cost, and wire-checkpointed wall
+/// throughput >= 85% of the no-checkpoint path. Results go to
+/// `results/BENCH_serve.json`; `CM_SERVE_JSON` overrides the output path.
 fn bench_serve(c: &Harness) {
-    use cm_serve::{run as serve_run, RunOutcome, ServeConfig};
+    use cm_serve::{run as serve_run, CheckpointFormat, RunOutcome, ServeConfig};
     let group = c.group("serve");
-    let config_for = |checkpoint: bool| {
+    // 64 ticks of ~40-row batches; one arrival per tick, so ticks track
+    // batches and the checkpoint curve gets 64 points.
+    let total_rows = 64 * 40;
+    let config_for = |format: Option<CheckpointFormat>| {
         let task = TaskConfig::paper(TaskId::Ct2).scaled(0.02);
         let mut config = ServeConfig::new(task, 11);
+        config.total_rows = total_rows;
         config.batch_rows = 40;
         config.incremental.curation.prop_max_seeds = 400;
         config.incremental.curation.mining.min_recall = 0.05;
-        if checkpoint {
-            let path = std::env::temp_dir().join("cm_bench_serve_ckpt.json");
+        if let Some(format) = format {
+            let path = std::env::temp_dir().join("cm_bench_serve_ckpt.bin");
             // A stale checkpoint would make the run resume (and measure
             // an empty service loop) instead of serving from scratch.
             let _ = std::fs::remove_file(&path);
             config.checkpoint_path = Some(path);
+            config.checkpoint_format = format;
         }
         config
     };
     let par = ParConfig::from_env();
     let mut rows: Vec<Json> = Vec::new();
-    for (name, checkpoint) in [("serve_ct2_checkpointed", true), ("serve_ct2_no_checkpoint", false)]
-    {
+    let mut wall_by_name: Vec<(&str, f64)> = Vec::new();
+    for (name, format) in [
+        ("serve_ct2_wire_checkpoint", Some(CheckpointFormat::Wire)),
+        ("serve_ct2_json_checkpoint", Some(CheckpointFormat::Json)),
+        ("serve_ct2_no_checkpoint", None),
+    ] {
         if !group.enabled(name) {
             continue;
         }
-        let config = config_for(checkpoint);
+        let config = config_for(format);
         let start = Instant::now();
         let outcome = serve_run(&config, &par).unwrap();
         let elapsed = start.elapsed();
@@ -490,6 +517,7 @@ fn bench_serve(c: &Harness) {
         let max = *lat.last().unwrap();
         let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
         let wall_rows_per_sec = report.rows_ingested as f64 / elapsed.as_secs_f64();
+        wall_by_name.push((name, wall_rows_per_sec));
         println!(
             "serve/{:<32} {:>12?}  {:>10.0} rows/s wall  {:>8.1} rows/s sim  \
              latency p50 {p50} max {max} sim-ms  envelope {:.2}% of curation",
@@ -499,9 +527,56 @@ fn bench_serve(c: &Harness) {
             report.rows_per_sim_sec,
             timing.overhead_pct()
         );
+        // The per-tick persistence curve: steady-state = non-base writes
+        // when a delta log is in force, every write for whole-file JSON.
+        let ticks = &timing.checkpoint_ticks;
+        let steady: Vec<f64> = {
+            let deltas: Vec<f64> = ticks
+                .iter()
+                .filter(|t| !t.wrote_base)
+                .map(|t| t.elapsed.as_secs_f64() * 1e3)
+                .collect();
+            if deltas.is_empty() {
+                ticks.iter().map(|t| t.elapsed.as_secs_f64() * 1e3).collect()
+            } else {
+                deltas
+            }
+        };
+        let (tick4_ms, final_ms) = match steady.as_slice() {
+            [] => (0.0, 0.0),
+            s => (s[3.min(s.len() - 1)], s[s.len() - 1]),
+        };
+        if format.is_some() {
+            println!(
+                "serve/{:<32} checkpoint {} writes, {} bytes total; steady-state \
+                 ms/tick: tick4 {tick4_ms:.3} final {final_ms:.3}",
+                name,
+                ticks.len(),
+                timing.checkpoint_bytes
+            );
+        }
+        let curve: Vec<Json> = ticks
+            .iter()
+            .map(|t| {
+                Json::obj([
+                    ("tick", Json::Num(t.tick as f64)),
+                    ("ms", Json::Num(t.elapsed.as_secs_f64() * 1e3)),
+                    ("bytes_written", Json::Num(t.bytes_written as f64)),
+                    ("wrote_base", Json::Bool(t.wrote_base)),
+                ])
+            })
+            .collect();
         rows.push(Json::obj([
             ("name", Json::Str(name.to_owned())),
-            ("checkpointed", Json::Bool(checkpoint)),
+            ("checkpointed", Json::Bool(format.is_some())),
+            (
+                "checkpoint_format",
+                match format {
+                    Some(CheckpointFormat::Wire) => Json::Str("wire".to_owned()),
+                    Some(CheckpointFormat::Json) => Json::Str("json".to_owned()),
+                    None => Json::Null,
+                },
+            ),
             ("rows_ingested", Json::Num(report.rows_ingested as f64)),
             ("batches", Json::Num(report.batches.len() as f64)),
             ("ticks", Json::Num(report.ticks as f64)),
@@ -516,6 +591,10 @@ fn bench_serve(c: &Harness) {
             ("generation_ms", Json::Num(timing.generation.as_secs_f64() * 1e3)),
             ("curation_ms", Json::Num(timing.curation.as_secs_f64() * 1e3)),
             ("checkpoint_ms", Json::Num(timing.checkpoint.as_secs_f64() * 1e3)),
+            ("checkpoint_bytes", Json::Num(timing.checkpoint_bytes as f64)),
+            ("checkpoint_steady_ms_tick4", Json::Num(tick4_ms)),
+            ("checkpoint_steady_ms_final", Json::Num(final_ms)),
+            ("checkpoint_ticks", Json::Arr(curve)),
             ("envelope_ms", Json::Num(timing.envelope().as_secs_f64() * 1e3)),
             ("serving_overhead_pct_of_curation", Json::Num(timing.overhead_pct())),
         ]));
@@ -523,16 +602,40 @@ fn bench_serve(c: &Harness) {
     if rows.is_empty() {
         return;
     }
+    let throughput_ratio = {
+        let wall = |n: &str| wall_by_name.iter().find(|(name, _)| *name == n).map(|&(_, w)| w);
+        match (wall("serve_ct2_wire_checkpoint"), wall("serve_ct2_no_checkpoint")) {
+            (Some(wire), Some(none)) if none > 0.0 => Some(wire / none),
+            _ => None,
+        }
+    };
+    if let Some(r) = throughput_ratio {
+        println!("serve/wire_vs_no_checkpoint_throughput   {:.1}%", 100.0 * r);
+    }
     let report = Json::obj([
         ("bench", Json::Str("serve".to_owned())),
         ("source", Json::Str("cargo bench -p cm-bench --bench substrates -- serve".to_owned())),
         (
             "config",
             Json::obj([
-                ("task", Json::Str("CT2 profile scaled 0.02, batch_rows=40, seed 11".to_owned())),
-                ("acceptance", Json::Str("serving envelope < 2% of curation time".to_owned())),
+                (
+                    "task",
+                    Json::Str(
+                        "CT2 profile scaled 0.02, 2560 rows in 40-row batches (64 ticks), seed 11"
+                            .to_owned(),
+                    ),
+                ),
+                (
+                    "acceptance",
+                    Json::Str(
+                        "steady-state checkpoint ms/tick flat (final within 2x of tick 4); \
+                         wire-checkpointed wall throughput >= 85% of no-checkpoint"
+                            .to_owned(),
+                    ),
+                ),
             ]),
         ),
+        ("wire_throughput_vs_no_checkpoint", throughput_ratio.map_or(Json::Null, Json::Num)),
         ("results", Json::Arr(rows)),
     ]);
     let path = std::env::var("CM_SERVE_JSON").unwrap_or_else(|_| {

@@ -133,14 +133,17 @@ pub fn run(input: &PassInput<'_>) -> Vec<RawFinding> {
         // checkpointed state" by banning the type name itself — foreign
         // code must go through `snapshot::capture`/`save`/`load` and
         // type inference.
-        if tok.is_ident("Checkpoint") {
-            out.push(RawFinding {
-                rule: "checkpoint-drift",
-                tok: input.tok_index(j),
-                message: "checkpointed state must be accessed through cm-serve's snapshot module \
-                          (capture/save/load), never by naming Checkpoint directly"
-                    .to_owned(),
-            });
+        for name in ["Checkpoint", "TickDelta"] {
+            if tok.is_ident(name) {
+                out.push(RawFinding {
+                    rule: "checkpoint-drift",
+                    tok: input.tok_index(j),
+                    message: format!(
+                        "checkpointed state must be accessed through cm-serve's snapshot module \
+                         (capture/capture_delta/CheckpointStore), never by naming {name} directly"
+                    ),
+                });
+            }
         }
         for &(rule, head, tail, why) in BANNED_PATHS {
             if tok.is_ident(head) && input.path_sep(j + 1) && input.ident(j + 3, tail) {

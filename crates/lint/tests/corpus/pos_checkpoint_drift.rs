@@ -9,3 +9,7 @@ pub fn resume(text: &str) -> Checkpoint {
     let cp = Checkpoint { version: 1, ticks: 0 };
     cp
 }
+
+pub fn append(d: crate::snapshot::TickDelta) {
+    let _ = d;
+}

@@ -36,7 +36,9 @@ use cm_labelmodel::{GenerativeConfig, GenerativeModel, LabelMatrix, LabelingFunc
 use cm_mining::mine_lfs;
 use cm_orgsim::{ModalityDataset, World};
 use cm_par::ParConfig;
-use cm_propagation::{propagate, OnlineGraph, OnlineGraphState, PropagationConfig};
+use cm_propagation::{
+    propagate, OnlineGraph, OnlineGraphDelta, OnlineGraphState, PropagationConfig,
+};
 
 use crate::curation::{
     lf_columns, prop_artifacts_from_scores, prop_split, sim_columns, CurationConfig,
@@ -106,12 +108,67 @@ pub struct IncrementalState {
     pub n_batches: usize,
     /// The accumulated pool: featurized arrival rows in ingest order.
     pub pool: ModalityDataset,
+    /// Accumulated base-LF votes, row-major `pool.len() x n_base_lfs`.
+    /// Optional: when the length disagrees with the pool (legacy
+    /// checkpoints serialize no votes), [`IncrementalCurator::restore`]
+    /// recomputes them by re-applying the mined LFs.
+    pub votes: Vec<i8>,
     /// EM parameters of the current model, if any batch has been fitted.
     pub em_warm: Option<WarmStart>,
     /// Iterations the last refit ran (restored for reporting parity).
     pub em_iterations: usize,
     /// Online propagation-graph routing state, when propagation is on.
     pub graph: Option<OnlineGraphState>,
+}
+
+/// Everything an [`IncrementalCurator`] accreted since its last durable
+/// point: the payload of one checkpoint delta record, O(batch) where the
+/// full [`IncrementalState`] is O(pool). The EM parameters ride whole in
+/// every delta — they are a handful of floats and change entirely on each
+/// refit, so there is nothing incremental about them.
+#[derive(Debug, Clone)]
+pub struct IncrementalDelta {
+    /// Batches ingested after this delta (absolute, for replay checks).
+    pub n_batches: usize,
+    /// Pool rows appended since the last durable point.
+    pub new_rows: ModalityDataset,
+    /// Base-LF votes for the appended rows, row-major.
+    pub new_votes: Vec<i8>,
+    /// Full EM parameters after the latest refit.
+    pub em_warm: Option<WarmStart>,
+    /// Iterations the latest refit ran.
+    pub em_iterations: usize,
+    /// Growth of the online propagation graph, when propagation is on.
+    pub graph: Option<OnlineGraphDelta>,
+}
+
+impl IncrementalState {
+    /// Applies one exported delta in place: pure appends plus the EM
+    /// parameter swap. Replaying a base state through every delta in
+    /// export order reproduces [`IncrementalCurator::export_state`]'s
+    /// output at the same point, bit-identically.
+    ///
+    /// # Panics
+    /// Panics if the delta's propagation-graph presence disagrees with
+    /// this state's, or the graph delta misaligns (see
+    /// [`OnlineGraphState::apply_delta`]).
+    pub fn apply_delta(&mut self, delta: &IncrementalDelta) {
+        self.n_batches = delta.n_batches;
+        self.pool.table.extend_from(&delta.new_rows.table);
+        self.pool.labels.extend_from_slice(&delta.new_rows.labels);
+        self.pool.borderline.extend_from_slice(&delta.new_rows.borderline);
+        self.votes.extend_from_slice(&delta.new_votes);
+        self.em_warm = delta.em_warm.clone();
+        self.em_iterations = delta.em_iterations;
+        assert_eq!(
+            self.graph.is_some(),
+            delta.graph.is_some(),
+            "delta graph presence disagrees with the base state"
+        );
+        if let (Some(g), Some(d)) = (&mut self.graph, &delta.graph) {
+            g.apply_delta(d);
+        }
+    }
 }
 
 struct PropScaffold {
@@ -145,6 +202,9 @@ pub struct IncrementalCurator {
     posteriors: Vec<f64>,
     covered: Vec<bool>,
     n_batches: usize,
+    /// Pool rows already covered by the last durable export (state or
+    /// delta); the vote mark is `mark_rows * lfs.len()` by construction.
+    mark_rows: usize,
 }
 
 impl IncrementalCurator {
@@ -219,6 +279,7 @@ impl IncrementalCurator {
             posteriors: Vec::new(),
             covered: Vec::new(),
             n_batches: 0,
+            mark_rows: 0,
         }
     }
 
@@ -340,14 +401,39 @@ impl IncrementalCurator {
         }
     }
 
-    /// Exports the arrival-dependent state for checkpointing.
-    pub fn export_state(&self) -> IncrementalState {
+    /// Exports the arrival-dependent state for checkpointing and declares
+    /// it durable: the next [`IncrementalCurator::export_delta`] reports
+    /// only growth after this call. O(pool) — the delta-log base record.
+    pub fn export_state(&mut self) -> IncrementalState {
+        self.mark_rows = self.pool.len();
         IncrementalState {
             n_batches: self.n_batches,
             pool: self.pool.clone(),
+            votes: self.base_votes.clone(),
             em_warm: self.warm.clone(),
             em_iterations: self.em_iterations,
-            graph: self.prop.as_ref().map(|p| p.online.snapshot()),
+            graph: self.prop.as_mut().map(|p| {
+                p.online.mark_durable();
+                p.online.snapshot()
+            }),
+        }
+    }
+
+    /// Exports everything ingested since the last durable point — cost
+    /// proportional to the new batches, not the accumulated pool — and
+    /// advances the durable mark. The delta-log append record.
+    pub fn export_delta(&mut self) -> IncrementalDelta {
+        let idx: Vec<usize> = (self.mark_rows..self.pool.len()).collect();
+        let new_rows = self.pool.gather(&idx);
+        let new_votes = self.base_votes[self.mark_rows * self.lfs.len()..].to_vec();
+        self.mark_rows = self.pool.len();
+        IncrementalDelta {
+            n_batches: self.n_batches,
+            new_rows,
+            new_votes,
+            em_warm: self.warm.clone(),
+            em_iterations: self.em_iterations,
+            graph: self.prop.as_mut().map(|p| p.online.export_delta()),
         }
     }
 
@@ -373,14 +459,23 @@ impl IncrementalCurator {
             state.graph.is_some(),
             "checkpointed graph state disagrees with the propagation setting"
         );
-        let pool_matrix = LabelMatrix::apply_with(&state.pool.table, &c.lfs, par);
-        let mut base_votes = Vec::with_capacity(state.pool.len() * pool_matrix.n_lfs());
-        for r in 0..state.pool.len() {
-            base_votes.extend_from_slice(pool_matrix.row(r));
-        }
+        // Checkpointed votes are used verbatim when they align with the
+        // pool; legacy checkpoints carry none and get them recomputed by
+        // re-applying the mined LFs (deterministic, so both paths agree).
+        let base_votes = if state.votes.len() == state.pool.len() * c.lfs.len() {
+            state.votes
+        } else {
+            let pool_matrix = LabelMatrix::apply_with(&state.pool.table, &c.lfs, par);
+            let mut votes = Vec::with_capacity(state.pool.len() * pool_matrix.n_lfs());
+            for r in 0..state.pool.len() {
+                votes.extend_from_slice(pool_matrix.row(r));
+            }
+            votes
+        };
         c.pool = state.pool;
         c.base_votes = base_votes;
         c.n_batches = state.n_batches;
+        c.mark_rows = c.pool.len();
         c.warm = state.em_warm;
         c.em_iterations = state.em_iterations;
         if let (Some(p), Some(g)) = (&mut c.prop, state.graph) {
@@ -578,6 +673,73 @@ mod tests {
         assert_eq!(stats_resumed, stats_first);
         assert_eq!(resumed.posteriors(), whole.posteriors());
         assert_eq!(resumed.covered(), whole.covered());
+    }
+
+    #[test]
+    fn delta_replay_restores_bit_identically() {
+        let (world, text, pool) = fixture();
+        let par = ParConfig::threads(2);
+        let all = batches(&pool, 60);
+        // Live run: base export after batch 0, one delta per later batch.
+        let mut live = IncrementalCurator::new(&world, &text, fast_config());
+        live.ingest_batch(&all[0], &par);
+        let mut replayed = live.export_state();
+        let mut deltas = Vec::new();
+        for b in &all[1..] {
+            live.ingest_batch(b, &par);
+            deltas.push(live.export_delta());
+        }
+        for d in &deltas {
+            replayed.apply_delta(d);
+        }
+        // The replayed state matches a fresh O(pool) export field-by-field
+        // (the pool table has no equality; its votes and labels pin it).
+        let full = live.export_state();
+        assert_eq!(replayed.n_batches, full.n_batches);
+        assert_eq!(replayed.votes, full.votes);
+        assert_eq!(replayed.em_warm, full.em_warm);
+        assert_eq!(replayed.em_iterations, full.em_iterations);
+        assert_eq!(replayed.graph, full.graph);
+        assert_eq!(replayed.pool.labels, full.pool.labels);
+        assert_eq!(replayed.pool.borderline, full.pool.borderline);
+        // A curator restored from the replayed state behaves identically.
+        let resumed = IncrementalCurator::restore(&world, &text, fast_config(), replayed, &par);
+        assert_eq!(resumed.posteriors(), live.posteriors());
+        assert_eq!(resumed.covered(), live.covered());
+    }
+
+    #[test]
+    fn export_delta_after_export_state_is_empty() {
+        let (world, text, pool) = fixture();
+        let par = ParConfig::threads(1);
+        let all = batches(&pool, 60);
+        let mut cur = IncrementalCurator::new(&world, &text, fast_config());
+        cur.ingest_batch(&all[0], &par);
+        let _ = cur.export_state();
+        let idle = cur.export_delta();
+        assert_eq!(idle.new_rows.len(), 0);
+        assert!(idle.new_votes.is_empty());
+        assert_eq!(idle.n_batches, 1);
+        if let Some(g) = &idle.graph {
+            assert!(g.new_edges.is_empty() && g.new_anchors.is_empty());
+        }
+    }
+
+    #[test]
+    fn restore_prefers_checkpointed_votes_but_matches_recomputation() {
+        let (world, text, pool) = fixture();
+        let par = ParConfig::threads(1);
+        let all = batches(&pool, 60);
+        let mut cur = IncrementalCurator::new(&world, &text, fast_config());
+        cur.ingest_batch(&all[0], &par);
+        cur.ingest_batch(&all[1], &par);
+        let with_votes = cur.export_state();
+        let mut legacy = with_votes.clone();
+        legacy.votes = Vec::new(); // what a pre-delta-log checkpoint carries
+        let a = IncrementalCurator::restore(&world, &text, fast_config(), with_votes, &par);
+        let b = IncrementalCurator::restore(&world, &text, fast_config(), legacy, &par);
+        assert_eq!(a.base_votes, b.base_votes);
+        assert_eq!(a.posteriors(), b.posteriors());
     }
 
     #[test]

@@ -40,9 +40,12 @@ pub use curation::{
 pub use data::{mask_disallowed_sets, DenseView, TaskData};
 pub use expert::{expert_lfs, EXPERT_AUTHORING};
 pub use incremental::{
-    mean_entropy, BatchPreview, BatchStats, IncrementalConfig, IncrementalCurator, IncrementalState,
+    mean_entropy, BatchPreview, BatchStats, IncrementalConfig, IncrementalCurator,
+    IncrementalDelta, IncrementalState,
 };
 pub use report::{DegradationReport, LfAbstainRates, ModelEval, ScenarioReport, ServingReport};
 pub use selftrain::{self_train, SelfTrainConfig, SelfTrainOutcome};
-pub use stream::{curate_streamed, curate_streamed_with, StreamStats, StreamedCuration};
+pub use stream::{
+    curate_streamed, curate_streamed_with, StreamStageTiming, StreamStats, StreamedCuration,
+};
 pub use training::{FusionStrategy, LabelSource, Scenario, ScenarioRunner};

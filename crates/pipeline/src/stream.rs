@@ -59,6 +59,23 @@ pub struct StreamStats {
     pub pool_rows: usize,
 }
 
+/// Wall-clock per-stage timing of a streamed run. Out-of-band telemetry
+/// for the scale bench (locating where throughput goes as pools grow) —
+/// never part of the bit-identity contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStageTiming {
+    /// LF mining over streamed text segments (catalog, bitsets, joins).
+    pub mining: std::time::Duration,
+    /// Sharded scale fit + graph build + propagation (zero when disabled).
+    pub propagation: std::time::Duration,
+    /// The pool sweep: segment generation plus LF application.
+    pub lf_application: std::time::Duration,
+    /// Concatenating per-segment vote matrices into the pool matrix.
+    pub concat: std::time::Duration,
+    /// Label-model fit and output assembly.
+    pub model: std::time::Duration,
+}
+
 /// A streamed curation result: the (resident-identical) curation output
 /// plus sharding telemetry.
 pub struct StreamedCuration {
@@ -66,6 +83,8 @@ pub struct StreamedCuration {
     pub output: CurationOutput,
     /// Sharding and memory telemetry.
     pub stats: StreamStats,
+    /// Per-stage wall-clock timing (out-of-band).
+    pub timing: StreamStageTiming,
 }
 
 /// Runs sharded curation for `(task, seed)` under `shard`'s segment size
@@ -150,12 +169,16 @@ pub fn curate_streamed_with(
     let dev_matrix = LabelMatrix::apply_with(&text.table, &lfs, par);
     let prior = text.positive_rate().clamp(1e-4, 0.5);
 
+    let mut timing = StreamStageTiming { mining: mining_time, ..StreamStageTiming::default() };
+
     let mut propagation_time = None;
     let mut prop = None;
     if config.use_label_propagation {
         let start = Stopwatch::start();
         prop = propagation_streamed(&world, &text, n_pool, ds ^ 0x2, config, shard, &mut tracker)?;
-        propagation_time = Some(start.elapsed());
+        let elapsed = start.elapsed();
+        propagation_time = Some(elapsed);
+        timing.propagation = elapsed;
     }
 
     let mut lf_names: Vec<String> = lfs.iter().map(|l| l.name().to_owned()).collect();
@@ -174,6 +197,7 @@ pub fn curate_streamed_with(
     let mut parts: Vec<LabelMatrix> = Vec::new();
     let mut part_bytes = 0usize;
     let mut pool_truth: Vec<Label> = Vec::with_capacity(n_pool);
+    let apply_start = Stopwatch::start();
     for_each_pool_segment(
         &world,
         ModalityKind::Image,
@@ -203,12 +227,16 @@ pub fn curate_streamed_with(
             Ok(())
         },
     )?;
+    timing.lf_application = apply_start.elapsed();
+    let concat_start = Stopwatch::start();
     let part_refs: Vec<&LabelMatrix> = parts.iter().collect();
     let pool_matrix = LabelMatrix::concat(&part_refs);
     tracker.charge(pool_matrix.approx_bytes(), "pool vote matrix")?;
     drop(parts);
     tracker.release(part_bytes);
+    timing.concat = concat_start.elapsed();
 
+    let model_start = Stopwatch::start();
     let output = finish_curation(
         ModelInputs {
             dev_matrix: &dev_matrix,
@@ -226,13 +254,14 @@ pub fn curate_streamed_with(
         propagation_time,
         par,
     );
+    timing.model = model_start.elapsed();
     let stats = StreamStats {
         segments,
         segment_rows: shard.segment_rows,
         peak_bytes: tracker.peak(),
         pool_rows: n_pool,
     };
-    Ok(StreamedCuration { output, stats })
+    Ok(StreamedCuration { output, stats, timing })
 }
 
 /// The streamed counterpart of the resident propagation-LF builder: the

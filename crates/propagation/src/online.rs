@@ -55,6 +55,25 @@ pub struct OnlineGraphState {
     pub edges: Vec<(u32, u32, f32)>,
 }
 
+/// Everything an [`OnlineGraph`] accreted since its last durable point:
+/// the payload of one checkpoint delta record. Applying a run's deltas in
+/// order to the starting [`OnlineGraphState`] reproduces the final state
+/// bit-identically — see [`OnlineGraphState::apply_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineGraphDelta {
+    /// Total rows inserted after this delta (absolute, not an increment,
+    /// so a replay can sanity-check monotonicity).
+    pub n_rows: usize,
+    /// Edges appended since the last durable point.
+    pub new_edges: Vec<(u32, u32, f32)>,
+    /// Members appended to anchors that already existed at the last
+    /// durable point: `(anchor index, appended row ids)`.
+    pub member_appends: Vec<(u32, Vec<u32>)>,
+    /// Anchors promoted since the last durable point, with their full
+    /// member lists: `(anchor row id, members)`.
+    pub new_anchors: Vec<(u32, Vec<u32>)>,
+}
+
 /// Incrementally grown approximate k-NN graph.
 #[derive(Debug, Clone)]
 pub struct OnlineGraph {
@@ -70,6 +89,14 @@ pub struct OnlineGraph {
     anchors: Vec<u32>,
     anchor_members: Vec<Vec<u32>>,
     edges: Vec<(u32, u32, f32)>,
+    // Durable marks: how much of each list was already exported by the
+    // last `export_delta` (or covered by the snapshot this graph was
+    // restored from). `mark_members[i]` is the member count of anchor `i`
+    // at that point, aligned with `anchors[..mark_anchors]` plus any
+    // anchors promoted-then-exported since.
+    mark_anchors: usize,
+    mark_members: Vec<usize>,
+    mark_edges: usize,
 }
 
 impl OnlineGraph {
@@ -86,6 +113,9 @@ impl OnlineGraph {
             anchors: Vec::new(),
             anchor_members: Vec::new(),
             edges: Vec::new(),
+            mark_anchors: 0,
+            mark_members: Vec::new(),
+            mark_edges: 0,
         }
     }
 
@@ -164,7 +194,9 @@ impl OnlineGraph {
         SparseGraph::from_edges(self.n_rows, &self.edges)
     }
 
-    /// Exports the full routing state for checkpointing.
+    /// Exports the full routing state for checkpointing. Does not move
+    /// the durable mark — pair with [`OnlineGraph::mark_durable`] when the
+    /// snapshot becomes a new delta-log base.
     pub fn snapshot(&self) -> OnlineGraphState {
         OnlineGraphState {
             n_rows: self.n_rows,
@@ -172,6 +204,35 @@ impl OnlineGraph {
             anchor_members: self.anchor_members.clone(),
             edges: self.edges.clone(),
         }
+    }
+
+    /// Declares everything inserted so far durable: the next
+    /// [`OnlineGraph::export_delta`] reports only growth after this call.
+    pub fn mark_durable(&mut self) {
+        self.mark_anchors = self.anchors.len();
+        self.mark_members = self.anchor_members.iter().map(Vec::len).collect();
+        self.mark_edges = self.edges.len();
+    }
+
+    /// Exports everything inserted since the last durable point — cost
+    /// proportional to the growth, not the graph — and advances the mark.
+    /// Inserting the same rows then exporting is deterministic, so a
+    /// replayed delta log reproduces [`OnlineGraph::snapshot`] exactly.
+    pub fn export_delta(&mut self) -> OnlineGraphDelta {
+        let new_edges = self.edges[self.mark_edges..].to_vec();
+        let mut member_appends = Vec::new();
+        for (idx, &old_len) in self.mark_members.iter().enumerate() {
+            if self.anchor_members[idx].len() > old_len {
+                member_appends.push((idx as u32, self.anchor_members[idx][old_len..].to_vec()));
+            }
+        }
+        let new_anchors = (self.mark_anchors..self.anchors.len())
+            .map(|i| (self.anchors[i], self.anchor_members[i].clone()))
+            .collect();
+        let delta =
+            OnlineGraphDelta { n_rows: self.n_rows, new_edges, member_appends, new_anchors };
+        self.mark_durable();
+        delta
     }
 
     /// Rebuilds a graph from an exported state; insertion resumes exactly
@@ -191,7 +252,35 @@ impl OnlineGraph {
         g.anchors = state.anchors;
         g.anchor_members = state.anchor_members;
         g.edges = state.edges;
+        // Restored state came from a durable record: only growth past it
+        // belongs in the next delta.
+        g.mark_durable();
         g
+    }
+}
+
+impl OnlineGraphState {
+    /// Applies one exported delta in place: pure appends, so replaying a
+    /// base snapshot plus every delta in export order is bit-identical to
+    /// the live graph's [`OnlineGraph::snapshot`] at the same point.
+    ///
+    /// # Panics
+    /// Panics if the delta references an anchor index this state does not
+    /// have or rewinds `n_rows` — both mean the delta was exported against
+    /// a different base (callers decoding untrusted bytes must validate
+    /// first).
+    pub fn apply_delta(&mut self, delta: &OnlineGraphDelta) {
+        assert!(delta.n_rows >= self.n_rows, "delta rewinds n_rows");
+        self.n_rows = delta.n_rows;
+        self.edges.extend_from_slice(&delta.new_edges);
+        for (idx, members) in &delta.member_appends {
+            assert!((*idx as usize) < self.anchor_members.len(), "delta anchor out of range");
+            self.anchor_members[*idx as usize].extend_from_slice(members);
+        }
+        for (anchor, members) in &delta.new_anchors {
+            self.anchors.push(*anchor);
+            self.anchor_members.push(members.clone());
+        }
     }
 }
 
@@ -318,6 +407,55 @@ mod tests {
         let mut og = OnlineGraph::new(4);
         og.insert_rows(&FrozenTable::freeze(&t), &cfg);
         assert_eq!(og.n_anchors(), target_anchor_count(600));
+    }
+
+    #[test]
+    fn delta_replay_reproduces_the_snapshot_exactly() {
+        let t = interleaved(200);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let mut g = OnlineGraph::new(4);
+        // Base at row 40, then per-batch deltas replayed onto it.
+        g.insert_rows(&FrozenTable::freeze(&prefix_table(&t, 40)), &cfg);
+        let mut replayed = g.snapshot();
+        g.mark_durable();
+        for end in [55usize, 90, 130, 131, 200] {
+            g.insert_rows(&FrozenTable::freeze(&prefix_table(&t, end)), &cfg);
+            let delta = g.export_delta();
+            replayed.apply_delta(&delta);
+            assert_eq!(replayed, g.snapshot(), "after replaying up to row {end}");
+        }
+    }
+
+    #[test]
+    fn export_delta_is_empty_after_no_growth() {
+        let t = clustered(80);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        let mut g = OnlineGraph::new(4);
+        g.insert_rows(&FrozenTable::freeze(&t), &cfg);
+        let _ = g.export_delta();
+        let idle = g.export_delta();
+        assert!(idle.new_edges.is_empty());
+        assert!(idle.member_appends.is_empty());
+        assert!(idle.new_anchors.is_empty());
+        assert_eq!(idle.n_rows, 80);
+    }
+
+    #[test]
+    fn restored_graph_deltas_match_uninterrupted_ones() {
+        let t = interleaved(160);
+        let cfg = SimilarityConfig::uniform(vec![0]);
+        // Uninterrupted: base at 60, one delta covering 60..160.
+        let mut live = OnlineGraph::new(4);
+        live.insert_rows(&FrozenTable::freeze(&prefix_table(&t, 60)), &cfg);
+        live.mark_durable();
+        live.insert_rows(&FrozenTable::freeze(&t), &cfg);
+        let live_delta = live.export_delta();
+        // Crashed-and-restored from the row-60 snapshot.
+        let mut first = OnlineGraph::new(4);
+        first.insert_rows(&FrozenTable::freeze(&prefix_table(&t, 60)), &cfg);
+        let mut resumed = OnlineGraph::from_snapshot(4, first.snapshot());
+        resumed.insert_rows(&FrozenTable::freeze(&t), &cfg);
+        assert_eq!(resumed.export_delta(), live_delta);
     }
 
     #[test]

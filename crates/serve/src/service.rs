@@ -35,7 +35,9 @@ use cm_pipeline::{DegradationReport, IncrementalConfig, IncrementalCurator, Serv
 
 use crate::guards::{QualityGuards, QuarantinedBatch};
 use crate::queue::{Admission, AdmissionQueue, QueueConfig, QueuedBatch};
-use crate::snapshot::{self, PendingWork, ServeTelemetry};
+use crate::snapshot::{
+    self, CheckpointFormat, CheckpointStore, CompactionPolicy, PendingWork, ServeTelemetry,
+};
 
 /// Full configuration of a service run.
 #[derive(Debug, Clone)]
@@ -69,6 +71,12 @@ pub struct ServeConfig {
     pub policy: AccessPolicy,
     /// Where to persist checkpoints; `None` disables checkpointing.
     pub checkpoint_path: Option<PathBuf>,
+    /// On-disk checkpoint representation (`CM_CKPT_FORMAT`): the wire
+    /// base+delta log (default) or the legacy whole-file JSON.
+    pub checkpoint_format: CheckpointFormat,
+    /// When the delta log is folded back into a fresh base
+    /// (`CM_CKPT_COMPACT_TICKS`, `CM_CKPT_COMPACT_FACTOR`).
+    pub compaction: CompactionPolicy,
     /// Crash injection (`CM_CRASH_AT`): exit after the k-th batch ingest
     /// *before* that tick's checkpoint is written, so a resumed run
     /// reprocesses the interrupted tick. Clear it on the resume run.
@@ -95,12 +103,15 @@ impl ServeConfig {
             plan: FaultPlan::disabled(),
             policy: AccessPolicy { breaker_cooldown_ms: 400, ..AccessPolicy::default() },
             checkpoint_path: None,
+            checkpoint_format: CheckpointFormat::Wire,
+            compaction: CompactionPolicy::default(),
             crash_at: None,
         }
     }
 
     /// Applies the serving environment knobs: `CM_BATCH_ROWS`,
-    /// `CM_QUEUE_DEPTH`, `CM_MEM_BUDGET`, `CM_CRASH_AT`, `CM_FAULTS`.
+    /// `CM_QUEUE_DEPTH`, `CM_MEM_BUDGET`, `CM_CRASH_AT`, `CM_FAULTS`,
+    /// `CM_CKPT_FORMAT`, `CM_CKPT_COMPACT_TICKS`, `CM_CKPT_COMPACT_FACTOR`.
     pub fn with_env_overrides(mut self) -> CmResult<Self> {
         const LOC: &str = "ServeConfig::with_env_overrides";
         let bad = |knob: &str, v: &str| {
@@ -117,15 +128,48 @@ impl ServeConfig {
         if let Ok(v) = std::env::var("CM_CRASH_AT") {
             self.crash_at = Some(v.trim().parse().map_err(|_| bad("CM_CRASH_AT", &v))?);
         }
+        if let Ok(v) = std::env::var("CM_CKPT_FORMAT") {
+            self.checkpoint_format = CheckpointFormat::parse(&v)?;
+        }
+        if let Ok(v) = std::env::var("CM_CKPT_COMPACT_TICKS") {
+            let ticks: usize = v.trim().parse().map_err(|_| bad("CM_CKPT_COMPACT_TICKS", &v))?;
+            self.compaction.every_ticks = ticks.max(1);
+        }
+        if let Ok(v) = std::env::var("CM_CKPT_COMPACT_FACTOR") {
+            let factor: f64 = v.trim().parse().map_err(|_| bad("CM_CKPT_COMPACT_FACTOR", &v))?;
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(CmError::new(
+                    ErrorKind::InvalidConfig,
+                    LOC,
+                    format!("CM_CKPT_COMPACT_FACTOR {v:?} must be a finite number >= 1"),
+                ));
+            }
+            self.compaction.max_log_factor = factor;
+        }
         self.queue.budget = cm_shard::MemBudget::from_env()?;
         self.plan = FaultPlan::from_env()?;
         Ok(self)
     }
 }
 
+/// Per-tick checkpoint write cost, recorded so the serve bench can plot
+/// the flat (delta-log) vs linear (whole-file) persistence curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointTickCost {
+    /// Tick at which this write happened.
+    pub tick: usize,
+    /// Wall-clock cost of capture + encode + write.
+    pub elapsed: Duration,
+    /// Bytes written to the checkpoint file this tick.
+    pub bytes_written: usize,
+    /// Whether this write was a full base snapshot (fresh file or
+    /// compaction) rather than a delta append.
+    pub wrote_base: bool,
+}
+
 /// Wall-clock accounting of one run, reported out-of-band (never part of
 /// deterministic fixtures).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeTiming {
     /// Whole `run` call.
     pub total: Duration,
@@ -136,8 +180,12 @@ pub struct ServeTiming {
     pub generation: Duration,
     /// Core curation: previews, ingests, label-model refits.
     pub curation: Duration,
-    /// Checkpoint capture + serialization + write.
+    /// Checkpoint capture + serialization + write (all ticks).
     pub checkpoint: Duration,
+    /// Total bytes written to the checkpoint file.
+    pub checkpoint_bytes: usize,
+    /// Per-tick checkpoint write costs, in tick order.
+    pub checkpoint_ticks: Vec<CheckpointTickCost>,
 }
 
 impl ServeTiming {
@@ -274,15 +322,20 @@ pub fn run(config: &ServeConfig, par: &ParConfig) -> CmResult<RunOutcome> {
     let mut stream = world.stream(ModalityKind::Image, config.total_rows, ds ^ 0x2);
 
     // Arrival-dependent state: resumed from a checkpoint when one exists.
-    let existing = config
-        .checkpoint_path
-        .as_ref()
-        .filter(|p| p.exists())
-        .map(std::fs::read_to_string)
-        .transpose()
-        .map_err(|e| {
-            CmError::new(ErrorKind::InvalidConfig, LOC, format!("read checkpoint: {e}"))
-        })?;
+    // The store recovers either format (wire base + delta log, torn tails
+    // truncated by checksum; or a legacy JSON whole-file checkpoint).
+    let mut store = None;
+    let mut existing = None;
+    if let Some(path) = &config.checkpoint_path {
+        let (s, cp) = CheckpointStore::open(
+            path,
+            config.checkpoint_format,
+            config.compaction,
+            world.schema(),
+        )?;
+        store = Some(s);
+        existing = cp;
+    }
     let (
         mut curator,
         mut queue,
@@ -293,8 +346,7 @@ pub fn run(config: &ServeConfig, par: &ParConfig) -> CmResult<RunOutcome> {
         mut rows_generated,
     );
     match existing {
-        Some(text_cp) => {
-            let cp = snapshot::load(&text_cp, world.schema())?;
+        Some(cp) => {
             // Stream fast-forward: clean draws consume the same world-RNG
             // count as fault-injected ones, so discarding the already-
             // generated rows re-aligns the generation cursor; the access
@@ -337,6 +389,11 @@ pub fn run(config: &ServeConfig, par: &ParConfig) -> CmResult<RunOutcome> {
     }
 
     timing.setup = setup.elapsed();
+
+    // Telemetry vector lengths at the last durable record: delta records
+    // carry only what grew past these marks.
+    let mut stats_durable = telemetry.batch_stats.len();
+    let mut lat_durable = telemetry.latencies_ms.len();
 
     // Termination is structural (finite stream, one processed item per
     // tick, single bounded retry per quarantined batch); the hard cap is
@@ -422,25 +479,52 @@ pub fn run(config: &ServeConfig, par: &ParConfig) -> CmResult<RunOutcome> {
             return Ok(RunOutcome::Crashed { at_tick: tick });
         }
 
-        if let Some(path) = &config.checkpoint_path {
+        if let Some(store) = store.as_mut() {
             let cpw = Stopwatch::start();
             telemetry.shed = queue.report().clone();
-            let cp = snapshot::capture(
+            let pending = PendingWork {
+                queue: queue.items().cloned().collect(),
+                deferred: deferred.clone(),
+                quarantine: quarantine.clone(),
+            };
+            // Steady state appends one O(batch) delta record; a full
+            // O(pool) base is written only on a fresh file or when the
+            // compaction policy folds the log back down. Both advance the
+            // curator's durable marks.
+            let (bytes_written, wrote_base) = if store.needs_base() {
+                let cp = snapshot::capture(
+                    tick,
+                    rows_generated,
+                    access.export_state(),
+                    curator.export_state(),
+                    pending,
+                    telemetry.clone(),
+                );
+                (store.commit_base(&cp)?, true)
+            } else {
+                let delta = snapshot::capture_delta(
+                    tick,
+                    rows_generated,
+                    access.export_state(),
+                    curator.export_delta(),
+                    pending,
+                    &telemetry,
+                    stats_durable,
+                    lat_durable,
+                );
+                (store.commit_delta(&delta)?, false)
+            };
+            stats_durable = telemetry.batch_stats.len();
+            lat_durable = telemetry.latencies_ms.len();
+            let elapsed = cpw.elapsed();
+            timing.checkpoint += elapsed;
+            timing.checkpoint_bytes += bytes_written;
+            timing.checkpoint_ticks.push(CheckpointTickCost {
                 tick,
-                rows_generated,
-                access.export_state(),
-                curator.export_state(),
-                PendingWork {
-                    queue: queue.items().cloned().collect(),
-                    deferred: deferred.clone(),
-                    quarantine: quarantine.clone(),
-                },
-                telemetry.clone(),
-            );
-            std::fs::write(path, cp.save()).map_err(|e| {
-                CmError::new(ErrorKind::InvalidConfig, LOC, format!("write checkpoint: {e}"))
-            })?;
-            timing.checkpoint += cpw.elapsed();
+                elapsed,
+                bytes_written,
+                wrote_base,
+            });
         }
     }
 

@@ -1,0 +1,478 @@
+//! # cm-wire
+//!
+//! A compact binary codec for durable state, built with the same hermetic
+//! discipline as `cm-json`: zero registry dependencies, deterministic
+//! output, and decoders that return errors instead of panicking on any
+//! input whatsoever.
+//!
+//! Three layers:
+//!
+//! - **Primitives** ([`Writer`]/[`Reader`]) — LEB128 varints for unsigned
+//!   ints, zigzag varints for signed ints, raw little-endian IEEE-754 bits
+//!   for floats (NaN payloads and ±Inf round-trip bit-exactly, which JSON
+//!   cannot do), and length-prefixed byte strings.
+//! - **Frames** ([`append_frame`]/[`read_frame`]) — a tagged,
+//!   length-prefixed record with a trailing FNV-1a 64 checksum over the
+//!   tag, length, and payload. A truncated or bit-flipped frame is
+//!   *detected*, not misparsed: [`read_frame`] fails cleanly and the
+//!   caller can discard the torn tail of an append-only log and resume
+//!   from the last complete record.
+//! - **Headers** ([`write_header`]/[`read_header`]) — a 4-byte magic plus
+//!   a format-version varint at the front of a stream, so version drift is
+//!   an explicit error rather than a garbage decode.
+//!
+//! The primary consumer is `cm-serve`'s incremental checkpoint log
+//! (base snapshot + append-only per-tick deltas); the codec itself knows
+//! nothing about checkpoints and is reusable for any framed binary state.
+
+use std::fmt;
+
+/// Maximum encoded length of a u64 LEB128 varint.
+const MAX_VARINT_BYTES: usize = 10;
+
+/// Decode failure: position and reason. Never a panic — every decoder in
+/// this crate returns `WireResult` on arbitrary (including adversarial)
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset in the reader at which the failure was detected.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decoders.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// FNV-1a 64 over a byte slice — the per-frame checksum primitive (also
+/// usable standalone for cheap content digests).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// --- writer --------------------------------------------------------------
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Encoded length so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Unsigned LEB128 varint.
+    pub fn u64v(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// `usize` as an unsigned varint.
+    pub fn usizev(&mut self, v: usize) {
+        self.u64v(v as u64);
+    }
+
+    /// `u32` as an unsigned varint.
+    pub fn u32v(&mut self, v: u32) {
+        self.u64v(u64::from(v));
+    }
+
+    /// Signed zigzag varint: small magnitudes of either sign stay short.
+    pub fn i64z(&mut self, v: i64) {
+        self.u64v(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// `f64` as its raw little-endian IEEE-754 bits: every value —
+    /// including NaN payloads and ±Inf — round-trips bit-exactly.
+    pub fn f64b(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// `f32` as raw little-endian bits.
+    pub fn f32b(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usizev(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+// --- reader --------------------------------------------------------------
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> WireResult<T> {
+        Err(WireError { offset: self.pos, message: message.into() })
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => self.err(format!("truncated: wanted {n} bytes, had {}", self.remaining())),
+        }
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.err("truncated: wanted 1 byte, had 0"),
+        }
+    }
+
+    /// Bool from one byte; anything but 0/1 is an error.
+    pub fn bool(&mut self) -> WireResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => self.err(format!("invalid bool byte {b:#04x}")),
+        }
+    }
+
+    /// Unsigned LEB128 varint.
+    pub fn u64v(&mut self) -> WireResult<u64> {
+        let mut v: u64 = 0;
+        for i in 0..MAX_VARINT_BYTES {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7f);
+            // The 10th byte may only carry the single remaining bit.
+            if i == MAX_VARINT_BYTES - 1 && bits > 1 {
+                return self.err("varint overflows u64");
+            }
+            v |= bits << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        self.err("varint longer than 10 bytes")
+    }
+
+    /// `usize` from an unsigned varint, rejecting values over `usize::MAX`.
+    pub fn usizev(&mut self) -> WireResult<usize> {
+        let v = self.u64v()?;
+        usize::try_from(v).or_else(|_| self.err(format!("varint {v} overflows usize")))
+    }
+
+    /// `u32` from an unsigned varint, range-checked.
+    pub fn u32v(&mut self) -> WireResult<u32> {
+        let v = self.u64v()?;
+        u32::try_from(v).or_else(|_| self.err(format!("varint {v} overflows u32")))
+    }
+
+    /// Signed zigzag varint.
+    pub fn i64z(&mut self) -> WireResult<i64> {
+        let v = self.u64v()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// `f64` from raw little-endian bits (bit-exact, NaN/Inf included).
+    pub fn f64b(&mut self) -> WireResult<f64> {
+        let raw = self.take(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    /// `f32` from raw little-endian bits.
+    pub fn f32b(&mut self) -> WireResult<f32> {
+        let raw = self.take(4)?;
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(raw);
+        Ok(f32::from_bits(u32::from_le_bytes(bytes)))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self) -> WireResult<&'a [u8]> {
+        let n = self.usizev()?;
+        if n > self.remaining() {
+            return self
+                .err(format!("truncated: string claims {n} bytes, had {}", self.remaining()));
+        }
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> WireResult<String> {
+        let offset = self.pos;
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError { offset, message: "invalid UTF-8 string".to_owned() })
+    }
+}
+
+// --- headers -------------------------------------------------------------
+
+/// Writes a stream header: 4 magic bytes + a format-version varint.
+pub fn write_header(out: &mut Writer, magic: &[u8; 4], version: u32) {
+    out.buf.extend_from_slice(magic);
+    out.u32v(version);
+}
+
+/// Reads and validates a stream header, returning the format version.
+///
+/// # Errors
+/// Fails on truncation or a magic mismatch; the caller owns the version
+/// check so it can phrase its own compatibility error.
+pub fn read_header(reader: &mut Reader<'_>, magic: &[u8; 4]) -> WireResult<u32> {
+    let offset = reader.pos();
+    let got = reader.take(4)?;
+    if got != magic {
+        return Err(WireError {
+            offset,
+            message: format!("bad magic {got:02x?} (expected {magic:02x?})"),
+        });
+    }
+    reader.u32v()
+}
+
+// --- frames --------------------------------------------------------------
+
+/// One decoded frame: a tag byte and its checksummed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Record-type tag.
+    pub tag: u8,
+    /// Verified payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Appends one frame: `tag`, payload-length varint, payload, then an
+/// FNV-1a 64 checksum (little-endian) over everything before it. Any
+/// single corrupted or missing byte makes [`read_frame`] fail.
+pub fn append_frame(out: &mut Writer, tag: u8, payload: &[u8]) {
+    let start = out.len();
+    out.u8(tag);
+    out.usizev(payload.len());
+    out.buf.extend_from_slice(payload);
+    let sum = fnv1a64(&out.buf[start..]);
+    out.buf.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Reads and verifies one frame.
+///
+/// # Errors
+/// Fails on truncation (tag, length, payload, or checksum cut short) and
+/// on checksum mismatch. On error the reader position is unspecified;
+/// callers recovering a torn log should remember the offset of the last
+/// good frame and discard everything after it.
+pub fn read_frame<'a>(reader: &mut Reader<'a>) -> WireResult<Frame<'a>> {
+    let start = reader.pos();
+    let tag = reader.u8()?;
+    let len = reader.usizev()?;
+    if len > reader.remaining() {
+        return Err(WireError {
+            offset: reader.pos(),
+            message: format!(
+                "truncated frame: payload claims {len} bytes, had {}",
+                reader.remaining()
+            ),
+        });
+    }
+    let payload_at = reader.pos();
+    let payload = reader.take(len)?;
+    let framed = &reader.buf[start..reader.pos()];
+    let expected = fnv1a64(framed);
+    let raw = reader.take(8)?;
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(raw);
+    if u64::from_le_bytes(sum) != expected {
+        return Err(WireError {
+            offset: payload_at,
+            message: format!("frame checksum mismatch (tag {tag:#04x}, {len}-byte payload)"),
+        });
+    }
+    Ok(Frame { tag, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_at_the_edges() {
+        let mut w = Writer::new();
+        let values = [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            w.u64v(v);
+        }
+        let mut r = Reader::new(w.as_bytes());
+        for &v in &values {
+            assert_eq!(r.u64v().unwrap(), v);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed_extremes() {
+        let mut w = Writer::new();
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63];
+        for &v in &values {
+            w.i64z(v);
+        }
+        let mut r = Reader::new(w.as_bytes());
+        for &v in &values {
+            assert_eq!(r.i64z().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly_including_nan() {
+        let mut w = Writer::new();
+        let specials =
+            [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0];
+        for &v in &specials {
+            w.f64b(v);
+        }
+        let mut r = Reader::new(w.as_bytes());
+        for &v in &specials {
+            assert_eq!(r.f64b().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn frames_detect_any_single_bit_flip() {
+        let mut w = Writer::new();
+        append_frame(&mut w, 7, b"hello, frame");
+        let clean = w.as_bytes().to_vec();
+        assert_eq!(read_frame(&mut Reader::new(&clean)).unwrap().payload, b"hello, frame");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_frame(&mut Reader::new(&bad)).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let mut w = Writer::new();
+        append_frame(&mut w, 1, &[0xAB; 32]);
+        let clean = w.as_bytes();
+        for cut in 0..clean.len() {
+            assert!(read_frame(&mut Reader::new(&clean[..cut])).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn header_rejects_wrong_magic() {
+        let mut w = Writer::new();
+        write_header(&mut w, b"CMW1", 3);
+        let mut r = Reader::new(w.as_bytes());
+        assert_eq!(read_header(&mut r, b"CMW1").unwrap(), 3);
+        let mut r = Reader::new(w.as_bytes());
+        assert!(read_header(&mut r, b"XXXX").is_err());
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage() {
+        // Deterministic garbage: every decode either succeeds or errors.
+        let garbage: Vec<u8> =
+            (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for start in 0..64 {
+            let mut r = Reader::new(&garbage[start..]);
+            let _ = read_frame(&mut r);
+            let mut r = Reader::new(&garbage[start..]);
+            let _ = r.u64v();
+            let _ = r.str();
+            let _ = r.bool();
+        }
+    }
+}

@@ -133,6 +133,7 @@ fn main() {
             println!("{}", report.to_json().to_string_pretty());
             // Wall-clock accounting is real time, not simulated: stderr
             // only, never part of the pinned fixture.
+            let bases = timing.checkpoint_ticks.iter().filter(|t| t.wrote_base).count();
             eprintln!(
                 "timing: total {:?}, setup {:?}, generation {:?}, curation {:?}, \
                  checkpoint {:?}, serving envelope {:?} ({:.2}% of curation)",
@@ -143,6 +144,13 @@ fn main() {
                 timing.checkpoint,
                 timing.envelope(),
                 timing.overhead_pct()
+            );
+            eprintln!(
+                "checkpoint: {} bytes over {} writes ({} base rewrites, {} delta appends)",
+                timing.checkpoint_bytes,
+                timing.checkpoint_ticks.len(),
+                bases,
+                timing.checkpoint_ticks.len() - bases
             );
         }
         Ok(RunOutcome::Crashed { at_tick }) => {

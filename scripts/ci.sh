@@ -72,6 +72,31 @@ diff /tmp/cm_serve_drill_resume.out tests/fixtures/serve_drill.out
 rm -f "$SERVE_CKPT"
 echo "    serve drill identical across clean and crash/restart runs"
 
+echo "==> serve smoke: delta-log resume with a torn tail"
+# The wire checkpoint is a base snapshot + append-only delta log. Kill
+# mid-run (compaction deferred so the tail is a delta record), then tear
+# the last record the way a crash mid-append would; resumes at both
+# thread counts must recover to the last complete record and still match
+# the pinned fixture byte for byte.
+rm -f "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_CRASH_AT=4 CM_CKPT_COMPACT_TICKS=10000 CM_THREADS=1 \
+    cargo run -q --release --example serve_drill > /dev/null
+test -f "$SERVE_CKPT" || { echo "killed run left no delta log"; exit 1; }
+head -c 4 "$SERVE_CKPT" | grep -q 'CMCK' || { echo "checkpoint is not a wire delta log"; exit 1; }
+truncate -s -7 "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_THREADS=1 cargo run -q --release --example serve_drill \
+    > /tmp/cm_serve_drill_torn_t1.out
+diff /tmp/cm_serve_drill_torn_t1.out tests/fixtures/serve_drill.out
+rm -f "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_CRASH_AT=4 CM_CKPT_COMPACT_TICKS=10000 CM_THREADS=4 \
+    cargo run -q --release --example serve_drill > /dev/null
+truncate -s -7 "$SERVE_CKPT"
+CM_CHECKPOINT="$SERVE_CKPT" CM_THREADS=4 cargo run -q --release --example serve_drill \
+    > /tmp/cm_serve_drill_torn_t4.out
+diff /tmp/cm_serve_drill_torn_t4.out tests/fixtures/serve_drill.out
+rm -f "$SERVE_CKPT"
+echo "    delta-log resume identical after torn-tail kills at CM_THREADS=1 and 4"
+
 echo "==> bench smoke: serve group"
 # One end-to-end service run (compile + run guard; the committed
 # results/BENCH_serve.json comes from an uncapped run).

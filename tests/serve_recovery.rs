@@ -151,6 +151,145 @@ fn checkpointed_and_uncheckpointed_runs_agree() {
 }
 
 #[test]
+fn torn_or_corrupt_tail_recovers_to_the_previous_durable_record_at_every_offset() {
+    // Satellite of the delta-log checkpoint: a crash mid-append leaves a
+    // truncated or garbled final record. Recovery must land exactly on
+    // the previous durable record — for *every* byte offset of the tail —
+    // and a service resumed off the torn log must finish bit-identical to
+    // an uninterrupted run.
+    let par = ParConfig::from_env();
+    let path = scratch_checkpoint("tail");
+    let _ = std::fs::remove_file(&path);
+    let mut config = serve_config(11);
+    config.checkpoint_path = Some(path.clone());
+    // Keep the whole run as one base + deltas so the tail is a delta.
+    config.compaction.every_ticks = 10_000;
+    config.compaction.max_log_factor = 1e9;
+
+    let reference = run_completed(&config, &par);
+    let reference_json = reference.to_json().to_string_pretty();
+
+    let bytes = std::fs::read(&path).expect("checkpoint log exists");
+    let world = World::build(WorldConfig::new(task(), 11));
+    let schema = world.schema();
+    let full = serve::snapshot::load_any(&bytes, schema).expect("intact log recovers");
+    assert_eq!(full.valid_bytes, bytes.len(), "intact log must be fully valid");
+    assert!(full.deltas >= 2, "run too short to leave a delta tail");
+    // Dropping one byte makes the final record torn; its recovery point
+    // is the start of that record.
+    let last_start =
+        serve::snapshot::load_any(&bytes[..bytes.len() - 1], schema).expect("torn").valid_bytes;
+    assert!(last_start < bytes.len());
+
+    for cut in last_start..bytes.len() {
+        let rec = serve::snapshot::load_any(&bytes[..cut], schema)
+            .expect("truncated tail must still recover");
+        assert_eq!(rec.valid_bytes, last_start, "cut at {cut} recovered past the torn record");
+        assert_eq!(rec.deltas, full.deltas - 1, "cut at {cut} kept a torn delta");
+    }
+    for byte in last_start..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[byte] ^= 0x10;
+        let rec = serve::snapshot::load_any(&bad, schema).expect("corrupt tail must still recover");
+        assert_eq!(rec.valid_bytes, last_start, "flip at {byte} went undetected");
+    }
+
+    // Full service resumes off sampled torn logs: bit-identical reports.
+    for cut in [last_start + 1, last_start + (bytes.len() - last_start) / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).expect("write torn log");
+        let resumed = run_completed(&config, &par);
+        assert_eq!(
+            resumed.to_json().to_string_pretty(),
+            reference_json,
+            "resume from tail cut at {cut} diverged from the uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kill_mid_append_resumes_from_the_last_complete_record() {
+    // A crash can land while a delta record is half-written. Simulate the
+    // torn append on a real mid-run log and resume through it.
+    let par = ParConfig::from_env();
+    let path = scratch_checkpoint("midappend");
+    let _ = std::fs::remove_file(&path);
+    let mut config = serve_config(11);
+    config.checkpoint_path = Some(path.clone());
+
+    let reference = run_completed(&config, &par);
+    let reference_json = reference.to_json().to_string_pretty();
+    let mid = (reference.batches.len() / 2).max(2);
+
+    let _ = std::fs::remove_file(&path);
+    let mut crashing = config.clone();
+    crashing.crash_at = Some(mid);
+    assert!(matches!(
+        serve::run(&crashing, &par).expect("crashing run errored"),
+        RunOutcome::Crashed { .. }
+    ));
+
+    // Simulate the kill landing mid-`commit_delta`: the log gains a tail
+    // of record-shaped bytes that never got their checksum — any torn
+    // suffix behaves the same, so half the file's own prefix serves.
+    let bytes = std::fs::read(&path).expect("mid-run log exists");
+    let world = World::build(WorldConfig::new(task(), 11));
+    let intact = serve::snapshot::load_any(&bytes, world.schema()).expect("intact log recovers");
+    assert_eq!(intact.valid_bytes, bytes.len());
+    let torn = [&bytes[..], &bytes[..bytes.len() / 2]].concat();
+    std::fs::write(&path, &torn).expect("write torn log");
+    let rec = serve::snapshot::load_any(&torn, world.schema()).expect("torn log recovers");
+    assert_eq!(rec.valid_bytes, bytes.len(), "torn append must be discarded whole");
+
+    let resumed = run_completed(&config, &par);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        resumed.to_json().to_string_pretty(),
+        reference_json,
+        "resume through a torn append diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn legacy_json_checkpoints_resume_and_upgrade_to_the_wire_log() {
+    // Old runs persisted whole-file JSON. The store must resume off one
+    // and migrate the file to the wire log on its next write.
+    let par = ParConfig::from_env();
+    let path = scratch_checkpoint("legacy");
+    let _ = std::fs::remove_file(&path);
+    let mut json_config = serve_config(5);
+    json_config.checkpoint_path = Some(path.clone());
+    json_config.checkpoint_format = serve::CheckpointFormat::Json;
+
+    let reference = run_completed(&json_config, &par);
+    let reference_json = reference.to_json().to_string_pretty();
+    let mid = (reference.batches.len() / 2).max(1);
+
+    let _ = std::fs::remove_file(&path);
+    let mut crashing = json_config.clone();
+    crashing.crash_at = Some(mid);
+    assert!(matches!(
+        serve::run(&crashing, &par).expect("crashing run errored"),
+        RunOutcome::Crashed { .. }
+    ));
+    let first = std::fs::read(&path).expect("json checkpoint exists")[0];
+    assert_eq!(first, b'{', "JSON-format run must leave a JSON file");
+
+    // Resume in the (default) wire format off the legacy JSON file.
+    let mut wire_config = json_config.clone();
+    wire_config.checkpoint_format = serve::CheckpointFormat::Wire;
+    let resumed = run_completed(&wire_config, &par);
+    assert_eq!(
+        resumed.to_json().to_string_pretty(),
+        reference_json,
+        "wire-format resume off a legacy JSON checkpoint diverged"
+    );
+    let bytes = std::fs::read(&path).expect("checkpoint exists");
+    assert_eq!(&bytes[..4], b"CMCK", "resumed run must have migrated the file to the wire log");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn crash_under_fault_storm_still_resumes_bit_identically() {
     // The hard case: breaker state, fault draws, and stale snapshots are
     // all mid-flight when the crash lands.
