@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
+use crate::lint_spec::validate_lint_spec_source;
 use crate::spec::validate_spec_source;
 use crate::CheckRule;
 
@@ -88,7 +89,13 @@ pub fn run_corpus(dir: &Path) -> CorpusOutcome {
                 out.rules_covered.insert(e.rule.clone());
             }
         }
-        let (_, violations) = validate_spec_source(&source, &name);
+        // Inputs named after the lint-effects sanction spec exercise its
+        // dedicated validator; everything else is an experiment spec.
+        let violations = if name.contains("lint_effects") {
+            validate_lint_spec_source(&source, &name)
+        } else {
+            validate_spec_source(&source, &name).1
+        };
         let got: Vec<Expected> = violations
             .iter()
             .map(|v| Expected { line: v.line(), col: v.col(), rule: v.rule.name().to_owned() })

@@ -30,6 +30,7 @@ use std::fmt;
 
 pub mod artifact;
 pub mod corpus;
+pub mod lint_spec;
 pub mod report;
 pub mod spec;
 
@@ -37,6 +38,7 @@ pub use artifact::{
     check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix,
     FusionKind, FusionPlan,
 };
+pub use lint_spec::validate_lint_spec_source;
 pub use report::report_json;
 pub use spec::{validate_spec_source, ExperimentSpec, ScenarioSpec, ServeSpec, SpecLabelSource};
 
@@ -76,13 +78,20 @@ pub enum CheckRule {
     /// A spec field whose value names something that does not exist
     /// (task, feature set, fusion strategy, ...) or is out of range.
     SpecValue,
+    /// A lint-effects sanction spec field that is missing, unknown, or
+    /// of the wrong type (see [`lint_spec`]).
+    LintSpecField,
+    /// A lint-effects sanction value that is well-typed but wrong: an
+    /// unsupported version, an empty path/reason, a non-relative path,
+    /// or a duplicate entry.
+    LintSpecValue,
 }
 
 impl CheckRule {
     /// Every rule, in declaration order — the coverage contract the spec
     /// corpus self-test asserts against (each must have a positive
     /// fixture).
-    pub const ALL: [CheckRule; 14] = [
+    pub const ALL: [CheckRule; 16] = [
         CheckRule::SchemaTableMismatch,
         CheckRule::VocabIndexOutOfBounds,
         CheckRule::EmbeddingDimMismatch,
@@ -97,6 +106,8 @@ impl CheckRule {
         CheckRule::SpecSyntax,
         CheckRule::SpecField,
         CheckRule::SpecValue,
+        CheckRule::LintSpecField,
+        CheckRule::LintSpecValue,
     ];
 
     /// Stable kebab-case rule name (used in reports and tests).
@@ -117,6 +128,8 @@ impl CheckRule {
             CheckRule::SpecSyntax => "spec-syntax",
             CheckRule::SpecField => "spec-field",
             CheckRule::SpecValue => "spec-value",
+            CheckRule::LintSpecField => "lint-spec-field",
+            CheckRule::LintSpecValue => "lint-spec-value",
         }
     }
 }

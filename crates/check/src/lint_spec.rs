@@ -1,0 +1,299 @@
+//! Span-aware validation for `specs/lint_effects.json` — the declarative
+//! sanction list the `cm-lint` effect audit runs against.
+//!
+//! The lint engine itself parses the file tolerantly (a malformed spec
+//! degrades to *no* sanctions, which makes the audit noisier, never
+//! quieter). This validator is the strict side of that contract: `xtask
+//! validate` and CI run it so a typo'd kind name or an empty reason is a
+//! build-time diagnostic with an exact `path:line:col`, not a silent
+//! widening of the audit.
+//!
+//! ## Spec format
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "sanctions": {
+//!     "env":     [ { "path": "crates/par/src/lib.rs", "reason": "..." } ],
+//!     "fs":      [ ... ],
+//!     "clock":   [ ... ],
+//!     "entropy": [ ... ]
+//!   }
+//! }
+//! ```
+//!
+//! Rules raised here:
+//! - [`CheckRule::SpecSyntax`] — the file is not valid JSON;
+//! - [`CheckRule::LintSpecField`] — structural problems: unknown or
+//!   missing fields, wrong value types, unknown effect kinds;
+//! - [`CheckRule::LintSpecValue`] — well-typed but wrong values: an
+//!   unsupported `version`, an empty `path`/`reason`, an absolute or
+//!   parent-escaping path, backslash separators, or a duplicate path
+//!   within one kind.
+
+use cm_json::spanned::offset_span;
+use cm_json::JsonNode;
+use cm_span::Span;
+
+use crate::{CheckRule, Violation};
+
+/// Top-level fields a lint-effects spec may carry.
+const TOP_FIELDS: &[&str] = &["version", "sanctions"];
+
+/// The effect kinds `cm-lint` audits; `sanctions` keys must come from
+/// this set (matching `cm_lint::effects::EffectKind`).
+const KINDS: &[&str] = &["env", "fs", "clock", "entropy"];
+
+/// Fields of one sanction entry.
+const ENTRY_FIELDS: &[&str] = &["path", "reason"];
+
+/// Validates a lint-effects spec, returning every violation with the
+/// exact source span of the offending token. An empty vec means the spec
+/// is clean.
+pub fn validate_lint_spec_source(source: &str, path: &str) -> Vec<Violation> {
+    let root = match JsonNode::parse(source) {
+        Ok(n) => n,
+        Err(e) => {
+            let span = offset_span(source, e.offset);
+            return vec![Violation::spanned(CheckRule::SpecSyntax, path, span, e.message)];
+        }
+    };
+    let mut w = Walker { path, out: Vec::new() };
+    w.spec(&root);
+    w.out
+}
+
+struct Walker<'a> {
+    path: &'a str,
+    out: Vec<Violation>,
+}
+
+impl Walker<'_> {
+    fn push(&mut self, rule: CheckRule, span: Span, message: impl Into<String>) {
+        self.out.push(Violation::spanned(rule, self.path, span, message));
+    }
+
+    /// Flags unknown keys of an object against an allow-list.
+    fn known_fields(&mut self, node: &JsonNode, allowed: &[&str], what: &str) {
+        if let Some(entries) = node.as_obj() {
+            for e in entries {
+                if !allowed.contains(&e.key.as_str()) {
+                    self.push(
+                        CheckRule::LintSpecField,
+                        e.key_span,
+                        format!("unknown {what} field {:?}", e.key),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A required non-empty string field of an entry object.
+    fn req_str<'n>(&mut self, node: &'n JsonNode, key: &str, what: &str) -> Option<&'n str> {
+        let Some(v) = node.get(key) else {
+            self.push(
+                CheckRule::LintSpecField,
+                node.span,
+                format!("{what} is missing required field {key:?}"),
+            );
+            return None;
+        };
+        let Some(s) = v.as_str() else {
+            self.push(
+                CheckRule::LintSpecField,
+                v.span,
+                format!("{what} {key:?} is {}, expected string", v.type_name()),
+            );
+            return None;
+        };
+        if s.trim().is_empty() {
+            self.push(CheckRule::LintSpecValue, v.span, format!("{what} {key:?} is empty"));
+            return None;
+        }
+        Some(s)
+    }
+
+    fn spec(&mut self, root: &JsonNode) {
+        if root.as_obj().is_none() {
+            self.push(
+                CheckRule::LintSpecField,
+                root.span,
+                format!("lint-effects spec root is {}, expected object", root.type_name()),
+            );
+            return;
+        }
+        self.known_fields(root, TOP_FIELDS, "lint-effects spec");
+        self.version(root);
+        self.sanctions(root);
+    }
+
+    fn version(&mut self, root: &JsonNode) {
+        let Some(v) = root.get("version") else {
+            self.push(
+                CheckRule::LintSpecField,
+                root.span,
+                "lint-effects spec is missing required field \"version\"",
+            );
+            return;
+        };
+        match v.as_usize() {
+            Some(1) => {}
+            Some(n) => self.push(
+                CheckRule::LintSpecValue,
+                v.span,
+                format!(
+                    "unsupported lint-effects spec version {n}; this validator knows version 1"
+                ),
+            ),
+            None => self.push(
+                CheckRule::LintSpecField,
+                v.span,
+                format!("\"version\" is {}, expected the integer 1", v.type_name()),
+            ),
+        }
+    }
+
+    fn sanctions(&mut self, root: &JsonNode) {
+        let Some(s) = root.get("sanctions") else {
+            self.push(
+                CheckRule::LintSpecField,
+                root.span,
+                "lint-effects spec is missing required field \"sanctions\"",
+            );
+            return;
+        };
+        let Some(entries) = s.as_obj() else {
+            self.push(
+                CheckRule::LintSpecField,
+                s.span,
+                format!(
+                    "\"sanctions\" is {}, expected an object keyed by effect kind",
+                    s.type_name()
+                ),
+            );
+            return;
+        };
+        for e in entries {
+            if !KINDS.contains(&e.key.as_str()) {
+                self.push(
+                    CheckRule::LintSpecField,
+                    e.key_span,
+                    format!(
+                        "unknown effect kind {:?}; the audit knows env, fs, clock, entropy",
+                        e.key
+                    ),
+                );
+                continue;
+            }
+            self.kind_list(&e.key, &e.value);
+        }
+    }
+
+    /// Validates one kind's sanction list: an array of `{path, reason}`
+    /// entries with relative, slash-separated, non-duplicate paths.
+    fn kind_list(&mut self, kind: &str, list: &JsonNode) {
+        let Some(items) = list.as_arr() else {
+            self.push(
+                CheckRule::LintSpecField,
+                list.span,
+                format!("sanction kind {kind:?} is {}, expected an array", list.type_name()),
+            );
+            return;
+        };
+        let mut seen: Vec<&str> = Vec::new();
+        for item in items {
+            if item.as_obj().is_none() {
+                self.push(
+                    CheckRule::LintSpecField,
+                    item.span,
+                    format!(
+                        "{kind:?} sanction is {}, expected an object with \"path\" and \"reason\"",
+                        item.type_name()
+                    ),
+                );
+                continue;
+            }
+            let what = format!("{kind:?} sanction");
+            self.known_fields(item, ENTRY_FIELDS, &what);
+            self.req_str(item, "reason", &what);
+            let Some(p) = self.req_str(item, "path", &what) else { continue };
+            let span = item.get("path").map_or(item.span, |n| n.span);
+            if p.starts_with('/') {
+                self.push(
+                    CheckRule::LintSpecValue,
+                    span,
+                    format!("{what} path {p:?} is absolute; sanctions are workspace-relative"),
+                );
+            } else if p.contains('\\') {
+                self.push(
+                    CheckRule::LintSpecValue,
+                    span,
+                    format!("{what} path {p:?} uses backslashes; use forward slashes"),
+                );
+            } else if p.split('/').any(|seg| seg == "..") {
+                self.push(
+                    CheckRule::LintSpecValue,
+                    span,
+                    format!("{what} path {p:?} escapes the workspace with \"..\""),
+                );
+            } else if seen.contains(&p) {
+                self.push(CheckRule::LintSpecValue, span, format!("duplicate {what} path {p:?}"));
+            } else {
+                seen.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_in_spec_shape_is_clean() {
+        let src = r#"{
+            "version": 1,
+            "sanctions": {
+                "env": [ { "path": "crates/par/src/lib.rs", "reason": "one CM_THREADS read" } ],
+                "fs": [], "clock": [], "entropy": []
+            }
+        }"#;
+        assert!(validate_lint_spec_source(src, "t").is_empty());
+    }
+
+    #[test]
+    fn every_defect_class_is_caught() {
+        let src = r#"{
+            "version": 2,
+            "extra": true,
+            "sanctions": {
+                "env": [
+                    { "path": "/abs/path.rs", "reason": "r" },
+                    { "path": "a.rs", "reason": "" },
+                    { "path": "a.rs" },
+                    { "path": "crates/x.rs", "reason": "r" },
+                    { "path": "crates/x.rs", "reason": "r" },
+                    "not-an-object"
+                ],
+                "net": []
+            }
+        }"#;
+        let out = validate_lint_spec_source(src, "t");
+        let fields = out.iter().filter(|v| v.rule == CheckRule::LintSpecField).count();
+        let values = out.iter().filter(|v| v.rule == CheckRule::LintSpecValue).count();
+        // field: "extra", missing reason, non-object entry, unknown kind "net"
+        assert_eq!(fields, 4, "{out:?}");
+        // value: version 2, absolute path, empty reason, two duplicate paths
+        // ("a.rs" again after the empty-reason entry, "crates/x.rs" again)
+        assert_eq!(values, 5, "{out:?}");
+        assert!(out.iter().all(|v| v.span.is_some()), "every violation carries a span");
+    }
+
+    #[test]
+    fn syntax_error_is_spanned() {
+        let out = validate_lint_spec_source("{ \"version\": 1, ", "t");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, CheckRule::SpecSyntax);
+        assert!(out[0].span.is_some());
+    }
+}

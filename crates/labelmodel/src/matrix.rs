@@ -118,22 +118,36 @@ impl LabelMatrix {
         let n_lfs = lfs.len();
         let names = lfs.iter().map(|lf| lf.name().to_owned()).collect();
         let mut votes = vec![0i8; n_rows * n_lfs];
-
-        // Freeze once per matrix: every LF then reads contiguous columns
-        // instead of dispatching through the schema per row.
-        let frozen = FrozenTable::freeze(table);
-        let work = n_rows.saturating_mul(n_lfs);
-        if work < PAR_THRESHOLD || n_rows < 2 {
-            fill_votes(&frozen, lfs, &mut votes, 0, n_rows);
-        } else {
-            let par = par.clone().with_min_chunk(MIN_ROWS_PER_CHUNK);
-            if let Err(e) = cm_par::par_chunks_mut(&par, &mut votes, n_lfs, |start, chunk| {
-                fill_votes_from(&frozen, lfs, chunk, start);
-            }) {
-                e.resume();
-            }
-        }
+        apply_into(table, lfs, &mut votes, par);
         Self { n_rows, n_lfs, votes, names }
+    }
+
+    /// Applies every LF to `table`, appending the votes in place — the
+    /// zero-copy segment path of the sharded driver. Bit-identical to
+    /// [`LabelMatrix::apply_with`] on `table` followed by
+    /// [`LabelMatrix::append_rows`], without the intermediate segment
+    /// matrix: same freeze, same parallel threshold, same chunking over
+    /// the same rows, writing straight into this matrix's buffer.
+    ///
+    /// # Panics
+    /// Panics unless `lfs` matches this matrix's columns; re-raises a
+    /// worker panic like [`LabelMatrix::apply_with`].
+    pub fn apply_append_with(
+        &mut self,
+        table: &FeatureTable,
+        lfs: &[Box<dyn LabelingFunction>],
+        par: &ParConfig,
+    ) {
+        assert_eq!(lfs.len(), self.n_lfs, "segment LF count mismatch");
+        assert!(
+            lfs.iter().map(|lf| lf.name()).eq(self.names.iter().map(String::as_str)),
+            "segment LF name mismatch"
+        );
+        let n_rows = table.len();
+        let base = self.votes.len();
+        self.votes.resize(base + n_rows * self.n_lfs, 0);
+        apply_into(table, lfs, &mut self.votes[base..], par);
+        self.n_rows += n_rows;
     }
 
     /// Builds a matrix from raw encodings (row-major).
@@ -317,12 +331,84 @@ impl LabelMatrix {
         LabelMatrix { n_rows, n_lfs: first.n_lfs, votes, names: first.names.clone() }
     }
 
+    /// An empty matrix over `names` with buffer space for `n_rows` rows
+    /// reserved up front — the destination for streaming appends
+    /// ([`LabelMatrix::append_rows`], [`LabelMatrix::push_row`]), which
+    /// then fill one allocation in place instead of gathering per-segment
+    /// matrices and copying them all again at the end.
+    pub fn with_row_capacity(n_rows: usize, names: Vec<String>) -> LabelMatrix {
+        let n_lfs = names.len();
+        LabelMatrix { n_rows: 0, n_lfs, votes: Vec::with_capacity(n_rows * n_lfs), names }
+    }
+
+    /// Appends `part`'s rows in place. Votes are pure per-row values, so
+    /// appending segment-by-segment is bit-identical to
+    /// [`LabelMatrix::concat`] over the same parts in the same order —
+    /// without holding every part resident at once.
+    ///
+    /// # Panics
+    /// Panics if `part` disagrees on LF columns.
+    pub fn append_rows(&mut self, part: &LabelMatrix) {
+        assert_eq!(part.n_lfs, self.n_lfs, "segment LF count mismatch");
+        assert_eq!(part.names, self.names, "segment LF name mismatch");
+        self.votes.extend_from_slice(&part.votes);
+        self.n_rows += part.n_rows;
+    }
+
+    /// Appends one row of votes.
+    ///
+    /// # Panics
+    /// Panics unless `row` holds exactly one vote per LF column.
+    pub fn push_row(&mut self, row: &[i8]) {
+        assert_eq!(row.len(), self.n_lfs, "row width mismatch");
+        self.votes.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
     /// Approximate resident size in bytes (vote buffer dominates); used by
     /// the sharded driver's memory accounting.
     pub fn approx_bytes(&self) -> usize {
         self.votes.len() * std::mem::size_of::<i8>()
             + self.names.iter().map(|n| n.len() + std::mem::size_of::<String>()).sum::<usize>()
             + std::mem::size_of::<Self>()
+    }
+
+    /// Resident bytes counting reserved-but-unfilled vote capacity — what
+    /// a memory tracker should charge for a preallocated streaming target
+    /// the moment it is created.
+    pub fn capacity_bytes(&self) -> usize {
+        self.votes.capacity() * std::mem::size_of::<i8>()
+            + self.names.iter().map(|n| n.len() + std::mem::size_of::<String>()).sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+/// The one vote-fill path both [`LabelMatrix::apply_with`] and
+/// [`LabelMatrix::apply_append_with`] go through: `votes` is exactly
+/// `table.len() * lfs.len()` cells (a fresh buffer or the tail of a
+/// preallocated one — the chunking sees only the slice, so the bits
+/// cannot differ between the two callers).
+fn apply_into(
+    table: &FeatureTable,
+    lfs: &[Box<dyn LabelingFunction>],
+    votes: &mut [i8],
+    par: &ParConfig,
+) {
+    let n_rows = table.len();
+    let n_lfs = lfs.len();
+    // Freeze once per matrix: every LF then reads contiguous columns
+    // instead of dispatching through the schema per row.
+    let frozen = FrozenTable::freeze(table);
+    let work = n_rows.saturating_mul(n_lfs);
+    if work < PAR_THRESHOLD || n_rows < 2 {
+        fill_votes(&frozen, lfs, votes, 0, n_rows);
+    } else {
+        let par = par.clone().with_min_chunk(MIN_ROWS_PER_CHUNK);
+        if let Err(e) = cm_par::par_chunks_mut(&par, votes, n_lfs, |start, chunk| {
+            fill_votes_from(&frozen, lfs, chunk, start);
+        }) {
+            e.resume();
+        }
     }
 }
 
@@ -557,6 +643,22 @@ mod tests {
         }
         let parts: Vec<&LabelMatrix> = segs.iter().collect();
         assert_eq!(LabelMatrix::concat(&parts), whole);
+
+        // The streaming append path the sharded driver actually takes:
+        // same parts, same order, one preallocated buffer — same bits,
+        // whether appended whole or pushed row by row.
+        let mut streamed = LabelMatrix::with_row_capacity(whole.n_rows(), whole.names().to_vec());
+        for seg in &segs {
+            streamed.append_rows(seg);
+        }
+        assert_eq!(streamed, whole);
+        let mut by_row = LabelMatrix::with_row_capacity(whole.n_rows(), whole.names().to_vec());
+        for seg in &segs {
+            for r in 0..seg.n_rows() {
+                by_row.push_row(seg.row(r));
+            }
+        }
+        assert_eq!(by_row, whole);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Over-approximate workspace call graph on top of [`SymbolIndex`].
+//!
+//! Call edges are extracted from the token stream of every non-test
+//! function body:
+//!
+//! - `a::b::name(…)` path calls resolve through the module tree,
+//!   imports, and `pub use` re-exports (turbofish tolerated);
+//! - `Type::method(…)` resolves through the impl index, with `Self`
+//!   mapped to the enclosing impl type and conservative method fan-out
+//!   when the type is not locally defined;
+//! - `.method(…)` calls fan out to *every* function of that name — the
+//!   deliberate over-approximation that keeps the effect passes sound
+//!   against dynamic dispatch without a type checker;
+//! - bare `name(…)` calls resolve through the module chain and imports
+//!   only, so unknown names (std, generics, closures) produce no edge.
+//!
+//! The reverse adjacency supports rendering a full entry-point →
+//! effect-site call chain for every finding.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::TokKind;
+use crate::symbols::{FileUnit, SymbolIndex, KEYWORDS};
+
+/// One resolved call site inside a scanned range.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Candidate callee functions (indices into `SymbolIndex::fns`).
+    pub callees: Vec<usize>,
+    /// Token-stream index of the called name (position anchor).
+    pub tok: usize,
+    /// The called name as written (diagnostics).
+    pub name: String,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per function: (callee, call-site token) pairs, sorted.
+    pub from: Vec<Vec<(usize, usize)>>,
+    /// Per function: caller indices, sorted and deduplicated.
+    pub to: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds call edges for every non-test function body.
+    pub fn build(units: &[FileUnit], sym: &SymbolIndex) -> Self {
+        let n = sym.fns.len();
+        let mut from: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut to: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (fi, f) in sym.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            if hi <= lo + 1 {
+                continue;
+            }
+            let u = &units[f.file];
+            for site in
+                collect_calls(u, sym, f.file, &f.module, f.impl_type.as_deref(), (lo + 1, hi - 1))
+            {
+                for &c in &site.callees {
+                    if sym.fns[c].is_test {
+                        continue;
+                    }
+                    from[fi].push((c, site.tok));
+                    to[c].push(fi);
+                }
+            }
+        }
+        for v in &mut from {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in &mut to {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CallGraph { from, to }
+    }
+
+    /// Shortest caller chain from an entry point (a function nobody
+    /// calls) down to `target`, as function indices `[root, …, target]`.
+    /// Cycles with no entry point degrade to `[target]`.
+    pub fn chain_to_root(&self, target: usize) -> Vec<usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(target);
+        let mut q = VecDeque::new();
+        q.push_back(target);
+        let mut root = None;
+        while let Some(x) = q.pop_front() {
+            if self.to[x].is_empty() {
+                root = Some(x);
+                break;
+            }
+            for &c in &self.to[x] {
+                if seen.insert(c) {
+                    parent.insert(c, x);
+                    q.push_back(c);
+                }
+            }
+        }
+        let Some(root) = root else { return vec![target] };
+        let mut chain = vec![root];
+        let mut cur = root;
+        while cur != target {
+            let Some(&next) = parent.get(&cur) else { break };
+            chain.push(next);
+            cur = next;
+        }
+        chain
+    }
+
+    /// Shortest forward path `[start, …, hit]` from `start` to the first
+    /// reachable function satisfying `pred` (checked on `start` too).
+    pub fn find_reachable<F: Fn(usize) -> bool>(
+        &self,
+        start: usize,
+        pred: F,
+    ) -> Option<Vec<usize>> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(start);
+        let mut q = VecDeque::new();
+        q.push_back(start);
+        while let Some(x) = q.pop_front() {
+            if pred(x) {
+                let mut chain = vec![x];
+                let mut cur = x;
+                while let Some(&p) = parent.get(&cur) {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            for &(c, _) in &self.from[x] {
+                if seen.insert(c) {
+                    parent.insert(c, x);
+                    q.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Extracts and resolves every call site in the code-view range
+/// `[range.0, range.1]` of `u`, resolving names from the scope of the
+/// enclosing function (`module`, `impl_type`). Only sites with at least
+/// one resolved callee are returned.
+pub fn collect_calls(
+    u: &FileUnit,
+    sym: &SymbolIndex,
+    file: usize,
+    module: &[String],
+    impl_type: Option<&str>,
+    range: (usize, usize),
+) -> Vec<CallSite> {
+    let code = u.code();
+    let mut out = Vec::new();
+    let mut k = range.0;
+    while k <= range.1 {
+        let Some(tok) = code.at(k) else { break };
+        // `.method(…)` — by-name fan-out, except `self.method(…)` inside
+        // an impl block, which resolves precisely within that impl.
+        if tok.is_punct('.') && code.at(k + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let after = skip_turbofish(&code, k + 2);
+            if code.is_punct(after, '(') {
+                let name = code.at(k + 1).map(|t| t.ident_text().to_owned()).unwrap_or_default();
+                let on_self = k > 0 && code.is_ident(k - 1, "self");
+                let callees = match (on_self, impl_type) {
+                    (true, Some(ty)) => sym.impl_methods(ty, &name),
+                    _ => sym.fns_named(&name),
+                };
+                if !callees.is_empty() {
+                    out.push(CallSite { callees, tok: u.ctx.code[k + 1], name });
+                }
+            }
+            k += 2;
+            continue;
+        }
+        // Path or bare call, anchored at the head of a path.
+        if tok.kind == TokKind::Ident
+            && !(k > 0 && (code.is_punct(k - 1, ':') || code.is_punct(k - 1, '.')))
+            && !(k > 0 && code.is_ident(k - 1, "fn"))
+        {
+            let mut segs = vec![tok.ident_text().to_owned()];
+            let mut m = k + 1;
+            while code.is_punct(m, ':')
+                && code.is_punct(m + 1, ':')
+                && code.at(m + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                segs.push(code.at(m + 2).map(|t| t.ident_text().to_owned()).unwrap_or_default());
+                m += 3;
+            }
+            let after = skip_turbofish(&code, m);
+            if code.is_punct(after, '(') && !code.is_punct(m, '!') {
+                let callees = if segs.len() == 1 {
+                    if KEYWORDS.contains(&segs[0].as_str()) || segs[0] == "self" {
+                        Vec::new()
+                    } else {
+                        sym.resolve_bare(file, module, &segs[0])
+                    }
+                } else {
+                    sym.resolve_path(file, module, impl_type, &segs)
+                };
+                if !callees.is_empty() {
+                    out.push(CallSite { callees, tok: u.ctx.code[k], name: segs.join("::") });
+                }
+                k = m;
+                continue;
+            }
+            k = m.max(k + 1);
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// If `j` starts a turbofish `::<…>`, the index just past its `>`;
+/// otherwise `j` unchanged.
+fn skip_turbofish(code: &crate::context::Code<'_>, j: usize) -> usize {
+    if !(code.is_punct(j, ':') && code.is_punct(j + 1, ':') && code.is_punct(j + 2, '<')) {
+        return j;
+    }
+    let mut angle = 0i64;
+    let mut k = j + 2;
+    while let Some(tok) = code.at(k) {
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') && !code.is_punct(k.wrapping_sub(1), '-') {
+            angle -= 1;
+            if angle == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    j
+}

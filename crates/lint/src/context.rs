@@ -28,6 +28,16 @@ use crate::lexer::{Tok, TokKind};
 /// nondeterministic across runs.
 pub const WATCHED_TYPES: &[&str] = &["HashMap", "HashSet"];
 
+/// Integral primitive types: `+=` on a name declared with one of these is
+/// order-insensitive and never merge-float evidence.
+pub const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "bool",
+];
+
+/// Floating primitive types: accumulation over names declared with one of
+/// these is reduction-order-sensitive.
+pub const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+
 /// One `lint: allow` pragma.
 #[derive(Debug, Clone)]
 pub struct Pragma {
@@ -59,6 +69,11 @@ pub struct FileContext {
     pub watched_fields: BTreeSet<String>,
     /// Same-file functions whose return type is watched.
     pub watched_fns: BTreeSet<String>,
+    /// Names (`name : Type` anywhere: params, fields, `let` annotations)
+    /// whose declared type is an integral primitive.
+    pub int_typed: BTreeSet<String>,
+    /// Names whose declared type is a floating primitive.
+    pub float_typed: BTreeSet<String>,
     /// All waiver pragmas in the file.
     pub pragmas: Vec<Pragma>,
 }
@@ -88,32 +103,39 @@ pub fn analyze(toks: &[Tok]) -> FileContext {
     mark_test_regions(toks, &mut ctx);
     collect_aliases(toks, &mut ctx);
     collect_items(toks, &mut ctx);
+    collect_numeric_typed(toks, &mut ctx);
     collect_pragmas(toks, &mut ctx);
     ctx
 }
 
-/// View helpers over the code-token index list.
-struct Code<'a> {
-    toks: &'a [Tok],
-    code: &'a [usize],
+/// View helpers over the code-token index list. Shared with the
+/// workspace-level symbol index and call graph, which walk the same
+/// comment-free token view.
+pub(crate) struct Code<'a> {
+    pub(crate) toks: &'a [Tok],
+    pub(crate) code: &'a [usize],
 }
 
 impl<'a> Code<'a> {
-    fn at(&self, j: usize) -> Option<&'a Tok> {
+    pub(crate) fn new(toks: &'a [Tok], code: &'a [usize]) -> Self {
+        Code { toks, code }
+    }
+
+    pub(crate) fn at(&self, j: usize) -> Option<&'a Tok> {
         self.code.get(j).map(|&i| &self.toks[i])
     }
 
-    fn is_punct(&self, j: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, j: usize, c: char) -> bool {
         self.at(j).is_some_and(|t| t.is_punct(c))
     }
 
-    fn is_ident(&self, j: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, j: usize, name: &str) -> bool {
         self.at(j).is_some_and(|t| t.is_ident(name))
     }
 
     /// Index of the code token matching the closing delimiter for the
     /// opener at `j` (which must be `(`, `[`, or `{`).
-    fn matching_close(&self, j: usize) -> Option<usize> {
+    pub(crate) fn matching_close(&self, j: usize) -> Option<usize> {
         let (open, close) = match self.at(j)?.text.chars().next()? {
             '(' => ('(', ')'),
             '[' => ('[', ']'),
@@ -234,7 +256,7 @@ fn collect_aliases(toks: &[Tok], ctx: &mut FileContext) {
 
 /// Index of the `;` ending the statement starting at `from` (at bracket
 /// depth zero), or the last code index if unterminated.
-fn stmt_end(code: &Code<'_>, from: usize) -> usize {
+pub(crate) fn stmt_end(code: &Code<'_>, from: usize) -> usize {
     let mut depth = 0i64;
     for k in from..code.code.len() {
         for c in ['(', '[', '{'] {
@@ -412,6 +434,28 @@ fn collect_items(toks: &[Tok], ctx: &mut FileContext) {
     ctx.watched_fns.extend(fns);
 }
 
+/// Collects names declared with integral vs floating primitive types, by
+/// sweeping every `name : Type` pair in the file (parameters, struct
+/// fields, `let` annotations). The merge-float pass uses the integral set
+/// to suppress `+=` on provably order-insensitive accumulators and the
+/// float set as positive evidence.
+fn collect_numeric_typed(toks: &[Tok], ctx: &mut FileContext) {
+    let code = Code { toks, code: &ctx.code };
+    let ints: BTreeSet<String> = INT_TYPES.iter().map(|s| (*s).to_owned()).collect();
+    let floats: BTreeSet<String> = FLOAT_TYPES.iter().map(|s| (*s).to_owned()).collect();
+    let n = code.code.len();
+    let mut int_typed = BTreeSet::new();
+    let mut float_typed = BTreeSet::new();
+    collect_typed_names(&code, 0, n, &ints, &mut int_typed);
+    collect_typed_names(&code, 0, n, &floats, &mut float_typed);
+    // A name seen with both flavors is not provably integral.
+    for name in &float_typed {
+        int_typed.remove(name);
+    }
+    ctx.int_typed = int_typed;
+    ctx.float_typed = float_typed;
+}
+
 /// First index `>= from` where `what` occurs at angle-bracket depth zero
 /// (so the `(` of a `Fn(…)` bound inside generics is never picked as a
 /// parameter-list opener).
@@ -435,7 +479,7 @@ fn angle_depth0(code: &Code<'_>, from: usize, k: usize) -> bool {
 
 /// Scans `name : Type` pairs between `from` and `end` (a parameter list
 /// or struct body) and records names whose type is watched at top level.
-fn collect_typed_names(
+pub(crate) fn collect_typed_names(
     code: &Code<'_>,
     from: usize,
     end: usize,
@@ -451,7 +495,8 @@ fn collect_typed_names(
             j += 1;
             continue;
         }
-        // The type runs to the next `,` at depth 0 relative to here.
+        // The type runs to the next `,` (or `;`, or an unbalanced closer)
+        // at depth 0 relative to here.
         let mut depth = 0i64;
         let mut stop = end;
         for k in j + 2..end {
@@ -468,7 +513,11 @@ fn collect_typed_names(
             if code.is_punct(k, '>') && !code.is_punct(k.wrapping_sub(1), '-') {
                 depth -= 1;
             }
-            if depth <= 0 && code.is_punct(k, ',') {
+            if depth < 0 {
+                stop = k;
+                break;
+            }
+            if depth <= 0 && (code.is_punct(k, ',') || code.is_punct(k, ';')) {
                 stop = k;
                 break;
             }

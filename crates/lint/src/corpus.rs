@@ -65,6 +65,7 @@ pub fn run_corpus(dir: &Path, cfg: &LintConfig) -> CorpusOutcome {
         out.errors.push(format!("corpus directory {} holds no .rs inputs", dir.display()));
         return out;
     }
+    let mut covered: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for input in inputs {
         out.files += 1;
         let name = input.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
@@ -102,6 +103,15 @@ pub fn run_corpus(dir: &Path, cfg: &LintConfig) -> CorpusOutcome {
             if !expected.contains(g) {
                 out.errors.push(format!("{name}: unexpected [{}] at {}:{}", g.rule, g.line, g.col));
             }
+        }
+        covered.extend(expected.into_iter().map(|e| e.rule));
+    }
+    // Coverage contract: every rule the engine can emit must have at
+    // least one pinned positive expectation, so a new pass cannot land
+    // without a fixture proving it fires.
+    for rule in crate::all_rules() {
+        if !covered.contains(rule) {
+            out.errors.push(format!("rule [{rule}] has no positive corpus fixture"));
         }
     }
     out

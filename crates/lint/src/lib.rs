@@ -16,6 +16,21 @@
 //! - **stale-waiver** — every `lint: allow` waiver pragma must suppress
 //!   at least one finding, so waivers rot loudly instead of silently.
 //!
+//! On top of the per-file passes sits a workspace layer (`symbols`,
+//! `callgraph`, `effects`) that indexes every function in the lint
+//! scope, resolves `use`/re-export aliases to build an over-approximate
+//! call graph, and proves the determinism discipline interprocedurally:
+//!
+//! - **effect-audit** — ambient env/fs/clock/entropy effects outside the
+//!   modules sanctioned by `specs/lint_effects.json`, each finding
+//!   rendering the full entry-point → effect call chain;
+//! - **par-capture** — closures handed to the cm-par entry points must
+//!   not capture interior-mutable state nor reach an ambient effect
+//!   through any call chain;
+//! - **merge-float** — float accumulation in (or reachable from) the
+//!   `par_map_reduce` merge argument, where fold order is the parallel
+//!   schedule.
+//!
 //! Scope mirrors the old gate: library-crate non-test code under
 //! `crates/*/src`, with tests/benches/examples/binaries exempt,
 //! `crates/par` exempt from the threading bans, and the `table-*` rules
@@ -23,28 +38,37 @@
 //! line/column positions and render as `file:line:col: [rule] message`;
 //! [`report::report_json`] emits the deterministic machine report.
 
+pub mod callgraph;
 pub mod context;
 pub mod corpus;
+pub mod effects;
 pub mod lexer;
 pub mod passes;
 pub mod report;
+pub mod symbols;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use report::{report_json, Finding};
 
-use passes::{PassInput, RawFinding};
+use callgraph::CallGraph;
+use passes::PassInput;
+use report::Frame;
+use symbols::{FileUnit, SymbolIndex};
 
 /// The rule name emitted by the waiver audit.
 pub const STALE_WAIVER_RULE: &str = "stale-waiver";
 
 /// Every rule the engine can emit, in stable order (bans, then the
-/// semantic passes, then the audit).
+/// semantic passes, then the interprocedural passes, then the audit).
 pub fn all_rules() -> Vec<&'static str> {
     let mut rules: Vec<&'static str> = passes::bans::RULES.to_vec();
     rules.push(passes::nondet_iter::RULE);
     rules.push(passes::float_order::RULE);
+    rules.push(passes::effect_audit::RULE);
+    rules.push(passes::par_capture::RULE);
+    rules.push(passes::merge_float::RULE);
     rules.push(STALE_WAIVER_RULE);
     rules
 }
@@ -71,6 +95,11 @@ pub struct LintConfig {
     /// module's `capture`/`save`/`load` API so its layout cannot drift
     /// behind the version number.
     pub checkpoint_exempt: Vec<PathBuf>,
+    /// Per-effect-kind sanctioned path prefixes for the `effect-audit`
+    /// pass, loaded from `specs/lint_effects.json` by
+    /// [`LintConfig::for_workspace`]. Empty (no sanctions) in
+    /// [`LintConfig::repo_default`].
+    pub effect_sanctions: effects::EffectSanctions,
 }
 
 /// Rules that do not apply inside the thread-exempt crates.
@@ -84,6 +113,11 @@ const STREAM_RULES: &[&str] = &["stream-materialize"];
 
 /// Rules that do not apply inside the checkpoint-exempt paths.
 const CHECKPOINT_RULES: &[&str] = &["checkpoint-drift"];
+
+/// Rules that do not apply inside the thread-exempt crates: the cm-par
+/// substrate's own internals hand closures to its entry points by
+/// construction.
+const PAR_RULES: &[&str] = &["par-capture"];
 
 impl LintConfig {
     /// The repository's scoping: `crates/par` owns raw threading; the
@@ -102,12 +136,29 @@ impl LintConfig {
             .collect(),
             stream_driver_paths: vec![PathBuf::from("crates/pipeline/src/stream.rs")],
             checkpoint_exempt: vec![PathBuf::from("crates/serve/src/snapshot.rs")],
+            effect_sanctions: effects::EffectSanctions::default(),
         }
+    }
+
+    /// The repository scoping plus the effect sanctions declared in
+    /// `specs/lint_effects.json` under `root`. A missing or malformed
+    /// spec leaves the sanction list empty — every effect site then
+    /// reports, which is noisy but fails safe (and `xtask validate`
+    /// rejects the malformed spec with spans).
+    pub fn for_workspace(root: &Path) -> Self {
+        let mut cfg = Self::repo_default();
+        if let Ok(s) = effects::EffectSanctions::load(&root.join("specs/lint_effects.json")) {
+            cfg.effect_sanctions = s;
+        }
+        cfg
     }
 
     /// True when `rule` is enforced for the file at `path`.
     fn rule_applies(&self, rule: &str, path: &Path) -> bool {
         if THREAD_RULES.contains(&rule) && self.thread_exempt.iter().any(|p| path.starts_with(p)) {
+            return false;
+        }
+        if PAR_RULES.contains(&rule) && self.thread_exempt.iter().any(|p| path.starts_with(p)) {
             return false;
         }
         if HOT_PATH_RULES.contains(&rule)
@@ -129,20 +180,74 @@ impl LintConfig {
     }
 }
 
-/// Lints one source text. `file` labels findings and drives the
-/// path-scoped rules; pass a workspace-relative path. Returned findings
-/// are sorted by position and already have waivers applied and audited.
+/// One pre-waiver finding inside a known file: the rule, its anchor
+/// token, the message, and (for the interprocedural rules) a call chain.
+struct Anchored {
+    rule: &'static str,
+    tok: usize,
+    message: String,
+    chain: Vec<Frame>,
+}
+
+/// Lints a set of files as one workspace: the per-file passes run on
+/// each file, the symbol index and call graph are built over all of
+/// them, and the interprocedural passes (`effect-audit`, `par-capture`,
+/// `merge-float`) prove reachability across file boundaries. File paths
+/// label findings, drive the path-scoped rules, and define the module
+/// tree; pass workspace-relative paths. Returned findings are sorted by
+/// position and already have waivers applied and audited.
+pub fn lint_workspace(files: &[(PathBuf, String)], cfg: &LintConfig) -> Vec<Finding> {
+    let units: Vec<FileUnit> = files.iter().map(|(p, s)| FileUnit::parse(p.clone(), s)).collect();
+    let sym = SymbolIndex::build(&units);
+    let graph = CallGraph::build(&units, &sym);
+
+    let mut per_file: Vec<Vec<Anchored>> = units.iter().map(|_| Vec::new()).collect();
+    for (fi, u) in units.iter().enumerate() {
+        let input = PassInput { toks: &u.toks, ctx: &u.ctx };
+        let raw = passes::bans::run(&input)
+            .into_iter()
+            .chain(passes::nondet_iter::run(&input))
+            .chain(passes::float_order::run(&input));
+        per_file[fi].extend(raw.map(|r| Anchored {
+            rule: r.rule,
+            tok: r.tok,
+            message: r.message,
+            chain: Vec::new(),
+        }));
+    }
+    let ws = passes::effect_audit::run(&units, &sym, &graph, &cfg.effect_sanctions)
+        .into_iter()
+        .chain(passes::par_capture::run(&units, &sym, &graph))
+        .chain(passes::merge_float::run(&units, &sym, &graph));
+    for f in ws {
+        per_file[f.file].push(Anchored {
+            rule: f.rule,
+            tok: f.tok,
+            message: f.message,
+            chain: f.chain,
+        });
+    }
+
+    let mut findings = Vec::new();
+    for (u, raw) in units.iter().zip(per_file) {
+        findings.extend(finalize_file(u, raw, cfg));
+    }
+    findings.sort_by(Finding::sort_key_cmp);
+    findings
+}
+
+/// Lints one source text as a single-file workspace. `file` labels
+/// findings and drives the path-scoped rules; pass a workspace-relative
+/// path. The interprocedural passes still run — confined to call chains
+/// within this file.
 pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> {
-    let toks = lexer::lex(source);
-    let ctx = context::analyze(&toks);
-    let input = PassInput { toks: &toks, ctx: &ctx };
+    lint_workspace(&[(file.to_path_buf(), source.to_owned())], cfg)
+}
 
-    let mut raw: Vec<RawFinding> = Vec::new();
-    raw.extend(passes::bans::run(&input));
-    raw.extend(passes::nondet_iter::run(&input));
-    raw.extend(passes::float_order::run(&input));
-
-    // Resolve anchors, drop test-region and path-exempt findings.
+/// Resolves anchors, drops test-region and path-exempt findings, applies
+/// waivers, and audits them for one file.
+fn finalize_file(u: &FileUnit, raw: Vec<Anchored>, cfg: &LintConfig) -> Vec<Finding> {
+    let (toks, ctx, file) = (&u.toks, &u.ctx, &u.path);
     let mut findings: Vec<Finding> = raw
         .into_iter()
         .filter(|r| !ctx.test_mask[r.tok])
@@ -151,10 +256,11 @@ pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> 
             let t = &toks[r.tok];
             Finding {
                 rule: r.rule,
-                file: file.to_path_buf(),
+                file: file.clone(),
                 line: t.line(),
                 col: t.col(),
                 message: r.message,
+                chain: r.chain,
             }
         })
         .collect();
@@ -191,10 +297,11 @@ pub fn lint_source(source: &str, file: &Path, cfg: &LintConfig) -> Vec<Finding> 
             if !used[pi][ri] {
                 findings.push(Finding {
                     rule: STALE_WAIVER_RULE,
-                    file: file.to_path_buf(),
+                    file: file.clone(),
                     line: p.line,
                     col: p.col,
                     message: format!("waiver `lint: allow({r})` suppresses no finding; delete it"),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -264,18 +371,17 @@ pub fn collect_lint_targets(root: &Path) -> Vec<PathBuf> {
 /// findings sorted by (file, line, col, rule), plus the number of files
 /// scanned. Empty findings means the gate passes.
 pub fn run(root: &Path, cfg: &LintConfig) -> (Vec<Finding>, usize) {
-    let mut findings = Vec::new();
     let targets = collect_lint_targets(root);
     let scanned = targets.len();
+    let mut files = Vec::new();
     for path in targets {
         match fs::read_to_string(&path) {
             Ok(source) => {
                 let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-                findings.extend(lint_source(&source, &rel, cfg));
+                files.push((rel, source));
             }
             Err(e) => eprintln!("lint: skipping unreadable {}: {e}", path.display()),
         }
     }
-    findings.sort_by(Finding::sort_key_cmp);
-    (findings, scanned)
+    (lint_workspace(&files, cfg), scanned)
 }

@@ -7,11 +7,16 @@
 //! `#[cfg(test)]` regions, applies waiver pragmas, and audits them.
 
 pub mod bans;
+pub mod effect_audit;
 pub mod float_order;
+pub mod merge_float;
 pub mod nondet_iter;
+pub mod par_capture;
 
 use crate::context::FileContext;
 use crate::lexer::Tok;
+use crate::report::Frame;
+use crate::symbols::SymbolIndex;
 
 /// A finding before position resolution and waiver handling: the rule,
 /// the anchor token (index into the full token stream), and the message.
@@ -23,6 +28,103 @@ pub struct RawFinding {
     pub tok: usize,
     /// Human explanation.
     pub message: String,
+}
+
+/// A finding from a workspace-level (interprocedural) pass: a raw
+/// finding plus the file it anchors into and its call chain.
+#[derive(Debug)]
+pub struct WsFinding {
+    /// Index of the anchored file in the workspace file list.
+    pub file: usize,
+    /// Rule name; doubles as the waiver key.
+    pub rule: &'static str,
+    /// Index into that file's token stream.
+    pub tok: usize,
+    /// Human explanation.
+    pub message: String,
+    /// Entry-point → finding call chain.
+    pub chain: Vec<Frame>,
+}
+
+/// Splits the argument list opened by the `(` at code index `open` into
+/// top-level argument ranges (inclusive code-index pairs), honoring
+/// nested parens/brackets/braces and closure pipes.
+pub(crate) fn split_args(code: &crate::context::Code<'_>, open: usize) -> Vec<(usize, usize)> {
+    let Some(close) = code.matching_close(open) else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    let mut in_closure_params = false;
+    for k in open + 1..close {
+        if code.is_punct(k, '|') && depth == 0 {
+            in_closure_params = !in_closure_params;
+        }
+        for c in ['(', '[', '{'] {
+            if code.is_punct(k, c) {
+                depth += 1;
+            }
+        }
+        for c in [')', ']', '}'] {
+            if code.is_punct(k, c) {
+                depth -= 1;
+            }
+        }
+        if depth == 0 && !in_closure_params && code.is_punct(k, ',') {
+            if k > start {
+                out.push((start, k - 1));
+            }
+            start = k + 1;
+        }
+    }
+    if close > start {
+        out.push((start, close - 1));
+    }
+    out
+}
+
+/// If the argument range holds a closure literal (`|…| body` or
+/// `move |…| body`), the code-index range of its body.
+pub(crate) fn closure_body(
+    code: &crate::context::Code<'_>,
+    arg: (usize, usize),
+) -> Option<(usize, usize)> {
+    let mut s = arg.0;
+    if code.is_ident(s, "move") {
+        s += 1;
+    }
+    if !code.is_punct(s, '|') {
+        return None;
+    }
+    let mut k = s + 1;
+    while k <= arg.1 {
+        if code.is_punct(k, '|') {
+            return (k < arg.1).then_some((k + 1, arg.1));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Renders a function-index chain as report frames (each function at its
+/// name token).
+pub(crate) fn frames_for(
+    sym: &SymbolIndex,
+    units: &[crate::symbols::FileUnit],
+    chain: &[usize],
+) -> Vec<Frame> {
+    chain
+        .iter()
+        .map(|&i| {
+            let f = &sym.fns[i];
+            let t = &units[f.file].toks[f.name_tok];
+            Frame {
+                name: f.name.clone(),
+                file: units[f.file].path.clone(),
+                line: t.line(),
+                col: t.col(),
+            }
+        })
+        .collect()
 }
 
 /// Shared pass input: the token stream plus the structural context.

@@ -1,0 +1,324 @@
+//! `par-capture`: closures handed to the cm-par substrate must be pure.
+//!
+//! At every call of a cm-par entry point (`par_map`, `par_map_chunks`,
+//! `par_map_reduce`, `par_chunks_mut`) the closure arguments are
+//! checked, statically, for the race classes the thread-matrix suites
+//! probe dynamically:
+//!
+//! - **interior-mutable captures** — naming `Cell`/`RefCell`/`Mutex`/
+//!   `RwLock`/atomics/`OnceCell`-family types inside the closure means
+//!   chunk workers share mutable state whose observation order depends
+//!   on scheduling;
+//! - **ambient effects**, direct or transitive — a closure that reaches
+//!   `env`/`fs`/clock/entropy through *any* call chain (sanctioned
+//!   modules included: sanctioning localizes an effect, it does not make
+//!   it order-stable under parallel execution) can observe different
+//!   state per worker.
+//!
+//! Named-function arguments are resolved and checked transitively too.
+//! Findings anchor at the offending token inside the closure and carry
+//! the call chain down to the effect.
+
+use std::collections::BTreeSet;
+
+use super::{closure_body, frames_for, split_args, WsFinding};
+use crate::callgraph::{collect_calls, CallGraph};
+use crate::context::collect_typed_names;
+use crate::effects::{effects_in, EffectKind};
+use crate::lexer::TokKind;
+use crate::symbols::{FileUnit, SymbolIndex};
+
+/// Rule name.
+pub const RULE: &str = "par-capture";
+
+/// The cm-par entry points whose closures must be pure.
+pub const PAR_ENTRYPOINTS: &[&str] =
+    &["par_map", "par_map_chunks", "par_map_reduce", "par_chunks_mut"];
+
+/// Interior-mutable type names a par closure must not touch.
+const INTERIOR_MUTABLE: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "Mutex",
+    "RwLock",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+/// Runs the pass over the whole workspace.
+pub fn run(units: &[FileUnit], sym: &SymbolIndex, graph: &CallGraph) -> Vec<WsFinding> {
+    // First direct effect per function, for the transitive predicate.
+    let fn_effect: Vec<Option<(EffectKind, String)>> = sym
+        .fns
+        .iter()
+        .map(|f| {
+            let (lo, hi) = f.body?;
+            if hi <= lo + 1 {
+                return None;
+            }
+            effects_in(&units[f.file], (lo + 1, hi - 1))
+                .into_iter()
+                .next()
+                .map(|s| (s.kind, s.what))
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (fi, u) in units.iter().enumerate() {
+        let code = u.code();
+        let n = u.ctx.code.len();
+        let cell_bound = cell_bound_names(u);
+        for k in 0..n {
+            let Some(tok) = code.at(k) else { break };
+            if tok.kind != TokKind::Ident || !PAR_ENTRYPOINTS.contains(&tok.ident_text()) {
+                continue;
+            }
+            if !code.is_punct(k + 1, '(') || (k > 0 && code.is_ident(k - 1, "fn")) {
+                continue;
+            }
+            if u.ctx.test_mask[u.ctx.code[k]] {
+                continue;
+            }
+            let entry = tok.ident_text();
+            let Some(owner) = sym.enclosing_fn(fi, k) else { continue };
+            let (module, impl_type) =
+                (sym.fns[owner].module.clone(), sym.fns[owner].impl_type.clone());
+            for arg in split_args(&code, k + 1) {
+                if let Some(body) = closure_body(&code, arg) {
+                    check_closure(
+                        units,
+                        sym,
+                        graph,
+                        &fn_effect,
+                        fi,
+                        &module,
+                        impl_type.as_deref(),
+                        entry,
+                        body,
+                        &cell_bound,
+                        &mut out,
+                    );
+                } else {
+                    check_named_arg(
+                        units,
+                        sym,
+                        graph,
+                        &fn_effect,
+                        fi,
+                        &module,
+                        impl_type.as_deref(),
+                        entry,
+                        arg,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks one closure body for interior mutability and (transitive)
+/// ambient effects.
+#[allow(clippy::too_many_arguments)]
+fn check_closure(
+    units: &[FileUnit],
+    sym: &SymbolIndex,
+    graph: &CallGraph,
+    fn_effect: &[Option<(EffectKind, String)>],
+    fi: usize,
+    module: &[String],
+    impl_type: Option<&str>,
+    entry: &str,
+    body: (usize, usize),
+    cell_bound: &BTreeSet<String>,
+    out: &mut Vec<WsFinding>,
+) {
+    let u = &units[fi];
+    let code = u.code();
+    for site in effects_in(u, body) {
+        out.push(WsFinding {
+            file: fi,
+            rule: RULE,
+            tok: site.tok,
+            message: format!(
+                "closure passed to {entry} performs ambient {} effect `{}`; cm-par closures \
+                 must be pure",
+                site.kind, site.what
+            ),
+            chain: Vec::new(),
+        });
+    }
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for k in body.0..=body.1 {
+        let Some(tok) = code.at(k) else { break };
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = tok.ident_text();
+        if INTERIOR_MUTABLE.contains(&name) && reported.insert(name) {
+            out.push(WsFinding {
+                file: fi,
+                rule: RULE,
+                tok: u.ctx.code[k],
+                message: format!(
+                    "closure passed to {entry} must not capture or construct interior-mutable \
+                     `{name}`; chunk workers would race through it"
+                ),
+                chain: Vec::new(),
+            });
+        } else if cell_bound.contains(name) && reported.insert(name) {
+            out.push(WsFinding {
+                file: fi,
+                rule: RULE,
+                tok: u.ctx.code[k],
+                message: format!(
+                    "closure passed to {entry} captures `{name}`, which is bound to an \
+                     interior-mutable type; chunk workers would race through it"
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+    for site in collect_calls(u, sym, fi, module, impl_type, body) {
+        if let Some((chain, kind, what)) = first_effect_chain(graph, fn_effect, &site.callees) {
+            let Some(&hit) = chain.last() else { continue };
+            let via = &sym.fns[hit].name;
+            out.push(WsFinding {
+                file: fi,
+                rule: RULE,
+                tok: site.tok,
+                message: format!(
+                    "closure passed to {entry} calls `{}`, which transitively performs ambient \
+                     {kind} effect `{what}` in `{via}`; cm-par closures must be pure",
+                    site.name
+                ),
+                chain: frames_for(sym, units, &chain),
+            });
+        }
+    }
+}
+
+/// Checks a non-closure argument that names a function (`count_rows`,
+/// `VoteCounts::merge`) for transitive ambient effects.
+#[allow(clippy::too_many_arguments)]
+fn check_named_arg(
+    units: &[FileUnit],
+    sym: &SymbolIndex,
+    graph: &CallGraph,
+    fn_effect: &[Option<(EffectKind, String)>],
+    fi: usize,
+    module: &[String],
+    impl_type: Option<&str>,
+    entry: &str,
+    arg: (usize, usize),
+    out: &mut Vec<WsFinding>,
+) {
+    let u = &units[fi];
+    let Some(callees) = path_arg_fns(u, sym, fi, module, impl_type, arg) else { return };
+    if let Some((chain, kind, what)) = first_effect_chain(graph, fn_effect, &callees) {
+        let Some(&hit) = chain.last() else { return };
+        let via = &sym.fns[hit].name;
+        out.push(WsFinding {
+            file: fi,
+            rule: RULE,
+            tok: u.ctx.code[arg.0],
+            message: format!(
+                "function passed to {entry} transitively performs ambient {kind} effect \
+                 `{what}` in `{via}`; cm-par workers must be pure",
+            ),
+            chain: frames_for(sym, units, &chain),
+        });
+    }
+}
+
+/// Names in `u` bound to an interior-mutable type, through either a
+/// `name: RefCell<…>` annotation (params, fields, lets) or a
+/// `name = RefCell::new(…)`-style constructor binding.
+fn cell_bound_names(u: &FileUnit) -> BTreeSet<String> {
+    let code = u.code();
+    let n = u.ctx.code.len();
+    let watched: BTreeSet<String> = INTERIOR_MUTABLE.iter().map(|s| (*s).to_owned()).collect();
+    let mut out = BTreeSet::new();
+    collect_typed_names(&code, 0, n, &watched, &mut out);
+    for k in 0..n {
+        let Some(tok) = code.at(k) else { break };
+        if tok.kind == TokKind::Ident
+            && code.is_punct(k + 1, '=')
+            && code.at(k + 2).is_some_and(|t| {
+                t.kind == TokKind::Ident && INTERIOR_MUTABLE.contains(&t.ident_text())
+            })
+        {
+            out.insert(tok.ident_text().to_owned());
+        }
+    }
+    out
+}
+
+/// Resolves an argument that is a pure path expression (`name` or
+/// `a::b::name`) to candidate functions; `None` when the argument is any
+/// other expression shape.
+pub(super) fn path_arg_fns(
+    u: &FileUnit,
+    sym: &SymbolIndex,
+    fi: usize,
+    module: &[String],
+    impl_type: Option<&str>,
+    arg: (usize, usize),
+) -> Option<Vec<usize>> {
+    let code = u.code();
+    let mut segs: Vec<String> = Vec::new();
+    let mut k = arg.0;
+    while k <= arg.1 {
+        let tok = code.at(k)?;
+        if tok.kind != TokKind::Ident {
+            return None;
+        }
+        segs.push(tok.ident_text().to_owned());
+        if k == arg.1 {
+            break;
+        }
+        if !(code.is_punct(k + 1, ':') && code.is_punct(k + 2, ':')) {
+            return None;
+        }
+        k += 3;
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    let v = if segs.len() == 1 {
+        sym.resolve_bare(fi, module, &segs[0])
+    } else {
+        sym.resolve_path(fi, module, impl_type, &segs)
+    };
+    (!v.is_empty()).then_some(v)
+}
+
+/// First callee (in candidate order) from which a function with a direct
+/// effect is reachable; returns the chain and the effect it ends in.
+pub(super) fn first_effect_chain(
+    graph: &CallGraph,
+    fn_effect: &[Option<(EffectKind, String)>],
+    callees: &[usize],
+) -> Option<(Vec<usize>, EffectKind, String)> {
+    for &c in callees {
+        if let Some(chain) = graph.find_reachable(c, |f| fn_effect[f].is_some()) {
+            let hit = *chain.last()?;
+            let (kind, what) = fn_effect[hit].clone()?;
+            return Some((chain, kind, what));
+        }
+    }
+    None
+}

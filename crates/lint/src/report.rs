@@ -1,14 +1,40 @@
 //! Findings and the machine-readable report.
 //!
-//! Human diagnostics render as `file:line:col: [rule] message`; the JSON
-//! report is deterministic — findings sorted by (file, line, col, rule) —
-//! so successive runs diff cleanly.
+//! Human diagnostics render as `file:line:col: [rule] message` (with the
+//! interprocedural passes appending a `call chain:` of `name
+//! (path:line:col)` frames); the JSON report is deterministic — findings
+//! sorted by (file, line, col, rule) — so successive runs diff cleanly.
+//!
+//! Report schema version 2: each finding carries a `chain` array of
+//! `{name, file, line, col}` frames (empty for single-token rules),
+//! rendering the entry-point → effect-site path the call-graph passes
+//! proved.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::path::PathBuf;
 
 use cm_json::Json;
+
+/// One frame of an interprocedural call chain: a function and where it
+/// is defined (or called from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Function name as indexed (bare, no path).
+    pub name: String,
+    /// Workspace-relative file holding the frame.
+    pub file: PathBuf,
+    /// 1-based line of the function's name token.
+    pub line: u32,
+    /// 1-based column of the function's name token.
+    pub col: u32,
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}:{}:{})", self.name, self.file.display(), self.line, self.col)
+    }
+}
 
 /// One lint finding at an exact source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +49,9 @@ pub struct Finding {
     pub col: u32,
     /// What is wrong and what to do instead.
     pub message: String,
+    /// Entry-point → finding call chain for the interprocedural rules;
+    /// empty for single-file rules.
+    pub chain: Vec<Frame>,
 }
 
 impl Finding {
@@ -47,15 +76,26 @@ impl fmt::Display for Finding {
             self.col,
             self.rule,
             self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "; call chain: ")?;
+            for (i, frame) in self.chain.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " -> ")?;
+                }
+                write!(f, "{frame}")?;
+            }
+        }
+        Ok(())
     }
 }
 
-/// Builds the machine-readable report object. `findings` must already be
-/// sorted (as [`crate::run`] guarantees).
+/// Builds the machine-readable report object (schema version 2: findings
+/// carry call-chain frames). `findings` must already be sorted (as
+/// [`crate::run`] guarantees).
 pub fn report_json(findings: &[Finding], files_scanned: usize) -> Json {
     Json::obj([
-        ("version", Json::Num(1.0)),
+        ("version", Json::Num(2.0)),
         ("tool", Json::Str("cm-lint".to_owned())),
         ("files_scanned", Json::Num(files_scanned as f64)),
         ("finding_count", Json::Num(findings.len() as f64)),
@@ -71,6 +111,22 @@ pub fn report_json(findings: &[Finding], files_scanned: usize) -> Json {
                             ("col", Json::Num(f64::from(f.col))),
                             ("rule", Json::Str(f.rule.to_owned())),
                             ("message", Json::Str(f.message.clone())),
+                            (
+                                "chain",
+                                Json::Arr(
+                                    f.chain
+                                        .iter()
+                                        .map(|fr| {
+                                            Json::obj([
+                                                ("name", Json::Str(fr.name.clone())),
+                                                ("file", Json::Str(fr.file.display().to_string())),
+                                                ("line", Json::Num(f64::from(fr.line))),
+                                                ("col", Json::Num(f64::from(fr.col))),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
                         ])
                     })
                     .collect(),

@@ -1,0 +1,712 @@
+//! Workspace symbol index: the name-resolution layer under the
+//! interprocedural passes.
+//!
+//! [`SymbolIndex::build`] sweeps every [`FileUnit`] of the workspace and
+//! derives, from the token stream alone:
+//!
+//! - the **module tree**, combining the crate file layout
+//!   (`crates/<dir>/src/foo/bar.rs` → module `foo::bar` of crate
+//!   `cm_<dir>`) with inline `mod name { … }` blocks;
+//! - every **`fn` item** with its exact name-token span, body range,
+//!   enclosing `impl`/`trait` type, and `#[cfg(test)]` status;
+//! - per-module **`use` imports** (full use-tree syntax: nested groups,
+//!   `as` renames, `self` leaves, globs, `crate`/`self`/`super`
+//!   normalization) extending the PR 5 per-file alias machinery to the
+//!   whole workspace;
+//! - **`pub use` re-exports**, resolved to a fixpoint so a call through
+//!   a re-exported path lands on the defining function.
+//!
+//! Resolution is deliberately over-approximate — a lint, not a compiler.
+//! Method calls resolve by name with conservative fan-out (every
+//! function of that name is a candidate callee); bare calls resolve
+//! through the module tree and imports only, so an unresolvable name
+//! produces *no* edge rather than a wrong one. The false-positive
+//! contract is documented in DESIGN.md §7j: imprecision surfaces as
+//! extra call edges, which the effect passes turn into findings a
+//! developer can waive — never as silently missing edges over code that
+//! actually reaches an effect through a resolvable path.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::context::{self, stmt_end, Code, FileContext};
+use crate::lexer::{self, Tok, TokKind};
+
+/// One lexed and structurally analyzed source file of the workspace.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path; drives module derivation, path-scoped
+    /// rules, and effect sanctions.
+    pub path: PathBuf,
+    /// Full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Structural facts from [`context::analyze`].
+    pub ctx: FileContext,
+}
+
+impl FileUnit {
+    /// Lexes and analyzes one source text.
+    pub fn parse(path: PathBuf, source: &str) -> Self {
+        let toks = lexer::lex(source);
+        let ctx = context::analyze(&toks);
+        FileUnit { path, toks, ctx }
+    }
+
+    pub(crate) fn code(&self) -> Code<'_> {
+        Code::new(&self.toks, &self.ctx.code)
+    }
+}
+
+/// One indexed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Bare function name.
+    pub name: String,
+    /// Module path within its crate (file layout plus inline `mod`s).
+    pub module: Vec<String>,
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Token-stream index of the name identifier (position anchor).
+    pub name_tok: usize,
+    /// Code-view index range of the body braces, inclusive; `None` for
+    /// bodyless signatures (trait requirements).
+    pub body: Option<(usize, usize)>,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub impl_type: Option<String>,
+}
+
+/// The workspace symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every indexed function, in (file, position) order.
+    pub fns: Vec<FnSym>,
+    /// Crate ident candidates per file, primary (`cm_<dir>`) first.
+    crate_idents: Vec<Vec<String>>,
+    /// Module path per file from the file layout alone.
+    base_module: Vec<Vec<String>>,
+    /// Secondary crate ident → primary (`pipeline` → `cm_pipeline`).
+    crate_alias: BTreeMap<String, String>,
+    /// Absolute path (primary-crate-qualified, `::`-joined) → fn indices.
+    by_abs: BTreeMap<String, Vec<usize>>,
+    /// Bare name → fn indices (method fan-out).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (impl type, method name) → fn indices.
+    by_impl: BTreeMap<(String, String), Vec<usize>>,
+    /// (file, `::`-joined module) → local name → absolute target path.
+    imports: BTreeMap<(usize, String), BTreeMap<String, Vec<String>>>,
+    /// (file, `::`-joined module) → glob-imported module paths.
+    globs: BTreeMap<(usize, String), Vec<Vec<String>>>,
+    /// Absolute module path → exported name → absolute target path
+    /// (`pub use` re-exports).
+    exports: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+/// Keywords that can never head a call expression.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Derives (crate ident candidates, base module path) from a
+/// workspace-relative path. `crates/<dir>/src/a/b.rs` → crate
+/// `cm_<dir>` (alias `<dir>`), module `a::b`; `lib.rs` and `mod.rs`
+/// contribute no segment. Paths outside the layout (corpus fixtures
+/// without a `//@ path:` directive) fall back to the file stem as a
+/// one-file crate.
+fn path_anatomy(path: &Path) -> (Vec<String>, Vec<String>) {
+    let comps: Vec<String> =
+        path.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    let stem = |name: &str| name.strip_suffix(".rs").unwrap_or(name).to_owned();
+    if comps.len() >= 4 && comps[0] == "crates" && comps[2] == "src" {
+        let dir = comps[1].replace('-', "_");
+        let idents = vec![format!("cm_{dir}"), dir];
+        let mut module: Vec<String> = comps[3..comps.len() - 1].to_vec();
+        let s = stem(&comps[comps.len() - 1]);
+        if s != "lib" && s != "mod" {
+            module.push(s);
+        }
+        (idents, module)
+    } else {
+        let s = comps.last().map(|c| stem(c)).unwrap_or_default();
+        (vec![s], Vec::new())
+    }
+}
+
+/// One leaf of a parsed use tree: the path and the locally bound name
+/// (`None` marks a glob).
+struct UseLeaf {
+    path: Vec<String>,
+    name: Option<String>,
+}
+
+/// Scope kinds tracked while sweeping a file's items.
+enum ScopeKind {
+    Mod(String),
+    Type(Option<String>),
+}
+
+struct Scope {
+    kind: ScopeKind,
+    close: usize,
+}
+
+impl SymbolIndex {
+    /// Builds the index over every file of the workspace.
+    pub fn build(units: &[FileUnit]) -> Self {
+        let mut sym = SymbolIndex::default();
+        for u in units {
+            let (idents, base) = path_anatomy(&u.path);
+            for alias in idents.iter().skip(1) {
+                sym.crate_alias.insert(alias.clone(), idents[0].clone());
+            }
+            sym.crate_idents.push(idents);
+            sym.base_module.push(base);
+        }
+        for (fi, u) in units.iter().enumerate() {
+            sym.scan_file(fi, u);
+        }
+        for (i, f) in sym.fns.iter().enumerate() {
+            let primary = &sym.crate_idents[f.file][0];
+            let mut abs = vec![primary.clone()];
+            abs.extend(f.module.iter().cloned());
+            abs.push(f.name.clone());
+            sym.by_abs.entry(abs.join("::")).or_default().push(i);
+            sym.by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(ty) = &f.impl_type {
+                sym.by_impl.entry((ty.clone(), f.name.clone())).or_default().push(i);
+            }
+        }
+        sym
+    }
+
+    /// Sweeps one file: inline `mod`/`impl`/`trait` scopes, `fn` items,
+    /// and `use` statements.
+    fn scan_file(&mut self, fi: usize, u: &FileUnit) {
+        let code = u.code();
+        let n = u.ctx.code.len();
+        let mut scopes: Vec<Scope> = Vec::new();
+        let mut j = 0usize;
+        while j < n {
+            while scopes.last().is_some_and(|s| j > s.close) {
+                scopes.pop();
+            }
+            let Some(tok) = code.at(j) else { break };
+            // Inline module: `mod name { … }`.
+            if tok.is_ident("mod")
+                && code.at(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                && code.is_punct(j + 2, '{')
+            {
+                let close = code.matching_close(j + 2).unwrap_or(n.saturating_sub(1));
+                let name = code.at(j + 1).map(|t| t.ident_text().to_owned()).unwrap_or_default();
+                scopes.push(Scope { kind: ScopeKind::Mod(name), close });
+                j += 3;
+                continue;
+            }
+            // `impl [<…>] [Trait for] Type { … }` / `trait Name { … }`.
+            if (tok.is_ident("impl") || tok.is_ident("trait")) && item_position(&code, j) {
+                if let Some(open) = find_body_brace(&code, j + 1, n) {
+                    let ty = header_type_name(&code, j + 1, open, tok.is_ident("trait"));
+                    let close = code.matching_close(open).unwrap_or(n.saturating_sub(1));
+                    scopes.push(Scope { kind: ScopeKind::Type(ty), close });
+                    j = open + 1;
+                    continue;
+                }
+            }
+            // `use` statement (imports; `pub use` also exports).
+            if tok.is_ident("use") && item_position(&code, j) {
+                let end = stmt_end(&code, j + 1);
+                let is_pub = j >= 1
+                    && (code.is_ident(j - 1, "pub") || code.is_punct(j.wrapping_sub(1), ')'));
+                let module: Vec<String> = self.module_at(fi, &scopes);
+                let mut leaves = Vec::new();
+                let mut prefix = Vec::new();
+                let mut k = j + 1;
+                while k < end {
+                    let before = prefix.len();
+                    k = parse_use_tree(&code, k, end, &mut prefix, &mut leaves);
+                    prefix.truncate(before);
+                    if code.is_punct(k, ',') {
+                        k += 1;
+                    }
+                }
+                self.record_use(fi, &module, is_pub, leaves);
+                j = end + 1;
+                continue;
+            }
+            // `fn name(…)` item.
+            if tok.is_ident("fn") && code.at(j + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                if let Some(open) = find_paren(&code, j + 2, n) {
+                    let close_paren = code.matching_close(open).unwrap_or(open);
+                    let mut body = None;
+                    let mut q = close_paren + 1;
+                    while q < n {
+                        if code.is_punct(q, '{') {
+                            body = Some((q, code.matching_close(q).unwrap_or(n - 1)));
+                            break;
+                        }
+                        if code.is_punct(q, ';') {
+                            break;
+                        }
+                        q += 1;
+                    }
+                    let name_tok = u.ctx.code[j + 1];
+                    self.fns.push(FnSym {
+                        name: code.at(j + 1).map(|t| t.ident_text().to_owned()).unwrap_or_default(),
+                        module: self.module_at(fi, &scopes),
+                        file: fi,
+                        name_tok,
+                        body,
+                        is_test: u.ctx.test_mask[name_tok],
+                        impl_type: scopes
+                            .iter()
+                            .rev()
+                            .find_map(|s| match &s.kind {
+                                ScopeKind::Type(t) => Some(t.clone()),
+                                ScopeKind::Mod(_) => None,
+                            })
+                            .flatten(),
+                    });
+                    j = close_paren + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// The module path at the current scope stack.
+    fn module_at(&self, fi: usize, scopes: &[Scope]) -> Vec<String> {
+        let mut m = self.base_module[fi].clone();
+        for s in scopes {
+            if let ScopeKind::Mod(name) = &s.kind {
+                m.push(name.clone());
+            }
+        }
+        m
+    }
+
+    /// Records the leaves of one `use` statement as imports (and exports
+    /// when `pub`).
+    fn record_use(&mut self, fi: usize, module: &[String], is_pub: bool, leaves: Vec<UseLeaf>) {
+        let primary = self.crate_idents[fi][0].clone();
+        let scope_key = (fi, module.join("::"));
+        let abs_module = {
+            let mut m = vec![primary.clone()];
+            m.extend(module.iter().cloned());
+            m.join("::")
+        };
+        for leaf in leaves {
+            let mut target = normalize_path(&leaf.path, &primary, module);
+            // 2018 uniform paths: `use spanned::x;` with a bare module
+            // head resolves from this crate's root. A head that names no
+            // workspace crate is qualified with the current crate; truly
+            // external heads (std, serde) then resolve to nothing, which
+            // is the same dead import either way.
+            let known = |h: &String| self.crate_idents.iter().any(|v| v.contains(h));
+            if target.first().is_some_and(|h| h != &primary && !known(h)) {
+                target.insert(0, primary.clone());
+            }
+            match leaf.name {
+                None => {
+                    self.globs.entry(scope_key.clone()).or_default().push(target);
+                }
+                Some(name) => {
+                    self.imports
+                        .entry(scope_key.clone())
+                        .or_default()
+                        .insert(name.clone(), target.clone());
+                    if is_pub {
+                        self.exports.entry(abs_module.clone()).or_default().insert(name, target);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonicalizes an absolute path: maps secondary crate idents to the
+    /// primary and rewrites `pub use` re-export prefixes to a fixpoint
+    /// (bounded, so cyclic re-exports terminate).
+    pub fn canonicalize(&self, path: &[String]) -> Vec<String> {
+        let mut p = path.to_vec();
+        for _ in 0..32 {
+            if let Some(first) = p.first() {
+                if let Some(primary) = self.crate_alias.get(first) {
+                    p[0] = primary.clone();
+                }
+            }
+            let mut changed = false;
+            for k in (1..p.len()).rev() {
+                let module = p[..k].join("::");
+                if let Some(exp) = self.exports.get(&module) {
+                    if let Some(target) = exp.get(&p[k]) {
+                        let mut np = target.clone();
+                        np.extend(p[k + 1..].iter().cloned());
+                        if np != p {
+                            p = np;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Functions registered under the canonicalized absolute path.
+    pub fn lookup_abs(&self, path: &[String]) -> Vec<usize> {
+        let p = self.canonicalize(path);
+        self.by_abs.get(&p.join("::")).cloned().unwrap_or_default()
+    }
+
+    /// Every function with this bare name (conservative method fan-out).
+    pub fn fns_named(&self, name: &str) -> Vec<usize> {
+        self.by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Every `impl`/`trait` method with this name (restricted fan-out for
+    /// `Type::method` calls whose type is unresolvable).
+    pub fn methods_named(&self, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|v| {
+                v.iter().copied().filter(|&i| self.fns[i].impl_type.is_some()).collect::<Vec<_>>()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The methods named `name` in impl blocks of exactly the type `ty` —
+    /// the precise resolution for `self.name(…)` receivers, where the
+    /// workspace-wide by-name fan-out would smear unrelated impls (e.g. a
+    /// std `RangeInclusive::start` hitting a `Stopwatch::start`) into the
+    /// call graph.
+    pub fn impl_methods(&self, ty: &str, name: &str) -> Vec<usize> {
+        self.by_impl.get(&(ty.to_owned(), name.to_owned())).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a bare call `name(…)` from the given scope: the module
+    /// itself, then its imports and globs, walking up the module chain to
+    /// the crate root. Unresolvable names yield no candidates.
+    pub fn resolve_bare(&self, file: usize, module: &[String], name: &str) -> Vec<usize> {
+        let primary = &self.crate_idents[file][0];
+        let mut m = module.to_vec();
+        loop {
+            let mut abs: Vec<String> = vec![primary.clone()];
+            abs.extend(m.iter().cloned());
+            abs.push(name.to_owned());
+            let v = self.lookup_abs(&abs);
+            if !v.is_empty() {
+                return v;
+            }
+            if let Some(map) = self.imports.get(&(file, m.join("::"))) {
+                if let Some(target) = map.get(name) {
+                    let v = self.lookup_abs(target);
+                    if !v.is_empty() {
+                        return v;
+                    }
+                }
+            }
+            if let Some(gs) = self.globs.get(&(file, m.join("::"))) {
+                for g in gs {
+                    let mut abs = g.clone();
+                    abs.push(name.to_owned());
+                    let v = self.lookup_abs(&abs);
+                    if !v.is_empty() {
+                        return v;
+                    }
+                }
+            }
+            if m.is_empty() {
+                return Vec::new();
+            }
+            m.pop();
+        }
+    }
+
+    /// Resolves a path call `a::b::name(…)` from the given scope:
+    /// `Type::method` through the impl index (with `Self` mapped to the
+    /// enclosing impl type), then module-tree + import resolution, then —
+    /// for an unresolvable capitalized head — conservative method
+    /// fan-out.
+    pub fn resolve_path(
+        &self,
+        file: usize,
+        module: &[String],
+        impl_type: Option<&str>,
+        segs: &[String],
+    ) -> Vec<usize> {
+        if segs.len() < 2 {
+            return Vec::new();
+        }
+        let head = segs[0].as_str();
+        if segs.len() == 2 {
+            let ty = if head == "Self" { impl_type.unwrap_or(head) } else { head };
+            if let Some(v) = self.by_impl.get(&(ty.to_owned(), segs[1].clone())) {
+                return v.clone();
+            }
+        }
+        let primary = &self.crate_idents[file][0];
+        let mut abs = normalize_path(segs, primary, module);
+        if abs.first().map(String::as_str) == Some(head) {
+            // Head untouched by crate/self/super normalization: splice an
+            // in-scope import binding when one exists.
+            let mut m = module.to_vec();
+            loop {
+                if let Some(target) =
+                    self.imports.get(&(file, m.join("::"))).and_then(|map| map.get(head))
+                {
+                    let mut np = target.clone();
+                    np.extend(segs[1..].iter().cloned());
+                    abs = np;
+                    break;
+                }
+                if m.is_empty() {
+                    break;
+                }
+                m.pop();
+            }
+        }
+        // No blind `Type::method` → every-method-named fan-out here: a
+        // type-qualified path that resolves to neither a module path nor
+        // an indexed impl is an external type (`Vec::new`, `String::from`)
+        // and external constructors are treated as effect-free — the
+        // token bans still catch the named ambient ones directly.
+        self.lookup_abs(&abs)
+    }
+
+    /// The crate ident candidates of a file (primary first).
+    pub fn crate_idents(&self, file: usize) -> &[String] {
+        &self.crate_idents[file]
+    }
+
+    /// The innermost non-test function whose body contains code-view
+    /// index `j` of `file`.
+    pub fn enclosing_fn(&self, file: usize, j: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.file != file || f.is_test {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            if j < lo || j > hi {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (blo, bhi) = self.fns[b].body.unwrap_or((0, usize::MAX));
+                    hi - lo < bhi - blo
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+/// True when the token at `j` can start an item (not type/expression
+/// position): start of file, after `}`/`;`/`{`/`]`/`)`, or after a
+/// visibility/safety qualifier.
+fn item_position(code: &Code<'_>, j: usize) -> bool {
+    if j == 0 {
+        return true;
+    }
+    let Some(prev) = code.at(j - 1) else { return true };
+    prev.is_punct('}')
+        || prev.is_punct(';')
+        || prev.is_punct('{')
+        || prev.is_punct(']')
+        || prev.is_punct(')')
+        || prev.is_ident("pub")
+        || prev.is_ident("unsafe")
+        || prev.is_ident("default")
+}
+
+/// First `{` at angle-bracket depth zero in `[from, n)`, or `None` if a
+/// depth-zero `;` intervenes.
+fn find_body_brace(code: &Code<'_>, from: usize, n: usize) -> Option<usize> {
+    let mut angle = 0i64;
+    for k in from..n {
+        let Some(tok) = code.at(k) else { break };
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') && !code.is_punct(k.wrapping_sub(1), '-') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && tok.is_punct('{') {
+            return Some(k);
+        } else if angle == 0 && tok.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// First `(` at angle-bracket depth zero in `[from, n)` — the parameter
+/// list opener, skipping `Fn(…)` bounds inside generics.
+fn find_paren(code: &Code<'_>, from: usize, n: usize) -> Option<usize> {
+    let mut angle = 0i64;
+    for k in from..n {
+        let Some(tok) = code.at(k) else { break };
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') && !code.is_punct(k.wrapping_sub(1), '-') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && tok.is_punct('(') {
+            return Some(k);
+        } else if angle == 0 && (tok.is_punct('{') || tok.is_punct(';')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// The type name an `impl`/`trait` header binds methods to: the last
+/// path segment of the implemented-for type (after `for` when present),
+/// or the trait's own name for `trait` blocks.
+fn header_type_name(code: &Code<'_>, from: usize, open: usize, is_trait: bool) -> Option<String> {
+    let mut k = from;
+    // Skip leading generics `<…>`.
+    if code.is_punct(k, '<') {
+        let mut angle = 0i64;
+        while k < open {
+            if code.is_punct(k, '<') {
+                angle += 1;
+            } else if code.is_punct(k, '>') && !code.is_punct(k.wrapping_sub(1), '-') {
+                angle -= 1;
+                if angle == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+    let mut angle = 0i64;
+    let mut last: Option<String> = None;
+    for q in k..open {
+        let Some(tok) = code.at(q) else { break };
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') && !code.is_punct(q.wrapping_sub(1), '-') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && tok.kind == TokKind::Ident {
+            let text = tok.ident_text();
+            if text == "for" {
+                last = None; // `impl Trait for Type`: the type follows
+                continue;
+            }
+            if matches!(text, "mut" | "dyn" | "const" | "where") {
+                continue;
+            }
+            if is_trait && last.is_some() {
+                break; // `trait Name: Bound` — keep the trait's own name
+            }
+            last = Some(text.to_owned());
+        } else if angle == 0 && is_trait && tok.is_punct(':') {
+            break;
+        }
+    }
+    last
+}
+
+/// Parses one use tree starting at `j` (bounded by `end`); pushes every
+/// leaf and returns the index just past the tree.
+fn parse_use_tree(
+    code: &Code<'_>,
+    mut j: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseLeaf>,
+) -> usize {
+    loop {
+        if j >= end {
+            return j;
+        }
+        if code.is_punct(j, '{') {
+            let close = code.matching_close(j).unwrap_or(end).min(end);
+            let mut k = j + 1;
+            while k < close {
+                let before = prefix.len();
+                k = parse_use_tree(code, k, close, prefix, out);
+                prefix.truncate(before);
+                if code.is_punct(k, ',') {
+                    k += 1;
+                }
+            }
+            return close + 1;
+        }
+        if code.is_punct(j, '*') {
+            out.push(UseLeaf { path: prefix.clone(), name: None });
+            return j + 1;
+        }
+        let Some(tok) = code.at(j) else { return j + 1 };
+        if tok.kind == TokKind::Ident {
+            let seg = tok.ident_text().to_owned();
+            if code.is_punct(j + 1, ':') && code.is_punct(j + 2, ':') {
+                prefix.push(seg);
+                j += 3;
+                continue;
+            }
+            if seg == "self" && !prefix.is_empty() {
+                // `use a::b::{self, …}` binds `b` to the module itself.
+                out.push(UseLeaf { path: prefix.clone(), name: prefix.last().cloned() });
+                return j + 1;
+            }
+            if code.is_ident(j + 1, "as")
+                && code.at(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                let mut path = prefix.clone();
+                path.push(seg);
+                out.push(UseLeaf { path, name: code.at(j + 2).map(|t| t.ident_text().to_owned()) });
+                return j + 3;
+            }
+            let mut path = prefix.clone();
+            path.push(seg.clone());
+            out.push(UseLeaf { path, name: Some(seg) });
+            return j + 1;
+        }
+        return j + 1;
+    }
+}
+
+/// Normalizes a written path against its scope: `crate::` →
+/// primary-crate-qualified, `self::`/`super::` resolved against the
+/// current module; anything else is taken as already crate-qualified
+/// (Rust 2018 extern-path semantics).
+fn normalize_path(path: &[String], crate_primary: &str, module: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest: &[String] = path;
+    match path.first().map(String::as_str) {
+        Some("crate") => {
+            out.push(crate_primary.to_owned());
+            rest = &path[1..];
+        }
+        Some("self") => {
+            out.push(crate_primary.to_owned());
+            out.extend(module.iter().cloned());
+            rest = &path[1..];
+        }
+        Some("super") => {
+            let mut m = module.to_vec();
+            let mut i = 0;
+            while path.get(i).is_some_and(|s| s == "super") {
+                m.pop();
+                i += 1;
+            }
+            out.push(crate_primary.to_owned());
+            out.extend(m);
+            rest = &path[i..];
+        }
+        _ => {}
+    }
+    out.extend(rest.iter().cloned());
+    out
+}

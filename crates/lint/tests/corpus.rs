@@ -9,13 +9,17 @@ use cm_lint::LintConfig;
 
 #[test]
 fn corpus_matches_pinned_expectations() {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
-    let outcome = run_corpus(&dir, &LintConfig::repo_default());
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = manifest.join("tests/corpus");
+    // The workspace config loads specs/lint_effects.json, so the corpus
+    // exercises the declared sanctions exactly as `xtask lint` does.
+    let root = manifest.ancestors().nth(2).expect("workspace root");
+    let outcome = run_corpus(&dir, &LintConfig::for_workspace(root));
     assert!(outcome.passed(), "corpus mismatches:\n{}", outcome.errors.join("\n"));
     // The corpus must stay substantial: every pass needs positives and
     // the issue requires at least three negatives per pass.
-    assert!(outcome.files >= 17, "corpus shrank to {} files", outcome.files);
-    assert!(outcome.positives >= 6, "only {} positive fixtures", outcome.positives);
-    assert!(outcome.negatives >= 11, "only {} negative fixtures", outcome.negatives);
-    assert!(outcome.expected_findings >= 30, "only {} pinned findings", outcome.expected_findings);
+    assert!(outcome.files >= 23, "corpus shrank to {} files", outcome.files);
+    assert!(outcome.positives >= 9, "only {} positive fixtures", outcome.positives);
+    assert!(outcome.negatives >= 14, "only {} negative fixtures", outcome.negatives);
+    assert!(outcome.expected_findings >= 40, "only {} pinned findings", outcome.expected_findings);
 }

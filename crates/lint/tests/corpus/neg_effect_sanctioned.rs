@@ -1,0 +1,13 @@
+//@ path: crates/serve/src/snapshot.rs
+//! Negative: filesystem access inside the sanctioned snapshot module.
+//! The sanction comes from specs/lint_effects.json, not from code.
+
+use std::fs;
+
+pub fn persist(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn restore(path: &str) -> std::io::Result<Vec<u8>> {
+    fs::read(path)
+}

@@ -1,0 +1,31 @@
+//@ path: crates/demo/src/counts.rs
+//! Negative: integer sufficient statistics merged in `par_map_reduce`
+//! merge position are exact under any fold grouping — no finding.
+
+pub struct Counts {
+    pub covered: usize,
+    pub conflicted: usize,
+}
+
+fn merge_counts(mut a: Counts, b: Counts) -> Counts {
+    a.covered += b.covered;
+    a.conflicted += b.conflicted;
+    a
+}
+
+pub fn tally(cfg: &cm_par::ParConfig, n: usize, rows: &[i8]) -> Counts {
+    let folded = cm_par::par_map_reduce(
+        cfg,
+        n,
+        |range| {
+            let mut c = Counts { covered: 0, conflicted: 0 };
+            for i in range {
+                let v: usize = usize::from(rows[i] != 0);
+                c.covered += v;
+            }
+            c
+        },
+        merge_counts,
+    );
+    folded.unwrap_or(Counts { covered: 0, conflicted: 0 })
+}

@@ -1,0 +1,17 @@
+//@ path: crates/demo/src/pure.rs
+//! Negative: pure closures over their own arguments are exactly what the
+//! cm-par entry points are for.
+
+fn double(v: u64) -> u64 {
+    v * 2
+}
+
+pub fn scale(items: &[u64]) -> Vec<u64> {
+    cm_par::par_map(items.len(), |i| double(items[i]))
+}
+
+pub fn windowed(items: &[u64], chunk: usize) -> Vec<u64> {
+    cm_par::par_map_chunks(items.len(), chunk, |range| {
+        range.map(|i| items[i]).sum::<u64>()
+    })
+}

@@ -1,0 +1,22 @@
+//@ path: crates/demo/src/effects.rs
+//! Positive: ambient effects in an unsanctioned module, reported at the
+//! effect site with the call chain back to the workspace entry point.
+
+use std::env;
+use std::fs;
+
+pub fn entry() -> String {
+    middle()
+}
+
+fn middle() -> String {
+    leaf()
+}
+
+fn leaf() -> String {
+    env::var("CM_DEMO").unwrap_or_default()
+}
+
+pub fn read_side(path: &str) -> usize {
+    fs::read_to_string(path).map(|s| s.len()).unwrap_or(0)
+}

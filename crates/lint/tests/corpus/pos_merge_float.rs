@@ -1,0 +1,38 @@
+//@ path: crates/demo/src/train.rs
+//! Positive: float accumulation in `par_map_reduce` merge position —
+//! once in an inline merge closure, once through a named merge function.
+
+fn add_grad(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x += *y;
+    }
+    a
+}
+
+pub fn train_inline(cfg: &cm_par::ParConfig, n: usize, grads: &[Vec<f64>]) -> Vec<f64> {
+    let folded = cm_par::par_map_reduce(
+        cfg,
+        n,
+        |range| {
+            let mut acc = vec![0.0f64; 4];
+            for i in range {
+                for (a, g) in acc.iter_mut().zip(&grads[i]) {
+                    *a += *g;
+                }
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += *y;
+            }
+            a
+        },
+    );
+    folded.unwrap_or_default()
+}
+
+pub fn train_named(cfg: &cm_par::ParConfig, n: usize, grads: &[Vec<f64>]) -> Vec<f64> {
+    let folded = cm_par::par_map_reduce(cfg, n, |_range| vec![0.0f64; 4], add_grad);
+    folded.unwrap_or_default()
+}

@@ -1,0 +1,29 @@
+//@ path: crates/demo/src/par.rs
+//! Positive: impure closures handed to the cm-par entry points — an
+//! interior-mutable capture, a direct ambient effect, and an effect
+//! reached transitively through a named helper.
+
+use std::cell::RefCell;
+use std::env;
+
+fn seed_from_env() -> u64 {
+    env::var("CM_SEED").map(|s| s.len() as u64).unwrap_or(0)
+}
+
+pub fn race(items: &[u64]) -> Vec<u64> {
+    let total: RefCell<u64> = RefCell::new(0);
+    cm_par::par_map(items.len(), |i| {
+        *total.borrow_mut() += items[i];
+        items[i]
+    })
+}
+
+pub fn ambient(items: &[u64]) -> Vec<u64> {
+    cm_par::par_map(items.len(), |i| items[i] ^ seed_from_env())
+}
+
+pub fn direct(items: &[u64]) -> Vec<u64> {
+    cm_par::par_map(items.len(), |i| {
+        items[i] ^ env::var("CM_K").map(|s| s.len() as u64).unwrap_or(0)
+    })
+}

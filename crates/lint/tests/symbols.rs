@@ -1,0 +1,153 @@
+//! Adversarial fixtures for the workspace symbol index and call graph:
+//! nested module trees, `pub use` re-export chains, same-name functions
+//! in sibling modules, trait-method fan-out, and calls through aliased
+//! paths — the shapes that defeat name-only matching.
+
+use std::path::PathBuf;
+
+use cm_lint::callgraph::CallGraph;
+use cm_lint::symbols::{FileUnit, SymbolIndex};
+use cm_lint::{lint_workspace, LintConfig};
+
+fn ws(files: &[(&str, &str)]) -> (Vec<FileUnit>, SymbolIndex) {
+    let units: Vec<FileUnit> =
+        files.iter().map(|&(p, s)| FileUnit::parse(PathBuf::from(p), s)).collect();
+    let sym = SymbolIndex::build(&units);
+    (units, sym)
+}
+
+/// The index of the fn named `name` defined in file `file`.
+fn fn_in(sym: &SymbolIndex, file: usize, name: &str) -> usize {
+    sym.fns
+        .iter()
+        .position(|f| f.file == file && f.name == name)
+        .unwrap_or_else(|| panic!("fn `{name}` not indexed in file {file}"))
+}
+
+#[test]
+fn nested_mod_tree_composes_with_file_layout() {
+    let (_, sym) = ws(&[(
+        "crates/alpha/src/deep/part.rs",
+        "pub mod inner {\n    pub mod core {\n        pub fn leaf() {}\n    }\n}\npub fn top() {}\n",
+    )]);
+    let leaf = sym.lookup_abs(&[
+        "cm_alpha".into(),
+        "deep".into(),
+        "part".into(),
+        "inner".into(),
+        "core".into(),
+        "leaf".into(),
+    ]);
+    assert_eq!(leaf.len(), 1, "nested inline mods under a file-layout module");
+    assert_eq!(sym.fns[leaf[0]].module, vec!["deep", "part", "inner", "core"]);
+    let top = sym.lookup_abs(&["cm_alpha".into(), "deep".into(), "part".into(), "top".into()]);
+    assert_eq!(top.len(), 1, "item after a closed mod block is back at file scope");
+    assert_eq!(sym.fns[top[0]].module, vec!["deep", "part"]);
+}
+
+#[test]
+fn same_name_functions_resolve_to_their_own_module() {
+    let (units, sym) = ws(&[
+        (
+            "crates/beta/src/a.rs",
+            "pub fn helper() -> u32 { 1 }\npub fn call_a() -> u32 { helper() }\n",
+        ),
+        (
+            "crates/beta/src/b.rs",
+            "pub fn helper() -> u32 { 2 }\npub fn call_b() -> u32 { helper() }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&units, &sym);
+    let helper_a = fn_in(&sym, 0, "helper");
+    let helper_b = fn_in(&sym, 1, "helper");
+    let call_a = fn_in(&sym, 0, "call_a");
+    assert!(graph.find_reachable(call_a, |f| f == helper_a).is_some());
+    assert!(
+        graph.find_reachable(call_a, |f| f == helper_b).is_none(),
+        "a sibling module's same-name fn must not leak into the edge"
+    );
+}
+
+#[test]
+fn pub_use_reexport_chain_resolves_across_crates() {
+    let (units, sym) = ws(&[
+        ("crates/gamma/src/detail.rs", "pub fn work() -> u32 { 7 }\n"),
+        ("crates/gamma/src/lib.rs", "pub mod detail;\npub use detail::work;\n"),
+        ("crates/delta/src/lib.rs", "use cm_gamma::work;\npub fn driver() -> u32 { work() }\n"),
+    ]);
+    let graph = CallGraph::build(&units, &sym);
+    let work = fn_in(&sym, 0, "work");
+    let driver = fn_in(&sym, 2, "driver");
+    let chain = graph
+        .find_reachable(driver, |f| f == work)
+        .expect("driver reaches work through the re-export");
+    assert_eq!(chain, vec![driver, work]);
+}
+
+#[test]
+fn aliased_path_calls_resolve_through_the_alias() {
+    let (units, sym) = ws(&[
+        ("crates/eps/src/util.rs", "pub fn helper() -> u32 { 3 }\n"),
+        (
+            "crates/eps/src/lib.rs",
+            "pub mod util;\nuse crate::util as u;\npub fn go() -> u32 { u::helper() }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&units, &sym);
+    let helper = fn_in(&sym, 0, "helper");
+    let go = fn_in(&sym, 1, "go");
+    assert!(graph.find_reachable(go, |f| f == helper).is_some());
+}
+
+#[test]
+fn trait_method_call_fans_out_to_every_impl() {
+    let (units, sym) = ws(&[(
+        "crates/zeta/src/lib.rs",
+        "pub trait Step { fn step(&self) -> u32; }\n\
+         pub struct A;\n\
+         impl Step for A { fn step(&self) -> u32 { 1 } }\n\
+         pub struct B;\n\
+         impl Step for B { fn step(&self) -> u32 { 2 } }\n\
+         pub fn drive(x: &dyn Step) -> u32 { x.step() }\n",
+    )]);
+    let graph = CallGraph::build(&units, &sym);
+    let drive = fn_in(&sym, 0, "drive");
+    let steps: Vec<usize> = sym
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == "step" && f.body.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(steps.len(), 2, "both impls indexed with bodies");
+    for s in steps {
+        assert!(
+            graph.find_reachable(drive, |f| f == s).is_some(),
+            "conservative fan-out must cover impl {:?}",
+            sym.fns[s].impl_type
+        );
+    }
+}
+
+#[test]
+fn effect_audit_chains_across_crates() {
+    let files = vec![
+        (
+            PathBuf::from("crates/one/src/lib.rs"),
+            "pub fn read_knob() -> String { std::env::var(\"K\").unwrap_or_default() }\n"
+                .to_owned(),
+        ),
+        (
+            PathBuf::from("crates/two/src/lib.rs"),
+            "use cm_one::read_knob;\npub fn entry() -> String { read_knob() }\n".to_owned(),
+        ),
+    ];
+    let findings = lint_workspace(&files, &LintConfig::repo_default());
+    let audit: Vec<_> = findings.iter().filter(|f| f.rule == "effect-audit").collect();
+    assert_eq!(audit.len(), 1, "one env site: {findings:?}");
+    let f = audit[0];
+    assert_eq!(f.file, PathBuf::from("crates/one/src/lib.rs"));
+    let names: Vec<&str> = f.chain.iter().map(|fr| fr.name.as_str()).collect();
+    assert_eq!(names, ["entry", "read_knob"], "entry-point → effect holder");
+    assert_eq!(f.chain[0].file, PathBuf::from("crates/two/src/lib.rs"));
+}

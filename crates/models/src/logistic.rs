@@ -111,6 +111,9 @@ impl LogisticRegression {
                         }
                         (grad_w, grad_b, wsum)
                     },
+                    // lint: allow(merge-float) — chunk-index-order fold is
+                    // pinned by par_map_reduce; the serial path replays the
+                    // identical merge sequence (serial≡parallel suite)
                     |(mut gw, gb, ws), (cw, cb, cs)| {
                         for (a, b) in gw.iter_mut().zip(&cw) {
                             *a += *b;

@@ -149,6 +149,9 @@ impl Mlp {
                     }
                     part
                 },
+                // lint: allow(merge-float) — chunk-index-order fold is pinned
+                // by par_map_reduce; the serial path replays the identical
+                // GradPartial::add sequence (serial≡parallel suite)
                 GradPartial::add,
             )
             .unwrap_or_else(|e| e.resume());

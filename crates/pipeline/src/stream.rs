@@ -20,7 +20,8 @@
 //!   [`cm_shard::build_graph_sharded`], which replays the resident anchor
 //!   plan over segment sweeps;
 //! - **LF application** — votes are pure per-row, so per-segment
-//!   [`LabelMatrix`] applications concatenate to the resident matrix;
+//!   [`LabelMatrix`] applications append, in offset order, into one
+//!   preallocated resident matrix;
 //! - **the label model** — fitted on the dev corpus (anchored) or on exact
 //!   mergeable moments (EM), both thread- and segmentation-invariant.
 //!
@@ -68,9 +69,10 @@ pub struct StreamStageTiming {
     pub mining: std::time::Duration,
     /// Sharded scale fit + graph build + propagation (zero when disabled).
     pub propagation: std::time::Duration,
-    /// The pool sweep: segment generation plus LF application.
+    /// The pool sweep: segment generation plus LF application (append
+    /// time excluded — the stages are disjoint).
     pub lf_application: std::time::Duration,
-    /// Concatenating per-segment vote matrices into the pool matrix.
+    /// Appending per-segment votes into the preallocated pool matrix.
     pub concat: std::time::Duration,
     /// Label-model fit and output assembly.
     pub model: std::time::Duration,
@@ -189,14 +191,19 @@ pub fn curate_streamed_with(
     }
 
     // LF application over streamed pool segments. Votes are pure per-row,
-    // so the per-segment matrices concatenate (in offset order) to the
-    // resident pool matrix; the propagation column votes through the
-    // score-bound LF, which needs only the global row index.
+    // so appending each segment's votes (in offset order) into one
+    // preallocated resident matrix is bit-identical to applying the LFs
+    // to the whole pool — and each segment matrix is dropped as soon as
+    // it is appended, so peak memory is one segment plus the final
+    // matrix, never the gather-then-copy doubling. The propagation
+    // column votes through the score-bound LF, which needs only the
+    // global row index.
     let n_cols = lf_names.len();
     let mut segments = 0usize;
-    let mut parts: Vec<LabelMatrix> = Vec::new();
-    let mut part_bytes = 0usize;
+    let mut pool_matrix = LabelMatrix::with_row_capacity(n_pool, lf_names.clone());
+    tracker.charge(pool_matrix.capacity_bytes(), "pool vote matrix")?;
     let mut pool_truth: Vec<Label> = Vec::with_capacity(n_pool);
+    let mut row_buf: Vec<i8> = Vec::with_capacity(n_cols);
     let apply_start = Stopwatch::start();
     for_each_pool_segment(
         &world,
@@ -207,34 +214,39 @@ pub fn curate_streamed_with(
         &mut tracker,
         &mut |offset, seg, tracker| {
             segments += 1;
-            let base = LabelMatrix::apply_with(&seg.table, &lfs, par);
-            let part = match &prop {
+            match &prop {
+                // The propagation column interleaves with the LF votes,
+                // so this path still applies into a segment matrix and
+                // streams its rows (plus the column) into the pool
+                // matrix — one copy, one segment resident at a time.
                 Some(p) => {
-                    let n = base.n_rows();
-                    let mut votes = Vec::with_capacity(n * n_cols);
-                    for r in 0..n {
-                        votes.extend_from_slice(base.row(r));
-                        votes.push(p.pool_lf.vote_row(offset + r).as_i8());
+                    let base = LabelMatrix::apply_with(&seg.table, &lfs, par);
+                    tracker.charge(base.approx_bytes(), "pool vote segment")?;
+                    let append_start = Stopwatch::start();
+                    for r in 0..base.n_rows() {
+                        row_buf.clear();
+                        row_buf.extend_from_slice(base.row(r));
+                        row_buf.push(p.pool_lf.vote_row(offset + r).as_i8());
+                        pool_matrix.push_row(&row_buf);
                     }
-                    LabelMatrix::from_votes(n, n_cols, votes, lf_names.clone())
+                    timing.concat += append_start.elapsed();
+                    let segment_bytes = base.approx_bytes();
+                    drop(base);
+                    tracker.release(segment_bytes);
                 }
-                None => base,
-            };
-            tracker.charge(part.approx_bytes(), "pool vote segment")?;
-            part_bytes += part.approx_bytes();
+                // Without it the segment's votes are laid out exactly as
+                // the pool matrix stores them, so the LFs write straight
+                // into the preallocated buffer: no segment matrix, no
+                // copy, no concat stage at all.
+                None => pool_matrix.apply_append_with(&seg.table, &lfs, par),
+            }
             pool_truth.extend_from_slice(&seg.labels);
-            parts.push(part);
             Ok(())
         },
     )?;
-    timing.lf_application = apply_start.elapsed();
-    let concat_start = Stopwatch::start();
-    let part_refs: Vec<&LabelMatrix> = parts.iter().collect();
-    let pool_matrix = LabelMatrix::concat(&part_refs);
-    tracker.charge(pool_matrix.approx_bytes(), "pool vote matrix")?;
-    drop(parts);
-    tracker.release(part_bytes);
-    timing.concat = concat_start.elapsed();
+    // The append time rides inside the pool sweep; report the stages
+    // disjoint so their sum still tracks the sweep's wall clock.
+    timing.lf_application = apply_start.elapsed().saturating_sub(timing.concat);
 
     let model_start = Stopwatch::start();
     let output = finish_curation(

@@ -18,7 +18,7 @@ use cm_lint::LintConfig;
 
 /// Runs the workspace lint; human or JSON reporting.
 pub fn run(root: &Path, json: bool) -> ExitCode {
-    let cfg = LintConfig::repo_default();
+    let cfg = LintConfig::for_workspace(root);
     let (findings, scanned) = cm_lint::run(root, &cfg);
     if json {
         println!("{}", cm_lint::report_json(&findings, scanned).to_string_pretty());
@@ -39,7 +39,7 @@ pub fn run(root: &Path, json: bool) -> ExitCode {
 /// Runs the corpus self-test.
 pub fn self_test(root: &Path) -> ExitCode {
     let dir = root.join("crates/lint/tests/corpus");
-    let cfg = LintConfig::repo_default();
+    let cfg = LintConfig::for_workspace(root);
     let outcome = cm_lint::corpus::run_corpus(&dir, &cfg);
     for e in &outcome.errors {
         eprintln!("lint self-test: {e}");

@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use cm_check::{
     check_fusion_plan, check_graph, check_lf_degeneracy, check_table, check_vote_matrix,
-    report_json, validate_spec_source, CheckRule, FusionKind, FusionPlan, Report, Violation,
+    report_json, validate_lint_spec_source, validate_spec_source, CheckRule, FusionKind,
+    FusionPlan, Report, Violation,
 };
 use cm_featurespace::{
     CatSet, FeatureDef, FeatureSchema, FeatureSet, FeatureTable, FeatureValue, ServingMode,
@@ -248,7 +249,15 @@ fn validate_specs(root: &Path) -> (usize, Vec<Violation>) {
     for p in files {
         let rel = p.strip_prefix(root).unwrap_or(&p).display().to_string();
         match std::fs::read_to_string(&p) {
-            Ok(source) => out.extend(validate_spec_source(&source, &rel).1),
+            Ok(source) => {
+                // The lint-effects sanction spec has its own validator;
+                // every other spec is an experiment spec.
+                if p.file_stem().is_some_and(|s| s == "lint_effects") {
+                    out.extend(validate_lint_spec_source(&source, &rel));
+                } else {
+                    out.extend(validate_spec_source(&source, &rel).1);
+                }
+            }
             Err(e) => {
                 out.push(Violation::new(CheckRule::SpecSyntax, rel, format!("unreadable: {e}")))
             }
